@@ -1,0 +1,40 @@
+//! End-to-end pipeline stages: detector inference and full evaluation
+//! frames (render + channel + detect) — the figures' cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rd_detector::detect;
+use rd_scene::{CameraPose, PhysicalChannel};
+use road_decals::eval::{render_attacked_frame, EvalConfig};
+use road_decals::experiments::{prepare_environment, Scale};
+use road_decals::scenario::AttackScenario;
+use road_decals::{attack::deploy, decal::Decal};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut env = prepare_environment(Scale::Smoke, 42);
+    let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);
+    let decal = Decal::mono(&Plane::new(16, 16, 0.1), mask(Shape::Star, 16), Shape::Star);
+    let decals = deploy(&decal, &scenario);
+    let pose = CameraPose::at_distance(2.5);
+    let cfg = EvalConfig {
+        channel: PhysicalChannel::real_world(),
+        ..EvalConfig::smoke(42)
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let frame = render_attacked_frame(&scenario, &decals, &pose, &cfg, 0.5, &mut rng);
+    c.bench_function("detector_forward_one_frame", |b| {
+        b.iter(|| std::hint::black_box(detect(&env.detector, &mut env.params, &[frame.clone()], 0.35)));
+    });
+    c.bench_function("eval_frame_render_plus_detect", |b| {
+        b.iter(|| {
+            let f = render_attacked_frame(&scenario, &decals, &pose, &cfg, 0.5, &mut rng);
+            std::hint::black_box(detect(&env.detector, &mut env.params, &[f], 0.35));
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

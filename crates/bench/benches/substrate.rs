@@ -1,0 +1,66 @@
+//! Substrate hot paths: GEMM, convolution forward/backward, warps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rd_tensor::{Graph, Tensor};
+use rd_vision::warp::{homography, resize};
+use rd_vision::geometry::Mat3;
+use std::rc::Rc;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = Tensor::randn(&mut rng, &[n, n], 1.0);
+        let b = Tensor::randn(&mut rng, &[n, n], 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x0 = Tensor::randn(&mut rng, &[1, 16, 48, 48], 1.0);
+    let w0 = Tensor::randn(&mut rng, &[32, 16, 3, 3], 0.2);
+    c.bench_function("conv2d_forward_16x48x48_to_32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let w = g.input(w0.clone());
+            std::hint::black_box(g.conv2d(x, w, None, 1, 1));
+        });
+    });
+    c.bench_function("conv2d_fwd_bwd_16x48x48_to_32", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let w = g.input(w0.clone());
+            let y = g.conv2d(x, w, None, 1, 1);
+            let loss = g.sum_all(y);
+            std::hint::black_box(g.backward(loss));
+        });
+    });
+}
+
+fn bench_warps(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let img = Tensor::randn(&mut rng, &[1, 3, 96, 96], 1.0);
+    let map: Rc<_> = resize((96, 96), (96, 96)).into();
+    c.bench_function("warp_resize_96", |bench| {
+        bench.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(img.clone());
+            std::hint::black_box(g.warp(x, &map));
+        });
+    });
+    let h = Mat3::translation(20.0, 10.0).mul(&Mat3::perspective(0.001, -0.002));
+    c.bench_function("build_homography_map_160_to_96", |bench| {
+        bench.iter(|| std::hint::black_box(homography((160, 160), (96, 96), &h).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv2d, bench_warps);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table I pipeline stages: one optimization step of our GAN attack vs
+//! one step of the colored baseline [34], at smoke scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use road_decals::experiments::{prepare_environment, Scale};
+use road_decals::{
+    attack::{train_decal_attack, AttackConfig},
+    baseline::{train_baseline_patch, BaselineConfig},
+    scenario::AttackScenario,
+};
+
+fn bench_attack_steps(c: &mut Criterion) {
+    let mut env = prepare_environment(Scale::Smoke, 42);
+    let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 6, 60, 16, 42);
+    let mut group = c.benchmark_group("table1_steps");
+    group.sample_size(10);
+    group.bench_function("ours_one_step", |b| {
+        b.iter(|| {
+            let cfg = AttackConfig {
+                steps: 1,
+                clips_per_batch: 2,
+                ..AttackConfig::smoke()
+            };
+            std::hint::black_box(train_decal_attack(
+                &scenario,
+                &env.detector,
+                &mut env.params,
+                &cfg,
+            ));
+        });
+    });
+    group.bench_function("baseline_one_step", |b| {
+        b.iter(|| {
+            let cfg = BaselineConfig {
+                steps: 1,
+                batch_frames: 6,
+                ..BaselineConfig::smoke()
+            };
+            std::hint::black_box(train_baseline_patch(
+                &scenario,
+                &env.detector,
+                &mut env.params,
+                &cfg,
+            ));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack_steps);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table II pipeline stage: rendering + capture channel per environment
+//! (digital vs simulated vs real-world), which is what separates Tables I
+//! and II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rd_scene::{CameraPose, PhysicalChannel};
+use road_decals::eval::{render_attacked_frame, EvalConfig};
+use road_decals::scenario::AttackScenario;
+use road_decals::{attack::deploy, decal::Decal};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
+use road_decals::experiments::Scale;
+
+fn bench_channels(c: &mut Criterion) {
+    let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);
+    let decal = Decal::mono(&Plane::new(16, 16, 0.1), mask(Shape::Star, 16), Shape::Star);
+    let decals = deploy(&decal, &scenario);
+    let pose = CameraPose::at_distance(2.5);
+    let mut group = c.benchmark_group("table2_channel_frame");
+    for (name, channel) in [
+        ("digital", PhysicalChannel::digital()),
+        ("simulated", PhysicalChannel::simulated()),
+        ("real_world", PhysicalChannel::real_world()),
+    ] {
+        let cfg = EvalConfig {
+            channel,
+            ..EvalConfig::smoke(42)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                std::hint::black_box(render_attacked_frame(
+                    &scenario, &decals, &pose, cfg, 0.5, &mut rng,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

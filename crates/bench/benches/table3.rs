@@ -1,0 +1,38 @@
+//! Table III pipeline stage: compositing cost as the decal count N grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rd_scene::{CameraPose, PhysicalChannel};
+use road_decals::eval::{render_attacked_frame, EvalConfig};
+use road_decals::experiments::Scale;
+use road_decals::scenario::AttackScenario;
+use road_decals::{attack::deploy, decal::Decal};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
+
+fn bench_by_n(c: &mut Criterion) {
+    let pose = CameraPose::at_distance(2.5);
+    let cfg = EvalConfig {
+        channel: PhysicalChannel::digital(),
+        ..EvalConfig::smoke(42)
+    };
+    let mut group = c.benchmark_group("table3_composite_by_n");
+    for n in [2usize, 4, 6, 8] {
+        let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), n, 60, 16, 42);
+        let decal = Decal::mono(&Plane::new(16, 16, 0.1), mask(Shape::Star, 16), Shape::Star);
+        let decals = deploy(&decal, &scenario);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                std::hint::black_box(render_attacked_frame(
+                    &scenario, &decals, &pose, &cfg, 0.0, &mut rng,
+                ));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_n);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table IV pipeline stage: EOT sampling + placement adjustment + map
+//! construction per trick combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rd_eot::{adjust_placement, table4_combinations, EotConfig};
+use rd_scene::CameraPose;
+use road_decals::experiments::Scale;
+use road_decals::scenario::AttackScenario;
+
+fn bench_by_trickset(c: &mut Criterion) {
+    let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);
+    let pose = CameraPose::at_distance(2.5);
+    let mut group = c.benchmark_group("table4_eot_warp");
+    for tricks in table4_combinations() {
+        let cfg = EotConfig::with_tricks(tricks);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tricks.to_string()),
+            &cfg,
+            |b, cfg| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    let ts = cfg.sample(&mut rng);
+                    let adj = adjust_placement(scenario.decal_placements[0], &ts, 16);
+                    std::hint::black_box(scenario.decal_map(0, &pose, Some(adj)));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_trickset);
+criterion_main!(benches);

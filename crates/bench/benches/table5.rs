@@ -1,0 +1,21 @@
+//! Table V pipeline stage: anti-aliased mask rasterization per shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rd_vision::shapes::{mask, Shape};
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_shape_masks");
+    for shape in Shape::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.name()),
+            &shape,
+            |b, &s| {
+                b.iter(|| std::hint::black_box(mask(s, 32)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_masks);
+criterion_main!(benches);

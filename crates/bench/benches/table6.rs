@@ -1,0 +1,21 @@
+//! Table VI pipeline stage: decal-to-image map construction per size k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rd_scene::CameraPose;
+use road_decals::experiments::Scale;
+use road_decals::scenario::AttackScenario;
+
+fn bench_by_k(c: &mut Criterion) {
+    let pose = CameraPose::at_distance(2.5);
+    let mut group = c.benchmark_group("table6_decal_map_by_k");
+    for k in [20usize, 40, 60, 80] {
+        let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, k, 16, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| std::hint::black_box(scenario.decal_map(0, &pose, None)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_k);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates the paper's figures (2-8) as PPM images under
+//! `out/figures/`.
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42]
+//! ```
+
+use rd_bench::arg;
+use road_decals::experiments::{prepare_environment, run_figures, Scale};
+
+fn main() {
+    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let seed: u64 = arg("--seed", 42);
+    let mut env = prepare_environment(scale, seed);
+    let written = run_figures(&mut env, seed, "out/figures");
+    println!("wrote {} figures:", written.len());
+    for p in written {
+        println!("  {}", p.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table I: real-world comparison of our attack (with and
+//! without consecutive frames) against the colored baseline [34].
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin repro_table1 -- [--scale paper|smoke] [--seed 42]
+//! ```
+
+use rd_bench::{arg, compare, paper};
+use road_decals::experiments::{prepare_environment, run_table1, Scale};
+
+fn main() {
+    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let seed: u64 = arg("--seed", 42);
+    let mut env = prepare_environment(scale, seed);
+    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let measured = run_table1(&mut env, seed);
+    println!("{}", paper::table1());
+    println!("{measured}");
+    println!("shape checks (paper's qualitative claims on our measurement):");
+    let ours = "Ours (w/ 3 consecutive frames)";
+    let solo = "Ours (w/o 3 consecutive frames)";
+    compare::report(&[
+        compare::row_near_zero(&measured, "w/o Attack", 0.05),
+        compare::row_dominates(&measured, ours, solo),
+        compare::row_dominates(&measured, solo, "[34]"),
+        compare::row_dominates(&measured, ours, "[34]"),
+        compare::monotone_decreasing(&measured, ours, &["slow", "normal", "fast"]),
+        compare::monotone_decreasing(&measured, "[34]", &["slow", "normal", "fast"]),
+    ]);
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table IV: ablation over EOT trick combinations.
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42]
+//! ```
+
+use rd_bench::{arg, compare, paper};
+use road_decals::experiments::{prepare_environment, run_table4, Scale};
+
+fn main() {
+    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let seed: u64 = arg("--seed", 42);
+    let mut env = prepare_environment(scale, seed);
+    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let measured = run_table4(&mut env, seed);
+    println!("{}", paper::table4());
+    println!("{measured}");
+    println!("shape checks (perspective matters most; gamma beats brightness):");
+    compare::report(&[
+        // dropping perspective — row (1)+(2)+(3)+(4) — hurts most
+        compare::row_dominates(&measured, "(1)+(2)+(4)+(5)", "(1)+(2)+(3)+(4)"),
+        compare::row_dominates(&measured, "All", "(1)+(2)+(3)+(4)"),
+        // keeping gamma beats keeping brightness
+        compare::row_dominates(&measured, "(1)+(2)+(4)+(5)", "(1)+(2)+(3)+(5)"),
+    ]);
+}

@@ -1,0 +1,25 @@
+//! Regenerates Table V: ablation over decal shapes.
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin repro_table5 -- [--scale paper|smoke] [--seed 42]
+//! ```
+
+use rd_bench::{arg, compare, paper};
+use road_decals::experiments::{prepare_environment, run_table5, Scale};
+
+fn main() {
+    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let seed: u64 = arg("--seed", 42);
+    let mut env = prepare_environment(scale, seed);
+    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let measured = run_table5(&mut env, seed);
+    println!("{}", paper::table5());
+    println!("{measured}");
+    println!("shape checks (star wins, circle loses):");
+    compare::report(&[
+        compare::row_dominates(&measured, "star", "triangle"),
+        compare::row_dominates(&measured, "star", "circle"),
+        compare::row_dominates(&measured, "star", "square"),
+        compare::row_dominates(&measured, "triangle", "circle"),
+    ]);
+}

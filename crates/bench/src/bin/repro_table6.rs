@@ -1,0 +1,24 @@
+//! Regenerates Table VI: ablation over decal size k.
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin repro_table6 -- [--scale paper|smoke] [--seed 42]
+//! ```
+
+use rd_bench::{arg, compare, paper};
+use road_decals::experiments::{prepare_environment, run_table6, Scale};
+
+fn main() {
+    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let seed: u64 = arg("--seed", 42);
+    let mut env = prepare_environment(scale, seed);
+    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let measured = run_table6(&mut env, seed);
+    println!("{}", paper::table6());
+    println!("{measured}");
+    println!("shape checks (k=60 peaks; both tails collapse):");
+    compare::report(&[
+        compare::row_dominates(&measured, "k=60", "k=20"),
+        compare::row_dominates(&measured, "k=60", "k=80"),
+        compare::row_dominates(&measured, "k=40", "k=20"),
+    ]);
+}

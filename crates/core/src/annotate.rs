@@ -1,0 +1,63 @@
+//! Drawing detection boxes onto frames (for the figure reproductions).
+
+use rd_detector::Detection;
+use rd_scene::ObjectClass;
+use rd_vision::{Image, Rgb};
+
+/// A distinct border color per class.
+pub fn class_color(class: ObjectClass) -> Rgb {
+    match class {
+        ObjectClass::Person => Rgb(1.0, 0.85, 0.1),
+        ObjectClass::Word => Rgb(0.2, 0.9, 0.3),
+        ObjectClass::Mark => Rgb(0.2, 0.6, 1.0),
+        ObjectClass::Car => Rgb(1.0, 0.25, 0.2),
+        ObjectClass::Bicycle => Rgb(0.9, 0.3, 0.9),
+    }
+}
+
+/// Draws a 1-px box outline in normalized coordinates.
+pub fn draw_box(img: &mut Image, cx: f32, cy: f32, w: f32, h: f32, color: Rgb) {
+    let iw = img.width() as f32;
+    let ih = img.height() as f32;
+    let x0 = ((cx - w / 2.0) * iw).clamp(0.0, iw - 1.0);
+    let x1 = ((cx + w / 2.0) * iw).clamp(0.0, iw - 1.0);
+    let y0 = ((cy - h / 2.0) * ih).clamp(0.0, ih - 1.0);
+    let y1 = ((cy + h / 2.0) * ih).clamp(0.0, ih - 1.0);
+    img.draw_line(y0, x0, y0, x1, color);
+    img.draw_line(y1, x0, y1, x1, color);
+    img.draw_line(y0, x0, y1, x0, color);
+    img.draw_line(y0, x1, y1, x1, color);
+}
+
+/// Overlays every detection's box in its class color.
+pub fn draw_detections(img: &mut Image, dets: &[Detection]) {
+    for d in dets {
+        draw_box(img, d.cx, d.cy, d.w, d.h, class_color(d.class));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxes_touch_expected_pixels() {
+        let mut img = Image::new(20, 20, Rgb::BLACK);
+        draw_box(&mut img, 0.5, 0.5, 0.5, 0.5, Rgb::WHITE);
+        // corners of a centred half-size box land at 5 and 15
+        assert_eq!(img.get(5, 10), Rgb::WHITE);
+        assert_eq!(img.get(15, 10), Rgb::WHITE);
+        assert_eq!(img.get(10, 5), Rgb::WHITE);
+        assert_eq!(img.get(10, 10), Rgb::BLACK); // interior untouched
+    }
+
+    #[test]
+    fn class_colors_are_distinct() {
+        let mut seen = Vec::new();
+        for c in ObjectClass::ALL {
+            let col = class_color(c);
+            assert!(!seen.contains(&format!("{col:?}")));
+            seen.push(format!("{col:?}"));
+        }
+    }
+}

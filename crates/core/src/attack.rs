@@ -1,0 +1,545 @@
+//! The road-decal attack: joint GAN + EOT + consecutive-frame training
+//! (the paper's Eq. 1 pipeline, Fig. 1).
+//!
+//! Every optimization step synthesizes **one** monochrome decal from the
+//! generator, stamps `N` EOT-transformed copies around the victim in each
+//! of `clips x frames` camera views (a batch is made of *consecutive*
+//! frames of the same drive — the paper's key trick), pushes the whole
+//! batch through the frozen detector, and minimizes
+//! `L_adv + α · L_f` where `L_f` is the targeted cross-entropy of Eq. 2.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rd_detector::loss::{targeted_class_loss, AttackCell};
+use rd_detector::TinyYolo;
+use rd_eot::{adjust_placement, apply_photometric, EotConfig};
+use rd_gan::{real_shape_batch, Discriminator, GanConfig, Generator};
+use rd_scene::{AngleSetting, CameraPose, ObjectClass, Speed};
+use rd_tensor::{optim::Adam, Graph, LinearMap, ParamSet, Tensor, VarId};
+use rd_vision::compose::paste_patch;
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
+
+use crate::decal::Decal;
+use crate::scenario::AttackScenario;
+
+/// Attack hyper-parameters (defaults follow §IV-A where CPU budgets
+/// allow; see DESIGN.md's scaling table).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Decal silhouette.
+    pub shape: Shape,
+    /// Class the detector should report (`t` in Eq. 2).
+    pub target_class: ObjectClass,
+    /// EOT tricks and ranges.
+    pub eot: EotConfig,
+    /// Frames per clip (3 = the paper's setting; 1 = "w/o consecutive
+    /// frames").
+    pub consecutive_frames: usize,
+    /// Clips per batch (paper: batch 18 = 6 clips x 3 frames).
+    pub clips_per_batch: usize,
+    /// Optimization steps.
+    pub steps: usize,
+    /// Generator/discriminator Adam learning rate.
+    pub lr: f32,
+    /// Attack-term weight α (paper: 0.5).
+    pub alpha: f32,
+    /// Objectness weight inside `L_f` (0 = the pure Eq. 2 class term).
+    pub obj_weight: f32,
+    /// Realism-term weight on the generator's adversarial loss.
+    pub gan_weight: f32,
+    /// Run a discriminator step every `d_every` generator steps.
+    pub d_every: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// Paper-faithful settings at reproduction scale.
+    pub fn paper() -> Self {
+        AttackConfig {
+            shape: Shape::Star,
+            target_class: ObjectClass::Bicycle,
+            eot: EotConfig::paper(),
+            consecutive_frames: 3,
+            clips_per_batch: 6,
+            steps: 300,
+            lr: 4e-3,
+            alpha: 1.5,
+            obj_weight: 0.7,
+            gan_weight: 0.06,
+            d_every: 2,
+            seed: 7,
+        }
+    }
+
+    /// Fast settings for tests.
+    pub fn smoke() -> Self {
+        AttackConfig {
+            steps: 6,
+            clips_per_batch: 2,
+            ..Self::paper()
+        }
+    }
+
+    /// The single-frame ablation ("w/o 3 consecutive frames"): identical
+    /// batch size, but every batch element is an *independent* frame.
+    pub fn without_consecutive_frames(mut self) -> Self {
+        self.clips_per_batch *= self.consecutive_frames;
+        self.consecutive_frames = 1;
+        self
+    }
+
+    /// Total frames per optimization batch.
+    pub fn batch_frames(&self) -> usize {
+        self.consecutive_frames * self.clips_per_batch
+    }
+}
+
+/// The result of an attack run.
+#[derive(Debug, Clone)]
+pub struct TrainedDecal {
+    /// The synthesized decal (monochrome).
+    pub decal: Decal,
+    /// Attack-loss (`L_f`) per step.
+    pub attack_loss: Vec<f32>,
+    /// Generator adversarial loss per step.
+    pub adv_loss: Vec<f32>,
+}
+
+/// Samples the camera state for one training clip: a random point along a
+/// random drive (speed × angle × distance), then `frames` consecutive
+/// poses of that drive.
+fn sample_clip_poses<R: Rng>(rng: &mut R, frames: usize, fps: f32) -> Vec<CameraPose> {
+    let speed = Speed::ALL[rng.gen_range(0..3)];
+    let angle = AngleSetting::ALL[rng.gen_range(0..3)];
+    let z0 = rng.gen_range(1.0..4.4);
+    let lateral = rng.gen_range(-0.15..0.15);
+    let step = speed.m_per_frame(fps);
+    (0..frames)
+        .map(|f| CameraPose {
+            z_near: (z0 - step * f as f32).max(1.5),
+            lateral_m: lateral + rng.gen_range(-0.03..0.03),
+            yaw: angle.yaw() + rng.gen_range(-0.02..0.02),
+            roll: rng.gen_range(-0.03..0.03),
+        })
+        .collect()
+}
+
+/// Samples one independent pose (the static baseline's batch element).
+pub fn sample_single_pose<R: Rng>(rng: &mut R, fps: f32) -> CameraPose {
+    sample_clip_poses(rng, 1, fps)[0]
+}
+
+/// Samples one pose with the victim guaranteed in view.
+pub(crate) fn sample_visible_pose<R: Rng>(
+    scenario: &AttackScenario,
+    rng: &mut R,
+    fps: f32,
+) -> CameraPose {
+    sample_visible_clip(scenario, rng, 1, fps)[0]
+}
+
+/// Samples clip poses, retrying until the victim is in view on the first
+/// frame (rigs with tight fields of view can otherwise lose it).
+pub(crate) fn sample_visible_clip<R: Rng>(
+    scenario: &AttackScenario,
+    rng: &mut R,
+    frames: usize,
+    fps: f32,
+) -> Vec<CameraPose> {
+    for _ in 0..16 {
+        let poses = sample_clip_poses(rng, frames, fps);
+        if scenario.victim_box(&poses[0]).is_some() {
+            return poses;
+        }
+    }
+    // deterministic fallback: a close straight-ahead clip
+    (0..frames)
+        .map(|f| CameraPose::at_distance(2.2 - 0.05 * f as f32))
+        .collect()
+}
+
+/// Every `(anchor, cy, cx)` position whose cell centre falls inside the
+/// victim box, for one head. The victim spans many cells, and the
+/// detection that wins NMS can come from any of them, so the attack
+/// targets them all.
+pub fn victim_cells(vb: &rd_scene::GtBox, grid: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    for cy in 0..grid {
+        for cx in 0..grid {
+            let ccx = (cx as f32 + 0.5) / grid as f32;
+            let ccy = (cy as f32 + 0.5) / grid as f32;
+            if (ccx - vb.cx).abs() < vb.w / 2.0 && (ccy - vb.cy).abs() < vb.h / 2.0 {
+                for anchor in 0..rd_detector::anchors::ANCHORS_PER_HEAD {
+                    out.push((anchor, cy, cx));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        // thin box between cell centres: fall back to the containing cell
+        let cy = ((vb.cy * grid as f32) as usize).min(grid - 1);
+        let cx = ((vb.cx * grid as f32) as usize).min(grid - 1);
+        for anchor in 0..rd_detector::anchors::ANCHORS_PER_HEAD {
+            out.push((anchor, cy, cx));
+        }
+    }
+    out
+}
+
+/// Trains a decal against a frozen detector. `ps_det` is only used for
+/// forward passes (weights are never updated).
+pub fn train_decal_attack(
+    scenario: &AttackScenario,
+    detector: &TinyYolo,
+    ps_det: &mut ParamSet,
+    cfg: &AttackConfig,
+) -> TrainedDecal {
+    assert!(cfg.consecutive_frames >= 1);
+    assert!(cfg.clips_per_batch >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let canvas = scenario.patch_canvas;
+    let gan_cfg = GanConfig {
+        z_dim: 16,
+        canvas,
+        base: 16,
+    };
+    let mut ps_g = ParamSet::new();
+    let mut ps_d = ParamSet::new();
+    let gen = Generator::new(&mut ps_g, &mut rng, gan_cfg);
+    let disc = Discriminator::new(&mut ps_d, &mut rng, gan_cfg);
+    let mut opt_g = Adam::with_betas(cfg.lr, 0.5, 0.999);
+    let mut opt_d = Adam::with_betas(cfg.lr, 0.5, 0.999);
+    let silhouette = mask(cfg.shape, canvas);
+    let z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
+    let fps = 18.0;
+    // pre-built differentiable motion-blur maps (EOT over capture blur)
+    let blur_maps: Vec<Rc<LinearMap>> = (1..=3)
+        .map(|r| Rc::new(rd_vision::warp::vertical_box_blur_map(
+            scenario.rig.image_hw,
+            r,
+        )))
+        .collect();
+    let num_classes = detector.config().num_classes;
+    let input = detector.config().input;
+    let coarse_grid = input / 32;
+    let fine_grid = input / 16;
+
+    let mut attack_hist = Vec::with_capacity(cfg.steps);
+    let mut adv_hist = Vec::with_capacity(cfg.steps);
+    // After this step, training locks onto the deployment latent z* so the
+    // *single* decal that will be printed gets direct optimization (the
+    // paper synthesizes one AP and verifies it digitally before printing).
+    let anneal_at = cfg.steps * 3 / 5;
+
+    for step in 0..cfg.steps {
+        // ---- discriminator step (keeps the decal shaped like a decal) ----
+        if cfg.d_every > 0 && step % cfg.d_every == 0 {
+            ps_d.zero_grads();
+            let real = real_shape_batch(&mut rng, cfg.shape, 8, canvas);
+            // detached fake
+            let fake_t = {
+                let mut g = Graph::new();
+                let z = g.input(Tensor::randn(&mut rng, &[8, gan_cfg.z_dim], 1.0));
+                let f = gen.forward(&mut g, &mut ps_g, z, false);
+                g.value(f).clone()
+            };
+            let mut g = Graph::new();
+            let rv = g.input(real);
+            let fv = g.input(fake_t);
+            let dr = disc.forward(&mut g, &ps_d, rv, false);
+            let df = disc.forward(&mut g, &ps_d, fv, false);
+            let lr_ = g.bce_with_logits(dr, &Tensor::ones(&[8, 1]));
+            let lf_ = g.bce_with_logits(df, &Tensor::zeros(&[8, 1]));
+            let dl = g.add(lr_, lf_);
+            let grads = g.backward(dl);
+            g.write_grads(&grads, &mut ps_d);
+            opt_d.step(&mut ps_d);
+        }
+
+        // ---- generator step: realism + α · L_f over the frame batch ----
+        ps_g.zero_grads();
+        let mut g = Graph::new();
+        let z_t = if step < anneal_at {
+            Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0)
+        } else {
+            z_star.clone()
+        };
+        let z = g.input(z_t);
+        let patch = gen.forward(&mut g, &mut ps_g, z, true);
+        let d_logit = disc.forward(&mut g, &ps_d, patch, true);
+        let l_adv = g.bce_with_logits(d_logit, &Tensor::ones(&[1, 1]));
+
+        let mut frames: Vec<VarId> = Vec::with_capacity(cfg.batch_frames());
+        // attacked cells grouped per frame so the loss can weight a
+        // clip's *worst* frame (the consecutive-frame objective)
+        let mut frame_cells: Vec<(Vec<AttackCell>, Vec<AttackCell>)> = Vec::new();
+        for _ in 0..cfg.clips_per_batch {
+            let poses = sample_visible_clip(scenario, &mut rng, cfg.consecutive_frames, fps);
+            for pose in &poses {
+                let n_index = frames.len();
+                let base = scenario.rig.render_frame(scenario.world.canvas(), pose);
+                let mut node = g.input(base.to_tensor());
+                for (i, placement) in scenario.decal_placements.iter().enumerate() {
+                    let ts = cfg.eot.sample(&mut rng);
+                    let decal_node = apply_photometric(&mut g, patch, &ts);
+                    let adjusted = adjust_placement(*placement, &ts, canvas);
+                    let map: Rc<LinearMap> =
+                        scenario.decal_map(i, pose, Some(adjusted)).into();
+                    node = paste_patch(&mut g, node, decal_node, &map, &silhouette);
+                }
+                // differentiable capture channel on the *composited* frame
+                // (exposure -> gamma -> blur -> noise), mirroring
+                // `CaptureModel::apply` so evaluation sees nothing new
+                let exposure = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
+                node = g.scale(node, exposure);
+                let gamma = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
+                node = g.clamp(node, 0.0, 1.0);
+                node = g.powf_const(node, gamma);
+                let blur_pick = rng.gen_range(0..blur_maps.len() + 2);
+                if blur_pick < blur_maps.len() {
+                    node = g.warp(node, &blur_maps[blur_pick]);
+                }
+                let noise = Tensor::rand_uniform(
+                    &mut rng,
+                    g.value(node).shape(),
+                    -0.03,
+                    0.03,
+                );
+                node = g.add_const(node, &noise);
+                node = g.clamp(node, 0.0, 1.0);
+                frames.push(node);
+                // attacked cells: everywhere the detector could file the
+                // victim (both heads, all anchors in the box)
+                let mut cc = Vec::new();
+                let mut fc = Vec::new();
+                if let Some(vb) = scenario.victim_box(pose) {
+                    for (anchor, cy, cx) in victim_cells(&vb, coarse_grid) {
+                        cc.push(AttackCell { n: n_index, anchor, cy, cx });
+                    }
+                    for (anchor, cy, cx) in victim_cells(&vb, fine_grid) {
+                        fc.push(AttackCell { n: n_index, anchor, cy, cx });
+                    }
+                }
+                frame_cells.push((cc, fc));
+            }
+        }
+        let batch = g.concat_batch(&frames);
+        let outs = detector.forward(&mut g, ps_det, batch, false);
+
+        // per-frame attack losses
+        let mut frame_losses: Vec<VarId> = Vec::new();
+        for (cc, fc) in &frame_cells {
+            let total = (cc.len() + fc.len()).max(1) as f32;
+            let mut lf: Option<VarId> = None;
+            if !cc.is_empty() {
+                let l = targeted_class_loss(
+                    &mut g,
+                    outs.coarse,
+                    cc,
+                    num_classes,
+                    cfg.target_class.index(),
+                    cfg.obj_weight,
+                );
+                let l = g.scale(l, cc.len() as f32 / total);
+                lf = Some(l);
+            }
+            if !fc.is_empty() {
+                let l = targeted_class_loss(
+                    &mut g,
+                    outs.fine,
+                    fc,
+                    num_classes,
+                    cfg.target_class.index(),
+                    cfg.obj_weight,
+                );
+                let l = g.scale(l, fc.len() as f32 / total);
+                lf = Some(match lf {
+                    Some(prev) => g.add(prev, l),
+                    None => l,
+                });
+            }
+            if let Some(l) = lf {
+                frame_losses.push(l);
+            }
+        }
+
+        let loss = if frame_losses.is_empty() {
+            attack_hist.push(f32::NAN);
+            g.scale(l_adv, cfg.gan_weight)
+        } else {
+            // mean over frames...
+            let mut mean = frame_losses[0];
+            for &l in &frame_losses[1..] {
+                mean = g.add(mean, l);
+            }
+            let mean = g.scale(mean, 1.0 / frame_losses.len() as f32);
+            // ...plus, in consecutive-frame mode, a quadratic term that
+            // penalizes a clip's worst frames: averages hide single bad
+            // frames, but one bad frame breaks the AV's confirmation run.
+            let lf_node = if cfg.consecutive_frames > 1 {
+                let mut sq = {
+                    let l = frame_losses[0];
+                    g.mul(l, l)
+                };
+                for &l in &frame_losses[1..] {
+                    let l2 = g.mul(l, l);
+                    sq = g.add(sq, l2);
+                }
+                let sq = g.scale(sq, 0.5 / frame_losses.len() as f32);
+                g.add(mean, sq)
+            } else {
+                mean
+            };
+            attack_hist.push(g.value(mean).data()[0]);
+            let a = g.scale(l_adv, cfg.gan_weight);
+            let b = g.scale(lf_node, cfg.alpha);
+            g.add(a, b)
+        };
+        adv_hist.push(g.value(l_adv).data()[0]);
+        let grads = g.backward(loss);
+        g.write_grads(&grads, &mut ps_g);
+        ps_g.clip_grad_norm(10.0);
+        opt_g.step(&mut ps_g);
+    }
+
+    // Candidate decals: the annealed latent plus a few fresh samples; the
+    // paper's protocol verifies digital-world success before printing, so
+    // pick the candidate with the highest digital flip rate.
+    let mut candidates: Vec<Tensor> = vec![z_star];
+    for _ in 0..5 {
+        candidates.push(Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0));
+    }
+    let val_poses: Vec<CameraPose> = (0..8)
+        .map(|i| CameraPose::at_distance(1.4 + 0.4 * i as f32))
+        .collect();
+    let mut best: Option<(usize, Plane)> = None;
+    for z_t in candidates {
+        let mut g = Graph::new();
+        let z = g.input(z_t);
+        let patch = gen.forward(&mut g, &mut ps_g, z, false);
+        let plane = Plane::from_vec(g.value(patch).data().to_vec(), canvas, canvas);
+        let decal = Decal::mono(&plane, silhouette.clone(), cfg.shape);
+        let flips = digital_flip_rate(
+            scenario,
+            &decal,
+            detector,
+            ps_det,
+            cfg.target_class,
+            &val_poses,
+        );
+        if best.as_ref().map(|(b, _)| flips > *b).unwrap_or(true) {
+            best = Some((flips, plane));
+        }
+    }
+    let (_, plane) = best.expect("at least one candidate");
+    TrainedDecal {
+        decal: Decal::mono(&plane, silhouette, cfg.shape),
+        attack_loss: attack_hist,
+        adv_loss: adv_hist,
+    }
+}
+
+/// Number of validation poses on which the decal flips the victim to the
+/// target class (the paper's "ensure APs can successfully misclassify in
+/// the digital world" step).
+fn digital_flip_rate(
+    scenario: &AttackScenario,
+    decal: &Decal,
+    detector: &TinyYolo,
+    ps_det: &mut ParamSet,
+    target: ObjectClass,
+    poses: &[CameraPose],
+) -> usize {
+    let decals = deploy(decal, scenario);
+    let mut frames = Vec::with_capacity(poses.len());
+    let mut victims = Vec::with_capacity(poses.len());
+    for pose in poses {
+        let mut frame = scenario.rig.render_frame(scenario.world.canvas(), pose);
+        for (i, d) in decals.iter().enumerate() {
+            let map = scenario.decal_map(i, pose, None);
+            let plane = Plane::from_vec(d.channel_data().to_vec(), d.canvas(), d.canvas());
+            rd_vision::compose::paste_plane_map(&mut frame, &plane, d.mask(), &map);
+        }
+        frames.push(frame);
+        victims.push(scenario.victim_box(pose));
+    }
+    let dets = rd_detector::detect(detector, ps_det, &frames, 0.35);
+    dets.iter()
+        .zip(&victims)
+        .filter(|(dlist, vb)| {
+            let Some(vb) = vb else { return false };
+            dlist
+                .iter()
+                .filter(|d| d.iou(vb) > 0.1)
+                .max_by(|a, b| a.confidence().total_cmp(&b.confidence()))
+                .map(|d| d.class == target)
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Clones one trained decal design into the `N` physical copies deployed
+/// at the scenario's decal sites.
+pub fn deploy(decal: &Decal, scenario: &AttackScenario) -> Vec<Decal> {
+    vec![decal.clone(); scenario.decal_placements.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_scene::CameraRig;
+
+    #[test]
+    fn config_arithmetic() {
+        let cfg = AttackConfig::paper();
+        assert_eq!(cfg.batch_frames(), 18);
+        let solo = cfg.without_consecutive_frames();
+        assert_eq!(solo.consecutive_frames, 1);
+        assert_eq!(solo.batch_frames(), 18);
+    }
+
+    #[test]
+    fn clip_poses_are_consecutive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let poses = sample_clip_poses(&mut rng, 3, 18.0);
+        assert_eq!(poses.len(), 3);
+        assert!(poses[1].z_near < poses[0].z_near);
+        assert!(poses[2].z_near < poses[1].z_near);
+    }
+
+    #[test]
+    fn smoke_attack_produces_a_decal_and_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps_det = ParamSet::new();
+        let detector = TinyYolo::new(&mut ps_det, &mut rng, rd_detector::YoloConfig::smoke());
+        let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 2, 60, 16, 5);
+        let cfg = AttackConfig {
+            steps: 3,
+            clips_per_batch: 1,
+            ..AttackConfig::smoke()
+        };
+        let out = train_decal_attack(&scenario, &detector, &mut ps_det, &cfg);
+        assert_eq!(out.decal.canvas(), 16);
+        assert_eq!(out.attack_loss.len(), 3);
+        assert!(out.attack_loss.iter().all(|l| l.is_finite()));
+        assert!(out.adv_loss.iter().all(|l| l.is_finite()));
+        // the decal is monochrome by construction
+        assert_eq!(out.decal.num_channels(), 1);
+        assert_eq!(out.decal.masked_chroma(), 0.0);
+    }
+
+    #[test]
+    fn deploy_replicates_per_site() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = &mut rng;
+        let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 6, 60, 16, 5);
+        let plane = Plane::new(16, 16, 0.1);
+        let d = Decal::mono(&plane, mask(Shape::Star, 16), Shape::Star);
+        assert_eq!(deploy(&d, &scenario).len(), 6);
+    }
+}

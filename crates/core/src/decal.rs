@@ -1,0 +1,212 @@
+//! The physical artifact produced by an attack: a printable decal (or set
+//! of identical decals) plus its shape mask.
+
+use rand::Rng;
+
+use rd_scene::PrintModel;
+use rd_tensor::Tensor;
+use rd_vision::shapes::Shape;
+use rd_vision::Plane;
+
+/// A finished decal design: what the attacker sends to the printer.
+///
+/// Monochrome decals carry one intensity plane; the colored baseline
+/// carries three. The `mask` is the cut silhouette.
+#[derive(Debug, Clone)]
+pub struct Decal {
+    /// One (monochrome) or three (RGB) planar channels, each
+    /// `canvas x canvas`.
+    channels: Vec<f32>,
+    /// Number of channels (1 or 3).
+    n_channels: usize,
+    /// Canvas side length.
+    canvas: usize,
+    /// The cut silhouette.
+    mask: Plane,
+    /// The silhouette's shape.
+    shape: Shape,
+}
+
+impl Decal {
+    /// A monochrome decal from an intensity plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` and `mask` sizes differ or are not square.
+    pub fn mono(intensity: &Plane, mask: Plane, shape: Shape) -> Self {
+        assert_eq!(intensity.height(), intensity.width(), "canvas must be square");
+        assert_eq!(intensity.height(), mask.height());
+        assert_eq!(intensity.width(), mask.width());
+        Decal {
+            channels: intensity.data().to_vec(),
+            n_channels: 1,
+            canvas: intensity.height(),
+            mask,
+            shape,
+        }
+    }
+
+    /// A colored decal from a `[3, s, s]` tensor (the baseline's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `[3, s, s]` with `s` matching `mask`.
+    pub fn rgb(patch: &Tensor, mask: Plane, shape: Shape) -> Self {
+        assert_eq!(patch.shape().len(), 3);
+        assert_eq!(patch.shape()[0], 3, "expected RGB patch");
+        let s = patch.shape()[1];
+        assert_eq!(patch.shape()[2], s, "canvas must be square");
+        assert_eq!(mask.height(), s);
+        Decal {
+            channels: patch.data().to_vec(),
+            n_channels: 3,
+            canvas: s,
+            mask,
+            shape,
+        }
+    }
+
+    /// Canvas side length in pixels.
+    pub fn canvas(&self) -> usize {
+        self.canvas
+    }
+
+    /// 1 for monochrome decals, 3 for colored ones.
+    pub fn num_channels(&self) -> usize {
+        self.n_channels
+    }
+
+    /// The silhouette mask.
+    pub fn mask(&self) -> &Plane {
+        &self.mask
+    }
+
+    /// The silhouette's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Raw channel buffer (`n_channels * canvas * canvas`).
+    pub fn channel_data(&self) -> &[f32] {
+        &self.channels
+    }
+
+    /// The intensity plane of a monochrome decal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on colored decals.
+    pub fn intensity(&self) -> Plane {
+        assert_eq!(self.n_channels, 1, "intensity() needs a monochrome decal");
+        Plane::from_vec(self.channels.clone(), self.canvas, self.canvas)
+    }
+
+    /// Mean intensity inside the mask (a stealth proxy: road decals should
+    /// be dark or light paint, not mid-gray noise).
+    pub fn masked_mean(&self) -> f32 {
+        let hw = self.canvas * self.canvas;
+        let mut sum = 0.0f32;
+        let mut wsum = 0.0f32;
+        for i in 0..hw {
+            let m = self.mask.data()[i];
+            let v = if self.n_channels == 1 {
+                self.channels[i]
+            } else {
+                (self.channels[i] + self.channels[hw + i] + self.channels[2 * hw + i]) / 3.0
+            };
+            sum += v * m;
+            wsum += m;
+        }
+        if wsum > 0.0 {
+            sum / wsum
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean chroma (distance of channels from their mean) inside the
+    /// mask — zero for monochrome decals by construction.
+    pub fn masked_chroma(&self) -> f32 {
+        if self.n_channels == 1 {
+            return 0.0;
+        }
+        let hw = self.canvas * self.canvas;
+        let mut sum = 0.0f32;
+        let mut wsum = 0.0f32;
+        for i in 0..hw {
+            let m = self.mask.data()[i];
+            let (r, g, b) = (self.channels[i], self.channels[hw + i], self.channels[2 * hw + i]);
+            let mean = (r + g + b) / 3.0;
+            sum += m * ((r - mean).abs() + (g - mean).abs() + (b - mean).abs()) / 3.0;
+            wsum += m;
+        }
+        if wsum > 0.0 {
+            sum / wsum
+        } else {
+            0.0
+        }
+    }
+
+    /// Sends the decal through a printer model, producing the physical
+    /// artifact actually deployed on the road.
+    pub fn print<R: Rng>(&self, printer: &PrintModel, rng: &mut R) -> Decal {
+        let t = Tensor::from_vec(
+            self.channels.clone(),
+            &[self.n_channels, self.canvas, self.canvas],
+        );
+        let printed = printer.print(&t, rng);
+        Decal {
+            channels: printed.into_vec(),
+            n_channels: self.n_channels,
+            canvas: self.canvas,
+            mask: self.mask.clone(),
+            shape: self.shape,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rd_vision::shapes::mask;
+
+    #[test]
+    fn mono_roundtrip() {
+        let m = mask(Shape::Star, 8);
+        let d = Decal::mono(&Plane::new(8, 8, 0.1), m, Shape::Star);
+        assert_eq!(d.num_channels(), 1);
+        assert_eq!(d.canvas(), 8);
+        assert!((d.intensity().get(4, 4) - 0.1).abs() < 1e-6);
+        assert_eq!(d.masked_chroma(), 0.0);
+        assert!((d.masked_mean() - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rgb_chroma_positive_for_saturated_patch() {
+        let mut t = Tensor::zeros(&[3, 8, 8]);
+        for i in 0..64 {
+            t.data_mut()[i] = 1.0; // pure red
+        }
+        let d = Decal::rgb(&t, mask(Shape::Square, 8), Shape::Square);
+        assert_eq!(d.num_channels(), 3);
+        assert!(d.masked_chroma() > 0.3);
+    }
+
+    #[test]
+    fn printing_monochrome_is_gentle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mask(Shape::Circle, 8);
+        let d = Decal::mono(&Plane::new(8, 8, 0.15), m, Shape::Circle);
+        let printed = d.print(&PrintModel::realistic(), &mut rng);
+        let diff: f32 = d
+            .channel_data()
+            .iter()
+            .zip(printed.channel_data())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / 64.0;
+        assert!(diff < 0.08, "mono print error too large: {diff}");
+    }
+}

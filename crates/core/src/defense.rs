@@ -1,0 +1,160 @@
+//! Candidate defenses against road-decal attacks (the paper's future-work
+//! direction), expressed as evaluation-time configuration transforms so
+//! any challenge can be re-scored "with defense X on".
+//!
+//! Three cheap, deployable mechanisms are modelled:
+//!
+//! * [`Defense::Smoothing`] — extra camera-side blur (input smoothing, a
+//!   classic gradient-masking defense);
+//! * [`Defense::ConfidenceGate`] — raising the detector's objectness
+//!   threshold;
+//! * [`Defense::LongerConfirmation`] — requiring more consecutive frames
+//!   before the AV acts (strengthening the very mechanism the paper's
+//!   attack is built to defeat).
+//!
+//! Each has a *utility cost*: smoothing and gating also degrade true
+//! detections. [`evaluate_defense`] therefore reports both the attack's
+//! PWC under the defense and the clean victim-visibility that remains.
+
+use rd_detector::TinyYolo;
+use rd_scene::{CaptureModel, ObjectClass};
+use rd_tensor::ParamSet;
+
+use crate::decal::Decal;
+use crate::eval::{evaluate_challenge, Challenge, EvalConfig};
+use crate::metrics::Cell;
+use crate::scenario::AttackScenario;
+
+/// A deployable defense configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Defense {
+    /// Additional constant blur radius (px) applied by the camera stack.
+    Smoothing(f32),
+    /// Objectness threshold override (default deployment uses ~0.35).
+    ConfidenceGate(f32),
+    /// Consecutive-frame window the AV requires before acting.
+    LongerConfirmation(usize),
+}
+
+impl Defense {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Defense::Smoothing(r) => format!("smoothing(+{r:.0}px)"),
+            Defense::ConfidenceGate(t) => format!("gate(thr={t:.2})"),
+            Defense::LongerConfirmation(m) => format!("confirm(M={m})"),
+        }
+    }
+
+    /// Applies the defense to an evaluation configuration.
+    pub fn apply(&self, base: &EvalConfig) -> EvalConfig {
+        match *self {
+            Defense::Smoothing(extra) => {
+                let mut channel = base.channel;
+                channel.capture = CaptureModel {
+                    blur_base: channel.capture.blur_base + extra,
+                    ..channel.capture
+                };
+                EvalConfig { channel, ..*base }
+            }
+            Defense::ConfidenceGate(thr) => EvalConfig {
+                conf_threshold: thr,
+                ..*base
+            },
+            // the confirmation window is consumed by the CWC scorer, not
+            // the rendering pipeline; PWC is unaffected by construction
+            Defense::LongerConfirmation(_) => *base,
+        }
+    }
+
+    /// The confirmation window this defense implies (None = default).
+    pub fn confirm_window(&self) -> Option<usize> {
+        match self {
+            Defense::LongerConfirmation(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of evaluating one defense against a deployed decal set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseOutcome {
+    /// Attack success under the defense.
+    pub attacked: Cell,
+    /// How often the (un-attacked) victim is still detected at all — the
+    /// defense's utility cost.
+    pub clean_visibility: f32,
+}
+
+/// Evaluates a defense: attack PWC/CWC under it, plus the remaining
+/// clean-scene victim visibility.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_defense(
+    scenario: &AttackScenario,
+    decals: &[Decal],
+    detector: &TinyYolo,
+    ps: &mut ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    base: &EvalConfig,
+    defense: Defense,
+) -> DefenseOutcome {
+    let cfg = defense.apply(base);
+    let attacked = evaluate_challenge(scenario, decals, detector, ps, target, challenge, &cfg);
+    let clean = evaluate_challenge(scenario, &[], detector, ps, target, challenge, &cfg);
+    let mut cell = attacked.cell;
+    if let Some(m) = defense.confirm_window() {
+        // re-derive CWC under the longer window: PWC · frames gives the
+        // best-case run length; a conservative post-hoc bound
+        let frames = attacked.frames_per_run as f32;
+        cell.cwc = cell.cwc && (cell.pwc * frames >= m as f32);
+    }
+    DefenseOutcome {
+        attacked: cell,
+        clean_visibility: clean.victim_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_scene::PhysicalChannel;
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(Defense::Smoothing(2.0).label(), "smoothing(+2px)");
+        assert_eq!(Defense::ConfidenceGate(0.5).label(), "gate(thr=0.50)");
+        assert_eq!(Defense::LongerConfirmation(5).label(), "confirm(M=5)");
+    }
+
+    #[test]
+    fn smoothing_increases_blur_base() {
+        let base = EvalConfig {
+            channel: PhysicalChannel::digital(),
+            ..EvalConfig::smoke(1)
+        };
+        let cfg = Defense::Smoothing(3.0).apply(&base);
+        assert!(
+            (cfg.channel.capture.blur_base - base.channel.capture.blur_base - 3.0).abs() < 1e-6
+        );
+        // everything else untouched
+        assert_eq!(cfg.conf_threshold, base.conf_threshold);
+    }
+
+    #[test]
+    fn gate_overrides_threshold_only() {
+        let base = EvalConfig::smoke(1);
+        let cfg = Defense::ConfidenceGate(0.7).apply(&base);
+        assert_eq!(cfg.conf_threshold, 0.7);
+        assert_eq!(cfg.channel, base.channel);
+    }
+
+    #[test]
+    fn confirmation_defense_keeps_pipeline_unchanged() {
+        let base = EvalConfig::smoke(1);
+        let cfg = Defense::LongerConfirmation(7).apply(&base);
+        assert_eq!(cfg.conf_threshold, base.conf_threshold);
+        assert_eq!(Defense::LongerConfirmation(7).confirm_window(), Some(7));
+        assert_eq!(Defense::Smoothing(1.0).confirm_window(), None);
+    }
+}

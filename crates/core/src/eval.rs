@@ -1,0 +1,336 @@
+//! Challenge evaluation: drive (or shake) the camera, film the decals,
+//! run the detector per frame, and score PWC / CWC.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rd_detector::{detect, has_consecutive, Detection, TinyYolo};
+use rd_scene::{
+    approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, ObjectClass,
+    PhysicalChannel, RotationSetting, Speed,
+};
+use rd_tensor::ParamSet;
+use rd_vision::compose::{paste_plane_map, paste_rgb_map};
+use rd_vision::{Image, Plane};
+
+use crate::decal::Decal;
+use crate::metrics::Cell;
+use crate::scenario::AttackScenario;
+
+/// Number of consecutive frames an AV needs before acting (the paper's
+/// CWC window).
+pub const CONFIRM_WINDOW: usize = 3;
+
+/// The three challenge axes of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Challenge {
+    /// Stationary camera, optional hand-shake.
+    Rotation(RotationSetting),
+    /// Drive-by at a given speed (centred).
+    Speed(Speed),
+    /// Drive-by at slow speed with a lateral angle.
+    Angle(AngleSetting),
+}
+
+impl Challenge {
+    /// The eight columns of the paper's Tables I/II, in order.
+    pub fn table_columns() -> Vec<Challenge> {
+        let mut v = Vec::new();
+        for r in RotationSetting::ALL {
+            v.push(Challenge::Rotation(r));
+        }
+        for s in Speed::ALL {
+            v.push(Challenge::Speed(s));
+        }
+        for a in AngleSetting::ALL {
+            v.push(Challenge::Angle(a));
+        }
+        v
+    }
+
+    /// The six speed+angle columns of the ablation tables (III–VI).
+    pub fn ablation_columns() -> Vec<Challenge> {
+        let mut v = Vec::new();
+        for s in Speed::ALL {
+            v.push(Challenge::Speed(s));
+        }
+        for a in AngleSetting::ALL {
+            v.push(Challenge::Angle(a));
+        }
+        v
+    }
+
+    /// Column header text.
+    pub fn label(&self) -> String {
+        match self {
+            Challenge::Rotation(r) => r.to_string(),
+            Challenge::Speed(s) => s.to_string(),
+            Challenge::Angle(a) => format!("{a} deg"),
+        }
+    }
+
+    /// The camera motion per frame in m (drives motion blur).
+    fn motion_m_per_frame(&self, fps: f32) -> f32 {
+        match self {
+            Challenge::Rotation(_) => 0.0,
+            Challenge::Speed(s) => s.m_per_frame(fps),
+            Challenge::Angle(_) => Speed::Slow.m_per_frame(fps),
+        }
+    }
+
+    /// Generates the pose sequence for one evaluation run.
+    pub fn poses<R: Rng>(&self, cfg: &EvalConfig, rng: &mut R) -> Vec<CameraPose> {
+        match self {
+            Challenge::Rotation(r) => rotation_poses(2.2, cfg.rotation_frames, *r, rng),
+            Challenge::Speed(s) => approach_poses(
+                &ApproachConfig {
+                    speed: *s,
+                    angle: AngleSetting::Center,
+                    start_z: cfg.start_z,
+                    end_z: cfg.end_z,
+                    fps: cfg.fps,
+                    max_frames: 200,
+                },
+                rng,
+            ),
+            Challenge::Angle(a) => approach_poses(
+                &ApproachConfig {
+                    speed: Speed::Slow,
+                    angle: *a,
+                    start_z: cfg.start_z,
+                    end_z: cfg.end_z,
+                    fps: cfg.fps,
+                    max_frames: 200,
+                },
+                rng,
+            ),
+        }
+    }
+}
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalConfig {
+    /// Frames per rotation-challenge video.
+    pub rotation_frames: usize,
+    /// Approach start distance (m).
+    pub start_z: f32,
+    /// Approach end distance (m).
+    pub end_z: f32,
+    /// Capture frame rate.
+    pub fps: f32,
+    /// Independent runs averaged per cell (the paper uses 3).
+    pub runs: usize,
+    /// The digital→physical→digital channel.
+    pub channel: PhysicalChannel,
+    /// Detector objectness threshold.
+    pub conf_threshold: f32,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// Real-world parking-lot evaluation (Table I conditions).
+    pub fn real_world(seed: u64) -> Self {
+        EvalConfig {
+            rotation_frames: 24,
+            start_z: 3.4,
+            end_z: 1.0,
+            fps: 18.0,
+            runs: 3,
+            channel: PhysicalChannel::real_world(),
+            conf_threshold: 0.35,
+            seed,
+        }
+    }
+
+    /// Indoor simulated-environment evaluation (Table II conditions).
+    pub fn simulated(seed: u64) -> Self {
+        EvalConfig {
+            channel: PhysicalChannel::simulated(),
+            ..Self::real_world(seed)
+        }
+    }
+
+    /// Pure digital evaluation.
+    pub fn digital(seed: u64) -> Self {
+        EvalConfig {
+            channel: PhysicalChannel::digital(),
+            ..Self::real_world(seed)
+        }
+    }
+
+    /// A fast variant for tests.
+    pub fn smoke(seed: u64) -> Self {
+        EvalConfig {
+            rotation_frames: 8,
+            start_z: 4.5,
+            end_z: 2.0,
+            fps: 8.0,
+            runs: 1,
+            channel: PhysicalChannel::digital(),
+            conf_threshold: 0.35,
+            seed,
+        }
+    }
+}
+
+/// Outcome of evaluating one challenge cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChallengeOutcome {
+    /// Averaged PWC / majority CWC.
+    pub cell: Cell,
+    /// Frames per run (diagnostic).
+    pub frames_per_run: usize,
+    /// Fraction of frames where the victim was detected at all.
+    pub victim_detected: f32,
+}
+
+/// Renders one physical frame: world → camera → decals → capture channel.
+#[allow(clippy::too_many_arguments)]
+pub fn render_attacked_frame(
+    scenario: &AttackScenario,
+    printed: &[Decal],
+    pose: &CameraPose,
+    cfg: &EvalConfig,
+    motion: f32,
+    rng: &mut StdRng,
+) -> Image {
+    let mut frame = scenario.rig.render_frame(scenario.world.canvas(), pose);
+    for (i, d) in printed.iter().enumerate() {
+        let map = scenario.decal_map(i, pose, None);
+        match d.num_channels() {
+            1 => {
+                let plane = Plane::from_vec(
+                    d.channel_data().to_vec(),
+                    d.canvas(),
+                    d.canvas(),
+                );
+                paste_plane_map(&mut frame, &plane, d.mask(), &map);
+            }
+            _ => paste_rgb_map(&mut frame, d.channel_data(), d.mask(), &map),
+        }
+    }
+    cfg.channel.capture.apply(&mut frame, motion, rng);
+    frame
+}
+
+/// Per-frame classification of the victim: the highest-confidence
+/// detection overlapping the victim's true box.
+fn classify_victim(dets: &[Detection], victim: &rd_scene::GtBox) -> Option<ObjectClass> {
+    dets.iter()
+        .filter(|d| d.iou(victim) > 0.1)
+        .max_by(|a, b| a.confidence().total_cmp(&b.confidence()))
+        .map(|d| d.class)
+}
+
+/// Evaluates a decal set under one challenge. `decals` may be empty (the
+/// "w/o attack" row).
+pub fn evaluate_challenge(
+    scenario: &AttackScenario,
+    decals: &[Decal],
+    model: &TinyYolo,
+    ps: &mut ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    cfg: &EvalConfig,
+) -> ChallengeOutcome {
+    let mut cells = Vec::with_capacity(cfg.runs);
+    let mut frames_per_run = 0;
+    let mut victim_seen = 0usize;
+    let mut total_frames = 0usize;
+    for run in 0..cfg.runs {
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        // each run prints fresh physical decals (per-print variation)
+        let printed: Vec<Decal> = decals
+            .iter()
+            .map(|d| d.print(&cfg.channel.print, &mut rng))
+            .collect();
+        let poses = challenge.poses(cfg, &mut rng);
+        frames_per_run = poses.len();
+        let motion = challenge.motion_m_per_frame(cfg.fps);
+        let mut history: Vec<Option<ObjectClass>> = Vec::with_capacity(poses.len());
+        // render all frames, then run the detector in batches
+        let mut frames = Vec::with_capacity(poses.len());
+        let mut victims = Vec::with_capacity(poses.len());
+        for pose in &poses {
+            frames.push(render_attacked_frame(
+                scenario, &printed, pose, cfg, motion, &mut rng,
+            ));
+            victims.push(scenario.victim_box(pose));
+        }
+        for (chunk, vchunk) in frames.chunks(16).zip(victims.chunks(16)) {
+            let dets = detect(model, ps, chunk, cfg.conf_threshold);
+            for (dlist, victim) in dets.iter().zip(vchunk) {
+                total_frames += 1;
+                let class = victim.as_ref().and_then(|v| classify_victim(dlist, v));
+                if class.is_some() {
+                    victim_seen += 1;
+                }
+                history.push(class);
+            }
+        }
+        let hits = history.iter().filter(|&&c| c == Some(target)).count();
+        cells.push(Cell {
+            pwc: hits as f32 / history.len().max(1) as f32,
+            cwc: has_consecutive(&history, target, CONFIRM_WINDOW),
+        });
+    }
+    ChallengeOutcome {
+        cell: Cell::average(&cells),
+        frames_per_run,
+        victim_detected: victim_seen as f32 / total_frames.max(1) as f32,
+    }
+}
+
+/// Evaluates the clean scene ("w/o attack" rows): same pipeline, no
+/// decals.
+pub fn evaluate_clean(
+    scenario: &AttackScenario,
+    model: &TinyYolo,
+    ps: &mut ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    cfg: &EvalConfig,
+) -> ChallengeOutcome {
+    evaluate_challenge(scenario, &[], model, ps, target, challenge, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_columns_are_eight() {
+        let c = Challenge::table_columns();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c[0].label(), "fix");
+        assert_eq!(c[2].label(), "slow");
+        assert_eq!(c[5].label(), "-15 deg");
+    }
+
+    #[test]
+    fn ablation_columns_are_six() {
+        assert_eq!(Challenge::ablation_columns().len(), 6);
+    }
+
+    #[test]
+    fn pose_counts_reflect_speed() {
+        let cfg = EvalConfig::real_world(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let slow = Challenge::Speed(Speed::Slow).poses(&cfg, &mut rng).len();
+        let fast = Challenge::Speed(Speed::Fast).poses(&cfg, &mut rng).len();
+        assert!(slow > fast);
+        assert!(fast >= CONFIRM_WINDOW, "fast runs must allow a CWC window");
+    }
+
+    #[test]
+    fn rotation_poses_have_fixed_count() {
+        let cfg = EvalConfig::real_world(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Challenge::Rotation(RotationSetting::Fix).poses(&cfg, &mut rng);
+        assert_eq!(p.len(), cfg.rotation_frames);
+    }
+}

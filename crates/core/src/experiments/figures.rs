@@ -1,0 +1,218 @@
+//! Reproduction of the paper's figures as PPM images.
+//!
+//! | id | paper content | our render |
+//! |----|----------------|------------|
+//! | 2  | a training batch: consecutive frames with N decals at differing angles | 3-frame strip |
+//! | 3  | the −15°/0°/+15° camera geometry | 3-view strip |
+//! | 4  | digital vs simulated attack frames (N=4) with detections | 2-frame strip |
+//! | 5  | digital vs real-world attack frames (N=6) with detections | 2-frame strip |
+//! | 6  | decal layouts for N ∈ {2,4,6,8} | 4-frame strip |
+//! | 7  | the four physical decal shapes | 4-canvas strip |
+//! | 8  | decal sizes k ∈ {20,40,60,80} | 4-frame strip |
+
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rd_detector::detect;
+use rd_scene::{AngleSetting, CameraPose, Speed};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::{Image, Plane};
+
+use crate::annotate::draw_detections;
+use crate::attack::{deploy, train_decal_attack, AttackConfig};
+use crate::decal::Decal;
+use crate::eval::{render_attacked_frame, EvalConfig};
+use crate::scenario::AttackScenario;
+
+use super::scale::Environment;
+
+fn save(img: &Image, dir: &Path, name: &str, written: &mut Vec<PathBuf>) {
+    let path = dir.join(name);
+    img.save_ppm(&path).expect("write figure PPM");
+    written.push(path);
+}
+
+/// Upscales an image by an integer factor (nearest) so small canvases are
+/// visible in the figure files.
+fn upscale(img: &Image, f: usize) -> Image {
+    let mut out = Image::new(img.height() * f, img.width() * f, rd_vision::Rgb::BLACK);
+    for y in 0..out.height() {
+        for x in 0..out.width() {
+            out.set(y, x, img.get(y / f, x / f));
+        }
+    }
+    out
+}
+
+fn decal_preview(decal: &Decal) -> Image {
+    let c = decal.canvas();
+    let mut img = Image::new(c, c, rd_vision::Rgb::gray(0.3));
+    let hw = c * c;
+    for y in 0..c {
+        for x in 0..c {
+            let i = y * c + x;
+            let a = decal.mask().data()[i];
+            let v = decal.channel_data()[i];
+            let (r, g, b) = if decal.num_channels() == 3 {
+                (
+                    decal.channel_data()[i],
+                    decal.channel_data()[hw + i],
+                    decal.channel_data()[2 * hw + i],
+                )
+            } else {
+                (v, v, v)
+            };
+            let cur = img.get(y, x);
+            img.set(
+                y,
+                x,
+                rd_vision::Rgb(
+                    cur.0 * (1.0 - a) + r * a,
+                    cur.1 * (1.0 - a) + g * a,
+                    cur.2 * (1.0 - a) + b * a,
+                ),
+            );
+        }
+    }
+    img
+}
+
+/// Generates every figure into `out_dir`, returning the written paths.
+/// Trains one N=4 attack (figures 2/4/6/8 reuse it) and one N=6 attack
+/// (figure 5).
+pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) -> Vec<PathBuf> {
+    let dir = out_dir.as_ref();
+    std::fs::create_dir_all(dir).expect("create figure dir");
+    let mut written = Vec::new();
+    let scale = env.scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let cfg = AttackConfig {
+        steps: scale.attack_steps(),
+        seed,
+        ..AttackConfig::paper()
+    };
+    let scenario4 = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
+    let trained = train_decal_attack(&scenario4, &env.detector, &mut env.params, &cfg);
+    let decals4 = deploy(&trained.decal, &scenario4);
+
+    let digital = EvalConfig::digital(seed);
+    let simulated = EvalConfig::simulated(seed);
+    let real = EvalConfig::real_world(seed);
+
+    // --- Fig 2: a 3-frame training clip with decals ---
+    let fps = 18.0;
+    let step = Speed::Normal.m_per_frame(fps);
+    let frames: Vec<Image> = (0..3)
+        .map(|i| {
+            let pose = CameraPose::at_distance(3.2 - step * i as f32);
+            render_attacked_frame(&scenario4, &decals4, &pose, &digital, 0.0, &mut rng)
+        })
+        .collect();
+    save(&Image::hstack(&frames), dir, "fig2_training_batch.ppm", &mut written);
+
+    // --- Fig 3: the angle geometry ---
+    let frames: Vec<Image> = AngleSetting::ALL
+        .iter()
+        .map(|a| {
+            let mut pose = CameraPose::at_distance(3.0);
+            pose.yaw = a.yaw();
+            env.scale
+                .rig()
+                .render_frame(scenario4.world.canvas(), &pose)
+        })
+        .collect();
+    save(&Image::hstack(&frames), dir, "fig3_angles.ppm", &mut written);
+
+    // --- Fig 4: digital vs simulated frames with detections (N=4) ---
+    let mut fig4 = Vec::new();
+    for ecfg in [&digital, &simulated] {
+        let pose = CameraPose::at_distance(2.6);
+        let mut frame =
+            render_attacked_frame(&scenario4, &decals4, &pose, ecfg, 0.1, &mut rng);
+        let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+        draw_detections(&mut frame, &dets[0]);
+        fig4.push(frame);
+    }
+    save(&Image::hstack(&fig4), dir, "fig4_digital_vs_simulated.ppm", &mut written);
+
+    // --- Fig 5: digital vs real-world frames with detections (N=6) ---
+    let scenario6 = AttackScenario::parking_lot(scale.rig(), 6, 60, 16, seed);
+    let trained6 = train_decal_attack(&scenario6, &env.detector, &mut env.params, &cfg);
+    let decals6 = deploy(&trained6.decal, &scenario6);
+    let mut fig5 = Vec::new();
+    for ecfg in [&digital, &real] {
+        let pose = CameraPose::at_distance(2.6);
+        let mut frame =
+            render_attacked_frame(&scenario6, &decals6, &pose, ecfg, 0.3, &mut rng);
+        let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+        draw_detections(&mut frame, &dets[0]);
+        fig5.push(frame);
+    }
+    save(&Image::hstack(&fig5), dir, "fig5_digital_vs_real.ppm", &mut written);
+
+    // --- Fig 6: layouts for N in {2,4,6,8} ---
+    let frames: Vec<Image> = [2usize, 4, 6, 8]
+        .into_iter()
+        .map(|n| {
+            let s = AttackScenario::parking_lot(scale.rig(), n, 60, 16, seed);
+            let d = deploy(&trained.decal, &s);
+            render_attacked_frame(&s, &d, &CameraPose::at_distance(2.6), &digital, 0.0, &mut rng)
+        })
+        .collect();
+    save(&Image::hstack(&frames), dir, "fig6_decal_counts.ppm", &mut written);
+
+    // --- Fig 7: the four decal shapes as physical artifacts ---
+    let canvases: Vec<Image> = Shape::ALL
+        .iter()
+        .map(|&shape| {
+            let m = mask(shape, 16);
+            let d = Decal::mono(&Plane::new(16, 16, trained.decal.masked_mean()), m, shape);
+            upscale(&decal_preview(&d), 4)
+        })
+        .collect();
+    save(&Image::hstack(&canvases), dir, "fig7_shapes.ppm", &mut written);
+
+    // --- Fig 8: decal sizes k in {20,40,60,80} ---
+    let frames: Vec<Image> = [20usize, 40, 60, 80]
+        .into_iter()
+        .map(|k| {
+            let s = AttackScenario::parking_lot(scale.rig(), 4, k, 16, seed);
+            let d = deploy(&trained.decal, &s);
+            render_attacked_frame(&s, &d, &CameraPose::at_distance(2.6), &digital, 0.0, &mut rng)
+        })
+        .collect();
+    save(&Image::hstack(&frames), dir, "fig8_decal_sizes.ppm", &mut written);
+
+    written
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{prepare_environment, Scale};
+
+    #[test]
+    fn figures_are_written_at_smoke_scale() {
+        let mut env = prepare_environment(Scale::Smoke, 11);
+        let dir = std::env::temp_dir().join("rd_fig_test");
+        let written = run_figures(&mut env, 11, &dir);
+        assert_eq!(written.len(), 7);
+        for p in &written {
+            let meta = std::fs::metadata(p).expect("figure exists");
+            assert!(meta.len() > 100, "{p:?} suspiciously small");
+        }
+    }
+
+    #[test]
+    fn decal_preview_respects_mask() {
+        let m = mask(Shape::Circle, 8);
+        let d = Decal::mono(&Plane::new(8, 8, 0.05), m, Shape::Circle);
+        let img = decal_preview(&d);
+        // centre shows the dark decal, corner shows the road gray
+        assert!(img.get(4, 4).0 < 0.1);
+        assert!((img.get(0, 0).0 - 0.3).abs() < 0.05);
+    }
+}

@@ -1,0 +1,13 @@
+//! One entry point per paper table and figure.
+//!
+//! The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records the
+//! paper-vs-measured outcomes produced by the `repro_*` binaries in the
+//! `rd-bench` crate, which call straight into these functions.
+
+mod figures;
+mod scale;
+mod tables;
+
+pub use figures::run_figures;
+pub use scale::{prepare_environment, Environment, Scale};
+pub use tables::{run_table1, run_table2, run_table3, run_table4, run_table5, run_table6};

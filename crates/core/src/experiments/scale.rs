@@ -1,0 +1,177 @@
+//! Shared experiment environment: scale selection and the trained victim
+//! detector (cached on disk so the six table binaries don't retrain it).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rd_detector::{evaluate, train, TinyYolo, TrainConfig, YoloConfig};
+use rd_scene::dataset::{generate, DatasetConfig};
+use rd_scene::CameraRig;
+use rd_tensor::{io, ParamSet};
+
+/// Experiment scale: `Smoke` for tests/benches (seconds), `Paper` for the
+/// EXPERIMENTS.md numbers (minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-level budget; 64x64 rig.
+    Smoke,
+    /// The full reproduction budget; 96x96 rig.
+    Paper,
+}
+
+impl std::str::FromStr for Scale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Ok(Scale::Smoke),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (expected smoke|paper)")),
+        }
+    }
+}
+
+impl Scale {
+    /// Camera/world geometry for the scale.
+    pub fn rig(self) -> CameraRig {
+        match self {
+            Scale::Smoke => CameraRig::smoke(),
+            Scale::Paper => CameraRig::standard(),
+        }
+    }
+
+    /// Detector configuration for the scale.
+    pub fn yolo(self) -> YoloConfig {
+        match self {
+            Scale::Smoke => YoloConfig::smoke(),
+            Scale::Paper => YoloConfig::standard(),
+        }
+    }
+
+    /// Detector training set size (paper: 1000 images).
+    pub fn train_images(self) -> usize {
+        match self {
+            Scale::Smoke => 96,
+            Scale::Paper => 1000,
+        }
+    }
+
+    /// Detector training epochs.
+    pub fn train_epochs(self) -> usize {
+        match self {
+            Scale::Smoke => 4,
+            Scale::Paper => 18,
+        }
+    }
+
+    /// Attack optimization steps.
+    pub fn attack_steps(self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::Paper => 150,
+        }
+    }
+
+    /// The weight-cache file for this scale.
+    pub fn cache_path(self) -> std::path::PathBuf {
+        std::path::PathBuf::from(match self {
+            Scale::Smoke => "out/detector_smoke.rdw",
+            Scale::Paper => "out/detector_paper.rdw",
+        })
+    }
+}
+
+/// Everything the table experiments share: the rig and a trained victim
+/// detector.
+pub struct Environment {
+    /// Scale the environment was built at.
+    pub scale: Scale,
+    /// The victim model.
+    pub detector: TinyYolo,
+    /// Its weights (frozen during attacks).
+    pub params: ParamSet,
+    /// Test-set detection accuracy (for reporting).
+    pub detector_accuracy: f32,
+}
+
+impl std::fmt::Debug for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Environment")
+            .field("scale", &self.scale)
+            .field("detector_accuracy", &self.detector_accuracy)
+            .finish()
+    }
+}
+
+/// Trains (or loads from the on-disk cache) the victim detector for a
+/// scale. Deterministic given `seed` — the cache only skips recompute.
+pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut params = ParamSet::new();
+    let detector = TinyYolo::new(&mut params, &mut rng, scale.yolo());
+    let cache = scale.cache_path();
+    let mut loaded = false;
+    if cache.exists() {
+        if let Ok(buf) = std::fs::read(&cache) {
+            if io::load_params_into(&mut params, &buf).is_ok() {
+                loaded = true;
+            }
+        }
+    }
+    if !loaded {
+        let data = generate(&DatasetConfig {
+            rig: scale.rig(),
+            n_images: scale.train_images(),
+            seed: seed ^ 0xda7a,
+            augment: true,
+        });
+        train(
+            &detector,
+            &mut params,
+            &data,
+            &TrainConfig {
+                epochs: scale.train_epochs(),
+                batch_size: 16,
+                lr: 1e-3,
+                seed,
+                clip: 10.0,
+                log_every: 0,
+            },
+        );
+        if let Some(dir) = cache.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = io::save_params_file(&params, &cache);
+    }
+    let test = generate(&DatasetConfig {
+        rig: scale.rig(),
+        n_images: 24,
+        seed: seed ^ 0x7e57,
+        augment: false,
+    });
+    let m = evaluate(&detector, &mut params, &test, 0.35);
+    Environment {
+        scale,
+        detector,
+        params,
+        detector_accuracy: m.class_accuracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
+        assert_eq!("SMOKE".parse::<Scale>().unwrap(), Scale::Smoke);
+        assert!("tiny".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn scales_use_matching_geometry() {
+        assert_eq!(Scale::Smoke.rig().image_hw.0, Scale::Smoke.yolo().input);
+        assert_eq!(Scale::Paper.rig().image_hw.0, Scale::Paper.yolo().input);
+    }
+}

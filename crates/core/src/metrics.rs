@@ -1,0 +1,220 @@
+//! PWC / CWC metrics and paper-style table rendering.
+
+use std::fmt;
+
+/// One table cell: Percentage of Wrong-Class plus the Continuous
+/// detection with Wrong-Class flag (Eq. 3 and the ✓/✗ marks of the
+/// paper's tables).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Fraction of frames classified to the target class, in `[0, 1]`.
+    pub pwc: f32,
+    /// Whether the target class was ever held for 3 consecutive frames.
+    pub cwc: bool,
+}
+
+impl Cell {
+    /// A cell with no attack success at all.
+    pub fn zero() -> Self {
+        Cell {
+            pwc: 0.0,
+            cwc: false,
+        }
+    }
+
+    /// Averages several runs: mean PWC, majority CWC (the paper runs each
+    /// setting three times and averages).
+    pub fn average(cells: &[Cell]) -> Cell {
+        if cells.is_empty() {
+            return Cell::zero();
+        }
+        let pwc = cells.iter().map(|c| c.pwc).sum::<f32>() / cells.len() as f32;
+        let yes = cells.iter().filter(|c| c.cwc).count();
+        Cell {
+            pwc,
+            cwc: yes * 2 > cells.len(),
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>3.0}% / {}",
+            self.pwc * 100.0,
+            if self.cwc { "ok" } else { "X " }
+        )
+    }
+}
+
+/// A rendered experiment table (one per paper table).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: label plus one cell per column.
+    pub rows: Vec<(String, Vec<Cell>)>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<Cell>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Looks up a cell by row label and column header.
+    pub fn cell(&self, row: &str, column: &str) -> Option<Cell> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        let (_, cells) = self.rows.iter().find(|(l, _)| l == row)?;
+        cells.get(ci).copied()
+    }
+
+    /// Serializes the table as CSV (`row,col1_pwc,col1_cwc,...`) for
+    /// plotting outside Rust.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("row");
+        for c in &self.columns {
+            out.push_str(&format!(",{c} PWC,{c} CWC"));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(label);
+            for cell in cells {
+                out.push_str(&format!(
+                    ",{:.4},{}",
+                    cell.pwc,
+                    if cell.cwc { 1 } else { 0 }
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(10))
+            .collect::<Vec<_>>();
+        write!(f, "{:label_w$}", "")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, " | {c:>w$}")?;
+        }
+        writeln!(f)?;
+        write!(f, "{:-<label_w$}", "")?;
+        for w in &col_w {
+            write!(f, "-+-{:-<w$}", "")?;
+        }
+        writeln!(f)?;
+        for (label, cells) in &self.rows {
+            write!(f, "{label:label_w$}")?;
+            for (cell, w) in cells.iter().zip(&col_w) {
+                write!(f, " | {:>w$}", cell.to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_display_matches_paper_style() {
+        let c = Cell {
+            pwc: 0.784,
+            cwc: true,
+        };
+        assert_eq!(c.to_string(), " 78% / ok");
+        let c = Cell::zero();
+        assert_eq!(c.to_string(), "  0% / X ");
+    }
+
+    #[test]
+    fn average_is_mean_and_majority() {
+        let avg = Cell::average(&[
+            Cell { pwc: 0.9, cwc: true },
+            Cell { pwc: 0.6, cwc: true },
+            Cell { pwc: 0.3, cwc: false },
+        ]);
+        assert!((avg.pwc - 0.6).abs() < 1e-6);
+        assert!(avg.cwc);
+        let avg = Cell::average(&[
+            Cell { pwc: 0.9, cwc: true },
+            Cell { pwc: 0.6, cwc: false },
+        ]);
+        assert!(!avg.cwc, "ties are not a majority");
+        assert_eq!(Cell::average(&[]), Cell::zero());
+    }
+
+    #[test]
+    fn table_roundtrip_and_render() {
+        let mut t = Table::new("Table I", &["slow", "normal", "fast"]);
+        t.push_row(
+            "Ours",
+            vec![
+                Cell { pwc: 0.78, cwc: true },
+                Cell { pwc: 0.45, cwc: true },
+                Cell { pwc: 0.26, cwc: true },
+            ],
+        );
+        t.push_row("w/o Attack", vec![Cell::zero(); 3]);
+        assert_eq!(t.cell("Ours", "normal").unwrap().pwc, 0.45);
+        assert!(t.cell("nope", "slow").is_none());
+        let s = t.to_string();
+        assert!(s.contains("Table I"));
+        assert!(s.contains("78% / ok"));
+        assert!(s.contains("w/o Attack"));
+    }
+
+    #[test]
+    fn csv_export_roundtrips_structure() {
+        let mut t = Table::new("x", &["slow", "fast"]);
+        t.push_row(
+            "Ours",
+            vec![Cell { pwc: 0.5, cwc: true }, Cell { pwc: 0.25, cwc: false }],
+        );
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "row,slow PWC,slow CWC,fast PWC,fast CWC");
+        assert_eq!(lines.next().unwrap(), "Ours,0.5000,1,0.2500,0");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row("r", vec![Cell::zero()]);
+    }
+}

@@ -1,0 +1,210 @@
+//! The attack scenario: a road world with a victim object and decal
+//! sites, plus the geometry tying decal canvases to camera frames.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rd_scene::{CameraPose, CameraRig, GtBox, ObjectClass, Rect, WorldScene};
+use rd_tensor::LinearMap;
+use rd_vision::compose::PatchPlacement;
+use rd_vision::geometry::Mat3;
+use rd_vision::warp::homography;
+
+/// Reference attack distance (m) used to convert the paper's `k`
+/// (patch pixels at 416x416 input) into physical decal sizes.
+pub const REFERENCE_DISTANCE_M: f32 = 4.0;
+
+/// The paper's detector input side (416 px), the unit `k` is quoted in.
+pub const PAPER_INPUT: f32 = 416.0;
+
+/// Ratio of the victim's apparent size to the paper's 416-px frame in its
+/// close-range photos (Figs. 4-5): the word fills roughly half the frame,
+/// so a k-px patch is about `2k/416` of the victim's extent.
+pub const VICTIM_FRAME_FRACTION: f32 = 0.3;
+
+/// Converts the paper's patch size `k` into a world-canvas scale (canvas
+/// px per patch-canvas px), anchored to the *victim object's* size: in
+/// the paper's photos a `k x k` patch covers `k/416` of the frame while
+/// the victim covers about [`VICTIM_FRAME_FRACTION`] of it, so the decal's
+/// physical side is `k / (416 * fraction)` of the victim's.
+pub fn k_to_world_scale(k: usize, victim_size_px: f32, patch_canvas: usize) -> f32 {
+    let rel = k as f32 / (PAPER_INPUT * VICTIM_FRAME_FRACTION);
+    victim_size_px * rel / patch_canvas as f32
+}
+
+/// A fully specified attack scene.
+///
+/// # Examples
+///
+/// ```
+/// use rd_scene::CameraRig;
+/// use road_decals::scenario::AttackScenario;
+///
+/// let s = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
+/// assert_eq!(s.decal_placements.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    /// Camera and world geometry.
+    pub rig: CameraRig,
+    /// The decal-free world (road + victim object).
+    pub world: WorldScene,
+    /// The victim object's extent on the world canvas.
+    pub victim_rect: Rect,
+    /// Its true class.
+    pub victim_class: ObjectClass,
+    /// Where each decal canvas sits on the world canvas.
+    pub decal_placements: Vec<PatchPlacement>,
+    /// Decal canvas side in pixels.
+    pub patch_canvas: usize,
+    /// The paper's nominal `k` for reporting.
+    pub k: usize,
+}
+
+impl AttackScenario {
+    /// The paper's underground-parking-lot scene: a painted word on the
+    /// lane ahead, with `n_decals` decal sites of nominal size `k` spread
+    /// around it. Total decal area is held constant across `n_decals`
+    /// (as in the paper's Table III protocol).
+    pub fn parking_lot(rig: CameraRig, n_decals: usize, k: usize, patch_canvas: usize, seed: u64) -> Self {
+        assert!(n_decals >= 1, "need at least one decal");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (ch, cw) = rig.canvas_hw;
+        let mut world = WorldScene::road(ch, cw, &mut rng);
+        // the victim: a painted word centred in the lane, ~2.3 m wide
+        let victim_size = cw as f32 * 0.20;
+        let victim_center = (cw as f32 / 2.0, ch as f32 * 0.82);
+        world.add_object(ObjectClass::Word, victim_center, victim_size, &mut rng);
+        let victim_rect = world.objects().last().expect("just added").rect;
+
+        // decal ring: constant *total* area across N (Table III protocol):
+        // per-decal scale shrinks as sqrt(N grows relative to 4)
+        let base_scale = k_to_world_scale(k, victim_size, patch_canvas);
+        let scale = base_scale * (4.0 / n_decals as f32).sqrt();
+        let radius = victim_size * 0.34;
+        let mut decal_placements = Vec::with_capacity(n_decals);
+        for i in 0..n_decals {
+            let a = std::f32::consts::TAU * i as f32 / n_decals as f32
+                - std::f32::consts::FRAC_PI_2;
+            decal_placements.push(
+                PatchPlacement::new(
+                    (
+                        victim_center.0 + radius * 1.4 * a.cos(),
+                        victim_center.1 + radius * 0.6 * a.sin(),
+                    ),
+                    scale,
+                )
+                .with_rotation(a * 0.5),
+            );
+        }
+        AttackScenario {
+            rig,
+            world,
+            victim_rect,
+            victim_class: ObjectClass::Word,
+            decal_placements,
+            patch_canvas,
+            k,
+        }
+    }
+
+    /// The victim's projected box for a pose (`None` when out of view).
+    pub fn victim_box(&self, pose: &CameraPose) -> Option<GtBox> {
+        self.rig.project_rect(pose, self.victim_rect, self.victim_class)
+    }
+
+    /// The homography taking decal `i`'s canvas straight into the camera
+    /// image for `pose`: camera ∘ world-placement. `placement_override`
+    /// substitutes an EOT-adjusted placement.
+    pub fn decal_to_image(
+        &self,
+        i: usize,
+        pose: &CameraPose,
+        placement_override: Option<PatchPlacement>,
+    ) -> Mat3 {
+        let placement = placement_override.unwrap_or(self.decal_placements[i]);
+        self.rig
+            .world_to_image(pose)
+            .mul(&placement.homography(self.patch_canvas))
+    }
+
+    /// The differentiable warp map for decal `i` under `pose`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined homography is singular (degenerate EOT
+    /// sample); callers draw EOT samples from ranges that exclude this.
+    pub fn decal_map(
+        &self,
+        i: usize,
+        pose: &CameraPose,
+        placement_override: Option<PatchPlacement>,
+    ) -> LinearMap {
+        let h = self.decal_to_image(i, pose, placement_override);
+        homography(
+            (self.patch_canvas, self.patch_canvas),
+            self.rig.image_hw,
+            &h,
+        )
+        .expect("decal homography must be invertible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_mapping_is_monotone_and_sane() {
+        let victim = 32.0;
+        let s20 = k_to_world_scale(20, victim, 16);
+        let s60 = k_to_world_scale(60, victim, 16);
+        let s80 = k_to_world_scale(80, victim, 16);
+        assert!(s20 < s60 && s60 < s80);
+        // k=60 decal side ~29% of the victim's extent
+        assert!((s60 * 16.0 / victim - 0.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn scenario_has_visible_victim() {
+        let s = AttackScenario::parking_lot(CameraRig::standard(), 4, 60, 16, 1);
+        let b = s.victim_box(&CameraPose::at_distance(4.0)).expect("visible");
+        assert_eq!(b.class, ObjectClass::Word);
+        assert!(b.w > 0.2, "victim should be prominent at 4 m: {}", b.w);
+        assert!((b.cx - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_total_area_across_n() {
+        let rig = CameraRig::standard();
+        let area = |n: usize| {
+            let s = AttackScenario::parking_lot(rig, n, 60, 16, 1);
+            let sc = s.decal_placements[0].scale;
+            n as f32 * sc * sc
+        };
+        let a2 = area(2);
+        let a8 = area(8);
+        assert!((a2 - a8).abs() / a2 < 1e-4, "{a2} vs {a8}");
+    }
+
+    #[test]
+    fn decal_maps_project_into_frame_at_attack_range() {
+        let s = AttackScenario::parking_lot(CameraRig::standard(), 4, 60, 16, 1);
+        let pose = CameraPose::at_distance(4.0);
+        for i in 0..4 {
+            let map = s.decal_map(i, &pose, None);
+            // the decal must land somewhere: nonzero coverage
+            let ones = vec![1.0; 16 * 16];
+            let cov: f32 = map.apply_plane(&ones).iter().sum();
+            assert!(cov > 1.0, "decal {i} invisible (coverage {cov})");
+        }
+    }
+
+    #[test]
+    fn decals_are_deterministic_per_seed() {
+        let a = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 9);
+        let b = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 9);
+        assert_eq!(a.decal_placements, b.decal_placements);
+        assert_eq!(a.world.canvas(), b.world.canvas());
+    }
+}

@@ -1,0 +1,170 @@
+//! The AV's temporal confirmation rule.
+//!
+//! The paper's key observation: an autonomous vehicle acts on a detection
+//! only after it persists for several consecutive frames ("an object is
+//! confirmed by AVs only after the object is detected for consecutive
+//! frames"), so a patch that fools single frames intermittently never
+//! actually diverts the vehicle. [`Confirmer`] implements that rule and is
+//! what the CWC metric is computed against.
+
+use rd_scene::ObjectClass;
+
+/// Streaming consecutive-frame confirmation with window `m` (the paper
+/// uses `m = 3`).
+///
+/// # Examples
+///
+/// ```
+/// use rd_detector::Confirmer;
+/// use rd_scene::ObjectClass;
+///
+/// let mut c = Confirmer::new(3);
+/// assert_eq!(c.push(Some(ObjectClass::Car)), None);
+/// assert_eq!(c.push(Some(ObjectClass::Car)), None);
+/// assert_eq!(c.push(Some(ObjectClass::Car)), Some(ObjectClass::Car));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Confirmer {
+    window: usize,
+    current: Option<ObjectClass>,
+    run: usize,
+    confirmed: Vec<ObjectClass>,
+}
+
+impl Confirmer {
+    /// Creates a confirmer requiring `window` consecutive detections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Confirmer {
+            window,
+            current: None,
+            run: 0,
+            confirmed: Vec::new(),
+        }
+    }
+
+    /// The confirmation window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Feeds the per-frame classification of the tracked object (or `None`
+    /// when nothing was detected). Returns `Some(class)` on the frame the
+    /// class becomes confirmed.
+    pub fn push(&mut self, observation: Option<ObjectClass>) -> Option<ObjectClass> {
+        match observation {
+            Some(class) if self.current == Some(class) => {
+                self.run += 1;
+            }
+            Some(class) => {
+                self.current = Some(class);
+                self.run = 1;
+            }
+            None => {
+                self.current = None;
+                self.run = 0;
+            }
+        }
+        if self.run == self.window {
+            let class = self.current.expect("run > 0 implies a class");
+            self.confirmed.push(class);
+            Some(class)
+        } else {
+            None
+        }
+    }
+
+    /// Every class that has been confirmed so far (in order).
+    pub fn confirmed(&self) -> &[ObjectClass] {
+        &self.confirmed
+    }
+
+    /// Whether `class` was ever confirmed.
+    pub fn ever_confirmed(&self, class: ObjectClass) -> bool {
+        self.confirmed.contains(&class)
+    }
+}
+
+/// Offline helper: does `history` contain `window` consecutive frames of
+/// `class`? This is exactly the paper's CWC criterion.
+pub fn has_consecutive(history: &[Option<ObjectClass>], class: ObjectClass, window: usize) -> bool {
+    let mut run = 0usize;
+    for &h in history {
+        if h == Some(class) {
+            run += 1;
+            if run >= window {
+                return true;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interruption_resets_the_run() {
+        let mut c = Confirmer::new(3);
+        assert_eq!(c.push(Some(ObjectClass::Car)), None);
+        assert_eq!(c.push(Some(ObjectClass::Car)), None);
+        assert_eq!(c.push(None), None);
+        assert_eq!(c.push(Some(ObjectClass::Car)), None);
+        assert_eq!(c.push(Some(ObjectClass::Car)), None);
+        assert_eq!(c.push(Some(ObjectClass::Car)), Some(ObjectClass::Car));
+    }
+
+    #[test]
+    fn class_switch_resets_the_run() {
+        let mut c = Confirmer::new(2);
+        c.push(Some(ObjectClass::Car));
+        c.push(Some(ObjectClass::Word));
+        assert_eq!(c.confirmed(), &[] as &[ObjectClass]);
+        assert_eq!(c.push(Some(ObjectClass::Word)), Some(ObjectClass::Word));
+        assert!(c.ever_confirmed(ObjectClass::Word));
+        assert!(!c.ever_confirmed(ObjectClass::Car));
+    }
+
+    #[test]
+    fn confirmation_fires_once_per_run() {
+        let mut c = Confirmer::new(2);
+        c.push(Some(ObjectClass::Car));
+        assert_eq!(c.push(Some(ObjectClass::Car)), Some(ObjectClass::Car));
+        // further frames of the same run do not re-confirm
+        assert_eq!(c.push(Some(ObjectClass::Car)), None);
+        assert_eq!(c.confirmed().len(), 1);
+    }
+
+    #[test]
+    fn offline_matches_streaming() {
+        let hist = vec![
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+            None,
+            Some(ObjectClass::Word),
+            Some(ObjectClass::Word),
+            Some(ObjectClass::Word),
+        ];
+        assert!(!has_consecutive(&hist, ObjectClass::Car, 3));
+        assert!(has_consecutive(&hist, ObjectClass::Word, 3));
+        let mut c = Confirmer::new(3);
+        for &h in &hist {
+            c.push(h);
+        }
+        assert!(c.ever_confirmed(ObjectClass::Word));
+        assert!(!c.ever_confirmed(ObjectClass::Car));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = Confirmer::new(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rd-detector
+//!
+//! A from-scratch, CPU-trainable reproduction of YOLOv3-tiny — the victim
+//! model of *Road Decals as Trojans* (DSN 2024) — scaled down per
+//! DESIGN.md so white-box attacks run on a laptop.
+//!
+//! The crate provides the [`TinyYolo`] model (conv/BN/leaky backbone with
+//! coarse + fine anchor heads), target assignment and the fused YOLO
+//! training loss ([`loss`]), decoding and NMS ([`Detection`]), a training
+//! loop ([`train`]) and the consecutive-frame [`Confirmer`] that the
+//! paper's CWC metric is built on. The targeted attack loss of the
+//! paper's Eq. 2 lives in [`loss::targeted_class_loss`].
+
+#![warn(missing_docs)]
+
+pub mod anchors;
+mod confirm;
+mod decode;
+pub mod loss;
+pub mod map;
+mod model;
+mod track;
+mod train;
+
+pub use confirm::{has_consecutive, Confirmer};
+pub use track::{Track, TrackState, Tracker, TrackerConfig};
+pub use decode::{decode_head, nms, postprocess, Detection};
+pub use model::{TinyYolo, YoloConfig, YoloOutputs};
+pub use train::{detect, evaluate, forward_raw, train, EvalMetrics, TrainConfig, TrainReport};

@@ -1,0 +1,531 @@
+//! Fused YOLO training loss and the targeted attack loss, implemented as
+//! custom graph ops with analytic gradients.
+
+use rd_scene::GtBox;
+use rd_tensor::{Graph, Tensor, VarId};
+
+use crate::anchors::{best_anchor, head_specs, ANCHORS_PER_HEAD};
+
+/// One positive assignment: a ground-truth box matched to a head cell and
+/// anchor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assign {
+    /// Batch index.
+    pub n: usize,
+    /// Anchor index within the head.
+    pub anchor: usize,
+    /// Grid row.
+    pub cy: usize,
+    /// Grid column.
+    pub cx: usize,
+    /// Target fractional x offset in the cell, in `(0,1)`.
+    pub tx: f32,
+    /// Target fractional y offset in the cell, in `(0,1)`.
+    pub ty: f32,
+    /// Target log-scale width relative to the anchor.
+    pub tw: f32,
+    /// Target log-scale height relative to the anchor.
+    pub th: f32,
+    /// Target class index.
+    pub class: usize,
+}
+
+/// Assignments for one head.
+#[derive(Debug, Clone, Default)]
+pub struct HeadTargets {
+    /// Positive assignments.
+    pub assigned: Vec<Assign>,
+    /// Cells `(n, cy, cx)` that contain a GT centre (excluded from the
+    /// no-object penalty for every anchor).
+    pub ignore_cells: Vec<(usize, usize, usize)>,
+}
+
+/// Builds per-head targets for a batch of ground-truth boxes.
+///
+/// Each box is assigned to the `(head, anchor)` whose shape matches best
+/// (standard YOLOv3 assignment), at the cell containing its centre.
+pub fn build_targets(boxes_per_image: &[Vec<GtBox>], input: usize) -> [HeadTargets; 2] {
+    let specs = head_specs();
+    let grids = [input / specs[0].stride, input / specs[1].stride];
+    let mut out = [HeadTargets::default(), HeadTargets::default()];
+    for (n, boxes) in boxes_per_image.iter().enumerate() {
+        for b in boxes {
+            let (head, anchor) = best_anchor(b.w, b.h);
+            let s = grids[head];
+            let gx = (b.cx * s as f32).clamp(0.0, s as f32 - 1e-3);
+            let gy = (b.cy * s as f32).clamp(0.0, s as f32 - 1e-3);
+            let cx = gx as usize;
+            let cy = gy as usize;
+            let (aw, ah) = specs[head].anchors[anchor];
+            out[head].assigned.push(Assign {
+                n,
+                anchor,
+                cy,
+                cx,
+                tx: (gx - cx as f32).clamp(1e-3, 1.0 - 1e-3),
+                ty: (gy - cy as f32).clamp(1e-3, 1.0 - 1e-3),
+                tw: (b.w / aw).max(1e-4).ln().clamp(-4.0, 4.0),
+                th: (b.h / ah).max(1e-4).ln().clamp(-4.0, 4.0),
+                class: b.class.index(),
+            });
+            // every head ignores cells that contain a GT centre
+            for (h, hg) in out.iter_mut().enumerate() {
+                let sg = grids[h];
+                let icx = ((b.cx * sg as f32) as usize).min(sg - 1);
+                let icy = ((b.cy * sg as f32) as usize).min(sg - 1);
+                hg.ignore_cells.push((n, icy, icx));
+            }
+        }
+    }
+    out
+}
+
+/// Loss term weights (darknet-flavoured defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YoloLossWeights {
+    /// Coordinate regression weight.
+    pub coord: f32,
+    /// Positive-objectness weight.
+    pub obj: f32,
+    /// Negative-objectness weight.
+    pub noobj: f32,
+    /// Classification weight.
+    pub class: f32,
+}
+
+impl Default for YoloLossWeights {
+    fn default() -> Self {
+        YoloLossWeights {
+            coord: 5.0,
+            obj: 1.0,
+            noobj: 3.0,
+            class: 2.0,
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn bce_logit(z: f32, t: f32) -> f32 {
+    z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - m).exp()).collect();
+    let s: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+/// YOLO loss for one head: coordinate BCE/MSE + objectness BCE + class
+/// cross-entropy, as a fused custom op with analytic gradients.
+///
+/// # Panics
+///
+/// Panics if `preds` is not `[N, A*(5+C), S, S]`.
+pub fn yolo_head_loss(
+    g: &mut Graph,
+    preds: VarId,
+    targets: &HeadTargets,
+    num_classes: usize,
+    weights: YoloLossWeights,
+) -> VarId {
+    let pv = g.value(preds);
+    assert_eq!(pv.shape().len(), 4);
+    let (n, ch, s, _) = (pv.shape()[0], pv.shape()[1], pv.shape()[2], pv.shape()[3]);
+    let cpa = 5 + num_classes;
+    assert_eq!(ch, ANCHORS_PER_HEAD * cpa, "bad head channel count");
+
+    let idx = move |ni: usize, c: usize, cy: usize, cx: usize| ((ni * ch + c) * s + cy) * s + cx;
+
+    // positive masks
+    let mut positive = vec![false; n * ANCHORS_PER_HEAD * s * s];
+    let pos_idx =
+        move |ni: usize, a: usize, cy: usize, cx: usize| ((ni * ANCHORS_PER_HEAD + a) * s + cy) * s + cx;
+    for asg in &targets.assigned {
+        positive[pos_idx(asg.n, asg.anchor, asg.cy, asg.cx)] = true;
+    }
+    let mut ignored = vec![false; n * s * s];
+    for &(ni, cy, cx) in &targets.ignore_cells {
+        if ni < n && cy < s && cx < s {
+            ignored[(ni * s + cy) * s + cx] = true;
+        }
+    }
+
+    let n_pos = targets.assigned.len().max(1) as f32;
+    let mut n_neg = 0usize;
+    let data = pv.data();
+
+    // ---- forward ----
+    let mut loss = 0.0f32;
+    for asg in &targets.assigned {
+        let base = asg.anchor * cpa;
+        let ztx = data[idx(asg.n, base, asg.cy, asg.cx)];
+        let zty = data[idx(asg.n, base + 1, asg.cy, asg.cx)];
+        let ztw = data[idx(asg.n, base + 2, asg.cy, asg.cx)];
+        let zth = data[idx(asg.n, base + 3, asg.cy, asg.cx)];
+        let zo = data[idx(asg.n, base + 4, asg.cy, asg.cx)];
+        loss += weights.coord
+            * ((sigmoid(ztx) - asg.tx).powi(2)
+                + (sigmoid(zty) - asg.ty).powi(2)
+                + (ztw - asg.tw).powi(2)
+                + (zth - asg.th).powi(2))
+            / n_pos;
+        loss += weights.obj * bce_logit(zo, 1.0) / n_pos;
+        let logits: Vec<f32> = (0..num_classes)
+            .map(|c| data[idx(asg.n, base + 5 + c, asg.cy, asg.cx)])
+            .collect();
+        let probs = softmax(&logits);
+        loss += weights.class * (-probs[asg.class].max(1e-12).ln()) / n_pos;
+    }
+    // negatives
+    let mut neg_loss = 0.0f32;
+    for ni in 0..n {
+        for a in 0..ANCHORS_PER_HEAD {
+            for cy in 0..s {
+                for cx in 0..s {
+                    if positive[pos_idx(ni, a, cy, cx)] || ignored[(ni * s + cy) * s + cx] {
+                        continue;
+                    }
+                    n_neg += 1;
+                    let zo = data[idx(ni, a * cpa + 4, cy, cx)];
+                    neg_loss += bce_logit(zo, 0.0);
+                }
+            }
+        }
+    }
+    let n_neg_f = (n_neg.max(1)) as f32;
+    loss += weights.noobj * neg_loss / n_neg_f;
+
+    // ---- backward ----
+    let targets = targets.clone();
+    let pi = preds.index();
+    g.custom(
+        Tensor::scalar(loss),
+        Some(Box::new(move |gout, vals, grads| {
+            let gv = gout.data()[0];
+            let data = vals[pi].data();
+            let gp = &mut grads[pi];
+            for asg in &targets.assigned {
+                let base = asg.anchor * cpa;
+                let i_tx = idx(asg.n, base, asg.cy, asg.cx);
+                let i_ty = idx(asg.n, base + 1, asg.cy, asg.cx);
+                let i_tw = idx(asg.n, base + 2, asg.cy, asg.cx);
+                let i_th = idx(asg.n, base + 3, asg.cy, asg.cx);
+                let i_o = idx(asg.n, base + 4, asg.cy, asg.cx);
+                let stx = sigmoid(data[i_tx]);
+                let sty = sigmoid(data[i_ty]);
+                gp.data_mut()[i_tx] +=
+                    gv * weights.coord * 2.0 * (stx - asg.tx) * stx * (1.0 - stx) / n_pos;
+                gp.data_mut()[i_ty] +=
+                    gv * weights.coord * 2.0 * (sty - asg.ty) * sty * (1.0 - sty) / n_pos;
+                gp.data_mut()[i_tw] += gv * weights.coord * 2.0 * (data[i_tw] - asg.tw) / n_pos;
+                gp.data_mut()[i_th] += gv * weights.coord * 2.0 * (data[i_th] - asg.th) / n_pos;
+                gp.data_mut()[i_o] += gv * weights.obj * (sigmoid(data[i_o]) - 1.0) / n_pos;
+                let logits: Vec<f32> = (0..num_classes)
+                    .map(|c| data[idx(asg.n, base + 5 + c, asg.cy, asg.cx)])
+                    .collect();
+                let probs = softmax(&logits);
+                for c in 0..num_classes {
+                    let ind = if c == asg.class { 1.0 } else { 0.0 };
+                    gp.data_mut()[idx(asg.n, base + 5 + c, asg.cy, asg.cx)] +=
+                        gv * weights.class * (probs[c] - ind) / n_pos;
+                }
+            }
+            for ni in 0..n {
+                for a in 0..ANCHORS_PER_HEAD {
+                    for cy in 0..s {
+                        for cx in 0..s {
+                            if positive[pos_idx(ni, a, cy, cx)]
+                                || ignored[(ni * s + cy) * s + cx]
+                            {
+                                continue;
+                            }
+                            let i_o = idx(ni, a * cpa + 4, cy, cx);
+                            gp.data_mut()[i_o] +=
+                                gv * weights.noobj * sigmoid(data[i_o]) / n_neg_f;
+                        }
+                    }
+                }
+            }
+        })),
+    )
+}
+
+/// A head cell position under attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackCell {
+    /// Batch index.
+    pub n: usize,
+    /// Anchor index.
+    pub anchor: usize,
+    /// Grid row.
+    pub cy: usize,
+    /// Grid column.
+    pub cx: usize,
+}
+
+/// The paper's targeted attack loss (Eq. 2): mean softmax cross-entropy of
+/// the class logits at the attacked cells toward `target_class`, plus a
+/// conditional objectness term: at cells whose current class argmax *is*
+/// the target, objectness is pushed toward 1 (the detector should assert
+/// the wrong class); everywhere else it is pushed toward 0 (competing
+/// correct-class detections are suppressed). The frame then counts toward
+/// PWC exactly when this loss is low. Set `obj_weight = 0` for the pure
+/// Eq. 2 form.
+///
+/// # Panics
+///
+/// Panics if `cells` is empty or indexes outside the tensor.
+pub fn targeted_class_loss(
+    g: &mut Graph,
+    preds: VarId,
+    cells: &[AttackCell],
+    num_classes: usize,
+    target_class: usize,
+    obj_weight: f32,
+) -> VarId {
+    assert!(!cells.is_empty(), "need at least one attacked cell");
+    assert!(target_class < num_classes);
+    let pv = g.value(preds);
+    let (n, ch, s, _) = (pv.shape()[0], pv.shape()[1], pv.shape()[2], pv.shape()[3]);
+    let cpa = 5 + num_classes;
+    assert_eq!(ch, ANCHORS_PER_HEAD * cpa);
+    let idx = move |ni: usize, c: usize, cy: usize, cx: usize| ((ni * ch + c) * s + cy) * s + cx;
+    for c in cells {
+        assert!(c.n < n && c.anchor < ANCHORS_PER_HEAD && c.cy < s && c.cx < s);
+    }
+    let data = pv.data();
+    let m = cells.len() as f32;
+    let mut loss = 0.0f32;
+    for c in cells {
+        let base = c.anchor * cpa;
+        let logits: Vec<f32> = (0..num_classes)
+            .map(|k| data[idx(c.n, base + 5 + k, c.cy, c.cx)])
+            .collect();
+        let probs = softmax(&logits);
+        loss -= probs[target_class].max(1e-12).ln();
+        if obj_weight > 0.0 {
+            let zo = data[idx(c.n, base + 4, c.cy, c.cx)];
+            let argmax = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let obj_target = if argmax == target_class { 1.0 } else { 0.0 };
+            loss += obj_weight * bce_logit(zo, obj_target);
+        }
+    }
+    loss /= m;
+    let cells = cells.to_vec();
+    let pi = preds.index();
+    g.custom(
+        Tensor::scalar(loss),
+        Some(Box::new(move |gout, vals, grads| {
+            let gv = gout.data()[0] / m;
+            let data = vals[pi].data();
+            let gp = &mut grads[pi];
+            for c in &cells {
+                let base = c.anchor * cpa;
+                let logits: Vec<f32> = (0..num_classes)
+                    .map(|k| data[idx(c.n, base + 5 + k, c.cy, c.cx)])
+                    .collect();
+                let probs = softmax(&logits);
+                for k in 0..num_classes {
+                    let ind = if k == target_class { 1.0 } else { 0.0 };
+                    gp.data_mut()[idx(c.n, base + 5 + k, c.cy, c.cx)] += gv * (probs[k] - ind);
+                }
+                if obj_weight > 0.0 {
+                    let io = idx(c.n, base + 4, c.cy, c.cx);
+                    let argmax = probs
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    let obj_target = if argmax == target_class { 1.0 } else { 0.0 };
+                    gp.data_mut()[io] += gv * obj_weight * (sigmoid(data[io]) - obj_target);
+                }
+            }
+        })),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_scene::ObjectClass;
+    use rd_tensor::check::{assert_grads_close, numeric_grad};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_boxes() -> Vec<Vec<GtBox>> {
+        vec![
+            vec![GtBox {
+                class: ObjectClass::Word,
+                cx: 0.52,
+                cy: 0.61,
+                w: 0.4,
+                h: 0.3,
+            }],
+            vec![GtBox {
+                class: ObjectClass::Car,
+                cx: 0.2,
+                cy: 0.8,
+                w: 0.12,
+                h: 0.1,
+            }],
+        ]
+    }
+
+    #[test]
+    fn build_targets_assigns_each_box_once() {
+        let t = build_targets(&sample_boxes(), 96);
+        let total: usize = t.iter().map(|h| h.assigned.len()).sum();
+        assert_eq!(total, 2);
+        // the large box must land on the coarse head, the small on the fine
+        assert_eq!(t[0].assigned.len(), 1);
+        assert_eq!(t[1].assigned.len(), 1);
+        let a = &t[0].assigned[0];
+        assert_eq!(a.n, 0);
+        assert!(a.tx > 0.0 && a.tx < 1.0);
+        assert_eq!(a.class, ObjectClass::Word.index());
+    }
+
+    #[test]
+    fn loss_decreases_toward_targets() {
+        // a prediction exactly matching the target has lower loss than a
+        // random one
+        let targets = build_targets(&sample_boxes(), 96);
+        let ht = &targets[0];
+        let asg = ht.assigned[0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let random = Tensor::randn(&mut rng, &[2, 30, 3, 3], 1.0);
+        let mut ideal = Tensor::zeros(&[2, 30, 3, 3]);
+        // silence: strongly negative objectness everywhere
+        for ni in 0..2 {
+            for a in 0..3 {
+                for cy in 0..3 {
+                    for cx in 0..3 {
+                        ideal.set4(ni, a * 10 + 4, cy, cx, -8.0);
+                    }
+                }
+            }
+        }
+        let base = asg.anchor * 10;
+        // logit(tx)
+        let logit = |p: f32| (p / (1.0 - p)).ln();
+        ideal.set4(asg.n, base, asg.cy, asg.cx, logit(asg.tx));
+        ideal.set4(asg.n, base + 1, asg.cy, asg.cx, logit(asg.ty));
+        ideal.set4(asg.n, base + 2, asg.cy, asg.cx, asg.tw);
+        ideal.set4(asg.n, base + 3, asg.cy, asg.cx, asg.th);
+        ideal.set4(asg.n, base + 4, asg.cy, asg.cx, 8.0);
+        ideal.set4(asg.n, base + 5 + asg.class, asg.cy, asg.cx, 10.0);
+        let eval = |t: &Tensor| {
+            let mut g = Graph::new();
+            let p = g.input(t.clone());
+            let l = yolo_head_loss(&mut g, p, ht, 5, YoloLossWeights::default());
+            g.value(l).data()[0]
+        };
+        assert!(eval(&ideal) < eval(&random) * 0.2, "{} vs {}", eval(&ideal), eval(&random));
+        assert!(eval(&ideal) < 0.08);
+    }
+
+    #[test]
+    fn yolo_loss_grads_match_numeric() {
+        let targets = build_targets(&sample_boxes(), 96);
+        let ht = &targets[1]; // fine head: [2,30,6,6]
+        let mut rng = StdRng::seed_from_u64(7);
+        let p0 = Tensor::randn(&mut rng, &[2, 30, 6, 6], 0.5);
+        let run = |t: &Tensor| {
+            let mut g = Graph::new();
+            let p = g.input(t.clone());
+            let l = yolo_head_loss(&mut g, p, ht, 5, YoloLossWeights::default());
+            (g, p, l)
+        };
+        let (g, p, l) = run(&p0);
+        let grads = g.backward(l);
+        // full numeric check is expensive; sample 60 random coordinates
+        let analytic = grads.get(p);
+        let mut sample_rng = StdRng::seed_from_u64(1);
+        for _ in 0..60 {
+            let i = sample_rng.gen_range(0..p0.len());
+            let mut plus = p0.clone();
+            plus.data_mut()[i] += 1e-2;
+            let mut minus = p0.clone();
+            minus.data_mut()[i] -= 1e-2;
+            let num = (run(&plus).0.value(run(&plus).2).data()[0]
+                - run(&minus).0.value(run(&minus).2).data()[0])
+                / 2e-2;
+            let a = analytic.data()[i];
+            assert!(
+                (a - num).abs() < 0.02 + 0.05 * num.abs().max(a.abs()),
+                "grad mismatch at {i}: {a} vs {num}"
+            );
+        }
+    }
+
+    #[test]
+    fn attack_loss_grads_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p0 = Tensor::randn(&mut rng, &[1, 30, 3, 3], 1.0);
+        let cells = [
+            AttackCell {
+                n: 0,
+                anchor: 1,
+                cy: 2,
+                cx: 1,
+            },
+            AttackCell {
+                n: 0,
+                anchor: 0,
+                cy: 0,
+                cx: 0,
+            },
+        ];
+        let run = |t: &Tensor| {
+            let mut g = Graph::new();
+            let p = g.input(t.clone());
+            let l = targeted_class_loss(&mut g, p, &cells, 5, 3, 0.7);
+            (g, p, l)
+        };
+        let (g, p, l) = run(&p0);
+        let grads = g.backward(l);
+        let num = numeric_grad(
+            |t| {
+                let (g, _, l) = run(t);
+                g.value(l).data()[0]
+            },
+            &p0,
+            1e-3,
+        );
+        assert_grads_close(grads.get(p), &num, 0.03);
+    }
+
+    #[test]
+    fn attack_loss_is_zero_when_target_dominates() {
+        let mut p = Tensor::zeros(&[1, 30, 3, 3]);
+        p.set4(0, 5 + 3, 1, 1, 50.0); // class 3 logit huge at anchor 0
+        let cells = [AttackCell {
+            n: 0,
+            anchor: 0,
+            cy: 1,
+            cx: 1,
+        }];
+        let mut g = Graph::new();
+        let pv = g.input(p);
+        let l = targeted_class_loss(&mut g, pv, &cells, 5, 3, 0.0);
+        assert!(g.value(l).data()[0] < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attacked cell")]
+    fn attack_loss_rejects_empty_cells() {
+        let mut g = Graph::new();
+        let p = g.input(Tensor::zeros(&[1, 30, 3, 3]));
+        let _ = targeted_class_loss(&mut g, p, &[], 5, 0, 0.0);
+    }
+}

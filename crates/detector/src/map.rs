@@ -1,0 +1,197 @@
+//! Mean Average Precision (mAP) — the standard detection metric, used to
+//! report victim-detector quality the way the detection literature does.
+
+use rd_scene::{GtBox, ObjectClass};
+
+use crate::decode::Detection;
+
+/// Average precision for one class over a whole dataset, using
+/// all-point interpolation.
+///
+/// `frames` pairs each frame's detections with its ground-truth boxes.
+pub fn average_precision(
+    frames: &[(Vec<Detection>, Vec<GtBox>)],
+    class: ObjectClass,
+    iou_threshold: f32,
+) -> Option<f32> {
+    // gather detections of the class across frames, remembering frame ids
+    let mut dets: Vec<(usize, &Detection)> = Vec::new();
+    let mut total_gt = 0usize;
+    for (fi, (frame_dets, gts)) in frames.iter().enumerate() {
+        total_gt += gts.iter().filter(|b| b.class == class).count();
+        for d in frame_dets.iter().filter(|d| d.class == class) {
+            dets.push((fi, d));
+        }
+    }
+    if total_gt == 0 {
+        return None;
+    }
+    dets.sort_by(|a, b| b.1.confidence().total_cmp(&a.1.confidence()));
+
+    let mut matched: Vec<Vec<bool>> = frames
+        .iter()
+        .map(|(_, gts)| vec![false; gts.len()])
+        .collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(dets.len()); // (recall, precision)
+    for (fi, det) in dets {
+        let gts = &frames[fi].1;
+        let mut best: Option<(usize, f32)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            if gt.class != class || matched[fi][gi] {
+                continue;
+            }
+            let iou = det.iou(gt);
+            if iou >= iou_threshold && best.map(|(_, b)| iou > b).unwrap_or(true) {
+                best = Some((gi, iou));
+            }
+        }
+        match best {
+            Some((gi, _)) => {
+                matched[fi][gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        curve.push((
+            tp as f32 / total_gt as f32,
+            tp as f32 / (tp + fp) as f32,
+        ));
+    }
+    // all-point interpolation: integrate precision envelope over recall
+    let mut ap = 0.0f32;
+    let mut prev_recall = 0.0f32;
+    for i in 0..curve.len() {
+        let max_prec = curve[i..]
+            .iter()
+            .map(|(_, p)| *p)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let (r, _) = curve[i];
+        if r > prev_recall {
+            ap += (r - prev_recall) * max_prec;
+            prev_recall = r;
+        }
+    }
+    Some(ap)
+}
+
+/// Mean AP over all classes that appear in the ground truth.
+pub fn mean_average_precision(
+    frames: &[(Vec<Detection>, Vec<GtBox>)],
+    iou_threshold: f32,
+) -> f32 {
+    let mut sum = 0.0;
+    let mut n = 0;
+    for class in ObjectClass::ALL {
+        if let Some(ap) = average_precision(frames, class, iou_threshold) {
+            sum += ap;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, cx: f32, cy: f32, conf: f32) -> Detection {
+        let mut probs = vec![0.0; 5];
+        probs[class.index()] = 1.0;
+        Detection {
+            class,
+            class_probs: probs,
+            objectness: conf,
+            cx,
+            cy,
+            w: 0.2,
+            h: 0.2,
+            head: 0,
+            anchor: 0,
+            cell: (0, 0),
+        }
+    }
+
+    fn gt(class: ObjectClass, cx: f32, cy: f32) -> GtBox {
+        GtBox {
+            class,
+            cx,
+            cy,
+            w: 0.2,
+            h: 0.2,
+        }
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let frames = vec![(
+            vec![det(ObjectClass::Car, 0.3, 0.3, 0.9)],
+            vec![gt(ObjectClass::Car, 0.3, 0.3)],
+        )];
+        let ap = average_precision(&frames, ObjectClass::Car, 0.5).unwrap();
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_gt_lowers_ap() {
+        let frames = vec![(
+            vec![det(ObjectClass::Car, 0.3, 0.3, 0.9)],
+            vec![gt(ObjectClass::Car, 0.3, 0.3), gt(ObjectClass::Car, 0.8, 0.8)],
+        )];
+        let ap = average_precision(&frames, ObjectClass::Car, 0.5).unwrap();
+        assert!((ap - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn false_positive_before_true_positive_lowers_ap() {
+        // high-confidence FP then lower-confidence TP
+        let frames = vec![(
+            vec![
+                det(ObjectClass::Car, 0.9, 0.1, 0.95), // FP
+                det(ObjectClass::Car, 0.3, 0.3, 0.5),  // TP
+            ],
+            vec![gt(ObjectClass::Car, 0.3, 0.3)],
+        )];
+        let ap = average_precision(&frames, ObjectClass::Car, 0.5).unwrap();
+        assert!((ap - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn double_detection_counts_one_tp_one_fp() {
+        let frames = vec![(
+            vec![
+                det(ObjectClass::Car, 0.3, 0.3, 0.95),
+                det(ObjectClass::Car, 0.31, 0.3, 0.9),
+            ],
+            vec![gt(ObjectClass::Car, 0.3, 0.3)],
+        )];
+        let ap = average_precision(&frames, ObjectClass::Car, 0.5).unwrap();
+        assert!((ap - 1.0).abs() < 1e-6, "TP first => full AP, got {ap}");
+    }
+
+    #[test]
+    fn absent_class_returns_none() {
+        let frames = vec![(vec![], vec![gt(ObjectClass::Car, 0.3, 0.3)])];
+        assert!(average_precision(&frames, ObjectClass::Person, 0.5).is_none());
+        assert_eq!(average_precision(&frames, ObjectClass::Car, 0.5), Some(0.0));
+    }
+
+    #[test]
+    fn map_averages_over_present_classes() {
+        let frames = vec![(
+            vec![
+                det(ObjectClass::Car, 0.3, 0.3, 0.9),
+                det(ObjectClass::Person, 0.7, 0.7, 0.9),
+            ],
+            vec![gt(ObjectClass::Car, 0.3, 0.3), gt(ObjectClass::Person, 0.1, 0.1)],
+        )];
+        // Car AP = 1, Person AP = 0 (detection far from gt) -> mAP 0.5
+        let map = mean_average_precision(&frames, 0.5);
+        assert!((map - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,377 @@
+//! The scaled YOLOv3-tiny model.
+//!
+//! Structure follows darknet's `yolov3-tiny.cfg` — conv/BN/leaky blocks
+//! separated by max-pools, a coarse stride-32 head, and a routed,
+//! upsampled, concatenated fine stride-16 head — with channel widths
+//! reduced so the network trains in seconds on CPU (see DESIGN.md's
+//! scaling table). The paper fine-tunes from `darknet53.conv.74`; we train
+//! from Kaiming initialization on the procedural dataset instead.
+
+use rand::Rng;
+
+use rd_tensor::{init, Graph, ParamId, ParamSet, Tensor, VarId};
+
+use crate::anchors::ANCHORS_PER_HEAD;
+
+const BN_EPS: f32 = 1e-5;
+const BN_MOMENTUM: f32 = 0.9;
+const LEAKY_SLOPE: f32 = 0.1;
+
+/// Conv + batch-norm + leaky-ReLU block (darknet's `[convolutional]` with
+/// `batch_normalize=1`).
+#[derive(Debug)]
+struct ConvBlock {
+    w: ParamId,
+    gamma: ParamId,
+    beta: ParamId,
+    running_mean: ParamId,
+    running_var: ParamId,
+    stride: usize,
+    pad: usize,
+}
+
+impl ConvBlock {
+    #[allow(clippy::too_many_arguments)]
+    fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        ConvBlock {
+            w: ps.register(format!("{name}.w"), init::kaiming_conv(rng, cout, cin, k, k)),
+            gamma: ps.register(format!("{name}.gamma"), Tensor::ones(&[cout])),
+            beta: ps.register(format!("{name}.beta"), Tensor::zeros(&[cout])),
+            running_mean: ps.register(format!("{name}.rmean"), Tensor::zeros(&[cout])),
+            running_var: ps.register(format!("{name}.rvar"), Tensor::ones(&[cout])),
+            stride,
+            pad,
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, ps: &mut ParamSet, x: VarId, training: bool) -> VarId {
+        let w = g.param(ps, self.w);
+        let y = g.conv2d(x, w, None, self.stride, self.pad);
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        let y = if training {
+            let (y, stats) = g.batch_norm2d_train(y, gamma, beta, BN_EPS);
+            // update running statistics in the param set (their gradients
+            // are never written, so the optimizer leaves them untouched)
+            let rm = ps.get_mut(self.running_mean).value_mut();
+            for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
+                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+            }
+            let rv = ps.get_mut(self.running_var).value_mut();
+            for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
+                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+            }
+            y
+        } else {
+            let rm = ps.get(self.running_mean).value().clone();
+            let rv = ps.get(self.running_var).value().clone();
+            g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS)
+        };
+        g.leaky_relu(y, LEAKY_SLOPE)
+    }
+}
+
+/// Plain conv with bias and no activation (darknet's detection conv).
+#[derive(Debug)]
+struct HeadConv {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl HeadConv {
+    fn new<R: Rng>(
+        ps: &mut ParamSet,
+        rng: &mut R,
+        name: &str,
+        cin: usize,
+        cout: usize,
+        obj_bias: f32,
+        channels_per_anchor: usize,
+    ) -> Self {
+        let mut bias = Tensor::zeros(&[cout]);
+        // start objectness strongly negative so the untrained detector is
+        // quiet (standard focal-style initialization)
+        for a in 0..cout / channels_per_anchor {
+            bias.data_mut()[a * channels_per_anchor + 4] = obj_bias;
+        }
+        HeadConv {
+            w: ps.register(format!("{name}.w"), init::kaiming_conv(rng, cout, cin, 1, 1)),
+            b: ps.register(format!("{name}.b"), bias),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+        let w = g.param(ps, self.w);
+        let b = g.param(ps, self.b);
+        g.conv2d(x, w, Some(b), 1, 0)
+    }
+}
+
+/// Configuration of the scaled detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YoloConfig {
+    /// Square input size in pixels (must be divisible by 32).
+    pub input: usize,
+    /// Number of object classes.
+    pub num_classes: usize,
+}
+
+impl YoloConfig {
+    /// Standard 96x96 configuration for the 5-class road dataset.
+    pub fn standard() -> Self {
+        YoloConfig {
+            input: 96,
+            num_classes: 5,
+        }
+    }
+
+    /// Smoke-scale 64x64 configuration.
+    pub fn smoke() -> Self {
+        YoloConfig {
+            input: 64,
+            num_classes: 5,
+        }
+    }
+
+    /// Channels per head: `anchors * (5 + classes)`.
+    pub fn head_channels(&self) -> usize {
+        ANCHORS_PER_HEAD * (5 + self.num_classes)
+    }
+
+    /// Grid side of the coarse (stride-32) head.
+    pub fn coarse_grid(&self) -> usize {
+        self.input / 32
+    }
+
+    /// Grid side of the fine (stride-16) head.
+    pub fn fine_grid(&self) -> usize {
+        self.input / 16
+    }
+}
+
+/// Raw head outputs of one forward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct YoloOutputs {
+    /// Coarse head `[N, A*(5+C), S32, S32]`.
+    pub coarse: VarId,
+    /// Fine head `[N, A*(5+C), S16, S16]`.
+    pub fine: VarId,
+}
+
+/// The scaled YOLOv3-tiny detector.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rd_detector::{TinyYolo, YoloConfig};
+/// use rd_tensor::{Graph, ParamSet, Tensor};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut ps = ParamSet::new();
+/// let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::zeros(&[1, 3, 64, 64]));
+/// let out = model.forward(&mut g, &mut ps, x, false);
+/// assert_eq!(g.value(out.coarse).shape(), &[1, 30, 2, 2]);
+/// assert_eq!(g.value(out.fine).shape(), &[1, 30, 4, 4]);
+/// ```
+#[derive(Debug)]
+pub struct TinyYolo {
+    cfg: YoloConfig,
+    c1: ConvBlock,
+    c2: ConvBlock,
+    c3: ConvBlock,
+    c4: ConvBlock,
+    c5: ConvBlock,
+    c6: ConvBlock,
+    c7: ConvBlock,
+    head1_pre: ConvBlock,
+    head1: HeadConv,
+    route: ConvBlock,
+    head2_pre: ConvBlock,
+    head2: HeadConv,
+}
+
+/// Backbone channel widths (the full YOLOv3-tiny uses
+/// 16-32-64-128-256-512; we divide by 4 and trim the tail).
+const WIDTHS: [usize; 7] = [8, 16, 32, 64, 96, 128, 64];
+
+impl TinyYolo {
+    /// Builds a freshly initialized detector, registering all parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.input` is not divisible by 32.
+    pub fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, cfg: YoloConfig) -> Self {
+        assert_eq!(cfg.input % 32, 0, "input size must be divisible by 32");
+        let hc = cfg.head_channels();
+        let cpa = 5 + cfg.num_classes;
+        TinyYolo {
+            cfg,
+            c1: ConvBlock::new(ps, rng, "c1", 3, WIDTHS[0], 3, 1, 1),
+            c2: ConvBlock::new(ps, rng, "c2", WIDTHS[0], WIDTHS[1], 3, 1, 1),
+            c3: ConvBlock::new(ps, rng, "c3", WIDTHS[1], WIDTHS[2], 3, 1, 1),
+            c4: ConvBlock::new(ps, rng, "c4", WIDTHS[2], WIDTHS[3], 3, 1, 1),
+            c5: ConvBlock::new(ps, rng, "c5", WIDTHS[3], WIDTHS[4], 3, 1, 1),
+            c6: ConvBlock::new(ps, rng, "c6", WIDTHS[4], WIDTHS[5], 3, 1, 1),
+            c7: ConvBlock::new(ps, rng, "c7", WIDTHS[5], WIDTHS[6], 1, 1, 0),
+            head1_pre: ConvBlock::new(ps, rng, "h1pre", WIDTHS[6], WIDTHS[5], 3, 1, 1),
+            head1: HeadConv::new(ps, rng, "h1", WIDTHS[5], hc, -2.0, cpa),
+            route: ConvBlock::new(ps, rng, "route", WIDTHS[6], 32, 1, 1, 0),
+            head2_pre: ConvBlock::new(ps, rng, "h2pre", WIDTHS[4] + 32, WIDTHS[5], 3, 1, 1),
+            head2: HeadConv::new(ps, rng, "h2", WIDTHS[5], hc, -2.0, cpa),
+        }
+    }
+
+    /// The configuration the model was built with.
+    pub fn config(&self) -> YoloConfig {
+        self.cfg
+    }
+
+    /// Runs the network. `training` selects batch-norm mode (and updates
+    /// running statistics inside `ps` when true).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, 3, input, input]`.
+    pub fn forward(&self, g: &mut Graph, ps: &mut ParamSet, x: VarId, training: bool) -> YoloOutputs {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 4, "input must be NCHW");
+        assert_eq!(shape[1], 3, "input must be RGB");
+        assert_eq!(shape[2], self.cfg.input, "input height mismatch");
+        assert_eq!(shape[3], self.cfg.input, "input width mismatch");
+
+        let y = self.c1.forward(g, ps, x, training);
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = self.c2.forward(g, ps, y, training);
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = self.c3.forward(g, ps, y, training);
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = self.c4.forward(g, ps, y, training);
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let feat16 = self.c5.forward(g, ps, y, training); // stride 16
+        let y = g.max_pool2d(feat16, 2, 2, 0);
+        let y = self.c6.forward(g, ps, y, training);
+        let bottleneck = self.c7.forward(g, ps, y, training); // stride 32
+
+        // coarse head
+        let h1 = self.head1_pre.forward(g, ps, bottleneck, training);
+        let coarse = self.head1.forward(g, ps, h1);
+
+        // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
+        let r = self.route.forward(g, ps, bottleneck, training);
+        let r = g.upsample_nearest2x(r);
+        let cat = g.concat_channels(feat16, r);
+        let h2 = self.head2_pre.forward(g, ps, cat, training);
+        let fine = self.head2.forward(g, ps, h2);
+
+        YoloOutputs { coarse, fine }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(cfg: YoloConfig) -> (TinyYolo, ParamSet) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ps = ParamSet::new();
+        let m = TinyYolo::new(&mut ps, &mut rng, cfg);
+        (m, ps)
+    }
+
+    #[test]
+    fn output_shapes_standard() {
+        let (m, mut ps) = build(YoloConfig::standard());
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3, 96, 96]));
+        let out = m.forward(&mut g, &mut ps, x, false);
+        assert_eq!(g.value(out.coarse).shape(), &[2, 30, 3, 3]);
+        assert_eq!(g.value(out.fine).shape(), &[2, 30, 6, 6]);
+    }
+
+    #[test]
+    fn parameter_count_is_modest() {
+        let (_, ps) = build(YoloConfig::standard());
+        let n = ps.num_scalars();
+        assert!(n > 100_000, "suspiciously small model: {n}");
+        assert!(n < 1_500_000, "model too large for CPU training: {n}");
+    }
+
+    #[test]
+    fn training_mode_updates_running_stats() {
+        let (m, mut ps) = build(YoloConfig::smoke());
+        let mut rng = StdRng::seed_from_u64(2);
+        let before: Vec<f32> = ps
+            .iter()
+            .filter(|(_, p)| p.name().ends_with(".rmean"))
+            .flat_map(|(_, p)| p.value().data().to_vec())
+            .collect();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[2, 3, 64, 64], 1.0));
+        let _ = m.forward(&mut g, &mut ps, x, true);
+        let after: Vec<f32> = ps
+            .iter()
+            .filter(|(_, p)| p.name().ends_with(".rmean"))
+            .flat_map(|(_, p)| p.value().data().to_vec())
+            .collect();
+        assert_ne!(before, after, "running means should move in training");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_and_stats_frozen() {
+        let (m, mut ps) = build(YoloConfig::smoke());
+        let mut rng = StdRng::seed_from_u64(3);
+        let x0 = Tensor::randn(&mut rng, &[1, 3, 64, 64], 1.0);
+        let run = |ps: &mut ParamSet| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let out = m.forward(&mut g, ps, x, false);
+            g.value(out.coarse).clone()
+        };
+        let a = run(&mut ps);
+        let b = run(&mut ps);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradients_reach_the_input() {
+        // The whole attack depends on d(logits)/d(input pixels) != 0.
+        let (m, mut ps) = build(YoloConfig::smoke());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::randn(&mut rng, &[1, 3, 64, 64], 0.5));
+        let out = m.forward(&mut g, &mut ps, x, false);
+        let s1 = g.sum_all(out.coarse);
+        let s2 = g.sum_all(out.fine);
+        let loss = g.add(s1, s2);
+        let grads = g.backward(loss);
+        assert!(grads.get(x).sq_norm() > 0.0, "no gradient at the input");
+    }
+
+    #[test]
+    fn objectness_bias_starts_negative() {
+        let (m, ps) = build(YoloConfig::smoke());
+        let _ = m;
+        let bias = ps
+            .iter()
+            .find(|(_, p)| p.name() == "h1.b")
+            .map(|(_, p)| p.value().clone())
+            .unwrap();
+        assert_eq!(bias.data()[4], -2.0);
+        assert_eq!(bias.data()[14], -2.0);
+        assert_eq!(bias.data()[0], 0.0);
+    }
+}

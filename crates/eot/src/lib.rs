@@ -1,0 +1,413 @@
+//! # rd-eot
+//!
+//! Expectation Over Transformation (EOT, Athalye et al.) for the
+//! `road-decals` reproduction of *Road Decals as Trojans* (DSN 2024).
+//!
+//! The paper uses five "tricks": (1) resize, (2) rotation,
+//! (3) brightness, (4) gamma and (5) perspective, and ablates their
+//! combinations in Table IV. This crate defines the trick set, sampling
+//! distributions and the two application paths:
+//!
+//! * photometric tricks (brightness, gamma) apply directly to the decal
+//!   node in the autodiff graph ([`apply_photometric`]);
+//! * geometric tricks (resize, rotation, perspective) fold into the
+//!   decal's [`PatchPlacement`] so the whole chain is a single bilinear
+//!   warp ([`adjust_placement`]) — sampling once avoids compounding blur.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use rd_eot::{EotConfig, Trick, TrickSet};
+//!
+//! let cfg = EotConfig::paper(); // tricks (1)+(2)+(4)+(5), as in §IV-B
+//! assert!(cfg.tricks.contains(Trick::Perspective));
+//! assert!(!cfg.tricks.contains(Trick::Brightness));
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let t = cfg.sample(&mut rng);
+//! assert_eq!(t.brightness, 0.0); // disabled trick samples its identity
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+use rd_tensor::{Graph, VarId};
+use rd_vision::compose::PatchPlacement;
+
+/// The paper's five EOT tricks, numbered as in Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Trick {
+    /// (1) random resize.
+    Resize,
+    /// (2) random in-plane rotation.
+    Rotation,
+    /// (3) linear brightness shift.
+    Brightness,
+    /// (4) gamma correction (non-linear brightness).
+    Gamma,
+    /// (5) perspective distortion (simulates approach-driven size change).
+    Perspective,
+}
+
+impl Trick {
+    /// All tricks in paper order.
+    pub const ALL: [Trick; 5] = [
+        Trick::Resize,
+        Trick::Rotation,
+        Trick::Brightness,
+        Trick::Gamma,
+        Trick::Perspective,
+    ];
+
+    /// The paper's 1-based number for the trick.
+    pub fn number(self) -> usize {
+        match self {
+            Trick::Resize => 1,
+            Trick::Rotation => 2,
+            Trick::Brightness => 3,
+            Trick::Gamma => 4,
+            Trick::Perspective => 5,
+        }
+    }
+}
+
+/// A subset of the five tricks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrickSet {
+    bits: u8,
+}
+
+impl TrickSet {
+    /// The empty set.
+    pub fn none() -> Self {
+        TrickSet { bits: 0 }
+    }
+
+    /// All five tricks.
+    pub fn all() -> Self {
+        TrickSet { bits: 0b11111 }
+    }
+
+    /// A set from an explicit list.
+    pub fn of(tricks: &[Trick]) -> Self {
+        let mut s = Self::none();
+        for &t in tricks {
+            s.bits |= 1 << (t.number() - 1);
+        }
+        s
+    }
+
+    /// All five minus one — the rows of the paper's Table IV.
+    pub fn all_but(trick: Trick) -> Self {
+        let mut s = Self::all();
+        s.bits &= !(1 << (trick.number() - 1));
+        s
+    }
+
+    /// Membership test.
+    pub fn contains(self, trick: Trick) -> bool {
+        self.bits & (1 << (trick.number() - 1)) != 0
+    }
+
+    /// Number of enabled tricks.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Whether no trick is enabled.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+}
+
+impl std::fmt::Display for TrickSet {
+    /// Formats like the paper: `(1)+(2)+(4)+(5)`, or `All` / `None`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.bits == TrickSet::all().bits {
+            return f.write_str("All");
+        }
+        if self.is_empty() {
+            return f.write_str("None");
+        }
+        let mut first = true;
+        for t in Trick::ALL {
+            if self.contains(t) {
+                if !first {
+                    f.write_str("+")?;
+                }
+                write!(f, "({})", t.number())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sampling ranges for each trick plus the enabled set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EotConfig {
+    /// Enabled tricks.
+    pub tricks: TrickSet,
+    /// Multiplicative scale range for (1).
+    pub resize: (f32, f32),
+    /// Max |rotation| in radians for (2).
+    pub rotation: f32,
+    /// Max |additive brightness| for (3).
+    pub brightness: f32,
+    /// Gamma exponent range for (4).
+    pub gamma: (f32, f32),
+    /// Max |perspective coefficient| for (5), applied per unit patch size.
+    pub perspective: f32,
+}
+
+impl EotConfig {
+    /// The paper's final configuration: tricks (1)+(2)+(4)+(5)
+    /// (brightness dropped after the Table IV ablation).
+    pub fn paper() -> Self {
+        EotConfig {
+            tricks: TrickSet::all_but(Trick::Brightness),
+            ..Self::with_tricks(TrickSet::all())
+        }
+    }
+
+    /// Default ranges with an explicit trick set.
+    pub fn with_tricks(tricks: TrickSet) -> Self {
+        EotConfig {
+            tricks,
+            resize: (0.85, 1.18),
+            rotation: 12.0f32.to_radians(),
+            brightness: 0.12,
+            gamma: (0.75, 1.35),
+            perspective: 0.18,
+        }
+    }
+
+    /// Draws one transformation; disabled tricks take their identity
+    /// value.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> TransformSample {
+        TransformSample {
+            scale: if self.tricks.contains(Trick::Resize) {
+                rng.gen_range(self.resize.0..self.resize.1)
+            } else {
+                1.0
+            },
+            rotation: if self.tricks.contains(Trick::Rotation) {
+                rng.gen_range(-self.rotation..self.rotation)
+            } else {
+                0.0
+            },
+            brightness: if self.tricks.contains(Trick::Brightness) {
+                rng.gen_range(-self.brightness..self.brightness)
+            } else {
+                0.0
+            },
+            gamma: if self.tricks.contains(Trick::Gamma) {
+                rng.gen_range(self.gamma.0..self.gamma.1)
+            } else {
+                1.0
+            },
+            perspective: if self.tricks.contains(Trick::Perspective) {
+                (
+                    rng.gen_range(-self.perspective..self.perspective),
+                    rng.gen_range(-self.perspective..self.perspective),
+                )
+            } else {
+                (0.0, 0.0)
+            },
+        }
+    }
+}
+
+impl Default for EotConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One sampled transformation θ ~ p(θ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformSample {
+    /// Multiplicative size factor.
+    pub scale: f32,
+    /// Additional in-plane rotation (radians).
+    pub rotation: f32,
+    /// Additive brightness shift.
+    pub brightness: f32,
+    /// Gamma exponent.
+    pub gamma: f32,
+    /// Perspective coefficients (per unit patch size).
+    pub perspective: (f32, f32),
+}
+
+impl TransformSample {
+    /// The identity transformation.
+    pub fn identity() -> Self {
+        TransformSample {
+            scale: 1.0,
+            rotation: 0.0,
+            brightness: 0.0,
+            gamma: 1.0,
+            perspective: (0.0, 0.0),
+        }
+    }
+}
+
+/// Applies the photometric tricks (gamma, then brightness) to a decal node
+/// in the graph, clamping to `[0, 1]` — differentiable.
+pub fn apply_photometric(g: &mut Graph, patch: VarId, t: &TransformSample) -> VarId {
+    let mut y = patch;
+    if (t.gamma - 1.0).abs() > 1e-6 {
+        y = g.powf_const(y, t.gamma);
+    }
+    if t.brightness.abs() > 1e-6 {
+        y = g.add_scalar(y, t.brightness);
+    }
+    g.clamp(y, 0.0, 1.0)
+}
+
+/// Folds the geometric tricks into a base placement. `patch_size` scales
+/// the perspective coefficients so they are resolution-independent.
+pub fn adjust_placement(
+    base: PatchPlacement,
+    t: &TransformSample,
+    patch_size: usize,
+) -> PatchPlacement {
+    let k = patch_size.max(1) as f32;
+    PatchPlacement {
+        center: base.center,
+        scale: base.scale * t.scale,
+        rotation: base.rotation + t.rotation,
+        perspective: (
+            base.perspective.0 + t.perspective.0 / k,
+            base.perspective.1 + t.perspective.1 / k,
+        ),
+    }
+}
+
+/// The Table IV rows: every leave-one-out combination plus `All`.
+pub fn table4_combinations() -> Vec<TrickSet> {
+    vec![
+        TrickSet::all_but(Trick::Gamma),       // (1)+(2)+(3)+(5)
+        EotConfig::paper().tricks,             // (1)+(2)+(4)+(5)
+        TrickSet::all_but(Trick::Resize),      // (2)+(3)+(4)+(5)
+        TrickSet::all_but(Trick::Rotation),    // (1)+(3)+(4)+(5)
+        TrickSet::all_but(Trick::Perspective), // (1)+(2)+(3)+(4)
+        TrickSet::all(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rd_tensor::Tensor;
+
+    #[test]
+    fn trick_set_algebra() {
+        let s = TrickSet::of(&[Trick::Resize, Trick::Gamma]);
+        assert!(s.contains(Trick::Resize));
+        assert!(!s.contains(Trick::Rotation));
+        assert_eq!(s.len(), 2);
+        assert_eq!(TrickSet::all().len(), 5);
+        assert_eq!(TrickSet::all_but(Trick::Gamma).len(), 4);
+        assert!(!TrickSet::all_but(Trick::Gamma).contains(Trick::Gamma));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(TrickSet::all().to_string(), "All");
+        assert_eq!(TrickSet::none().to_string(), "None");
+        assert_eq!(
+            TrickSet::all_but(Trick::Brightness).to_string(),
+            "(1)+(2)+(4)+(5)"
+        );
+        assert_eq!(
+            TrickSet::all_but(Trick::Perspective).to_string(),
+            "(1)+(2)+(3)+(4)"
+        );
+    }
+
+    #[test]
+    fn disabled_tricks_sample_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EotConfig::with_tricks(TrickSet::none());
+        for _ in 0..10 {
+            let t = cfg.sample(&mut rng);
+            assert_eq!(t, TransformSample::identity());
+        }
+    }
+
+    #[test]
+    fn enabled_tricks_vary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EotConfig::with_tricks(TrickSet::all());
+        let a = cfg.sample(&mut rng);
+        let b = cfg.sample(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.scale >= cfg.resize.0 && a.scale < cfg.resize.1);
+        assert!(a.gamma >= cfg.gamma.0 && a.gamma < cfg.gamma.1);
+    }
+
+    #[test]
+    fn photometric_identity_is_noop_modulo_clamp() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.2, 0.8], &[1, 1, 1, 2]));
+        let y = apply_photometric(&mut g, x, &TransformSample::identity());
+        assert_eq!(g.value(y).data(), &[0.2, 0.8]);
+    }
+
+    #[test]
+    fn gamma_darkens_midtones_when_above_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.5], &[1, 1, 1, 1]));
+        let mut t = TransformSample::identity();
+        t.gamma = 2.0;
+        let y = apply_photometric(&mut g, x, &t);
+        assert!((g.value(y).data()[0] - 0.25).abs() < 1e-4);
+    }
+
+    #[test]
+    fn brightness_shifts_and_clamps() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.2, 0.95], &[1, 1, 1, 2]));
+        let mut t = TransformSample::identity();
+        t.brightness = 0.15;
+        let y = apply_photometric(&mut g, x, &t);
+        assert!((g.value(y).data()[0] - 0.35).abs() < 1e-5);
+        assert_eq!(g.value(y).data()[1], 1.0);
+    }
+
+    #[test]
+    fn placement_adjustment_composes() {
+        let base = PatchPlacement::new((10.0, 20.0), 2.0).with_rotation(0.1);
+        let mut t = TransformSample::identity();
+        t.scale = 1.5;
+        t.rotation = 0.2;
+        t.perspective = (0.8, -0.4);
+        let adj = adjust_placement(base, &t, 16);
+        assert!((adj.scale - 3.0).abs() < 1e-6);
+        assert!((adj.rotation - 0.3).abs() < 1e-6);
+        assert!((adj.perspective.0 - 0.05).abs() < 1e-6);
+        assert_eq!(adj.center, base.center);
+    }
+
+    #[test]
+    fn table4_has_six_rows_in_paper_order() {
+        let rows = table4_combinations();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].to_string(), "(1)+(2)+(3)+(5)");
+        assert_eq!(rows[1].to_string(), "(1)+(2)+(4)+(5)");
+        assert_eq!(rows[4].to_string(), "(1)+(2)+(3)+(4)");
+        assert_eq!(rows[5].to_string(), "All");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let cfg = EotConfig::paper();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        assert_eq!(cfg.sample(&mut r1), cfg.sample(&mut r2));
+    }
+}

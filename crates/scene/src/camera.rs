@@ -1,0 +1,567 @@
+//! Ground-plane pinhole camera, pose trajectories and frame rendering.
+//!
+//! The world is a planar road canvas (see [`crate::WorldScene`]); a frame
+//! is a projective warp of that canvas into the camera image, which is
+//! exactly how the paper's decals deform as the car approaches. The same
+//! homography is exported as a differentiable [`rd_tensor::LinearMap`] so
+//! attack gradients flow *through the camera* during training.
+
+use rand::Rng;
+
+use rd_tensor::LinearMap;
+use rd_vision::geometry::Mat3;
+use rd_vision::warp::homography;
+use rd_vision::{Image, Plane, Rgb};
+
+use crate::classes::{GtBox, ObjectClass};
+use crate::render::Rect;
+
+/// Pinhole intrinsics plus the world-canvas geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraRig {
+    /// Output image `(height, width)` in pixels.
+    pub image_hw: (usize, usize),
+    /// Focal length in pixels.
+    pub focal: f32,
+    /// Image row of the horizon.
+    pub horizon_v: f32,
+    /// Camera height above the road in meters.
+    pub height_m: f32,
+    /// World-canvas resolution in pixels per meter.
+    pub px_per_m: f32,
+    /// World canvas `(height, width)` in pixels.
+    pub canvas_hw: (usize, usize),
+}
+
+impl CameraRig {
+    /// The default rig used across the reproduction: a 96x96 camera over a
+    /// 10m x 10m world canvas.
+    pub fn standard() -> Self {
+        CameraRig {
+            image_hw: (96, 96),
+            focal: 150.0,
+            horizon_v: 30.0,
+            height_m: 1.2,
+            px_per_m: 16.0,
+            canvas_hw: (160, 160),
+        }
+    }
+
+    /// A smaller rig for smoke-scale tests.
+    pub fn smoke() -> Self {
+        CameraRig {
+            image_hw: (64, 64),
+            focal: 100.0,
+            horizon_v: 20.0,
+            height_m: 1.2,
+            px_per_m: 10.0,
+            canvas_hw: (104, 104),
+        }
+    }
+
+    /// The homography mapping world-canvas pixels to image pixels for the
+    /// given pose.
+    pub fn world_to_image(&self, pose: &CameraPose) -> Mat3 {
+        let ppm = self.px_per_m;
+        let (ch, cw) = (self.canvas_hw.0 as f32, self.canvas_hw.1 as f32);
+        // canvas px -> camera-frame meters (before yaw)
+        let a = Mat3 {
+            m: [
+                1.0 / ppm,
+                0.0,
+                -(cw / (2.0 * ppm)) - pose.lateral_m,
+                0.0,
+                -1.0 / ppm,
+                pose.z_near + ch / ppm,
+                0.0,
+                0.0,
+                1.0,
+            ],
+        };
+        // yaw about the camera's vertical axis
+        let (s, c) = pose.yaw.sin_cos();
+        let y = Mat3 {
+            m: [c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0],
+        };
+        // ground-plane pinhole projection
+        let cu = self.image_hw.1 as f32 / 2.0;
+        let cv = self.horizon_v;
+        let p = Mat3 {
+            m: [
+                self.focal,
+                cu,
+                0.0,
+                0.0,
+                cv,
+                self.focal * self.height_m,
+                0.0,
+                1.0,
+                0.0,
+            ],
+        };
+        // roll about the image centre
+        let icx = self.image_hw.1 as f32 / 2.0;
+        let icy = self.image_hw.0 as f32 / 2.0;
+        let r = Mat3::translation(icx, icy)
+            .mul(&Mat3::rotation(pose.roll))
+            .mul(&Mat3::translation(-icx, -icy));
+        r.mul(&p).mul(&y).mul(&a)
+    }
+
+    /// The differentiable warp map for the pose (world canvas → image).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pose is degenerate (never happens for `z_near > 0`).
+    pub fn warp_map(&self, pose: &CameraPose) -> LinearMap {
+        homography(
+            self.canvas_hw,
+            self.image_hw,
+            &self.world_to_image(pose),
+        )
+        .expect("camera homography must be invertible")
+    }
+
+    /// The background (sky + distant road) a frame is composited over.
+    pub fn background(&self) -> Image {
+        let (h, w) = self.image_hw;
+        let mut bg = Image::new(h, w, Rgb::gray(0.25));
+        for y in 0..h {
+            let v = y as f32;
+            let c = if v < self.horizon_v {
+                // sky gradient
+                let t = v / self.horizon_v.max(1.0);
+                Rgb(0.55 + 0.1 * (1.0 - t), 0.65 + 0.1 * (1.0 - t), 0.8)
+            } else {
+                // road darkens slightly toward the camera
+                let t = (v - self.horizon_v) / (h as f32 - self.horizon_v);
+                Rgb::gray(0.30 - 0.06 * t)
+            };
+            for x in 0..w {
+                bg.set(y, x, c);
+            }
+        }
+        bg
+    }
+
+    /// Renders one camera frame of the world canvas (non-differentiable
+    /// evaluation path).
+    pub fn render_frame(&self, world: &Image, pose: &CameraPose) -> Image {
+        assert_eq!(
+            (world.height(), world.width()),
+            self.canvas_hw,
+            "world canvas size mismatch"
+        );
+        let map = self.warp_map(pose);
+        let ones = Plane::new(self.canvas_hw.0, self.canvas_hw.1, 1.0);
+        let cov = map.apply_plane(ones.data());
+        let hw_world = self.canvas_hw.0 * self.canvas_hw.1;
+        let mut out = self.background();
+        let (h, w) = self.image_hw;
+        for ch in 0..3 {
+            let plane = map.apply_plane(&world.data()[ch * hw_world..(ch + 1) * hw_world]);
+            for y in 0..h {
+                if (y as f32) < self.horizon_v - 1.0 {
+                    continue; // keep the sky
+                }
+                for x in 0..w {
+                    let i = y * w + x;
+                    let a = cov[i].clamp(0.0, 1.0);
+                    if a > 0.0 {
+                        let cur = out.get(y, x);
+                        let v = (plane[i] / a.max(1e-3)).clamp(0.0, 1.0);
+                        let mixed = match ch {
+                            0 => Rgb(cur.0 * (1.0 - a) + v * a, cur.1, cur.2),
+                            1 => Rgb(cur.0, cur.1 * (1.0 - a) + v * a, cur.2),
+                            _ => Rgb(cur.0, cur.1, cur.2 * (1.0 - a) + v * a),
+                        };
+                        out.set(y, x, mixed);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Projects a world-canvas rectangle to a normalized image box.
+    /// Returns `None` when the object is (almost) invisible.
+    pub fn project_rect(&self, pose: &CameraPose, rect: Rect, class: ObjectClass) -> Option<GtBox> {
+        let h = self.world_to_image(pose);
+        let mut x0 = f32::INFINITY;
+        let mut y0 = f32::INFINITY;
+        let mut x1 = f32::NEG_INFINITY;
+        let mut y1 = f32::NEG_INFINITY;
+        for (cx, cy) in rect.corners() {
+            // reject corners behind the camera: check the denominator
+            let den = h.m[6] * cx + h.m[7] * cy + h.m[8];
+            if den <= 1e-3 {
+                return None;
+            }
+            let (u, v) = h.apply(cx, cy);
+            x0 = x0.min(u);
+            y0 = y0.min(v);
+            x1 = x1.max(u);
+            y1 = y1.max(v);
+        }
+        let (ih, iw) = (self.image_hw.0 as f32, self.image_hw.1 as f32);
+        let cx0 = x0.clamp(0.0, iw);
+        let cy0 = y0.clamp(0.0, ih);
+        let cx1 = x1.clamp(0.0, iw);
+        let cy1 = y1.clamp(0.0, ih);
+        let bw = cx1 - cx0;
+        let bh = cy1 - cy0;
+        if bw < 2.0 || bh < 2.0 {
+            return None;
+        }
+        // require at least 40% of the unclipped box to stay in frame
+        let full = (x1 - x0) * (y1 - y0);
+        if full <= 0.0 || (bw * bh) / full < 0.4 {
+            return None;
+        }
+        Some(GtBox {
+            class,
+            cx: (cx0 + cx1) / 2.0 / iw,
+            cy: (cy0 + cy1) / 2.0 / ih,
+            w: bw / iw,
+            h: bh / ih,
+        })
+    }
+}
+
+/// Camera pose relative to the world canvas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraPose {
+    /// Distance (m) from the camera to the canvas' near edge.
+    pub z_near: f32,
+    /// Lateral offset of the camera (m), positive = camera right of canvas
+    /// centreline.
+    pub lateral_m: f32,
+    /// Yaw (rad), positive = camera panned left.
+    pub yaw: f32,
+    /// Roll (rad) about the optical axis.
+    pub roll: f32,
+}
+
+impl CameraPose {
+    /// A straight-ahead pose at the given distance.
+    pub fn at_distance(z_near: f32) -> Self {
+        CameraPose {
+            z_near,
+            lateral_m: 0.0,
+            yaw: 0.0,
+            roll: 0.0,
+        }
+    }
+}
+
+/// Vehicle speed settings from the paper (15 / 25 / 35 km/h).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Speed {
+    /// 15 km/h.
+    Slow,
+    /// 25 km/h.
+    Normal,
+    /// 35 km/h.
+    Fast,
+}
+
+impl Speed {
+    /// All speeds in table order.
+    pub const ALL: [Speed; 3] = [Speed::Slow, Speed::Normal, Speed::Fast];
+
+    /// Speed in km/h.
+    pub fn kmh(self) -> f32 {
+        match self {
+            Speed::Slow => 15.0,
+            Speed::Normal => 25.0,
+            Speed::Fast => 35.0,
+        }
+    }
+
+    /// Meters travelled per frame at the given frame rate.
+    pub fn m_per_frame(self, fps: f32) -> f32 {
+        self.kmh() / 3.6 / fps
+    }
+
+    /// Table/CLI label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Speed::Slow => "slow",
+            Speed::Normal => "normal",
+            Speed::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for Speed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lateral-angle settings from the paper (−15° / 0° / +15°, Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AngleSetting {
+    /// Target on the left of the frame (−15°).
+    Left15,
+    /// Target centred (0°).
+    Center,
+    /// Target on the right of the frame (+15°).
+    Right15,
+}
+
+impl AngleSetting {
+    /// All angles in table order.
+    pub const ALL: [AngleSetting; 3] =
+        [AngleSetting::Left15, AngleSetting::Center, AngleSetting::Right15];
+
+    /// Camera yaw in radians.
+    pub fn yaw(self) -> f32 {
+        match self {
+            AngleSetting::Left15 => -15.0f32.to_radians(),
+            AngleSetting::Center => 0.0,
+            AngleSetting::Right15 => 15.0f32.to_radians(),
+        }
+    }
+
+    /// Table/CLI label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AngleSetting::Left15 => "-15",
+            AngleSetting::Center => "0",
+            AngleSetting::Right15 => "+15",
+        }
+    }
+}
+
+impl std::fmt::Display for AngleSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Camera-rotation settings from the paper (fixed / slight shake).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RotationSetting {
+    /// Camera held fixed.
+    Fix,
+    /// Gentle hand shake: small per-frame roll and yaw jitter.
+    Slight,
+}
+
+impl RotationSetting {
+    /// All rotation settings in table order.
+    pub const ALL: [RotationSetting; 2] = [RotationSetting::Fix, RotationSetting::Slight];
+
+    /// Roll jitter standard deviation (radians).
+    pub fn roll_std(self) -> f32 {
+        match self {
+            RotationSetting::Fix => 0.0,
+            RotationSetting::Slight => 4.0f32.to_radians(),
+        }
+    }
+
+    /// Table/CLI label.
+    pub fn name(self) -> &'static str {
+        match self {
+            RotationSetting::Fix => "fix",
+            RotationSetting::Slight => "slight rotation",
+        }
+    }
+}
+
+impl std::fmt::Display for RotationSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A stationary-camera pose sequence for the rotation challenge
+/// ("we stand stationary and gently shake the camera").
+pub fn rotation_poses<R: Rng>(
+    z: f32,
+    n_frames: usize,
+    rotation: RotationSetting,
+    rng: &mut R,
+) -> Vec<CameraPose> {
+    let std = rotation.roll_std();
+    (0..n_frames)
+        .map(|_| {
+            let mut p = CameraPose::at_distance(z);
+            if std > 0.0 {
+                p.roll = rng.gen_range(-2.0 * std..2.0 * std);
+                p.yaw = rng.gen_range(-std..std) * 0.5;
+                p.lateral_m = rng.gen_range(-0.05..0.05);
+            }
+            p
+        })
+        .collect()
+}
+
+/// An approach trajectory: the camera drives toward the canvas from
+/// `start_z` to `end_z` at the given speed, with mild driving wobble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproachConfig {
+    /// Vehicle speed.
+    pub speed: Speed,
+    /// Lateral-angle setting.
+    pub angle: AngleSetting,
+    /// Starting distance (m).
+    pub start_z: f32,
+    /// Final distance (m).
+    pub end_z: f32,
+    /// Frame rate (frames per second).
+    pub fps: f32,
+    /// Upper bound on frames (safety cap).
+    pub max_frames: usize,
+}
+
+impl Default for ApproachConfig {
+    fn default() -> Self {
+        ApproachConfig {
+            speed: Speed::Slow,
+            angle: AngleSetting::Center,
+            start_z: 9.0,
+            end_z: 2.5,
+            fps: 10.0,
+            max_frames: 120,
+        }
+    }
+}
+
+/// Generates the pose sequence for an approach.
+pub fn approach_poses<R: Rng>(cfg: &ApproachConfig, rng: &mut R) -> Vec<CameraPose> {
+    let step = cfg.speed.m_per_frame(cfg.fps);
+    let mut poses = Vec::new();
+    let mut z = cfg.start_z;
+    while z > cfg.end_z && poses.len() < cfg.max_frames {
+        poses.push(CameraPose {
+            z_near: z,
+            lateral_m: rng.gen_range(-0.04..0.04),
+            yaw: cfg.angle.yaw() + rng.gen_range(-0.01..0.01),
+            roll: rng.gen_range(-0.01..0.01),
+        });
+        z -= step;
+    }
+    poses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closer_objects_project_larger() {
+        let rig = CameraRig::standard();
+        let rect = Rect {
+            y: 100.0,
+            x: 70.0,
+            h: 24.0,
+            w: 24.0,
+        };
+        let far = rig
+            .project_rect(&CameraPose::at_distance(8.0), rect, ObjectClass::Word)
+            .unwrap();
+        let near = rig
+            .project_rect(&CameraPose::at_distance(3.0), rect, ObjectClass::Word)
+            .unwrap();
+        assert!(near.w > far.w * 1.5, "near {} far {}", near.w, far.w);
+        assert!(near.cy > far.cy, "nearer objects sit lower in the frame");
+    }
+
+    #[test]
+    fn yaw_shifts_object_horizontally() {
+        let rig = CameraRig::standard();
+        let rect = Rect {
+            y: 90.0,
+            x: 68.0,
+            h: 24.0,
+            w: 24.0,
+        };
+        let mut left_pose = CameraPose::at_distance(5.0);
+        left_pose.yaw = AngleSetting::Left15.yaw();
+        let mut right_pose = CameraPose::at_distance(5.0);
+        right_pose.yaw = AngleSetting::Right15.yaw();
+        let center = rig
+            .project_rect(&CameraPose::at_distance(5.0), rect, ObjectClass::Word)
+            .unwrap();
+        let l = rig.project_rect(&left_pose, rect, ObjectClass::Word);
+        let r = rig.project_rect(&right_pose, rect, ObjectClass::Word);
+        // panning moves the object off-centre in opposite directions
+        if let (Some(l), Some(r)) = (l, r) {
+            assert!(l.cx != r.cx);
+            assert!((center.cx - 0.5).abs() < 0.15);
+        } else {
+            panic!("object should stay visible at ±15°");
+        }
+    }
+
+    #[test]
+    fn render_frame_shows_road_below_horizon() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let world = crate::WorldScene::road(160, 160, &mut rng);
+        let rig = CameraRig::standard();
+        let frame = rig.render_frame(world.canvas(), &CameraPose::at_distance(4.0));
+        // sky above horizon is blueish
+        let sky = frame.get(5, 48);
+        assert!(sky.2 > sky.0, "sky should be blue-tinted: {sky:?}");
+        // road below horizon is gray
+        let road = frame.get(80, 48);
+        assert!((road.0 - road.2).abs() < 0.1, "road should be neutral");
+    }
+
+    #[test]
+    fn speeds_are_ordered() {
+        assert!(Speed::Fast.m_per_frame(10.0) > Speed::Normal.m_per_frame(10.0));
+        assert!(Speed::Normal.m_per_frame(10.0) > Speed::Slow.m_per_frame(10.0));
+        assert!((Speed::Slow.m_per_frame(10.0) - 15.0 / 3.6 / 10.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn approach_frame_counts_shrink_with_speed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mk = |speed| {
+            approach_poses(
+                &ApproachConfig {
+                    speed,
+                    ..ApproachConfig::default()
+                },
+                &mut rng,
+            )
+            .len()
+        };
+        let slow = mk(Speed::Slow);
+        let normal = mk(Speed::Normal);
+        let fast = mk(Speed::Fast);
+        assert!(slow > normal && normal > fast, "{slow} {normal} {fast}");
+        assert!(fast >= 3, "even fast approaches must allow a CWC window");
+    }
+
+    #[test]
+    fn approach_distances_decrease() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let poses = approach_poses(&ApproachConfig::default(), &mut rng);
+        for w in poses.windows(2) {
+            assert!(w[1].z_near < w[0].z_near);
+        }
+    }
+
+    #[test]
+    fn rotation_poses_fix_vs_slight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let fix = rotation_poses(5.0, 10, RotationSetting::Fix, &mut rng);
+        assert!(fix.iter().all(|p| p.roll == 0.0 && p.yaw == 0.0));
+        let slight = rotation_poses(5.0, 10, RotationSetting::Slight, &mut rng);
+        assert!(slight.iter().any(|p| p.roll.abs() > 0.01));
+    }
+
+    #[test]
+    fn warp_map_grid_sizes() {
+        let rig = CameraRig::smoke();
+        let map = rig.warp_map(&CameraPose::at_distance(5.0));
+        assert_eq!(map.in_hw(), rig.canvas_hw);
+        assert_eq!(map.out_hw(), rig.image_hw);
+    }
+}

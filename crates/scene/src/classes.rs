@@ -1,0 +1,161 @@
+//! The five object classes of the paper's fine-tuned detector.
+
+/// Object classes, matching the paper's labels
+/// ("person, word, mark, car, and bicycle").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ObjectClass {
+    /// Pedestrian pictogram.
+    Person,
+    /// A painted word on the road surface (the attack's usual victim).
+    Word,
+    /// A lane marking (arrow / diamond).
+    Mark,
+    /// Car pictogram (the attack's usual target class `t`).
+    Car,
+    /// Bicycle pictogram.
+    Bicycle,
+}
+
+impl ObjectClass {
+    /// Number of classes.
+    pub const COUNT: usize = 5;
+
+    /// All classes in index order.
+    pub const ALL: [ObjectClass; 5] = [
+        ObjectClass::Person,
+        ObjectClass::Word,
+        ObjectClass::Mark,
+        ObjectClass::Car,
+        ObjectClass::Bicycle,
+    ];
+
+    /// Stable class index used by the detector head.
+    pub fn index(self) -> usize {
+        match self {
+            ObjectClass::Person => 0,
+            ObjectClass::Word => 1,
+            ObjectClass::Mark => 2,
+            ObjectClass::Car => 3,
+            ObjectClass::Bicycle => 4,
+        }
+    }
+
+    /// Inverse of [`ObjectClass::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= ObjectClass::COUNT`.
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Lowercase display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectClass::Person => "person",
+            ObjectClass::Word => "word",
+            ObjectClass::Mark => "mark",
+            ObjectClass::Car => "car",
+            ObjectClass::Bicycle => "bicycle",
+        }
+    }
+}
+
+impl std::fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An axis-aligned box in *normalized* image coordinates (all in `[0,1]`,
+/// centre + size), the ground-truth format the detector trains on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Object class.
+    pub class: ObjectClass,
+    /// Box centre x.
+    pub cx: f32,
+    /// Box centre y.
+    pub cy: f32,
+    /// Box width.
+    pub w: f32,
+    /// Box height.
+    pub h: f32,
+}
+
+impl GtBox {
+    /// Intersection-over-union with another box.
+    pub fn iou(&self, other: &GtBox) -> f32 {
+        let (ax0, ax1) = (self.cx - self.w / 2.0, self.cx + self.w / 2.0);
+        let (ay0, ay1) = (self.cy - self.h / 2.0, self.cy + self.h / 2.0);
+        let (bx0, bx1) = (other.cx - other.w / 2.0, other.cx + other.w / 2.0);
+        let (by0, by1) = (other.cy - other.h / 2.0, other.cy + other.h / 2.0);
+        let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let ih = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = iw * ih;
+        let union = self.w * self.h + other.w * other.h - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for c in ObjectClass::ALL {
+            assert_eq!(ObjectClass::from_index(c.index()), c);
+        }
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = GtBox {
+            class: ObjectClass::Car,
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.3,
+        };
+        assert!((b.iou(&b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = GtBox {
+            class: ObjectClass::Car,
+            cx: 0.2,
+            cy: 0.2,
+            w: 0.1,
+            h: 0.1,
+        };
+        let b = GtBox {
+            class: ObjectClass::Car,
+            cx: 0.8,
+            cy: 0.8,
+            w: 0.1,
+            h: 0.1,
+        };
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = GtBox {
+            class: ObjectClass::Car,
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+        };
+        let mut b = a;
+        b.cx += 0.1; // shifted by half its width
+        let want = 0.5 / 1.5; // inter = 0.5 A, union = 1.5 A
+        assert!((a.iou(&b) - want).abs() < 1e-5);
+    }
+}

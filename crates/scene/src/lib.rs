@@ -1,0 +1,45 @@
+//! # rd-scene
+//!
+//! Procedural road scenes, camera trajectories and the physical
+//! print/capture channel for the `road-decals` reproduction of *Road
+//! Decals as Trojans* (DSN 2024).
+//!
+//! The paper evaluates on private photos and physical drive-bys; this
+//! crate is the workspace's simulated substitute (see DESIGN.md): a
+//! bird's-eye [`WorldScene`] canvas carrying painted objects, a
+//! ground-plane pinhole [`CameraRig`] that renders frames along
+//! speed/angle/rotation trajectories, and a [`PhysicalChannel`] modelling
+//! printing and capture degradation.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use rd_scene::{CameraPose, CameraRig, ObjectClass, WorldScene};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let rig = CameraRig::smoke();
+//! let mut world = WorldScene::road(rig.canvas_hw.0, rig.canvas_hw.1, &mut rng);
+//! world.add_object(ObjectClass::Word, (52.0, 70.0), 24.0, &mut rng);
+//! let frame = rig.render_frame(world.canvas(), &CameraPose::at_distance(4.0));
+//! assert_eq!(frame.height(), rig.image_hw.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod camera;
+mod classes;
+pub mod dataset;
+mod physical;
+pub mod render;
+pub mod video;
+mod world;
+
+pub use camera::{
+    approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, CameraRig,
+    RotationSetting, Speed,
+};
+pub use classes::{GtBox, ObjectClass};
+pub use physical::{CaptureModel, PhysicalChannel, PrintModel};
+pub use render::Rect;
+pub use world::{WorldObject, WorldScene};

@@ -1,0 +1,325 @@
+//! Pictogram rendering: every class is drawn as a road-paint figure on the
+//! ground plane.
+//!
+//! **Substitution note (see DESIGN.md).** The paper's private dataset
+//! contains photos of five labels; we render all five as white road-paint
+//! pictograms with distinctive *silhouettes*. This forces the detector to
+//! key on shape under projective distortion — exactly the decision surface
+//! the monochrome road-decal attack manipulates.
+
+use rand::Rng;
+
+use rd_vision::{Image, Rgb};
+
+use crate::classes::ObjectClass;
+
+/// A rectangle in world-canvas pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Top edge.
+    pub y: f32,
+    /// Left edge.
+    pub x: f32,
+    /// Height.
+    pub h: f32,
+    /// Width.
+    pub w: f32,
+}
+
+impl Rect {
+    /// Centre point `(x, y)`.
+    pub fn center(&self) -> (f32, f32) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Corner points in drawing order.
+    pub fn corners(&self) -> [(f32, f32); 4] {
+        [
+            (self.x, self.y),
+            (self.x + self.w, self.y),
+            (self.x + self.w, self.y + self.h),
+            (self.x, self.y + self.h),
+        ]
+    }
+}
+
+/// Draws the pictogram for `class` inside `rect` with paint-brightness
+/// jitter from `rng`.
+pub fn draw_object<R: Rng>(img: &mut Image, class: ObjectClass, rect: Rect, rng: &mut R) {
+    let paint = Rgb::gray(rng.gen_range(0.78..0.98));
+    match class {
+        ObjectClass::Person => draw_person(img, rect, paint),
+        ObjectClass::Word => draw_word(img, rect, paint, rng),
+        ObjectClass::Mark => draw_mark(img, rect, paint),
+        ObjectClass::Car => draw_car(img, rect, paint),
+        ObjectClass::Bicycle => draw_bicycle(img, rect, paint),
+    }
+}
+
+/// Walking-person pictogram: head disc, torso wedge, two stride legs.
+fn draw_person(img: &mut Image, r: Rect, c: Rgb) {
+    let (cx, _) = r.center();
+    let head_r = r.w * 0.16;
+    img.fill_circle(r.y + head_r + 1.0, cx, head_r, c);
+    // torso
+    img.fill_polygon(
+        &[
+            (cx - r.w * 0.18, r.y + r.h * 0.28),
+            (cx + r.w * 0.18, r.y + r.h * 0.28),
+            (cx + r.w * 0.10, r.y + r.h * 0.60),
+            (cx - r.w * 0.10, r.y + r.h * 0.60),
+        ],
+        c,
+    );
+    // legs in stride
+    img.fill_polygon(
+        &[
+            (cx - r.w * 0.08, r.y + r.h * 0.58),
+            (cx + r.w * 0.04, r.y + r.h * 0.58),
+            (cx - r.w * 0.28, r.y + r.h * 0.97),
+            (cx - r.w * 0.38, r.y + r.h * 0.92),
+        ],
+        c,
+    );
+    img.fill_polygon(
+        &[
+            (cx - r.w * 0.02, r.y + r.h * 0.58),
+            (cx + r.w * 0.10, r.y + r.h * 0.58),
+            (cx + r.w * 0.36, r.y + r.h * 0.95),
+            (cx + r.w * 0.26, r.y + r.h * 1.0),
+        ],
+        c,
+    );
+    // arms
+    img.fill_polygon(
+        &[
+            (cx - r.w * 0.18, r.y + r.h * 0.30),
+            (cx - r.w * 0.40, r.y + r.h * 0.50),
+            (cx - r.w * 0.34, r.y + r.h * 0.55),
+            (cx - r.w * 0.12, r.y + r.h * 0.38),
+        ],
+        c,
+    );
+}
+
+/// Painted word: a row of block "letters" with gaps.
+fn draw_word<R: Rng>(img: &mut Image, r: Rect, c: Rgb, rng: &mut R) {
+    let n_letters = 4;
+    let gap = r.w * 0.06;
+    let lw = (r.w - gap * (n_letters as f32 - 1.0)) / n_letters as f32;
+    for i in 0..n_letters {
+        let x0 = r.x + i as f32 * (lw + gap);
+        // each "letter" is a block with a random notch so letters differ
+        img.fill_rect(r.y as usize, x0 as usize, r.h as usize, lw as usize, c);
+        let notch = rng.gen_range(0..3);
+        let bg = Rgb::gray(0.30);
+        match notch {
+            0 => img.fill_rect(
+                (r.y + r.h * 0.35) as usize,
+                (x0 + lw * 0.3) as usize,
+                (r.h * 0.3) as usize,
+                (lw * 0.4) as usize,
+                bg,
+            ),
+            1 => img.fill_rect(
+                r.y as usize,
+                (x0 + lw * 0.35) as usize,
+                (r.h * 0.45) as usize,
+                (lw * 0.3) as usize,
+                bg,
+            ),
+            _ => img.fill_rect(
+                (r.y + r.h * 0.55) as usize,
+                (x0 + lw * 0.35) as usize,
+                (r.h * 0.45) as usize,
+                (lw * 0.3) as usize,
+                bg,
+            ),
+        }
+    }
+}
+
+/// Lane marking: a forward arrow (stem + head), like a turn arrow.
+fn draw_mark(img: &mut Image, r: Rect, c: Rgb) {
+    let (cx, _) = r.center();
+    // stem
+    img.fill_polygon(
+        &[
+            (cx - r.w * 0.12, r.y + r.h * 0.40),
+            (cx + r.w * 0.12, r.y + r.h * 0.40),
+            (cx + r.w * 0.12, r.y + r.h),
+            (cx - r.w * 0.12, r.y + r.h),
+        ],
+        c,
+    );
+    // head
+    img.fill_polygon(
+        &[
+            (cx, r.y),
+            (cx + r.w * 0.38, r.y + r.h * 0.45),
+            (cx - r.w * 0.38, r.y + r.h * 0.45),
+        ],
+        c,
+    );
+}
+
+/// Car pictogram (top silhouette): rounded body, cabin block, axle bars.
+fn draw_car(img: &mut Image, r: Rect, c: Rgb) {
+    let (cx, cy) = r.center();
+    // body
+    img.fill_polygon(
+        &[
+            (r.x + r.w * 0.18, r.y),
+            (r.x + r.w * 0.82, r.y),
+            (r.x + r.w, r.y + r.h * 0.25),
+            (r.x + r.w, r.y + r.h * 0.75),
+            (r.x + r.w * 0.82, r.y + r.h),
+            (r.x + r.w * 0.18, r.y + r.h),
+            (r.x, r.y + r.h * 0.75),
+            (r.x, r.y + r.h * 0.25),
+        ],
+        c,
+    );
+    // windshield cutouts (dark)
+    let bg = Rgb::gray(0.30);
+    img.fill_rect(
+        (cy - r.h * 0.28) as usize,
+        (cx - r.w * 0.30) as usize,
+        (r.h * 0.14) as usize,
+        (r.w * 0.60) as usize,
+        bg,
+    );
+    img.fill_rect(
+        (cy + r.h * 0.16) as usize,
+        (cx - r.w * 0.30) as usize,
+        (r.h * 0.14) as usize,
+        (r.w * 0.60) as usize,
+        bg,
+    );
+}
+
+/// Bicycle pictogram: two wheel rings plus a frame triangle.
+fn draw_bicycle(img: &mut Image, r: Rect, c: Rgb) {
+    let wheel_r = r.h * 0.30;
+    let ly = r.y + r.h - wheel_r;
+    let lx = r.x + wheel_r;
+    let rx = r.x + r.w - wheel_r;
+    // wheel rings: filled circle minus inner circle
+    let bg = Rgb::gray(0.30);
+    img.fill_circle(ly, lx, wheel_r, c);
+    img.fill_circle(ly, lx, wheel_r * 0.55, bg);
+    img.fill_circle(ly, rx, wheel_r, c);
+    img.fill_circle(ly, rx, wheel_r * 0.55, bg);
+    // frame
+    let top = r.y + r.h * 0.18;
+    img.fill_polygon(
+        &[
+            (lx, ly),
+            ((lx + rx) / 2.0, top),
+            ((lx + rx) / 2.0 + r.w * 0.06, top),
+            (lx + r.w * 0.08, ly),
+        ],
+        c,
+    );
+    img.fill_polygon(
+        &[
+            ((lx + rx) / 2.0, top),
+            (rx, ly),
+            (rx - r.w * 0.08, ly),
+            ((lx + rx) / 2.0 - r.w * 0.06, top),
+        ],
+        c,
+    );
+    // handlebar
+    img.fill_rect(
+        (top - r.h * 0.06) as usize,
+        ((lx + rx) / 2.0 - r.w * 0.10) as usize,
+        (r.h * 0.06) as usize,
+        (r.w * 0.20) as usize,
+        c,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paint_fraction(img: &Image) -> f32 {
+        let hw = img.height() * img.width();
+        img.data()[..hw].iter().filter(|&&v| v > 0.6).count() as f32 / hw as f32
+    }
+
+    #[test]
+    fn every_class_paints_something() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in ObjectClass::ALL {
+            let mut img = Image::new(48, 48, Rgb::gray(0.3));
+            draw_object(
+                &mut img,
+                class,
+                Rect {
+                    y: 8.0,
+                    x: 8.0,
+                    h: 32.0,
+                    w: 32.0,
+                },
+                &mut rng,
+            );
+            let f = paint_fraction(&img);
+            assert!(f > 0.03, "{class} painted only {f}");
+            assert!(f < 0.5, "{class} painted too much: {f}");
+        }
+    }
+
+    #[test]
+    fn silhouettes_are_distinct() {
+        // Pairwise pixel agreement between class renderings must be well
+        // below 100% — the detector needs separable shapes.
+        let mut rng = StdRng::seed_from_u64(2);
+        let rect = Rect {
+            y: 4.0,
+            x: 4.0,
+            h: 40.0,
+            w: 40.0,
+        };
+        let imgs: Vec<Image> = ObjectClass::ALL
+            .iter()
+            .map(|&c| {
+                let mut img = Image::new(48, 48, Rgb::gray(0.3));
+                draw_object(&mut img, c, rect, &mut rng);
+                img
+            })
+            .collect();
+        for i in 0..imgs.len() {
+            for j in i + 1..imgs.len() {
+                let diff: f32 = imgs[i]
+                    .data()
+                    .iter()
+                    .zip(imgs[j].data())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum::<f32>()
+                    / imgs[i].data().len() as f32;
+                assert!(
+                    diff > 0.01,
+                    "{} vs {} look identical ({diff})",
+                    ObjectClass::ALL[i],
+                    ObjectClass::ALL[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rect_helpers() {
+        let r = Rect {
+            y: 10.0,
+            x: 20.0,
+            h: 6.0,
+            w: 8.0,
+        };
+        assert_eq!(r.center(), (24.0, 13.0));
+        assert_eq!(r.corners()[2], (28.0, 16.0));
+    }
+}

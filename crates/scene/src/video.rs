@@ -1,0 +1,100 @@
+//! Video export: frame sequences as numbered PPM files plus a simple
+//! contact sheet, so challenge drive-bys can be inspected visually
+//! (the reproduction's analogue of the paper's captured footage).
+
+use std::path::{Path, PathBuf};
+
+use rd_vision::Image;
+
+/// Writes `frames` as `prefix_0000.ppm`, `prefix_0001.ppm`, … into `dir`.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered.
+pub fn write_sequence(
+    frames: &[Image],
+    dir: impl AsRef<Path>,
+    prefix: &str,
+) -> std::io::Result<Vec<PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::with_capacity(frames.len());
+    for (i, frame) in frames.iter().enumerate() {
+        let path = dir.join(format!("{prefix}_{i:04}.ppm"));
+        frame.save_ppm(&path)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Builds a contact sheet: up to `max_tiles` frames sampled evenly and
+/// stacked horizontally (like the filmstrips in the paper's figures).
+///
+/// # Panics
+///
+/// Panics if `frames` is empty or `max_tiles` is zero.
+pub fn contact_sheet(frames: &[Image], max_tiles: usize) -> Image {
+    assert!(!frames.is_empty(), "contact sheet needs frames");
+    assert!(max_tiles > 0, "need at least one tile");
+    let n = frames.len().min(max_tiles);
+    // evenly spaced indices including the last frame
+    let tiles: Vec<Image> = (0..n)
+        .map(|i| {
+            let idx = if n == 1 {
+                0
+            } else {
+                i * (frames.len() - 1) / (n - 1)
+            };
+            frames[idx].clone()
+        })
+        .collect();
+    Image::hstack(&tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_vision::Rgb;
+
+    fn frame(level: f32) -> Image {
+        Image::new(8, 8, Rgb::gray(level))
+    }
+
+    #[test]
+    fn sequence_writes_numbered_files() {
+        let dir = std::env::temp_dir().join("rd_video_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let frames = vec![frame(0.1), frame(0.5), frame(0.9)];
+        let written = write_sequence(&frames, &dir, "drive").unwrap();
+        assert_eq!(written.len(), 3);
+        assert!(written[0].ends_with("drive_0000.ppm"));
+        assert!(written[2].ends_with("drive_0002.ppm"));
+        for p in &written {
+            assert!(p.exists());
+        }
+    }
+
+    #[test]
+    fn contact_sheet_samples_first_and_last() {
+        let frames: Vec<Image> = (0..10).map(|i| frame(i as f32 / 10.0)).collect();
+        let sheet = contact_sheet(&frames, 3);
+        // 3 tiles of width 8 plus two 2-px gaps
+        assert_eq!(sheet.width(), 3 * 8 + 2 * 2);
+        // leftmost tile is the first (dark) frame, rightmost the last
+        assert!(sheet.get(4, 4).0 < 0.05);
+        assert!(sheet.get(4, sheet.width() - 4).0 > 0.85);
+    }
+
+    #[test]
+    fn contact_sheet_handles_fewer_frames_than_tiles() {
+        let frames = vec![frame(0.3), frame(0.6)];
+        let sheet = contact_sheet(&frames, 8);
+        assert_eq!(sheet.width(), 2 * 8 + 2);
+    }
+
+    #[test]
+    fn single_frame_sheet() {
+        let sheet = contact_sheet(&[frame(0.5)], 4);
+        assert_eq!(sheet.width(), 8);
+    }
+}

@@ -1,0 +1,332 @@
+//! Batch normalization over NCHW activations.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+/// Per-channel batch statistics returned by the training-mode forward pass
+/// so the owning module can update its running averages.
+#[derive(Debug, Clone)]
+pub struct BatchStats {
+    /// Per-channel mean over `N x H x W`.
+    pub mean: Tensor,
+    /// Per-channel (biased) variance over `N x H x W`.
+    pub var: Tensor,
+}
+
+impl Graph {
+    /// Training-mode batch norm: normalizes with the batch statistics and
+    /// returns them alongside the output node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn batch_norm2d_train(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        eps: f32,
+    ) -> (VarId, BatchStats) {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().len(), 4, "batch norm input must be NCHW");
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        assert_eq!(self.value(gamma).len(), c);
+        assert_eq!(self.value(beta).len(), c);
+        let m = (n * h * w) as f32;
+        let hw = h * w;
+
+        let mut mean = Tensor::zeros(&[c]);
+        let mut var = Tensor::zeros(&[c]);
+        for ch in 0..c {
+            let mut s = 0.0f32;
+            for ni in 0..n {
+                let off = (ni * c + ch) * hw;
+                s += xv.data()[off..off + hw].iter().sum::<f32>();
+            }
+            let mu = s / m;
+            let mut v = 0.0f32;
+            for ni in 0..n {
+                let off = (ni * c + ch) * hw;
+                for &xval in &xv.data()[off..off + hw] {
+                    let d = xval - mu;
+                    v += d * d;
+                }
+            }
+            mean.data_mut()[ch] = mu;
+            var.data_mut()[ch] = v / m;
+        }
+
+        let mut xhat = Tensor::zeros(&[n, c, h, w]);
+        let mut ivstd = Tensor::zeros(&[c]);
+        for ch in 0..c {
+            ivstd.data_mut()[ch] = 1.0 / (var.data()[ch] + eps).sqrt();
+        }
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ch in 0..c {
+                let off = (ni * c + ch) * hw;
+                let mu = mean.data()[ch];
+                let iv = ivstd.data()[ch];
+                let ga = gv.data()[ch];
+                let be = bv.data()[ch];
+                for i in 0..hw {
+                    let xh = (self.value(x).data()[off + i] - mu) * iv;
+                    xhat.data_mut()[off + i] = xh;
+                    out.data_mut()[off + i] = ga * xh + be;
+                }
+            }
+        }
+        let stats = BatchStats {
+            mean,
+            var: var.clone(),
+        };
+        let out_id = self.custom(
+            out,
+            Some(Box::new(move |g, vals, grads| {
+                let gamma_v = &vals[gamma.0];
+                // Per-channel reductions of the incoming gradient.
+                let mut sum_g = vec![0.0f32; c];
+                let mut sum_gx = vec![0.0f32; c]; // sum of g * xhat
+                for ni in 0..n {
+                    for ch in 0..c {
+                        let off = (ni * c + ch) * hw;
+                        for i in 0..hw {
+                            let gv = g.data()[off + i];
+                            sum_g[ch] += gv;
+                            sum_gx[ch] += gv * xhat.data()[off + i];
+                        }
+                    }
+                }
+                // gamma / beta gradients
+                for ch in 0..c {
+                    grads[gamma.0].data_mut()[ch] += sum_gx[ch];
+                    grads[beta.0].data_mut()[ch] += sum_g[ch];
+                }
+                // input gradient:
+                // gx = gamma*ivstd/m * (m*g - sum_g - xhat*sum_gx)
+                let gx = &mut grads[x.0];
+                for ni in 0..n {
+                    for ch in 0..c {
+                        let off = (ni * c + ch) * hw;
+                        let k = gamma_v.data()[ch] * ivstd.data()[ch] / m;
+                        for i in 0..hw {
+                            let gv = g.data()[off + i];
+                            gx.data_mut()[off + i] +=
+                                k * (m * gv - sum_g[ch] - xhat.data()[off + i] * sum_gx[ch]);
+                        }
+                    }
+                }
+            })),
+        );
+        (out_id, stats)
+    }
+
+    /// Inference-mode batch norm using fixed running statistics. The output
+    /// is an affine function of `x`, so gradients flow through to `x`,
+    /// `gamma` and `beta` (useful when attacking a frozen detector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes are inconsistent.
+    pub fn batch_norm2d_eval(
+        &mut self,
+        x: VarId,
+        gamma: VarId,
+        beta: VarId,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+        eps: f32,
+    ) -> VarId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().len(), 4, "batch norm input must be NCHW");
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        assert_eq!(running_mean.len(), c);
+        assert_eq!(running_var.len(), c);
+        let hw = h * w;
+        let mut ivstd = Tensor::zeros(&[c]);
+        for ch in 0..c {
+            ivstd.data_mut()[ch] = 1.0 / (running_var.data()[ch] + eps).sqrt();
+        }
+        let mean = running_mean.clone();
+        let gv = self.value(gamma).clone();
+        let bv = self.value(beta).clone();
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ch in 0..c {
+                let off = (ni * c + ch) * hw;
+                let scale = gv.data()[ch] * ivstd.data()[ch];
+                let shift = bv.data()[ch] - mean.data()[ch] * scale;
+                for i in 0..hw {
+                    out.data_mut()[off + i] = self.value(x).data()[off + i] * scale + shift;
+                }
+            }
+        }
+        self.custom(
+            out,
+            Some(Box::new(move |g, vals, grads| {
+                let gamma_v = &vals[gamma.0];
+                for ni in 0..n {
+                    for ch in 0..c {
+                        let off = (ni * c + ch) * hw;
+                        let scale = gamma_v.data()[ch] * ivstd.data()[ch];
+                        let mut sum_g = 0.0f32;
+                        let mut sum_gxh = 0.0f32;
+                        for i in 0..hw {
+                            let gval = g.data()[off + i];
+                            grads[x.0].data_mut()[off + i] += gval * scale;
+                            sum_g += gval;
+                            let xh =
+                                (vals[x.0].data()[off + i] - mean.data()[ch]) * ivstd.data()[ch];
+                            sum_gxh += gval * xh;
+                        }
+                        grads[beta.0].data_mut()[ch] += sum_g;
+                        grads[gamma.0].data_mut()[ch] += sum_gxh;
+                    }
+                }
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{assert_grads_close, numeric_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_mode_normalizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x0 = Tensor::randn(&mut rng, &[8, 3, 6, 6], 2.0).map(|v| v + 3.0);
+        let mut g = Graph::new();
+        let x = g.input(x0);
+        let gamma = g.input(Tensor::ones(&[3]));
+        let beta = g.input(Tensor::zeros(&[3]));
+        let (y, stats) = g.batch_norm2d_train(x, gamma, beta, 1e-5);
+        // output should be ~zero-mean unit-var per channel
+        let yv = g.value(y);
+        let (n, c, h, w) = (8, 3, 6, 6);
+        for ch in 0..c {
+            let mut s = 0.0;
+            let mut s2 = 0.0;
+            for ni in 0..n {
+                for i in 0..h * w {
+                    let v = yv.data()[(ni * c + ch) * h * w + i];
+                    s += v;
+                    s2 += v * v;
+                }
+            }
+            let m = (n * h * w) as f32;
+            assert!((s / m).abs() < 1e-4);
+            assert!((s2 / m - 1.0).abs() < 1e-3);
+        }
+        assert!((stats.mean.data()[0] - 3.0).abs() < 0.4);
+        assert!((stats.var.data()[0] - 4.0).abs() < 1.2);
+    }
+
+    #[test]
+    fn train_grads_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x0 = Tensor::randn(&mut rng, &[2, 2, 3, 3], 1.0);
+        let g0 = Tensor::from_vec(vec![1.3, 0.7], &[2]);
+        let b0 = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+        let run = |x0: &Tensor, g0: &Tensor, b0: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let ga = g.input(g0.clone());
+            let be = g.input(b0.clone());
+            let (y, _) = g.batch_norm2d_train(x, ga, be, 1e-5);
+            let y2 = g.mul(y, y);
+            let s = g.sum_all(y2);
+            // add an asymmetric term so mean/var gradients are exercised
+            let sy = g.sum_all(y);
+            let loss = g.add(s, sy);
+            (g, x, ga, be, loss)
+        };
+        let (g, x, ga, be, loss) = run(&x0, &g0, &b0);
+        let grads = g.backward(loss);
+        let f = |xt: &Tensor, gt: &Tensor, bt: &Tensor| {
+            let (g, _, _, _, l) = run(xt, gt, bt);
+            g.value(l).data()[0]
+        };
+        assert_grads_close(
+            grads.get(x),
+            &numeric_grad(|t| f(t, &g0, &b0), &x0, 1e-2),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(ga),
+            &numeric_grad(|t| f(&x0, t, &b0), &g0, 1e-3),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(be),
+            &numeric_grad(|t| f(&x0, &g0, t), &b0, 1e-3),
+            0.05,
+        );
+    }
+
+    #[test]
+    fn eval_mode_is_affine() {
+        let x0 = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]);
+        let mean = Tensor::from_vec(vec![1.0], &[1]);
+        let var = Tensor::from_vec(vec![3.0], &[1]);
+        let mut g = Graph::new();
+        let x = g.input(x0);
+        let gamma = g.input(Tensor::from_vec(vec![2.0], &[1]));
+        let beta = g.input(Tensor::from_vec(vec![0.5], &[1]));
+        let y = g.batch_norm2d_eval(x, gamma, beta, &mean, &var, 0.0);
+        let iv = 1.0 / 3.0f32.sqrt();
+        let want0 = 0.5;
+        let want1 = 2.0 * iv + 0.5;
+        assert!((g.value(y).data()[0] - want0).abs() < 1e-5);
+        assert!((g.value(y).data()[1] - want1).abs() < 1e-5);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!((grads.get(x).data()[0] - 2.0 * iv).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eval_grads_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x0 = Tensor::randn(&mut rng, &[2, 2, 2, 2], 1.0);
+        let g0 = Tensor::from_vec(vec![1.1, 0.9], &[2]);
+        let b0 = Tensor::from_vec(vec![0.3, -0.1], &[2]);
+        let mean = Tensor::from_vec(vec![0.2, -0.4], &[2]);
+        let var = Tensor::from_vec(vec![1.5, 0.8], &[2]);
+        let run = |x0: &Tensor, g0: &Tensor, b0: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let ga = g.input(g0.clone());
+            let be = g.input(b0.clone());
+            let y = g.batch_norm2d_eval(x, ga, be, &mean, &var, 1e-5);
+            let y2 = g.mul(y, y);
+            let loss = g.sum_all(y2);
+            (g, x, ga, be, loss)
+        };
+        let (g, x, ga, be, loss) = run(&x0, &g0, &b0);
+        let grads = g.backward(loss);
+        let f = |xt: &Tensor, gt: &Tensor, bt: &Tensor| {
+            let (g, _, _, _, l) = run(xt, gt, bt);
+            g.value(l).data()[0]
+        };
+        assert_grads_close(
+            grads.get(x),
+            &numeric_grad(|t| f(t, &g0, &b0), &x0, 1e-3),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(ga),
+            &numeric_grad(|t| f(&x0, t, &b0), &g0, 1e-3),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(be),
+            &numeric_grad(|t| f(&x0, &g0, t), &b0, 1e-3),
+            0.05,
+        );
+    }
+}

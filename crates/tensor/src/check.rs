@@ -1,0 +1,66 @@
+//! Numerical gradient checking utilities used throughout the workspace's
+//! test suites to validate analytic backward passes.
+
+use crate::tensor::Tensor;
+
+/// Central-difference numerical gradient of a scalar function of a tensor.
+///
+/// `f` must be deterministic. Cost is `2 * t.len()` evaluations of `f`, so
+/// keep the tensors small in tests.
+///
+/// # Examples
+///
+/// ```
+/// use rd_tensor::{check::numeric_grad, Tensor};
+///
+/// let x = Tensor::from_vec(vec![3.0], &[1]);
+/// let g = numeric_grad(|t| t.data()[0] * t.data()[0], &x, 1e-3);
+/// assert!((g.data()[0] - 6.0).abs() < 1e-2);
+/// ```
+pub fn numeric_grad(f: impl Fn(&Tensor) -> f32, t: &Tensor, eps: f32) -> Tensor {
+    let mut grad = Tensor::zeros(t.shape());
+    for i in 0..t.len() {
+        let mut plus = t.clone();
+        plus.data_mut()[i] += eps;
+        let mut minus = t.clone();
+        minus.data_mut()[i] -= eps;
+        grad.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Asserts that two gradients agree within a mixed absolute/relative bound.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on the first element that disagrees.
+pub fn assert_grads_close(analytic: &Tensor, numeric: &Tensor, tol: f32) {
+    assert_eq!(analytic.shape(), numeric.shape(), "gradient shapes differ");
+    for (i, (&a, &n)) in analytic.data().iter().zip(numeric.data()).enumerate() {
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom < tol,
+            "gradient mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let x = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]);
+        let g = numeric_grad(|t| t.data().iter().map(|v| v * v).sum(), &x, 1e-3);
+        assert_grads_close(&g, &Tensor::from_vec(vec![2.0, -4.0, 1.0], &[3]), 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn assert_grads_close_detects_mismatch() {
+        let a = Tensor::from_vec(vec![1.0], &[1]);
+        let b = Tensor::from_vec(vec![2.0], &[1]);
+        assert_grads_close(&a, &b, 1e-3);
+    }
+}

@@ -1,0 +1,387 @@
+//! 2-D convolution via im2col + GEMM, with batch-parallel forward and
+//! backward passes.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::{matmul_into, Tensor};
+
+/// `out[m,n] = a[m,k] * b[n,k]^T` (dot products of rows).
+pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out[m,n] = a[k,m]^T * b[k,n]` (outer-product accumulation).
+pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Unfolds one CHW image into a `[C*kh*kw, Ho*Wo]` column matrix.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+    cols: &mut [f32],
+) {
+    debug_assert_eq!(cols.len(), c * kh * kw * ho * wo);
+    let howo = ho * wo;
+    for ch in 0..c {
+        let xch = &x[ch * h * w..(ch + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let dst = &mut cols[row * howo..(row + 1) * howo];
+                for oh in 0..ho {
+                    let ih = (oh * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        for d in &mut dst[oh * wo..(oh + 1) * wo] {
+                            *d = 0.0;
+                        }
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    for ow in 0..wo {
+                        let iw = (ow * stride + kj) as isize - pad as isize;
+                        dst[oh * wo + ow] = if iw < 0 || iw >= w as isize {
+                            0.0
+                        } else {
+                            xch[ih * w + iw as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a column matrix back into a CHW image (transpose of
+/// [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    ho: usize,
+    wo: usize,
+    x: &mut [f32],
+) {
+    let howo = ho * wo;
+    for ch in 0..c {
+        let xch = &mut x[ch * h * w..(ch + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let src = &cols[row * howo..(row + 1) * howo];
+                for oh in 0..ho {
+                    let ih = (oh * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    for ow in 0..wo {
+                        let iw = (ow * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        xch[ih * w + iw as usize] += src[oh * wo + ow];
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn worker_count(batch: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(8).min(batch).max(1)
+}
+
+impl Graph {
+    /// 2-D convolution `x:[N,C,H,W] * w:[O,C,kh,kw] -> [N,O,Ho,Wo]` with an
+    /// optional per-channel bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatches, or when the kernel does not
+    /// fit the padded input.
+    pub fn conv2d(
+        &mut self,
+        x: VarId,
+        w: VarId,
+        bias: Option<VarId>,
+        stride: usize,
+        pad: usize,
+    ) -> VarId {
+        let xv = self.value(x);
+        let wv = self.value(w);
+        assert_eq!(xv.shape().len(), 4, "conv2d input must be NCHW");
+        assert_eq!(wv.shape().len(), 4, "conv2d weight must be OCKK");
+        let (n, c, h, wd) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        let (o, c2, kh, kw) = (wv.shape()[0], wv.shape()[1], wv.shape()[2], wv.shape()[3]);
+        assert_eq!(c, c2, "conv2d channel mismatch");
+        assert!(h + 2 * pad >= kh && wd + 2 * pad >= kw, "kernel larger than input");
+        let ho = (h + 2 * pad - kh) / stride + 1;
+        let wo = (wd + 2 * pad - kw) / stride + 1;
+        let ckk = c * kh * kw;
+        let howo = ho * wo;
+
+        let mut out = Tensor::zeros(&[n, o, ho, wo]);
+        {
+            let xd = xv.data();
+            let wd_flat = wv.data();
+            let workers = worker_count(n);
+            let per = n.div_ceil(workers);
+            std::thread::scope(|s| {
+                for (ti, chunk) in out.data_mut().chunks_mut(per * o * howo).enumerate() {
+                    let start = ti * per;
+                    s.spawn(move || {
+                        let mut cols = vec![0.0f32; ckk * howo];
+                        for (li, oslice) in chunk.chunks_mut(o * howo).enumerate() {
+                            let ni = start + li;
+                            im2col(
+                                &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
+                                c, h, wd, kh, kw, stride, pad, ho, wo, &mut cols,
+                            );
+                            matmul_into(wd_flat, &cols, oslice, o, ckk, howo);
+                        }
+                    });
+                }
+            });
+        }
+        let out = self.custom(
+            out,
+            Some(Box::new(move |g, vals, grads| {
+                let xd = vals[x.0].data();
+                let wd_flat = vals[w.0].data();
+                let gd = g.data();
+                let workers = worker_count(n);
+                let per = n.div_ceil(workers);
+                // Each worker produces a partial weight gradient and a
+                // disjoint slice of the input gradient.
+                let mut gx = Tensor::zeros(&[n, c, h, wd]);
+                let mut gw_partials: Vec<Vec<f32>> = Vec::with_capacity(workers);
+                std::thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for (ti, gx_chunk) in
+                        gx.data_mut().chunks_mut(per * c * h * wd).enumerate()
+                    {
+                        let start = ti * per;
+                        handles.push(s.spawn(move || {
+                            let mut gw = vec![0.0f32; o * ckk];
+                            let mut cols = vec![0.0f32; ckk * howo];
+                            let mut gcols = vec![0.0f32; ckk * howo];
+                            for (li, gx_slice) in
+                                gx_chunk.chunks_mut(c * h * wd).enumerate()
+                            {
+                                let ni = start + li;
+                                let gslice = &gd[ni * o * howo..(ni + 1) * o * howo];
+                                im2col(
+                                    &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
+                                    c, h, wd, kh, kw, stride, pad, ho, wo, &mut cols,
+                                );
+                                // gw += g_n [o,howo] * cols^T [howo,ckk]
+                                gemm_nt(gslice, &cols, &mut gw, o, howo, ckk);
+                                // gcols = w^T [ckk,o] * g_n [o,howo]
+                                gcols.iter_mut().for_each(|v| *v = 0.0);
+                                gemm_tn(wd_flat, gslice, &mut gcols, o, ckk, howo);
+                                col2im(
+                                    &gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice,
+                                );
+                            }
+                            gw
+                        }));
+                    }
+                    for hnd in handles {
+                        gw_partials.push(hnd.join().expect("conv2d backward worker panicked"));
+                    }
+                });
+                grads[x.0].add_scaled_assign(&gx, 1.0);
+                let gwt = &mut grads[w.0];
+                for part in &gw_partials {
+                    for (dst, &src) in gwt.data_mut().iter_mut().zip(part) {
+                        *dst += src;
+                    }
+                }
+            })),
+        );
+        match bias {
+            Some(b) => self.add_bias_channel(out, b),
+            None => out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{assert_grads_close, numeric_grad};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let mut g = Graph::new();
+        let x0 = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let x = g.input(x0.clone());
+        let w = g.input(Tensor::ones(&[1, 1, 1, 1]));
+        let y = g.conv2d(x, w, None, 1, 0);
+        assert_eq!(g.value(y).data(), x0.data());
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 2x2 all-ones kernel on a 3x3 ramp, no padding: sliding sums.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9.],
+            &[1, 1, 3, 3],
+        ));
+        let w = g.input(Tensor::ones(&[1, 1, 2, 2]));
+        let y = g.conv2d(x, w, None, 1, 0);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_and_stride() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 4, 4]));
+        let w = g.input(Tensor::ones(&[1, 1, 3, 3]));
+        let y = g.conv2d(x, w, None, 2, 1);
+        // output 2x2; corners see 2x2=4 ones, etc.
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).data(), &[4.0, 6.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn conv2d_bias() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 2, 2]));
+        let w = g.input(Tensor::ones(&[2, 1, 1, 1]));
+        let b = g.input(Tensor::from_vec(vec![1.5, -2.0], &[2]));
+        let y = g.conv2d(x, w, Some(b), 1, 0);
+        assert_eq!(g.value(y).at4(0, 0, 1, 1), 1.5);
+        assert_eq!(g.value(y).at4(0, 1, 0, 0), -2.0);
+    }
+
+    #[test]
+    fn conv2d_grads_match_numeric() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let x0 = Tensor::randn(&mut rng, &[2, 3, 5, 5], 1.0);
+        let w0 = Tensor::randn(&mut rng, &[4, 3, 3, 3], 0.5);
+        let b0 = Tensor::randn(&mut rng, &[4], 0.5);
+        let run = |x0: &Tensor, w0: &Tensor, b0: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let w = g.input(w0.clone());
+            let b = g.input(b0.clone());
+            let y = g.conv2d(x, w, Some(b), 2, 1);
+            let y2 = g.mul(y, y);
+            let loss = g.sum_all(y2);
+            (g, x, w, b, loss)
+        };
+        let (g, x, w, b, loss) = run(&x0, &w0, &b0);
+        let grads = g.backward(loss);
+        let f = |xt: &Tensor, wt: &Tensor, bt: &Tensor| {
+            let (g, _, _, _, l) = run(xt, wt, bt);
+            g.value(l).data()[0]
+        };
+        assert_grads_close(
+            grads.get(x),
+            &numeric_grad(|t| f(t, &w0, &b0), &x0, 1e-2),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(w),
+            &numeric_grad(|t| f(&x0, t, &b0), &w0, 1e-2),
+            0.05,
+        );
+        assert_grads_close(
+            grads.get(b),
+            &numeric_grad(|t| f(&x0, &w0, t), &b0, 1e-2),
+            0.05,
+        );
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the pair must be exact adjoints
+        // for conv gradients to be correct.
+        let mut rng = StdRng::seed_from_u64(3);
+        let (c, h, w, kh, kw, s, p) = (2, 5, 4, 3, 3, 2, 1);
+        let ho = (h + 2 * p - kh) / s + 1;
+        let wo = (w + 2 * p - kw) / s + 1;
+        let x = Tensor::randn(&mut rng, &[c * h * w], 1.0);
+        let y = Tensor::randn(&mut rng, &[c * kh * kw * ho * wo], 1.0);
+        let mut cols = vec![0.0; c * kh * kw * ho * wo];
+        im2col(x.data(), c, h, w, kh, kw, s, p, ho, wo, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let mut xb = vec![0.0; c * h * w];
+        col2im(y.data(), c, h, w, kh, kw, s, p, ho, wo, &mut xb);
+        let rhs: f32 = xb.iter().zip(x.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn gemm_variants_agree_with_matmul() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Tensor::randn(&mut rng, &[3, 4], 1.0);
+        let b = Tensor::randn(&mut rng, &[5, 4], 1.0);
+        let mut out = vec![0.0; 15];
+        gemm_nt(a.data(), b.data(), &mut out, 3, 4, 5);
+        let want = a.matmul(&b.transpose2d());
+        for (x, y) in out.iter().zip(want.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let c = Tensor::randn(&mut rng, &[4, 3], 1.0);
+        let d = Tensor::randn(&mut rng, &[4, 5], 1.0);
+        let mut out2 = vec![0.0; 15];
+        gemm_tn(c.data(), d.data(), &mut out2, 4, 3, 5);
+        let want2 = c.transpose2d().matmul(&d);
+        for (x, y) in out2.iter().zip(want2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Kaiming/He normal initialization for a conv kernel `[O, C, kh, kw]`,
+/// suitable for (leaky) ReLU networks.
+pub fn kaiming_conv<R: Rng>(rng: &mut R, o: usize, c: usize, kh: usize, kw: usize) -> Tensor {
+    let fan_in = (c * kh * kw) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor::randn(rng, &[o, c, kh, kw], std)
+}
+
+/// Xavier/Glorot normal initialization for a linear weight `[O, I]`.
+pub fn xavier_linear<R: Rng>(rng: &mut R, o: usize, i: usize) -> Tensor {
+    let std = (2.0 / (o + i) as f32).sqrt();
+    Tensor::randn(rng, &[o, i], std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = kaiming_conv(&mut rng, 64, 32, 3, 3);
+        let mean = w.mean();
+        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let want = 2.0 / (32.0 * 9.0);
+        assert!((var - want).abs() / want < 0.2, "var {var} want {want}");
+    }
+
+    #[test]
+    fn xavier_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = xavier_linear(&mut rng, 10, 20);
+        assert_eq!(w.shape(), &[10, 20]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Binary serialization of parameter sets (a tiny, dependency-free weight
+//! format so trained detectors/GANs can be checkpointed between runs).
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! magic  b"RDW1"
+//! u32    parameter count
+//! per parameter:
+//!   u32        name length, then that many UTF-8 bytes
+//!   u32        rank, then rank u32 dims
+//!   f32 * n    the flat value buffer
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::params::ParamSet;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"RDW1";
+
+/// Error produced when decoding a weight blob fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeWeightsError {
+    message: String,
+}
+
+impl DecodeWeightsError {
+    fn new(message: impl Into<String>) -> Self {
+        DecodeWeightsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DecodeWeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid weight data: {}", self.message)
+    }
+}
+
+impl Error for DecodeWeightsError {}
+
+/// Serializes every parameter value (gradients are not persisted).
+pub fn encode_params(ps: &ParamSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+    for (_, p) in ps.iter() {
+        let name = p.name().as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        let shape = p.value().shape();
+        out.extend_from_slice(&(shape.len() as u32).to_le_bytes());
+        for &d in shape {
+            out.extend_from_slice(&(d as u32).to_le_bytes());
+        }
+        for &v in p.value().data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeWeightsError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeWeightsError::new("unexpected end of buffer"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeWeightsError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Decodes a weight blob into a fresh [`ParamSet`].
+///
+/// # Errors
+///
+/// Returns [`DecodeWeightsError`] on a bad magic number, truncation, or
+/// malformed metadata.
+pub fn decode_params(buf: &[u8]) -> Result<ParamSet, DecodeWeightsError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeWeightsError::new("bad magic"));
+    }
+    let count = r.u32()? as usize;
+    let mut ps = ParamSet::new();
+    for _ in 0..count {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| DecodeWeightsError::new("parameter name is not UTF-8"))?
+            .to_owned();
+        let rank = r.u32()? as usize;
+        if rank > 8 {
+            return Err(DecodeWeightsError::new("implausible rank"));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(r.u32()? as usize);
+        }
+        let n: usize = shape.iter().product();
+        if n == 0 {
+            return Err(DecodeWeightsError::new("zero-element parameter"));
+        }
+        let bytes = r.take(n * 4)?;
+        let mut data = Vec::with_capacity(n);
+        for chunk in bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        ps.register(name, Tensor::from_vec(data, &shape));
+    }
+    Ok(ps)
+}
+
+/// Copies decoded values into an existing set with the same layout.
+///
+/// # Errors
+///
+/// Returns an error if names, order or shapes do not match.
+pub fn load_params_into(ps: &mut ParamSet, buf: &[u8]) -> Result<(), DecodeWeightsError> {
+    let decoded = decode_params(buf)?;
+    if decoded.len() != ps.len() {
+        return Err(DecodeWeightsError::new(format!(
+            "parameter count mismatch: file has {}, model has {}",
+            decoded.len(),
+            ps.len()
+        )));
+    }
+    for ((_, dst), (_, src)) in ps.iter_mut().zip(decoded.iter()) {
+        if dst.name() != src.name() || dst.value().shape() != src.value().shape() {
+            return Err(DecodeWeightsError::new(format!(
+                "parameter mismatch: model {}{:?} vs file {}{:?}",
+                dst.name(),
+                dst.value().shape(),
+                src.name(),
+                src.value().shape()
+            )));
+        }
+        *dst.value_mut() = src.value().clone();
+    }
+    Ok(())
+}
+
+/// Writes a parameter set to a file.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params_file(ps: &ParamSet, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(&encode_params(ps))
+}
+
+/// Loads parameter values from a file into an existing set.
+///
+/// # Errors
+///
+/// Returns an I/O error or a boxed [`DecodeWeightsError`].
+pub fn load_params_file(
+    ps: &mut ParamSet,
+    path: impl AsRef<Path>,
+) -> Result<(), Box<dyn Error + Send + Sync>> {
+    let buf = fs::read(path)?;
+    load_params_into(ps, &buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_set() -> ParamSet {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ps = ParamSet::new();
+        ps.register("conv1.w", Tensor::randn(&mut rng, &[4, 3, 3, 3], 1.0));
+        ps.register("conv1.b", Tensor::randn(&mut rng, &[4], 1.0));
+        ps.register("fc.w", Tensor::randn(&mut rng, &[2, 10], 1.0));
+        ps
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ps = sample_set();
+        let blob = encode_params(&ps);
+        let back = decode_params(&blob).unwrap();
+        assert_eq!(back.len(), ps.len());
+        for ((_, a), (_, b)) in ps.iter().zip(back.iter()) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.value(), b.value());
+        }
+    }
+
+    #[test]
+    fn load_into_rejects_shape_mismatch() {
+        let ps = sample_set();
+        let blob = encode_params(&ps);
+        let mut other = ParamSet::new();
+        other.register("conv1.w", Tensor::zeros(&[4, 3, 3, 3]));
+        assert!(load_params_into(&mut other, &blob).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_params(b"nope").is_err());
+        assert!(decode_params(b"RDW1").is_err());
+        let ps = sample_set();
+        let mut blob = encode_params(&ps);
+        blob.truncate(blob.len() - 3);
+        assert!(decode_params(&blob).is_err());
+    }
+
+    #[test]
+    fn load_into_replaces_values() {
+        let ps = sample_set();
+        let blob = encode_params(&ps);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut other = ParamSet::new();
+        other.register("conv1.w", Tensor::randn(&mut rng, &[4, 3, 3, 3], 1.0));
+        other.register("conv1.b", Tensor::randn(&mut rng, &[4], 1.0));
+        other.register("fc.w", Tensor::randn(&mut rng, &[2, 10], 1.0));
+        load_params_into(&mut other, &blob).unwrap();
+        for ((_, a), (_, b)) in ps.iter().zip(other.iter()) {
+            assert_eq!(a.value(), b.value());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # rd-tensor
+//!
+//! A small, CPU-only tensor library with reverse-mode automatic
+//! differentiation, written from scratch for the `road-decals`
+//! reproduction of *Road Decals as Trojans* (DSN 2024).
+//!
+//! The paper's attack is a white-box gradient attack against a YOLOv3-tiny
+//! object detector; everything it needs — convolutions, batch norm,
+//! pooling, GAN layers, EOT image warps — must be differentiable. This
+//! crate provides:
+//!
+//! * [`Tensor`] — dense row-major `f32` arrays with a blocked GEMM.
+//! * [`Graph`] — a single-use autodiff tape ([`Graph::backward`] produces
+//!   [`Gradients`]); ops cover conv2d, max-pool, upsample, batch norm,
+//!   activations, losses and sparse [`LinearMap`] warps.
+//! * [`ParamSet`] / [`optim`] — named parameters plus SGD/Adam.
+//! * [`io`] — a tiny binary checkpoint format.
+//! * [`check`] — numerical gradient checking used across the workspace.
+//!
+//! # Examples
+//!
+//! Train a one-parameter model with Adam:
+//!
+//! ```
+//! use rd_tensor::{optim::Adam, Graph, ParamSet, Tensor};
+//!
+//! let mut ps = ParamSet::new();
+//! let w = ps.register("w", Tensor::from_vec(vec![0.0], &[1]));
+//! let mut opt = Adam::new(0.1);
+//! for _ in 0..200 {
+//!     ps.zero_grads();
+//!     let mut g = Graph::new();
+//!     let wv = g.param(&ps, w);
+//!     let err = g.add_scalar(wv, -5.0);
+//!     let sq = g.mul(err, err);
+//!     let loss = g.sum_all(sq);
+//!     let grads = g.backward(loss);
+//!     g.write_grads(&grads, &mut ps);
+//!     opt.step(&mut ps);
+//! }
+//! assert!((ps.get(w).value().data()[0] - 5.0).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bnorm;
+pub mod check;
+mod conv;
+mod graph;
+pub mod init;
+pub mod io;
+mod linmap;
+pub mod loss;
+pub mod optim;
+mod params;
+mod pool;
+mod tensor;
+
+pub use bnorm::BatchStats;
+pub use graph::{BackFn, Gradients, Graph, VarId};
+pub use linmap::{LinearMap, WarpEntry};
+pub use params::{Param, ParamId, ParamSet};
+pub use tensor::Tensor;

@@ -1,0 +1,300 @@
+//! Sparse linear maps over spatial grids — the differentiable engine
+//! behind every geometric warp (resize, rotation, perspective).
+//!
+//! A bilinear image warp is a *linear* function of the source pixels once
+//! its parameters are fixed: each destination pixel is a weighted sum of at
+//! most four source pixels. [`LinearMap`] stores that sparse matrix, and
+//! [`Graph::warp`] applies it per batch item and per channel. Because the
+//! map is linear, the backward pass is simply the transpose scatter, which
+//! keeps gradients exact — crucial for the EOT attack pipeline where the
+//! patch gradient must flow through resize → rotate → perspective chains.
+
+use std::rc::Rc;
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+/// One `dst += weight * src` contribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarpEntry {
+    /// Flat destination pixel index (row-major over the output grid).
+    pub dst: u32,
+    /// Flat source pixel index (row-major over the input grid).
+    pub src: u32,
+    /// Interpolation weight.
+    pub weight: f32,
+}
+
+/// A sparse linear map from an `in_h x in_w` grid to an `out_h x out_w`
+/// grid, applied independently to every channel of every batch item.
+///
+/// # Examples
+///
+/// ```
+/// use rd_tensor::{Graph, LinearMap, Tensor, WarpEntry};
+///
+/// // A map that flips a 1x2 image horizontally.
+/// let map = LinearMap::new(
+///     (1, 2),
+///     (1, 2),
+///     vec![
+///         WarpEntry { dst: 0, src: 1, weight: 1.0 },
+///         WarpEntry { dst: 1, src: 0, weight: 1.0 },
+///     ],
+/// );
+/// let mut g = Graph::new();
+/// let x = g.input(Tensor::from_vec(vec![3.0, 5.0], &[1, 1, 1, 2]));
+/// let y = g.warp(x, &map.into());
+/// assert_eq!(g.value(y).data(), &[5.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearMap {
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    entries: Vec<WarpEntry>,
+}
+
+impl LinearMap {
+    /// Builds a map from raw entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry indexes outside its grid.
+    pub fn new(in_hw: (usize, usize), out_hw: (usize, usize), entries: Vec<WarpEntry>) -> Self {
+        let in_n = (in_hw.0 * in_hw.1) as u32;
+        let out_n = (out_hw.0 * out_hw.1) as u32;
+        for e in &entries {
+            assert!(e.src < in_n, "src {} out of range {in_n}", e.src);
+            assert!(e.dst < out_n, "dst {} out of range {out_n}", e.dst);
+        }
+        LinearMap {
+            in_hw,
+            out_hw,
+            entries,
+        }
+    }
+
+    /// Input grid `(height, width)`.
+    pub fn in_hw(&self) -> (usize, usize) {
+        self.in_hw
+    }
+
+    /// Output grid `(height, width)`.
+    pub fn out_hw(&self) -> (usize, usize) {
+        self.out_hw
+    }
+
+    /// The raw entries.
+    pub fn entries(&self) -> &[WarpEntry] {
+        &self.entries
+    }
+
+    /// Composes two maps: `self` then `next` (i.e. `next ∘ self`).
+    ///
+    /// The result maps directly from `self`'s input grid to `next`'s output
+    /// grid. Used by the EOT pipeline to fuse a chain of warps into one map
+    /// so the patch is sampled exactly once (avoiding compounding blur).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next`'s input grid differs from `self`'s output grid.
+    pub fn then(&self, next: &LinearMap) -> LinearMap {
+        assert_eq!(
+            self.out_hw, next.in_hw,
+            "cannot compose: intermediate grids differ"
+        );
+        // Bucket self's entries by destination (== next's source).
+        let mid_n = self.out_hw.0 * self.out_hw.1;
+        let mut buckets: Vec<Vec<(u32, f32)>> = vec![Vec::new(); mid_n];
+        for e in &self.entries {
+            buckets[e.dst as usize].push((e.src, e.weight));
+        }
+        let mut entries = Vec::with_capacity(next.entries.len() * 2);
+        for e in &next.entries {
+            for &(src, w) in &buckets[e.src as usize] {
+                entries.push(WarpEntry {
+                    dst: e.dst,
+                    src,
+                    weight: e.weight * w,
+                });
+            }
+        }
+        LinearMap::new(self.in_hw, next.out_hw, entries)
+    }
+
+    /// Applies the map to a plain single-channel buffer (used for warping
+    /// alpha masks, which are not differentiated through).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` differs from the input grid size.
+    pub fn apply_plane(&self, src: &[f32]) -> Vec<f32> {
+        assert_eq!(src.len(), self.in_hw.0 * self.in_hw.1);
+        let mut out = vec![0.0f32; self.out_hw.0 * self.out_hw.1];
+        for e in &self.entries {
+            out[e.dst as usize] += e.weight * src[e.src as usize];
+        }
+        out
+    }
+}
+
+impl Graph {
+    /// Applies a [`LinearMap`] to every channel of every batch item of an
+    /// NCHW node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node's spatial dims differ from the map's input grid.
+    pub fn warp(&mut self, x: VarId, map: &Rc<LinearMap>) -> VarId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().len(), 4, "warp input must be NCHW");
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        assert_eq!((h, w), map.in_hw, "warp grid mismatch");
+        let (ho, wo) = map.out_hw;
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        {
+            let xd = xv.data();
+            let od = out.data_mut();
+            let in_n = h * w;
+            let out_n = ho * wo;
+            for nc in 0..n * c {
+                let src = &xd[nc * in_n..(nc + 1) * in_n];
+                let dst = &mut od[nc * out_n..(nc + 1) * out_n];
+                for e in &map.entries {
+                    dst[e.dst as usize] += e.weight * src[e.src as usize];
+                }
+            }
+        }
+        let map = Rc::clone(map);
+        self.custom(
+            out,
+            Some(Box::new(move |g, _vals, grads| {
+                let gx = &mut grads[x.0];
+                let in_n = h * w;
+                let out_n = ho * wo;
+                for nc in 0..n * c {
+                    let goff = nc * out_n;
+                    let xoff = nc * in_n;
+                    for e in &map.entries {
+                        gx.data_mut()[xoff + e.src as usize] +=
+                            e.weight * g.data()[goff + e.dst as usize];
+                    }
+                }
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{assert_grads_close, numeric_grad};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_map(rng: &mut StdRng, in_hw: (usize, usize), out_hw: (usize, usize)) -> LinearMap {
+        let in_n = (in_hw.0 * in_hw.1) as u32;
+        let out_n = out_hw.0 * out_hw.1;
+        let mut entries = Vec::new();
+        for d in 0..out_n {
+            for _ in 0..2 {
+                entries.push(WarpEntry {
+                    dst: d as u32,
+                    src: rng.gen_range(0..in_n),
+                    weight: rng.gen_range(-1.0..1.0),
+                });
+            }
+        }
+        LinearMap::new(in_hw, out_hw, entries)
+    }
+
+    #[test]
+    fn identity_map() {
+        let entries = (0..6)
+            .map(|i| WarpEntry {
+                dst: i,
+                src: i,
+                weight: 1.0,
+            })
+            .collect();
+        let map: Rc<LinearMap> = LinearMap::new((2, 3), (2, 3), entries).into();
+        let mut g = Graph::new();
+        let x0 = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[1, 1, 2, 3]);
+        let x = g.input(x0.clone());
+        let y = g.warp(x, &map);
+        assert_eq!(g.value(y).data(), x0.data());
+    }
+
+    #[test]
+    fn warp_grad_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let map: Rc<LinearMap> = random_map(&mut rng, (3, 3), (2, 2)).into();
+        let x0 = Tensor::randn(&mut rng, &[2, 2, 3, 3], 1.0);
+        let run = |x0: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let y = g.warp(x, &map);
+            let y2 = g.mul(y, y);
+            let loss = g.sum_all(y2);
+            (g, x, loss)
+        };
+        let (g, x, loss) = run(&x0);
+        let grads = g.backward(loss);
+        let num = numeric_grad(
+            |t| {
+                let (g, _, loss) = run(t);
+                g.value(loss).data()[0]
+            },
+            &x0,
+            1e-3,
+        );
+        assert_grads_close(grads.get(x), &num, 0.02);
+    }
+
+    #[test]
+    fn composition_equals_sequential_application() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m1 = random_map(&mut rng, (3, 3), (4, 2));
+        let m2 = random_map(&mut rng, (4, 2), (2, 2));
+        let fused: Rc<LinearMap> = m1.then(&m2).into();
+        let (m1, m2): (Rc<_>, Rc<_>) = (m1.into(), m2.into());
+        let x0 = Tensor::randn(&mut rng, &[1, 1, 3, 3], 1.0);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let a = g.warp(x, &m1);
+        let b = g.warp(a, &m2);
+        let mut g2 = Graph::new();
+        let x2 = g2.input(x0);
+        let c = g2.warp(x2, &fused);
+        for (p, q) in g.value(b).data().iter().zip(g2.value(c).data()) {
+            assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn apply_plane_matches_warp() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let map = random_map(&mut rng, (4, 4), (3, 3));
+        let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let plane = map.apply_plane(&src);
+        let map: Rc<LinearMap> = map.into();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(src, &[1, 1, 4, 4]));
+        let y = g.warp(x, &map);
+        assert_eq!(g.value(y).data(), &plane[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_entries() {
+        let _ = LinearMap::new(
+            (2, 2),
+            (2, 2),
+            vec![WarpEntry {
+                dst: 0,
+                src: 4,
+                weight: 1.0,
+            }],
+        );
+    }
+}

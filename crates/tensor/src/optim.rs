@@ -1,0 +1,228 @@
+//! First-order optimizers over a [`ParamSet`].
+
+use crate::params::ParamSet;
+use crate::tensor::Tensor;
+
+/// Stochastic gradient descent with optional classical momentum.
+///
+/// # Examples
+///
+/// ```
+/// use rd_tensor::{optim::Sgd, ParamSet, Tensor};
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.register("w", Tensor::from_vec(vec![1.0], &[1]));
+/// ps.get_mut(w).grad_mut().fill(0.5);
+/// let mut opt = Sgd::new(0.1, 0.0);
+/// opt.step(&mut ps);
+/// assert!((ps.get(w).value().data()[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr` and momentum
+    /// coefficient `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step using the gradients accumulated in `ps`.
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        while self.velocity.len() < ps.len() {
+            let idx = self.velocity.len();
+            let shape = ps
+                .iter()
+                .nth(idx)
+                .map(|(_, p)| p.value().shape().to_vec())
+                .expect("param exists");
+            self.velocity.push(Tensor::zeros(&shape));
+        }
+        for (i, (_, p)) in ps.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                let updated = v.scale(self.momentum).add(&p.grad().scale(1.0));
+                *v = updated;
+                let vstep = self.velocity[i].clone();
+                p.value_mut().add_scaled_assign(&vstep, -self.lr);
+            } else {
+                let g = p.grad().clone();
+                p.value_mut().add_scaled_assign(&g, -self.lr);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction — the optimizer the paper uses
+/// for both GAN training and patch optimization (lr = 1e-4).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates an Adam optimizer with explicit betas (GAN training often
+    /// uses beta1 = 0.5).
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step using the gradients accumulated in `ps`.
+    pub fn step(&mut self, ps: &mut ParamSet) {
+        while self.m.len() < ps.len() {
+            let idx = self.m.len();
+            let shape = ps
+                .iter()
+                .nth(idx)
+                .map(|(_, p)| p.value().shape().to_vec())
+                .expect("param exists");
+            self.m.push(Tensor::zeros(&shape));
+            self.v.push(Tensor::zeros(&shape));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, (_, p)) in ps.iter_mut().enumerate() {
+            let g = p.grad().clone();
+            let m = &mut self.m[i];
+            for (mv, &gv) in m.data_mut().iter_mut().zip(g.data()) {
+                *mv = self.beta1 * *mv + (1.0 - self.beta1) * gv;
+            }
+            let v = &mut self.v[i];
+            for (vv, &gv) in v.data_mut().iter_mut().zip(g.data()) {
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * gv * gv;
+            }
+            let lr = self.lr;
+            let eps = self.eps;
+            let mslice = self.m[i].data();
+            let vslice = self.v[i].data();
+            for ((w, &mv), &vv) in p
+                .value_mut()
+                .data_mut()
+                .iter_mut()
+                .zip(mslice)
+                .zip(vslice)
+            {
+                let mhat = mv / bc1;
+                let vhat = vv / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizes (w - 3)^2 and checks convergence.
+    fn converges(step: &mut dyn FnMut(&mut ParamSet)) -> f32 {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(vec![0.0], &[1]));
+        for _ in 0..400 {
+            ps.zero_grads();
+            let mut g = Graph::new();
+            let wv = g.param(&ps, w);
+            let shifted = g.add_scalar(wv, -3.0);
+            let sq = g.mul(shifted, shifted);
+            let loss = g.sum_all(sq);
+            let grads = g.backward(loss);
+            g.write_grads(&grads, &mut ps);
+            step(&mut ps);
+        }
+        ps.get(w).value().data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let w = converges(&mut |ps| opt.step(ps));
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.02, 0.9);
+        let w = converges(&mut |ps| opt.step(ps));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let w = converges(&mut |ps| opt.step(ps));
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::from_vec(vec![1.0], &[1]));
+        ps.get_mut(w).grad_mut().fill(123.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut ps);
+        assert!((ps.get(w).value().data()[0] - 0.99).abs() < 1e-4);
+    }
+
+    #[test]
+    fn late_registered_params_get_state() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::from_vec(vec![1.0], &[1]));
+        let mut opt = Adam::new(0.1);
+        ps.get_mut(a).grad_mut().fill(1.0);
+        opt.step(&mut ps);
+        let b = ps.register("b", Tensor::from_vec(vec![1.0], &[1]));
+        ps.get_mut(b).grad_mut().fill(1.0);
+        opt.step(&mut ps); // must not panic, state grows lazily
+        assert!(ps.get(b).value().data()[0] < 1.0);
+    }
+}

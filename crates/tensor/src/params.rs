@@ -1,0 +1,229 @@
+//! Named parameter storage shared between modules, graphs and optimizers.
+//!
+//! Network modules (convolutions, batch norms, linear layers) do not own
+//! their weights directly; they hold [`ParamId`]s into a [`ParamSet`]. A
+//! forward pass registers the parameter values as graph leaves, a backward
+//! pass writes gradients back into the set, and an optimizer steps the set.
+//! This keeps borrow-checking trivial while letting one optimizer drive an
+//! arbitrary composite of modules.
+
+use crate::tensor::Tensor;
+
+/// Handle to a parameter inside a [`ParamSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Position of the parameter inside its [`ParamSet`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A single named parameter with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// The name the parameter was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable value (used by optimizers and weight loading).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable gradient accumulator.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+}
+
+/// A flat, ordered collection of parameters.
+///
+/// Each set carries a unique identity so a [`crate::Graph`] holding
+/// parameters from several sets (e.g. a frozen detector plus a trainable
+/// generator) can route gradients back to the right one.
+///
+/// # Examples
+///
+/// ```
+/// use rd_tensor::{ParamSet, Tensor};
+///
+/// let mut ps = ParamSet::new();
+/// let w = ps.register("w", Tensor::ones(&[2, 2]));
+/// assert_eq!(ps.get(w).value().sum(), 4.0);
+/// assert_eq!(ps.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamSet {
+    params: Vec<Param>,
+    uid: u64,
+}
+
+fn next_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for ParamSet {
+    fn default() -> Self {
+        ParamSet {
+            params: Vec::new(),
+            uid: next_uid(),
+        }
+    }
+}
+
+impl ParamSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set's unique identity. Clones keep the identity of the
+    /// original, so a checkpointed copy still receives gradients from
+    /// graphs built against the original.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Borrows a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutably borrows a parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this set.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Iterates over all parameters in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Iterates mutably over all parameters in registration order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ParamId, &mut Param)> {
+        self.params
+            .iter_mut()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p))
+    }
+
+    /// Zeroes every gradient accumulator.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill(0.0);
+        }
+    }
+
+    /// Global L2 norm of all gradients (useful for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.sq_norm())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient so the global norm is at most `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for p in &mut self.params {
+                let g = p.grad.scale(s);
+                p.grad = g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::ones(&[3]));
+        let b = ps.register("b", Tensor::zeros(&[2, 2]));
+        assert_eq!(ps.get(a).name(), "a");
+        assert_eq!(ps.get(b).value().shape(), &[2, 2]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.num_scalars(), 7);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::ones(&[2]));
+        ps.get_mut(a).grad_mut().fill(3.0);
+        assert_eq!(ps.grad_norm(), (18.0f32).sqrt());
+        ps.zero_grads();
+        assert_eq!(ps.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut ps = ParamSet::new();
+        let a = ps.register("a", Tensor::ones(&[1]));
+        ps.get_mut(a).grad_mut().fill(10.0);
+        ps.clip_grad_norm(5.0);
+        assert!((ps.get(a).grad().data()[0] - 5.0).abs() < 1e-6);
+        ps.clip_grad_norm(100.0);
+        assert!((ps.get(a).grad().data()[0] - 5.0).abs() < 1e-6);
+    }
+}

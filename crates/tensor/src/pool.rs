@@ -1,0 +1,167 @@
+//! Max pooling and nearest-neighbour upsampling.
+
+use crate::graph::{Graph, VarId};
+use crate::tensor::Tensor;
+
+impl Graph {
+    /// Max pooling over `k x k` windows. `pad` pads with `-inf` on the
+    /// bottom/right only when needed to keep YOLOv3-tiny's `size=2,stride=1`
+    /// pool shape-preserving (darknet semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not NCHW.
+    pub fn max_pool2d(&mut self, x: VarId, k: usize, stride: usize, pad: usize) -> VarId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().len(), 4, "max_pool2d input must be NCHW");
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        let ho = (h + pad - k) / stride + 1;
+        let wo = (w + pad - k) / stride + 1;
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let mut argmax: Vec<u32> = vec![0; n * c * ho * wo];
+        {
+            let xd = xv.data();
+            let od = out.data_mut();
+            for nc in 0..n * c {
+                let xoff = nc * h * w;
+                let ooff = nc * ho * wo;
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0u32;
+                        for ki in 0..k {
+                            let ih = oh * stride + ki;
+                            if ih >= h {
+                                continue;
+                            }
+                            for kj in 0..k {
+                                let iw = ow * stride + kj;
+                                if iw >= w {
+                                    continue;
+                                }
+                                let v = xd[xoff + ih * w + iw];
+                                if v > best {
+                                    best = v;
+                                    best_idx = (ih * w + iw) as u32;
+                                }
+                            }
+                        }
+                        od[ooff + oh * wo + ow] = best;
+                        argmax[ooff + oh * wo + ow] = best_idx;
+                    }
+                }
+            }
+        }
+        let hw = h * w;
+        let howo = ho * wo;
+        self.custom(
+            out,
+            Some(Box::new(move |g, _vals, grads| {
+                let gx = &mut grads[x.0];
+                for nc in 0..n * c {
+                    for i in 0..howo {
+                        let src = argmax[nc * howo + i] as usize;
+                        gx.data_mut()[nc * hw + src] += g.data()[nc * howo + i];
+                    }
+                }
+            })),
+        )
+    }
+
+    /// Nearest-neighbour 2x upsampling of an NCHW node.
+    pub fn upsample_nearest2x(&mut self, x: VarId) -> VarId {
+        let xv = self.value(x);
+        assert_eq!(xv.shape().len(), 4, "upsample input must be NCHW");
+        let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
+        let (ho, wo) = (h * 2, w * 2);
+        let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        {
+            let xd = xv.data();
+            let od = out.data_mut();
+            for nc in 0..n * c {
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        od[nc * ho * wo + oh * wo + ow] = xd[nc * h * w + (oh / 2) * w + ow / 2];
+                    }
+                }
+            }
+        }
+        self.custom(
+            out,
+            Some(Box::new(move |g, _vals, grads| {
+                let gx = &mut grads[x.0];
+                for nc in 0..n * c {
+                    for oh in 0..ho {
+                        for ow in 0..wo {
+                            gx.data_mut()[nc * h * w + (oh / 2) * w + ow / 2] +=
+                                g.data()[nc * ho * wo + oh * wo + ow];
+                        }
+                    }
+                }
+            })),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2_stride2() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+            &[1, 1, 4, 4],
+        ));
+        let y = g.max_pool2d(x, 2, 2, 0);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).data(), &[4.0, 8.0, 12.0, 16.0]);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        // gradient lands only on the max positions
+        let gx = grads.get(x);
+        assert_eq!(gx.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(gx.at4(0, 0, 0, 0), 0.0);
+        assert_eq!(gx.data().iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    fn max_pool_stride1_same_shape() {
+        // darknet-style size=2 stride=1 pad=1 keeps H,W
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]));
+        let y = g.max_pool2d(x, 2, 1, 1);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn upsample_values_and_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]));
+        let y = g.upsample_nearest2x(x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 4, 4]);
+        assert_eq!(g.value(y).at4(0, 0, 0, 1), 1.0);
+        assert_eq!(g.value(y).at4(0, 0, 3, 3), 4.0);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        // each input pixel feeds 4 outputs
+        assert!(grads.get(x).data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn max_pool_ties_pick_first() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(&[1, 1, 2, 2], 7.0));
+        let y = g.max_pool2d(x, 2, 2, 0);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(x).data(), &[1.0, 0.0, 0.0, 0.0]);
+    }
+}

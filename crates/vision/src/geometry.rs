@@ -1,0 +1,244 @@
+//! 3x3 projective geometry: the algebra behind every EOT warp.
+
+/// A 3x3 matrix used as a 2-D homography (row-major).
+///
+/// Points transform as `(x', y', w') = H * (x, y, 1)` followed by a
+/// perspective divide.
+///
+/// # Examples
+///
+/// ```
+/// use rd_vision::geometry::Mat3;
+///
+/// let t = Mat3::translation(2.0, -1.0);
+/// assert_eq!(t.apply(1.0, 1.0), (3.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries.
+    pub m: [f32; 9],
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl Mat3 {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Mat3 {
+            m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Translation by `(tx, ty)`.
+    pub fn translation(tx: f32, ty: f32) -> Self {
+        Mat3 {
+            m: [1.0, 0.0, tx, 0.0, 1.0, ty, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Anisotropic scaling.
+    pub fn scaling(sx: f32, sy: f32) -> Self {
+        Mat3 {
+            m: [sx, 0.0, 0.0, 0.0, sy, 0.0, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// Counter-clockwise rotation by `theta` radians about the origin.
+    pub fn rotation(theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        Mat3 {
+            m: [c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0],
+        }
+    }
+
+    /// A pure perspective element: `w' = 1 + px*x + py*y`. Small `py < 0`
+    /// tilts the top of the image away from the camera — the "object grows
+    /// as the car approaches" effect the paper's EOT trick (5) simulates.
+    pub fn perspective(px: f32, py: f32) -> Self {
+        Mat3 {
+            m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, px, py, 1.0],
+        }
+    }
+
+    /// Matrix product `self * rhs` (apply `rhs` first).
+    pub fn mul(&self, rhs: &Mat3) -> Mat3 {
+        let a = &self.m;
+        let b = &rhs.m;
+        let mut out = [0.0f32; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                out[i * 3 + j] =
+                    a[i * 3] * b[j] + a[i * 3 + 1] * b[3 + j] + a[i * 3 + 2] * b[6 + j];
+            }
+        }
+        Mat3 { m: out }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f32 {
+        let m = &self.m;
+        m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+            + m[2] * (m[3] * m[7] - m[4] * m[6])
+    }
+
+    /// Inverse via the adjugate.
+    ///
+    /// Returns `None` when the matrix is (near-)singular.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let m = &self.m;
+        let inv = [
+            (m[4] * m[8] - m[5] * m[7]) / d,
+            (m[2] * m[7] - m[1] * m[8]) / d,
+            (m[1] * m[5] - m[2] * m[4]) / d,
+            (m[5] * m[6] - m[3] * m[8]) / d,
+            (m[0] * m[8] - m[2] * m[6]) / d,
+            (m[2] * m[3] - m[0] * m[5]) / d,
+            (m[3] * m[7] - m[4] * m[6]) / d,
+            (m[1] * m[6] - m[0] * m[7]) / d,
+            (m[0] * m[4] - m[1] * m[3]) / d,
+        ];
+        Some(Mat3 { m: inv })
+    }
+
+    /// Applies the homography to a point with perspective divide.
+    pub fn apply(&self, x: f32, y: f32) -> (f32, f32) {
+        let m = &self.m;
+        let xp = m[0] * x + m[1] * y + m[2];
+        let yp = m[3] * x + m[4] * y + m[5];
+        let wp = m[6] * x + m[7] * y + m[8];
+        (xp / wp, yp / wp)
+    }
+
+    /// Solves for the homography mapping four source points onto four
+    /// destination points (Gaussian elimination on the standard 8x8
+    /// system).
+    ///
+    /// Returns `None` when the points are degenerate (e.g. collinear).
+    pub fn from_quad_to_quad(src: &[(f32, f32); 4], dst: &[(f32, f32); 4]) -> Option<Mat3> {
+        // Unknowns: h0..h7 with h8 = 1.
+        let mut a = [[0.0f64; 9]; 8];
+        for i in 0..4 {
+            let (x, y) = (src[i].0 as f64, src[i].1 as f64);
+            let (u, v) = (dst[i].0 as f64, dst[i].1 as f64);
+            a[2 * i] = [x, y, 1.0, 0.0, 0.0, 0.0, -u * x, -u * y, u];
+            a[2 * i + 1] = [0.0, 0.0, 0.0, x, y, 1.0, -v * x, -v * y, v];
+        }
+        // Gaussian elimination with partial pivoting on the augmented system.
+        for col in 0..8 {
+            let mut piv = col;
+            for r in col + 1..8 {
+                if a[r][col].abs() > a[piv][col].abs() {
+                    piv = r;
+                }
+            }
+            if a[piv][col].abs() < 1e-10 {
+                return None;
+            }
+            a.swap(col, piv);
+            let d = a[col][col];
+            for c in col..9 {
+                a[col][c] /= d;
+            }
+            for r in 0..8 {
+                if r != col && a[r][col] != 0.0 {
+                    let f = a[r][col];
+                    for c in col..9 {
+                        a[r][c] -= f * a[col][c];
+                    }
+                }
+            }
+        }
+        let mut m = [0.0f32; 9];
+        for (i, mi) in m.iter_mut().enumerate().take(8) {
+            *mi = a[i][8] as f32;
+        }
+        m[8] = 1.0;
+        Some(Mat3 { m })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: (f32, f32), b: (f32, f32)) -> bool {
+        (a.0 - b.0).abs() < 1e-3 && (a.1 - b.1).abs() < 1e-3
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Mat3::identity().apply(3.5, -2.0);
+        assert!(close(p, (3.5, -2.0)));
+    }
+
+    #[test]
+    fn translation_scaling_rotation() {
+        assert!(close(Mat3::translation(1.0, 2.0).apply(0.0, 0.0), (1.0, 2.0)));
+        assert!(close(Mat3::scaling(2.0, 3.0).apply(1.0, 1.0), (2.0, 3.0)));
+        let r = Mat3::rotation(std::f32::consts::FRAC_PI_2);
+        assert!(close(r.apply(1.0, 0.0), (0.0, 1.0)));
+    }
+
+    #[test]
+    fn composition_applies_rightmost_first() {
+        let h = Mat3::translation(5.0, 0.0).mul(&Mat3::scaling(2.0, 2.0));
+        assert!(close(h.apply(1.0, 1.0), (7.0, 2.0)));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let h = Mat3::translation(3.0, -1.0)
+            .mul(&Mat3::rotation(0.7))
+            .mul(&Mat3::scaling(1.5, 0.8))
+            .mul(&Mat3::perspective(0.001, -0.002));
+        let hi = h.inverse().unwrap();
+        let p = h.apply(2.0, 5.0);
+        assert!(close(hi.apply(p.0, p.1), (2.0, 5.0)));
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let z = Mat3 { m: [0.0; 9] };
+        assert!(z.inverse().is_none());
+    }
+
+    #[test]
+    fn perspective_divides() {
+        let h = Mat3::perspective(0.0, 0.1);
+        // at y=10, w = 2 so coordinates halve
+        assert!(close(h.apply(4.0, 10.0), (2.0, 5.0)));
+    }
+
+    #[test]
+    fn quad_to_quad_recovers_known_homography() {
+        let h = Mat3::translation(10.0, 4.0)
+            .mul(&Mat3::rotation(0.3))
+            .mul(&Mat3::perspective(0.002, 0.001));
+        let src = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)];
+        let dst = [
+            h.apply(0.0, 0.0),
+            h.apply(10.0, 0.0),
+            h.apply(10.0, 10.0),
+            h.apply(0.0, 10.0),
+        ];
+        let est = Mat3::from_quad_to_quad(&src, &dst).unwrap();
+        for &(x, y) in &[(3.0, 7.0), (5.5, 1.0), (9.0, 9.0)] {
+            assert!(close(est.apply(x, y), h.apply(x, y)));
+        }
+    }
+
+    #[test]
+    fn quad_to_quad_degenerate_returns_none() {
+        let src = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]; // collinear
+        let dst = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)];
+        assert!(Mat3::from_quad_to_quad(&src, &dst).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # rd-vision
+//!
+//! Images, projective geometry, differentiable warps, decal shape masks
+//! and patch compositing for the `road-decals` reproduction of *Road
+//! Decals as Trojans* (DSN 2024).
+//!
+//! The crate sits between the raw autodiff engine ([`rd_tensor`]) and the
+//! attack pipeline: it knows how to *draw* (procedural scenes, PPM
+//! output), how to *warp differentiably* (every EOT transform becomes a
+//! sparse [`rd_tensor::LinearMap`]), and how to *composite* a monochrome
+//! decal into a scene so gradients flow from detector logits back to decal
+//! pixels.
+//!
+//! # Examples
+//!
+//! Render a star decal mask and place it in a scene:
+//!
+//! ```
+//! use rd_vision::{
+//!     compose::{paste_plane, PatchPlacement},
+//!     shapes::{mask, Shape},
+//!     Image, Plane, Rgb,
+//! };
+//!
+//! let mut scene = Image::new(64, 64, Rgb::gray(0.4));
+//! let silhouette = mask(Shape::Star, 16);
+//! let decal = Plane::new(16, 16, 0.05); // near-black decal
+//! let placement = PatchPlacement::new((32.0, 32.0), 2.0).with_rotation(0.3);
+//! paste_plane(&mut scene, &decal, &silhouette, &placement);
+//! assert!(scene.get(32, 32).0 < 0.2); // decal landed
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod geometry;
+mod image;
+pub mod shapes;
+pub mod warp;
+
+pub use image::{point_in_polygon, Image, Plane, Rgb};

@@ -1,0 +1,285 @@
+//! The four decal shapes (star, circle, square, triangle) as alpha masks,
+//! plus a procedural stand-in for the paper's *Four Shapes* dataset.
+//!
+//! The paper constrains its adversarial patches to simple monochrome
+//! shapes so they can be cut from a single material and pass as ordinary
+//! road markings. Masks here are anti-aliased by 3x3 supersampling so the
+//! compositing gradient is smooth at the silhouette boundary.
+
+use rand::Rng;
+
+use crate::image::{point_in_polygon, Plane};
+
+/// One of the paper's four decal shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Shape {
+    /// Equilateral triangle, apex up.
+    Triangle,
+    /// Disc.
+    Circle,
+    /// Five-pointed star (the paper's best performer).
+    Star,
+    /// Axis-aligned square.
+    Square,
+}
+
+impl Shape {
+    /// All four shapes in the order of the paper's Table V.
+    pub const ALL: [Shape; 4] = [Shape::Triangle, Shape::Circle, Shape::Star, Shape::Square];
+
+    /// The lowercase name used in tables and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Triangle => "triangle",
+            Shape::Circle => "circle",
+            Shape::Star => "star",
+            Shape::Square => "square",
+        }
+    }
+
+    /// Number of convex corners of the silhouette (the paper observes that
+    /// more corners → stronger attacks; the circle has none).
+    pub fn corner_count(self) -> usize {
+        match self {
+            Shape::Triangle => 3,
+            Shape::Circle => 0,
+            Shape::Star => 10,
+            Shape::Square => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Shape {
+    type Err = ParseShapeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "triangle" => Ok(Shape::Triangle),
+            "circle" => Ok(Shape::Circle),
+            "star" => Ok(Shape::Star),
+            "square" => Ok(Shape::Square),
+            _ => Err(ParseShapeError),
+        }
+    }
+}
+
+/// Error returned when parsing an unknown shape name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseShapeError;
+
+impl std::fmt::Display for ParseShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("unknown shape (expected triangle, circle, star or square)")
+    }
+}
+
+impl std::error::Error for ParseShapeError {}
+
+/// Vertices of a five-pointed star centred at `(cx, cy)`.
+fn star_vertices(cx: f32, cy: f32, r_outer: f32, r_inner: f32, phase: f32) -> Vec<(f32, f32)> {
+    (0..10)
+        .map(|i| {
+            let r = if i % 2 == 0 { r_outer } else { r_inner };
+            let a = phase + std::f32::consts::PI * i as f32 / 5.0 - std::f32::consts::FRAC_PI_2;
+            (cx + r * a.cos(), cy + r * a.sin())
+        })
+        .collect()
+}
+
+fn inside(shape: Shape, x: f32, y: f32, cx: f32, cy: f32, r: f32) -> bool {
+    match shape {
+        Shape::Circle => {
+            let dx = x - cx;
+            let dy = y - cy;
+            dx * dx + dy * dy <= r * r
+        }
+        Shape::Square => {
+            let s = r / std::f32::consts::SQRT_2;
+            (x - cx).abs() <= s && (y - cy).abs() <= s
+        }
+        Shape::Triangle => {
+            let pts = [
+                (cx, cy - r),
+                (cx + r * (std::f32::consts::PI / 6.0).cos(), cy + r * 0.5),
+                (cx - r * (std::f32::consts::PI / 6.0).cos(), cy + r * 0.5),
+            ];
+            point_in_polygon(x, y, &pts)
+        }
+        Shape::Star => {
+            let pts = star_vertices(cx, cy, r, r * 0.45, 0.0);
+            point_in_polygon(x, y, &pts)
+        }
+    }
+}
+
+/// Renders an anti-aliased `size x size` alpha mask of the shape
+/// (1 inside, 0 outside), inscribed with a small margin.
+///
+/// # Examples
+///
+/// ```
+/// use rd_vision::shapes::{mask, Shape};
+///
+/// let m = mask(Shape::Circle, 32);
+/// assert_eq!(m.height(), 32);
+/// assert!(m.get(16, 16) > 0.99); // centre is inside
+/// assert!(m.get(0, 0) < 0.01);   // corner is outside
+/// ```
+pub fn mask(shape: Shape, size: usize) -> Plane {
+    let c = size as f32 / 2.0;
+    let r = size as f32 * 0.46;
+    let mut out = Plane::new(size, size, 0.0);
+    const SS: usize = 3;
+    for y in 0..size {
+        for x in 0..size {
+            let mut acc = 0.0f32;
+            for sy in 0..SS {
+                for sx in 0..SS {
+                    let px = x as f32 + (sx as f32 + 0.5) / SS as f32;
+                    let py = y as f32 + (sy as f32 + 0.5) / SS as f32;
+                    if inside(shape, px, py, c, c, r) {
+                        acc += 1.0;
+                    }
+                }
+            }
+            out.set(y, x, acc / (SS * SS) as f32);
+        }
+    }
+    out
+}
+
+/// One sample of the procedural Four-Shapes dataset: a dark shape on a
+/// light background with jittered position, scale and rotation — the
+/// distribution the paper trains its GAN discriminator on.
+pub fn four_shapes_sample<R: Rng>(rng: &mut R, shape: Shape, size: usize) -> Plane {
+    let c = size as f32 / 2.0;
+    let cx = c + rng.gen_range(-0.08..0.08) * size as f32;
+    let cy = c + rng.gen_range(-0.08..0.08) * size as f32;
+    let r = size as f32 * rng.gen_range(0.30..0.44);
+    let rot: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let fg = rng.gen_range(0.0..0.12); // near-black shape
+    let bg = rng.gen_range(0.88..1.0); // near-white paper
+    let mut out = Plane::new(size, size, bg);
+    const SS: usize = 2;
+    let (s, co) = rot.sin_cos();
+    for y in 0..size {
+        for x in 0..size {
+            let mut acc = 0.0f32;
+            for sy in 0..SS {
+                for sx in 0..SS {
+                    let px = x as f32 + (sx as f32 + 0.5) / SS as f32;
+                    let py = y as f32 + (sy as f32 + 0.5) / SS as f32;
+                    // rotate the sample point around the shape centre
+                    let dx = px - cx;
+                    let dy = py - cy;
+                    let rx = cx + co * dx + s * dy;
+                    let ry = cy - s * dx + co * dy;
+                    if inside(shape, rx, ry, cx, cy, r) {
+                        acc += 1.0;
+                    }
+                }
+            }
+            let a = acc / (SS * SS) as f32;
+            out.set(y, x, bg + (fg - bg) * a);
+        }
+    }
+    out
+}
+
+/// A random shape drawn uniformly from the four classes.
+pub fn random_shape<R: Rng>(rng: &mut R) -> Shape {
+    Shape::ALL[rng.gen_range(0..4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in Shape::ALL {
+            assert_eq!(s.name().parse::<Shape>().unwrap(), s);
+        }
+        assert!("hexagon".parse::<Shape>().is_err());
+    }
+
+    #[test]
+    fn masks_have_expected_relative_coverage() {
+        let circle = mask(Shape::Circle, 40).coverage();
+        let square = mask(Shape::Square, 40).coverage();
+        let star = mask(Shape::Star, 40).coverage();
+        let tri = mask(Shape::Triangle, 40).coverage();
+        // circle > square > triangle ~ star, all nonzero
+        assert!(circle > square, "circle {circle} square {square}");
+        assert!(square > star, "square {square} star {star}");
+        assert!(star > 0.1 && tri > 0.1);
+        // circle area ≈ π r² / size² with r = 0.46·size
+        assert!((circle - std::f32::consts::PI * 0.46 * 0.46).abs() < 0.02);
+    }
+
+    #[test]
+    fn masks_are_antialised_at_boundary() {
+        let m = mask(Shape::Circle, 32);
+        let partial = m
+            .data()
+            .iter()
+            .filter(|&&v| v > 0.05 && v < 0.95)
+            .count();
+        assert!(partial > 10, "expected soft boundary pixels, got {partial}");
+    }
+
+    #[test]
+    fn star_mask_is_concave() {
+        // Between two adjacent star points (at the top corners), the mask
+        // must dip to zero — that's what distinguishes it from the circle.
+        let m = mask(Shape::Star, 64);
+        // top centre is a point of the star
+        assert!(m.get(6, 32) > 0.5, "apex missing");
+        // upper-left diagonal at the same radius falls between points
+        assert!(m.get(12, 14) < 0.3, "no concavity: {}", m.get(12, 14));
+    }
+
+    #[test]
+    fn four_shapes_sample_is_dark_on_light() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for shape in Shape::ALL {
+            let s = four_shapes_sample(&mut rng, shape, 24);
+            let min = s.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = s.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert!(min < 0.15, "{shape}: shape pixels should be dark, min {min}");
+            assert!(max > 0.85, "{shape}: background should be light, max {max}");
+        }
+    }
+
+    #[test]
+    fn four_shapes_samples_vary() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = four_shapes_sample(&mut rng, Shape::Star, 24);
+        let b = four_shapes_sample(&mut rng, Shape::Star, 24);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corner_counts_match_paper_ordering() {
+        assert!(Shape::Star.corner_count() > Shape::Square.corner_count());
+        assert!(Shape::Square.corner_count() > Shape::Circle.corner_count());
+    }
+
+    #[test]
+    fn random_shape_hits_all_variants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(random_shape(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,228 @@
+//! Constructors turning geometric transforms into differentiable
+//! [`LinearMap`]s (bilinear sampling).
+
+use rd_tensor::{LinearMap, WarpEntry};
+
+use crate::geometry::Mat3;
+
+/// Builds a bilinear-sampling [`LinearMap`] from a *destination → source*
+/// coordinate function. Pixel centers sit at integer + 0.5; destinations
+/// whose source falls outside the input grid receive (partially) zero
+/// weight, which is exactly the transparent-border behaviour patches need.
+pub fn map_from_inverse(
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    inv: impl Fn(f32, f32) -> (f32, f32),
+) -> LinearMap {
+    let (ih, iw) = in_hw;
+    let (oh, ow) = out_hw;
+    let mut entries = Vec::with_capacity(oh * ow * 4);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let (sx, sy) = inv(ox as f32 + 0.5, oy as f32 + 0.5);
+            let u = sx - 0.5;
+            let v = sy - 0.5;
+            let x0 = u.floor();
+            let y0 = v.floor();
+            let fx = u - x0;
+            let fy = v - y0;
+            let dst = (oy * ow + ox) as u32;
+            for (dy, wy) in [(0i64, 1.0 - fy), (1, fy)] {
+                let yy = y0 as i64 + dy;
+                if yy < 0 || yy >= ih as i64 || wy == 0.0 {
+                    continue;
+                }
+                for (dx, wx) in [(0i64, 1.0 - fx), (1, fx)] {
+                    let xx = x0 as i64 + dx;
+                    if xx < 0 || xx >= iw as i64 || wx == 0.0 {
+                        continue;
+                    }
+                    let weight = wx * wy;
+                    if weight.abs() < 1e-8 {
+                        continue;
+                    }
+                    entries.push(WarpEntry {
+                        dst,
+                        src: (yy as usize * iw + xx as usize) as u32,
+                        weight,
+                    });
+                }
+            }
+        }
+    }
+    LinearMap::new(in_hw, out_hw, entries)
+}
+
+/// Bilinear resize from `in_hw` to `out_hw`.
+pub fn resize(in_hw: (usize, usize), out_hw: (usize, usize)) -> LinearMap {
+    let sx = in_hw.1 as f32 / out_hw.1 as f32;
+    let sy = in_hw.0 as f32 / out_hw.0 as f32;
+    map_from_inverse(in_hw, out_hw, move |x, y| (x * sx, y * sy))
+}
+
+/// Rotation by `theta` radians (counter-clockwise) about the grid centre,
+/// preserving the grid size.
+pub fn rotate(hw: (usize, usize), theta: f32) -> LinearMap {
+    let cy = hw.0 as f32 / 2.0;
+    let cx = hw.1 as f32 / 2.0;
+    let (s, c) = theta.sin_cos();
+    map_from_inverse(hw, hw, move |x, y| {
+        let dx = x - cx;
+        let dy = y - cy;
+        // inverse rotation of the destination offset
+        (cx + c * dx + s * dy, cy - s * dx + c * dy)
+    })
+}
+
+/// A vertical box-blur as a [`LinearMap`] (radius in pixels), used to
+/// make motion blur differentiable inside attack training graphs.
+pub fn vertical_box_blur_map(hw: (usize, usize), radius: usize) -> LinearMap {
+    let (h, w) = hw;
+    let mut entries = Vec::with_capacity(h * w * (2 * radius + 1));
+    for y in 0..h {
+        let y0 = y.saturating_sub(radius);
+        let y1 = (y + radius + 1).min(h);
+        let weight = 1.0 / (y1 - y0) as f32;
+        for x in 0..w {
+            let dst = (y * w + x) as u32;
+            for yy in y0..y1 {
+                entries.push(WarpEntry {
+                    dst,
+                    src: (yy * w + x) as u32,
+                    weight,
+                });
+            }
+        }
+    }
+    LinearMap::new(hw, hw, entries)
+}
+
+/// Applies a forward homography `h` (source → destination coordinates):
+/// each destination pixel samples `h^-1 (dst)`.
+///
+/// Returns `None` when `h` is singular.
+pub fn homography(in_hw: (usize, usize), out_hw: (usize, usize), h: &Mat3) -> Option<LinearMap> {
+    let hi = h.inverse()?;
+    Some(map_from_inverse(in_hw, out_hw, move |x, y| hi.apply(x, y)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_tensor::{Graph, Tensor};
+    use std::rc::Rc;
+
+    fn apply(map: LinearMap, t: &Tensor) -> Tensor {
+        let map: Rc<LinearMap> = map.into();
+        let mut g = Graph::new();
+        let x = g.input(t.clone());
+        let y = g.warp(x, &map);
+        g.value(y).clone()
+    }
+
+    #[test]
+    fn resize_identity_when_same_size() {
+        let t = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]);
+        let out = apply(resize((4, 4), (4, 4)), &t);
+        for (a, b) in out.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn resize_2x_down_averages_regions() {
+        // constant image stays constant under any proper resize
+        let t = Tensor::full(&[1, 1, 8, 8], 0.7);
+        let out = apply(resize((8, 8), (4, 4)), &t);
+        for &v in out.data() {
+            assert!((v - 0.7).abs() < 1e-4, "{v}");
+        }
+    }
+
+    #[test]
+    fn resize_upsample_interior_bilinear_values() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[1, 1, 2, 2]);
+        let out = apply(resize((2, 2), (4, 4)), &t);
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+        // Hand-computed bilinear samples of the checkerboard's interior.
+        assert!((out.at4(0, 0, 1, 1) - 0.375).abs() < 1e-4);
+        assert!((out.at4(0, 0, 1, 2) - 0.625).abs() < 1e-4);
+        // interior 2x2 block averages to exactly 0.5 by symmetry
+        let inner = (out.at4(0, 0, 1, 1)
+            + out.at4(0, 0, 1, 2)
+            + out.at4(0, 0, 2, 1)
+            + out.at4(0, 0, 2, 2))
+            / 4.0;
+        assert!((inner - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rotate_quarter_turn_moves_corner_blob() {
+        let mut t = Tensor::zeros(&[1, 1, 9, 9]);
+        // blob near top-left
+        t.set4(0, 0, 1, 1, 1.0);
+        let out = apply(rotate((9, 9), std::f32::consts::FRAC_PI_2), &t);
+        // a quarter turn sends the top-left blob to the top-right
+        let mut best = (0, 0);
+        let mut bv = f32::NEG_INFINITY;
+        for y in 0..9 {
+            for x in 0..9 {
+                if out.at4(0, 0, y, x) > bv {
+                    bv = out.at4(0, 0, y, x);
+                    best = (y, x);
+                }
+            }
+        }
+        assert!(bv > 0.2);
+        assert!(best.0 <= 2 && best.1 >= 6, "blob at {best:?}");
+    }
+
+    #[test]
+    fn rotation_roughly_preserves_interior_mass() {
+        // Bilinear inverse sampling is mass-preserving only on average, so
+        // use a 3x3 blob and a loose bound.
+        let mut t = Tensor::zeros(&[1, 1, 15, 15]);
+        for y in 6..9 {
+            for x in 6..9 {
+                t.set4(0, 0, y, x, 1.0);
+            }
+        }
+        let out = apply(rotate((15, 15), 0.4), &t);
+        assert!((out.sum() - 9.0).abs() < 0.8, "sum {}", out.sum());
+    }
+
+    #[test]
+    fn homography_identity() {
+        let t = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let out = apply(
+            homography((3, 3), (3, 3), &Mat3::identity()).unwrap(),
+            &t,
+        );
+        for (a, b) in out.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn homography_translation_shifts() {
+        let mut t = Tensor::zeros(&[1, 1, 8, 8]);
+        t.set4(0, 0, 2, 2, 1.0);
+        let h = Mat3::translation(3.0, 1.0);
+        let out = apply(homography((8, 8), (8, 8), &h).unwrap(), &t);
+        assert!(out.at4(0, 0, 3, 5) > 0.9, "{:?}", out);
+    }
+
+    #[test]
+    fn singular_homography_is_none() {
+        let z = Mat3 { m: [0.0; 9] };
+        assert!(homography((4, 4), (4, 4), &z).is_none());
+    }
+
+    #[test]
+    fn out_of_range_samples_are_transparent() {
+        let t = Tensor::ones(&[1, 1, 4, 4]);
+        let h = Mat3::translation(10.0, 10.0); // everything shifts out
+        let out = apply(homography((4, 4), (4, 4), &h).unwrap(), &t);
+        assert_eq!(out.sum(), 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's real-world scenario end to end: train a decal against the
+//! victim detector, evaluate it across all eight challenge columns of
+//! Table I, and save visual artifacts (the decal, an attacked frame with
+//! detections) under `out/`.
+//!
+//! ```text
+//! cargo run --release --example parking_lot_attack -- [--scale smoke|paper] [--n 6] [--k 60]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use road_decals_repro::attack as rd;
+use road_decals_repro::detector::detect;
+use road_decals_repro::scene::{CameraPose, PhysicalChannel};
+
+use rd::annotate::draw_detections;
+use rd::attack::{deploy, train_decal_attack, AttackConfig};
+use rd::eval::{evaluate_challenge, render_attacked_frame, Challenge, EvalConfig};
+use rd::experiments::{prepare_environment, Scale};
+use rd::metrics::Table;
+use rd::scenario::AttackScenario;
+use road_decals_repro::scene::video::{contact_sheet, write_sequence};
+use road_decals_repro::scene::Speed;
+
+fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale: Scale = arg("--scale", "smoke".to_owned()).parse().expect("bad --scale");
+    let n: usize = arg("--n", 6);
+    let k: usize = arg("--k", 60);
+    let seed: u64 = arg("--seed", 42);
+
+    println!("== parking-lot attack ({scale:?}, N={n}, k={k}) ==");
+    let mut env = prepare_environment(scale, seed);
+    let scenario = AttackScenario::parking_lot(scale.rig(), n, k, 16, seed);
+    let cfg = AttackConfig {
+        steps: scale.attack_steps(),
+        seed,
+        ..AttackConfig::paper()
+    };
+    println!("training ({} steps)...", cfg.steps);
+    let trained = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
+    let decals = deploy(&trained.decal, &scenario);
+
+    // challenge table
+    let columns = Challenge::table_columns();
+    let headers: Vec<String> = columns.iter().map(|c| c.label()).collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Road-decal attack, real-world channel", &header_refs);
+    let ecfg = match scale {
+        Scale::Paper => EvalConfig::real_world(seed),
+        Scale::Smoke => EvalConfig {
+            channel: PhysicalChannel::real_world(),
+            ..EvalConfig::smoke(seed)
+        },
+    };
+    let cells = columns
+        .iter()
+        .map(|&c| {
+            evaluate_challenge(
+                &scenario,
+                &decals,
+                &env.detector,
+                &mut env.params,
+                cfg.target_class,
+                c,
+                &ecfg,
+            )
+            .cell
+        })
+        .collect();
+    table.push_row("Ours", cells);
+    println!("{table}");
+
+    // artifacts
+    std::fs::create_dir_all("out").expect("create out/");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pose = CameraPose::at_distance(2.4);
+    let mut frame = render_attacked_frame(
+        &scenario,
+        &decals,
+        &pose,
+        &EvalConfig {
+            channel: PhysicalChannel::digital(),
+            ..ecfg
+        },
+        0.0,
+        &mut rng,
+    );
+    let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+    println!("detections at 2.4 m:");
+    for d in &dets[0] {
+        println!("   {} conf {:.2}", d.class, d.confidence());
+    }
+    draw_detections(&mut frame, &dets[0]);
+    frame.save_ppm("out/parking_lot_attacked.ppm").expect("save frame");
+
+    // a full drive-by as a frame sequence + contact sheet
+    let printed: Vec<_> = decals
+        .iter()
+        .map(|d| d.print(&ecfg.channel.print, &mut rng))
+        .collect();
+    let poses = Challenge::Speed(Speed::Slow).poses(&ecfg, &mut rng);
+    let motion = Speed::Slow.m_per_frame(ecfg.fps);
+    let frames: Vec<_> = poses
+        .iter()
+        .map(|p| render_attacked_frame(&scenario, &printed, p, &ecfg, motion, &mut rng))
+        .collect();
+    write_sequence(&frames, "out/driveby", "slow").expect("write sequence");
+    contact_sheet(&frames, 6)
+        .save_ppm("out/driveby_sheet.ppm")
+        .expect("save sheet");
+    println!("artifacts: out/parking_lot_attacked.ppm, out/driveby/, out/driveby_sheet.ppm");
+}

@@ -1,0 +1,87 @@
+//! Reproduces the spirit of Table V as a standalone demo: train one decal
+//! per silhouette shape and rank them by mean PWC (the paper finds
+//! star ≫ triangle ≈ square > circle).
+//!
+//! ```text
+//! cargo run --release --example shape_ablation -- [--scale smoke|paper]
+//! ```
+
+use road_decals_repro::attack as rd;
+use road_decals_repro::scene::PhysicalChannel;
+use road_decals_repro::vision::shapes::Shape;
+
+use rd::attack::{deploy, train_decal_attack, AttackConfig};
+use rd::eval::{evaluate_challenge, Challenge, EvalConfig};
+use rd::experiments::{prepare_environment, Scale};
+use rd::scenario::AttackScenario;
+
+fn arg(name: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_owned())
+}
+
+fn main() {
+    let scale: Scale = arg("--scale", "smoke").parse().expect("bad --scale");
+    let seed = 42;
+    let mut env = prepare_environment(scale, seed);
+    let scenario = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
+    let ecfg = match scale {
+        Scale::Paper => EvalConfig::real_world(seed),
+        Scale::Smoke => EvalConfig {
+            channel: PhysicalChannel::real_world(),
+            ..EvalConfig::smoke(seed)
+        },
+    };
+    let columns = Challenge::ablation_columns();
+
+    println!("== shape ablation ({scale:?}) ==");
+    let mut results: Vec<(Shape, f32, usize)> = Vec::new();
+    for shape in Shape::ALL {
+        let cfg = AttackConfig {
+            shape,
+            steps: scale.attack_steps(),
+            seed,
+            ..AttackConfig::paper()
+        };
+        let trained = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
+        let decals = deploy(&trained.decal, &scenario);
+        let mut pwc_sum = 0.0;
+        let mut cwc = 0usize;
+        for &c in &columns {
+            let out = evaluate_challenge(
+                &scenario,
+                &decals,
+                &env.detector,
+                &mut env.params,
+                cfg.target_class,
+                c,
+                &ecfg,
+            );
+            pwc_sum += out.cell.pwc;
+            cwc += out.cell.cwc as usize;
+        }
+        let mean = pwc_sum / columns.len() as f32;
+        println!(
+            "   {:<9} mean PWC {:>5.1}%  CWC {}/{}  ({} corners)",
+            shape.name(),
+            mean * 100.0,
+            cwc,
+            columns.len(),
+            shape.corner_count()
+        );
+        results.push((shape, mean, cwc));
+    }
+    results.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!(
+        "ranking: {}",
+        results
+            .iter()
+            .map(|(s, _, _)| s.name())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the `road-decals` reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so that integration
+//! tests and examples can reach the full stack with a single dependency.
+//!
+//! ```
+//! use road_decals_repro::tensor::Tensor;
+//! let t = Tensor::zeros(&[2, 3]);
+//! assert_eq!(t.len(), 6);
+//! ```
+
+pub use rd_detector as detector;
+pub use rd_eot as eot;
+pub use rd_gan as gan;
+pub use rd_scene as scene;
+pub use rd_tensor as tensor;
+pub use rd_vision as vision;
+pub use road_decals as attack;

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use road_decals_repro::detector::{has_consecutive, Confirmer};
+use road_decals_repro::scene::{GtBox, ObjectClass};
+use road_decals_repro::tensor::{Graph, Tensor};
+use road_decals_repro::vision::geometry::Mat3;
+use road_decals_repro::vision::warp::{homography, resize, vertical_box_blur_map};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- tensor algebra ----
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_vec(12), b in small_vec(12), c in small_vec(12)) {
+        let a = Tensor::from_vec(a, &[3, 4]);
+        let b = Tensor::from_vec(b, &[4, 3]);
+        let c = Tensor::from_vec(c, &[4, 3]);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(v in small_vec(15)) {
+        let t = Tensor::from_vec(v, &[3, 5]);
+        prop_assert_eq!(t.transpose2d().transpose2d(), t);
+    }
+
+    #[test]
+    fn graph_add_is_commutative(a in small_vec(8), b in small_vec(8)) {
+        let ta = Tensor::from_vec(a, &[8]);
+        let tb = Tensor::from_vec(b, &[8]);
+        let mut g = Graph::new();
+        let x = g.input(ta.clone());
+        let y = g.input(tb.clone());
+        let s1 = g.add(x, y);
+        let s2 = g.add(y, x);
+        prop_assert_eq!(g.value(s1), g.value(s2));
+    }
+
+    #[test]
+    fn sigmoid_gradient_is_bounded(v in small_vec(10)) {
+        // |d sigmoid/dx| <= 1/4 everywhere
+        let t = Tensor::from_vec(v, &[10]);
+        let mut g = Graph::new();
+        let x = g.input(t);
+        let y = g.sigmoid(x);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        for &d in grads.get(x).data() {
+            prop_assert!(d.abs() <= 0.2501);
+        }
+    }
+
+    // ---- warps ----
+
+    #[test]
+    fn warps_are_linear(v1 in small_vec(36), v2 in small_vec(36), s in -2.0f32..2.0) {
+        // warp(a + s*b) == warp(a) + s*warp(b)
+        let map: Rc<_> = resize((6, 6), (4, 4)).into();
+        let a = Tensor::from_vec(v1, &[1, 1, 6, 6]);
+        let b = Tensor::from_vec(v2, &[1, 1, 6, 6]);
+        let mixed = a.add(&b.scale(s));
+        let apply = |t: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(t.clone());
+            let y = g.warp(x, &map);
+            g.value(y).clone()
+        };
+        let lhs = apply(&mixed);
+        let rhs = apply(&a).add(&apply(&b).scale(s));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn blur_map_rows_sum_to_one(radius in 1usize..4) {
+        let map = vertical_box_blur_map((8, 8), radius);
+        let ones = vec![1.0f32; 64];
+        let out = map.apply_plane(&ones);
+        for v in out {
+            prop_assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    // ---- projective geometry ----
+
+    #[test]
+    fn homography_inverse_roundtrips(tx in -5.0f32..5.0, ty in -5.0f32..5.0,
+                                     th in -1.0f32..1.0, s in 0.5f32..2.0) {
+        let h = Mat3::translation(tx, ty)
+            .mul(&Mat3::rotation(th))
+            .mul(&Mat3::scaling(s, s));
+        let hi = h.inverse().unwrap();
+        let (x, y) = h.apply(3.0, -2.0);
+        let (bx, by) = hi.apply(x, y);
+        prop_assert!((bx - 3.0).abs() < 1e-2 && (by + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn identity_homography_map_is_identity(v in small_vec(25)) {
+        let map = homography((5, 5), (5, 5), &Mat3::identity()).unwrap();
+        let out = map.apply_plane(&v);
+        for (a, b) in out.iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    // ---- boxes ----
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(cx1 in 0.0f32..1.0, cy1 in 0.0f32..1.0,
+                                    w1 in 0.01f32..0.5, h1 in 0.01f32..0.5,
+                                    cx2 in 0.0f32..1.0, cy2 in 0.0f32..1.0,
+                                    w2 in 0.01f32..0.5, h2 in 0.01f32..0.5) {
+        let a = GtBox { class: ObjectClass::Car, cx: cx1, cy: cy1, w: w1, h: h1 };
+        let b = GtBox { class: ObjectClass::Word, cx: cx2, cy: cy2, w: w2, h: h2 };
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    // ---- confirmation logic ----
+
+    #[test]
+    fn streaming_confirmer_matches_offline_scan(
+        seq in proptest::collection::vec(proptest::option::of(0usize..5), 0..40),
+        window in 1usize..5,
+    ) {
+        let history: Vec<Option<ObjectClass>> = seq
+            .iter()
+            .map(|o| o.map(ObjectClass::from_index))
+            .collect();
+        let mut confirmer = Confirmer::new(window);
+        for &h in &history {
+            confirmer.push(h);
+        }
+        for class in ObjectClass::ALL {
+            prop_assert_eq!(
+                confirmer.ever_confirmed(class),
+                has_consecutive(&history, class, window),
+                "window {} class {:?}", window, class
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // gradient-vs-numeric spot check on a random small composite graph
+    #[test]
+    fn composite_graph_gradients_match_numeric(v in small_vec(16), seed in 0u64..1000) {
+        use road_decals_repro::tensor::check::numeric_grad;
+        let _ = seed;
+        let t = Tensor::from_vec(v, &[1, 1, 4, 4]);
+        let run = |t: &Tensor| {
+            let mut g = Graph::new();
+            let x = g.input(t.clone());
+            let a = g.sigmoid(x);
+            let b = g.leaky_relu(a, 0.1);
+            let c = g.mul(b, a);
+            let loss = g.mean_all(c);
+            (g, x, loss)
+        };
+        let (g, x, loss) = run(&t);
+        let grads = g.backward(loss);
+        let num = numeric_grad(|tt| { let (g, _, l) = run(tt); g.value(l).data()[0] }, &t, 1e-3);
+        for (a, n) in grads.get(x).data().iter().zip(num.data()) {
+            prop_assert!((a - n).abs() < 2e-2, "{} vs {}", a, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // the weight codec must never panic on arbitrary bytes
+    #[test]
+    fn weight_decoder_is_panic_free(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        use road_decals_repro::tensor::io::decode_params;
+        let _ = decode_params(&bytes); // Err is fine; panicking is not
+    }
+
+    // encode/decode roundtrip for random parameter sets
+    #[test]
+    fn weight_codec_roundtrips(n_params in 1usize..4, dim in 1usize..6) {
+        use road_decals_repro::tensor::io::{decode_params, encode_params};
+        use road_decals_repro::tensor::{ParamSet, Tensor};
+        let mut ps = ParamSet::new();
+        for i in 0..n_params {
+            ps.register(format!("p{i}"), Tensor::full(&[dim, dim], i as f32 + 0.5));
+        }
+        let decoded = decode_params(&encode_params(&ps)).unwrap();
+        prop_assert_eq!(decoded.len(), ps.len());
+        for ((_, a), (_, b)) in ps.iter().zip(decoded.iter()) {
+            prop_assert_eq!(a.value(), b.value());
+            prop_assert_eq!(a.name(), b.name());
+        }
+    }
+
+    // printing is always within the printable range and idempotent-ish in
+    // expectation for mid-gray monochrome content
+    #[test]
+    fn print_output_is_always_printable(v in 0.0f32..1.0, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use road_decals_repro::scene::PrintModel;
+        use road_decals_repro::tensor::Tensor;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = Tensor::full(&[1, 4, 4], v);
+        let printed = PrintModel::realistic().print(&t, &mut rng);
+        for &x in printed.data() {
+            prop_assert!((0.02..=0.98).contains(&x));
+        }
+    }
+}
