@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, build, tests, and the gradient audit.
+# Run from the workspace root; exits nonzero on the first failure.
+set -euo pipefail
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> grad audit (every op's backward vs central differences)"
+cargo run --release -q -p rd-analysis --bin grad_audit
+
+echo "ci.sh: all checks passed"

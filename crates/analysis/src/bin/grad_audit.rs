@@ -1,0 +1,14 @@
+//! Sweeps every rd-tensor op's backward pass against central
+//! differences and prints a pass/fail table. Exits nonzero if any case
+//! fails, so `ci.sh` can gate on it.
+
+use rd_analysis::{render_table, run_grad_audit};
+
+fn main() {
+    let tol = 1e-2;
+    let reports = run_grad_audit(tol);
+    print!("{}", render_table(&reports, tol));
+    if reports.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # rd-analysis
+//!
+//! Static analyses over the `rd-tensor` autograd tape.
+//!
+//! The attack pipeline (GAN patch synthesis → EOT composite → YOLO
+//! detector) builds long single-use [`rd_tensor::Graph`]s where a silent
+//! shape mismatch or a NaN poisons an entire multi-epoch run. Every tape
+//! node records declarative [`rd_tensor::OpMeta`] alongside its opaque
+//! backward closure, and this crate works entirely off that metadata:
+//!
+//! * [`validate`] — symbolic shape inference. Per-op shape rules
+//!   re-derive every node's output shape from its parents and report
+//!   *all* mismatches with op-path traces (e.g.
+//!   `head16/conv3: conv2d weight OC×C×K×K has C=32, input NCHW has
+//!   C=64`) instead of panicking on the first. Works on eager tapes and
+//!   on shape-only tapes built with [`rd_tensor::Graph::declare`], which
+//!   lets model builders check their wiring before any kernel runs.
+//! * [`lint`] — graph lints: parameters unreachable from the loss, dead
+//!   nodes never consumed, fan-in anomalies, and parameters whose
+//!   gradient is structurally always zero.
+//! * [`audit_non_finite`] — NaN/Inf provenance: finds the first
+//!   non-finite value on the tape and reports the producing op, its
+//!   parents' value ranges and the nearest fully-finite ancestor.
+//! * [`grad_audit`] — a harness sweeping every op's backward pass
+//!   against central differences, emitting a pass/fail table.
+//!
+//! # Examples
+//!
+//! Validate a shape-only model description before running it:
+//!
+//! ```
+//! use rd_tensor::Graph;
+//!
+//! let mut g = Graph::new();
+//! let x = g.declare("input", &[], &[], &[1, 64, 12, 12]);
+//! g.push_scope("head16");
+//! // 3x3 conv whose weight expects 32 input channels — mis-wired.
+//! let w = g.declare("param", &[], &[], &[18, 32, 3, 3]);
+//! g.push_scope("conv3");
+//! let y = g.declare("conv2d", &[x, w], &[("stride", 1), ("pad", 1)], &[1, 18, 12, 12]);
+//! g.pop_scope();
+//! g.pop_scope();
+//! let issues = rd_analysis::validate(&g).unwrap_err();
+//! assert!(issues[0].to_string().contains("head16/conv3"));
+//! assert!(issues[0].to_string().contains("C=32"));
+//! # let _ = y;
+//! ```
+
+pub mod grad_audit;
+mod lints;
+mod nan;
+mod shape;
+
+pub use grad_audit::{render_table, run_grad_audit, OpReport};
+pub use lints::{lint, lint_with_params, LintIssue, LintKind};
+pub use nan::{audit_non_finite, NanReport, ValueRange};
+pub use shape::{validate, validate_with_root, ShapeIssue};

@@ -1,0 +1,410 @@
+//! Symbolic shape inference and pre-run validation over the tape.
+//!
+//! Every [`Graph`] node carries [`OpMeta`] with the shape it claims to
+//! produce. This module re-derives each node's output shape from its
+//! parents' shapes using per-op rules and collects *every* disagreement,
+//! instead of panicking on the first one the way the eager kernels do.
+//! Recovery after an error uses the node's claimed shape, so one
+//! mis-wired layer produces one report rather than a cascade.
+
+use rd_tensor::{Graph, OpMeta, VarId};
+
+/// One shape disagreement, anchored to a tape node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeIssue {
+    /// Tape position of the offending node.
+    pub node: usize,
+    /// `scope/op` label of the node (e.g. `head16/conv3: conv2d`).
+    pub path: String,
+    /// What went wrong, in the validator's wording.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShapeIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+fn issue(node: usize, meta: &OpMeta, message: String) -> ShapeIssue {
+    let path = if meta.scope.is_empty() {
+        format!("{}#{}", meta.op, node)
+    } else {
+        format!("{}/{}", meta.scope, meta.op)
+    };
+    ShapeIssue {
+        node,
+        path,
+        message,
+    }
+}
+
+/// Ops whose metadata is trusted as-is: leaves, shape-only declarations
+/// of leaves, and fused ops without a registered rule.
+fn is_leaf(op: &str) -> bool {
+    matches!(op, "input" | "param")
+}
+
+fn fmt_shape(s: &[usize]) -> String {
+    let dims: Vec<String> = s.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", dims.join("×"))
+}
+
+/// Derives the output shape of one op from its parents' shapes, or
+/// explains why it cannot. `Ok(None)` means "no rule for this op; trust
+/// the claimed shape".
+fn derive(op: &str, parents: &[&[usize]], meta: &OpMeta) -> Result<Option<Vec<usize>>, String> {
+    let arity = |n: usize| -> Result<(), String> {
+        if parents.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{op} expects {n} parent(s), metadata records {}",
+                parents.len()
+            ))
+        }
+    };
+    let same_as_parent = |n: usize| -> Result<Option<Vec<usize>>, String> {
+        arity(n)?;
+        Ok(Some(parents[0].to_vec()))
+    };
+    let scalar = |n: usize| -> Result<Option<Vec<usize>>, String> {
+        arity(n)?;
+        Ok(Some(vec![1]))
+    };
+    let nchw = |which: &str, s: &[usize]| -> Result<(usize, usize, usize, usize), String> {
+        if s.len() == 4 {
+            Ok((s[0], s[1], s[2], s[3]))
+        } else {
+            Err(format!("{op} {which} must be NCHW, got {}", fmt_shape(s)))
+        }
+    };
+    let attr = |name: &str| -> Result<usize, String> {
+        meta.attr(name)
+            .ok_or_else(|| format!("{op} metadata is missing the `{name}` attribute"))
+    };
+
+    match op {
+        "add" | "sub" | "mul" | "lerp_mask" => {
+            arity(2)?;
+            if parents[0] != parents[1] {
+                return Err(format!(
+                    "{op} operands must match: lhs {}, rhs {}",
+                    fmt_shape(parents[0]),
+                    fmt_shape(parents[1])
+                ));
+            }
+            Ok(Some(parents[0].to_vec()))
+        }
+        "scale" | "add_scalar" | "mul_const" | "add_const" | "relu" | "leaky_relu" | "sigmoid"
+        | "tanh" | "powf_const" | "clamp" => same_as_parent(1),
+        "reshape" => {
+            arity(1)?;
+            let from: usize = parents[0].iter().product();
+            let to: usize = meta.expected_shape.iter().product();
+            if from != to {
+                return Err(format!(
+                    "reshape changes element count: input {} has {from} elements, target {} has {to}",
+                    fmt_shape(parents[0]),
+                    fmt_shape(&meta.expected_shape)
+                ));
+            }
+            Ok(Some(meta.expected_shape.clone()))
+        }
+        "repeat_channels" => {
+            arity(1)?;
+            let (n, c, h, w) = nchw("input", parents[0])?;
+            if c != 1 {
+                return Err(format!(
+                    "repeat_channels input must have 1 channel, got C={c}"
+                ));
+            }
+            Ok(Some(vec![n, attr("k")?, h, w]))
+        }
+        "concat_channels" => {
+            arity(2)?;
+            let (n, ca, h, w) = nchw("lhs", parents[0])?;
+            let (nb, cb, hb, wb) = nchw("rhs", parents[1])?;
+            if n != nb || (h, w) != (hb, wb) {
+                return Err(format!(
+                    "concat_channels batch/spatial dims must match: lhs {}, rhs {}",
+                    fmt_shape(parents[0]),
+                    fmt_shape(parents[1])
+                ));
+            }
+            Ok(Some(vec![n, ca + cb, h, w]))
+        }
+        "concat_batch" => {
+            if parents.is_empty() {
+                return Err("concat_batch needs at least one parent".to_string());
+            }
+            let rest = &parents[0][1..];
+            let mut total = 0usize;
+            for (i, p) in parents.iter().enumerate() {
+                if p.is_empty() || &p[1..] != rest {
+                    return Err(format!(
+                        "concat_batch part {i} has trailing dims {}, part 0 has {}",
+                        fmt_shape(p),
+                        fmt_shape(parents[0])
+                    ));
+                }
+                total += p[0];
+            }
+            let mut out = vec![total];
+            out.extend_from_slice(rest);
+            Ok(Some(out))
+        }
+        "sum_all" | "mean_all" => scalar(1),
+        "matmul" => {
+            arity(2)?;
+            let (a, b) = (parents[0], parents[1]);
+            if a.len() != 2 || b.len() != 2 {
+                return Err(format!(
+                    "matmul needs rank-2 operands, got {} and {}",
+                    fmt_shape(a),
+                    fmt_shape(b)
+                ));
+            }
+            if a[1] != b[0] {
+                return Err(format!(
+                    "matmul inner dims must match: lhs {} has K={}, rhs {} has K={}",
+                    fmt_shape(a),
+                    a[1],
+                    fmt_shape(b),
+                    b[0]
+                ));
+            }
+            Ok(Some(vec![a[0], b[1]]))
+        }
+        "linear" => {
+            arity(3)?;
+            let (x, w, b) = (parents[0], parents[1], parents[2]);
+            if x.len() != 2 || w.len() != 2 {
+                return Err(format!(
+                    "linear needs x [N×I] and w [O×I], got {} and {}",
+                    fmt_shape(x),
+                    fmt_shape(w)
+                ));
+            }
+            if x[1] != w[1] {
+                return Err(format!(
+                    "linear weight O×I has I={}, input N×I has I={}",
+                    w[1], x[1]
+                ));
+            }
+            let blen: usize = b.iter().product();
+            if blen != w[0] {
+                return Err(format!(
+                    "linear bias has {blen} elements, weight O×I has O={}",
+                    w[0]
+                ));
+            }
+            Ok(Some(vec![x[0], w[0]]))
+        }
+        "add_bias_channel" => {
+            arity(2)?;
+            let (_, c, _, _) = nchw("input", parents[0])?;
+            let blen: usize = parents[1].iter().product();
+            if blen != c {
+                return Err(format!(
+                    "add_bias_channel bias has {blen} elements, input NCHW has C={c}"
+                ));
+            }
+            Ok(Some(parents[0].to_vec()))
+        }
+        "conv2d" => {
+            arity(2)?;
+            let (n, c, h, w) = nchw("input", parents[0])?;
+            let (o, c2, kh, kw) = nchw("weight", parents[1])?;
+            if c2 != c {
+                return Err(format!(
+                    "conv2d weight OC×C×K×K has C={c2}, input NCHW has C={c}"
+                ));
+            }
+            let (stride, pad) = (attr("stride")?, attr("pad")?);
+            if stride == 0 {
+                return Err("conv2d stride must be positive".to_string());
+            }
+            if h + 2 * pad < kh || w + 2 * pad < kw {
+                return Err(format!(
+                    "conv2d kernel {kh}×{kw} is larger than padded input {}×{}",
+                    h + 2 * pad,
+                    w + 2 * pad
+                ));
+            }
+            Ok(Some(vec![
+                n,
+                o,
+                (h + 2 * pad - kh) / stride + 1,
+                (w + 2 * pad - kw) / stride + 1,
+            ]))
+        }
+        "max_pool2d" => {
+            arity(1)?;
+            let (n, c, h, w) = nchw("input", parents[0])?;
+            let (k, stride, pad) = (attr("k")?, attr("stride")?, attr("pad")?);
+            if stride == 0 {
+                return Err("max_pool2d stride must be positive".to_string());
+            }
+            if h + pad < k || w + pad < k {
+                return Err(format!(
+                    "max_pool2d window {k}×{k} is larger than padded input {}×{}",
+                    h + pad,
+                    w + pad
+                ));
+            }
+            Ok(Some(vec![
+                n,
+                c,
+                (h + pad - k) / stride + 1,
+                (w + pad - k) / stride + 1,
+            ]))
+        }
+        "upsample_nearest2x" => {
+            arity(1)?;
+            let (n, c, h, w) = nchw("input", parents[0])?;
+            Ok(Some(vec![n, c, 2 * h, 2 * w]))
+        }
+        "batch_norm2d_train" | "batch_norm2d_eval" => {
+            arity(3)?;
+            let (_, c, _, _) = nchw("input", parents[0])?;
+            for (name, p) in [("gamma", parents[1]), ("beta", parents[2])] {
+                let plen: usize = p.iter().product();
+                if plen != c {
+                    return Err(format!(
+                        "{op} {name} has {plen} elements, input NCHW has C={c}"
+                    ));
+                }
+            }
+            Ok(Some(parents[0].to_vec()))
+        }
+        "softmax_cross_entropy_rows" => {
+            arity(1)?;
+            if parents[0].len() != 2 {
+                return Err(format!(
+                    "softmax_cross_entropy_rows logits must be [N×C], got {}",
+                    fmt_shape(parents[0])
+                ));
+            }
+            if let Some(classes) = meta.attr("classes") {
+                if parents[0][1] != classes {
+                    return Err(format!(
+                        "softmax_cross_entropy_rows logits have {} columns, targets assume {classes} classes",
+                        parents[0][1]
+                    ));
+                }
+            }
+            Ok(Some(vec![1]))
+        }
+        "bce_with_logits" | "mse" => scalar(1),
+        "warp" => {
+            arity(1)?;
+            let (n, c, _, _) = nchw("input", parents[0])?;
+            Ok(Some(vec![n, c, attr("out_h")?, attr("out_w")?]))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// How many parents the rule table expects for `op`; `None` when the op
+/// is unknown or variadic. Used by the fan-in lint.
+pub(crate) fn expected_arity(op: &str) -> Option<(usize, usize)> {
+    match op {
+        "input" | "param" => Some((0, 0)),
+        "add" | "sub" | "mul" | "lerp_mask" | "concat_channels" | "matmul" | "add_bias_channel"
+        | "conv2d" => Some((2, 2)),
+        "scale"
+        | "add_scalar"
+        | "mul_const"
+        | "add_const"
+        | "relu"
+        | "leaky_relu"
+        | "sigmoid"
+        | "tanh"
+        | "powf_const"
+        | "clamp"
+        | "reshape"
+        | "repeat_channels"
+        | "sum_all"
+        | "mean_all"
+        | "max_pool2d"
+        | "upsample_nearest2x"
+        | "softmax_cross_entropy_rows"
+        | "bce_with_logits"
+        | "mse"
+        | "warp" => Some((1, 1)),
+        "linear" | "batch_norm2d_train" | "batch_norm2d_eval" => Some((3, 3)),
+        "concat_batch" => Some((1, usize::MAX)),
+        _ => None,
+    }
+}
+
+/// Validates every node up to and including `root`, reporting all shape
+/// disagreements. See [`validate`] for the whole-tape convenience form.
+pub fn validate_with_root(g: &Graph, root: VarId) -> Result<(), Vec<ShapeIssue>> {
+    let metas = g.metas();
+    let mut derived: Vec<Vec<usize>> = Vec::with_capacity(metas.len());
+    let mut issues = Vec::new();
+    for (i, meta) in metas.iter().enumerate().take(root.index() + 1) {
+        // Recovery principle: after reporting, continue with the claimed
+        // shape — downstream ops consumed the actual tensor, so later
+        // genuine mismatches still surface without cascade noise.
+        let claimed = meta.expected_shape.clone();
+        if is_leaf(meta.op) {
+            derived.push(claimed);
+            continue;
+        }
+        if meta.parents.iter().any(|p| p.index() >= i) {
+            issues.push(issue(
+                i,
+                meta,
+                format!("{} records a forward reference to a later node", meta.op),
+            ));
+            derived.push(claimed);
+            continue;
+        }
+        let parent_shapes: Vec<&[usize]> = meta
+            .parents
+            .iter()
+            .map(|p| derived[p.index()].as_slice())
+            .collect();
+        match derive(meta.op, &parent_shapes, meta) {
+            Err(msg) => {
+                issues.push(issue(i, meta, msg));
+                derived.push(claimed);
+            }
+            Ok(None) => derived.push(claimed),
+            Ok(Some(rule_shape)) => {
+                if rule_shape != claimed {
+                    issues.push(issue(
+                        i,
+                        meta,
+                        format!(
+                            "{} claims output shape {}, rule derives {}",
+                            meta.op,
+                            fmt_shape(&claimed),
+                            fmt_shape(&rule_shape)
+                        ),
+                    ));
+                    derived.push(claimed);
+                } else {
+                    derived.push(rule_shape);
+                }
+            }
+        }
+    }
+    if issues.is_empty() {
+        Ok(())
+    } else {
+        Err(issues)
+    }
+}
+
+/// Validates the whole tape. Returns all shape disagreements, in tape
+/// order, or `Ok(())` for an empty or consistent graph.
+pub fn validate(g: &Graph) -> Result<(), Vec<ShapeIssue>> {
+    if g.is_empty() {
+        return Ok(());
+    }
+    validate_with_root(g, VarId::from_index(g.len() - 1))
+}

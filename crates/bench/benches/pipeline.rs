@@ -6,12 +6,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_detector::detect;
 use rd_scene::{CameraPose, PhysicalChannel};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
 use road_decals::eval::{render_attacked_frame, EvalConfig};
 use road_decals::experiments::{prepare_environment, Scale};
 use road_decals::scenario::AttackScenario;
 use road_decals::{attack::deploy, decal::Decal};
-use rd_vision::shapes::{mask, Shape};
-use rd_vision::Plane;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut env = prepare_environment(Scale::Smoke, 42);
@@ -26,7 +26,14 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let frame = render_attacked_frame(&scenario, &decals, &pose, &cfg, 0.5, &mut rng);
     c.bench_function("detector_forward_one_frame", |b| {
-        b.iter(|| std::hint::black_box(detect(&env.detector, &mut env.params, &[frame.clone()], 0.35)));
+        b.iter(|| {
+            std::hint::black_box(detect(
+                &env.detector,
+                &mut env.params,
+                std::slice::from_ref(&frame),
+                0.35,
+            ))
+        });
     });
     c.bench_function("eval_frame_render_plus_detect", |b| {
         b.iter(|| {

@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_tensor::{Graph, Tensor};
-use rd_vision::warp::{homography, resize};
 use rd_vision::geometry::Mat3;
+use rd_vision::warp::{homography, resize};
 use std::rc::Rc;
 
 fn bench_matmul(c: &mut Criterion) {

@@ -6,12 +6,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_scene::{CameraPose, PhysicalChannel};
-use road_decals::eval::{render_attacked_frame, EvalConfig};
-use road_decals::scenario::AttackScenario;
-use road_decals::{attack::deploy, decal::Decal};
 use rd_vision::shapes::{mask, Shape};
 use rd_vision::Plane;
+use road_decals::eval::{render_attacked_frame, EvalConfig};
 use road_decals::experiments::Scale;
+use road_decals::scenario::AttackScenario;
+use road_decals::{attack::deploy, decal::Decal};
 
 fn bench_channels(c: &mut Criterion) {
     let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);

@@ -4,12 +4,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_scene::{CameraPose, PhysicalChannel};
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
 use road_decals::eval::{render_attacked_frame, EvalConfig};
 use road_decals::experiments::Scale;
 use road_decals::scenario::AttackScenario;
 use road_decals::{attack::deploy, decal::Decal};
-use rd_vision::shapes::{mask, Shape};
-use rd_vision::Plane;
 
 fn bench_by_n(c: &mut Criterion) {
     let pose = CameraPose::at_distance(2.5);

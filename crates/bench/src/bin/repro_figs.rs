@@ -2,16 +2,18 @@
 //! `out/figures/`.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42]
+//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit]
 //! ```
 
-use rd_bench::arg;
+use rd_bench::{arg, flag};
 use road_decals::experiments::{prepare_environment, run_figures, Scale};
 
 fn main() {
-    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let scale: Scale = arg("--scale", "paper".to_owned())
+        .parse()
+        .expect("bad --scale");
     let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed);
+    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
     let written = run_figures(&mut env, seed, "out/figures");
     println!("wrote {} figures:", written.len());
     for p in written {

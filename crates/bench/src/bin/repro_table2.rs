@@ -1,24 +1,31 @@
 //! Regenerates Table II: our attack in the indoor simulated environment.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table2 -- [--scale paper|smoke] [--seed 42]
+//! cargo run --release -p rd-bench --bin repro_table2 -- [--scale paper|smoke] [--seed 42] [--audit]
 //! ```
 
-use rd_bench::{arg, compare, paper};
+use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table2, Scale};
 
 fn main() {
-    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let scale: Scale = arg("--scale", "paper".to_owned())
+        .parse()
+        .expect("bad --scale");
     let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed);
-    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+    println!(
+        "victim detector class-accuracy: {:.2}\n",
+        env.detector_accuracy
+    );
     let measured = run_table2(&mut env, seed);
     println!("{}", paper::table2());
     println!("{measured}");
     println!("shape checks:");
-    compare::report(&[
-        compare::monotone_decreasing(&measured, "Ours", &["slow", "normal", "fast"]),
-    ]);
+    compare::report(&[compare::monotone_decreasing(
+        &measured,
+        "Ours",
+        &["slow", "normal", "fast"],
+    )]);
     // the simulated environment should beat the real-world Table I cell;
     // cross-table checks are reported in EXPERIMENTS.md
 }

@@ -1,17 +1,22 @@
 //! Regenerates Table III: ablation over the number of decals N.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table3 -- [--scale paper|smoke] [--seed 42]
+//! cargo run --release -p rd-bench --bin repro_table3 -- [--scale paper|smoke] [--seed 42] [--audit]
 //! ```
 
-use rd_bench::{arg, compare, paper};
+use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table3, Scale};
 
 fn main() {
-    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let scale: Scale = arg("--scale", "paper".to_owned())
+        .parse()
+        .expect("bad --scale");
     let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed);
-    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+    println!(
+        "victim detector class-accuracy: {:.2}\n",
+        env.detector_accuracy
+    );
     let measured = run_table3(&mut env, seed);
     println!("{}", paper::table3());
     println!("{measured}");

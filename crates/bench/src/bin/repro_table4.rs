@@ -1,17 +1,22 @@
 //! Regenerates Table IV: ablation over EOT trick combinations.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42]
+//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42] [--audit]
 //! ```
 
-use rd_bench::{arg, compare, paper};
+use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table4, Scale};
 
 fn main() {
-    let scale: Scale = arg("--scale", "paper".to_owned()).parse().expect("bad --scale");
+    let scale: Scale = arg("--scale", "paper".to_owned())
+        .parse()
+        .expect("bad --scale");
     let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed);
-    println!("victim detector class-accuracy: {:.2}\n", env.detector_accuracy);
+    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+    println!(
+        "victim detector class-accuracy: {:.2}\n",
+        env.detector_accuracy
+    );
     let measured = run_table4(&mut env, seed);
     println!("{}", paper::table4());
     println!("{measured}");

@@ -28,7 +28,14 @@ pub mod paper {
     }
 
     const TABLE1_COLS: [&str; 8] = [
-        "fix", "slight rotation", "slow", "normal", "fast", "-15 deg", "0 deg", "+15 deg",
+        "fix",
+        "slight rotation",
+        "slow",
+        "normal",
+        "fast",
+        "-15 deg",
+        "0 deg",
+        "+15 deg",
     ];
     const ABLATION_COLS: [&str; 6] = ["slow", "normal", "fast", "-15 deg", "0 deg", "+15 deg"];
 
@@ -39,22 +46,40 @@ pub mod paper {
         t.push_row(
             "Ours (w/ 3 consecutive frames)",
             vec![
-                c(92, true), c(80, true), c(78, true), c(45, true),
-                c(26, true), c(70, true), c(78, true), c(74, true),
+                c(92, true),
+                c(80, true),
+                c(78, true),
+                c(45, true),
+                c(26, true),
+                c(70, true),
+                c(78, true),
+                c(74, true),
             ],
         );
         t.push_row(
             "Ours (w/o 3 consecutive frames)",
             vec![
-                c(62, true), c(56, true), c(53, true), c(38, true),
-                c(20, false), c(58, true), c(53, true), c(53, true),
+                c(62, true),
+                c(56, true),
+                c(53, true),
+                c(38, true),
+                c(20, false),
+                c(58, true),
+                c(53, true),
+                c(53, true),
             ],
         );
         t.push_row(
             "[34]",
             vec![
-                c(46, true), c(38, false), c(34, true), c(19, false),
-                c(10, false), c(22, false), c(34, true), c(30, true),
+                c(46, true),
+                c(38, false),
+                c(34, true),
+                c(19, false),
+                c(10, false),
+                c(22, false),
+                c(34, true),
+                c(30, true),
             ],
         );
         t
@@ -66,8 +91,14 @@ pub mod paper {
         t.push_row(
             "Ours",
             vec![
-                c(100, true), c(100, true), c(100, true), c(87, true),
-                c(40, false), c(64, true), c(87, true), c(68, true),
+                c(100, true),
+                c(100, true),
+                c(100, true),
+                c(87, true),
+                c(40, false),
+                c(64, true),
+                c(87, true),
+                c(68, true),
             ],
         );
         t
@@ -76,42 +107,222 @@ pub mod paper {
     /// Table III as reported by the paper.
     pub fn table3() -> Table {
         let mut t = Table::new("Table III (paper)", &ABLATION_COLS);
-        t.push_row("N=2", vec![c(68, true), c(44, true), c(12, false), c(62, true), c(68, true), c(66, true)]);
-        t.push_row("N=4", vec![c(78, true), c(45, true), c(26, true), c(70, true), c(78, true), c(74, true)]);
-        t.push_row("N=6", vec![c(76, true), c(48, true), c(18, false), c(72, true), c(76, true), c(70, true)]);
-        t.push_row("N=8", vec![c(68, true), c(40, true), c(18, false), c(60, true), c(66, true), c(59, true)]);
+        t.push_row(
+            "N=2",
+            vec![
+                c(68, true),
+                c(44, true),
+                c(12, false),
+                c(62, true),
+                c(68, true),
+                c(66, true),
+            ],
+        );
+        t.push_row(
+            "N=4",
+            vec![
+                c(78, true),
+                c(45, true),
+                c(26, true),
+                c(70, true),
+                c(78, true),
+                c(74, true),
+            ],
+        );
+        t.push_row(
+            "N=6",
+            vec![
+                c(76, true),
+                c(48, true),
+                c(18, false),
+                c(72, true),
+                c(76, true),
+                c(70, true),
+            ],
+        );
+        t.push_row(
+            "N=8",
+            vec![
+                c(68, true),
+                c(40, true),
+                c(18, false),
+                c(60, true),
+                c(66, true),
+                c(59, true),
+            ],
+        );
         t
     }
 
     /// Table IV as reported by the paper.
     pub fn table4() -> Table {
         let mut t = Table::new("Table IV (paper)", &ABLATION_COLS);
-        t.push_row("(1)+(2)+(3)+(5)", vec![c(64, true), c(42, true), c(14, false), c(62, true), c(64, true), c(58, true)]);
-        t.push_row("(1)+(2)+(4)+(5)", vec![c(78, true), c(45, true), c(26, true), c(70, true), c(78, true), c(76, true)]);
-        t.push_row("(2)+(3)+(4)+(5)", vec![c(76, true), c(44, true), c(26, false), c(73, true), c(76, true), c(71, true)]);
-        t.push_row("(1)+(3)+(4)+(5)", vec![c(72, true), c(48, true), c(26, false), c(72, true), c(72, true), c(70, true)]);
-        t.push_row("(1)+(2)+(3)+(4)", vec![c(45, true), c(18, false), c(10, false), c(45, true), c(45, true), c(35, false)]);
-        t.push_row("All", vec![c(78, true), c(45, true), c(26, false), c(70, true), c(78, true), c(74, true)]);
+        t.push_row(
+            "(1)+(2)+(3)+(5)",
+            vec![
+                c(64, true),
+                c(42, true),
+                c(14, false),
+                c(62, true),
+                c(64, true),
+                c(58, true),
+            ],
+        );
+        t.push_row(
+            "(1)+(2)+(4)+(5)",
+            vec![
+                c(78, true),
+                c(45, true),
+                c(26, true),
+                c(70, true),
+                c(78, true),
+                c(76, true),
+            ],
+        );
+        t.push_row(
+            "(2)+(3)+(4)+(5)",
+            vec![
+                c(76, true),
+                c(44, true),
+                c(26, false),
+                c(73, true),
+                c(76, true),
+                c(71, true),
+            ],
+        );
+        t.push_row(
+            "(1)+(3)+(4)+(5)",
+            vec![
+                c(72, true),
+                c(48, true),
+                c(26, false),
+                c(72, true),
+                c(72, true),
+                c(70, true),
+            ],
+        );
+        t.push_row(
+            "(1)+(2)+(3)+(4)",
+            vec![
+                c(45, true),
+                c(18, false),
+                c(10, false),
+                c(45, true),
+                c(45, true),
+                c(35, false),
+            ],
+        );
+        t.push_row(
+            "All",
+            vec![
+                c(78, true),
+                c(45, true),
+                c(26, false),
+                c(70, true),
+                c(78, true),
+                c(74, true),
+            ],
+        );
         t
     }
 
     /// Table V as reported by the paper.
     pub fn table5() -> Table {
         let mut t = Table::new("Table V (paper)", &ABLATION_COLS);
-        t.push_row("triangle", vec![c(36, true), c(20, false), c(11, false), c(33, true), c(36, true), c(36, true)]);
-        t.push_row("circle", vec![c(27, true), c(13, false), c(8, false), c(24, true), c(27, true), c(27, true)]);
-        t.push_row("star", vec![c(78, true), c(45, true), c(26, true), c(70, true), c(78, true), c(76, true)]);
-        t.push_row("square", vec![c(34, true), c(19, true), c(10, false), c(34, true), c(34, true), c(11, true)]);
+        t.push_row(
+            "triangle",
+            vec![
+                c(36, true),
+                c(20, false),
+                c(11, false),
+                c(33, true),
+                c(36, true),
+                c(36, true),
+            ],
+        );
+        t.push_row(
+            "circle",
+            vec![
+                c(27, true),
+                c(13, false),
+                c(8, false),
+                c(24, true),
+                c(27, true),
+                c(27, true),
+            ],
+        );
+        t.push_row(
+            "star",
+            vec![
+                c(78, true),
+                c(45, true),
+                c(26, true),
+                c(70, true),
+                c(78, true),
+                c(76, true),
+            ],
+        );
+        t.push_row(
+            "square",
+            vec![
+                c(34, true),
+                c(19, true),
+                c(10, false),
+                c(34, true),
+                c(34, true),
+                c(11, true),
+            ],
+        );
         t
     }
 
     /// Table VI as reported by the paper.
     pub fn table6() -> Table {
         let mut t = Table::new("Table VI (paper)", &ABLATION_COLS);
-        t.push_row("k=20", vec![c(12, false), c(8, false), c(0, false), c(10, false), c(12, false), c(11, false)]);
-        t.push_row("k=40", vec![c(66, true), c(40, true), c(12, false), c(60, true), c(66, true), c(63, true)]);
-        t.push_row("k=60", vec![c(78, true), c(45, true), c(26, true), c(70, true), c(78, true), c(74, true)]);
-        t.push_row("k=80", vec![c(32, true), c(12, false), c(5, false), c(36, true), c(32, true), c(32, true)]);
+        t.push_row(
+            "k=20",
+            vec![
+                c(12, false),
+                c(8, false),
+                c(0, false),
+                c(10, false),
+                c(12, false),
+                c(11, false),
+            ],
+        );
+        t.push_row(
+            "k=40",
+            vec![
+                c(66, true),
+                c(40, true),
+                c(12, false),
+                c(60, true),
+                c(66, true),
+                c(63, true),
+            ],
+        );
+        t.push_row(
+            "k=60",
+            vec![
+                c(78, true),
+                c(45, true),
+                c(26, true),
+                c(70, true),
+                c(78, true),
+                c(74, true),
+            ],
+        );
+        t.push_row(
+            "k=80",
+            vec![
+                c(32, true),
+                c(12, false),
+                c(5, false),
+                c(36, true),
+                c(32, true),
+                c(32, true),
+            ],
+        );
         t
     }
 }
@@ -197,6 +408,11 @@ pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// Tests for the presence of a bare `--name` CLI switch.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,7 +422,12 @@ mod tests {
         assert_eq!(paper::table1().rows.len(), 4);
         assert_eq!(paper::table1().columns.len(), 8);
         assert_eq!(paper::table4().rows.len(), 6);
-        for t in [paper::table3(), paper::table4(), paper::table5(), paper::table6()] {
+        for t in [
+            paper::table3(),
+            paper::table4(),
+            paper::table5(),
+            paper::table6(),
+        ] {
             assert_eq!(t.columns.len(), 6);
         }
     }

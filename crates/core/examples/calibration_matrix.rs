@@ -15,20 +15,51 @@ use road_decals::experiments::{prepare_environment, Scale};
 use road_decals::scenario::AttackScenario;
 
 fn main() {
-    let steps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     let mut env = prepare_environment(Scale::Paper, 42);
     let scenario = AttackScenario::parking_lot(Scale::Paper.rig(), 6, 60, 16, 42);
-    let cfg = AttackConfig { steps, seed: 42, ..AttackConfig::paper() };
+    let cfg = AttackConfig {
+        steps,
+        seed: 42,
+        ..AttackConfig::paper()
+    };
     let t0 = std::time::Instant::now();
     let trained = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
-    println!("trained {} steps in {:.0}s; last attack loss {:.3}",
-        steps, t0.elapsed().as_secs_f32(), trained.attack_loss.last().unwrap());
+    println!(
+        "trained {} steps in {:.0}s; last attack loss {:.3}",
+        steps,
+        t0.elapsed().as_secs_f32(),
+        trained.attack_loss.last().unwrap()
+    );
     let decals = deploy(&trained.decal, &scenario);
-    for (cname, channel) in [("digital", PhysicalChannel::digital()), ("simulated", PhysicalChannel::simulated()), ("real", PhysicalChannel::real_world())] {
-        let ecfg = EvalConfig { channel, ..EvalConfig::real_world(42) };
+    for (cname, channel) in [
+        ("digital", PhysicalChannel::digital()),
+        ("simulated", PhysicalChannel::simulated()),
+        ("real", PhysicalChannel::real_world()),
+    ] {
+        let ecfg = EvalConfig {
+            channel,
+            ..EvalConfig::real_world(42)
+        };
         print!("{cname:>10}: ");
-        for ch in [Challenge::Rotation(RotationSetting::Fix), Challenge::Speed(Speed::Slow), Challenge::Speed(Speed::Normal), Challenge::Speed(Speed::Fast)] {
-            let out = evaluate_challenge(&scenario, &decals, &env.detector, &mut env.params, cfg.target_class, ch, &ecfg);
+        for ch in [
+            Challenge::Rotation(RotationSetting::Fix),
+            Challenge::Speed(Speed::Slow),
+            Challenge::Speed(Speed::Normal),
+            Challenge::Speed(Speed::Fast),
+        ] {
+            let out = evaluate_challenge(
+                &scenario,
+                &decals,
+                &env.detector,
+                &mut env.params,
+                cfg.target_class,
+                ch,
+                &ecfg,
+            );
             print!("{}={} ", ch.label(), out.cell);
         }
         println!();

@@ -55,6 +55,11 @@ pub struct AttackConfig {
     pub d_every: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Opt-in graph auditing: validate detector/GAN wiring before the
+    /// first step, lint the first step's tape, and scan every step's tape
+    /// for non-finite values with provenance reports (`--audit` on the
+    /// train/repro binaries).
+    pub audit: bool,
 }
 
 impl AttackConfig {
@@ -73,6 +78,7 @@ impl AttackConfig {
             gan_weight: 0.06,
             d_every: 2,
             seed: 7,
+            audit: false,
         }
     }
 
@@ -116,9 +122,13 @@ pub struct TrainedDecal {
 fn sample_clip_poses<R: Rng>(rng: &mut R, frames: usize, fps: f32) -> Vec<CameraPose> {
     let speed = Speed::ALL[rng.gen_range(0..3)];
     let angle = AngleSetting::ALL[rng.gen_range(0..3)];
-    let z0 = rng.gen_range(1.0..4.4);
-    let lateral = rng.gen_range(-0.15..0.15);
     let step = speed.m_per_frame(fps);
+    // Start far enough out that the 1.5 m near-plane floor is never hit
+    // mid-clip: a low z0 draw would otherwise clamp consecutive frames to
+    // identical poses, defeating the consecutive-frames premise.
+    let travel = step * frames.saturating_sub(1) as f32;
+    let z0 = rng.gen_range((1.5 + travel)..(4.4 + travel));
+    let lateral = rng.gen_range(-0.15..0.15);
     (0..frames)
         .map(|f| CameraPose {
             z_near: (z0 - step * f as f32).max(1.5),
@@ -214,15 +224,38 @@ pub fn train_decal_attack(
     let disc = Discriminator::new(&mut ps_d, &mut rng, gan_cfg);
     let mut opt_g = Adam::with_betas(cfg.lr, 0.5, 0.999);
     let mut opt_d = Adam::with_betas(cfg.lr, 0.5, 0.999);
+    if cfg.audit {
+        // Fail fast on mis-wired models before any kernel-heavy step runs.
+        let mut issues = Vec::new();
+        issues.extend(
+            detector
+                .validate(ps_det, cfg.batch_frames())
+                .err()
+                .unwrap_or_default(),
+        );
+        issues.extend(gen.validate(&ps_g, 1).err().unwrap_or_default());
+        issues.extend(disc.validate(&ps_d, 1).err().unwrap_or_default());
+        assert!(
+            issues.is_empty(),
+            "graph validation failed:\n{}",
+            issues
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
     let silhouette = mask(cfg.shape, canvas);
     let z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
     let fps = 18.0;
     // pre-built differentiable motion-blur maps (EOT over capture blur)
     let blur_maps: Vec<Rc<LinearMap>> = (1..=3)
-        .map(|r| Rc::new(rd_vision::warp::vertical_box_blur_map(
-            scenario.rig.image_hw,
-            r,
-        )))
+        .map(|r| {
+            Rc::new(rd_vision::warp::vertical_box_blur_map(
+                scenario.rig.image_hw,
+                r,
+            ))
+        })
         .collect();
     let num_classes = detector.config().num_classes;
     let input = detector.config().input;
@@ -288,8 +321,7 @@ pub fn train_decal_attack(
                     let ts = cfg.eot.sample(&mut rng);
                     let decal_node = apply_photometric(&mut g, patch, &ts);
                     let adjusted = adjust_placement(*placement, &ts, canvas);
-                    let map: Rc<LinearMap> =
-                        scenario.decal_map(i, pose, Some(adjusted)).into();
+                    let map: Rc<LinearMap> = scenario.decal_map(i, pose, Some(adjusted)).into();
                     node = paste_patch(&mut g, node, decal_node, &map, &silhouette);
                 }
                 // differentiable capture channel on the *composited* frame
@@ -304,12 +336,7 @@ pub fn train_decal_attack(
                 if blur_pick < blur_maps.len() {
                     node = g.warp(node, &blur_maps[blur_pick]);
                 }
-                let noise = Tensor::rand_uniform(
-                    &mut rng,
-                    g.value(node).shape(),
-                    -0.03,
-                    0.03,
-                );
+                let noise = Tensor::rand_uniform(&mut rng, g.value(node).shape(), -0.03, 0.03);
                 node = g.add_const(node, &noise);
                 node = g.clamp(node, 0.0, 1.0);
                 frames.push(node);
@@ -319,10 +346,20 @@ pub fn train_decal_attack(
                 let mut fc = Vec::new();
                 if let Some(vb) = scenario.victim_box(pose) {
                     for (anchor, cy, cx) in victim_cells(&vb, coarse_grid) {
-                        cc.push(AttackCell { n: n_index, anchor, cy, cx });
+                        cc.push(AttackCell {
+                            n: n_index,
+                            anchor,
+                            cy,
+                            cx,
+                        });
                     }
                     for (anchor, cy, cx) in victim_cells(&vb, fine_grid) {
-                        fc.push(AttackCell { n: n_index, anchor, cy, cx });
+                        fc.push(AttackCell {
+                            n: n_index,
+                            anchor,
+                            cy,
+                            cx,
+                        });
                     }
                 }
                 frame_cells.push((cc, fc));
@@ -401,6 +438,16 @@ pub fn train_decal_attack(
             g.add(a, b)
         };
         adv_hist.push(g.value(l_adv).data()[0]);
+        if cfg.audit {
+            if step == 0 {
+                for issue in rd_analysis::lint(&g) {
+                    eprintln!("[audit] step 0 tape: {issue}");
+                }
+            }
+            if let Some(report) = rd_analysis::audit_non_finite(&g) {
+                eprintln!("[audit] step {step}: {report}");
+            }
+        }
         let grads = g.backward(loss);
         g.write_grads(&grads, &mut ps_g);
         ps_g.clip_grad_norm(10.0);
@@ -521,6 +568,7 @@ mod tests {
         let cfg = AttackConfig {
             steps: 3,
             clips_per_batch: 1,
+            audit: true,
             ..AttackConfig::smoke()
         };
         let out = train_decal_attack(&scenario, &detector, &mut ps_det, &cfg);

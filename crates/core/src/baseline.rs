@@ -126,8 +126,7 @@ pub fn train_baseline_patch(
         let mut fine_cells: Vec<AttackCell> = Vec::new();
         for _ in 0..cfg.batch_frames {
             // independent (static) frames — the baseline's key limitation
-            let pose =
-                crate::attack::sample_visible_pose(scenario, &mut rng, fps);
+            let pose = crate::attack::sample_visible_pose(scenario, &mut rng, fps);
             let n_index = frames.len();
             let base = scenario.rig.render_frame(scenario.world.canvas(), &pose);
             let mut node = g.input(base.to_tensor());
@@ -151,10 +150,20 @@ pub fn train_baseline_patch(
             frames.push(node);
             if let Some(vb) = scenario.victim_box(&pose) {
                 for (anchor, cy, cx) in crate::attack::victim_cells(&vb, coarse_grid) {
-                    coarse_cells.push(AttackCell { n: n_index, anchor, cy, cx });
+                    coarse_cells.push(AttackCell {
+                        n: n_index,
+                        anchor,
+                        cy,
+                        cx,
+                    });
                 }
                 for (anchor, cy, cx) in crate::attack::victim_cells(&vb, fine_grid) {
-                    fine_cells.push(AttackCell { n: n_index, anchor, cy, cx });
+                    fine_cells.push(AttackCell {
+                        n: n_index,
+                        anchor,
+                        cy,
+                        cx,
+                    });
                 }
             }
         }

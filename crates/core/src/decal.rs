@@ -34,7 +34,11 @@ impl Decal {
     ///
     /// Panics if `intensity` and `mask` sizes differ or are not square.
     pub fn mono(intensity: &Plane, mask: Plane, shape: Shape) -> Self {
-        assert_eq!(intensity.height(), intensity.width(), "canvas must be square");
+        assert_eq!(
+            intensity.height(),
+            intensity.width(),
+            "canvas must be square"
+        );
         assert_eq!(intensity.height(), mask.height());
         assert_eq!(intensity.width(), mask.width());
         Decal {
@@ -135,7 +139,11 @@ impl Decal {
         let mut wsum = 0.0f32;
         for i in 0..hw {
             let m = self.mask.data()[i];
-            let (r, g, b) = (self.channels[i], self.channels[hw + i], self.channels[2 * hw + i]);
+            let (r, g, b) = (
+                self.channels[i],
+                self.channels[hw + i],
+                self.channels[2 * hw + i],
+            );
             let mean = (r + g + b) / 3.0;
             sum += m * ((r - mean).abs() + (g - mean).abs() + (b - mean).abs()) / 3.0;
             wsum += m;

@@ -201,11 +201,7 @@ pub fn render_attacked_frame(
         let map = scenario.decal_map(i, pose, None);
         match d.num_channels() {
             1 => {
-                let plane = Plane::from_vec(
-                    d.channel_data().to_vec(),
-                    d.canvas(),
-                    d.canvas(),
-                );
+                let plane = Plane::from_vec(d.channel_data().to_vec(), d.canvas(), d.canvas());
                 paste_plane_map(&mut frame, &plane, d.mask(), &map);
             }
             _ => paste_rgb_map(&mut frame, d.channel_data(), d.mask(), &map),
@@ -240,9 +236,8 @@ pub fn evaluate_challenge(
     let mut victim_seen = 0usize;
     let mut total_frames = 0usize;
     for run in 0..cfg.runs {
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         // each run prints fresh physical decals (per-print variation)
         let printed: Vec<Decal> = decals
             .iter()

@@ -92,6 +92,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
     let cfg = AttackConfig {
         steps: scale.attack_steps(),
         seed,
+        audit: env.audit,
         ..AttackConfig::paper()
     };
     let scenario4 = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
@@ -111,7 +112,12 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
             render_attacked_frame(&scenario4, &decals4, &pose, &digital, 0.0, &mut rng)
         })
         .collect();
-    save(&Image::hstack(&frames), dir, "fig2_training_batch.ppm", &mut written);
+    save(
+        &Image::hstack(&frames),
+        dir,
+        "fig2_training_batch.ppm",
+        &mut written,
+    );
 
     // --- Fig 3: the angle geometry ---
     let frames: Vec<Image> = AngleSetting::ALL
@@ -124,19 +130,28 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
                 .render_frame(scenario4.world.canvas(), &pose)
         })
         .collect();
-    save(&Image::hstack(&frames), dir, "fig3_angles.ppm", &mut written);
+    save(
+        &Image::hstack(&frames),
+        dir,
+        "fig3_angles.ppm",
+        &mut written,
+    );
 
     // --- Fig 4: digital vs simulated frames with detections (N=4) ---
     let mut fig4 = Vec::new();
     for ecfg in [&digital, &simulated] {
         let pose = CameraPose::at_distance(2.6);
-        let mut frame =
-            render_attacked_frame(&scenario4, &decals4, &pose, ecfg, 0.1, &mut rng);
+        let mut frame = render_attacked_frame(&scenario4, &decals4, &pose, ecfg, 0.1, &mut rng);
         let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
         draw_detections(&mut frame, &dets[0]);
         fig4.push(frame);
     }
-    save(&Image::hstack(&fig4), dir, "fig4_digital_vs_simulated.ppm", &mut written);
+    save(
+        &Image::hstack(&fig4),
+        dir,
+        "fig4_digital_vs_simulated.ppm",
+        &mut written,
+    );
 
     // --- Fig 5: digital vs real-world frames with detections (N=6) ---
     let scenario6 = AttackScenario::parking_lot(scale.rig(), 6, 60, 16, seed);
@@ -145,13 +160,17 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
     let mut fig5 = Vec::new();
     for ecfg in [&digital, &real] {
         let pose = CameraPose::at_distance(2.6);
-        let mut frame =
-            render_attacked_frame(&scenario6, &decals6, &pose, ecfg, 0.3, &mut rng);
+        let mut frame = render_attacked_frame(&scenario6, &decals6, &pose, ecfg, 0.3, &mut rng);
         let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
         draw_detections(&mut frame, &dets[0]);
         fig5.push(frame);
     }
-    save(&Image::hstack(&fig5), dir, "fig5_digital_vs_real.ppm", &mut written);
+    save(
+        &Image::hstack(&fig5),
+        dir,
+        "fig5_digital_vs_real.ppm",
+        &mut written,
+    );
 
     // --- Fig 6: layouts for N in {2,4,6,8} ---
     let frames: Vec<Image> = [2usize, 4, 6, 8]
@@ -159,10 +178,22 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         .map(|n| {
             let s = AttackScenario::parking_lot(scale.rig(), n, 60, 16, seed);
             let d = deploy(&trained.decal, &s);
-            render_attacked_frame(&s, &d, &CameraPose::at_distance(2.6), &digital, 0.0, &mut rng)
+            render_attacked_frame(
+                &s,
+                &d,
+                &CameraPose::at_distance(2.6),
+                &digital,
+                0.0,
+                &mut rng,
+            )
         })
         .collect();
-    save(&Image::hstack(&frames), dir, "fig6_decal_counts.ppm", &mut written);
+    save(
+        &Image::hstack(&frames),
+        dir,
+        "fig6_decal_counts.ppm",
+        &mut written,
+    );
 
     // --- Fig 7: the four decal shapes as physical artifacts ---
     let canvases: Vec<Image> = Shape::ALL
@@ -173,7 +204,12 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
             upscale(&decal_preview(&d), 4)
         })
         .collect();
-    save(&Image::hstack(&canvases), dir, "fig7_shapes.ppm", &mut written);
+    save(
+        &Image::hstack(&canvases),
+        dir,
+        "fig7_shapes.ppm",
+        &mut written,
+    );
 
     // --- Fig 8: decal sizes k in {20,40,60,80} ---
     let frames: Vec<Image> = [20usize, 40, 60, 80]
@@ -181,10 +217,22 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         .map(|k| {
             let s = AttackScenario::parking_lot(scale.rig(), 4, k, 16, seed);
             let d = deploy(&trained.decal, &s);
-            render_attacked_frame(&s, &d, &CameraPose::at_distance(2.6), &digital, 0.0, &mut rng)
+            render_attacked_frame(
+                &s,
+                &d,
+                &CameraPose::at_distance(2.6),
+                &digital,
+                0.0,
+                &mut rng,
+            )
         })
         .collect();
-    save(&Image::hstack(&frames), dir, "fig8_decal_sizes.ppm", &mut written);
+    save(
+        &Image::hstack(&frames),
+        dir,
+        "fig8_decal_sizes.ppm",
+        &mut written,
+    );
 
     written
 }

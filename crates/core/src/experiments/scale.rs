@@ -92,6 +92,35 @@ pub struct Environment {
     pub params: ParamSet,
     /// Test-set detection accuracy (for reporting).
     pub detector_accuracy: f32,
+    /// Propagated into every attack the experiment runs (see
+    /// [`crate::attack::AttackConfig::audit`]).
+    pub audit: bool,
+}
+
+impl Environment {
+    /// Turns on graph auditing for every attack this environment runs,
+    /// and immediately validates the victim detector's wiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the detector fails shape validation.
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        if audit {
+            if let Err(issues) = self.detector.validate(&self.params, 1) {
+                panic!(
+                    "victim detector failed validation:\n{}",
+                    issues
+                        .iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+            eprintln!("[audit] victim detector wiring validated");
+        }
+        self
+    }
 }
 
 impl std::fmt::Debug for Environment {
@@ -155,6 +184,7 @@ pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
         detector,
         params,
         detector_accuracy: m.class_accuracy,
+        audit: false,
     }
 }
 

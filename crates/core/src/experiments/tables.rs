@@ -65,6 +65,7 @@ pub fn run_table1(env: &mut Environment, seed: u64) -> Table {
     let cfg = AttackConfig {
         steps: scale.attack_steps(),
         seed,
+        audit: env.audit,
         ..AttackConfig::paper()
     };
     let columns = Challenge::table_columns();
@@ -115,15 +116,13 @@ pub fn run_table2(env: &mut Environment, seed: u64) -> Table {
     let cfg = AttackConfig {
         steps: scale.attack_steps(),
         seed,
+        audit: env.audit,
         ..AttackConfig::paper()
     };
     let columns = Challenge::table_columns();
     let headers: Vec<String> = columns.iter().map(|c| c.label()).collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new(
-        "Table II: ours in the simulated environment",
-        &header_refs,
-    );
+    let mut table = Table::new("Table II: ours in the simulated environment", &header_refs);
     let ecfg = eval_cfg(scale, PhysicalChannel::simulated(), seed);
     let ours = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
     let decals = deploy(&ours.decal, &scenario);
@@ -162,6 +161,7 @@ pub fn run_table3(env: &mut Environment, seed: u64) -> Table {
     let base = AttackConfig {
         steps: scale.attack_steps(),
         seed,
+        audit: env.audit,
         ..AttackConfig::paper()
     };
     let variants = [2usize, 4, 6, 8]
@@ -188,6 +188,7 @@ pub fn run_table4(env: &mut Environment, seed: u64) -> Table {
                 steps: scale.attack_steps(),
                 seed,
                 eot: rd_eot::EotConfig::with_tricks(tricks),
+                audit: env.audit,
                 ..AttackConfig::paper()
             };
             (tricks.to_string(), scenario.clone(), cfg)
@@ -207,6 +208,7 @@ pub fn run_table5(env: &mut Environment, seed: u64) -> Table {
                 steps: scale.attack_steps(),
                 seed,
                 shape,
+                audit: env.audit,
                 ..AttackConfig::paper()
             };
             (shape.name().to_owned(), scenario.clone(), cfg)
@@ -221,6 +223,7 @@ pub fn run_table6(env: &mut Environment, seed: u64) -> Table {
     let base = AttackConfig {
         steps: scale.attack_steps(),
         seed,
+        audit: env.audit,
         ..AttackConfig::paper()
     };
     let variants = [20usize, 40, 60, 80]

@@ -163,15 +163,30 @@ mod tests {
     #[test]
     fn average_is_mean_and_majority() {
         let avg = Cell::average(&[
-            Cell { pwc: 0.9, cwc: true },
-            Cell { pwc: 0.6, cwc: true },
-            Cell { pwc: 0.3, cwc: false },
+            Cell {
+                pwc: 0.9,
+                cwc: true,
+            },
+            Cell {
+                pwc: 0.6,
+                cwc: true,
+            },
+            Cell {
+                pwc: 0.3,
+                cwc: false,
+            },
         ]);
         assert!((avg.pwc - 0.6).abs() < 1e-6);
         assert!(avg.cwc);
         let avg = Cell::average(&[
-            Cell { pwc: 0.9, cwc: true },
-            Cell { pwc: 0.6, cwc: false },
+            Cell {
+                pwc: 0.9,
+                cwc: true,
+            },
+            Cell {
+                pwc: 0.6,
+                cwc: false,
+            },
         ]);
         assert!(!avg.cwc, "ties are not a majority");
         assert_eq!(Cell::average(&[]), Cell::zero());
@@ -183,9 +198,18 @@ mod tests {
         t.push_row(
             "Ours",
             vec![
-                Cell { pwc: 0.78, cwc: true },
-                Cell { pwc: 0.45, cwc: true },
-                Cell { pwc: 0.26, cwc: true },
+                Cell {
+                    pwc: 0.78,
+                    cwc: true,
+                },
+                Cell {
+                    pwc: 0.45,
+                    cwc: true,
+                },
+                Cell {
+                    pwc: 0.26,
+                    cwc: true,
+                },
             ],
         );
         t.push_row("w/o Attack", vec![Cell::zero(); 3]);
@@ -202,11 +226,23 @@ mod tests {
         let mut t = Table::new("x", &["slow", "fast"]);
         t.push_row(
             "Ours",
-            vec![Cell { pwc: 0.5, cwc: true }, Cell { pwc: 0.25, cwc: false }],
+            vec![
+                Cell {
+                    pwc: 0.5,
+                    cwc: true,
+                },
+                Cell {
+                    pwc: 0.25,
+                    cwc: false,
+                },
+            ],
         );
         let csv = t.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "row,slow PWC,slow CWC,fast PWC,fast CWC");
+        assert_eq!(
+            lines.next().unwrap(),
+            "row,slow PWC,slow CWC,fast PWC,fast CWC"
+        );
         assert_eq!(lines.next().unwrap(), "Ours,0.5000,1,0.2500,0");
         assert!(lines.next().is_none());
     }

@@ -66,7 +66,13 @@ impl AttackScenario {
     /// lane ahead, with `n_decals` decal sites of nominal size `k` spread
     /// around it. Total decal area is held constant across `n_decals`
     /// (as in the paper's Table III protocol).
-    pub fn parking_lot(rig: CameraRig, n_decals: usize, k: usize, patch_canvas: usize, seed: u64) -> Self {
+    pub fn parking_lot(
+        rig: CameraRig,
+        n_decals: usize,
+        k: usize,
+        patch_canvas: usize,
+        seed: u64,
+    ) -> Self {
         assert!(n_decals >= 1, "need at least one decal");
         let mut rng = StdRng::seed_from_u64(seed);
         let (ch, cw) = rig.canvas_hw;
@@ -84,8 +90,8 @@ impl AttackScenario {
         let radius = victim_size * 0.34;
         let mut decal_placements = Vec::with_capacity(n_decals);
         for i in 0..n_decals {
-            let a = std::f32::consts::TAU * i as f32 / n_decals as f32
-                - std::f32::consts::FRAC_PI_2;
+            let a =
+                std::f32::consts::TAU * i as f32 / n_decals as f32 - std::f32::consts::FRAC_PI_2;
             decal_placements.push(
                 PatchPlacement::new(
                     (
@@ -110,7 +116,8 @@ impl AttackScenario {
 
     /// The victim's projected box for a pose (`None` when out of view).
     pub fn victim_box(&self, pose: &CameraPose) -> Option<GtBox> {
-        self.rig.project_rect(pose, self.victim_rect, self.victim_class)
+        self.rig
+            .project_rect(pose, self.victim_rect, self.victim_class)
     }
 
     /// The homography taking decal `i`'s canvas straight into the camera
@@ -168,7 +175,9 @@ mod tests {
     #[test]
     fn scenario_has_visible_victim() {
         let s = AttackScenario::parking_lot(CameraRig::standard(), 4, 60, 16, 1);
-        let b = s.victim_box(&CameraPose::at_distance(4.0)).expect("visible");
+        let b = s
+            .victim_box(&CameraPose::at_distance(4.0))
+            .expect("visible");
         assert_eq!(b.class, ObjectClass::Word);
         assert!(b.w > 0.2, "victim should be prominent at 4 m: {}", b.w);
         assert!((b.cx - 0.5).abs() < 0.2);

@@ -56,14 +56,27 @@ fn different_seeds_vary_only_stochastic_parts() {
         ..EvalConfig::smoke(seed)
     };
     let a = evaluate_challenge(
-        &scenario, &decals, &env.detector, &mut env.params,
-        ObjectClass::Bicycle, Challenge::Rotation(RotationSetting::Fix), &mk(1),
+        &scenario,
+        &decals,
+        &env.detector,
+        &mut env.params,
+        ObjectClass::Bicycle,
+        Challenge::Rotation(RotationSetting::Fix),
+        &mk(1),
     );
     let b = evaluate_challenge(
-        &scenario, &decals, &env.detector, &mut env.params,
-        ObjectClass::Bicycle, Challenge::Rotation(RotationSetting::Fix), &mk(2),
+        &scenario,
+        &decals,
+        &env.detector,
+        &mut env.params,
+        ObjectClass::Bicycle,
+        Challenge::Rotation(RotationSetting::Fix),
+        &mk(2),
     );
-    assert_eq!(a.cell, b.cell, "fixed pose + digital channel must be seed-free");
+    assert_eq!(
+        a.cell, b.cell,
+        "fixed pose + digital channel must be seed-free"
+    );
 }
 
 #[test]
@@ -74,8 +87,13 @@ fn faster_speeds_produce_fewer_frames() {
     let ecfg = EvalConfig::smoke(3);
     let mut frames = |speed| {
         evaluate_challenge(
-            &scenario, &decals, &env.detector, &mut env.params,
-            ObjectClass::Bicycle, Challenge::Speed(speed), &ecfg,
+            &scenario,
+            &decals,
+            &env.detector,
+            &mut env.params,
+            ObjectClass::Bicycle,
+            Challenge::Speed(speed),
+            &ecfg,
         )
         .frames_per_run
     };
@@ -91,7 +109,10 @@ fn challenge_outcome_fields_are_consistent() {
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
     let decals = black_star_decals(&scenario);
     let out = evaluate_challenge(
-        &scenario, &decals, &env.detector, &mut env.params,
+        &scenario,
+        &decals,
+        &env.detector,
+        &mut env.params,
         ObjectClass::Bicycle,
         Challenge::Rotation(RotationSetting::Slight),
         &EvalConfig::smoke(11),

@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p rd-detector --example train_detector -- \
-//!     [--images 600] [--epochs 6] [--out out/detector.rdw]
+//!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit]
 //! ```
+//!
+//! `--audit` statically validates the model's wiring before training and
+//! scans a post-training forward tape for non-finite values.
 
 use std::time::Instant;
 
@@ -27,10 +30,15 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
 fn main() {
     let n_images: usize = arg("--images", 600);
     let epochs: usize = arg("--epochs", 6);
     let out: String = arg("--out", "out/detector.rdw".to_owned());
+    let audit = flag("--audit");
 
     let rig = CameraRig::standard();
     println!("generating {n_images} training images...");
@@ -48,6 +56,16 @@ fn main() {
     let mut ps = ParamSet::new();
     let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::standard());
     println!("model: {} parameters", ps.num_scalars());
+    if audit {
+        if let Err(issues) = model.validate(&ps, 16) {
+            eprintln!("model wiring is inconsistent:");
+            for i in &issues {
+                eprintln!("  {i}");
+            }
+            std::process::exit(1);
+        }
+        println!("audit: model wiring validated before training");
+    }
 
     let t0 = Instant::now();
     let report = train(
@@ -72,6 +90,17 @@ fn main() {
             .map(|l| (l * 100.0).round() / 100.0)
             .collect::<Vec<_>>()
     );
+
+    if audit {
+        // run one eval forward pass and check every tape value is finite
+        let mut g = rd_tensor::Graph::new();
+        let x = g.input(test_set[0].image.to_tensor());
+        let _ = model.forward(&mut g, &mut ps, x, false);
+        match rd_analysis::audit_non_finite(&g) {
+            Some(report) => eprintln!("audit: post-training tape is unhealthy\n{report}"),
+            None => println!("audit: post-training forward tape is fully finite"),
+        }
+    }
 
     let m = evaluate(&model, &mut ps, &test_set, 0.3);
     println!(

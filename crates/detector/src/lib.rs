@@ -23,7 +23,7 @@ mod track;
 mod train;
 
 pub use confirm::{has_consecutive, Confirmer};
-pub use track::{Track, TrackState, Tracker, TrackerConfig};
 pub use decode::{decode_head, nms, postprocess, Detection};
 pub use model::{TinyYolo, YoloConfig, YoloOutputs};
+pub use track::{Track, TrackState, Tracker, TrackerConfig};
 pub use train::{detect, evaluate, forward_raw, train, EvalMetrics, TrainConfig, TrainReport};

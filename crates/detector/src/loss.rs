@@ -142,8 +142,9 @@ pub fn yolo_head_loss(
 
     // positive masks
     let mut positive = vec![false; n * ANCHORS_PER_HEAD * s * s];
-    let pos_idx =
-        move |ni: usize, a: usize, cy: usize, cx: usize| ((ni * ANCHORS_PER_HEAD + a) * s + cy) * s + cx;
+    let pos_idx = move |ni: usize, a: usize, cy: usize, cx: usize| {
+        ((ni * ANCHORS_PER_HEAD + a) * s + cy) * s + cx
+    };
     for asg in &targets.assigned {
         positive[pos_idx(asg.n, asg.anchor, asg.cy, asg.cx)] = true;
     }
@@ -202,7 +203,10 @@ pub fn yolo_head_loss(
     // ---- backward ----
     let targets = targets.clone();
     let pi = preds.index();
-    g.custom(
+    g.custom_named(
+        "yolo_head_loss",
+        &[preds],
+        &[("classes", num_classes), ("grid", s)],
         Tensor::scalar(loss),
         Some(Box::new(move |gout, vals, grads| {
             let gv = gout.data()[0];
@@ -238,14 +242,11 @@ pub fn yolo_head_loss(
                 for a in 0..ANCHORS_PER_HEAD {
                     for cy in 0..s {
                         for cx in 0..s {
-                            if positive[pos_idx(ni, a, cy, cx)]
-                                || ignored[(ni * s + cy) * s + cx]
-                            {
+                            if positive[pos_idx(ni, a, cy, cx)] || ignored[(ni * s + cy) * s + cx] {
                                 continue;
                             }
                             let i_o = idx(ni, a * cpa + 4, cy, cx);
-                            gp.data_mut()[i_o] +=
-                                gv * weights.noobj * sigmoid(data[i_o]) / n_neg_f;
+                            gp.data_mut()[i_o] += gv * weights.noobj * sigmoid(data[i_o]) / n_neg_f;
                         }
                     }
                 }
@@ -322,7 +323,10 @@ pub fn targeted_class_loss(
     loss /= m;
     let cells = cells.to_vec();
     let pi = preds.index();
-    g.custom(
+    g.custom_named(
+        "targeted_class_loss",
+        &[preds],
+        &[("classes", num_classes), ("target", target_class)],
         Tensor::scalar(loss),
         Some(Box::new(move |gout, vals, grads| {
             let gv = gout.data()[0] / m;
@@ -357,10 +361,10 @@ pub fn targeted_class_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rd_scene::ObjectClass;
-    use rd_tensor::check::{assert_grads_close, numeric_grad};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use rd_scene::ObjectClass;
+    use rd_tensor::check::{assert_grads_close, numeric_grad};
 
     fn sample_boxes() -> Vec<Vec<GtBox>> {
         vec![
@@ -430,7 +434,12 @@ mod tests {
             let l = yolo_head_loss(&mut g, p, ht, 5, YoloLossWeights::default());
             g.value(l).data()[0]
         };
-        assert!(eval(&ideal) < eval(&random) * 0.2, "{} vs {}", eval(&ideal), eval(&random));
+        assert!(
+            eval(&ideal) < eval(&random) * 0.2,
+            "{} vs {}",
+            eval(&ideal),
+            eval(&random)
+        );
         assert!(eval(&ideal) < 0.08);
     }
 

@@ -54,10 +54,7 @@ pub fn average_precision(
             }
             None => fp += 1,
         }
-        curve.push((
-            tp as f32 / total_gt as f32,
-            tp as f32 / (tp + fp) as f32,
-        ));
+        curve.push((tp as f32 / total_gt as f32, tp as f32 / (tp + fp) as f32));
     }
     // all-point interpolation: integrate precision envelope over recall
     let mut ap = 0.0f32;
@@ -77,10 +74,7 @@ pub fn average_precision(
 }
 
 /// Mean AP over all classes that appear in the ground truth.
-pub fn mean_average_precision(
-    frames: &[(Vec<Detection>, Vec<GtBox>)],
-    iou_threshold: f32,
-) -> f32 {
+pub fn mean_average_precision(frames: &[(Vec<Detection>, Vec<GtBox>)], iou_threshold: f32) -> f32 {
     let mut sum = 0.0;
     let mut n = 0;
     for class in ObjectClass::ALL {
@@ -141,7 +135,10 @@ mod tests {
     fn missed_gt_lowers_ap() {
         let frames = vec![(
             vec![det(ObjectClass::Car, 0.3, 0.3, 0.9)],
-            vec![gt(ObjectClass::Car, 0.3, 0.3), gt(ObjectClass::Car, 0.8, 0.8)],
+            vec![
+                gt(ObjectClass::Car, 0.3, 0.3),
+                gt(ObjectClass::Car, 0.8, 0.8),
+            ],
         )];
         let ap = average_precision(&frames, ObjectClass::Car, 0.5).unwrap();
         assert!((ap - 0.5).abs() < 1e-6);
@@ -188,7 +185,10 @@ mod tests {
                 det(ObjectClass::Car, 0.3, 0.3, 0.9),
                 det(ObjectClass::Person, 0.7, 0.7, 0.9),
             ],
-            vec![gt(ObjectClass::Car, 0.3, 0.3), gt(ObjectClass::Person, 0.1, 0.1)],
+            vec![
+                gt(ObjectClass::Car, 0.3, 0.3),
+                gt(ObjectClass::Person, 0.1, 0.1),
+            ],
         )];
         // Car AP = 1, Person AP = 0 (detection far from gt) -> mAP 0.5
         let map = mean_average_precision(&frames, 0.5);

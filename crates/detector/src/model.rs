@@ -43,7 +43,10 @@ impl ConvBlock {
         pad: usize,
     ) -> Self {
         ConvBlock {
-            w: ps.register(format!("{name}.w"), init::kaiming_conv(rng, cout, cin, k, k)),
+            w: ps.register(
+                format!("{name}.w"),
+                init::kaiming_conv(rng, cout, cin, k, k),
+            ),
             gamma: ps.register(format!("{name}.gamma"), Tensor::ones(&[cout])),
             beta: ps.register(format!("{name}.beta"), Tensor::zeros(&[cout])),
             running_mean: ps.register(format!("{name}.rmean"), Tensor::zeros(&[cout])),
@@ -78,6 +81,26 @@ impl ConvBlock {
         };
         g.leaky_relu(y, LEAKY_SLOPE)
     }
+
+    /// Shape-only lowering of the block (see [`TinyYolo::declare_forward`]).
+    fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+        let xs = g.meta(x).expected_shape.clone();
+        let ws = ps.get(self.w).value().shape().to_vec();
+        let w = g.declare("param", &[], &[], &ws);
+        let ho = (xs[2] + 2 * self.pad).saturating_sub(ws[2]) / self.stride + 1;
+        let wo = (xs[3] + 2 * self.pad).saturating_sub(ws[3]) / self.stride + 1;
+        let y = g.declare(
+            "conv2d",
+            &[x, w],
+            &[("stride", self.stride), ("pad", self.pad)],
+            &[xs[0], ws[0], ho, wo],
+        );
+        let out_shape = g.meta(y).expected_shape.clone();
+        let gamma = g.declare("param", &[], &[], ps.get(self.gamma).value().shape());
+        let beta = g.declare("param", &[], &[], ps.get(self.beta).value().shape());
+        let y = g.declare("batch_norm2d_eval", &[y, gamma, beta], &[], &out_shape);
+        g.declare("leaky_relu", &[y], &[], &out_shape)
+    }
 }
 
 /// Plain conv with bias and no activation (darknet's detection conv).
@@ -104,7 +127,10 @@ impl HeadConv {
             bias.data_mut()[a * channels_per_anchor + 4] = obj_bias;
         }
         HeadConv {
-            w: ps.register(format!("{name}.w"), init::kaiming_conv(rng, cout, cin, 1, 1)),
+            w: ps.register(
+                format!("{name}.w"),
+                init::kaiming_conv(rng, cout, cin, 1, 1),
+            ),
             b: ps.register(format!("{name}.b"), bias),
         }
     }
@@ -113,6 +139,24 @@ impl HeadConv {
         let w = g.param(ps, self.w);
         let b = g.param(ps, self.b);
         g.conv2d(x, w, Some(b), 1, 0)
+    }
+
+    /// Shape-only lowering (see [`TinyYolo::declare_forward`]).
+    fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+        let xs = g.meta(x).expected_shape.clone();
+        let ws = ps.get(self.w).value().shape().to_vec();
+        let w = g.declare("param", &[], &[], &ws);
+        let ho = xs[2].saturating_sub(ws[2]) + 1;
+        let wo = xs[3].saturating_sub(ws[3]) + 1;
+        let y = g.declare(
+            "conv2d",
+            &[x, w],
+            &[("stride", 1), ("pad", 0)],
+            &[xs[0], ws[0], ho, wo],
+        );
+        let out_shape = g.meta(y).expected_shape.clone();
+        let b = g.declare("param", &[], &[], ps.get(self.b).value().shape());
+        g.declare("add_bias_channel", &[y, b], &[], &out_shape)
     }
 }
 
@@ -244,38 +288,123 @@ impl TinyYolo {
     /// # Panics
     ///
     /// Panics if `x` is not `[N, 3, input, input]`.
-    pub fn forward(&self, g: &mut Graph, ps: &mut ParamSet, x: VarId, training: bool) -> YoloOutputs {
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        ps: &mut ParamSet,
+        x: VarId,
+        training: bool,
+    ) -> YoloOutputs {
         let shape = g.value(x).shape().to_vec();
         assert_eq!(shape.len(), 4, "input must be NCHW");
         assert_eq!(shape[1], 3, "input must be RGB");
         assert_eq!(shape[2], self.cfg.input, "input height mismatch");
         assert_eq!(shape[3], self.cfg.input, "input width mismatch");
 
-        let y = self.c1.forward(g, ps, x, training);
+        let y = g.scoped("c1", |g| self.c1.forward(g, ps, x, training));
         let y = g.max_pool2d(y, 2, 2, 0);
-        let y = self.c2.forward(g, ps, y, training);
+        let y = g.scoped("c2", |g| self.c2.forward(g, ps, y, training));
         let y = g.max_pool2d(y, 2, 2, 0);
-        let y = self.c3.forward(g, ps, y, training);
+        let y = g.scoped("c3", |g| self.c3.forward(g, ps, y, training));
         let y = g.max_pool2d(y, 2, 2, 0);
-        let y = self.c4.forward(g, ps, y, training);
+        let y = g.scoped("c4", |g| self.c4.forward(g, ps, y, training));
         let y = g.max_pool2d(y, 2, 2, 0);
-        let feat16 = self.c5.forward(g, ps, y, training); // stride 16
+        let feat16 = g.scoped("c5", |g| self.c5.forward(g, ps, y, training)); // stride 16
         let y = g.max_pool2d(feat16, 2, 2, 0);
-        let y = self.c6.forward(g, ps, y, training);
-        let bottleneck = self.c7.forward(g, ps, y, training); // stride 32
+        let y = g.scoped("c6", |g| self.c6.forward(g, ps, y, training));
+        let bottleneck = g.scoped("c7", |g| self.c7.forward(g, ps, y, training)); // stride 32
 
         // coarse head
-        let h1 = self.head1_pre.forward(g, ps, bottleneck, training);
-        let coarse = self.head1.forward(g, ps, h1);
+        let h1 = g.scoped("h1pre", |g| {
+            self.head1_pre.forward(g, ps, bottleneck, training)
+        });
+        let coarse = g.scoped("h1", |g| self.head1.forward(g, ps, h1));
 
         // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
-        let r = self.route.forward(g, ps, bottleneck, training);
+        let r = g.scoped("route", |g| self.route.forward(g, ps, bottleneck, training));
         let r = g.upsample_nearest2x(r);
         let cat = g.concat_channels(feat16, r);
-        let h2 = self.head2_pre.forward(g, ps, cat, training);
-        let fine = self.head2.forward(g, ps, h2);
+        let h2 = g.scoped("h2pre", |g| self.head2_pre.forward(g, ps, cat, training));
+        let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
 
         YoloOutputs { coarse, fine }
+    }
+
+    /// Lowers the architecture onto `g` as *shape-only* declared nodes —
+    /// no kernel runs, no forward value is computed. The resulting
+    /// metadata tape mirrors [`TinyYolo::forward`] (eval mode) node for
+    /// node and is what [`TinyYolo::validate`] feeds to
+    /// `rd_analysis::validate`.
+    pub fn declare_forward(&self, g: &mut Graph, ps: &ParamSet, batch: usize) -> YoloOutputs {
+        let s = self.cfg.input;
+        let x = g.declare("input", &[], &[], &[batch, 3, s, s]);
+        let pool = |g: &mut Graph, x: VarId| {
+            let xs = g.meta(x).expected_shape.clone();
+            // darknet pool arithmetic: ho = (h + pad - k) / stride + 1
+            g.declare(
+                "max_pool2d",
+                &[x],
+                &[("k", 2), ("stride", 2), ("pad", 0)],
+                &[
+                    xs[0],
+                    xs[1],
+                    xs[2].saturating_sub(2) / 2 + 1,
+                    xs[3].saturating_sub(2) / 2 + 1,
+                ],
+            )
+        };
+
+        let y = g.scoped("c1", |g| self.c1.declare(g, ps, x));
+        let y = pool(g, y);
+        let y = g.scoped("c2", |g| self.c2.declare(g, ps, y));
+        let y = pool(g, y);
+        let y = g.scoped("c3", |g| self.c3.declare(g, ps, y));
+        let y = pool(g, y);
+        let y = g.scoped("c4", |g| self.c4.declare(g, ps, y));
+        let y = pool(g, y);
+        let feat16 = g.scoped("c5", |g| self.c5.declare(g, ps, y));
+        let y = pool(g, feat16);
+        let y = g.scoped("c6", |g| self.c6.declare(g, ps, y));
+        let bottleneck = g.scoped("c7", |g| self.c7.declare(g, ps, y));
+
+        let h1 = g.scoped("h1pre", |g| self.head1_pre.declare(g, ps, bottleneck));
+        let coarse = g.scoped("h1", |g| self.head1.declare(g, ps, h1));
+
+        let r = g.scoped("route", |g| self.route.declare(g, ps, bottleneck));
+        let rs = g.meta(r).expected_shape.clone();
+        let r = g.declare(
+            "upsample_nearest2x",
+            &[r],
+            &[],
+            &[rs[0], rs[1], rs[2] * 2, rs[3] * 2],
+        );
+        let fs = g.meta(feat16).expected_shape.clone();
+        let rs = g.meta(r).expected_shape.clone();
+        let cat = g.declare(
+            "concat_channels",
+            &[feat16, r],
+            &[],
+            &[fs[0], fs[1] + rs[1], fs[2], fs[3]],
+        );
+        let h2 = g.scoped("h2pre", |g| self.head2_pre.declare(g, ps, cat));
+        let fine = g.scoped("h2", |g| self.head2.declare(g, ps, h2));
+
+        YoloOutputs { coarse, fine }
+    }
+
+    /// Statically validates the wiring of the model against the parameter
+    /// shapes registered in `ps`, before any kernel runs. Returns every
+    /// shape inconsistency found, each anchored to the offending layer's
+    /// scope path (e.g. `c4/conv2d: conv2d weight OC×C×K×K has C=16,
+    /// input NCHW has C=32`).
+    pub fn validate(
+        &self,
+        ps: &ParamSet,
+        batch: usize,
+    ) -> Result<(), Vec<rd_analysis::ShapeIssue>> {
+        let mut g = Graph::new();
+        let out = self.declare_forward(&mut g, ps, batch);
+        rd_analysis::validate_with_root(&g, out.fine)
     }
 }
 
@@ -359,6 +488,42 @@ mod tests {
         let loss = g.add(s1, s2);
         let grads = g.backward(loss);
         assert!(grads.get(x).sq_norm() > 0.0, "no gradient at the input");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_model() {
+        let (m, ps) = build(YoloConfig::standard());
+        m.validate(&ps, 2)
+            .expect("well-formed model must validate cleanly");
+    }
+
+    #[test]
+    fn validate_names_the_miswired_layer() {
+        let (m, mut ps) = build(YoloConfig::standard());
+        // Seed a wiring bug: c4's weight claims 16 input channels while
+        // its input (c3's output) carries 32.
+        let id = ps
+            .iter()
+            .find(|(_, p)| p.name() == "c4.w")
+            .map(|(id, _)| id)
+            .unwrap();
+        *ps.get_mut(id).value_mut() = Tensor::zeros(&[64, 16, 3, 3]);
+        let issues = m.validate(&ps, 1).unwrap_err();
+        let msg: String = issues
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            msg.contains("c4/conv2d"),
+            "issue must name the layer:\n{msg}"
+        );
+        assert!(
+            msg.contains("C=16") && msg.contains("C=32"),
+            "issue must carry both channel counts:\n{msg}"
+        );
+        // the mis-wiring must not cascade into reports for every later layer
+        assert!(issues.len() <= 3, "claimed-shape recovery failed:\n{msg}");
     }
 
     #[test]

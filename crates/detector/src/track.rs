@@ -245,7 +245,10 @@ mod tests {
     #[test]
     fn separate_objects_get_separate_tracks() {
         let mut tr = Tracker::new(TrackerConfig::default());
-        tr.step(&[det(ObjectClass::Car, 0.2, 0.9), det(ObjectClass::Person, 0.8, 0.8)]);
+        tr.step(&[
+            det(ObjectClass::Car, 0.2, 0.9),
+            det(ObjectClass::Person, 0.8, 0.8),
+        ]);
         assert_eq!(tr.tracks().len(), 2);
         let ids: Vec<u64> = tr.tracks().iter().map(|t| t.id).collect();
         assert_ne!(ids[0], ids[1]);

@@ -86,8 +86,20 @@ pub fn train(
             let mut g = Graph::new();
             let x = g.input(batch);
             let out = model.forward(&mut g, ps, x, true);
-            let l1 = yolo_head_loss(&mut g, out.coarse, &targets[0], num_classes, YoloLossWeights::default());
-            let l2 = yolo_head_loss(&mut g, out.fine, &targets[1], num_classes, YoloLossWeights::default());
+            let l1 = yolo_head_loss(
+                &mut g,
+                out.coarse,
+                &targets[0],
+                num_classes,
+                YoloLossWeights::default(),
+            );
+            let l2 = yolo_head_loss(
+                &mut g,
+                out.fine,
+                &targets[1],
+                num_classes,
+                YoloLossWeights::default(),
+            );
             let loss = g.add(l1, l2);
             let grads = g.backward(loss);
             g.write_grads(&grads, ps);

@@ -72,7 +72,10 @@ struct GenBlock {
 impl GenBlock {
     fn new<R: Rng>(ps: &mut ParamSet, rng: &mut R, name: &str, cin: usize, cout: usize) -> Self {
         GenBlock {
-            w: ps.register(format!("{name}.w"), init::kaiming_conv(rng, cout, cin, 3, 3)),
+            w: ps.register(
+                format!("{name}.w"),
+                init::kaiming_conv(rng, cout, cin, 3, 3),
+            ),
             gamma: ps.register(format!("{name}.gamma"), Tensor::ones(&[cout])),
             beta: ps.register(format!("{name}.beta"), Tensor::zeros(&[cout])),
             rmean: ps.register(format!("{name}.rmean"), Tensor::zeros(&[cout])),
@@ -102,6 +105,26 @@ impl GenBlock {
             g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS)
         };
         g.relu(y)
+    }
+
+    /// Shape-only lowering of the block (see [`Generator::validate`]).
+    fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+        let xs = g.meta(x).expected_shape.clone();
+        let ws = ps.get(self.w).value().shape().to_vec();
+        let w = g.declare("param", &[], &[], &ws);
+        let ho = (xs[2] + 2).saturating_sub(ws[2]) + 1;
+        let wo = (xs[3] + 2).saturating_sub(ws[3]) + 1;
+        let y = g.declare(
+            "conv2d",
+            &[x, w],
+            &[("stride", 1), ("pad", 1)],
+            &[xs[0], ws[0], ho, wo],
+        );
+        let os = g.meta(y).expected_shape.clone();
+        let gamma = g.declare("param", &[], &[], ps.get(self.gamma).value().shape());
+        let beta = g.declare("param", &[], &[], ps.get(self.beta).value().shape());
+        let y = g.declare("batch_norm2d_eval", &[y, gamma, beta], &[], &os);
+        g.declare("relu", &[y], &[], &os)
     }
 }
 
@@ -136,10 +159,7 @@ impl Generator {
             fc_b: ps.register("gen.fc.b", Tensor::zeros(&[c0 * s0 * s0])),
             b1: GenBlock::new(ps, rng, "gen.b1", c0, cfg.base),
             b2: GenBlock::new(ps, rng, "gen.b2", cfg.base, cfg.base),
-            out_w: ps.register(
-                "gen.out.w",
-                init::kaiming_conv(rng, 1, cfg.base, 3, 3),
-            ),
+            out_w: ps.register("gen.out.w", init::kaiming_conv(rng, 1, cfg.base, 3, 3)),
             out_b: ps.register("gen.out.b", Tensor::zeros(&[1])),
         }
     }
@@ -154,19 +174,80 @@ impl Generator {
         let n = g.value(z).shape()[0];
         let s0 = self.cfg.canvas / 4;
         let c0 = self.cfg.base * 2;
-        let w = g.param(ps, self.fc_w);
-        let b = g.param(ps, self.fc_b);
-        let y = g.linear(z, w, b);
-        let y = g.leaky_relu(y, 0.1);
-        let y = g.reshape(y, &[n, c0, s0, s0]);
-        let y = g.upsample_nearest2x(y);
-        let y = self.b1.forward(g, ps, y, training);
-        let y = g.upsample_nearest2x(y);
-        let y = self.b2.forward(g, ps, y, training);
-        let ow = g.param(ps, self.out_w);
-        let ob = g.param(ps, self.out_b);
+        let (y, ow, ob) = g.scoped("gen", |g| {
+            let w = g.param(ps, self.fc_w);
+            let b = g.param(ps, self.fc_b);
+            let y = g.linear(z, w, b);
+            let y = g.leaky_relu(y, 0.1);
+            let y = g.reshape(y, &[n, c0, s0, s0]);
+            let y = g.upsample_nearest2x(y);
+            let y = g.scoped("b1", |g| self.b1.forward(g, ps, y, training));
+            let y = g.upsample_nearest2x(y);
+            let y = g.scoped("b2", |g| self.b2.forward(g, ps, y, training));
+            let ow = g.param(ps, self.out_w);
+            let ob = g.param(ps, self.out_b);
+            (y, ow, ob)
+        });
         let y = g.conv2d(y, ow, Some(ob), 1, 1);
         g.sigmoid(y)
+    }
+
+    /// Shape-only lowering of the generator (eval mode), mirroring
+    /// [`Generator::forward`] node for node.
+    pub fn declare_forward(&self, g: &mut Graph, ps: &ParamSet, batch: usize) -> VarId {
+        let s0 = self.cfg.canvas / 4;
+        let c0 = self.cfg.base * 2;
+        let z = g.declare("input", &[], &[], &[batch, self.cfg.z_dim]);
+        let y = g.scoped("gen", |g| {
+            let ws = ps.get(self.fc_w).value().shape().to_vec();
+            let w = g.declare("param", &[], &[], &ws);
+            let b = g.declare("param", &[], &[], ps.get(self.fc_b).value().shape());
+            let y = g.declare("linear", &[z, w, b], &[], &[batch, ws[0]]);
+            let y = g.declare("leaky_relu", &[y], &[], &[batch, ws[0]]);
+            let y = g.declare("reshape", &[y], &[], &[batch, c0, s0, s0]);
+            let y = g.declare(
+                "upsample_nearest2x",
+                &[y],
+                &[],
+                &[batch, c0, s0 * 2, s0 * 2],
+            );
+            let y = g.scoped("b1", |g| self.b1.declare(g, ps, y));
+            let ys = g.meta(y).expected_shape.clone();
+            let y = g.declare(
+                "upsample_nearest2x",
+                &[y],
+                &[],
+                &[ys[0], ys[1], ys[2] * 2, ys[3] * 2],
+            );
+            g.scoped("b2", |g| self.b2.declare(g, ps, y))
+        });
+        let ys = g.meta(y).expected_shape.clone();
+        let ws = ps.get(self.out_w).value().shape().to_vec();
+        let ow = g.declare("param", &[], &[], &ws);
+        let ho = (ys[2] + 2).saturating_sub(ws[2]) + 1;
+        let wo = (ys[3] + 2).saturating_sub(ws[3]) + 1;
+        let y = g.declare(
+            "conv2d",
+            &[y, ow],
+            &[("stride", 1), ("pad", 1)],
+            &[ys[0], ws[0], ho, wo],
+        );
+        let os = g.meta(y).expected_shape.clone();
+        let ob = g.declare("param", &[], &[], ps.get(self.out_b).value().shape());
+        let y = g.declare("add_bias_channel", &[y, ob], &[], &os);
+        g.declare("sigmoid", &[y], &[], &os)
+    }
+
+    /// Statically validates the generator's wiring against the parameter
+    /// shapes registered in `ps`, before any kernel runs.
+    pub fn validate(
+        &self,
+        ps: &ParamSet,
+        batch: usize,
+    ) -> Result<(), Vec<rd_analysis::ShapeIssue>> {
+        let mut g = Graph::new();
+        let out = self.declare_forward(&mut g, ps, batch);
+        rd_analysis::validate_with_root(&g, out)
     }
 }
 
@@ -218,18 +299,67 @@ impl Discriminator {
                 g.param(ps, id)
             }
         };
-        let w1 = p(g, self.c1_w);
-        let b1 = p(g, self.c1_b);
-        let y = g.conv2d(x, w1, Some(b1), 2, 1);
-        let y = g.leaky_relu(y, 0.2);
-        let w2 = p(g, self.c2_w);
-        let b2 = p(g, self.c2_b);
-        let y = g.conv2d(y, w2, Some(b2), 2, 1);
-        let y = g.leaky_relu(y, 0.2);
-        let y = g.reshape(y, &[n, self.cfg.base * 2 * s * s]);
-        let fw = p(g, self.fc_w);
-        let fb = p(g, self.fc_b);
-        g.linear(y, fw, fb)
+        g.scoped("disc", |g| {
+            let w1 = p(g, self.c1_w);
+            let b1 = p(g, self.c1_b);
+            let y = g.conv2d(x, w1, Some(b1), 2, 1);
+            let y = g.leaky_relu(y, 0.2);
+            let w2 = p(g, self.c2_w);
+            let b2 = p(g, self.c2_b);
+            let y = g.conv2d(y, w2, Some(b2), 2, 1);
+            let y = g.leaky_relu(y, 0.2);
+            let y = g.reshape(y, &[n, self.cfg.base * 2 * s * s]);
+            let fw = p(g, self.fc_w);
+            let fb = p(g, self.fc_b);
+            g.linear(y, fw, fb)
+        })
+    }
+
+    /// Shape-only lowering of the discriminator, mirroring
+    /// [`Discriminator::forward`] node for node.
+    pub fn declare_forward(&self, g: &mut Graph, ps: &ParamSet, batch: usize) -> VarId {
+        let canvas = self.cfg.canvas;
+        let s = canvas / 4;
+        let x = g.declare("input", &[], &[], &[batch, 1, canvas, canvas]);
+        g.scoped("disc", |g| {
+            let conv = |g: &mut Graph, x: VarId, w: ParamId, b: ParamId| {
+                let xs = g.meta(x).expected_shape.clone();
+                let ws = ps.get(w).value().shape().to_vec();
+                let w = g.declare("param", &[], &[], &ws);
+                let ho = (xs[2] + 2).saturating_sub(ws[2]) / 2 + 1;
+                let wo = (xs[3] + 2).saturating_sub(ws[3]) / 2 + 1;
+                let y = g.declare(
+                    "conv2d",
+                    &[x, w],
+                    &[("stride", 2), ("pad", 1)],
+                    &[xs[0], ws[0], ho, wo],
+                );
+                let os = g.meta(y).expected_shape.clone();
+                let bv = g.declare("param", &[], &[], ps.get(b).value().shape());
+                let y = g.declare("add_bias_channel", &[y, bv], &[], &os);
+                g.declare("leaky_relu", &[y], &[], &os)
+            };
+            let y = conv(g, x, self.c1_w, self.c1_b);
+            let y = conv(g, y, self.c2_w, self.c2_b);
+            let flat = self.cfg.base * 2 * s * s;
+            let y = g.declare("reshape", &[y], &[], &[batch, flat]);
+            let ws = ps.get(self.fc_w).value().shape().to_vec();
+            let fw = g.declare("param", &[], &[], &ws);
+            let fb = g.declare("param", &[], &[], ps.get(self.fc_b).value().shape());
+            g.declare("linear", &[y, fw, fb], &[], &[batch, ws[0]])
+        })
+    }
+
+    /// Statically validates the discriminator's wiring against the
+    /// parameter shapes registered in `ps`, before any kernel runs.
+    pub fn validate(
+        &self,
+        ps: &ParamSet,
+        batch: usize,
+    ) -> Result<(), Vec<rd_analysis::ShapeIssue>> {
+        let mut g = Graph::new();
+        let out = self.declare_forward(&mut g, ps, batch);
+        rd_analysis::validate_with_root(&g, out)
     }
 }
 
@@ -388,6 +518,33 @@ mod tests {
         // dark shape on light background: both tails present
         assert!(b.min() < 0.2);
         assert!(b.max() > 0.8);
+    }
+
+    #[test]
+    fn both_networks_validate_cleanly() {
+        let (gen, disc, ps_g, ps_d, _) = setup();
+        gen.validate(&ps_g, 2).expect("generator wiring");
+        disc.validate(&ps_d, 2).expect("discriminator wiring");
+    }
+
+    #[test]
+    fn validate_catches_wrong_fc_width() {
+        let (gen, _, mut ps_g, _, _) = setup();
+        // Shrink the fc weight's output so the reshape no longer fits
+        // 32 channels of an 4x4 grid.
+        let id = ps_g
+            .iter()
+            .find(|(_, p)| p.name() == "gen.fc.w")
+            .map(|(id, _)| id)
+            .unwrap();
+        *ps_g.get_mut(id).value_mut() = Tensor::zeros(&[100, 16]);
+        let issues = gen.validate(&ps_g, 1).unwrap_err();
+        let msg: String = issues
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(msg.contains("gen/reshape"), "must name the layer:\n{msg}");
     }
 
     #[test]

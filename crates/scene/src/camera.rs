@@ -114,12 +114,8 @@ impl CameraRig {
     ///
     /// Panics if the pose is degenerate (never happens for `z_near > 0`).
     pub fn warp_map(&self, pose: &CameraPose) -> LinearMap {
-        homography(
-            self.canvas_hw,
-            self.image_hw,
-            &self.world_to_image(pose),
-        )
-        .expect("camera homography must be invertible")
+        homography(self.canvas_hw, self.image_hw, &self.world_to_image(pose))
+            .expect("camera homography must be invertible")
     }
 
     /// The background (sky + distant road) a frame is composited over.
@@ -312,8 +308,11 @@ pub enum AngleSetting {
 
 impl AngleSetting {
     /// All angles in table order.
-    pub const ALL: [AngleSetting; 3] =
-        [AngleSetting::Left15, AngleSetting::Center, AngleSetting::Right15];
+    pub const ALL: [AngleSetting; 3] = [
+        AngleSetting::Left15,
+        AngleSetting::Center,
+        AngleSetting::Right15,
+    ];
 
     /// Camera yaw in radians.
     pub fn yaw(self) -> f32 {

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn boxes_have_reasonable_sizes() {
         let ds = generate(&smoke_cfg(30));
-        let mut widths: Vec<f32> = ds.iter().flat_map(|s| s.boxes.iter().map(|b| b.w)).collect();
+        let mut widths: Vec<f32> = ds
+            .iter()
+            .flat_map(|s| s.boxes.iter().map(|b| b.w))
+            .collect();
         widths.sort_by(f32::total_cmp);
         assert!(widths[0] > 0.03);
         // clamping can produce full-width boxes for very near objects,

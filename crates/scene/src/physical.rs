@@ -95,10 +95,7 @@ impl PrintModel {
 
     /// Convenience for gray decal planes.
     pub fn print_plane<R: Rng>(&self, patch: &Plane, rng: &mut R) -> Plane {
-        let t = Tensor::from_vec(
-            patch.data().to_vec(),
-            &[1, patch.height(), patch.width()],
-        );
+        let t = Tensor::from_vec(patch.data().to_vec(), &[1, patch.height(), patch.width()]);
         let printed = self.print(&t, rng);
         Plane::from_vec(printed.into_vec(), patch.height(), patch.width())
     }

@@ -82,7 +82,10 @@ impl Graph {
             mean,
             var: var.clone(),
         };
-        let out_id = self.custom(
+        let out_id = self.record(
+            "batch_norm2d_train",
+            &[x, gamma, beta],
+            &[],
             out,
             Some(Box::new(move |g, vals, grads| {
                 let gamma_v = &vals[gamma.0];
@@ -163,7 +166,10 @@ impl Graph {
                 }
             }
         }
-        self.custom(
+        self.record(
+            "batch_norm2d_eval",
+            &[x, gamma, beta],
+            &[],
             out,
             Some(Box::new(move |g, vals, grads| {
                 let gamma_v = &vals[gamma.0];

@@ -6,9 +6,27 @@ use crate::tensor::{matmul_into, Tensor};
 
 /// `out[m,n] = a[m,k] * b[n,k]^T` (dot products of rows).
 pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(
+        a.len(),
+        m * k,
+        "gemm_nt: lhs A has {} elements, M×K = {m}×{k} needs {}",
+        a.len(),
+        m * k
+    );
+    debug_assert_eq!(
+        b.len(),
+        n * k,
+        "gemm_nt: rhs B has {} elements, N×K = {n}×{k} needs {}",
+        b.len(),
+        n * k
+    );
+    debug_assert_eq!(
+        out.len(),
+        m * n,
+        "gemm_nt: out has {} elements, M×N = {m}×{n} needs {}",
+        out.len(),
+        m * n
+    );
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -24,9 +42,27 @@ pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
 
 /// `out[m,n] = a[k,m]^T * b[k,n]` (outer-product accumulation).
 pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(
+        a.len(),
+        k * m,
+        "gemm_tn: lhs A has {} elements, K×M = {k}×{m} needs {}",
+        a.len(),
+        k * m
+    );
+    debug_assert_eq!(
+        b.len(),
+        k * n,
+        "gemm_tn: rhs B has {} elements, K×N = {k}×{n} needs {}",
+        b.len(),
+        k * n
+    );
+    debug_assert_eq!(
+        out.len(),
+        m * n,
+        "gemm_tn: out has {} elements, M×N = {m}×{n} needs {}",
+        out.len(),
+        m * n
+    );
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
         let brow = &b[p * n..(p + 1) * n];
@@ -57,7 +93,14 @@ pub(crate) fn im2col(
     wo: usize,
     cols: &mut [f32],
 ) {
-    debug_assert_eq!(cols.len(), c * kh * kw * ho * wo);
+    debug_assert_eq!(
+        cols.len(),
+        c * kh * kw * ho * wo,
+        "im2col: column buffer has {} elements, C·kh·kw×Ho·Wo = {}·{kh}·{kw}×{ho}·{wo} needs {}",
+        cols.len(),
+        c,
+        c * kh * kw * ho * wo
+    );
     let howo = ho * wo;
     for ch in 0..c {
         let xch = &x[ch * h * w..(ch + 1) * h * w];
@@ -159,8 +202,14 @@ impl Graph {
         assert_eq!(wv.shape().len(), 4, "conv2d weight must be OCKK");
         let (n, c, h, wd) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         let (o, c2, kh, kw) = (wv.shape()[0], wv.shape()[1], wv.shape()[2], wv.shape()[3]);
-        assert_eq!(c, c2, "conv2d channel mismatch");
-        assert!(h + 2 * pad >= kh && wd + 2 * pad >= kw, "kernel larger than input");
+        assert_eq!(
+            c2, c,
+            "conv2d weight OC×C×K×K has C={c2}, input NCHW has C={c}"
+        );
+        assert!(
+            h + 2 * pad >= kh && wd + 2 * pad >= kw,
+            "kernel larger than input"
+        );
         let ho = (h + 2 * pad - kh) / stride + 1;
         let wo = (wd + 2 * pad - kw) / stride + 1;
         let ckk = c * kh * kw;
@@ -181,7 +230,16 @@ impl Graph {
                             let ni = start + li;
                             im2col(
                                 &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
-                                c, h, wd, kh, kw, stride, pad, ho, wo, &mut cols,
+                                c,
+                                h,
+                                wd,
+                                kh,
+                                kw,
+                                stride,
+                                pad,
+                                ho,
+                                wo,
+                                &mut cols,
                             );
                             matmul_into(wd_flat, &cols, oslice, o, ckk, howo);
                         }
@@ -189,7 +247,10 @@ impl Graph {
                 }
             });
         }
-        let out = self.custom(
+        let out = self.record(
+            "conv2d",
+            &[x, w],
+            &[("stride", stride), ("pad", pad)],
             out,
             Some(Box::new(move |g, vals, grads| {
                 let xd = vals[x.0].data();
@@ -203,31 +264,34 @@ impl Graph {
                 let mut gw_partials: Vec<Vec<f32>> = Vec::with_capacity(workers);
                 std::thread::scope(|s| {
                     let mut handles = Vec::new();
-                    for (ti, gx_chunk) in
-                        gx.data_mut().chunks_mut(per * c * h * wd).enumerate()
-                    {
+                    for (ti, gx_chunk) in gx.data_mut().chunks_mut(per * c * h * wd).enumerate() {
                         let start = ti * per;
                         handles.push(s.spawn(move || {
                             let mut gw = vec![0.0f32; o * ckk];
                             let mut cols = vec![0.0f32; ckk * howo];
                             let mut gcols = vec![0.0f32; ckk * howo];
-                            for (li, gx_slice) in
-                                gx_chunk.chunks_mut(c * h * wd).enumerate()
-                            {
+                            for (li, gx_slice) in gx_chunk.chunks_mut(c * h * wd).enumerate() {
                                 let ni = start + li;
                                 let gslice = &gd[ni * o * howo..(ni + 1) * o * howo];
                                 im2col(
                                     &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
-                                    c, h, wd, kh, kw, stride, pad, ho, wo, &mut cols,
+                                    c,
+                                    h,
+                                    wd,
+                                    kh,
+                                    kw,
+                                    stride,
+                                    pad,
+                                    ho,
+                                    wo,
+                                    &mut cols,
                                 );
                                 // gw += g_n [o,howo] * cols^T [howo,ckk]
                                 gemm_nt(gslice, &cols, &mut gw, o, howo, ckk);
                                 // gcols = w^T [ckk,o] * g_n [o,howo]
                                 gcols.iter_mut().for_each(|v| *v = 0.0);
                                 gemm_tn(wd_flat, gslice, &mut gcols, o, ckk, howo);
-                                col2im(
-                                    &gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice,
-                                );
+                                col2im(&gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice);
                             }
                             gw
                         }));

@@ -21,6 +21,7 @@
 //! ```
 
 use crate::params::{ParamId, ParamSet};
+use crate::smallvec::SmallVec;
 use crate::tensor::Tensor;
 
 /// Handle to a node on the tape.
@@ -31,6 +32,54 @@ impl VarId {
     /// Position of the node on the tape.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Reconstructs a handle from a tape position. Used by analyses that
+    /// walk the metadata tape; referencing a position past the end of the
+    /// graph it came from will panic on first use.
+    pub fn from_index(index: usize) -> Self {
+        VarId(index)
+    }
+}
+
+/// Declarative description of one tape node, recorded alongside its
+/// opaque [`BackFn`]. Static analyses (shape validation, graph lints,
+/// NaN provenance in `rd-analysis`) work entirely off this metadata, so
+/// every op records its name, parents and the shape it claims to
+/// produce. For eagerly-executed ops `expected_shape` always equals the
+/// forward value's shape; for [`Graph::declare`] nodes it is the only
+/// shape information there is.
+#[derive(Debug, Clone)]
+pub struct OpMeta {
+    /// Stable op name (`"conv2d"`, `"add"`, ...); `"custom"` for fused
+    /// ops recorded through [`Graph::custom`] without metadata.
+    pub op: &'static str,
+    /// Tape positions this node reads. Must be complete for analyses to
+    /// trace reachability; `custom` nodes with unknown parents are
+    /// treated conservatively.
+    pub parents: SmallVec,
+    /// The output shape this node claims to produce.
+    pub expected_shape: Vec<usize>,
+    /// Scalar op attributes, e.g. `("stride", 2)` for a conv.
+    pub attrs: Vec<(&'static str, usize)>,
+    /// `/`-joined scope path active when the node was recorded, e.g.
+    /// `"head16/conv3"`. Empty outside any scope.
+    pub scope: String,
+}
+
+impl OpMeta {
+    /// Looks up a scalar attribute by name.
+    pub fn attr(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Human-readable `scope/op` label for diagnostics.
+    pub fn path(&self) -> String {
+        if self.scope.is_empty() {
+            self.op.to_string()
+        } else {
+            format!("{}/{}", self.scope, self.op)
+        }
     }
 }
 
@@ -57,7 +106,10 @@ impl Gradients {
 pub struct Graph {
     values: Vec<Tensor>,
     backs: Vec<Option<BackFn>>,
+    metas: Vec<OpMeta>,
     param_links: Vec<(VarId, ParamId, u64)>,
+    scope_stack: Vec<String>,
+    scope_path: String,
 }
 
 impl std::fmt::Debug for Graph {
@@ -90,25 +142,136 @@ impl Graph {
         &self.values[id.0]
     }
 
+    /// Recorded metadata of a node.
+    pub fn meta(&self, id: VarId) -> &OpMeta {
+        &self.metas[id.0]
+    }
+
+    /// Metadata of every node, in tape order.
+    pub fn metas(&self) -> &[OpMeta] {
+        &self.metas
+    }
+
+    /// Whether the node has a backward closure (leaves and explicit
+    /// gradient stops do not).
+    pub fn has_back(&self, id: VarId) -> bool {
+        self.backs[id.0].is_some()
+    }
+
+    /// The `(node, parameter, param-set uid)` links recorded by
+    /// [`Graph::param`], in registration order.
+    pub fn param_links(&self) -> &[(VarId, ParamId, u64)] {
+        &self.param_links
+    }
+
+    /// Enters a named scope; nodes recorded until the matching
+    /// [`Graph::pop_scope`] carry `.../name` in their [`OpMeta::scope`].
+    pub fn push_scope(&mut self, name: &str) {
+        self.scope_stack.push(name.to_string());
+        self.scope_path = self.scope_stack.join("/");
+    }
+
+    /// Leaves the innermost scope.
+    pub fn pop_scope(&mut self) {
+        self.scope_stack.pop();
+        self.scope_path = self.scope_stack.join("/");
+    }
+
+    /// Runs `f` inside a named scope (exception-unsafe convenience; the
+    /// tape is single-use and not unwound across panics anyway).
+    pub fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_scope(name);
+        let r = f(self);
+        self.pop_scope();
+        r
+    }
+
+    /// Internal append: every public op funnels through here so the
+    /// metadata tape stays in lockstep with the value tape.
+    pub(crate) fn record(
+        &mut self,
+        op: &'static str,
+        parents: &[VarId],
+        attrs: &[(&'static str, usize)],
+        value: Tensor,
+        back: Option<BackFn>,
+    ) -> VarId {
+        let meta = OpMeta {
+            op,
+            parents: SmallVec::from_slice(parents),
+            expected_shape: value.shape().to_vec(),
+            attrs: attrs.to_vec(),
+            scope: self.scope_path.clone(),
+        };
+        self.values.push(value);
+        self.backs.push(back);
+        self.metas.push(meta);
+        VarId(self.values.len() - 1)
+    }
+
     /// Appends a node. This is the extension point for fused ops defined in
     /// other crates (e.g. the detector's YOLO loss): `back` receives the
     /// output gradient, the full value tape and the mutable gradient tape,
     /// and must accumulate into its parents' entries only.
+    ///
+    /// Nodes appended this way carry opaque metadata (`op = "custom"`, no
+    /// parents), which forces graph analyses to be conservative around
+    /// them. Prefer [`Graph::custom_named`] so lints and shape validation
+    /// can see through the op.
     pub fn custom(&mut self, value: Tensor, back: Option<BackFn>) -> VarId {
-        self.values.push(value);
-        self.backs.push(back);
+        self.record("custom", &[], &[], value, back)
+    }
+
+    /// Appends a fused op node with full metadata: a stable `op` name,
+    /// the complete list of tape positions the closure reads, and any
+    /// scalar attributes worth surfacing in diagnostics.
+    pub fn custom_named(
+        &mut self,
+        op: &'static str,
+        parents: &[VarId],
+        attrs: &[(&'static str, usize)],
+        value: Tensor,
+        back: Option<BackFn>,
+    ) -> VarId {
+        self.record(op, parents, attrs, value, back)
+    }
+
+    /// Appends a *shape-only* node: no forward value is computed or
+    /// stored, only metadata claiming `shape`. This lets model builders
+    /// lower their architecture onto a tape and run
+    /// `rd-analysis` shape validation before any kernel executes.
+    /// Declared nodes must not be used with [`Graph::backward`].
+    pub fn declare(
+        &mut self,
+        op: &'static str,
+        parents: &[VarId],
+        attrs: &[(&'static str, usize)],
+        shape: &[usize],
+    ) -> VarId {
+        let meta = OpMeta {
+            op,
+            parents: SmallVec::from_slice(parents),
+            expected_shape: shape.to_vec(),
+            attrs: attrs.to_vec(),
+            scope: self.scope_path.clone(),
+        };
+        // Placeholder value: the claimed shape lives in `expected_shape`,
+        // and a scalar keeps memory flat for declaration-only graphs.
+        self.values.push(Tensor::zeros(&[1]));
+        self.backs.push(None);
+        self.metas.push(meta);
         VarId(self.values.len() - 1)
     }
 
     /// Registers an input/constant leaf (gradients are still tracked so
     /// adversarial attacks can differentiate with respect to inputs).
     pub fn input(&mut self, value: Tensor) -> VarId {
-        self.custom(value, None)
+        self.record("input", &[], &[], value, None)
     }
 
     /// Registers a parameter leaf linked back to `ps`.
     pub fn param(&mut self, ps: &ParamSet, id: ParamId) -> VarId {
-        let v = self.custom(ps.get(id).value().clone(), None);
+        let v = self.record("param", &[], &[], ps.get(id).value().clone(), None);
         self.param_links.push((v, id, ps.uid()));
         v
     }
@@ -165,7 +328,10 @@ impl Graph {
     /// Elementwise sum of two same-shaped nodes.
     pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.values[a.0].add(&self.values[b.0]);
-        self.custom(
+        self.record(
+            "add",
+            &[a, b],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[a.0].add_scaled_assign(g, 1.0);
@@ -177,7 +343,10 @@ impl Graph {
     /// Elementwise difference `a - b`.
     pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.values[a.0].sub(&self.values[b.0]);
-        self.custom(
+        self.record(
+            "sub",
+            &[a, b],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[a.0].add_scaled_assign(g, 1.0);
@@ -189,7 +358,10 @@ impl Graph {
     /// Elementwise product of two same-shaped nodes.
     pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.values[a.0].mul(&self.values[b.0]);
-        self.custom(
+        self.record(
+            "mul",
+            &[a, b],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.mul(&vals[b.0]);
@@ -203,7 +375,10 @@ impl Graph {
     /// Multiplies a node by a constant scalar.
     pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
         let v = self.values[a.0].scale(c);
-        self.custom(
+        self.record(
+            "scale",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[a.0].add_scaled_assign(g, c);
@@ -214,7 +389,10 @@ impl Graph {
     /// Adds a constant scalar to every element.
     pub fn add_scalar(&mut self, a: VarId, c: f32) -> VarId {
         let v = self.values[a.0].map(|x| x + c);
-        self.custom(
+        self.record(
+            "add_scalar",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[a.0].add_scaled_assign(g, 1.0);
@@ -226,7 +404,10 @@ impl Graph {
     pub fn mul_const(&mut self, a: VarId, t: &Tensor) -> VarId {
         let v = self.values[a.0].mul(t);
         let t = t.clone();
-        self.custom(
+        self.record(
+            "mul_const",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 let ga = g.mul(&t);
@@ -238,7 +419,10 @@ impl Graph {
     /// Elementwise sum with a constant tensor.
     pub fn add_const(&mut self, a: VarId, t: &Tensor) -> VarId {
         let v = self.values[a.0].add(t);
-        self.custom(
+        self.record(
+            "add_const",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[a.0].add_scaled_assign(g, 1.0);
@@ -256,16 +440,14 @@ impl Graph {
         let va = &self.values[a.0];
         let vb = &self.values[b.0];
         let mut out = va.clone();
-        for ((o, &bv), &m) in out
-            .data_mut()
-            .iter_mut()
-            .zip(vb.data())
-            .zip(mask.data())
-        {
+        for ((o, &bv), &m) in out.data_mut().iter_mut().zip(vb.data()).zip(mask.data()) {
             *o = *o * (1.0 - m) + bv * m;
         }
         let mask = mask.clone();
-        self.custom(
+        self.record(
+            "lerp_mask",
+            &[a, b],
+            &[],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 for ((ga, &gv), &m) in grads[a.0]
@@ -291,7 +473,10 @@ impl Graph {
     /// Rectified linear unit.
     pub fn relu(&mut self, a: VarId) -> VarId {
         let v = self.values[a.0].map(|x| x.max(0.0));
-        self.custom(
+        self.record(
+            "relu",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.zip_map(&vals[a.0], |gv, x| if x > 0.0 { gv } else { 0.0 });
@@ -303,7 +488,10 @@ impl Graph {
     /// Leaky rectified linear unit with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: VarId, alpha: f32) -> VarId {
         let v = self.values[a.0].map(|x| if x > 0.0 { x } else { alpha * x });
-        self.custom(
+        self.record(
+            "leaky_relu",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.zip_map(&vals[a.0], |gv, x| if x > 0.0 { gv } else { alpha * gv });
@@ -315,7 +503,7 @@ impl Graph {
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: VarId) -> VarId {
         let v = self.values[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
-        let out = self.custom(v, None);
+        let out = self.record("sigmoid", &[a], &[], v, None);
         let o = out.0;
         self.backs[o] = Some(Box::new(move |g, vals, grads| {
             let y = &vals[o];
@@ -328,7 +516,7 @@ impl Graph {
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: VarId) -> VarId {
         let v = self.values[a.0].map(f32::tanh);
-        let out = self.custom(v, None);
+        let out = self.record("tanh", &[a], &[], v, None);
         let o = out.0;
         self.backs[o] = Some(Box::new(move |g, vals, grads| {
             let y = &vals[o];
@@ -345,7 +533,10 @@ impl Graph {
     pub fn powf_const(&mut self, a: VarId, p: f32) -> VarId {
         const EPS: f32 = 1e-6;
         let v = self.values[a.0].map(|x| x.max(EPS).powf(p));
-        self.custom(
+        self.record(
+            "powf_const",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.zip_map(&vals[a.0], |gv, x| {
@@ -360,7 +551,10 @@ impl Graph {
     /// Clamps every element to `[lo, hi]`; gradient passes only inside.
     pub fn clamp(&mut self, a: VarId, lo: f32, hi: f32) -> VarId {
         let v = self.values[a.0].map(|x| x.clamp(lo, hi));
-        self.custom(
+        self.record(
+            "clamp",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.zip_map(&vals[a.0], |gv, x| if x > lo && x < hi { gv } else { 0.0 });
@@ -373,7 +567,10 @@ impl Graph {
     pub fn reshape(&mut self, a: VarId, shape: &[usize]) -> VarId {
         let v = self.values[a.0].clone().reshape(shape);
         let old_shape = self.values[a.0].shape().to_vec();
-        self.custom(
+        self.record(
+            "reshape",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 let gr = g.clone().reshape(&old_shape);
@@ -397,7 +594,10 @@ impl Graph {
                 out.data_mut()[off..off + hw].copy_from_slice(src);
             }
         }
-        self.custom(
+        self.record(
+            "repeat_channels",
+            &[a],
+            &[("k", k)],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 let ga = &mut grads[a.0];
@@ -430,7 +630,10 @@ impl Graph {
             dst[ca * hw..(ca + cb) * hw]
                 .copy_from_slice(&xb.data()[i * cb * hw..(i + 1) * cb * hw]);
         }
-        self.custom(
+        self.record(
+            "concat_channels",
+            &[a, b],
+            &[],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 for i in 0..n {
@@ -463,7 +666,11 @@ impl Graph {
         let mut sizes = Vec::with_capacity(parts.len());
         for &p in parts {
             let sh = self.values[p.0].shape();
-            assert_eq!(&sh[1..], &item_rest[..], "concat_batch trailing dims differ");
+            assert_eq!(
+                &sh[1..],
+                &item_rest[..],
+                "concat_batch trailing dims differ"
+            );
             total_n += sh[0];
             sizes.push(self.values[p.0].len());
         }
@@ -474,8 +681,12 @@ impl Graph {
             data.extend_from_slice(self.values[p.0].data());
         }
         let out = Tensor::from_vec(data, &shape);
+        let parent_ids = parts;
         let parts = parts.to_vec();
-        self.custom(
+        self.record(
+            "concat_batch",
+            parent_ids,
+            &[],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 let mut off = 0usize;
@@ -493,7 +704,10 @@ impl Graph {
     /// Sum of all elements, producing a scalar node.
     pub fn sum_all(&mut self, a: VarId) -> VarId {
         let v = Tensor::scalar(self.values[a.0].sum());
-        self.custom(
+        self.record(
+            "sum_all",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 let gv = g.data()[0];
@@ -508,7 +722,10 @@ impl Graph {
     pub fn mean_all(&mut self, a: VarId) -> VarId {
         let n = self.values[a.0].len() as f32;
         let v = Tensor::scalar(self.values[a.0].mean());
-        self.custom(
+        self.record(
+            "mean_all",
+            &[a],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 let gv = g.data()[0] / n;
@@ -522,7 +739,10 @@ impl Graph {
     /// Matrix product of two rank-2 nodes.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
         let v = self.values[a.0].matmul(&self.values[b.0]);
-        self.custom(
+        self.record(
+            "matmul",
+            &[a, b],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let ga = g.matmul(&vals[b.0].transpose2d());
@@ -553,7 +773,10 @@ impl Graph {
                 v.data_mut()[idx] += add;
             }
         }
-        self.custom(
+        self.record(
+            "linear",
+            &[x, w, b],
+            &[],
             v,
             Some(Box::new(move |g, vals, grads| {
                 let gx = g.matmul(&vals[w.0]);
@@ -588,7 +811,10 @@ impl Graph {
                 }
             }
         }
-        self.custom(
+        self.record(
+            "add_bias_channel",
+            &[x, b],
+            &[],
             v,
             Some(Box::new(move |g, _vals, grads| {
                 grads[x.0].add_scaled_assign(g, 1.0);
@@ -706,11 +932,7 @@ mod tests {
         };
         let (_, grads, vars) = run(&x0, &w0, &b0);
         let grads = grads.unwrap();
-        let numw = numeric_grad(
-            |w| run(&x0, w, &b0).0,
-            &w0,
-            1e-3,
-        );
+        let numw = numeric_grad(|w| run(&x0, w, &b0).0, &w0, 1e-3);
         for (a, n) in grads.get(vars[1]).data().iter().zip(numw.data()) {
             assert!((a - n).abs() < 0.05, "analytic {a} vs numeric {n}");
         }

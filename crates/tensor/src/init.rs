@@ -29,7 +29,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let w = kaiming_conv(&mut rng, 64, 32, 3, 3);
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let want = 2.0 / (32.0 * 9.0);
         assert!((var - want).abs() / want < 0.2, "var {var} want {want}");
     }

@@ -54,10 +54,12 @@ pub mod loss;
 pub mod optim;
 mod params;
 mod pool;
+mod smallvec;
 mod tensor;
 
 pub use bnorm::BatchStats;
-pub use graph::{BackFn, Gradients, Graph, VarId};
+pub use graph::{BackFn, Gradients, Graph, OpMeta, VarId};
 pub use linmap::{LinearMap, WarpEntry};
 pub use params::{Param, ParamId, ParamSet};
+pub use smallvec::SmallVec;
 pub use tensor::Tensor;

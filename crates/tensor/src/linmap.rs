@@ -166,7 +166,10 @@ impl Graph {
             }
         }
         let map = Rc::clone(map);
-        self.custom(
+        self.record(
+            "warp",
+            &[x],
+            &[("out_h", ho), ("out_w", wo)],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 let gx = &mut grads[x.0];

@@ -45,7 +45,10 @@ impl Graph {
         }
         loss /= n as f32;
         let targets = targets.to_vec();
-        self.custom(
+        self.record(
+            "softmax_cross_entropy_rows",
+            &[logits],
+            &[("classes", c)],
             Tensor::scalar(loss),
             Some(Box::new(move |g, _vals, grads| {
                 let gv = g.data()[0] / n as f32;
@@ -77,7 +80,10 @@ impl Graph {
         }
         loss /= n;
         let target = target.clone();
-        self.custom(
+        self.record(
+            "bce_with_logits",
+            &[x],
+            &[],
             Tensor::scalar(loss),
             Some(Box::new(move |g, vals, grads| {
                 let gv = g.data()[0] / n;
@@ -111,7 +117,10 @@ impl Graph {
         }
         loss /= n;
         let target = target.clone();
-        self.custom(
+        self.record(
+            "mse",
+            &[x],
+            &[],
             Tensor::scalar(loss),
             Some(Box::new(move |g, vals, grads| {
                 let gv = g.data()[0] * 2.0 / n;

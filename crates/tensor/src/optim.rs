@@ -143,13 +143,7 @@ impl Adam {
             let eps = self.eps;
             let mslice = self.m[i].data();
             let vslice = self.v[i].data();
-            for ((w, &mv), &vv) in p
-                .value_mut()
-                .data_mut()
-                .iter_mut()
-                .zip(mslice)
-                .zip(vslice)
-            {
+            for ((w, &mv), &vv) in p.value_mut().data_mut().iter_mut().zip(mslice).zip(vslice) {
                 let mhat = mv / bc1;
                 let vhat = vv / bc2;
                 *w -= lr * mhat / (vhat.sqrt() + eps);

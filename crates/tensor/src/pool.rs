@@ -54,7 +54,10 @@ impl Graph {
         }
         let hw = h * w;
         let howo = ho * wo;
-        self.custom(
+        self.record(
+            "max_pool2d",
+            &[x],
+            &[("k", k), ("stride", stride), ("pad", pad)],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 let gx = &mut grads[x.0];
@@ -86,7 +89,10 @@ impl Graph {
                 }
             }
         }
-        self.custom(
+        self.record(
+            "upsample_nearest2x",
+            &[x],
+            &[],
             out,
             Some(Box::new(move |g, _vals, grads| {
                 let gx = &mut grads[x.0];

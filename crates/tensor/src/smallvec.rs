@@ -1,0 +1,143 @@
+//! A minimal inline small-vector for tape parent lists.
+//!
+//! Almost every op on the autograd tape has at most four parents
+//! (`conv2d` has three, `lerp_mask` two), so [`SmallVec`] stores up to
+//! four [`VarId`]s inline and only heap-allocates for wide fan-in ops
+//! like `concat_batch`. This keeps per-node metadata allocation-free on
+//! the hot construction path without pulling in an external crate.
+
+use crate::graph::VarId;
+
+const INLINE: usize = 4;
+
+/// Inline-first vector of parent [`VarId`]s.
+#[derive(Clone)]
+pub struct SmallVec {
+    inline: [VarId; INLINE],
+    len: usize,
+    spill: Vec<VarId>,
+}
+
+impl SmallVec {
+    /// Creates an empty parent list.
+    pub fn new() -> Self {
+        SmallVec {
+            inline: [VarId(0); INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Builds a parent list from a slice.
+    pub fn from_slice(ids: &[VarId]) -> Self {
+        let mut v = SmallVec::new();
+        for &id in ids {
+            v.push(id);
+        }
+        v
+    }
+
+    /// Appends a parent id.
+    pub fn push(&mut self, id: VarId) {
+        if self.spill.is_empty() && self.len < INLINE {
+            self.inline[self.len] = id;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(id);
+        }
+    }
+
+    /// Number of parents.
+    pub fn len(&self) -> usize {
+        if self.spill.is_empty() {
+            self.len
+        } else {
+            self.spill.len()
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The parents as a slice.
+    pub fn as_slice(&self) -> &[VarId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Iterates over the parent ids.
+    pub fn iter(&self) -> std::slice::Iter<'_, VarId> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for SmallVec {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl std::ops::Deref for SmallVec {
+    type Target = [VarId];
+    fn deref(&self) -> &[VarId] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SmallVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a SmallVec {
+    type Item = &'a VarId;
+    type IntoIter = std::slice::Iter<'a, VarId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<VarId> for SmallVec {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for id in iter {
+            v.push(id);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_then_spills() {
+        let mut v = SmallVec::new();
+        for i in 0..INLINE {
+            v.push(VarId(i));
+        }
+        assert_eq!(v.len(), INLINE);
+        v.push(VarId(99));
+        assert_eq!(v.len(), INLINE + 1);
+        let collected: Vec<usize> = v.iter().map(|id| id.index()).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let ids = [VarId(3), VarId(1), VarId(4), VarId(1), VarId(5), VarId(9)];
+        let v = SmallVec::from_slice(&ids);
+        assert_eq!(v.as_slice(), &ids);
+        assert!(!v.is_empty());
+    }
+}

@@ -85,7 +85,12 @@ impl Tensor {
     /// Panics if `data.len()` does not match the product of `shape`.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "buffer length {} != shape {shape:?}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "buffer length {} != shape {shape:?}",
+            data.len()
+        );
         Tensor {
             shape: shape.to_vec(),
             data,
@@ -159,7 +164,12 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(self.data.len(), n, "cannot reshape {:?} to {shape:?}", self.shape);
+        assert_eq!(
+            self.data.len(),
+            n,
+            "cannot reshape {:?} to {shape:?}",
+            self.shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -447,7 +457,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = Tensor::randn(&mut rng, &[10_000], 2.0);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -224,7 +224,12 @@ pub fn paste_rgb_map(img: &mut Image, patch_rgb: &[f32], mask: &Plane, map: &Lin
             if a > 0.0 {
                 let i = y * img.width() + x;
                 let cl = |v: f32| v.clamp(0.0, 1.0);
-                img.blend(y, x, Rgb(cl(planes[0][i]), cl(planes[1][i]), cl(planes[2][i])), a);
+                img.blend(
+                    y,
+                    x,
+                    Rgb(cl(planes[0][i]), cl(planes[1][i]), cl(planes[2][i])),
+                    a,
+                );
             }
         }
     }
@@ -268,7 +273,10 @@ mod tests {
         let b = mask_on_image(&big, &ones);
         let ca: f32 = a.data().iter().sum();
         let cb: f32 = b.data().iter().sum();
-        assert!(cb > ca * 6.0, "3x scale should cover ~9x the area: {ca} vs {cb}");
+        assert!(
+            cb > ca * 6.0,
+            "3x scale should cover ~9x the area: {ca} vs {cb}"
+        );
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn translation_scaling_rotation() {
-        assert!(close(Mat3::translation(1.0, 2.0).apply(0.0, 0.0), (1.0, 2.0)));
+        assert!(close(
+            Mat3::translation(1.0, 2.0).apply(0.0, 0.0),
+            (1.0, 2.0)
+        ));
         assert!(close(Mat3::scaling(2.0, 3.0).apply(1.0, 1.0), (2.0, 3.0)));
         let r = Mat3::rotation(std::f32::consts::FRAC_PI_2);
         assert!(close(r.apply(1.0, 0.0), (0.0, 1.0)));

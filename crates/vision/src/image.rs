@@ -128,9 +128,9 @@ impl Image {
     /// Creates an image filled with `color`.
     pub fn new(h: usize, w: usize, color: Rgb) -> Self {
         let mut data = Vec::with_capacity(3 * h * w);
-        data.extend(std::iter::repeat(color.0).take(h * w));
-        data.extend(std::iter::repeat(color.1).take(h * w));
-        data.extend(std::iter::repeat(color.2).take(h * w));
+        data.extend(std::iter::repeat_n(color.0, h * w));
+        data.extend(std::iter::repeat_n(color.1, h * w));
+        data.extend(std::iter::repeat_n(color.2, h * w));
         Image { h, w, data }
     }
 
@@ -207,11 +207,29 @@ impl Image {
         if pts.len() < 3 {
             return;
         }
-        let ymin = pts.iter().map(|p| p.1).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
-        let ymax = (pts.iter().map(|p| p.1).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+        let ymin = pts
+            .iter()
+            .map(|p| p.1)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(0.0) as usize;
+        let ymax = (pts
+            .iter()
+            .map(|p| p.1)
+            .fold(f32::NEG_INFINITY, f32::max)
+            .ceil() as usize)
             .min(self.h);
-        let xmin = pts.iter().map(|p| p.0).fold(f32::INFINITY, f32::min).floor().max(0.0) as usize;
-        let xmax = (pts.iter().map(|p| p.0).fold(f32::NEG_INFINITY, f32::max).ceil() as usize)
+        let xmin = pts
+            .iter()
+            .map(|p| p.0)
+            .fold(f32::INFINITY, f32::min)
+            .floor()
+            .max(0.0) as usize;
+        let xmax = (pts
+            .iter()
+            .map(|p| p.0)
+            .fold(f32::NEG_INFINITY, f32::max)
+            .ceil() as usize)
             .min(self.w);
         for y in ymin..ymax {
             for x in xmin..xmax {

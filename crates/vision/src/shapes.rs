@@ -228,11 +228,7 @@ mod tests {
     #[test]
     fn masks_are_antialised_at_boundary() {
         let m = mask(Shape::Circle, 32);
-        let partial = m
-            .data()
-            .iter()
-            .filter(|&&v| v > 0.05 && v < 0.95)
-            .count();
+        let partial = m.data().iter().filter(|&&v| v > 0.05 && v < 0.95).count();
         assert!(partial > 10, "expected soft boundary pixels, got {partial}");
     }
 
@@ -254,7 +250,10 @@ mod tests {
             let s = four_shapes_sample(&mut rng, shape, 24);
             let min = s.data().iter().cloned().fold(f32::INFINITY, f32::min);
             let max = s.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            assert!(min < 0.15, "{shape}: shape pixels should be dark, min {min}");
+            assert!(
+                min < 0.15,
+                "{shape}: shape pixels should be dark, min {min}"
+            );
             assert!(max > 0.85, "{shape}: background should be light, max {max}");
         }
     }

@@ -148,11 +148,9 @@ mod tests {
         assert!((out.at4(0, 0, 1, 1) - 0.375).abs() < 1e-4);
         assert!((out.at4(0, 0, 1, 2) - 0.625).abs() < 1e-4);
         // interior 2x2 block averages to exactly 0.5 by symmetry
-        let inner = (out.at4(0, 0, 1, 1)
-            + out.at4(0, 0, 1, 2)
-            + out.at4(0, 0, 2, 1)
-            + out.at4(0, 0, 2, 2))
-            / 4.0;
+        let inner =
+            (out.at4(0, 0, 1, 1) + out.at4(0, 0, 1, 2) + out.at4(0, 0, 2, 1) + out.at4(0, 0, 2, 2))
+                / 4.0;
         assert!((inner - 0.5).abs() < 1e-4);
     }
 
@@ -194,10 +192,7 @@ mod tests {
     #[test]
     fn homography_identity() {
         let t = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
-        let out = apply(
-            homography((3, 3), (3, 3), &Mat3::identity()).unwrap(),
-            &t,
-        );
+        let out = apply(homography((3, 3), (3, 3), &Mat3::identity()).unwrap(), &t);
         for (a, b) in out.data().iter().zip(t.data()) {
             assert!((a - b).abs() < 1e-5);
         }

@@ -55,7 +55,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     let challenge = Challenge::Speed(Speed::Slow);
     let poses = challenge.poses(&ecfg, &mut rng);
-    println!("driving {} frames at {} km/h...", poses.len(), Speed::Slow.kmh());
+    println!(
+        "driving {} frames at {} km/h...",
+        poses.len(),
+        Speed::Slow.kmh()
+    );
 
     let mut tracker = Tracker::new(TrackerConfig::default());
     let motion = Speed::Slow.m_per_frame(ecfg.fps);
@@ -65,7 +69,12 @@ fn main() {
         .collect();
     for (fi, pose) in poses.iter().enumerate() {
         let frame = render_attacked_frame(&scenario, &printed, pose, &ecfg, motion, &mut rng);
-        let dets = detect(&env.detector, &mut env.params, &[frame], ecfg.conf_threshold);
+        let dets = detect(
+            &env.detector,
+            &mut env.params,
+            &[frame],
+            ecfg.conf_threshold,
+        );
         let confirmed = tracker.step(&dets[0]);
         for (id, class) in confirmed {
             println!(
@@ -89,7 +98,11 @@ fn main() {
     let hijacked = tracker.ever_confirmed(cfg.target_class);
     println!(
         "\nverdict: the decals {} a confirmed '{}' track (CWC {}).",
-        if hijacked { "produced" } else { "did not produce" },
+        if hijacked {
+            "produced"
+        } else {
+            "did not produce"
+        },
         cfg.target_class,
         if hijacked { "achieved" } else { "blocked" },
     );

@@ -33,7 +33,9 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
 }
 
 fn main() {
-    let scale: Scale = arg("--scale", "smoke".to_owned()).parse().expect("bad --scale");
+    let scale: Scale = arg("--scale", "smoke".to_owned())
+        .parse()
+        .expect("bad --scale");
     let n: usize = arg("--n", 6);
     let k: usize = arg("--k", 60);
     let seed: u64 = arg("--seed", 42);
@@ -101,7 +103,9 @@ fn main() {
         println!("   {} conf {:.2}", d.class, d.confidence());
     }
     draw_detections(&mut frame, &dets[0]);
-    frame.save_ppm("out/parking_lot_attacked.ppm").expect("save frame");
+    frame
+        .save_ppm("out/parking_lot_attacked.ppm")
+        .expect("save frame");
 
     // a full drive-by as a frame sequence + contact sheet
     let printed: Vec<_> = decals

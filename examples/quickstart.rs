@@ -92,5 +92,8 @@ fn main() {
             attacked.victim_detected * 100.0
         );
     }
-    println!("done. Decal mean intensity {:.2} (monochrome).", trained.decal.masked_mean());
+    println!(
+        "done. Decal mean intensity {:.2} (monochrome).",
+        trained.decal.masked_mean()
+    );
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analyses-1871e3bdebb35224.d: crates/analysis/tests/analyses.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalyses-1871e3bdebb35224.rmeta: crates/analysis/tests/analyses.rs Cargo.toml
+
+crates/analysis/tests/analyses.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analyses-ba6d18c2066294f2.d: crates/analysis/tests/analyses.rs
+
+/root/repo/target/debug/deps/analyses-ba6d18c2066294f2: crates/analysis/tests/analyses.rs
+
+crates/analysis/tests/analyses.rs:

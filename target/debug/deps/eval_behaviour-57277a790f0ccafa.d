@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_behaviour-57277a790f0ccafa.d: crates/core/tests/eval_behaviour.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_behaviour-57277a790f0ccafa.rmeta: crates/core/tests/eval_behaviour.rs Cargo.toml
+
+crates/core/tests/eval_behaviour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

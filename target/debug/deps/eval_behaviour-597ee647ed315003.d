@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_behaviour-597ee647ed315003.d: crates/core/tests/eval_behaviour.rs
+
+/root/repo/target/debug/deps/eval_behaviour-597ee647ed315003: crates/core/tests/eval_behaviour.rs
+
+crates/core/tests/eval_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_behaviour-9b8cee8ca02245df.d: crates/core/tests/eval_behaviour.rs
+
+/root/repo/target/debug/deps/eval_behaviour-9b8cee8ca02245df: crates/core/tests/eval_behaviour.rs
+
+crates/core/tests/eval_behaviour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_audit-840c6bc680c2e288.d: crates/analysis/src/bin/grad_audit.rs
+
+/root/repo/target/debug/deps/grad_audit-840c6bc680c2e288: crates/analysis/src/bin/grad_audit.rs
+
+crates/analysis/src/bin/grad_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grad_audit-a4de7575ae6753b7.d: crates/analysis/src/bin/grad_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrad_audit-a4de7575ae6753b7.rmeta: crates/analysis/src/bin/grad_audit.rs Cargo.toml
+
+crates/analysis/src/bin/grad_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grad_audit-b634fc638df7ab41.d: crates/analysis/src/bin/grad_audit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrad_audit-b634fc638df7ab41.rmeta: crates/analysis/src/bin/grad_audit.rs Cargo.toml
+
+crates/analysis/src/bin/grad_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

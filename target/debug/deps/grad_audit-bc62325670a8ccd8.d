@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_audit-bc62325670a8ccd8.d: crates/analysis/src/bin/grad_audit.rs
+
+/root/repo/target/debug/deps/grad_audit-bc62325670a8ccd8: crates/analysis/src/bin/grad_audit.rs
+
+crates/analysis/src/bin/grad_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-3413644010d26976.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-3413644010d26976: tests/pipeline.rs
+
+tests/pipeline.rs:

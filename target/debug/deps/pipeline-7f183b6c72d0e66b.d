@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7f183b6c72d0e66b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7f183b6c72d0e66b: tests/pipeline.rs
+
+tests/pipeline.rs:

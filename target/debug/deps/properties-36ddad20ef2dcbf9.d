@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-36ddad20ef2dcbf9.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-36ddad20ef2dcbf9: tests/properties.rs
+
+tests/properties.rs:

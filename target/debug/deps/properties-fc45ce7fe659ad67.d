@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fc45ce7fe659ad67.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fc45ce7fe659ad67: tests/properties.rs
+
+tests/properties.rs:

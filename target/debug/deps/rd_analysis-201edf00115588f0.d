@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rd_analysis-201edf00115588f0.d: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_analysis-201edf00115588f0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/grad_audit.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/nan.rs:
+crates/analysis/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rd_analysis-820407f5685f4979.d: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+/root/repo/target/debug/deps/librd_analysis-820407f5685f4979.rlib: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+/root/repo/target/debug/deps/librd_analysis-820407f5685f4979.rmeta: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/grad_audit.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/nan.rs:
+crates/analysis/src/shape.rs:

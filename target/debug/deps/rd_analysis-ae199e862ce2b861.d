@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_analysis-ae199e862ce2b861.d: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+/root/repo/target/debug/deps/rd_analysis-ae199e862ce2b861: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/grad_audit.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/nan.rs:
+crates/analysis/src/shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rd_bench-2d086bc9c335ff08.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rd_bench-2d086bc9c335ff08: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rd_bench-2ee3ea38b025c078.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librd_bench-2ee3ea38b025c078.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librd_bench-2ee3ea38b025c078.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rd_bench-351c07f2987e19a3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librd_bench-351c07f2987e19a3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librd_bench-351c07f2987e19a3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_bench-ba0cb03b2e5231f5.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_bench-ba0cb03b2e5231f5.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

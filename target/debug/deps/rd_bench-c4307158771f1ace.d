@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rd_bench-c4307158771f1ace.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rd_bench-c4307158771f1ace: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_bench-e946cb4379f2b5bd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_bench-e946cb4379f2b5bd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rd_detector-39fe9fa342a7d250.d: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_detector-39fe9fa342a7d250.rmeta: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs Cargo.toml
+
+crates/detector/src/lib.rs:
+crates/detector/src/anchors.rs:
+crates/detector/src/confirm.rs:
+crates/detector/src/decode.rs:
+crates/detector/src/loss.rs:
+crates/detector/src/map.rs:
+crates/detector/src/model.rs:
+crates/detector/src/track.rs:
+crates/detector/src/train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rd_detector-7e21d44ef3e9ff98.d: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/debug/deps/rd_detector-7e21d44ef3e9ff98: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+crates/detector/src/lib.rs:
+crates/detector/src/anchors.rs:
+crates/detector/src/confirm.rs:
+crates/detector/src/decode.rs:
+crates/detector/src/loss.rs:
+crates/detector/src/map.rs:
+crates/detector/src/model.rs:
+crates/detector/src/track.rs:
+crates/detector/src/train.rs:

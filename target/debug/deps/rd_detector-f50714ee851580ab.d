@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/rd_detector-f50714ee851580ab.d: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/debug/deps/librd_detector-f50714ee851580ab.rlib: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/debug/deps/librd_detector-f50714ee851580ab.rmeta: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+crates/detector/src/lib.rs:
+crates/detector/src/anchors.rs:
+crates/detector/src/confirm.rs:
+crates/detector/src/decode.rs:
+crates/detector/src/loss.rs:
+crates/detector/src/map.rs:
+crates/detector/src/model.rs:
+crates/detector/src/track.rs:
+crates/detector/src/train.rs:

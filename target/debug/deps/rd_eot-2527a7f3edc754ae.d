@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rd_eot-2527a7f3edc754ae.d: crates/eot/src/lib.rs
+
+/root/repo/target/debug/deps/librd_eot-2527a7f3edc754ae.rlib: crates/eot/src/lib.rs
+
+/root/repo/target/debug/deps/librd_eot-2527a7f3edc754ae.rmeta: crates/eot/src/lib.rs
+
+crates/eot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rd_eot-3e28a3dbf139fa3f.d: crates/eot/src/lib.rs
+
+/root/repo/target/debug/deps/rd_eot-3e28a3dbf139fa3f: crates/eot/src/lib.rs
+
+crates/eot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_eot-4afc189ad2a3bc61.d: crates/eot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_eot-4afc189ad2a3bc61.rmeta: crates/eot/src/lib.rs Cargo.toml
+
+crates/eot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_eot-83fd8929fb3c4e8f.d: crates/eot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_eot-83fd8929fb3c4e8f.rmeta: crates/eot/src/lib.rs Cargo.toml
+
+crates/eot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rd_gan-20b549563c5904cd.d: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/rd_gan-20b549563c5904cd: crates/gan/src/lib.rs
+
+crates/gan/src/lib.rs:

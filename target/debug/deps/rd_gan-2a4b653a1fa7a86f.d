@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rd_gan-2a4b653a1fa7a86f.d: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/librd_gan-2a4b653a1fa7a86f.rlib: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/librd_gan-2a4b653a1fa7a86f.rmeta: crates/gan/src/lib.rs
+
+crates/gan/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rd_gan-32b1e44b34a6e767.d: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/rd_gan-32b1e44b34a6e767: crates/gan/src/lib.rs
+
+crates/gan/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rd_gan-32f257c3813dfc58.d: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/librd_gan-32f257c3813dfc58.rlib: crates/gan/src/lib.rs
+
+/root/repo/target/debug/deps/librd_gan-32f257c3813dfc58.rmeta: crates/gan/src/lib.rs
+
+crates/gan/src/lib.rs:

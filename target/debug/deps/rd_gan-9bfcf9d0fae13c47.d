@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rd_gan-9bfcf9d0fae13c47.d: crates/gan/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_gan-9bfcf9d0fae13c47.rmeta: crates/gan/src/lib.rs Cargo.toml
+
+crates/gan/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

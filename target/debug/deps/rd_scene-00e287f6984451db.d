@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rd_scene-00e287f6984451db.d: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_scene-00e287f6984451db.rmeta: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs Cargo.toml
+
+crates/scene/src/lib.rs:
+crates/scene/src/camera.rs:
+crates/scene/src/classes.rs:
+crates/scene/src/dataset.rs:
+crates/scene/src/physical.rs:
+crates/scene/src/render.rs:
+crates/scene/src/video.rs:
+crates/scene/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

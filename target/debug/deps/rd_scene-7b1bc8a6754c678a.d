@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rd_scene-7b1bc8a6754c678a.d: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+/root/repo/target/debug/deps/librd_scene-7b1bc8a6754c678a.rlib: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+/root/repo/target/debug/deps/librd_scene-7b1bc8a6754c678a.rmeta: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+crates/scene/src/lib.rs:
+crates/scene/src/camera.rs:
+crates/scene/src/classes.rs:
+crates/scene/src/dataset.rs:
+crates/scene/src/physical.rs:
+crates/scene/src/render.rs:
+crates/scene/src/video.rs:
+crates/scene/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rd_scene-ebd44e0895bd8c39.d: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+/root/repo/target/debug/deps/rd_scene-ebd44e0895bd8c39: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+crates/scene/src/lib.rs:
+crates/scene/src/camera.rs:
+crates/scene/src/classes.rs:
+crates/scene/src/dataset.rs:
+crates/scene/src/physical.rs:
+crates/scene/src/render.rs:
+crates/scene/src/video.rs:
+crates/scene/src/world.rs:

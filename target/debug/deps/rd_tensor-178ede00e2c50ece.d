@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/rd_tensor-178ede00e2c50ece.d: crates/tensor/src/lib.rs crates/tensor/src/bnorm.rs crates/tensor/src/check.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/linmap.rs crates/tensor/src/loss.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/pool.rs crates/tensor/src/smallvec.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_tensor-178ede00e2c50ece.rmeta: crates/tensor/src/lib.rs crates/tensor/src/bnorm.rs crates/tensor/src/check.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/linmap.rs crates/tensor/src/loss.rs crates/tensor/src/optim.rs crates/tensor/src/params.rs crates/tensor/src/pool.rs crates/tensor/src/smallvec.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/bnorm.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/linmap.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/smallvec.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

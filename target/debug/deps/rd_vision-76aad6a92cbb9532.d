@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rd_vision-76aad6a92cbb9532.d: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+/root/repo/target/debug/deps/rd_vision-76aad6a92cbb9532: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/compose.rs:
+crates/vision/src/geometry.rs:
+crates/vision/src/image.rs:
+crates/vision/src/shapes.rs:
+crates/vision/src/warp.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rd_vision-9fdcf452f37aabda.d: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs Cargo.toml
+
+/root/repo/target/debug/deps/librd_vision-9fdcf452f37aabda.rmeta: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs Cargo.toml
+
+crates/vision/src/lib.rs:
+crates/vision/src/compose.rs:
+crates/vision/src/geometry.rs:
+crates/vision/src/image.rs:
+crates/vision/src/shapes.rs:
+crates/vision/src/warp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rd_vision-bba3e97fe8327e13.d: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+/root/repo/target/debug/deps/librd_vision-bba3e97fe8327e13.rlib: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+/root/repo/target/debug/deps/librd_vision-bba3e97fe8327e13.rmeta: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/compose.rs:
+crates/vision/src/geometry.rs:
+crates/vision/src/image.rs:
+crates/vision/src/shapes.rs:
+crates/vision/src/warp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_figs-02a4c78426dd7716.d: crates/bench/src/bin/repro_figs.rs
+
+/root/repo/target/debug/deps/repro_figs-02a4c78426dd7716: crates/bench/src/bin/repro_figs.rs
+
+crates/bench/src/bin/repro_figs.rs:

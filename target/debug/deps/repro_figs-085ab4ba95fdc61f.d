@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_figs-085ab4ba95fdc61f.d: crates/bench/src/bin/repro_figs.rs
+
+/root/repo/target/debug/deps/repro_figs-085ab4ba95fdc61f: crates/bench/src/bin/repro_figs.rs
+
+crates/bench/src/bin/repro_figs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_figs-49176d2977cba8cf.d: crates/bench/src/bin/repro_figs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_figs-49176d2977cba8cf.rmeta: crates/bench/src/bin/repro_figs.rs Cargo.toml
+
+crates/bench/src/bin/repro_figs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

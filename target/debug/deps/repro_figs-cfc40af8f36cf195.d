@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_figs-cfc40af8f36cf195.d: crates/bench/src/bin/repro_figs.rs
+
+/root/repo/target/debug/deps/repro_figs-cfc40af8f36cf195: crates/bench/src/bin/repro_figs.rs
+
+crates/bench/src/bin/repro_figs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-42769a29ef70c027.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-42769a29ef70c027: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-49a14a4990a4251b.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-49a14a4990a4251b: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

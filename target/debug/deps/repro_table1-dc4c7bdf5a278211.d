@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table1-dc4c7bdf5a278211.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/debug/deps/repro_table1-dc4c7bdf5a278211: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-198d883d884f796b.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-198d883d884f796b: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

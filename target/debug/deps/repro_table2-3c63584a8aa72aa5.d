@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table2-3c63584a8aa72aa5.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/debug/deps/repro_table2-3c63584a8aa72aa5: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-3f2ae2f10dbbb202.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-3f2ae2f10dbbb202: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-4a65a23f9a934327.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-4a65a23f9a934327: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

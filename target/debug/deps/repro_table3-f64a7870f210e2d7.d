@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table3-f64a7870f210e2d7.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/debug/deps/repro_table3-f64a7870f210e2d7: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table4-1ed6ae237bc11208.d: crates/bench/src/bin/repro_table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table4-1ed6ae237bc11208.rmeta: crates/bench/src/bin/repro_table4.rs Cargo.toml
+
+crates/bench/src/bin/repro_table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table4-5b27111dea78766f.d: crates/bench/src/bin/repro_table4.rs
+
+/root/repo/target/debug/deps/repro_table4-5b27111dea78766f: crates/bench/src/bin/repro_table4.rs
+
+crates/bench/src/bin/repro_table4.rs:

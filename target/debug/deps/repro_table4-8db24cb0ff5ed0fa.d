@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table4-8db24cb0ff5ed0fa.d: crates/bench/src/bin/repro_table4.rs
+
+/root/repo/target/debug/deps/repro_table4-8db24cb0ff5ed0fa: crates/bench/src/bin/repro_table4.rs
+
+crates/bench/src/bin/repro_table4.rs:

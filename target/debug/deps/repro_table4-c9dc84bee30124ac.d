@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table4-c9dc84bee30124ac.d: crates/bench/src/bin/repro_table4.rs
+
+/root/repo/target/debug/deps/repro_table4-c9dc84bee30124ac: crates/bench/src/bin/repro_table4.rs
+
+crates/bench/src/bin/repro_table4.rs:

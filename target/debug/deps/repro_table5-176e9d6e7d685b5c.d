@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table5-176e9d6e7d685b5c.d: crates/bench/src/bin/repro_table5.rs
+
+/root/repo/target/debug/deps/repro_table5-176e9d6e7d685b5c: crates/bench/src/bin/repro_table5.rs
+
+crates/bench/src/bin/repro_table5.rs:

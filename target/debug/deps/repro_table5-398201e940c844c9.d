@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table5-398201e940c844c9.d: crates/bench/src/bin/repro_table5.rs
+
+/root/repo/target/debug/deps/repro_table5-398201e940c844c9: crates/bench/src/bin/repro_table5.rs
+
+crates/bench/src/bin/repro_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table5-64ed51ff0c6cac5d.d: crates/bench/src/bin/repro_table5.rs
+
+/root/repo/target/debug/deps/repro_table5-64ed51ff0c6cac5d: crates/bench/src/bin/repro_table5.rs
+
+crates/bench/src/bin/repro_table5.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_table6-3b74efdd09302c87.d: crates/bench/src/bin/repro_table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_table6-3b74efdd09302c87.rmeta: crates/bench/src/bin/repro_table6.rs Cargo.toml
+
+crates/bench/src/bin/repro_table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table6-643fdffb4febc47b.d: crates/bench/src/bin/repro_table6.rs
+
+/root/repo/target/debug/deps/repro_table6-643fdffb4febc47b: crates/bench/src/bin/repro_table6.rs
+
+crates/bench/src/bin/repro_table6.rs:

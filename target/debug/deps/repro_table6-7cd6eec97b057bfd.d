@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table6-7cd6eec97b057bfd.d: crates/bench/src/bin/repro_table6.rs
+
+/root/repo/target/debug/deps/repro_table6-7cd6eec97b057bfd: crates/bench/src/bin/repro_table6.rs
+
+crates/bench/src/bin/repro_table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_table6-eeaf043c004d5ffc.d: crates/bench/src/bin/repro_table6.rs
+
+/root/repo/target/debug/deps/repro_table6-eeaf043c004d5ffc: crates/bench/src/bin/repro_table6.rs
+
+crates/bench/src/bin/repro_table6.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/road_decals-083da758f23b1882.d: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libroad_decals-083da758f23b1882.rlib: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libroad_decals-083da758f23b1882.rmeta: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotate.rs:
+crates/core/src/attack.rs:
+crates/core/src/baseline.rs:
+crates/core/src/decal.rs:
+crates/core/src/defense.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/scale.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:

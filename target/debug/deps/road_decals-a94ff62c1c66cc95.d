@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/road_decals-a94ff62c1c66cc95.d: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/road_decals-a94ff62c1c66cc95: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotate.rs:
+crates/core/src/attack.rs:
+crates/core/src/baseline.rs:
+crates/core/src/decal.rs:
+crates/core/src/defense.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/scale.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:

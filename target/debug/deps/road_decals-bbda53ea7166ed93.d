@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/road_decals-bbda53ea7166ed93.d: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroad_decals-bbda53ea7166ed93.rmeta: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/annotate.rs:
+crates/core/src/attack.rs:
+crates/core/src/baseline.rs:
+crates/core/src/decal.rs:
+crates/core/src/defense.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/scale.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/road_decals_repro-280163b234bd2a94.d: src/lib.rs
+
+/root/repo/target/debug/deps/libroad_decals_repro-280163b234bd2a94.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libroad_decals_repro-280163b234bd2a94.rmeta: src/lib.rs
+
+src/lib.rs:

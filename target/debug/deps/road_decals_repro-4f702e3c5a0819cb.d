@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/road_decals_repro-4f702e3c5a0819cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/road_decals_repro-4f702e3c5a0819cb: src/lib.rs
+
+src/lib.rs:

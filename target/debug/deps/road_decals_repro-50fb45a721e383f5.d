@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/road_decals_repro-50fb45a721e383f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libroad_decals_repro-50fb45a721e383f5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libroad_decals_repro-50fb45a721e383f5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/road_decals_repro-7dadd1b38a47ba0d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroad_decals_repro-7dadd1b38a47ba0d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

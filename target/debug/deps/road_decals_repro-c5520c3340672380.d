@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/road_decals_repro-c5520c3340672380.d: src/lib.rs
+
+/root/repo/target/debug/deps/road_decals_repro-c5520c3340672380: src/lib.rs
+
+src/lib.rs:

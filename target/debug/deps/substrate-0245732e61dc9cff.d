@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-0245732e61dc9cff.d: tests/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-0245732e61dc9cff.rmeta: tests/substrate.rs Cargo.toml
+
+tests/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

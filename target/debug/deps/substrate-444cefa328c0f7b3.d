@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/substrate-444cefa328c0f7b3.d: crates/bench/benches/substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubstrate-444cefa328c0f7b3.rmeta: crates/bench/benches/substrate.rs Cargo.toml
+
+crates/bench/benches/substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-4728f3db9e76d657.d: tests/substrate.rs
+
+/root/repo/target/debug/deps/substrate-4728f3db9e76d657: tests/substrate.rs
+
+tests/substrate.rs:

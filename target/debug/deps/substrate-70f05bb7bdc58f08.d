@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-70f05bb7bdc58f08.d: tests/substrate.rs
+
+/root/repo/target/debug/deps/substrate-70f05bb7bdc58f08: tests/substrate.rs
+
+tests/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/av_pipeline-1aadb3968e96c207.d: examples/av_pipeline.rs
+
+/root/repo/target/debug/examples/av_pipeline-1aadb3968e96c207: examples/av_pipeline.rs
+
+examples/av_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/av_pipeline-450e96581ec2304d.d: examples/av_pipeline.rs
+
+/root/repo/target/debug/examples/av_pipeline-450e96581ec2304d: examples/av_pipeline.rs
+
+examples/av_pipeline.rs:

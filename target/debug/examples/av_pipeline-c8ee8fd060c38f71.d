@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/av_pipeline-c8ee8fd060c38f71.d: examples/av_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libav_pipeline-c8ee8fd060c38f71.rmeta: examples/av_pipeline.rs Cargo.toml
+
+examples/av_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

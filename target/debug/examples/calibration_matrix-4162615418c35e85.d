@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_matrix-4162615418c35e85.d: crates/core/examples/calibration_matrix.rs
+
+/root/repo/target/debug/examples/calibration_matrix-4162615418c35e85: crates/core/examples/calibration_matrix.rs
+
+crates/core/examples/calibration_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibration_matrix-64aaaf255a07f66a.d: crates/core/examples/calibration_matrix.rs
+
+/root/repo/target/debug/examples/calibration_matrix-64aaaf255a07f66a: crates/core/examples/calibration_matrix.rs
+
+crates/core/examples/calibration_matrix.rs:

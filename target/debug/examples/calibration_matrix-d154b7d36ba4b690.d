@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibration_matrix-d154b7d36ba4b690.d: crates/core/examples/calibration_matrix.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibration_matrix-d154b7d36ba4b690.rmeta: crates/core/examples/calibration_matrix.rs Cargo.toml
+
+crates/core/examples/calibration_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

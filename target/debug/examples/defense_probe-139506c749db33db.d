@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_probe-139506c749db33db.d: examples/defense_probe.rs
+
+/root/repo/target/debug/examples/defense_probe-139506c749db33db: examples/defense_probe.rs
+
+examples/defense_probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_probe-73f13bfcd2427c31.d: examples/defense_probe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_probe-73f13bfcd2427c31.rmeta: examples/defense_probe.rs Cargo.toml
+
+examples/defense_probe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

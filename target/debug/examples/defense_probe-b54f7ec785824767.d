@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_probe-b54f7ec785824767.d: examples/defense_probe.rs
+
+/root/repo/target/debug/examples/defense_probe-b54f7ec785824767: examples/defense_probe.rs
+
+examples/defense_probe.rs:

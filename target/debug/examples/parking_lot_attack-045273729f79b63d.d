@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parking_lot_attack-045273729f79b63d.d: examples/parking_lot_attack.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparking_lot_attack-045273729f79b63d.rmeta: examples/parking_lot_attack.rs Cargo.toml
+
+examples/parking_lot_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parking_lot_attack-57a818aea3f995d5.d: examples/parking_lot_attack.rs
+
+/root/repo/target/debug/examples/parking_lot_attack-57a818aea3f995d5: examples/parking_lot_attack.rs
+
+examples/parking_lot_attack.rs:

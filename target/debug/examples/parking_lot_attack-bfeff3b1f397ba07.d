@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parking_lot_attack-bfeff3b1f397ba07.d: examples/parking_lot_attack.rs
+
+/root/repo/target/debug/examples/parking_lot_attack-bfeff3b1f397ba07: examples/parking_lot_attack.rs
+
+examples/parking_lot_attack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-879bcb11ab6d6720.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-879bcb11ab6d6720: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ced949cd77ee6bf2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ced949cd77ee6bf2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shape_ablation-1943963ae2fc200b.d: examples/shape_ablation.rs
+
+/root/repo/target/debug/examples/shape_ablation-1943963ae2fc200b: examples/shape_ablation.rs
+
+examples/shape_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/shape_ablation-1d76432b4faf0a92.d: examples/shape_ablation.rs
+
+/root/repo/target/debug/examples/shape_ablation-1d76432b4faf0a92: examples/shape_ablation.rs
+
+examples/shape_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/shape_ablation-8c2e0087b17984ac.d: examples/shape_ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libshape_ablation-8c2e0087b17984ac.rmeta: examples/shape_ablation.rs Cargo.toml
+
+examples/shape_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_detector-4e8e44741cf9fd4e.d: crates/detector/examples/train_detector.rs
+
+/root/repo/target/debug/examples/train_detector-4e8e44741cf9fd4e: crates/detector/examples/train_detector.rs
+
+crates/detector/examples/train_detector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_detector-781f31668a265db3.d: crates/detector/examples/train_detector.rs
+
+/root/repo/target/debug/examples/train_detector-781f31668a265db3: crates/detector/examples/train_detector.rs
+
+crates/detector/examples/train_detector.rs:

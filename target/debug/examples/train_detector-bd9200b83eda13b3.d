@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_detector-bd9200b83eda13b3.d: crates/detector/examples/train_detector.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_detector-bd9200b83eda13b3.rmeta: crates/detector/examples/train_detector.rs Cargo.toml
+
+crates/detector/examples/train_detector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grad_audit-11a69a5bbfdf8303.d: crates/analysis/src/bin/grad_audit.rs
+
+/root/repo/target/release/deps/grad_audit-11a69a5bbfdf8303: crates/analysis/src/bin/grad_audit.rs
+
+crates/analysis/src/bin/grad_audit.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rd_analysis-61ed6d9d19a1ba52.d: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+/root/repo/target/release/deps/librd_analysis-61ed6d9d19a1ba52.rlib: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+/root/repo/target/release/deps/librd_analysis-61ed6d9d19a1ba52.rmeta: crates/analysis/src/lib.rs crates/analysis/src/grad_audit.rs crates/analysis/src/lints.rs crates/analysis/src/nan.rs crates/analysis/src/shape.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/grad_audit.rs:
+crates/analysis/src/lints.rs:
+crates/analysis/src/nan.rs:
+crates/analysis/src/shape.rs:

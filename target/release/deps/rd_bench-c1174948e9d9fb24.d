@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rd_bench-c1174948e9d9fb24.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librd_bench-c1174948e9d9fb24.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librd_bench-c1174948e9d9fb24.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/rd_detector-26f2e7412dcaa037.d: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/release/deps/librd_detector-26f2e7412dcaa037.rlib: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/release/deps/librd_detector-26f2e7412dcaa037.rmeta: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+crates/detector/src/lib.rs:
+crates/detector/src/anchors.rs:
+crates/detector/src/confirm.rs:
+crates/detector/src/decode.rs:
+crates/detector/src/loss.rs:
+crates/detector/src/map.rs:
+crates/detector/src/model.rs:
+crates/detector/src/track.rs:
+crates/detector/src/train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rd_eot-bd21ea1b4c4670a9.d: crates/eot/src/lib.rs
+
+/root/repo/target/release/deps/librd_eot-bd21ea1b4c4670a9.rlib: crates/eot/src/lib.rs
+
+/root/repo/target/release/deps/librd_eot-bd21ea1b4c4670a9.rmeta: crates/eot/src/lib.rs
+
+crates/eot/src/lib.rs:

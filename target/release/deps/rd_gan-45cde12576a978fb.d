@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rd_gan-45cde12576a978fb.d: crates/gan/src/lib.rs
+
+/root/repo/target/release/deps/librd_gan-45cde12576a978fb.rlib: crates/gan/src/lib.rs
+
+/root/repo/target/release/deps/librd_gan-45cde12576a978fb.rmeta: crates/gan/src/lib.rs
+
+crates/gan/src/lib.rs:

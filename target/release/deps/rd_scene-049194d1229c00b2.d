@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rd_scene-049194d1229c00b2.d: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+/root/repo/target/release/deps/librd_scene-049194d1229c00b2.rlib: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+/root/repo/target/release/deps/librd_scene-049194d1229c00b2.rmeta: crates/scene/src/lib.rs crates/scene/src/camera.rs crates/scene/src/classes.rs crates/scene/src/dataset.rs crates/scene/src/physical.rs crates/scene/src/render.rs crates/scene/src/video.rs crates/scene/src/world.rs
+
+crates/scene/src/lib.rs:
+crates/scene/src/camera.rs:
+crates/scene/src/classes.rs:
+crates/scene/src/dataset.rs:
+crates/scene/src/physical.rs:
+crates/scene/src/render.rs:
+crates/scene/src/video.rs:
+crates/scene/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rd_vision-2fc1f8cb936dc489.d: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+/root/repo/target/release/deps/librd_vision-2fc1f8cb936dc489.rlib: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+/root/repo/target/release/deps/librd_vision-2fc1f8cb936dc489.rmeta: crates/vision/src/lib.rs crates/vision/src/compose.rs crates/vision/src/geometry.rs crates/vision/src/image.rs crates/vision/src/shapes.rs crates/vision/src/warp.rs
+
+crates/vision/src/lib.rs:
+crates/vision/src/compose.rs:
+crates/vision/src/geometry.rs:
+crates/vision/src/image.rs:
+crates/vision/src/shapes.rs:
+crates/vision/src/warp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-d3bc008219ec6fd9.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-d3bc008219ec6fd9: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

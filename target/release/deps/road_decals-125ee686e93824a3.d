@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/road_decals-125ee686e93824a3.d: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libroad_decals-125ee686e93824a3.rlib: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+/root/repo/target/release/deps/libroad_decals-125ee686e93824a3.rmeta: crates/core/src/lib.rs crates/core/src/annotate.rs crates/core/src/attack.rs crates/core/src/baseline.rs crates/core/src/decal.rs crates/core/src/defense.rs crates/core/src/eval.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/scale.rs crates/core/src/experiments/tables.rs crates/core/src/metrics.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/annotate.rs:
+crates/core/src/attack.rs:
+crates/core/src/baseline.rs:
+crates/core/src/decal.rs:
+crates/core/src/defense.rs:
+crates/core/src/eval.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/scale.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/metrics.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/road_decals_repro-76f912aec1696b89.d: src/lib.rs
+
+/root/repo/target/release/deps/libroad_decals_repro-76f912aec1696b89.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libroad_decals_repro-76f912aec1696b89.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_miswire-3318e93839237f92.d: crates/detector/examples/_verify_miswire.rs
+
+/root/repo/target/release/examples/_verify_miswire-3318e93839237f92: crates/detector/examples/_verify_miswire.rs
+
+crates/detector/examples/_verify_miswire.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/train_detector-0f843fe4ee3ec8e2.d: crates/detector/examples/train_detector.rs
+
+/root/repo/target/release/examples/train_detector-0f843fe4ee3ec8e2: crates/detector/examples/train_detector.rs
+
+crates/detector/examples/train_detector.rs:

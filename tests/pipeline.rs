@@ -112,14 +112,28 @@ fn physical_channel_never_helps_the_monochrome_attack_much() {
     let decals = deploy(&trained.decal, &scenario);
     let challenge = Challenge::Rotation(RotationSetting::Fix);
     let digital = evaluate_challenge(
-        &scenario, &decals, &env.detector, &mut env.params,
-        cfg.target_class, challenge,
-        &EvalConfig { channel: PhysicalChannel::digital(), ..EvalConfig::smoke(42) },
+        &scenario,
+        &decals,
+        &env.detector,
+        &mut env.params,
+        cfg.target_class,
+        challenge,
+        &EvalConfig {
+            channel: PhysicalChannel::digital(),
+            ..EvalConfig::smoke(42)
+        },
     );
     let real = evaluate_challenge(
-        &scenario, &decals, &env.detector, &mut env.params,
-        cfg.target_class, challenge,
-        &EvalConfig { channel: PhysicalChannel::real_world(), ..EvalConfig::smoke(42) },
+        &scenario,
+        &decals,
+        &env.detector,
+        &mut env.params,
+        cfg.target_class,
+        challenge,
+        &EvalConfig {
+            channel: PhysicalChannel::real_world(),
+            ..EvalConfig::smoke(42)
+        },
     );
     assert!(
         real.cell.pwc <= digital.cell.pwc + 0.5,

@@ -1,0 +1,240 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (simple forms only).
+//! Instead of criterion's statistical analysis, each benchmark is timed
+//! with a short warm-up followed by a fixed number of timed passes, and
+//! the median per-iteration wall time is printed. Good enough to compare
+//! runs by eye; not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// Handed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per timed pass.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call, then size the per-sample batch so a
+        // sample is neither sub-microsecond noise nor seconds long.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let target = Duration::from_millis(20);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1000) as u64
+        };
+        self.iters_per_sample = iters;
+        let samples = self.samples.capacity();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "{label:<48} median {} (min {}, max {}, {} samples x {} iters)",
+            fmt_time(median),
+            fmt_time(lo),
+            fmt_time(hi),
+            per_iter.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name plus parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_count, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_count,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    b.report(label);
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed passes per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        run_one(&label, self.sample_count, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_count, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+///
+/// Only the simple `criterion_group!(name, fn1, fn2, ...)` form is
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(4usize), &4usize, |b, n| {
+            b.iter(|| (0..*n as u64).product::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}
