@@ -15,6 +15,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> substrate bench smoke (profiler + parallel fan-out + determinism)"
+# Fails loudly if the profiler or worker pool stop compiling/working:
+# the binary asserts profiler coverage and bitwise 1-vs-4-thread
+# equality before writing its report.
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json
+test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
+
 echo "==> grad audit (every op's backward vs central differences)"
 cargo run --release -q -p rd-analysis --bin grad_audit
 

@@ -13,7 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_tensor::check::numeric_grad;
 use rd_tensor::{Graph, LinearMap, Tensor, VarId, WarpEntry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of auditing one op's backward pass with respect to one input.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +79,7 @@ fn audit_case(
     }
 }
 
-fn warp_map() -> Rc<LinearMap> {
+fn warp_map() -> Arc<LinearMap> {
     // A deterministic 3x3 → 2x2 bilinear-style shrink: each output pixel
     // mixes two source pixels so the transpose scatter is exercised.
     let entries = vec![
@@ -124,7 +124,7 @@ fn warp_map() -> Rc<LinearMap> {
             weight: 0.5,
         },
     ];
-    Rc::new(LinearMap::new((3, 3), (2, 2), entries))
+    Arc::new(LinearMap::new((3, 3), (2, 2), entries))
 }
 
 /// Runs the full audit at the given tolerance and returns one report per

@@ -6,7 +6,7 @@ use rand::SeedableRng;
 use rd_tensor::{Graph, Tensor};
 use rd_vision::geometry::Mat3;
 use rd_vision::warp::{homography, resize};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
@@ -48,7 +48,7 @@ fn bench_conv2d(c: &mut Criterion) {
 fn bench_warps(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let img = Tensor::randn(&mut rng, &[1, 3, 96, 96], 1.0);
-    let map: Rc<_> = resize((96, 96), (96, 96)).into();
+    let map: Arc<_> = resize((96, 96), (96, 96)).into();
     c.bench_function("warp_resize_96", |bench| {
         bench.iter(|| {
             let mut g = Graph::new();

@@ -1,0 +1,184 @@
+//! Training-substrate benchmark: attack steps/sec serial vs parallel,
+//! scratch-arena effectiveness, and peak RSS.
+//!
+//! ```text
+//! cargo run --release -p rd-bench --bin bench_substrate -- \
+//!     [--quick] [--steps 12] [--threads 4] [--out BENCH_pr2.json]
+//! ```
+//!
+//! Runs the *same* smoke-scale decal attack twice — worker pool capped
+//! at one thread, then at `--threads` — and reports steps/sec for both.
+//! The two runs must produce bitwise-identical training curves (the
+//! fan-out's fixed-order reduction guarantees it); this binary asserts
+//! that before reporting, so it doubles as a determinism smoke check.
+//! It also exercises the per-op profiler for one serial run so CI fails
+//! loudly if profiling breaks.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rd_bench::{arg, flag};
+use rd_detector::{TinyYolo, YoloConfig};
+use rd_scene::CameraRig;
+use rd_tensor::ParamSet;
+use road_decals::attack::{train_decal_attack, AttackConfig, TrainedDecal};
+use road_decals::scenario::AttackScenario;
+
+/// Peak resident-set size of this process in kB (Linux `VmHWM`; 0 where
+/// /proc is unavailable).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct RunStats {
+    seconds: f64,
+    steps_per_sec: f64,
+    decal: TrainedDecal,
+}
+
+fn run_attack(threads: usize, cfg: &AttackConfig, scenario: &AttackScenario) -> RunStats {
+    rd_tensor::parallel::set_max_threads(threads);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps_det = ParamSet::new();
+    let detector = TinyYolo::new(&mut ps_det, &mut rng, YoloConfig::smoke());
+    let t0 = Instant::now();
+    let decal = train_decal_attack(scenario, &detector, &mut ps_det, cfg);
+    let seconds = t0.elapsed().as_secs_f64();
+    RunStats {
+        seconds,
+        steps_per_sec: cfg.steps as f64 / seconds,
+        decal,
+    }
+}
+
+fn main() {
+    let quick = flag("--quick");
+    let steps: usize = arg("--steps", if quick { 4 } else { 12 });
+    let threads: usize = arg("--threads", 4);
+    let out: String = arg("--out", "BENCH_pr2.json".to_owned());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 2, 60, 16, 5);
+    let cfg = AttackConfig {
+        steps,
+        clips_per_batch: 2,
+        ..AttackConfig::smoke()
+    };
+
+    // profiled serial warm-up: a short run with the per-op profiler on,
+    // so a broken profiler fails this binary (and CI) immediately
+    rd_tensor::profile::reset();
+    rd_tensor::profile::set_enabled(true);
+    let warm_cfg = AttackConfig { steps: 1, ..cfg };
+    let _ = run_attack(1, &warm_cfg, &scenario);
+    rd_tensor::profile::set_enabled(false);
+    let profiled = rd_tensor::profile::snapshot();
+    assert!(
+        !profiled.is_empty(),
+        "profiler captured no ops during the warm-up step"
+    );
+    println!(
+        "profiler: {} op paths captured in warm-up; top entries:",
+        profiled.len()
+    );
+    for line in rd_tensor::profile::report_text().lines().take(8) {
+        println!("  {line}");
+    }
+    rd_tensor::profile::reset();
+
+    println!(
+        "\ntiming {} attack steps (smoke scale), serial vs {threads} threads...",
+        cfg.steps
+    );
+    let serial = run_attack(1, &cfg, &scenario);
+    let parallel = run_attack(threads, &cfg, &scenario);
+    rd_tensor::parallel::set_max_threads(0);
+
+    // determinism gate: the parallel run must retrace the serial run
+    assert_eq!(
+        serial.decal.attack_loss, parallel.decal.attack_loss,
+        "attack-loss curve diverged between 1 and {threads} threads"
+    );
+    assert_eq!(
+        serial.decal.adv_loss, parallel.decal.adv_loss,
+        "adv-loss curve diverged between 1 and {threads} threads"
+    );
+    assert_eq!(
+        serial.decal.decal.channel_data(),
+        parallel.decal.decal.channel_data(),
+        "trained decal diverged between 1 and {threads} threads"
+    );
+    println!("determinism: 1-thread and {threads}-thread runs are bitwise identical");
+
+    let (hits, misses, pooled) = rd_tensor::arena::stats();
+    let speedup = parallel.steps_per_sec / serial.steps_per_sec;
+    println!(
+        "serial:   {:.2} steps/sec ({:.2}s)",
+        serial.steps_per_sec, serial.seconds
+    );
+    println!(
+        "parallel: {:.2} steps/sec ({:.2}s) at {threads} threads — {speedup:.2}x",
+        parallel.steps_per_sec, parallel.seconds
+    );
+    println!("arena: {hits} hits / {misses} misses ({pooled} buffers pooled)");
+    println!(
+        "host: {host_cpus} logical cpu(s), peak RSS {} kB",
+        peak_rss_kb()
+    );
+
+    let note = if host_cpus < threads {
+        format!(
+            "host exposes only {host_cpus} logical cpu(s); the {threads}-thread run is \
+             time-sliced, so wall-clock speedup is hardware-limited and the numbers \
+             below measure overhead + determinism, not scaling"
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr2_parallel_substrate\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_logical_cpus\": {cpus},\n",
+            "  \"threads\": {threads},\n",
+            "  \"attack_steps\": {steps},\n",
+            "  \"serial\": {{ \"seconds\": {ss:.3}, \"steps_per_sec\": {sp:.3} }},\n",
+            "  \"parallel\": {{ \"seconds\": {ps:.3}, \"steps_per_sec\": {pp:.3} }},\n",
+            "  \"speedup\": {speedup:.3},\n",
+            "  \"bitwise_deterministic\": true,\n",
+            "  \"arena\": {{ \"hits\": {hits}, \"misses\": {misses}, \"pooled\": {pooled} }},\n",
+            "  \"peak_rss_kb\": {rss},\n",
+            "  \"note\": \"{note}\"\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        cpus = host_cpus,
+        threads = threads,
+        steps = cfg.steps,
+        ss = serial.seconds,
+        sp = serial.steps_per_sec,
+        ps = parallel.seconds,
+        pp = parallel.steps_per_sec,
+        speedup = speedup,
+        hits = hits,
+        misses = misses,
+        pooled = pooled,
+        rss = peak_rss_kb(),
+        note = note,
+    );
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+}

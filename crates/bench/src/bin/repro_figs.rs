@@ -2,13 +2,14 @@
 //! `out/figures/`.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, flag};
 use road_decals::experiments::{prepare_environment, run_figures, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -19,4 +20,5 @@ fn main() {
     for p in written {
         println!("  {}", p.display());
     }
+    rd_bench::report_substrate();
 }

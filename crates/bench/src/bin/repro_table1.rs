@@ -2,13 +2,14 @@
 //! without consecutive frames) against the colored baseline [34].
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table1 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table1 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table1, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -32,4 +33,5 @@ fn main() {
         compare::monotone_decreasing(&measured, ours, &["slow", "normal", "fast"]),
         compare::monotone_decreasing(&measured, "[34]", &["slow", "normal", "fast"]),
     ]);
+    rd_bench::report_substrate();
 }

@@ -1,13 +1,14 @@
 //! Regenerates Table II: our attack in the indoor simulated environment.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table2 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table2 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table2, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -28,4 +29,5 @@ fn main() {
     )]);
     // the simulated environment should beat the real-world Table I cell;
     // cross-table checks are reported in EXPERIMENTS.md
+    rd_bench::report_substrate();
 }

@@ -1,13 +1,14 @@
 //! Regenerates Table III: ablation over the number of decals N.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table3 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table3 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table3, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -26,4 +27,5 @@ fn main() {
         compare::row_dominates(&measured, "N=6", "N=8"),
         compare::monotone_decreasing(&measured, "N=4", &["slow", "normal", "fast"]),
     ]);
+    rd_bench::report_substrate();
 }

@@ -1,13 +1,14 @@
 //! Regenerates Table IV: ablation over EOT trick combinations.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table4, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -28,4 +29,5 @@ fn main() {
         // keeping gamma beats keeping brightness
         compare::row_dominates(&measured, "(1)+(2)+(4)+(5)", "(1)+(2)+(3)+(5)"),
     ]);
+    rd_bench::report_substrate();
 }

@@ -1,13 +1,14 @@
 //! Regenerates Table V: ablation over decal shapes.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table5 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table5 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table5, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -27,4 +28,5 @@ fn main() {
         compare::row_dominates(&measured, "star", "square"),
         compare::row_dominates(&measured, "triangle", "circle"),
     ]);
+    rd_bench::report_substrate();
 }

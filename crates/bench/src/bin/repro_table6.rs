@@ -1,13 +1,14 @@
 //! Regenerates Table VI: ablation over decal size k.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table6 -- [--scale paper|smoke] [--seed 42] [--audit]
+//! cargo run --release -p rd-bench --bin repro_table6 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
 use road_decals::experiments::{prepare_environment, run_table6, Scale};
 
 fn main() {
+    rd_bench::setup_substrate();
     let scale: Scale = arg("--scale", "paper".to_owned())
         .parse()
         .expect("bad --scale");
@@ -26,4 +27,5 @@ fn main() {
         compare::row_dominates(&measured, "k=60", "k=80"),
         compare::row_dominates(&measured, "k=40", "k=20"),
     ]);
+    rd_bench::report_substrate();
 }

@@ -413,6 +413,33 @@ pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Applies the substrate switches every repro binary accepts:
+/// `--threads N` caps the tensor worker pool (`0` = one worker per
+/// host core) and `--profile` turns on the per-op wall-clock profiler.
+pub fn setup_substrate() {
+    let threads: usize = arg("--threads", 0);
+    rd_tensor::parallel::set_max_threads(threads);
+    if flag("--profile") {
+        rd_tensor::profile::reset();
+        rd_tensor::profile::set_enabled(true);
+    }
+}
+
+/// Prints the per-op profiler report when `--profile` is on; with
+/// `--profile-json PATH`, also writes the machine-readable histogram.
+/// Call once at the end of `main`.
+pub fn report_substrate() {
+    if !rd_tensor::profile::enabled() {
+        return;
+    }
+    println!("\n{}", rd_tensor::profile::report_text());
+    let path: String = arg("--profile-json", String::new());
+    if !path.is_empty() {
+        std::fs::write(&path, rd_tensor::profile::report_json()).expect("write profile json");
+        println!("profile json written to {path}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

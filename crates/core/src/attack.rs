@@ -8,14 +8,14 @@
 //! batch through the frozen detector, and minimizes
 //! `L_adv + α · L_f` where `L_f` is the targeted cross-entropy of Eq. 2.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use rd_detector::loss::{targeted_class_loss, AttackCell};
 use rd_detector::TinyYolo;
-use rd_eot::{adjust_placement, apply_photometric, EotConfig};
+use rd_eot::{adjust_placement, apply_photometric, EotConfig, TransformSample};
 use rd_gan::{real_shape_batch, Discriminator, GanConfig, Generator};
 use rd_scene::{AngleSetting, CameraPose, ObjectClass, Speed};
 use rd_tensor::{optim::Adam, Graph, LinearMap, ParamSet, Tensor, VarId};
@@ -201,6 +201,132 @@ pub fn victim_cells(vb: &rd_scene::GtBox, grid: usize) -> Vec<(usize, usize, usi
     out
 }
 
+/// One frame's pre-sampled randomness and targeting data.
+///
+/// Every random draw a frame needs is made on the **main** thread in
+/// frame order — the EOT transforms directly, the capture channel via a
+/// child seed — so the training trajectory is a pure function of the
+/// config seed, whatever the worker-thread count.
+struct FrameJob {
+    pose: CameraPose,
+    eot: Vec<TransformSample>,
+    capture_seed: u64,
+    cc: Vec<AttackCell>,
+    fc: Vec<AttackCell>,
+}
+
+/// A worker's result for one frame: the attack-loss value, its gradient
+/// with respect to the shared patch, and any audit findings.
+struct FrameResult {
+    loss: f32,
+    patch_grad: Tensor,
+    audit: Vec<String>,
+}
+
+/// Shared read-only state a frame worker needs: the scene, the frozen
+/// detector, and the per-run constants common to all frames of a step.
+struct FrameCtx<'a> {
+    scenario: &'a AttackScenario,
+    detector: &'a TinyYolo,
+    ps_det: &'a ParamSet,
+    cfg: &'a AttackConfig,
+    silhouette: &'a Plane,
+    blur_maps: &'a [Arc<LinearMap>],
+    canvas: usize,
+    num_classes: usize,
+}
+
+/// Renders, composites, and scores one frame on its own batch-1 tape,
+/// returning the frame loss `l_i` and `dl_i/dpatch`. Returns `None` when
+/// the victim is out of view (no attacked cells, hence no loss).
+fn eval_frame(
+    ctx: &FrameCtx<'_>,
+    job: &FrameJob,
+    patch_value: &Tensor,
+    lint_tape: bool,
+) -> Option<FrameResult> {
+    let mut rng = StdRng::seed_from_u64(job.capture_seed);
+    let mut g = Graph::new();
+    let patch = g.input(patch_value.clone());
+    let base = ctx
+        .scenario
+        .rig
+        .render_frame(ctx.scenario.world.canvas(), &job.pose);
+    let mut node = g.input(base.to_tensor());
+    for (i, placement) in ctx.scenario.decal_placements.iter().enumerate() {
+        let ts = &job.eot[i];
+        let decal_node = apply_photometric(&mut g, patch, ts);
+        let adjusted = adjust_placement(*placement, ts, ctx.canvas);
+        let map: Arc<LinearMap> = ctx.scenario.decal_map(i, &job.pose, Some(adjusted)).into();
+        node = paste_patch(&mut g, node, decal_node, &map, ctx.silhouette);
+    }
+    // differentiable capture channel on the *composited* frame
+    // (exposure -> gamma -> blur -> noise), mirroring
+    // `CaptureModel::apply` so evaluation sees nothing new
+    let exposure = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
+    node = g.scale(node, exposure);
+    let gamma = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
+    node = g.clamp(node, 0.0, 1.0);
+    node = g.powf_const(node, gamma);
+    let blur_pick = rng.gen_range(0..ctx.blur_maps.len() + 2);
+    if blur_pick < ctx.blur_maps.len() {
+        node = g.warp(node, &ctx.blur_maps[blur_pick]);
+    }
+    let noise = Tensor::rand_uniform(&mut rng, g.value(node).shape(), -0.03, 0.03);
+    node = g.add_const(node, &noise);
+    node = g.clamp(node, 0.0, 1.0);
+    let outs = ctx.detector.forward_frozen(&mut g, ctx.ps_det, node);
+
+    let total = (job.cc.len() + job.fc.len()).max(1) as f32;
+    let mut lf: Option<VarId> = None;
+    if !job.cc.is_empty() {
+        let l = targeted_class_loss(
+            &mut g,
+            outs.coarse,
+            &job.cc,
+            ctx.num_classes,
+            ctx.cfg.target_class.index(),
+            ctx.cfg.obj_weight,
+        );
+        let l = g.scale(l, job.cc.len() as f32 / total);
+        lf = Some(l);
+    }
+    if !job.fc.is_empty() {
+        let l = targeted_class_loss(
+            &mut g,
+            outs.fine,
+            &job.fc,
+            ctx.num_classes,
+            ctx.cfg.target_class.index(),
+            ctx.cfg.obj_weight,
+        );
+        let l = g.scale(l, job.fc.len() as f32 / total);
+        lf = Some(match lf {
+            Some(prev) => g.add(prev, l),
+            None => l,
+        });
+    }
+    let lf = lf?;
+    let mut audit = Vec::new();
+    if lint_tape {
+        for issue in rd_analysis::lint(&g) {
+            audit.push(format!("tape: {issue}"));
+        }
+    }
+    if ctx.cfg.audit {
+        if let Some(report) = rd_analysis::audit_non_finite(&g) {
+            audit.push(report.to_string());
+        }
+    }
+    let loss = g.value(lf).data()[0];
+    let grads = g.backward(lf);
+    Some(FrameResult {
+        loss,
+        patch_grad: grads.get(patch).clone(),
+        audit,
+    })
+}
+
 /// Trains a decal against a frozen detector. `ps_det` is only used for
 /// forward passes (weights are never updated).
 pub fn train_decal_attack(
@@ -227,12 +353,8 @@ pub fn train_decal_attack(
     if cfg.audit {
         // Fail fast on mis-wired models before any kernel-heavy step runs.
         let mut issues = Vec::new();
-        issues.extend(
-            detector
-                .validate(ps_det, cfg.batch_frames())
-                .err()
-                .unwrap_or_default(),
-        );
+        // frames run through the detector on batch-1 worker tapes
+        issues.extend(detector.validate(ps_det, 1).err().unwrap_or_default());
         issues.extend(gen.validate(&ps_g, 1).err().unwrap_or_default());
         issues.extend(disc.validate(&ps_d, 1).err().unwrap_or_default());
         assert!(
@@ -246,12 +368,12 @@ pub fn train_decal_attack(
         );
     }
     let silhouette = mask(cfg.shape, canvas);
-    let z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
+    let mut z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
     let fps = 18.0;
     // pre-built differentiable motion-blur maps (EOT over capture blur)
-    let blur_maps: Vec<Rc<LinearMap>> = (1..=3)
+    let blur_maps: Vec<Arc<LinearMap>> = (1..=3)
         .map(|r| {
-            Rc::new(rd_vision::warp::vertical_box_blur_map(
+            Arc::new(rd_vision::warp::vertical_box_blur_map(
                 scenario.rig.image_hw,
                 r,
             ))
@@ -264,6 +386,14 @@ pub fn train_decal_attack(
 
     let mut attack_hist = Vec::with_capacity(cfg.steps);
     let mut adv_hist = Vec::with_capacity(cfg.steps);
+    // GAN label constants, hoisted out of the step loop (they never
+    // change, so re-allocating them every step was pure churn).
+    let real_labels = Tensor::ones(&[8, 1]);
+    let fake_labels = Tensor::zeros(&[8, 1]);
+    let gen_label = Tensor::ones(&[1, 1]);
+    // Accumulation buffer for the fan-out's patch gradient, reused
+    // across steps (the per-step tape only borrows it via `Arc`).
+    let mut grad_acc: Option<Arc<Tensor>> = None;
     // After this step, training locks onto the deployment latent z* so the
     // *single* decal that will be printed gets direct optimization (the
     // paper synthesizes one AP and verifies it digitally before printing).
@@ -279,15 +409,15 @@ pub fn train_decal_attack(
                 let mut g = Graph::new();
                 let z = g.input(Tensor::randn(&mut rng, &[8, gan_cfg.z_dim], 1.0));
                 let f = gen.forward(&mut g, &mut ps_g, z, false);
-                g.value(f).clone()
+                g.into_value(f)
             };
             let mut g = Graph::new();
             let rv = g.input(real);
             let fv = g.input(fake_t);
             let dr = disc.forward(&mut g, &ps_d, rv, false);
             let df = disc.forward(&mut g, &ps_d, fv, false);
-            let lr_ = g.bce_with_logits(dr, &Tensor::ones(&[8, 1]));
-            let lf_ = g.bce_with_logits(df, &Tensor::zeros(&[8, 1]));
+            let lr_ = g.bce_with_logits(dr, &real_labels);
+            let lf_ = g.bce_with_logits(df, &fake_labels);
             let dl = g.add(lr_, lf_);
             let grads = g.backward(dl);
             g.write_grads(&grads, &mut ps_d);
@@ -300,54 +430,32 @@ pub fn train_decal_attack(
         let z_t = if step < anneal_at {
             Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0)
         } else {
-            z_star.clone()
+            // move z* onto the tape; it is moved back out after the step
+            std::mem::replace(&mut z_star, Tensor::scalar(0.0))
         };
         let z = g.input(z_t);
         let patch = gen.forward(&mut g, &mut ps_g, z, true);
         let d_logit = disc.forward(&mut g, &ps_d, patch, true);
-        let l_adv = g.bce_with_logits(d_logit, &Tensor::ones(&[1, 1]));
+        let l_adv = g.bce_with_logits(d_logit, &gen_label);
 
-        let mut frames: Vec<VarId> = Vec::with_capacity(cfg.batch_frames());
-        // attacked cells grouped per frame so the loss can weight a
-        // clip's *worst* frame (the consecutive-frame objective)
-        let mut frame_cells: Vec<(Vec<AttackCell>, Vec<AttackCell>)> = Vec::new();
+        // ---- frame fan-out: every random draw happens here, on the
+        // main rng, in frame order; the frames themselves (render,
+        // composite, frozen detector, per-frame loss + patch gradient)
+        // run on the worker pool, one batch-1 tape each ----
+        let mut jobs: Vec<FrameJob> = Vec::with_capacity(cfg.batch_frames());
         for _ in 0..cfg.clips_per_batch {
             let poses = sample_visible_clip(scenario, &mut rng, cfg.consecutive_frames, fps);
-            for pose in &poses {
-                let n_index = frames.len();
-                let base = scenario.rig.render_frame(scenario.world.canvas(), pose);
-                let mut node = g.input(base.to_tensor());
-                for (i, placement) in scenario.decal_placements.iter().enumerate() {
-                    let ts = cfg.eot.sample(&mut rng);
-                    let decal_node = apply_photometric(&mut g, patch, &ts);
-                    let adjusted = adjust_placement(*placement, &ts, canvas);
-                    let map: Rc<LinearMap> = scenario.decal_map(i, pose, Some(adjusted)).into();
-                    node = paste_patch(&mut g, node, decal_node, &map, &silhouette);
-                }
-                // differentiable capture channel on the *composited* frame
-                // (exposure -> gamma -> blur -> noise), mirroring
-                // `CaptureModel::apply` so evaluation sees nothing new
-                let exposure = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
-                node = g.scale(node, exposure);
-                let gamma = (rng.gen_range(-1.0f32..1.0) * 0.08).exp();
-                node = g.clamp(node, 0.0, 1.0);
-                node = g.powf_const(node, gamma);
-                let blur_pick = rng.gen_range(0..blur_maps.len() + 2);
-                if blur_pick < blur_maps.len() {
-                    node = g.warp(node, &blur_maps[blur_pick]);
-                }
-                let noise = Tensor::rand_uniform(&mut rng, g.value(node).shape(), -0.03, 0.03);
-                node = g.add_const(node, &noise);
-                node = g.clamp(node, 0.0, 1.0);
-                frames.push(node);
+            for pose in poses {
+                let eot = cfg.eot.sample_n(&mut rng, scenario.decal_placements.len());
+                let capture_seed = rng.next_u64();
                 // attacked cells: everywhere the detector could file the
                 // victim (both heads, all anchors in the box)
                 let mut cc = Vec::new();
                 let mut fc = Vec::new();
-                if let Some(vb) = scenario.victim_box(pose) {
+                if let Some(vb) = scenario.victim_box(&pose) {
                     for (anchor, cy, cx) in victim_cells(&vb, coarse_grid) {
                         cc.push(AttackCell {
-                            n: n_index,
+                            n: 0,
                             anchor,
                             cy,
                             cx,
@@ -355,103 +463,107 @@ pub fn train_decal_attack(
                     }
                     for (anchor, cy, cx) in victim_cells(&vb, fine_grid) {
                         fc.push(AttackCell {
-                            n: n_index,
+                            n: 0,
                             anchor,
                             cy,
                             cx,
                         });
                     }
                 }
-                frame_cells.push((cc, fc));
-            }
-        }
-        let batch = g.concat_batch(&frames);
-        let outs = detector.forward(&mut g, ps_det, batch, false);
-
-        // per-frame attack losses
-        let mut frame_losses: Vec<VarId> = Vec::new();
-        for (cc, fc) in &frame_cells {
-            let total = (cc.len() + fc.len()).max(1) as f32;
-            let mut lf: Option<VarId> = None;
-            if !cc.is_empty() {
-                let l = targeted_class_loss(
-                    &mut g,
-                    outs.coarse,
+                jobs.push(FrameJob {
+                    pose,
+                    eot,
+                    capture_seed,
                     cc,
-                    num_classes,
-                    cfg.target_class.index(),
-                    cfg.obj_weight,
-                );
-                let l = g.scale(l, cc.len() as f32 / total);
-                lf = Some(l);
-            }
-            if !fc.is_empty() {
-                let l = targeted_class_loss(
-                    &mut g,
-                    outs.fine,
                     fc,
-                    num_classes,
-                    cfg.target_class.index(),
-                    cfg.obj_weight,
-                );
-                let l = g.scale(l, fc.len() as f32 / total);
-                lf = Some(match lf {
-                    Some(prev) => g.add(prev, l),
-                    None => l,
                 });
             }
-            if let Some(l) = lf {
-                frame_losses.push(l);
+        }
+        let ctx = FrameCtx {
+            scenario,
+            detector,
+            ps_det,
+            cfg,
+            silhouette: &silhouette,
+            blur_maps: &blur_maps,
+            canvas,
+            num_classes,
+        };
+        let patch_value = g.value(patch);
+        let lint_first = cfg.audit && step == 0;
+        let results: Vec<Option<FrameResult>> = rd_tensor::parallel::run_indexed(jobs.len(), |i| {
+            eval_frame(&ctx, &jobs[i], patch_value, lint_first && i == 0)
+        });
+        if cfg.audit {
+            if step == 0 {
+                for issue in rd_analysis::lint(&g) {
+                    eprintln!("[audit] step 0 generator tape: {issue}");
+                }
+            }
+            for (i, r) in results.iter().enumerate() {
+                for line in r.iter().flat_map(|r| r.audit.iter()) {
+                    eprintln!("[audit] step {step} frame {i}: {line}");
+                }
             }
         }
+        adv_hist.push(g.value(l_adv).data()[0]);
 
-        let loss = if frame_losses.is_empty() {
+        // ---- deterministic reduction: weighted sum of the per-frame
+        // patch gradients, on the calling thread, in frame order ----
+        let live: Vec<&FrameResult> = results.iter().flatten().collect();
+        let loss = if live.is_empty() {
             attack_hist.push(f32::NAN);
             g.scale(l_adv, cfg.gan_weight)
         } else {
-            // mean over frames...
-            let mut mean = frame_losses[0];
-            for &l in &frame_losses[1..] {
-                mean = g.add(mean, l);
-            }
-            let mean = g.scale(mean, 1.0 / frame_losses.len() as f32);
-            // ...plus, in consecutive-frame mode, a quadratic term that
-            // penalizes a clip's worst frames: averages hide single bad
-            // frames, but one bad frame breaks the AV's confirmation run.
-            let lf_node = if cfg.consecutive_frames > 1 {
-                let mut sq = {
-                    let l = frame_losses[0];
-                    g.mul(l, l)
-                };
-                for &l in &frame_losses[1..] {
-                    let l2 = g.mul(l, l);
-                    sq = g.add(sq, l2);
-                }
-                let sq = g.scale(sq, 0.5 / frame_losses.len() as f32);
-                g.add(mean, sq)
+            // L_f = mean_i l_i, plus — in consecutive-frame mode — a
+            // quadratic term 0.5/n Σ l_i² that penalizes a clip's worst
+            // frames: averages hide single bad frames, but one bad frame
+            // breaks the AV's confirmation run. Hence
+            // dL_f/dl_i = (1 + l_i)/n (resp. 1/n without the term).
+            let n = live.len() as f32;
+            let mean_val = live.iter().map(|r| r.loss).sum::<f32>() / n;
+            let lf_total = if cfg.consecutive_frames > 1 {
+                mean_val + live.iter().map(|r| r.loss * r.loss).sum::<f32>() * 0.5 / n
             } else {
-                mean
+                mean_val
             };
-            attack_hist.push(g.value(mean).data()[0]);
+            let acc =
+                grad_acc.get_or_insert_with(|| Arc::new(Tensor::zeros(live[0].patch_grad.shape())));
+            let buf =
+                Arc::get_mut(acc).expect("gradient buffer still held by a previous step's tape");
+            buf.data_mut().fill(0.0);
+            for r in &live {
+                let w = if cfg.consecutive_frames > 1 {
+                    (1.0 + r.loss) / n
+                } else {
+                    1.0 / n
+                };
+                buf.add_scaled_assign(&r.patch_grad, w);
+            }
+            attack_hist.push(mean_val);
+            let acc_tape = Arc::clone(acc);
+            let pi = patch.index();
+            let lf_node = g.custom_named(
+                "frame_fanout",
+                &[patch],
+                &[("frames", live.len())],
+                Tensor::scalar(lf_total),
+                Some(Box::new(move |gout, _vals, grads| {
+                    grads[pi].add_scaled_assign(&acc_tape, gout.data()[0]);
+                })),
+            );
             let a = g.scale(l_adv, cfg.gan_weight);
             let b = g.scale(lf_node, cfg.alpha);
             g.add(a, b)
         };
-        adv_hist.push(g.value(l_adv).data()[0]);
-        if cfg.audit {
-            if step == 0 {
-                for issue in rd_analysis::lint(&g) {
-                    eprintln!("[audit] step 0 tape: {issue}");
-                }
-            }
-            if let Some(report) = rd_analysis::audit_non_finite(&g) {
-                eprintln!("[audit] step {step}: {report}");
-            }
-        }
         let grads = g.backward(loss);
         g.write_grads(&grads, &mut ps_g);
         ps_g.clip_grad_norm(10.0);
         opt_g.step(&mut ps_g);
+        if step >= anneal_at {
+            // reclaim z* (moved onto the tape above) without a copy
+            z_star = g.into_value(z);
+        }
     }
 
     // Candidate decals: the annealed latent plus a few fresh samples; the
@@ -469,7 +581,7 @@ pub fn train_decal_attack(
         let mut g = Graph::new();
         let z = g.input(z_t);
         let patch = gen.forward(&mut g, &mut ps_g, z, false);
-        let plane = Plane::from_vec(g.value(patch).data().to_vec(), canvas, canvas);
+        let plane = Plane::from_vec(g.into_value(patch).into_vec(), canvas, canvas);
         let decal = Decal::mono(&plane, silhouette.clone(), cfg.shape);
         let flips = digital_flip_rate(
             scenario,
@@ -530,10 +642,94 @@ fn digital_flip_rate(
         .count()
 }
 
-/// Clones one trained decal design into the `N` physical copies deployed
-/// at the scenario's decal sites.
-pub fn deploy(decal: &Decal, scenario: &AttackScenario) -> Vec<Decal> {
-    vec![decal.clone(); scenario.decal_placements.len()]
+/// One trained decal design laid out across a scenario's decal sites.
+///
+/// The paper prints a single pattern and deploys identical copies at
+/// every site, so this stores the design **once** plus a site count
+/// instead of materializing one full-canvas `Decal` clone per
+/// placement. Iteration yields the shared design `len()` times, which
+/// is exactly what the renderers and evaluators consume.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    decal: Option<Decal>,
+    sites: usize,
+}
+
+impl Deployment {
+    /// The empty deployment (the tables' "w/o attack" rows).
+    pub fn none() -> Self {
+        Deployment {
+            decal: None,
+            sites: 0,
+        }
+    }
+
+    /// Number of decal sites covered by this deployment.
+    pub fn len(&self) -> usize {
+        self.sites
+    }
+
+    /// True when no decal is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.sites == 0
+    }
+
+    /// The shared design, if any decal is deployed.
+    pub fn design(&self) -> Option<&Decal> {
+        self.decal.as_ref()
+    }
+
+    /// Iterates the per-site decals (the same design, [`len`](Self::len)
+    /// times) without cloning.
+    pub fn iter(&self) -> DeploymentIter<'_> {
+        self.into_iter()
+    }
+}
+
+/// Iterator over a [`Deployment`]'s per-site decals.
+#[derive(Debug)]
+pub struct DeploymentIter<'a> {
+    decal: Option<&'a Decal>,
+    left: usize,
+}
+
+impl<'a> Iterator for DeploymentIter<'a> {
+    type Item = &'a Decal;
+
+    fn next(&mut self) -> Option<&'a Decal> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.decal
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.left, Some(self.left))
+    }
+}
+
+impl ExactSizeIterator for DeploymentIter<'_> {}
+
+impl<'a> IntoIterator for &'a Deployment {
+    type Item = &'a Decal;
+    type IntoIter = DeploymentIter<'a>;
+
+    fn into_iter(self) -> DeploymentIter<'a> {
+        DeploymentIter {
+            decal: self.decal.as_ref(),
+            left: if self.decal.is_some() { self.sites } else { 0 },
+        }
+    }
+}
+
+/// Deploys one trained decal design at each of the scenario's decal
+/// sites. The design is cloned once, however many sites there are.
+pub fn deploy(decal: &Decal, scenario: &AttackScenario) -> Deployment {
+    Deployment {
+        decal: Some(decal.clone()),
+        sites: scenario.decal_placements.len(),
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! * every batch element is an independent frame (no consecutive-frame
 //!   objective).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -141,7 +141,7 @@ pub fn train_baseline_patch(
                     patch
                 };
                 let adjusted = adjust_placement(*placement, &ts, canvas);
-                let map: Rc<LinearMap> = scenario.decal_map(i, &pose, Some(adjusted)).into();
+                let map: Arc<LinearMap> = scenario.decal_map(i, &pose, Some(adjusted)).into();
                 node = paste_patch_rgb(&mut g, node, decal_node, &map, &full_mask);
             }
             // NOTE: no capture-channel simulation here — Sava et al. [34]

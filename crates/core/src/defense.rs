@@ -20,7 +20,7 @@ use rd_detector::TinyYolo;
 use rd_scene::{CaptureModel, ObjectClass};
 use rd_tensor::ParamSet;
 
-use crate::decal::Decal;
+use crate::attack::Deployment;
 use crate::eval::{evaluate_challenge, Challenge, EvalConfig};
 use crate::metrics::Cell;
 use crate::scenario::AttackScenario;
@@ -91,7 +91,7 @@ pub struct DefenseOutcome {
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_defense(
     scenario: &AttackScenario,
-    decals: &[Decal],
+    decals: &Deployment,
     detector: &TinyYolo,
     ps: &mut ParamSet,
     target: ObjectClass,
@@ -101,7 +101,15 @@ pub fn evaluate_defense(
 ) -> DefenseOutcome {
     let cfg = defense.apply(base);
     let attacked = evaluate_challenge(scenario, decals, detector, ps, target, challenge, &cfg);
-    let clean = evaluate_challenge(scenario, &[], detector, ps, target, challenge, &cfg);
+    let clean = evaluate_challenge(
+        scenario,
+        &Deployment::none(),
+        detector,
+        ps,
+        target,
+        challenge,
+        &cfg,
+    );
     let mut cell = attacked.cell;
     if let Some(m) = defense.confirm_window() {
         // re-derive CWC under the longer window: PWC · frames gives the

@@ -13,6 +13,7 @@ use rd_tensor::ParamSet;
 use rd_vision::compose::{paste_plane_map, paste_rgb_map};
 use rd_vision::{Image, Plane};
 
+use crate::attack::Deployment;
 use crate::decal::Decal;
 use crate::metrics::Cell;
 use crate::scenario::AttackScenario;
@@ -187,17 +188,24 @@ pub struct ChallengeOutcome {
 }
 
 /// Renders one physical frame: world → camera → decals → capture channel.
+///
+/// `printed` is anything that yields the per-site decals in placement
+/// order — a `&[Decal]` of physical prints or a lazy
+/// [`Deployment`](crate::attack::Deployment).
 #[allow(clippy::too_many_arguments)]
-pub fn render_attacked_frame(
+pub fn render_attacked_frame<'a, I>(
     scenario: &AttackScenario,
-    printed: &[Decal],
+    printed: I,
     pose: &CameraPose,
     cfg: &EvalConfig,
     motion: f32,
     rng: &mut StdRng,
-) -> Image {
+) -> Image
+where
+    I: IntoIterator<Item = &'a Decal>,
+{
     let mut frame = scenario.rig.render_frame(scenario.world.canvas(), pose);
-    for (i, d) in printed.iter().enumerate() {
+    for (i, d) in printed.into_iter().enumerate() {
         let map = scenario.decal_map(i, pose, None);
         match d.num_channels() {
             1 => {
@@ -224,7 +232,7 @@ fn classify_victim(dets: &[Detection], victim: &rd_scene::GtBox) -> Option<Objec
 /// "w/o attack" row).
 pub fn evaluate_challenge(
     scenario: &AttackScenario,
-    decals: &[Decal],
+    decals: &Deployment,
     model: &TinyYolo,
     ps: &mut ParamSet,
     target: ObjectClass,
@@ -290,7 +298,15 @@ pub fn evaluate_clean(
     challenge: Challenge,
     cfg: &EvalConfig,
 ) -> ChallengeOutcome {
-    evaluate_challenge(scenario, &[], model, ps, target, challenge, cfg)
+    evaluate_challenge(
+        scenario,
+        &Deployment::none(),
+        model,
+        ps,
+        target,
+        challenge,
+        cfg,
+    )
 }
 
 #[cfg(test)]

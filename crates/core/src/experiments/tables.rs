@@ -8,9 +8,8 @@
 use rd_scene::PhysicalChannel;
 use rd_vision::shapes::Shape;
 
-use crate::attack::{deploy, train_decal_attack, AttackConfig};
+use crate::attack::{deploy, train_decal_attack, AttackConfig, Deployment};
 use crate::baseline::{train_baseline_patch, BaselineConfig};
-use crate::decal::Decal;
 use crate::eval::{evaluate_challenge, Challenge, EvalConfig};
 use crate::metrics::{Cell, Table};
 use crate::scenario::AttackScenario;
@@ -34,7 +33,7 @@ fn eval_cfg(scale: Scale, channel: PhysicalChannel, seed: u64) -> EvalConfig {
 fn eval_row(
     env: &mut Environment,
     scenario: &AttackScenario,
-    decals: &[Decal],
+    decals: &Deployment,
     columns: &[Challenge],
     ecfg: &EvalConfig,
     target: rd_scene::ObjectClass,
@@ -78,7 +77,14 @@ pub fn run_table1(env: &mut Environment, seed: u64) -> Table {
     let ecfg = eval_cfg(scale, PhysicalChannel::real_world(), seed);
 
     // row 1: w/o attack
-    let clean = eval_row(env, &scenario, &[], &columns, &ecfg, cfg.target_class);
+    let clean = eval_row(
+        env,
+        &scenario,
+        &Deployment::none(),
+        &columns,
+        &ecfg,
+        cfg.target_class,
+    );
     table.push_row("w/o Attack", clean);
 
     // row 2: ours with 3 consecutive frames

@@ -47,7 +47,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod scenario;
 
-pub use attack::{train_decal_attack, AttackConfig, TrainedDecal};
+pub use attack::{deploy, train_decal_attack, AttackConfig, Deployment, TrainedDecal};
 pub use baseline::{train_baseline_patch, BaselineConfig, BaselinePatch};
 pub use decal::Decal;
 pub use defense::{evaluate_defense, Defense, DefenseOutcome};

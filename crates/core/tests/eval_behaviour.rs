@@ -6,13 +6,13 @@ use rd_scene::{CameraRig, ObjectClass, PhysicalChannel, RotationSetting, Speed};
 use rd_vision::shapes::{mask, Shape};
 use rd_vision::Plane;
 
-use road_decals::attack::deploy;
+use road_decals::attack::{deploy, Deployment};
 use road_decals::decal::Decal;
 use road_decals::eval::{evaluate_challenge, Challenge, EvalConfig};
 use road_decals::experiments::{prepare_environment, Scale};
 use road_decals::scenario::AttackScenario;
 
-fn black_star_decals(scenario: &AttackScenario) -> Vec<Decal> {
+fn black_star_decals(scenario: &AttackScenario) -> Deployment {
     let d = Decal::mono(
         &Plane::new(16, 16, 0.03),
         mask(Shape::Star, 16),

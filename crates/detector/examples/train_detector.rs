@@ -5,11 +5,14 @@
 //!
 //! ```text
 //! cargo run --release -p rd-detector --example train_detector -- \
-//!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit]
+//!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit] \
+//!     [--threads N] [--profile]
 //! ```
 //!
 //! `--audit` statically validates the model's wiring before training and
-//! scans a post-training forward tape for non-finite values.
+//! scans a post-training forward tape for non-finite values. `--threads`
+//! caps the tensor worker pool (0 = one worker per host core) and
+//! `--profile` prints the per-op wall-clock report after training.
 
 use std::time::Instant;
 
@@ -39,6 +42,11 @@ fn main() {
     let epochs: usize = arg("--epochs", 6);
     let out: String = arg("--out", "out/detector.rdw".to_owned());
     let audit = flag("--audit");
+    rd_tensor::parallel::set_max_threads(arg("--threads", 0));
+    let profile = flag("--profile");
+    if profile {
+        rd_tensor::profile::set_enabled(true);
+    }
 
     let rig = CameraRig::standard();
     println!("generating {n_images} training images...");
@@ -113,4 +121,7 @@ fn main() {
     }
     io::save_params_file(&ps, &out).expect("save weights");
     println!("weights saved to {out}");
+    if profile {
+        println!("\n{}", rd_tensor::profile::report_text());
+    }
 }

@@ -57,28 +57,38 @@ impl ConvBlock {
     }
 
     fn forward(&self, g: &mut Graph, ps: &mut ParamSet, x: VarId, training: bool) -> VarId {
+        if !training {
+            return self.forward_frozen(g, ps, x);
+        }
         let w = g.param(ps, self.w);
         let y = g.conv2d(x, w, None, self.stride, self.pad);
         let gamma = g.param(ps, self.gamma);
         let beta = g.param(ps, self.beta);
-        let y = if training {
-            let (y, stats) = g.batch_norm2d_train(y, gamma, beta, BN_EPS);
-            // update running statistics in the param set (their gradients
-            // are never written, so the optimizer leaves them untouched)
-            let rm = ps.get_mut(self.running_mean).value_mut();
-            for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
-                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
-            }
-            let rv = ps.get_mut(self.running_var).value_mut();
-            for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
-                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
-            }
-            y
-        } else {
-            let rm = ps.get(self.running_mean).value().clone();
-            let rv = ps.get(self.running_var).value().clone();
-            g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS)
-        };
+        let (y, stats) = g.batch_norm2d_train(y, gamma, beta, BN_EPS);
+        // update running statistics in the param set (their gradients
+        // are never written, so the optimizer leaves them untouched)
+        let rm = ps.get_mut(self.running_mean).value_mut();
+        for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
+            *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+        }
+        let rv = ps.get_mut(self.running_var).value_mut();
+        for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
+            *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+        }
+        g.leaky_relu(y, LEAKY_SLOPE)
+    }
+
+    /// Eval-mode forward through a shared (immutable) parameter set —
+    /// batch norm uses running statistics and nothing in `ps` moves, so
+    /// frame workers can run concurrent forwards over one `&ParamSet`.
+    fn forward_frozen(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+        let w = g.param(ps, self.w);
+        let y = g.conv2d(x, w, None, self.stride, self.pad);
+        let gamma = g.param(ps, self.gamma);
+        let beta = g.param(ps, self.beta);
+        let rm = ps.get(self.running_mean).value().clone();
+        let rv = ps.get(self.running_var).value().clone();
+        let y = g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS);
         g.leaky_relu(y, LEAKY_SLOPE)
     }
 
@@ -295,6 +305,9 @@ impl TinyYolo {
         x: VarId,
         training: bool,
     ) -> YoloOutputs {
+        if !training {
+            return self.forward_frozen(g, ps, x);
+        }
         let shape = g.value(x).shape().to_vec();
         assert_eq!(shape.len(), 4, "input must be NCHW");
         assert_eq!(shape[1], 3, "input must be RGB");
@@ -325,6 +338,48 @@ impl TinyYolo {
         let r = g.upsample_nearest2x(r);
         let cat = g.concat_channels(feat16, r);
         let h2 = g.scoped("h2pre", |g| self.head2_pre.forward(g, ps, cat, training));
+        let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
+
+        YoloOutputs { coarse, fine }
+    }
+
+    /// Eval-mode forward through a *shared* parameter set.
+    ///
+    /// Identical graph to `forward(..., training=false)`, but takes
+    /// `&ParamSet`: batch norm reads running statistics and nothing in
+    /// `ps` is mutated, so the attack loop's frame workers can build
+    /// independent tapes concurrently against one frozen detector.
+    pub fn forward_frozen(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> YoloOutputs {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 4, "input must be NCHW");
+        assert_eq!(shape[1], 3, "input must be RGB");
+        assert_eq!(shape[2], self.cfg.input, "input height mismatch");
+        assert_eq!(shape[3], self.cfg.input, "input width mismatch");
+
+        let y = g.scoped("c1", |g| self.c1.forward_frozen(g, ps, x));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c2", |g| self.c2.forward_frozen(g, ps, y));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c3", |g| self.c3.forward_frozen(g, ps, y));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c4", |g| self.c4.forward_frozen(g, ps, y));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let feat16 = g.scoped("c5", |g| self.c5.forward_frozen(g, ps, y)); // stride 16
+        let y = g.max_pool2d(feat16, 2, 2, 0);
+        let y = g.scoped("c6", |g| self.c6.forward_frozen(g, ps, y));
+        let bottleneck = g.scoped("c7", |g| self.c7.forward_frozen(g, ps, y)); // stride 32
+
+        // coarse head
+        let h1 = g.scoped("h1pre", |g| {
+            self.head1_pre.forward_frozen(g, ps, bottleneck)
+        });
+        let coarse = g.scoped("h1", |g| self.head1.forward(g, ps, h1));
+
+        // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
+        let r = g.scoped("route", |g| self.route.forward_frozen(g, ps, bottleneck));
+        let r = g.upsample_nearest2x(r);
+        let cat = g.concat_channels(feat16, r);
+        let h2 = g.scoped("h2pre", |g| self.head2_pre.forward_frozen(g, ps, cat));
         let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
 
         YoloOutputs { coarse, fine }

@@ -217,6 +217,16 @@ impl EotConfig {
             },
         }
     }
+
+    /// Draws `n` transformations in sequence from `rng`.
+    ///
+    /// The attack loop pre-samples every frame's EOT transforms on the
+    /// main thread (in frame order) before fanning the frames out to
+    /// workers, so the random stream is independent of the thread
+    /// count.
+    pub fn sample_n<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<TransformSample> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
 }
 
 impl Default for EotConfig {

@@ -1,0 +1,203 @@
+//! Scratch arena: a global pool of reusable `Vec<f32>` buffers.
+//!
+//! The attack loop builds and drops one tape per step; without reuse,
+//! every im2col column block, activation tensor, and gradient buffer is
+//! reallocated ~each step. The arena keeps dropped buffers around and
+//! hands their capacity back out.
+//!
+//! Ownership rules (see DESIGN.md "Threading & memory model"):
+//! - [`take`]/[`take_filled`] transfer full ownership of a buffer to the
+//!   caller; the arena retains no alias.
+//! - Every buffer handed out is **freshly overwritten to the requested
+//!   fill value over its whole length** before it is returned, so stale
+//!   values from a previous tape can never leak into a new forward.
+//! - [`recycle`] takes ownership back. Callers must not recycle a
+//!   buffer that is still referenced anywhere (the type system enforces
+//!   this — `recycle` consumes the `Vec`).
+//! - [`ScratchBuf`] is the RAII convenience: it recycles on drop.
+//!
+//! The pool is a `Mutex`-guarded free list, safe to use from the worker
+//! pool in [`crate::parallel`]. Tiny buffers are not pooled (the
+//! allocator is already fast for those), and the pool is capped both in
+//! buffer count and total capacity so it cannot grow without bound.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Buffers smaller than this are allocated/dropped normally.
+const MIN_LEN: usize = 1024;
+/// Maximum number of pooled buffers.
+const MAX_POOLED: usize = 96;
+/// Maximum total pooled capacity, in `f32` elements (~256 MiB).
+const MAX_POOLED_ELEMS: usize = 64 << 20;
+
+static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+static POOLED_ELEMS: AtomicUsize = AtomicUsize::new(0);
+static HITS: AtomicUsize = AtomicUsize::new(0);
+static MISSES: AtomicUsize = AtomicUsize::new(0);
+
+/// Takes a buffer of exactly `len` zeros from the arena (reusing pooled
+/// capacity when possible, allocating otherwise).
+pub fn take(len: usize) -> Vec<f32> {
+    take_filled(len, 0.0)
+}
+
+/// Takes a buffer of exactly `len` elements, every one set to `value`.
+///
+/// The whole buffer is overwritten regardless of where its capacity
+/// came from, which is what guarantees no stale data survives reuse.
+pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    if len >= MIN_LEN {
+        let reused = {
+            let mut pool = POOL.lock().expect("arena pool poisoned");
+            // Best effort: first buffer with enough capacity. The pool
+            // is small (<= MAX_POOLED) so a linear scan is fine.
+            pool.iter()
+                .position(|b| b.capacity() >= len)
+                .map(|i| pool.swap_remove(i))
+        };
+        if let Some(mut buf) = reused {
+            POOLED_ELEMS.fetch_sub(buf.capacity(), Ordering::Relaxed);
+            HITS.fetch_add(1, Ordering::Relaxed);
+            buf.clear();
+            buf.resize(len, value);
+            return buf;
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+    vec![value; len]
+}
+
+/// Returns a buffer's capacity to the arena for reuse.
+///
+/// Small buffers and overflow beyond the pool caps are simply dropped.
+pub fn recycle(buf: Vec<f32>) {
+    if buf.capacity() < MIN_LEN {
+        return;
+    }
+    let mut pool = POOL.lock().expect("arena pool poisoned");
+    if pool.len() >= MAX_POOLED
+        || POOLED_ELEMS.load(Ordering::Relaxed) + buf.capacity() > MAX_POOLED_ELEMS
+    {
+        return;
+    }
+    POOLED_ELEMS.fetch_add(buf.capacity(), Ordering::Relaxed);
+    pool.push(buf);
+}
+
+/// (reuse hits, allocation misses, buffers currently pooled).
+pub fn stats() -> (usize, usize, usize) {
+    let pooled = POOL.lock().expect("arena pool poisoned").len();
+    (
+        HITS.load(Ordering::Relaxed),
+        MISSES.load(Ordering::Relaxed),
+        pooled,
+    )
+}
+
+/// Drops all pooled buffers and zeroes the hit/miss counters. Intended
+/// for tests and benchmark setup.
+pub fn reset() {
+    let mut pool = POOL.lock().expect("arena pool poisoned");
+    pool.clear();
+    POOLED_ELEMS.store(0, Ordering::Relaxed);
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+}
+
+/// RAII scratch buffer: behaves as a `[f32]` slice and recycles its
+/// storage back into the arena on drop.
+pub struct ScratchBuf {
+    buf: Option<Vec<f32>>,
+}
+
+impl ScratchBuf {
+    /// Takes a zeroed scratch buffer of `len` elements from the arena.
+    pub fn zeroed(len: usize) -> Self {
+        Self {
+            buf: Some(take(len)),
+        }
+    }
+
+    /// Consumes the scratch buffer, handing out the underlying `Vec`
+    /// (it will no longer be auto-recycled).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        self.buf.take().expect("scratch buffer already taken")
+    }
+}
+
+impl Deref for ScratchBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.buf.as_deref().expect("scratch buffer already taken")
+    }
+}
+
+impl DerefMut for ScratchBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        self.buf
+            .as_deref_mut()
+            .expect("scratch buffer already taken")
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            recycle(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // NOTE: the pool is a process-wide global and `cargo test` runs
+    // threads concurrently, so these tests only assert properties that
+    // hold regardless of interleaving (no exact hit/pool counts — the
+    // determinism proptest at the workspace root covers staleness).
+    use super::*;
+
+    #[test]
+    fn reused_buffers_come_back_zeroed() {
+        let mut a = take(4096);
+        for v in a.iter_mut() {
+            *v = f32::NAN;
+        }
+        recycle(a);
+        for _ in 0..4 {
+            let b = take(2048);
+            assert_eq!(b.len(), 2048);
+            assert!(b.iter().all(|&v| v == 0.0));
+            recycle(b);
+        }
+    }
+
+    #[test]
+    fn take_filled_overwrites_whole_length() {
+        recycle(vec![9.0; 4096]);
+        let v = take_filled(4096, 0.5);
+        assert!(v.iter().all(|&x| x == 0.5));
+        recycle(v);
+    }
+
+    #[test]
+    fn small_buffer_recycle_is_a_no_op() {
+        // Must not panic or pool; nothing observable to assert beyond
+        // the call being accepted.
+        recycle(vec![1.0; 8]);
+        let small = take(8);
+        assert_eq!(small.len(), 8);
+        assert!(small.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scratch_buf_derefs_and_releases() {
+        let mut s = ScratchBuf::zeroed(4096);
+        assert!(s.iter().all(|&v| v == 0.0));
+        s[7] = 3.0;
+        let v = s.into_vec();
+        assert_eq!(v[7], 3.0);
+        recycle(v);
+    }
+}

@@ -1,5 +1,10 @@
 //! 2-D convolution via im2col + GEMM, with batch-parallel forward and
 //! backward passes.
+//!
+//! Both passes partition the batch into [`crate::parallel::groups_for`]
+//! fixed groups — a function of the batch size only, never the
+//! machine's core count — and reduce per-group partials in group order,
+//! so results are bitwise identical whatever the thread budget.
 
 use crate::graph::{Graph, VarId};
 use crate::tensor::{matmul_into, Tensor};
@@ -173,13 +178,6 @@ pub(crate) fn col2im(
     }
 }
 
-fn worker_count(batch: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    hw.min(8).min(batch).max(1)
-}
-
 impl Graph {
     /// 2-D convolution `x:[N,C,H,W] * w:[O,C,kh,kw] -> [N,O,Ho,Wo]` with an
     /// optional per-channel bias.
@@ -215,19 +213,70 @@ impl Graph {
         let ckk = c * kh * kw;
         let howo = ho * wo;
 
+        // Fixed batch partition: groups depend only on `n`, and the
+        // worker pool never spawns more threads than groups (so small
+        // batches pay no spawn overhead for idle workers).
+        let per = n.div_ceil(crate::parallel::groups_for(n));
         let mut out = Tensor::zeros(&[n, o, ho, wo]);
         {
             let xd = xv.data();
             let wd_flat = wv.data();
-            let workers = worker_count(n);
-            let per = n.div_ceil(workers);
-            std::thread::scope(|s| {
-                for (ti, chunk) in out.data_mut().chunks_mut(per * o * howo).enumerate() {
-                    let start = ti * per;
-                    s.spawn(move || {
-                        let mut cols = vec![0.0f32; ckk * howo];
-                        for (li, oslice) in chunk.chunks_mut(o * howo).enumerate() {
-                            let ni = start + li;
+            crate::parallel::for_each_chunk_mut(out.data_mut(), per * o * howo, |gi, chunk| {
+                let start = gi * per;
+                let mut cols = crate::arena::ScratchBuf::zeroed(ckk * howo);
+                for (li, oslice) in chunk.chunks_mut(o * howo).enumerate() {
+                    let ni = start + li;
+                    im2col(
+                        &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
+                        c,
+                        h,
+                        wd,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                        ho,
+                        wo,
+                        &mut cols,
+                    );
+                    matmul_into(wd_flat, &cols, oslice, o, ckk, howo);
+                }
+            });
+        }
+        let out = self.record(
+            "conv2d",
+            &[x, w],
+            &[("stride", stride), ("pad", pad)],
+            out,
+            Some(Box::new(move |g, vals, grads| {
+                let xd = vals[x.0].data();
+                let wd_flat = vals[w.0].data();
+                let gd = g.data();
+                // Same fixed partition as the forward pass. Each group
+                // writes a disjoint slice of the input gradient and
+                // returns a partial weight gradient; the partials are
+                // reduced in group order on the calling thread, which
+                // makes the accumulation bitwise thread-count-invariant.
+                let per = n.div_ceil(crate::parallel::groups_for(n));
+                let mut gx = Tensor::zeros(&[n, c, h, wd]);
+                let gx_slots: Vec<std::sync::Mutex<Option<&mut [f32]>>> = gx
+                    .data_mut()
+                    .chunks_mut(per * c * h * wd)
+                    .map(|chunk| std::sync::Mutex::new(Some(chunk)))
+                    .collect();
+                let gw_partials: Vec<Vec<f32>> =
+                    crate::parallel::run_indexed(gx_slots.len(), |gi| {
+                        let gx_chunk = gx_slots[gi]
+                            .lock()
+                            .expect("conv2d gx slot poisoned")
+                            .take()
+                            .expect("conv2d gx chunk taken twice");
+                        let mut gw = crate::arena::take(o * ckk);
+                        let mut cols = crate::arena::ScratchBuf::zeroed(ckk * howo);
+                        let mut gcols = crate::arena::ScratchBuf::zeroed(ckk * howo);
+                        for (li, gx_slice) in gx_chunk.chunks_mut(c * h * wd).enumerate() {
+                            let ni = gi * per + li;
+                            let gslice = &gd[ni * o * howo..(ni + 1) * o * howo];
                             im2col(
                                 &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
                                 c,
@@ -241,71 +290,23 @@ impl Graph {
                                 wo,
                                 &mut cols,
                             );
-                            matmul_into(wd_flat, &cols, oslice, o, ckk, howo);
+                            // gw += g_n [o,howo] * cols^T [howo,ckk]
+                            gemm_nt(gslice, &cols, &mut gw, o, howo, ckk);
+                            // gcols = w^T [ckk,o] * g_n [o,howo]
+                            gcols.iter_mut().for_each(|v| *v = 0.0);
+                            gemm_tn(wd_flat, gslice, &mut gcols, o, ckk, howo);
+                            col2im(&gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice);
                         }
+                        gw
                     });
-                }
-            });
-        }
-        let out = self.record(
-            "conv2d",
-            &[x, w],
-            &[("stride", stride), ("pad", pad)],
-            out,
-            Some(Box::new(move |g, vals, grads| {
-                let xd = vals[x.0].data();
-                let wd_flat = vals[w.0].data();
-                let gd = g.data();
-                let workers = worker_count(n);
-                let per = n.div_ceil(workers);
-                // Each worker produces a partial weight gradient and a
-                // disjoint slice of the input gradient.
-                let mut gx = Tensor::zeros(&[n, c, h, wd]);
-                let mut gw_partials: Vec<Vec<f32>> = Vec::with_capacity(workers);
-                std::thread::scope(|s| {
-                    let mut handles = Vec::new();
-                    for (ti, gx_chunk) in gx.data_mut().chunks_mut(per * c * h * wd).enumerate() {
-                        let start = ti * per;
-                        handles.push(s.spawn(move || {
-                            let mut gw = vec![0.0f32; o * ckk];
-                            let mut cols = vec![0.0f32; ckk * howo];
-                            let mut gcols = vec![0.0f32; ckk * howo];
-                            for (li, gx_slice) in gx_chunk.chunks_mut(c * h * wd).enumerate() {
-                                let ni = start + li;
-                                let gslice = &gd[ni * o * howo..(ni + 1) * o * howo];
-                                im2col(
-                                    &xd[ni * c * h * wd..(ni + 1) * c * h * wd],
-                                    c,
-                                    h,
-                                    wd,
-                                    kh,
-                                    kw,
-                                    stride,
-                                    pad,
-                                    ho,
-                                    wo,
-                                    &mut cols,
-                                );
-                                // gw += g_n [o,howo] * cols^T [howo,ckk]
-                                gemm_nt(gslice, &cols, &mut gw, o, howo, ckk);
-                                // gcols = w^T [ckk,o] * g_n [o,howo]
-                                gcols.iter_mut().for_each(|v| *v = 0.0);
-                                gemm_tn(wd_flat, gslice, &mut gcols, o, ckk, howo);
-                                col2im(&gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice);
-                            }
-                            gw
-                        }));
-                    }
-                    for hnd in handles {
-                        gw_partials.push(hnd.join().expect("conv2d backward worker panicked"));
-                    }
-                });
                 grads[x.0].add_scaled_assign(&gx, 1.0);
-                let gwt = &mut grads[w.0];
-                for part in &gw_partials {
-                    for (dst, &src) in gwt.data_mut().iter_mut().zip(part) {
+                crate::arena::recycle(gx.into_vec());
+                let gwt = grads[w.0].data_mut();
+                for part in gw_partials {
+                    for (dst, &src) in gwt.iter_mut().zip(part.iter()) {
                         *dst += src;
                     }
+                    crate::arena::recycle(part);
                 }
             })),
         );

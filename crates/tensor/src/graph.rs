@@ -121,6 +121,28 @@ impl std::fmt::Debug for Graph {
     }
 }
 
+impl Drop for Graph {
+    /// Returns every forward buffer to the scratch arena so the next
+    /// tape (the attack loop builds one per step) reuses the capacity
+    /// instead of reallocating.
+    fn drop(&mut self) {
+        for t in self.values.drain(..) {
+            crate::arena::recycle(t.into_vec());
+        }
+    }
+}
+
+impl Drop for Gradients {
+    /// Gradient buffers are recycled like forward buffers; consumers
+    /// copy what they keep (`write_grads` accumulates into the
+    /// `ParamSet`), so nothing aliases these by the time we drop.
+    fn drop(&mut self) {
+        for t in self.grads.drain(..) {
+            crate::arena::recycle(t.into_vec());
+        }
+    }
+}
+
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
@@ -203,6 +225,17 @@ impl Graph {
             attrs: attrs.to_vec(),
             scope: self.scope_path.clone(),
         };
+        if crate::profile::enabled() {
+            // Forward timing is gap attribution: the value was computed
+            // just before this call, so the elapsed time since the last
+            // recorded op belongs to this op. Leaves re-mark without
+            // charging so host-side work between tape touches (render,
+            // sampling) is not misattributed to a tensor op.
+            match op {
+                "input" | "param" => crate::profile::mark(),
+                _ => crate::profile::note_forward(&meta.path()),
+            }
+        }
         self.values.push(value);
         self.backs.push(back);
         self.metas.push(meta);
@@ -294,6 +327,7 @@ impl Graph {
             .map(|v| Tensor::zeros(v.shape()))
             .collect();
         grads[loss.0] = Tensor::ones(self.values[loss.0].shape());
+        let profiling = crate::profile::enabled();
         for i in (0..=loss.0).rev() {
             if self.backs[i].is_none() {
                 continue;
@@ -303,11 +337,25 @@ impl Graph {
             }
             let g = std::mem::replace(&mut grads[i], Tensor::scalar(0.0));
             if let Some(back) = &self.backs[i] {
-                back(&g, &self.values, &mut grads);
+                if profiling {
+                    let t0 = std::time::Instant::now();
+                    back(&g, &self.values, &mut grads);
+                    let key = format!("{}/bwd", self.metas[i].path());
+                    crate::profile::add_sample(&key, t0.elapsed().as_nanos() as u64);
+                } else {
+                    back(&g, &self.values, &mut grads);
+                }
             }
             grads[i] = g;
         }
         Gradients { grads }
+    }
+
+    /// Consumes the tape and moves out the forward value of `id`
+    /// without cloning it; every other buffer on the tape is recycled
+    /// into the scratch arena by `Drop`.
+    pub fn into_value(mut self, id: VarId) -> Tensor {
+        std::mem::replace(&mut self.values[id.0], Tensor::scalar(0.0))
     }
 
     /// Accumulates parameter gradients into their [`ParamSet`]. Links

@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod bnorm;
 pub mod check;
 mod conv;
@@ -52,8 +53,10 @@ pub mod io;
 mod linmap;
 pub mod loss;
 pub mod optim;
+pub mod parallel;
 mod params;
 mod pool;
+pub mod profile;
 mod smallvec;
 mod tensor;
 

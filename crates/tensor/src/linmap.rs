@@ -9,7 +9,7 @@
 //! keeps gradients exact — crucial for the EOT attack pipeline where the
 //! patch gradient must flow through resize → rotate → perspective chains.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::graph::{Graph, VarId};
 use crate::tensor::Tensor;
@@ -145,42 +145,68 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if the node's spatial dims differ from the map's input grid.
-    pub fn warp(&mut self, x: VarId, map: &Rc<LinearMap>) -> VarId {
+    pub fn warp(&mut self, x: VarId, map: &Arc<LinearMap>) -> VarId {
         let xv = self.value(x);
         assert_eq!(xv.shape().len(), 4, "warp input must be NCHW");
         let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         assert_eq!((h, w), map.in_hw, "warp grid mismatch");
         let (ho, wo) = map.out_hw;
+        let planes = n * c;
+        let in_n = h * w;
+        let out_n = ho * wo;
+        // Planes are independent; fan them out in fixed groups when the
+        // gather is big enough to amortise the pool bookkeeping.
+        let big = planes > 1 && planes * map.entries.len() >= 1 << 14;
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
         {
             let xd = xv.data();
             let od = out.data_mut();
-            let in_n = h * w;
-            let out_n = ho * wo;
-            for nc in 0..n * c {
+            let entries = &map.entries;
+            let gather = |nc: usize, dst: &mut [f32]| {
                 let src = &xd[nc * in_n..(nc + 1) * in_n];
-                let dst = &mut od[nc * out_n..(nc + 1) * out_n];
-                for e in &map.entries {
+                for e in entries {
                     dst[e.dst as usize] += e.weight * src[e.src as usize];
+                }
+            };
+            if big {
+                let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                crate::parallel::for_each_chunk_mut(od, per * out_n, |gi, oc| {
+                    for (li, op) in oc.chunks_mut(out_n).enumerate() {
+                        gather(gi * per + li, op);
+                    }
+                });
+            } else {
+                for nc in 0..planes {
+                    gather(nc, &mut od[nc * out_n..(nc + 1) * out_n]);
                 }
             }
         }
-        let map = Rc::clone(map);
+        let map = Arc::clone(map);
         self.record(
             "warp",
             &[x],
             &[("out_h", ho), ("out_w", wo)],
             out,
             Some(Box::new(move |g, _vals, grads| {
-                let gx = &mut grads[x.0];
-                let in_n = h * w;
-                let out_n = ho * wo;
-                for nc in 0..n * c {
+                let gd = g.data();
+                let entries = &map.entries;
+                let scatter = |nc: usize, gxplane: &mut [f32]| {
                     let goff = nc * out_n;
-                    let xoff = nc * in_n;
-                    for e in &map.entries {
-                        gx.data_mut()[xoff + e.src as usize] +=
-                            e.weight * g.data()[goff + e.dst as usize];
+                    for e in entries {
+                        gxplane[e.src as usize] += e.weight * gd[goff + e.dst as usize];
+                    }
+                };
+                let gx = grads[x.0].data_mut();
+                if big {
+                    let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                    crate::parallel::for_each_chunk_mut(gx, per * in_n, |gi, gxc| {
+                        for (li, gxp) in gxc.chunks_mut(in_n).enumerate() {
+                            scatter(gi * per + li, gxp);
+                        }
+                    });
+                } else {
+                    for nc in 0..planes {
+                        scatter(nc, &mut gx[nc * in_n..(nc + 1) * in_n]);
                     }
                 }
             })),
@@ -220,7 +246,7 @@ mod tests {
                 weight: 1.0,
             })
             .collect();
-        let map: Rc<LinearMap> = LinearMap::new((2, 3), (2, 3), entries).into();
+        let map: Arc<LinearMap> = LinearMap::new((2, 3), (2, 3), entries).into();
         let mut g = Graph::new();
         let x0 = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[1, 1, 2, 3]);
         let x = g.input(x0.clone());
@@ -231,7 +257,7 @@ mod tests {
     #[test]
     fn warp_grad_matches_numeric() {
         let mut rng = StdRng::seed_from_u64(17);
-        let map: Rc<LinearMap> = random_map(&mut rng, (3, 3), (2, 2)).into();
+        let map: Arc<LinearMap> = random_map(&mut rng, (3, 3), (2, 2)).into();
         let x0 = Tensor::randn(&mut rng, &[2, 2, 3, 3], 1.0);
         let run = |x0: &Tensor| {
             let mut g = Graph::new();
@@ -259,8 +285,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let m1 = random_map(&mut rng, (3, 3), (4, 2));
         let m2 = random_map(&mut rng, (4, 2), (2, 2));
-        let fused: Rc<LinearMap> = m1.then(&m2).into();
-        let (m1, m2): (Rc<_>, Rc<_>) = (m1.into(), m2.into());
+        let fused: Arc<LinearMap> = m1.then(&m2).into();
+        let (m1, m2): (Arc<_>, Arc<_>) = (m1.into(), m2.into());
         let x0 = Tensor::randn(&mut rng, &[1, 1, 3, 3], 1.0);
         let mut g = Graph::new();
         let x = g.input(x0.clone());
@@ -280,7 +306,7 @@ mod tests {
         let map = random_map(&mut rng, (4, 4), (3, 3));
         let src: Vec<f32> = (0..16).map(|i| i as f32).collect();
         let plane = map.apply_plane(&src);
-        let map: Rc<LinearMap> = map.into();
+        let map: Arc<LinearMap> = map.into();
         let mut g = Graph::new();
         let x = g.input(Tensor::from_vec(src, &[1, 1, 4, 4]));
         let y = g.warp(x, &map);

@@ -1,0 +1,241 @@
+//! Deterministic scoped worker pool for data-parallel tensor work.
+//!
+//! Every parallel loop in the crate partitions its work into a *fixed*
+//! number of groups that depends only on the problem size (never on the
+//! machine's core count), then lets up to [`max_threads`] workers drain
+//! those groups from a shared queue. Because each group's result is
+//! written to its own pre-assigned slot and any cross-group reduction
+//! happens on the calling thread in group order, results are bitwise
+//! identical whatever the thread count — including fully serial runs.
+//!
+//! Nested parallelism is suppressed: a `run_*` call made from inside a
+//! worker runs inline on that worker. The partitioning is unchanged, so
+//! numerics are unchanged; only the thread fan-out is.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on the number of work groups any loop is split into.
+///
+/// The group count is part of the numeric contract (reductions happen
+/// per group), so it must not track `available_parallelism`; eight
+/// groups saturate the thread budgets we target while keeping the
+/// per-group reduction cheap.
+pub const MAX_GROUPS: usize = 8;
+
+/// Global thread budget; 0 means "auto" (use `available_parallelism`).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the worker-thread budget for all subsequent parallel loops.
+///
+/// `0` restores the default (the host's available parallelism). `1`
+/// forces fully serial execution. The setting is global and applies to
+/// conv/pool/warp kernels as well as the attack-loop frame fan-out.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::SeqCst);
+}
+
+/// Returns the current worker-thread budget (resolving "auto" to the
+/// host's available parallelism, with a floor of 1).
+pub fn max_threads() -> usize {
+    let n = MAX_THREADS.load(Ordering::SeqCst);
+    if n == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        n
+    }
+}
+
+/// Number of work groups for a loop over `items` independent items:
+/// `items` clamped to `1..=MAX_GROUPS`. Depends only on the problem
+/// size, so the induced reduction order is machine-independent.
+pub fn groups_for(items: usize) -> usize {
+    items.clamp(1, MAX_GROUPS)
+}
+
+/// Number of worker threads to actually spawn for `groups` groups:
+/// never more threads than groups (spawning more would only waste
+/// scope/spawn overhead on small batches).
+pub fn workers_for(groups: usize) -> usize {
+    max_threads().clamp(1, groups.max(1))
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside one of this module's worker threads.
+/// Nested parallel loops consult this and run inline instead of
+/// spawning a second tier of threads.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Runs `f(0..n)` across the worker pool and returns the results in
+/// index order.
+///
+/// Work items are drained from an atomic queue, but each result lands
+/// in its own slot, so the returned `Vec` is identical to the serial
+/// `(0..n).map(f).collect()` whatever the thread count. Runs inline
+/// when the budget is 1, `n <= 1`, or we are already inside a worker.
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = if in_worker() { 1 } else { workers_for(n) };
+    if workers <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                IN_WORKER.with(|fl| fl.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    *slots[i].lock().expect("parallel slot poisoned") = Some(v);
+                }
+                IN_WORKER.with(|fl| fl.set(false));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("parallel slot poisoned")
+                .expect("parallel slot left unfilled")
+        })
+        .collect()
+}
+
+/// Splits `data` into chunks of `chunk` elements and runs
+/// `f(group_index, chunk)` on each across the worker pool.
+///
+/// The chunks are disjoint, so each group owns its output slice
+/// exclusively; no reduction is needed and determinism is structural.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let slots: Vec<Mutex<Option<&mut [T]>>> = data
+        .chunks_mut(chunk)
+        .map(|c| Mutex::new(Some(c)))
+        .collect();
+    let n = slots.len();
+    run_indexed(n, |i| {
+        let c = slots[i]
+            .lock()
+            .expect("chunk slot poisoned")
+            .take()
+            .expect("chunk taken twice");
+        f(i, c);
+    });
+}
+
+/// Like [`for_each_chunk_mut`] but over two parallel arrays chunked in
+/// lockstep (`a` by `chunk_a`, `b` by `chunk_b`); both must split into
+/// the same number of chunks. Used where a kernel writes an output
+/// plane and a side-band (e.g. max-pool values + argmax indices).
+pub fn for_each_chunk2_mut<A, B, F>(a: &mut [A], b: &mut [B], chunk_a: usize, chunk_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(chunk_a > 0 && chunk_b > 0, "chunk sizes must be positive");
+    let sa: Vec<Mutex<Option<&mut [A]>>> =
+        a.chunks_mut(chunk_a).map(|c| Mutex::new(Some(c))).collect();
+    let sb: Vec<Mutex<Option<&mut [B]>>> =
+        b.chunks_mut(chunk_b).map(|c| Mutex::new(Some(c))).collect();
+    assert_eq!(
+        sa.len(),
+        sb.len(),
+        "parallel arrays must split into the same number of chunks"
+    );
+    run_indexed(sa.len(), |i| {
+        let ca = sa[i]
+            .lock()
+            .expect("chunk slot poisoned")
+            .take()
+            .expect("chunk taken twice");
+        let cb = sb[i]
+            .lock()
+            .expect("chunk slot poisoned")
+            .take()
+            .expect("chunk taken twice");
+        f(i, ca, cb);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_machine_independent() {
+        assert_eq!(groups_for(0), 1);
+        assert_eq!(groups_for(1), 1);
+        assert_eq!(groups_for(5), 5);
+        assert_eq!(groups_for(100), MAX_GROUPS);
+    }
+
+    #[test]
+    fn workers_never_exceed_groups() {
+        set_max_threads(16);
+        assert_eq!(workers_for(3), 3);
+        assert_eq!(workers_for(0), 1);
+        set_max_threads(2);
+        assert_eq!(workers_for(8), 2);
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn run_indexed_matches_serial_order() {
+        set_max_threads(4);
+        let par = run_indexed(37, |i| i * i);
+        set_max_threads(1);
+        let ser = run_indexed(37, |i| i * i);
+        set_max_threads(0);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn chunked_writes_cover_all_elements() {
+        set_max_threads(4);
+        let mut v = vec![0usize; 103];
+        for_each_chunk_mut(&mut v, 10, |g, c| {
+            for (j, x) in c.iter_mut().enumerate() {
+                *x = g * 10 + j;
+            }
+        });
+        set_max_threads(0);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        set_max_threads(4);
+        let out = run_indexed(4, |i| {
+            assert!(in_worker());
+            let inner = run_indexed(3, move |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        set_max_threads(0);
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+}

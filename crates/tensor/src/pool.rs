@@ -1,7 +1,15 @@
 //! Max pooling and nearest-neighbour upsampling.
+//!
+//! Both ops are embarrassingly parallel over `N*C` planes; large
+//! inputs fan the planes out across [`crate::parallel`] in fixed
+//! groups (disjoint output chunks, so determinism is structural).
 
 use crate::graph::{Graph, VarId};
 use crate::tensor::Tensor;
+
+/// Below this much per-op work the plane loops stay serial — the
+/// worker-pool bookkeeping would cost more than it saves.
+const PAR_THRESHOLD: usize = 1 << 14;
 
 impl Graph {
     /// Max pooling over `k x k` windows. `pad` pads with `-inf` on the
@@ -19,12 +27,14 @@ impl Graph {
         let wo = (w + pad - k) / stride + 1;
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
         let mut argmax: Vec<u32> = vec![0; n * c * ho * wo];
+        let hw = h * w;
+        let howo = ho * wo;
+        let planes = n * c;
         {
             let xd = xv.data();
             let od = out.data_mut();
-            for nc in 0..n * c {
-                let xoff = nc * h * w;
-                let ooff = nc * ho * wo;
+            let fill = |nc: usize, oplane: &mut [f32], aplane: &mut [u32]| {
+                let xoff = nc * hw;
                 for oh in 0..ho {
                     for ow in 0..wo {
                         let mut best = f32::NEG_INFINITY;
@@ -46,25 +56,60 @@ impl Graph {
                                 }
                             }
                         }
-                        od[ooff + oh * wo + ow] = best;
-                        argmax[ooff + oh * wo + ow] = best_idx;
+                        oplane[oh * wo + ow] = best;
+                        aplane[oh * wo + ow] = best_idx;
                     }
+                }
+            };
+            if planes > 1 && planes * k * k * howo >= PAR_THRESHOLD {
+                let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                crate::parallel::for_each_chunk2_mut(
+                    od,
+                    &mut argmax,
+                    per * howo,
+                    per * howo,
+                    |gi, oc, ac| {
+                        for (li, (op, ap)) in
+                            oc.chunks_mut(howo).zip(ac.chunks_mut(howo)).enumerate()
+                        {
+                            fill(gi * per + li, op, ap);
+                        }
+                    },
+                );
+            } else {
+                for nc in 0..planes {
+                    let (op, ap) = (
+                        &mut od[nc * howo..(nc + 1) * howo],
+                        &mut argmax[nc * howo..(nc + 1) * howo],
+                    );
+                    fill(nc, op, ap);
                 }
             }
         }
-        let hw = h * w;
-        let howo = ho * wo;
         self.record(
             "max_pool2d",
             &[x],
             &[("k", k), ("stride", stride), ("pad", pad)],
             out,
             Some(Box::new(move |g, _vals, grads| {
-                let gx = &mut grads[x.0];
-                for nc in 0..n * c {
+                let gd = g.data();
+                let scatter = |nc: usize, gxplane: &mut [f32]| {
                     for i in 0..howo {
                         let src = argmax[nc * howo + i] as usize;
-                        gx.data_mut()[nc * hw + src] += g.data()[nc * howo + i];
+                        gxplane[src] += gd[nc * howo + i];
+                    }
+                };
+                let gx = grads[x.0].data_mut();
+                if planes > 1 && planes * howo >= PAR_THRESHOLD {
+                    let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                    crate::parallel::for_each_chunk_mut(gx, per * hw, |gi, gxc| {
+                        for (li, gxp) in gxc.chunks_mut(hw).enumerate() {
+                            scatter(gi * per + li, gxp);
+                        }
+                    });
+                } else {
+                    for nc in 0..planes {
+                        scatter(nc, &mut gx[nc * hw..(nc + 1) * hw]);
                     }
                 }
             })),
@@ -78,14 +123,29 @@ impl Graph {
         let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         let (ho, wo) = (h * 2, w * 2);
         let mut out = Tensor::zeros(&[n, c, ho, wo]);
+        let hw = h * w;
+        let howo = ho * wo;
+        let planes = n * c;
         {
             let xd = xv.data();
             let od = out.data_mut();
-            for nc in 0..n * c {
+            let fill = |nc: usize, oplane: &mut [f32]| {
                 for oh in 0..ho {
                     for ow in 0..wo {
-                        od[nc * ho * wo + oh * wo + ow] = xd[nc * h * w + (oh / 2) * w + ow / 2];
+                        oplane[oh * wo + ow] = xd[nc * hw + (oh / 2) * w + ow / 2];
                     }
+                }
+            };
+            if planes > 1 && planes * howo >= PAR_THRESHOLD {
+                let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                crate::parallel::for_each_chunk_mut(od, per * howo, |gi, oc| {
+                    for (li, op) in oc.chunks_mut(howo).enumerate() {
+                        fill(gi * per + li, op);
+                    }
+                });
+            } else {
+                for nc in 0..planes {
+                    fill(nc, &mut od[nc * howo..(nc + 1) * howo]);
                 }
             }
         }
@@ -95,13 +155,25 @@ impl Graph {
             &[],
             out,
             Some(Box::new(move |g, _vals, grads| {
-                let gx = &mut grads[x.0];
-                for nc in 0..n * c {
+                let gd = g.data();
+                let scatter = |nc: usize, gxplane: &mut [f32]| {
                     for oh in 0..ho {
                         for ow in 0..wo {
-                            gx.data_mut()[nc * h * w + (oh / 2) * w + ow / 2] +=
-                                g.data()[nc * ho * wo + oh * wo + ow];
+                            gxplane[(oh / 2) * w + ow / 2] += gd[nc * howo + oh * wo + ow];
                         }
+                    }
+                };
+                let gx = grads[x.0].data_mut();
+                if planes > 1 && planes * howo >= PAR_THRESHOLD {
+                    let per = planes.div_ceil(crate::parallel::groups_for(planes));
+                    crate::parallel::for_each_chunk_mut(gx, per * hw, |gi, gxc| {
+                        for (li, gxp) in gxc.chunks_mut(hw).enumerate() {
+                            scatter(gi * per + li, gxp);
+                        }
+                    });
+                } else {
+                    for nc in 0..planes {
+                        scatter(nc, &mut gx[nc * hw..(nc + 1) * hw]);
                     }
                 }
             })),

@@ -1,0 +1,263 @@
+//! Per-op wall-clock profiler keyed on `OpMeta` scope paths.
+//!
+//! PR 1 attached an [`crate::OpMeta`] (op name + scope path) to every
+//! tape node; this module hangs a timing histogram off that metadata so
+//! speedups are measured rather than asserted.
+//!
+//! Forward timing is *gap attribution*: ops compute their value before
+//! calling `Graph::record`, so the elapsed time since the previous
+//! recorded op is charged to the op being recorded. Leaf ops (`input`,
+//! `param`, `declare`) reset the mark without charging anyone, so host
+//! work (rendering, sampling) between tape touches is not misattributed
+//! to a tensor op. Backward timing is exact: `Graph::backward` brackets
+//! each back-closure call and records it under `<path>/bwd`.
+//!
+//! Profiling is off by default and costs one relaxed atomic load per
+//! recorded op when disabled. Worker threads record into the same
+//! global registry through a mutex; with profiling on, contention is an
+//! accepted observer cost.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use std::cell::Cell;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Option<HashMap<String, OpStat>>> = Mutex::new(None);
+
+thread_local! {
+    static LAST_MARK: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Number of log2(ns) histogram buckets per op.
+pub const BUCKETS: usize = 32;
+
+/// Aggregated timing for one op path.
+#[derive(Clone, Debug)]
+pub struct OpStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all samples.
+    pub total_ns: u64,
+    /// Fastest single sample, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single sample, in nanoseconds.
+    pub max_ns: u64,
+    /// Histogram: bucket `i` counts samples with `floor(log2(ns)) == i`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl OpStat {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn add(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+    }
+}
+
+/// Turns the profiler on or off. Turning it on clears the forward mark
+/// so the first charged interval starts from the next recorded op.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+    if on {
+        LAST_MARK.with(|m| m.set(None));
+    }
+}
+
+/// Whether profiling is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Resets the forward gap-attribution mark **without** charging the
+/// elapsed time to any op. Called for leaf tape nodes whose "compute"
+/// is host-side work.
+pub fn mark() {
+    LAST_MARK.with(|m| m.set(Some(Instant::now())));
+}
+
+/// Charges the time since the last mark to `path` (forward pass gap
+/// attribution), then re-marks. No-op if there is no prior mark.
+pub fn note_forward(path: &str) {
+    let now = Instant::now();
+    LAST_MARK.with(|m| {
+        if let Some(prev) = m.get() {
+            add_sample(path, (now - prev).as_nanos() as u64);
+        }
+        m.set(Some(Instant::now()));
+    });
+}
+
+/// Records one exact sample of `ns` nanoseconds under `key`.
+pub fn add_sample(key: &str, ns: u64) {
+    let mut guard = REGISTRY.lock().expect("profiler registry poisoned");
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(key.to_string())
+        .or_insert_with(OpStat::new)
+        .add(ns);
+}
+
+/// Clears all recorded samples and the forward mark.
+pub fn reset() {
+    let mut guard = REGISTRY.lock().expect("profiler registry poisoned");
+    *guard = None;
+    LAST_MARK.with(|m| m.set(None));
+}
+
+/// Snapshot of all op stats, sorted by total time descending.
+pub fn snapshot() -> Vec<(String, OpStat)> {
+    let guard = REGISTRY.lock().expect("profiler registry poisoned");
+    let mut rows: Vec<(String, OpStat)> = guard
+        .as_ref()
+        .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        .unwrap_or_default();
+    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+    rows
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders the timing table as aligned text, one row per op path.
+pub fn report_text() -> String {
+    let rows = snapshot();
+    let mut out = String::new();
+    let total: u64 = rows.iter().map(|r| r.1.total_ns).sum();
+    let width = rows.iter().map(|r| r.0.len()).max().unwrap_or(6).max(6);
+    let _ = writeln!(
+        out,
+        "{:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>6}",
+        "op", "count", "total", "mean", "min", "max", "share"
+    );
+    for (path, s) in &rows {
+        let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+        let share = if total > 0 {
+            100.0 * s.total_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {share:>5.1}%",
+            path,
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(mean),
+            fmt_ns(s.min_ns),
+            fmt_ns(s.max_ns),
+        );
+    }
+    let _ = writeln!(out, "{:<width$}  {:>9}  {:>10}", "TOTAL", "", fmt_ns(total));
+    out
+}
+
+/// Renders the timing table as a JSON object (hand-rolled; no serde in
+/// the dependency tree). Keys are op paths; each value carries count,
+/// total/min/max nanoseconds, and the non-empty log2-ns buckets.
+pub fn report_json() -> String {
+    let rows = snapshot();
+    let mut out = String::from("{\n  \"ops\": {\n");
+    for (i, (path, s)) in rows.iter().enumerate() {
+        let esc: String = path
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c => vec![c],
+            })
+            .collect();
+        let _ = write!(
+            out,
+            "    \"{esc}\": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"log2_buckets\": {{",
+            s.count,
+            s.total_ns,
+            if s.count > 0 { s.min_ns } else { 0 },
+            s.max_ns
+        );
+        let mut first = true;
+        for (b, &c) in s.buckets.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{b}\": {c}");
+                first = false;
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_aggregate_per_key() {
+        // The registry is global and tests run concurrently, so only
+        // assert on keys this test owns.
+        add_sample("test-agg/conv2d", 1_000);
+        add_sample("test-agg/conv2d", 3_000);
+        let rows = snapshot();
+        let stat = &rows.iter().find(|(k, _)| k == "test-agg/conv2d").unwrap().1;
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, 4_000);
+        assert_eq!(stat.min_ns, 1_000);
+        assert_eq!(stat.max_ns, 3_000);
+        let text = report_text();
+        assert!(text.contains("test-agg/conv2d"));
+        let json = report_json();
+        assert!(json.contains("\"test-agg/conv2d\""));
+        assert!(json.contains("\"total_ns\": 4000"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut s = OpStat::new();
+        s.add(1); // bucket 0
+        s.add(1024); // bucket 10
+        s.add(1536); // bucket 10
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[10], 2);
+    }
+
+    #[test]
+    fn forward_marks_gate_attribution() {
+        // The mark is thread-local, so this is race-free even though
+        // the registry is shared.
+        LAST_MARK.with(|m| m.set(None));
+        note_forward("test-mark/op"); // no prior mark on this thread: not charged
+        note_forward("test-mark/op"); // now marked: charged once
+        let rows = snapshot();
+        let stat = &rows.iter().find(|(k, _)| k == "test-mark/op").unwrap().1;
+        assert_eq!(stat.count, 1);
+    }
+}

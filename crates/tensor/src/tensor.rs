@@ -56,7 +56,10 @@ impl Tensor {
         assert!(n > 0, "tensor shape {shape:?} has zero elements");
         Tensor {
             shape: shape.to_vec(),
-            data: vec![value; n],
+            // Large buffers come from the scratch arena (and return to
+            // it when a Graph/Gradients drops), so per-step activation
+            // allocations are reused across attack steps.
+            data: crate::arena::take_filled(n, value),
         }
     }
 
@@ -313,8 +316,24 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} != {k2}");
-        let mut out = vec![0.0f32; m * n];
-        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        let mut out = crate::arena::take(m * n);
+        // Output rows are disjoint, so any row partition yields bitwise
+        // identical results; split large products across the worker
+        // pool (nested calls from inside conv/frame workers run inline
+        // via the pool's nesting guard).
+        if m > 1 && m * k * n >= 1 << 20 {
+            let groups = crate::parallel::groups_for(m);
+            let rows_per = m.div_ceil(groups);
+            let a = &self.data;
+            let b = &other.data;
+            crate::parallel::for_each_chunk_mut(&mut out, rows_per * n, |gi, chunk| {
+                let r0 = gi * rows_per;
+                let rows = chunk.len() / n;
+                matmul_into(&a[r0 * k..(r0 + rows) * k], b, chunk, rows, k, n);
+            });
+        } else {
+            matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        }
         Tensor {
             shape: vec![m, n],
             data: out,

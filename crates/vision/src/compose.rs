@@ -6,7 +6,7 @@
 //! decal's pixels stay differentiable end-to-end, and [`paste_patch`]
 //! builds the full graph: warp → channel broadcast → alpha compositing.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rd_tensor::{Graph, LinearMap, Tensor, VarId};
 
@@ -105,7 +105,7 @@ pub fn paste_patch(
     g: &mut Graph,
     scene: VarId,
     patch: VarId,
-    map: &Rc<LinearMap>,
+    map: &Arc<LinearMap>,
     mask: &Plane,
 ) -> VarId {
     let sshape = g.value(scene).shape().to_vec();
@@ -158,7 +158,7 @@ pub fn paste_patch_rgb(
     g: &mut Graph,
     scene: VarId,
     patch: VarId,
-    map: &Rc<LinearMap>,
+    map: &Arc<LinearMap>,
     mask: &Plane,
 ) -> VarId {
     let sshape = g.value(scene).shape().to_vec();
@@ -285,7 +285,7 @@ mod tests {
         let scene = g.input(Tensor::full(&[1, 3, 32, 32], 0.5));
         let patch = g.input(Tensor::zeros(&[1, 1, 8, 8])); // black decal
         let placement = PatchPlacement::new((16.0, 16.0), 2.0);
-        let map: Rc<LinearMap> = placement.to_image_map(8, (32, 32)).into();
+        let map: Arc<LinearMap> = placement.to_image_map(8, (32, 32)).into();
         let m = shape_mask(Shape::Square, 8);
         let out = paste_patch(&mut g, scene, patch, &map, &m);
         let v = g.value(out);
@@ -301,7 +301,7 @@ mod tests {
         let scene = g.input(Tensor::full(&[1, 3, 24, 24], 0.5));
         let patch = g.input(Tensor::full(&[1, 1, 8, 8], 0.3));
         let placement = PatchPlacement::new((12.0, 12.0), 2.0);
-        let map: Rc<LinearMap> = placement.to_image_map(8, (24, 24)).into();
+        let map: Arc<LinearMap> = placement.to_image_map(8, (24, 24)).into();
         let m = shape_mask(Shape::Star, 8);
         let out = paste_patch(&mut g, scene, patch, &map, &m);
         let loss = g.sum_all(out);
@@ -321,7 +321,7 @@ mod tests {
         let mut g = Graph::new();
         let scene = g.input(Tensor::full(&[1, 3, 32, 32], 0.2));
         let patch = g.input(patch_t);
-        let map: Rc<LinearMap> = placement.to_image_map(8, (32, 32)).into();
+        let map: Arc<LinearMap> = placement.to_image_map(8, (32, 32)).into();
         let out = paste_patch(&mut g, scene, patch, &map, &m);
         let graph_img = Image::from_tensor(g.value(out), 0);
         // plain path

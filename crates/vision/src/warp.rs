@@ -110,10 +110,10 @@ pub fn homography(in_hw: (usize, usize), out_hw: (usize, usize), h: &Mat3) -> Op
 mod tests {
     use super::*;
     use rd_tensor::{Graph, Tensor};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn apply(map: LinearMap, t: &Tensor) -> Tensor {
-        let map: Rc<LinearMap> = map.into();
+        let map: Arc<LinearMap> = map.into();
         let mut g = Graph::new();
         let x = g.input(t.clone());
         let y = g.warp(x, &map);

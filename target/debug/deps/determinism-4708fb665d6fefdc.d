@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-4708fb665d6fefdc.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-4708fb665d6fefdc: tests/determinism.rs
+
+tests/determinism.rs:

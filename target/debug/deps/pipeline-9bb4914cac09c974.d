@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-9bb4914cac09c974.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-9bb4914cac09c974: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

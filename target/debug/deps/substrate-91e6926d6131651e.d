@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/substrate-91e6926d6131651e.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/debug/deps/substrate-91e6926d6131651e: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-11d4d5866bf3c64d.d: crates/bench/benches/table1.rs
+
+/root/repo/target/debug/deps/table1-11d4d5866bf3c64d: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-dceb5dad54ca262c.d: crates/bench/benches/table2.rs
+
+/root/repo/target/debug/deps/table2-dceb5dad54ca262c: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-8c79f8747c266fe0.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-8c79f8747c266fe0: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ec7a2be2702353c9.d: crates/bench/benches/table4.rs
+
+/root/repo/target/debug/deps/table4-ec7a2be2702353c9: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-66d530588f270948.d: crates/bench/benches/table5.rs
+
+/root/repo/target/debug/deps/table5-66d530588f270948: crates/bench/benches/table5.rs
+
+crates/bench/benches/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-f10f1de652fe231c.d: crates/bench/benches/table6.rs
+
+/root/repo/target/debug/deps/table6-f10f1de652fe231c: crates/bench/benches/table6.rs
+
+crates/bench/benches/table6.rs:

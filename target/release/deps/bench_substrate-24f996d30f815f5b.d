@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_substrate-24f996d30f815f5b.d: crates/bench/src/bin/bench_substrate.rs
+
+/root/repo/target/release/deps/bench_substrate-24f996d30f815f5b: crates/bench/src/bin/bench_substrate.rs
+
+crates/bench/src/bin/bench_substrate.rs:

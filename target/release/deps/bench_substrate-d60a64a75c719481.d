@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_substrate-d60a64a75c719481.d: crates/bench/src/bin/bench_substrate.rs
+
+/root/repo/target/release/deps/bench_substrate-d60a64a75c719481: crates/bench/src/bin/bench_substrate.rs
+
+crates/bench/src/bin/bench_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-b722139696c440b6.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-b722139696c440b6: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-a4fdcf28925b8598.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-a4fdcf28925b8598: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d2050d1a68aece09.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-d2050d1a68aece09: tests/properties.rs
+
+tests/properties.rs:

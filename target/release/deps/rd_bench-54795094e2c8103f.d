@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rd_bench-54795094e2c8103f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/rd_bench-54795094e2c8103f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rd_detector-9f932a79002ff7f6.d: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+/root/repo/target/release/deps/rd_detector-9f932a79002ff7f6: crates/detector/src/lib.rs crates/detector/src/anchors.rs crates/detector/src/confirm.rs crates/detector/src/decode.rs crates/detector/src/loss.rs crates/detector/src/map.rs crates/detector/src/model.rs crates/detector/src/track.rs crates/detector/src/train.rs
+
+crates/detector/src/lib.rs:
+crates/detector/src/anchors.rs:
+crates/detector/src/confirm.rs:
+crates/detector/src/decode.rs:
+crates/detector/src/loss.rs:
+crates/detector/src/map.rs:
+crates/detector/src/model.rs:
+crates/detector/src/track.rs:
+crates/detector/src/train.rs:

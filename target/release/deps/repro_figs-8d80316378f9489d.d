@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_figs-8d80316378f9489d.d: crates/bench/src/bin/repro_figs.rs
+
+/root/repo/target/release/deps/repro_figs-8d80316378f9489d: crates/bench/src/bin/repro_figs.rs
+
+crates/bench/src/bin/repro_figs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_figs-ff1844a4c815f7c5.d: crates/bench/src/bin/repro_figs.rs
+
+/root/repo/target/release/deps/repro_figs-ff1844a4c815f7c5: crates/bench/src/bin/repro_figs.rs
+
+crates/bench/src/bin/repro_figs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-6f9c1d094ec34fcb.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-6f9c1d094ec34fcb: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

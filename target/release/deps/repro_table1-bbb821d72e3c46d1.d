@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table1-bbb821d72e3c46d1.d: crates/bench/src/bin/repro_table1.rs
+
+/root/repo/target/release/deps/repro_table1-bbb821d72e3c46d1: crates/bench/src/bin/repro_table1.rs
+
+crates/bench/src/bin/repro_table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table2-b9e0ece3cd5b8165.d: crates/bench/src/bin/repro_table2.rs
+
+/root/repo/target/release/deps/repro_table2-b9e0ece3cd5b8165: crates/bench/src/bin/repro_table2.rs
+
+crates/bench/src/bin/repro_table2.rs:

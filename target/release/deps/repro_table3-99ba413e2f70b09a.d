@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-99ba413e2f70b09a.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-99ba413e2f70b09a: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

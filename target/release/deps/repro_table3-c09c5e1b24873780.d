@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table3-c09c5e1b24873780.d: crates/bench/src/bin/repro_table3.rs
+
+/root/repo/target/release/deps/repro_table3-c09c5e1b24873780: crates/bench/src/bin/repro_table3.rs
+
+crates/bench/src/bin/repro_table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table4-1a9e20a7a178ce38.d: crates/bench/src/bin/repro_table4.rs
+
+/root/repo/target/release/deps/repro_table4-1a9e20a7a178ce38: crates/bench/src/bin/repro_table4.rs
+
+crates/bench/src/bin/repro_table4.rs:

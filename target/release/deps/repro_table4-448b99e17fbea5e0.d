@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table4-448b99e17fbea5e0.d: crates/bench/src/bin/repro_table4.rs
+
+/root/repo/target/release/deps/repro_table4-448b99e17fbea5e0: crates/bench/src/bin/repro_table4.rs
+
+crates/bench/src/bin/repro_table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table5-75a9c0598f7a0aff.d: crates/bench/src/bin/repro_table5.rs
+
+/root/repo/target/release/deps/repro_table5-75a9c0598f7a0aff: crates/bench/src/bin/repro_table5.rs
+
+crates/bench/src/bin/repro_table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table5-fdc11e492426db7e.d: crates/bench/src/bin/repro_table5.rs
+
+/root/repo/target/release/deps/repro_table5-fdc11e492426db7e: crates/bench/src/bin/repro_table5.rs
+
+crates/bench/src/bin/repro_table5.rs:

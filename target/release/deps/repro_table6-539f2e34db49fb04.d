@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table6-539f2e34db49fb04.d: crates/bench/src/bin/repro_table6.rs
+
+/root/repo/target/release/deps/repro_table6-539f2e34db49fb04: crates/bench/src/bin/repro_table6.rs
+
+crates/bench/src/bin/repro_table6.rs:

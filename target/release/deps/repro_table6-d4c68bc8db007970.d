@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_table6-d4c68bc8db007970.d: crates/bench/src/bin/repro_table6.rs
+
+/root/repo/target/release/deps/repro_table6-d4c68bc8db007970: crates/bench/src/bin/repro_table6.rs
+
+crates/bench/src/bin/repro_table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/substrate-1bdb8b8b29080b6c.d: crates/bench/benches/substrate.rs
+
+/root/repo/target/release/deps/substrate-1bdb8b8b29080b6c: crates/bench/benches/substrate.rs
+
+crates/bench/benches/substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d0af28d54e5ffdf3.d: crates/bench/benches/table1.rs
+
+/root/repo/target/release/deps/table1-d0af28d54e5ffdf3: crates/bench/benches/table1.rs
+
+crates/bench/benches/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-cffa800dc47c401e.d: crates/bench/benches/table2.rs
+
+/root/repo/target/release/deps/table2-cffa800dc47c401e: crates/bench/benches/table2.rs
+
+crates/bench/benches/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-14b64bfcd9b30b99.d: crates/bench/benches/table3.rs
+
+/root/repo/target/release/deps/table3-14b64bfcd9b30b99: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-49da49aab62cc67b.d: crates/bench/benches/table4.rs
+
+/root/repo/target/release/deps/table4-49da49aab62cc67b: crates/bench/benches/table4.rs
+
+crates/bench/benches/table4.rs:

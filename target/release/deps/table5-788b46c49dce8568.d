@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-788b46c49dce8568.d: crates/bench/benches/table5.rs
+
+/root/repo/target/release/deps/table5-788b46c49dce8568: crates/bench/benches/table5.rs
+
+crates/bench/benches/table5.rs:

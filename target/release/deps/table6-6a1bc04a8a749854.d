@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-6a1bc04a8a749854.d: crates/bench/benches/table6.rs
+
+/root/repo/target/release/deps/table6-6a1bc04a8a749854: crates/bench/benches/table6.rs
+
+crates/bench/benches/table6.rs:

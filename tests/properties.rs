@@ -1,7 +1,7 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use road_decals_repro::detector::{has_consecutive, Confirmer};
 use road_decals_repro::scene::{GtBox, ObjectClass};
@@ -67,7 +67,7 @@ proptest! {
     #[test]
     fn warps_are_linear(v1 in small_vec(36), v2 in small_vec(36), s in -2.0f32..2.0) {
         // warp(a + s*b) == warp(a) + s*warp(b)
-        let map: Rc<_> = resize((6, 6), (4, 4)).into();
+        let map: Arc<_> = resize((6, 6), (4, 4)).into();
         let a = Tensor::from_vec(v1, &[1, 1, 6, 6]);
         let b = Tensor::from_vec(v2, &[1, 1, 6, 6]);
         let mixed = a.add(&b.scale(s));
@@ -224,6 +224,34 @@ proptest! {
         let printed = PrintModel::realistic().print(&t, &mut rng);
         for &x in printed.data() {
             prop_assert!((0.02..=0.98).contains(&x));
+        }
+    }
+}
+
+proptest! {
+    // the scratch arena hands buffers back and forth between graphs; a
+    // reused buffer must never expose a previous tenant's values
+    #[test]
+    fn arena_reuse_never_leaks_stale_values(
+        lens in proptest::collection::vec(1usize..5000, 1..8),
+        fill in -2.0f32..2.0,
+    ) {
+        use road_decals_repro::tensor::arena;
+        // poison the pool: recycle buffers full of garbage at many sizes
+        for &l in &lens {
+            let mut v = arena::take(l + 1024);
+            for (i, x) in v.iter_mut().enumerate() {
+                *x = 1e30 + i as f32;
+            }
+            arena::recycle(v);
+        }
+        // anything taken back out must be exactly (len, fill), even when
+        // served from a recycled (longer, garbage-filled) buffer
+        for &l in &lens {
+            let v = arena::take_filled(l, fill);
+            prop_assert_eq!(v.len(), l);
+            prop_assert!(v.iter().all(|&x| x == fill));
+            arena::recycle(v);
         }
     }
 }

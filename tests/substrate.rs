@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use road_decals_repro::detector::{evaluate, train, TinyYolo, TrainConfig, YoloConfig};
 use road_decals_repro::scene::{
@@ -23,7 +23,7 @@ fn camera_render_matches_differentiable_warp() {
     let pose = CameraPose::at_distance(3.0);
     let rendered = rig.render_frame(world.canvas(), &pose);
 
-    let map: Rc<_> = rig.warp_map(&pose).into();
+    let map: Arc<_> = rig.warp_map(&pose).into();
     let mut g = Graph::new();
     let x = g.input(world.canvas().to_tensor());
     let warped = g.warp(x, &map);
