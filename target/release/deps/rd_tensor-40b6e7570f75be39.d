@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/rd_tensor-40b6e7570f75be39.d: crates/tensor/src/lib.rs crates/tensor/src/arena.rs crates/tensor/src/bnorm.rs crates/tensor/src/check.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/linmap.rs crates/tensor/src/loss.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/params.rs crates/tensor/src/pool.rs crates/tensor/src/profile.rs crates/tensor/src/smallvec.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/rd_tensor-40b6e7570f75be39: crates/tensor/src/lib.rs crates/tensor/src/arena.rs crates/tensor/src/bnorm.rs crates/tensor/src/check.rs crates/tensor/src/conv.rs crates/tensor/src/graph.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/linmap.rs crates/tensor/src/loss.rs crates/tensor/src/optim.rs crates/tensor/src/parallel.rs crates/tensor/src/params.rs crates/tensor/src/pool.rs crates/tensor/src/profile.rs crates/tensor/src/smallvec.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/arena.rs:
+crates/tensor/src/bnorm.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/graph.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/linmap.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/parallel.rs:
+crates/tensor/src/params.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/profile.rs:
+crates/tensor/src/smallvec.rs:
+crates/tensor/src/tensor.rs:
