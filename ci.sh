@@ -15,6 +15,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> fault-injection suite (NaN rollback, kill+resume, corrupt checkpoints)"
+# Every recovery path of the training runner, driven by the
+# deterministic FaultPlan harness (tests/recovery.rs).
+cargo test -q --test recovery
+
+echo "==> resume-determinism smoke (20 steps straight vs 10 + kill + resume)"
+# The headline fault-tolerance contract: a killed-and-resumed attack
+# run finishes bitwise-identical to an uninterrupted one.
+cargo test --release -q --test recovery -- --ignored
+
 echo "==> substrate bench smoke (profiler + parallel fan-out + determinism)"
 # Fails loudly if the profiler or worker pool stop compiling/working:
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread

@@ -61,11 +61,21 @@ fn run_attack(threads: usize, cfg: &AttackConfig, scenario: &AttackScenario) -> 
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_substrate: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let quick = flag("--quick");
-    let steps: usize = arg("--steps", if quick { 4 } else { 12 });
-    let threads: usize = arg("--threads", 4);
-    let out: String = arg("--out", "BENCH_pr2.json".to_owned());
+    let steps: usize = arg("--steps", if quick { 4 } else { 12 })?;
+    let threads: usize = arg("--threads", 4)?;
+    let out: String = arg("--out", "BENCH_pr2.json".to_owned())?;
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -85,10 +95,9 @@ fn main() {
     let _ = run_attack(1, &warm_cfg, &scenario);
     rd_tensor::profile::set_enabled(false);
     let profiled = rd_tensor::profile::snapshot();
-    assert!(
-        !profiled.is_empty(),
-        "profiler captured no ops during the warm-up step"
-    );
+    if profiled.is_empty() {
+        return Err("profiler captured no ops during the warm-up step".into());
+    }
     println!(
         "profiler: {} op paths captured in warm-up; top entries:",
         profiled.len()
@@ -107,19 +116,15 @@ fn main() {
     rd_tensor::parallel::set_max_threads(0);
 
     // determinism gate: the parallel run must retrace the serial run
-    assert_eq!(
-        serial.decal.attack_loss, parallel.decal.attack_loss,
-        "attack-loss curve diverged between 1 and {threads} threads"
-    );
-    assert_eq!(
-        serial.decal.adv_loss, parallel.decal.adv_loss,
-        "adv-loss curve diverged between 1 and {threads} threads"
-    );
-    assert_eq!(
-        serial.decal.decal.channel_data(),
-        parallel.decal.decal.channel_data(),
-        "trained decal diverged between 1 and {threads} threads"
-    );
+    if serial.decal.attack_loss != parallel.decal.attack_loss {
+        return Err(format!("attack-loss curve diverged between 1 and {threads} threads").into());
+    }
+    if serial.decal.adv_loss != parallel.decal.adv_loss {
+        return Err(format!("adv-loss curve diverged between 1 and {threads} threads").into());
+    }
+    if serial.decal.decal.channel_data() != parallel.decal.decal.channel_data() {
+        return Err(format!("trained decal diverged between 1 and {threads} threads").into());
+    }
     println!("determinism: 1-thread and {threads}-thread runs are bitwise identical");
 
     let (hits, misses, pooled) = rd_tensor::arena::stats();
@@ -179,6 +184,7 @@ fn main() {
         rss = peak_rss_kb(),
         note = note,
     );
-    std::fs::write(&out, &json).expect("write bench json");
+    std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
+    Ok(())
 }

@@ -2,23 +2,34 @@
 //! `out/figures/`.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
+//! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile] \
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume]
 //! ```
 
 use rd_bench::{arg, flag};
-use road_decals::experiments::{prepare_environment, run_figures, Scale};
+use road_decals::experiments::{prepare_environment_with, run_figures, Scale};
 
-fn main() {
-    rd_bench::setup_substrate();
-    let scale: Scale = arg("--scale", "paper".to_owned())
-        .parse()
-        .expect("bad --scale");
-    let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
-    let written = run_figures(&mut env, seed, "out/figures");
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_figs: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::setup_substrate()?;
+    let scale: Scale = arg("--scale", "paper".to_owned())?.parse()?;
+    let seed: u64 = arg("--seed", 42)?;
+    let recovery = rd_bench::recovery_from_args()?;
+    let mut env = prepare_environment_with(scale, seed, recovery)?.with_audit(flag("--audit"));
+    let written = run_figures(&mut env, seed, "out/figures")?;
     println!("wrote {} figures:", written.len());
     for p in written {
         println!("  {}", p.display());
     }
-    rd_bench::report_substrate();
+    rd_bench::report_substrate()?;
+    Ok(())
 }

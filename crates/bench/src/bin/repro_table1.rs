@@ -2,24 +2,34 @@
 //! without consecutive frames) against the colored baseline [34].
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table1 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
+//! cargo run --release -p rd-bench --bin repro_table1 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile] \
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
-use road_decals::experiments::{prepare_environment, run_table1, Scale};
+use road_decals::experiments::{prepare_environment_with, run_table1, Scale};
 
-fn main() {
-    rd_bench::setup_substrate();
-    let scale: Scale = arg("--scale", "paper".to_owned())
-        .parse()
-        .expect("bad --scale");
-    let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_table1: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::setup_substrate()?;
+    let scale: Scale = arg("--scale", "paper".to_owned())?.parse()?;
+    let seed: u64 = arg("--seed", 42)?;
+    let recovery = rd_bench::recovery_from_args()?;
+    let mut env = prepare_environment_with(scale, seed, recovery)?.with_audit(flag("--audit"));
     println!(
         "victim detector class-accuracy: {:.2}\n",
         env.detector_accuracy
     );
-    let measured = run_table1(&mut env, seed);
+    let measured = run_table1(&mut env, seed)?;
     println!("{}", paper::table1());
     println!("{measured}");
     println!("shape checks (paper's qualitative claims on our measurement):");
@@ -33,5 +43,6 @@ fn main() {
         compare::monotone_decreasing(&measured, ours, &["slow", "normal", "fast"]),
         compare::monotone_decreasing(&measured, "[34]", &["slow", "normal", "fast"]),
     ]);
-    rd_bench::report_substrate();
+    rd_bench::report_substrate()?;
+    Ok(())
 }

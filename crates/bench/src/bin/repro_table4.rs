@@ -1,24 +1,34 @@
 //! Regenerates Table IV: ablation over EOT trick combinations.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
+//! cargo run --release -p rd-bench --bin repro_table4 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile] \
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
-use road_decals::experiments::{prepare_environment, run_table4, Scale};
+use road_decals::experiments::{prepare_environment_with, run_table4, Scale};
 
-fn main() {
-    rd_bench::setup_substrate();
-    let scale: Scale = arg("--scale", "paper".to_owned())
-        .parse()
-        .expect("bad --scale");
-    let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_table4: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::setup_substrate()?;
+    let scale: Scale = arg("--scale", "paper".to_owned())?.parse()?;
+    let seed: u64 = arg("--seed", 42)?;
+    let recovery = rd_bench::recovery_from_args()?;
+    let mut env = prepare_environment_with(scale, seed, recovery)?.with_audit(flag("--audit"));
     println!(
         "victim detector class-accuracy: {:.2}\n",
         env.detector_accuracy
     );
-    let measured = run_table4(&mut env, seed);
+    let measured = run_table4(&mut env, seed)?;
     println!("{}", paper::table4());
     println!("{measured}");
     println!("shape checks (perspective matters most; gamma beats brightness):");
@@ -29,5 +39,6 @@ fn main() {
         // keeping gamma beats keeping brightness
         compare::row_dominates(&measured, "(1)+(2)+(4)+(5)", "(1)+(2)+(3)+(5)"),
     ]);
-    rd_bench::report_substrate();
+    rd_bench::report_substrate()?;
+    Ok(())
 }

@@ -1,24 +1,34 @@
 //! Regenerates Table VI: ablation over decal size k.
 //!
 //! ```text
-//! cargo run --release -p rd-bench --bin repro_table6 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile]
+//! cargo run --release -p rd-bench --bin repro_table6 -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile] \
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume]
 //! ```
 
 use rd_bench::{arg, compare, flag, paper};
-use road_decals::experiments::{prepare_environment, run_table6, Scale};
+use road_decals::experiments::{prepare_environment_with, run_table6, Scale};
 
-fn main() {
-    rd_bench::setup_substrate();
-    let scale: Scale = arg("--scale", "paper".to_owned())
-        .parse()
-        .expect("bad --scale");
-    let seed: u64 = arg("--seed", 42);
-    let mut env = prepare_environment(scale, seed).with_audit(flag("--audit"));
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_table6: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::setup_substrate()?;
+    let scale: Scale = arg("--scale", "paper".to_owned())?.parse()?;
+    let seed: u64 = arg("--seed", 42)?;
+    let recovery = rd_bench::recovery_from_args()?;
+    let mut env = prepare_environment_with(scale, seed, recovery)?.with_audit(flag("--audit"));
     println!(
         "victim detector class-accuracy: {:.2}\n",
         env.detector_accuracy
     );
-    let measured = run_table6(&mut env, seed);
+    let measured = run_table6(&mut env, seed)?;
     println!("{}", paper::table6());
     println!("{measured}");
     println!("shape checks (k=60 peaks; both tails collapse):");
@@ -27,5 +37,6 @@ fn main() {
         compare::row_dominates(&measured, "k=60", "k=80"),
         compare::row_dominates(&measured, "k=40", "k=20"),
     ]);
-    rd_bench::report_substrate();
+    rd_bench::report_substrate()?;
+    Ok(())
 }

@@ -398,14 +398,28 @@ pub mod compare {
     }
 }
 
-/// Parses `--name value` style CLI arguments with a default.
-pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+/// Parses a `--name value` style CLI argument, falling back to `default`
+/// when the flag is absent.
+///
+/// # Errors
+///
+/// A flag that is present but missing its value, or whose value fails to
+/// parse, is a hard error — the binaries exit nonzero instead of
+/// silently running with the default.
+pub fn arg<T>(name: &str, default: T) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(default);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("{name} expects a value"));
+    };
+    v.parse()
+        .map_err(|e| format!("bad value '{v}' for {name}: {e}"))
 }
 
 /// Tests for the presence of a bare `--name` CLI switch.
@@ -413,31 +427,63 @@ pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Parses the recovery switches every repro binary accepts:
+/// `--checkpoint-every N` writes a checkpoint every N optimizer steps
+/// (0 disables), `--checkpoint-dir DIR` picks where the per-stage files
+/// live (default `out/ckpt`), and `--resume` restarts each training
+/// stage from its checkpoint when one exists.
+///
+/// # Errors
+///
+/// Returns a message for malformed flag values.
+pub fn recovery_from_args() -> Result<road_decals::experiments::ExperimentRecovery, String> {
+    let checkpoint_every: u64 = arg("--checkpoint-every", 0)?;
+    let dir: String = arg("--checkpoint-dir", "out/ckpt".to_owned())?;
+    let resume = flag("--resume");
+    let checkpoint_dir = (checkpoint_every > 0 || resume).then(|| std::path::PathBuf::from(dir));
+    Ok(road_decals::experiments::ExperimentRecovery {
+        checkpoint_every,
+        checkpoint_dir,
+        resume,
+    })
+}
+
 /// Applies the substrate switches every repro binary accepts:
 /// `--threads N` caps the tensor worker pool (`0` = one worker per
 /// host core) and `--profile` turns on the per-op wall-clock profiler.
-pub fn setup_substrate() {
-    let threads: usize = arg("--threads", 0);
+///
+/// # Errors
+///
+/// Returns a message for malformed flag values.
+pub fn setup_substrate() -> Result<(), String> {
+    let threads: usize = arg("--threads", 0)?;
     rd_tensor::parallel::set_max_threads(threads);
     if flag("--profile") {
         rd_tensor::profile::reset();
         rd_tensor::profile::set_enabled(true);
     }
+    Ok(())
 }
 
 /// Prints the per-op profiler report when `--profile` is on; with
 /// `--profile-json PATH`, also writes the machine-readable histogram.
 /// Call once at the end of `main`.
-pub fn report_substrate() {
+///
+/// # Errors
+///
+/// Returns a message when the profile JSON cannot be written.
+pub fn report_substrate() -> Result<(), String> {
     if !rd_tensor::profile::enabled() {
-        return;
+        return Ok(());
     }
     println!("\n{}", rd_tensor::profile::report_text());
-    let path: String = arg("--profile-json", String::new());
+    let path: String = arg("--profile-json", String::new())?;
     if !path.is_empty() {
-        std::fs::write(&path, rd_tensor::profile::report_json()).expect("write profile json");
+        std::fs::write(&path, rd_tensor::profile::report_json())
+            .map_err(|e| format!("cannot write profile json {path}: {e}"))?;
         println!("profile json written to {path}");
     }
+    Ok(())
 }
 
 #[cfg(test)]

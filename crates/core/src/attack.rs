@@ -14,11 +14,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use rd_detector::loss::{targeted_class_loss, AttackCell};
-use rd_detector::TinyYolo;
+use rd_detector::{GradHook, TinyYolo};
 use rd_eot::{adjust_placement, apply_photometric, EotConfig, TransformSample};
 use rd_gan::{real_shape_batch, Discriminator, GanConfig, Generator};
 use rd_scene::{AngleSetting, CameraPose, ObjectClass, Speed};
-use rd_tensor::{optim::Adam, Graph, LinearMap, ParamSet, Tensor, VarId};
+use rd_tensor::io::{Checkpoint, CheckpointError};
+use rd_tensor::optim::{Adam, StepOutcome};
+use rd_tensor::{Graph, LinearMap, ParamSet, Tensor, VarId};
 use rd_vision::compose::paste_patch;
 use rd_vision::shapes::{mask, Shape};
 use rd_vision::Plane;
@@ -327,116 +329,231 @@ fn eval_frame(
     })
 }
 
-/// Trains a decal against a frozen detector. `ps_det` is only used for
-/// forward passes (weights are never updated).
-pub fn train_decal_attack(
-    scenario: &AttackScenario,
-    detector: &TinyYolo,
-    ps_det: &mut ParamSet,
-    cfg: &AttackConfig,
-) -> TrainedDecal {
-    assert!(cfg.consecutive_frames >= 1);
-    assert!(cfg.clips_per_batch >= 1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let canvas = scenario.patch_canvas;
-    let gan_cfg = GanConfig {
-        z_dim: 16,
-        canvas,
-        base: 16,
-    };
-    let mut ps_g = ParamSet::new();
-    let mut ps_d = ParamSet::new();
-    let gen = Generator::new(&mut ps_g, &mut rng, gan_cfg);
-    let disc = Discriminator::new(&mut ps_d, &mut rng, gan_cfg);
-    let mut opt_g = Adam::with_betas(cfg.lr, 0.5, 0.999);
-    let mut opt_d = Adam::with_betas(cfg.lr, 0.5, 0.999);
-    if cfg.audit {
-        // Fail fast on mis-wired models before any kernel-heavy step runs.
-        let mut issues = Vec::new();
-        // frames run through the detector on batch-1 worker tapes
-        issues.extend(detector.validate(ps_det, 1).err().unwrap_or_default());
-        issues.extend(gen.validate(&ps_g, 1).err().unwrap_or_default());
-        issues.extend(disc.validate(&ps_d, 1).err().unwrap_or_default());
-        assert!(
-            issues.is_empty(),
-            "graph validation failed:\n{}",
-            issues
-                .iter()
-                .map(|i| i.to_string())
-                .collect::<Vec<_>>()
-                .join("\n")
-        );
+/// Step-wise attack training with full-state snapshot/restore.
+///
+/// Owns everything `train_decal_attack`'s loop used to hold — the GAN,
+/// both optimizers, the annealed latent `z*`, the training RNG and the
+/// loss histories — and exposes it one optimizer step at a time. The
+/// complete state can be exported as an [`rd_tensor::io::Checkpoint`]
+/// and restored bitwise-identically, and a healthy step-wise run matches
+/// [`train_decal_attack`] bit for bit (including PR 2's deterministic
+/// parallel frame fan-out, whatever the thread count).
+pub struct AttackTrainer<'a> {
+    scenario: &'a AttackScenario,
+    detector: &'a TinyYolo,
+    ps_det: &'a mut ParamSet,
+    cfg: AttackConfig,
+    rng: StdRng,
+    gan_cfg: GanConfig,
+    ps_g: ParamSet,
+    ps_d: ParamSet,
+    gen: Generator,
+    disc: Discriminator,
+    opt_g: Adam,
+    opt_d: Adam,
+    silhouette: Plane,
+    z_star: Tensor,
+    blur_maps: Vec<Arc<LinearMap>>,
+    attack_hist: Vec<f32>,
+    adv_hist: Vec<f32>,
+    real_labels: Tensor,
+    fake_labels: Tensor,
+    gen_label: Tensor,
+    grad_acc: Option<Arc<Tensor>>,
+    step: usize,
+    canvas: usize,
+    num_classes: usize,
+    coarse_grid: usize,
+    fine_grid: usize,
+    fps: f32,
+    anneal_at: usize,
+}
+
+impl<'a> AttackTrainer<'a> {
+    /// Builds the GAN and all run state. Consumes exactly the RNG draws
+    /// the original monolithic loop consumed before its first step.
+    pub fn new(
+        scenario: &'a AttackScenario,
+        detector: &'a TinyYolo,
+        ps_det: &'a mut ParamSet,
+        cfg: &AttackConfig,
+    ) -> Self {
+        assert!(cfg.consecutive_frames >= 1);
+        assert!(cfg.clips_per_batch >= 1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let canvas = scenario.patch_canvas;
+        let gan_cfg = GanConfig {
+            z_dim: 16,
+            canvas,
+            base: 16,
+        };
+        let mut ps_g = ParamSet::new();
+        let mut ps_d = ParamSet::new();
+        let gen = Generator::new(&mut ps_g, &mut rng, gan_cfg);
+        let disc = Discriminator::new(&mut ps_d, &mut rng, gan_cfg);
+        let opt_g = Adam::with_betas(cfg.lr, 0.5, 0.999);
+        let opt_d = Adam::with_betas(cfg.lr, 0.5, 0.999);
+        if cfg.audit {
+            // Fail fast on mis-wired models before any kernel-heavy step runs.
+            let mut issues = Vec::new();
+            // frames run through the detector on batch-1 worker tapes
+            issues.extend(detector.validate(ps_det, 1).err().unwrap_or_default());
+            issues.extend(gen.validate(&ps_g, 1).err().unwrap_or_default());
+            issues.extend(disc.validate(&ps_d, 1).err().unwrap_or_default());
+            assert!(
+                issues.is_empty(),
+                "graph validation failed:\n{}",
+                issues
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+        let silhouette = mask(cfg.shape, canvas);
+        let z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
+        let fps = 18.0;
+        // pre-built differentiable motion-blur maps (EOT over capture blur)
+        let blur_maps: Vec<Arc<LinearMap>> = (1..=3)
+            .map(|r| {
+                Arc::new(rd_vision::warp::vertical_box_blur_map(
+                    scenario.rig.image_hw,
+                    r,
+                ))
+            })
+            .collect();
+        let num_classes = detector.config().num_classes;
+        let input = detector.config().input;
+        AttackTrainer {
+            scenario,
+            detector,
+            ps_det,
+            cfg: *cfg,
+            rng,
+            gan_cfg,
+            ps_g,
+            ps_d,
+            gen,
+            disc,
+            opt_g,
+            opt_d,
+            silhouette,
+            z_star,
+            blur_maps,
+            attack_hist: Vec::with_capacity(cfg.steps),
+            adv_hist: Vec::with_capacity(cfg.steps),
+            // GAN label constants, hoisted out of the step loop (they
+            // never change, so re-allocating them every step was churn).
+            real_labels: Tensor::ones(&[8, 1]),
+            fake_labels: Tensor::zeros(&[8, 1]),
+            gen_label: Tensor::ones(&[1, 1]),
+            // Accumulation buffer for the fan-out's patch gradient,
+            // reused across steps (each tape only borrows it via `Arc`).
+            grad_acc: None,
+            step: 0,
+            canvas,
+            num_classes,
+            coarse_grid: input / 32,
+            fine_grid: input / 16,
+            fps,
+            // After this step, training locks onto the deployment latent
+            // z* so the *single* decal that will be printed gets direct
+            // optimization (the paper synthesizes one AP and verifies it
+            // digitally before printing).
+            anneal_at: cfg.steps * 3 / 5,
+        }
     }
-    let silhouette = mask(cfg.shape, canvas);
-    let mut z_star = Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0);
-    let fps = 18.0;
-    // pre-built differentiable motion-blur maps (EOT over capture blur)
-    let blur_maps: Vec<Arc<LinearMap>> = (1..=3)
-        .map(|r| {
-            Arc::new(rd_vision::warp::vertical_box_blur_map(
-                scenario.rig.image_hw,
-                r,
-            ))
-        })
-        .collect();
-    let num_classes = detector.config().num_classes;
-    let input = detector.config().input;
-    let coarse_grid = input / 32;
-    let fine_grid = input / 16;
 
-    let mut attack_hist = Vec::with_capacity(cfg.steps);
-    let mut adv_hist = Vec::with_capacity(cfg.steps);
-    // GAN label constants, hoisted out of the step loop (they never
-    // change, so re-allocating them every step was pure churn).
-    let real_labels = Tensor::ones(&[8, 1]);
-    let fake_labels = Tensor::zeros(&[8, 1]);
-    let gen_label = Tensor::ones(&[1, 1]);
-    // Accumulation buffer for the fan-out's patch gradient, reused
-    // across steps (the per-step tape only borrows it via `Arc`).
-    let mut grad_acc: Option<Arc<Tensor>> = None;
-    // After this step, training locks onto the deployment latent z* so the
-    // *single* decal that will be printed gets direct optimization (the
-    // paper synthesizes one AP and verifies it digitally before printing).
-    let anneal_at = cfg.steps * 3 / 5;
+    /// Optimizer steps completed (or skipped) so far.
+    pub fn steps_done(&self) -> u64 {
+        self.step as u64
+    }
 
-    for step in 0..cfg.steps {
+    /// Total optimizer steps a full run takes.
+    pub fn total_steps(&self) -> u64 {
+        self.cfg.steps as u64
+    }
+
+    /// Whether every step has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.step >= self.cfg.steps
+    }
+
+    /// Scales both optimizers' learning rates relative to the configured
+    /// base rate (backoff policy hook; 1.0 restores the base rate).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.opt_g.set_lr(self.cfg.lr * scale);
+        self.opt_d.set_lr(self.cfg.lr * scale);
+    }
+
+    /// Current generator learning rate.
+    pub fn lr(&self) -> f32 {
+        self.opt_g.lr()
+    }
+
+    /// Runs one optimizer step. On a non-finite loss or gradient the
+    /// generator/discriminator updates are suppressed, the step counter
+    /// does **not** advance, and the returned [`StepOutcome::NonFinite`]
+    /// carries provenance (offending params plus a tape audit).
+    pub fn step(&mut self, hook: Option<GradHook<'_>>) -> StepOutcome {
+        self.run_step(hook, true)
+    }
+
+    /// Runs the current step's full sampling and compute but suppresses
+    /// both optimizer updates — the runner's last resort once LR backoff
+    /// is exhausted. The RNG consumes exactly the draws a real step
+    /// would, so the rest of the trajectory stays deterministic.
+    pub fn skip_step(&mut self) {
+        self.run_step(None, false);
+    }
+
+    fn run_step(&mut self, hook: Option<GradHook<'_>>, apply: bool) -> StepOutcome {
+        assert!(!self.is_done(), "step() called on a finished trainer");
+        let cfg = self.cfg;
+        let step = self.step;
         // ---- discriminator step (keeps the decal shaped like a decal) ----
-        if cfg.d_every > 0 && step % cfg.d_every == 0 {
-            ps_d.zero_grads();
-            let real = real_shape_batch(&mut rng, cfg.shape, 8, canvas);
+        if cfg.d_every > 0 && step.is_multiple_of(cfg.d_every) {
+            self.ps_d.zero_grads();
+            let real = real_shape_batch(&mut self.rng, cfg.shape, 8, self.canvas);
             // detached fake
             let fake_t = {
                 let mut g = Graph::new();
-                let z = g.input(Tensor::randn(&mut rng, &[8, gan_cfg.z_dim], 1.0));
-                let f = gen.forward(&mut g, &mut ps_g, z, false);
+                let z = g.input(Tensor::randn(&mut self.rng, &[8, self.gan_cfg.z_dim], 1.0));
+                let f = self.gen.forward(&mut g, &mut self.ps_g, z, false);
                 g.into_value(f)
             };
             let mut g = Graph::new();
             let rv = g.input(real);
             let fv = g.input(fake_t);
-            let dr = disc.forward(&mut g, &ps_d, rv, false);
-            let df = disc.forward(&mut g, &ps_d, fv, false);
-            let lr_ = g.bce_with_logits(dr, &real_labels);
-            let lf_ = g.bce_with_logits(df, &fake_labels);
+            let dr = self.disc.forward(&mut g, &self.ps_d, rv, false);
+            let df = self.disc.forward(&mut g, &self.ps_d, fv, false);
+            let lr_ = g.bce_with_logits(dr, &self.real_labels);
+            let lf_ = g.bce_with_logits(df, &self.fake_labels);
             let dl = g.add(lr_, lf_);
             let grads = g.backward(dl);
-            g.write_grads(&grads, &mut ps_d);
-            opt_d.step(&mut ps_d);
+            g.write_grads(&grads, &mut self.ps_d);
+            if apply {
+                let dval = g.value(dl).data()[0];
+                if let Some(detail) = non_finite_detail(dval, &self.ps_d, &g, "discriminator") {
+                    return StepOutcome::NonFinite { detail };
+                }
+                self.opt_d.step(&mut self.ps_d);
+            }
         }
 
         // ---- generator step: realism + α · L_f over the frame batch ----
-        ps_g.zero_grads();
+        self.ps_g.zero_grads();
         let mut g = Graph::new();
-        let z_t = if step < anneal_at {
-            Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0)
+        let z_t = if step < self.anneal_at {
+            Tensor::randn(&mut self.rng, &[1, self.gan_cfg.z_dim], 1.0)
         } else {
             // move z* onto the tape; it is moved back out after the step
-            std::mem::replace(&mut z_star, Tensor::scalar(0.0))
+            std::mem::replace(&mut self.z_star, Tensor::scalar(0.0))
         };
         let z = g.input(z_t);
-        let patch = gen.forward(&mut g, &mut ps_g, z, true);
-        let d_logit = disc.forward(&mut g, &ps_d, patch, true);
-        let l_adv = g.bce_with_logits(d_logit, &gen_label);
+        let patch = self.gen.forward(&mut g, &mut self.ps_g, z, true);
+        let d_logit = self.disc.forward(&mut g, &self.ps_d, patch, true);
+        let l_adv = g.bce_with_logits(d_logit, &self.gen_label);
 
         // ---- frame fan-out: every random draw happens here, on the
         // main rng, in frame order; the frames themselves (render,
@@ -444,16 +561,23 @@ pub fn train_decal_attack(
         // run on the worker pool, one batch-1 tape each ----
         let mut jobs: Vec<FrameJob> = Vec::with_capacity(cfg.batch_frames());
         for _ in 0..cfg.clips_per_batch {
-            let poses = sample_visible_clip(scenario, &mut rng, cfg.consecutive_frames, fps);
+            let poses = sample_visible_clip(
+                self.scenario,
+                &mut self.rng,
+                cfg.consecutive_frames,
+                self.fps,
+            );
             for pose in poses {
-                let eot = cfg.eot.sample_n(&mut rng, scenario.decal_placements.len());
-                let capture_seed = rng.next_u64();
+                let eot = cfg
+                    .eot
+                    .sample_n(&mut self.rng, self.scenario.decal_placements.len());
+                let capture_seed = self.rng.next_u64();
                 // attacked cells: everywhere the detector could file the
                 // victim (both heads, all anchors in the box)
                 let mut cc = Vec::new();
                 let mut fc = Vec::new();
-                if let Some(vb) = scenario.victim_box(&pose) {
-                    for (anchor, cy, cx) in victim_cells(&vb, coarse_grid) {
+                if let Some(vb) = self.scenario.victim_box(&pose) {
+                    for (anchor, cy, cx) in victim_cells(&vb, self.coarse_grid) {
                         cc.push(AttackCell {
                             n: 0,
                             anchor,
@@ -461,7 +585,7 @@ pub fn train_decal_attack(
                             cx,
                         });
                     }
-                    for (anchor, cy, cx) in victim_cells(&vb, fine_grid) {
+                    for (anchor, cy, cx) in victim_cells(&vb, self.fine_grid) {
                         fc.push(AttackCell {
                             n: 0,
                             anchor,
@@ -480,14 +604,14 @@ pub fn train_decal_attack(
             }
         }
         let ctx = FrameCtx {
-            scenario,
-            detector,
-            ps_det,
-            cfg,
-            silhouette: &silhouette,
-            blur_maps: &blur_maps,
-            canvas,
-            num_classes,
+            scenario: self.scenario,
+            detector: self.detector,
+            ps_det: self.ps_det,
+            cfg: &self.cfg,
+            silhouette: &self.silhouette,
+            blur_maps: &self.blur_maps,
+            canvas: self.canvas,
+            num_classes: self.num_classes,
         };
         let patch_value = g.value(patch);
         let lint_first = cfg.audit && step == 0;
@@ -506,13 +630,20 @@ pub fn train_decal_attack(
                 }
             }
         }
-        adv_hist.push(g.value(l_adv).data()[0]);
+        let adv_val = g.value(l_adv).data()[0];
 
         // ---- deterministic reduction: weighted sum of the per-frame
         // patch gradients, on the calling thread, in frame order ----
         let live: Vec<&FrameResult> = results.iter().flatten().collect();
+        // `None` means no frame saw the victim this step — a legitimate
+        // no-signal batch, recorded as NaN in the history but NOT a
+        // divergence (the loss node itself stays finite).
+        let attack_val = if live.is_empty() {
+            None
+        } else {
+            Some(live.iter().map(|r| r.loss).sum::<f32>() / live.len() as f32)
+        };
         let loss = if live.is_empty() {
-            attack_hist.push(f32::NAN);
             g.scale(l_adv, cfg.gan_weight)
         } else {
             // L_f = mean_i l_i, plus — in consecutive-frame mode — a
@@ -521,14 +652,15 @@ pub fn train_decal_attack(
             // breaks the AV's confirmation run. Hence
             // dL_f/dl_i = (1 + l_i)/n (resp. 1/n without the term).
             let n = live.len() as f32;
-            let mean_val = live.iter().map(|r| r.loss).sum::<f32>() / n;
+            let mean_val = attack_val.expect("non-empty");
             let lf_total = if cfg.consecutive_frames > 1 {
                 mean_val + live.iter().map(|r| r.loss * r.loss).sum::<f32>() * 0.5 / n
             } else {
                 mean_val
             };
-            let acc =
-                grad_acc.get_or_insert_with(|| Arc::new(Tensor::zeros(live[0].patch_grad.shape())));
+            let acc = self
+                .grad_acc
+                .get_or_insert_with(|| Arc::new(Tensor::zeros(live[0].patch_grad.shape())));
             let buf =
                 Arc::get_mut(acc).expect("gradient buffer still held by a previous step's tape");
             buf.data_mut().fill(0.0);
@@ -540,7 +672,6 @@ pub fn train_decal_attack(
                 };
                 buf.add_scaled_assign(&r.patch_grad, w);
             }
-            attack_hist.push(mean_val);
             let acc_tape = Arc::clone(acc);
             let pi = patch.index();
             let lf_node = g.custom_named(
@@ -557,50 +688,225 @@ pub fn train_decal_attack(
             g.add(a, b)
         };
         let grads = g.backward(loss);
-        g.write_grads(&grads, &mut ps_g);
-        ps_g.clip_grad_norm(10.0);
-        opt_g.step(&mut ps_g);
-        if step >= anneal_at {
-            // reclaim z* (moved onto the tape above) without a copy
-            z_star = g.into_value(z);
+        g.write_grads(&grads, &mut self.ps_g);
+        self.ps_g.clip_grad_norm(10.0);
+        if let Some(h) = hook {
+            h(self.step as u64, &mut self.ps_g);
         }
+        let loss_val = g.value(loss).data()[0];
+        if apply {
+            if let Some(detail) = non_finite_detail(loss_val, &self.ps_g, &g, "generator") {
+                if step >= self.anneal_at {
+                    // reclaim z* (moved onto the tape above) so a rollback
+                    // retry finds the trainer structurally intact
+                    self.z_star = g.into_value(z);
+                }
+                return StepOutcome::NonFinite { detail };
+            }
+            self.opt_g.step(&mut self.ps_g);
+        }
+        self.adv_hist.push(adv_val);
+        self.attack_hist.push(attack_val.unwrap_or(f32::NAN));
+        if step >= self.anneal_at {
+            // reclaim z* (moved onto the tape above) without a copy
+            self.z_star = g.into_value(z);
+        }
+        self.step += 1;
+        StepOutcome::Ran { loss: loss_val }
     }
 
-    // Candidate decals: the annealed latent plus a few fresh samples; the
-    // paper's protocol verifies digital-world success before printing, so
-    // pick the candidate with the highest digital flip rate.
-    let mut candidates: Vec<Tensor> = vec![z_star];
-    for _ in 0..5 {
-        candidates.push(Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0));
+    fn fingerprint(&self) -> Vec<u64> {
+        vec![
+            self.cfg.steps as u64,
+            self.cfg.clips_per_batch as u64,
+            self.cfg.consecutive_frames as u64,
+            self.cfg.seed,
+            self.cfg.lr.to_bits() as u64,
+            self.canvas as u64,
+        ]
     }
-    let val_poses: Vec<CameraPose> = (0..8)
-        .map(|i| CameraPose::at_distance(1.4 + 0.4 * i as f32))
-        .collect();
-    let mut best: Option<(usize, Plane)> = None;
-    for z_t in candidates {
-        let mut g = Graph::new();
-        let z = g.input(z_t);
-        let patch = gen.forward(&mut g, &mut ps_g, z, false);
-        let plane = Plane::from_vec(g.into_value(patch).into_vec(), canvas, canvas);
-        let decal = Decal::mono(&plane, silhouette.clone(), cfg.shape);
-        let flips = digital_flip_rate(
+
+    /// Exports the complete training state.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        ck.put_params("gen", &self.ps_g);
+        ck.put_params("disc", &self.ps_d);
+        ck.put_adam("opt_g", &self.opt_g);
+        ck.put_adam("opt_d", &self.opt_d);
+        ck.put_rng("rng", &self.rng);
+        ck.put_u64("step", self.step as u64);
+        ck.put_tensors("z_star", vec![self.z_star.clone()]);
+        ck.put_f32s("attack_hist", self.attack_hist.clone());
+        ck.put_f32s("adv_hist", self.adv_hist.clone());
+        ck.put_u64s("fingerprint", self.fingerprint());
+        ck
+    }
+
+    /// Restores a state exported by [`checkpoint`](Self::checkpoint),
+    /// after which training continues bitwise-identically to the run
+    /// that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::StateMismatch`] when the checkpoint
+    /// came from a different scenario/config, or a structural error when
+    /// sections are missing or malformed.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        let fp = ck.u64s("fingerprint")?;
+        if fp != self.fingerprint() {
+            return Err(CheckpointError::StateMismatch(format!(
+                "attack checkpoint fingerprint {fp:?} != this run's {:?} \
+                 (steps, clips, frames, seed, lr bits, canvas)",
+                self.fingerprint()
+            )));
+        }
+        ck.load_params_into("gen", &mut self.ps_g)?;
+        ck.load_params_into("disc", &mut self.ps_d)?;
+        let mut opt_g = Adam::with_betas(self.cfg.lr, 0.5, 0.999);
+        opt_g
+            .load_state(ck.get_adam("opt_g")?)
+            .map_err(CheckpointError::StateMismatch)?;
+        let mut opt_d = Adam::with_betas(self.cfg.lr, 0.5, 0.999);
+        opt_d
+            .load_state(ck.get_adam("opt_d")?)
+            .map_err(CheckpointError::StateMismatch)?;
+        let z_star = match ck.tensors("z_star")? {
+            [z] => z.clone(),
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "z_star section holds {} tensor(s), expected 1",
+                    other.len()
+                )))
+            }
+        };
+        if z_star.shape() != [1, self.gan_cfg.z_dim] {
+            return Err(CheckpointError::StateMismatch(format!(
+                "z_star has shape {:?}, expected [1, {}]",
+                z_star.shape(),
+                self.gan_cfg.z_dim
+            )));
+        }
+        self.rng = ck.get_rng("rng")?;
+        self.step = ck.u64("step")? as usize;
+        self.opt_g = opt_g;
+        self.opt_d = opt_d;
+        self.z_star = z_star;
+        self.attack_hist = ck.f32s("attack_hist")?.to_vec();
+        self.adv_hist = ck.f32s("adv_hist")?.to_vec();
+        Ok(())
+    }
+
+    /// Consumes the trainer: candidate decals (the annealed latent plus
+    /// a few fresh samples) are scored by digital flip rate — the paper's
+    /// protocol verifies digital-world success before printing — and the
+    /// best one becomes the final [`TrainedDecal`].
+    pub fn finish(self) -> TrainedDecal {
+        let AttackTrainer {
             scenario,
-            &decal,
             detector,
             ps_det,
-            cfg.target_class,
-            &val_poses,
-        );
-        if best.as_ref().map(|(b, _)| flips > *b).unwrap_or(true) {
-            best = Some((flips, plane));
+            cfg,
+            mut rng,
+            gan_cfg,
+            mut ps_g,
+            gen,
+            silhouette,
+            z_star,
+            attack_hist,
+            adv_hist,
+            canvas,
+            ..
+        } = self;
+        let mut candidates: Vec<Tensor> = vec![z_star];
+        for _ in 0..5 {
+            candidates.push(Tensor::randn(&mut rng, &[1, gan_cfg.z_dim], 1.0));
+        }
+        let val_poses: Vec<CameraPose> = (0..8)
+            .map(|i| CameraPose::at_distance(1.4 + 0.4 * i as f32))
+            .collect();
+        let mut best: Option<(usize, Plane)> = None;
+        for z_t in candidates {
+            let mut g = Graph::new();
+            let z = g.input(z_t);
+            let patch = gen.forward(&mut g, &mut ps_g, z, false);
+            let plane = Plane::from_vec(g.into_value(patch).into_vec(), canvas, canvas);
+            let decal = Decal::mono(&plane, silhouette.clone(), cfg.shape);
+            let flips = digital_flip_rate(
+                scenario,
+                &decal,
+                detector,
+                ps_det,
+                cfg.target_class,
+                &val_poses,
+            );
+            if best.as_ref().map(|(b, _)| flips > *b).unwrap_or(true) {
+                best = Some((flips, plane));
+            }
+        }
+        let (_, plane) = best.expect("at least one candidate");
+        TrainedDecal {
+            decal: Decal::mono(&plane, silhouette, cfg.shape),
+            attack_loss: attack_hist,
+            adv_loss: adv_hist,
         }
     }
-    let (_, plane) = best.expect("at least one candidate");
-    TrainedDecal {
-        decal: Decal::mono(&plane, silhouette, cfg.shape),
-        attack_loss: attack_hist,
-        adv_loss: adv_hist,
+}
+
+/// Builds a provenance string when the loss or any accumulated gradient
+/// is non-finite; `None` when everything is healthy.
+fn non_finite_detail(loss: f32, ps: &ParamSet, g: &Graph, which: &str) -> Option<String> {
+    let bad_params: Vec<String> = ps
+        .iter()
+        .filter(|(_, p)| p.grad().data().iter().any(|v| !v.is_finite()))
+        .map(|(_, p)| format!("{}{:?}", p.name(), p.value().shape()))
+        .collect();
+    if loss.is_finite() && bad_params.is_empty() {
+        return None;
     }
+    let mut detail = if loss.is_finite() {
+        format!(
+            "{which}: non-finite gradient(s) in [{}]",
+            bad_params.join(", ")
+        )
+    } else if bad_params.is_empty() {
+        format!("{which}: non-finite loss {loss}")
+    } else {
+        format!(
+            "{which}: non-finite loss {loss}; non-finite gradient(s) in [{}]",
+            bad_params.join(", ")
+        )
+    };
+    if let Some(report) = rd_analysis::audit_non_finite(g) {
+        detail.push_str(&format!("\ntape audit: {report}"));
+    }
+    Some(detail)
+}
+
+/// Trains a decal against a frozen detector. `ps_det` is only used for
+/// forward passes (weights are never updated).
+///
+/// Convenience wrapper over [`AttackTrainer`]: runs every step, and on a
+/// non-finite loss/gradient skips the offending batch (leaving the GAN
+/// untouched) rather than poisoning the weights. For checkpointed,
+/// resumable training drive [`AttackTrainer`] directly or through
+/// [`crate::runner::TrainRunner`].
+pub fn train_decal_attack(
+    scenario: &AttackScenario,
+    detector: &TinyYolo,
+    ps_det: &mut ParamSet,
+    cfg: &AttackConfig,
+) -> TrainedDecal {
+    let mut trainer = AttackTrainer::new(scenario, detector, ps_det, cfg);
+    while !trainer.is_done() {
+        if let StepOutcome::NonFinite { detail } = trainer.step(None) {
+            eprintln!(
+                "attack train: skipping batch at step {}: {detail}",
+                trainer.steps_done()
+            );
+            trainer.skip_step();
+        }
+    }
+    trainer.finish()
 }
 
 /// Number of validation poses on which the decal flips the victim to the

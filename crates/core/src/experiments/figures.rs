@@ -21,17 +21,41 @@ use rd_vision::shapes::{mask, Shape};
 use rd_vision::{Image, Plane};
 
 use crate::annotate::draw_detections;
-use crate::attack::{deploy, train_decal_attack, AttackConfig};
+use crate::attack::{deploy, AttackConfig, TrainedDecal};
 use crate::decal::Decal;
 use crate::eval::{render_attacked_frame, EvalConfig};
+use crate::runner::train_decal_attack_recoverable;
 use crate::scenario::AttackScenario;
 
-use super::scale::Environment;
+use super::scale::{Environment, ExperimentError, ExperimentRecovery};
 
-fn save(img: &Image, dir: &Path, name: &str, written: &mut Vec<PathBuf>) {
+fn save(
+    img: &Image,
+    dir: &Path,
+    name: &str,
+    written: &mut Vec<PathBuf>,
+) -> Result<(), ExperimentError> {
     let path = dir.join(name);
-    img.save_ppm(&path).expect("write figure PPM");
+    img.save_ppm(&path).map_err(|source| ExperimentError::Io {
+        path: path.clone(),
+        source,
+    })?;
     written.push(path);
+    Ok(())
+}
+
+/// Trains one figure's attack under the environment's recovery policy.
+fn train_attack(
+    env: &mut Environment,
+    stage: &str,
+    scenario: &AttackScenario,
+    cfg: &AttackConfig,
+) -> Result<TrainedDecal, ExperimentError> {
+    let opts = env.recovery.for_stage(stage);
+    let (trained, report) =
+        train_decal_attack_recoverable(scenario, &env.detector, &mut env.params, cfg, &opts)?;
+    ExperimentRecovery::log_stage(stage, &report);
+    Ok(trained)
 }
 
 /// Upscales an image by an integer factor (nearest) so small canvases are
@@ -82,9 +106,21 @@ fn decal_preview(decal: &Decal) -> Image {
 /// Generates every figure into `out_dir`, returning the written paths.
 /// Trains one N=4 attack (figures 2/4/6/8 reuse it) and one N=6 attack
 /// (figure 5).
-pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) -> Vec<PathBuf> {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when an attack's checkpoint cannot be
+/// read or written, or a figure file cannot be saved.
+pub fn run_figures(
+    env: &mut Environment,
+    seed: u64,
+    out_dir: impl AsRef<Path>,
+) -> Result<Vec<PathBuf>, ExperimentError> {
     let dir = out_dir.as_ref();
-    std::fs::create_dir_all(dir).expect("create figure dir");
+    std::fs::create_dir_all(dir).map_err(|source| ExperimentError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
     let mut written = Vec::new();
     let scale = env.scale;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -96,7 +132,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         ..AttackConfig::paper()
     };
     let scenario4 = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
-    let trained = train_decal_attack(&scenario4, &env.detector, &mut env.params, &cfg);
+    let trained = train_attack(env, "figs attack n4", &scenario4, &cfg)?;
     let decals4 = deploy(&trained.decal, &scenario4);
 
     let digital = EvalConfig::digital(seed);
@@ -117,7 +153,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig2_training_batch.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 3: the angle geometry ---
     let frames: Vec<Image> = AngleSetting::ALL
@@ -135,7 +171,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig3_angles.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 4: digital vs simulated frames with detections (N=4) ---
     let mut fig4 = Vec::new();
@@ -151,11 +187,11 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig4_digital_vs_simulated.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 5: digital vs real-world frames with detections (N=6) ---
     let scenario6 = AttackScenario::parking_lot(scale.rig(), 6, 60, 16, seed);
-    let trained6 = train_decal_attack(&scenario6, &env.detector, &mut env.params, &cfg);
+    let trained6 = train_attack(env, "figs attack n6", &scenario6, &cfg)?;
     let decals6 = deploy(&trained6.decal, &scenario6);
     let mut fig5 = Vec::new();
     for ecfg in [&digital, &real] {
@@ -170,7 +206,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig5_digital_vs_real.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 6: layouts for N in {2,4,6,8} ---
     let frames: Vec<Image> = [2usize, 4, 6, 8]
@@ -193,7 +229,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig6_decal_counts.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 7: the four decal shapes as physical artifacts ---
     let canvases: Vec<Image> = Shape::ALL
@@ -209,7 +245,7 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig7_shapes.ppm",
         &mut written,
-    );
+    )?;
 
     // --- Fig 8: decal sizes k in {20,40,60,80} ---
     let frames: Vec<Image> = [20usize, 40, 60, 80]
@@ -232,9 +268,9 @@ pub fn run_figures(env: &mut Environment, seed: u64, out_dir: impl AsRef<Path>) 
         dir,
         "fig8_decal_sizes.ppm",
         &mut written,
-    );
+    )?;
 
-    written
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -246,7 +282,7 @@ mod tests {
     fn figures_are_written_at_smoke_scale() {
         let mut env = prepare_environment(Scale::Smoke, 11);
         let dir = std::env::temp_dir().join("rd_fig_test");
-        let written = run_figures(&mut env, 11, &dir);
+        let written = run_figures(&mut env, 11, &dir).expect("figures run");
         assert_eq!(written.len(), 7);
         for p in &written {
             let meta = std::fs::metadata(p).expect("figure exists");

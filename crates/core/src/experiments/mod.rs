@@ -9,5 +9,8 @@ mod scale;
 mod tables;
 
 pub use figures::run_figures;
-pub use scale::{prepare_environment, Environment, Scale};
+pub use scale::{
+    prepare_environment, prepare_environment_with, Environment, ExperimentError,
+    ExperimentRecovery, Scale,
+};
 pub use tables::{run_table1, run_table2, run_table3, run_table4, run_table5, run_table6};

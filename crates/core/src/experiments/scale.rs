@@ -1,13 +1,17 @@
 //! Shared experiment environment: scale selection and the trained victim
 //! detector (cached on disk so the six table binaries don't retrain it).
 
+use std::path::PathBuf;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rd_detector::{evaluate, train, TinyYolo, TrainConfig, YoloConfig};
+use rd_detector::{evaluate, TinyYolo, TrainConfig, YoloConfig};
 use rd_scene::dataset::{generate, DatasetConfig};
 use rd_scene::CameraRig;
 use rd_tensor::{io, ParamSet};
+
+use crate::runner::{train_detector_recoverable, RecoveryOptions, RunnerError, RunnerReport};
 
 /// Experiment scale: `Smoke` for tests/benches (seconds), `Paper` for the
 /// EXPERIMENTS.md numbers (minutes).
@@ -81,6 +85,112 @@ impl Scale {
     }
 }
 
+/// Recovery policy for a whole experiment run: every training stage (the
+/// detector fine-tune and each table row's attack) checkpoints into one
+/// directory and can resume from it after a crash.
+///
+/// The default is fully disabled — no checkpoint files, no resume — which
+/// keeps `prepare_environment` and the table runners byte-for-byte
+/// equivalent to their pre-recovery behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentRecovery {
+    /// Write a checkpoint every this many optimizer steps (0 disables
+    /// periodic checkpoints).
+    pub checkpoint_every: u64,
+    /// Directory holding the per-stage checkpoint files
+    /// (`<stage-slug>.rdc`); `None` keeps recovery in memory only.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume each stage from its checkpoint file when one exists.
+    pub resume: bool,
+}
+
+impl ExperimentRecovery {
+    /// The concrete runner policy for one named training stage; the stage
+    /// label is slugged into the checkpoint file name.
+    pub fn for_stage(&self, stage: &str) -> RecoveryOptions {
+        RecoveryOptions {
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_path: self
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| d.join(format!("{}.rdc", slug(stage)))),
+            resume: self.resume,
+            ..RecoveryOptions::default()
+        }
+    }
+
+    /// Logs what a finished stage went through (resume point, rollbacks,
+    /// skipped batches) — silent for a clean uninterrupted run.
+    pub fn log_stage(stage: &str, report: &RunnerReport) {
+        if let Some(step) = report.resumed_from {
+            eprintln!("[recover] {stage}: resumed at step {step}");
+        }
+        if report.rollbacks > 0 {
+            eprintln!(
+                "[recover] {stage}: {} rollback(s), {} batch(es) skipped",
+                report.rollbacks,
+                report.skipped_steps.len()
+            );
+        }
+    }
+}
+
+/// File-name slug for a stage label: `"Table I · Ours (w/ 3 frames)"`
+/// becomes `"table-i-ours-w-3-frames"`.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_owned()
+}
+
+/// Why an experiment runner stopped early instead of producing its table
+/// or figures.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A training stage failed inside the recovery runner (unreadable or
+    /// unwritable checkpoint, scripted kill in tests).
+    Train(RunnerError),
+    /// An output artifact (figure, report) could not be written.
+    Io {
+        /// The path being written.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Train(e) => write!(f, "training stage failed: {e}"),
+            ExperimentError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Train(e) => Some(e),
+            ExperimentError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<RunnerError> for ExperimentError {
+    fn from(e: RunnerError) -> Self {
+        ExperimentError::Train(e)
+    }
+}
+
 /// Everything the table experiments share: the rig and a trained victim
 /// detector.
 pub struct Environment {
@@ -95,6 +205,9 @@ pub struct Environment {
     /// Propagated into every attack the experiment runs (see
     /// [`crate::attack::AttackConfig::audit`]).
     pub audit: bool,
+    /// Recovery policy applied to every training stage the experiment
+    /// runs (disabled by default).
+    pub recovery: ExperimentRecovery,
 }
 
 impl Environment {
@@ -135,16 +248,43 @@ impl std::fmt::Debug for Environment {
 /// Trains (or loads from the on-disk cache) the victim detector for a
 /// scale. Deterministic given `seed` — the cache only skips recompute.
 pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
+    prepare_environment_with(scale, seed, ExperimentRecovery::default())
+        .expect("detector training cannot fail with recovery disabled")
+}
+
+/// [`prepare_environment`] under a recovery policy: the detector
+/// fine-tune runs through [`crate::runner::TrainRunner`] (periodic
+/// checkpoints, crash resume, divergence rollback), and the policy is
+/// carried into the environment for every attack the tables and figures
+/// train.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Train`] when a checkpoint cannot be read
+/// or written.
+pub fn prepare_environment_with(
+    scale: Scale,
+    seed: u64,
+    recovery: ExperimentRecovery,
+) -> Result<Environment, ExperimentError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut params = ParamSet::new();
     let detector = TinyYolo::new(&mut params, &mut rng, scale.yolo());
     let cache = scale.cache_path();
     let mut loaded = false;
     if cache.exists() {
-        if let Ok(buf) = std::fs::read(&cache) {
-            if io::load_params_into(&mut params, &buf).is_ok() {
-                loaded = true;
-            }
+        match std::fs::read(&cache) {
+            Ok(buf) => match io::load_params_into(&mut params, &buf) {
+                Ok(()) => loaded = true,
+                Err(e) => eprintln!(
+                    "[cache] ignoring weight cache {}: {e}; retraining",
+                    cache.display()
+                ),
+            },
+            Err(e) => eprintln!(
+                "[cache] cannot read weight cache {}: {e}; retraining",
+                cache.display()
+            ),
         }
     }
     if !loaded {
@@ -154,7 +294,8 @@ pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
             seed: seed ^ 0xda7a,
             augment: true,
         });
-        train(
+        let stage = format!("detector-{scale:?}");
+        let (_, report) = train_detector_recoverable(
             &detector,
             &mut params,
             &data,
@@ -166,10 +307,14 @@ pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
                 clip: 10.0,
                 log_every: 0,
             },
-        );
+            &recovery.for_stage(&stage),
+        )?;
+        ExperimentRecovery::log_stage(&stage, &report);
         if let Some(dir) = cache.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
+        // the cache is best-effort: failing to write it costs a retrain
+        // next run, nothing else
         let _ = io::save_params_file(&params, &cache);
     }
     let test = generate(&DatasetConfig {
@@ -179,13 +324,14 @@ pub fn prepare_environment(scale: Scale, seed: u64) -> Environment {
         augment: false,
     });
     let m = evaluate(&detector, &mut params, &test, 0.35);
-    Environment {
+    Ok(Environment {
         scale,
         detector,
         params,
         detector_accuracy: m.class_accuracy,
         audit: false,
-    }
+        recovery,
+    })
 }
 
 #[cfg(test)]
@@ -197,6 +343,28 @@ mod tests {
         assert_eq!("paper".parse::<Scale>().unwrap(), Scale::Paper);
         assert_eq!("SMOKE".parse::<Scale>().unwrap(), Scale::Smoke);
         assert!("tiny".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn stage_slugs_are_filesystem_safe() {
+        assert_eq!(
+            slug("Table I · Ours (w/ 3 frames)"),
+            "table-i-ours-w-3-frames"
+        );
+        assert_eq!(slug("(1)+(2)+(3)+(5)"), "1-2-3-5");
+        assert_eq!(slug("k=60"), "k-60");
+        let rec = ExperimentRecovery {
+            checkpoint_every: 5,
+            checkpoint_dir: Some(PathBuf::from("out/ckpt")),
+            resume: true,
+        };
+        let opts = rec.for_stage("Table V star");
+        assert_eq!(
+            opts.checkpoint_path.as_deref(),
+            Some(std::path::Path::new("out/ckpt/table-v-star.rdc"))
+        );
+        assert_eq!(opts.checkpoint_every, 5);
+        assert!(opts.resume);
     }
 
     #[test]

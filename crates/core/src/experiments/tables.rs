@@ -8,13 +8,29 @@
 use rd_scene::PhysicalChannel;
 use rd_vision::shapes::Shape;
 
-use crate::attack::{deploy, train_decal_attack, AttackConfig, Deployment};
+use crate::attack::{deploy, AttackConfig, Deployment, TrainedDecal};
 use crate::baseline::{train_baseline_patch, BaselineConfig};
 use crate::eval::{evaluate_challenge, Challenge, EvalConfig};
 use crate::metrics::{Cell, Table};
+use crate::runner::train_decal_attack_recoverable;
 use crate::scenario::AttackScenario;
 
-use super::scale::{Environment, Scale};
+use super::scale::{Environment, ExperimentError, ExperimentRecovery, Scale};
+
+/// Trains one table row's attack under the environment's recovery
+/// policy; `stage` names the row's checkpoint file.
+fn train_attack(
+    env: &mut Environment,
+    stage: &str,
+    scenario: &AttackScenario,
+    cfg: &AttackConfig,
+) -> Result<TrainedDecal, ExperimentError> {
+    let opts = env.recovery.for_stage(stage);
+    let (trained, report) =
+        train_decal_attack_recoverable(scenario, &env.detector, &mut env.params, cfg, &opts)?;
+    ExperimentRecovery::log_stage(stage, &report);
+    Ok(trained)
+}
 
 fn eval_cfg(scale: Scale, channel: PhysicalChannel, seed: u64) -> EvalConfig {
     match scale {
@@ -58,7 +74,12 @@ fn eval_row(
 /// Table I — real-world comparison: no attack, ours with/without
 /// consecutive frames, and the colored baseline [34], across all eight
 /// challenge columns. Uses N = 6, k = 60 (§IV-B, real-world paragraph).
-pub fn run_table1(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table1(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let scenario = AttackScenario::parking_lot(scale.rig(), 6, 60, 16, seed);
     let cfg = AttackConfig {
@@ -88,14 +109,14 @@ pub fn run_table1(env: &mut Environment, seed: u64) -> Table {
     table.push_row("w/o Attack", clean);
 
     // row 2: ours with 3 consecutive frames
-    let ours = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
+    let ours = train_attack(env, "table1 ours consecutive", &scenario, &cfg)?;
     let decals = deploy(&ours.decal, &scenario);
     let row = eval_row(env, &scenario, &decals, &columns, &ecfg, cfg.target_class);
     table.push_row("Ours (w/ 3 consecutive frames)", row);
 
     // row 3: ours without consecutive frames
     let solo_cfg = cfg.without_consecutive_frames();
-    let solo = train_decal_attack(&scenario, &env.detector, &mut env.params, &solo_cfg);
+    let solo = train_attack(env, "table1 ours solo", &scenario, &solo_cfg)?;
     let decals = deploy(&solo.decal, &scenario);
     let row = eval_row(env, &scenario, &decals, &columns, &ecfg, cfg.target_class);
     table.push_row("Ours (w/o 3 consecutive frames)", row);
@@ -111,12 +132,17 @@ pub fn run_table1(env: &mut Environment, seed: u64) -> Table {
     let row = eval_row(env, &scenario, &decals, &columns, &ecfg, cfg.target_class);
     table.push_row("[34]", row);
 
-    table
+    Ok(table)
 }
 
 /// Table II — the indoor "simulated environment": ours only, N = 4,
 /// k = 60, gentler capture channel, all eight columns.
-pub fn run_table2(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table2(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let scenario = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
     let cfg = AttackConfig {
@@ -130,21 +156,23 @@ pub fn run_table2(env: &mut Environment, seed: u64) -> Table {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new("Table II: ours in the simulated environment", &header_refs);
     let ecfg = eval_cfg(scale, PhysicalChannel::simulated(), seed);
-    let ours = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
+    let ours = train_attack(env, "table2 ours", &scenario, &cfg)?;
     let decals = deploy(&ours.decal, &scenario);
     let row = eval_row(env, &scenario, &decals, &columns, &ecfg, cfg.target_class);
     table.push_row("Ours", row);
-    table
+    Ok(table)
 }
 
 /// Shared driver for the four ablation tables: train one attack per
-/// variant and evaluate on the six speed+angle columns.
+/// variant and evaluate on the six speed+angle columns. `stage_prefix`
+/// namespaces each variant's checkpoint file.
 fn ablation_table(
     env: &mut Environment,
     title: &str,
+    stage_prefix: &str,
     seed: u64,
     variants: Vec<(String, AttackScenario, AttackConfig)>,
-) -> Table {
+) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let columns = Challenge::ablation_columns();
     let headers: Vec<String> = columns.iter().map(|c| c.label()).collect();
@@ -152,17 +180,23 @@ fn ablation_table(
     let mut table = Table::new(title, &header_refs);
     let ecfg = eval_cfg(scale, PhysicalChannel::real_world(), seed);
     for (label, scenario, cfg) in variants {
-        let trained = train_decal_attack(&scenario, &env.detector, &mut env.params, &cfg);
+        let stage = format!("{stage_prefix} {label}");
+        let trained = train_attack(env, &stage, &scenario, &cfg)?;
         let decals = deploy(&trained.decal, &scenario);
         let row = eval_row(env, &scenario, &decals, &columns, &ecfg, cfg.target_class);
         table.push_row(label, row);
     }
-    table
+    Ok(table)
 }
 
 /// Table III — ablation over the number of decals N ∈ {2, 4, 6, 8} at
 /// constant total area.
-pub fn run_table3(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table3(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let base = AttackConfig {
         steps: scale.attack_steps(),
@@ -180,11 +214,22 @@ pub fn run_table3(env: &mut Environment, seed: u64) -> Table {
             )
         })
         .collect();
-    ablation_table(env, "Table III: number of decals N", seed, variants)
+    ablation_table(
+        env,
+        "Table III: number of decals N",
+        "table3",
+        seed,
+        variants,
+    )
 }
 
 /// Table IV — ablation over EOT trick combinations (Table IV rows).
-pub fn run_table4(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table4(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let scenario = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
     let variants = rd_eot::table4_combinations()
@@ -200,11 +245,22 @@ pub fn run_table4(env: &mut Environment, seed: u64) -> Table {
             (tricks.to_string(), scenario.clone(), cfg)
         })
         .collect();
-    ablation_table(env, "Table IV: EOT trick combinations", seed, variants)
+    ablation_table(
+        env,
+        "Table IV: EOT trick combinations",
+        "table4",
+        seed,
+        variants,
+    )
 }
 
 /// Table V — ablation over decal shapes.
-pub fn run_table5(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table5(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let scenario = AttackScenario::parking_lot(scale.rig(), 4, 60, 16, seed);
     let variants = Shape::ALL
@@ -220,11 +276,16 @@ pub fn run_table5(env: &mut Environment, seed: u64) -> Table {
             (shape.name().to_owned(), scenario.clone(), cfg)
         })
         .collect();
-    ablation_table(env, "Table V: decal shapes", seed, variants)
+    ablation_table(env, "Table V: decal shapes", "table5", seed, variants)
 }
 
 /// Table VI — ablation over decal size k ∈ {20, 40, 60, 80}.
-pub fn run_table6(env: &mut Environment, seed: u64) -> Table {
+///
+/// # Errors
+///
+/// Returns an [`ExperimentError`] when a training stage's checkpoint
+/// cannot be read or written under the environment's recovery policy.
+pub fn run_table6(env: &mut Environment, seed: u64) -> Result<Table, ExperimentError> {
     let scale = env.scale;
     let base = AttackConfig {
         steps: scale.attack_steps(),
@@ -242,7 +303,7 @@ pub fn run_table6(env: &mut Environment, seed: u64) -> Table {
             )
         })
         .collect();
-    ablation_table(env, "Table VI: decal size k", seed, variants)
+    ablation_table(env, "Table VI: decal size k", "table6", seed, variants)
 }
 
 #[cfg(test)]
@@ -255,7 +316,7 @@ mod tests {
     #[test]
     fn table2_smoke_has_paper_layout() {
         let mut env = prepare_environment(Scale::Smoke, 3);
-        let t = run_table2(&mut env, 3);
+        let t = run_table2(&mut env, 3).expect("table2 runs");
         assert_eq!(t.columns.len(), 8);
         assert_eq!(t.rows.len(), 1);
         assert_eq!(t.rows[0].0, "Ours");
@@ -264,7 +325,7 @@ mod tests {
     #[test]
     fn table5_smoke_rows_are_shapes() {
         let mut env = prepare_environment(Scale::Smoke, 3);
-        let t = run_table5(&mut env, 3);
+        let t = run_table5(&mut env, 3).expect("table5 runs");
         assert_eq!(t.rows.len(), 4);
         assert_eq!(t.rows[2].0, "star");
         assert_eq!(t.columns.len(), 6);

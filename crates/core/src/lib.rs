@@ -44,13 +44,22 @@ pub mod decal;
 pub mod defense;
 pub mod eval;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
+pub mod runner;
 pub mod scenario;
 
-pub use attack::{deploy, train_decal_attack, AttackConfig, Deployment, TrainedDecal};
+pub use attack::{
+    deploy, train_decal_attack, AttackConfig, AttackTrainer, Deployment, TrainedDecal,
+};
 pub use baseline::{train_baseline_patch, BaselineConfig, BaselinePatch};
 pub use decal::Decal;
 pub use defense::{evaluate_defense, Defense, DefenseOutcome};
 pub use eval::{evaluate_challenge, evaluate_clean, Challenge, ChallengeOutcome, EvalConfig};
+pub use fault::{CorruptMode, FaultPlan};
 pub use metrics::{Cell, Table};
+pub use runner::{
+    train_decal_attack_recoverable, train_detector_recoverable, RecoveryOptions, RunnerError,
+    RunnerReport, TrainRunner, Trainable,
+};
 pub use scenario::AttackScenario;

@@ -6,43 +6,74 @@
 //! ```text
 //! cargo run --release -p rd-detector --example train_detector -- \
 //!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit] \
-//!     [--threads N] [--profile]
+//!     [--threads N] [--profile] \
+//!     [--checkpoint-every N] [--checkpoint out/detector.rdc] [--resume]
 //! ```
 //!
 //! `--audit` statically validates the model's wiring before training and
 //! scans a post-training forward tape for non-finite values. `--threads`
 //! caps the tensor worker pool (0 = one worker per host core) and
 //! `--profile` prints the per-op wall-clock report after training.
+//!
+//! `--checkpoint-every N` atomically writes the full training state
+//! (weights, Adam moments, RNG position, epoch/batch cursors) every N
+//! steps; `--resume` picks a killed run back up from that file and — the
+//! training loop being deterministic — finishes bitwise-identically to an
+//! uninterrupted run.
 
+use std::error::Error;
+use std::path::Path;
+use std::process::ExitCode;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rd_detector::{evaluate, train, TinyYolo, TrainConfig, YoloConfig};
+use rd_detector::{evaluate, DetectorTrainer, TinyYolo, TrainConfig, YoloConfig};
 use rd_scene::dataset::{generate, DatasetConfig};
 use rd_scene::CameraRig;
+use rd_tensor::optim::StepOutcome;
 use rd_tensor::{io, ParamSet};
 
-fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+fn arg<T>(name: &str, default: T) -> Result<T, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(default);
+    };
+    let Some(v) = args.get(i + 1) else {
+        return Err(format!("{name} expects a value"));
+    };
+    v.parse()
+        .map_err(|e| format!("bad value '{v}' for {name}: {e}"))
 }
 
 fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
-fn main() {
-    let n_images: usize = arg("--images", 600);
-    let epochs: usize = arg("--epochs", 6);
-    let out: String = arg("--out", "out/detector.rdw".to_owned());
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("train_detector: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let n_images: usize = arg("--images", 600)?;
+    let epochs: usize = arg("--epochs", 6)?;
+    let out: String = arg("--out", "out/detector.rdw".to_owned())?;
+    let ck_every: u64 = arg("--checkpoint-every", 0)?;
+    let ck_path: String = arg("--checkpoint", "out/detector.rdc".to_owned())?;
+    let resume = flag("--resume");
     let audit = flag("--audit");
-    rd_tensor::parallel::set_max_threads(arg("--threads", 0));
+    rd_tensor::parallel::set_max_threads(arg("--threads", 0)?);
     let profile = flag("--profile");
     if profile {
         rd_tensor::profile::set_enabled(true);
@@ -66,29 +97,61 @@ fn main() {
     println!("model: {} parameters", ps.num_scalars());
     if audit {
         if let Err(issues) = model.validate(&ps, 16) {
-            eprintln!("model wiring is inconsistent:");
-            for i in &issues {
-                eprintln!("  {i}");
-            }
-            std::process::exit(1);
+            return Err(format!(
+                "model wiring is inconsistent:\n{}",
+                issues
+                    .iter()
+                    .map(|i| format!("  {i}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )
+            .into());
         }
         println!("audit: model wiring validated before training");
     }
 
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 1e-3,
+        seed: 7,
+        clip: 10.0,
+        log_every: 0,
+    };
     let t0 = Instant::now();
-    let report = train(
-        &model,
-        &mut ps,
-        &train_set,
-        &TrainConfig {
-            epochs,
-            batch_size: 16,
-            lr: 1e-3,
-            seed: 7,
-            clip: 10.0,
-            log_every: 0,
-        },
-    );
+    let mut trainer = DetectorTrainer::new(&model, &mut ps, &train_set, cfg);
+    if resume && Path::new(&ck_path).exists() {
+        let ck = io::load_checkpoint_file(&ck_path)
+            .map_err(|e| format!("cannot resume from {ck_path}: {e}"))?;
+        trainer
+            .restore(&ck)
+            .map_err(|e| format!("cannot resume from {ck_path}: {e}"))?;
+        println!(
+            "resumed from {ck_path} at step {} of {}",
+            trainer.steps_done(),
+            trainer.total_steps()
+        );
+    }
+    if ck_every > 0 {
+        if let Some(dir) = Path::new(&ck_path).parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create checkpoint dir: {e}"))?;
+        }
+    }
+    while !trainer.is_done() {
+        if let StepOutcome::NonFinite { detail } = trainer.step(None) {
+            eprintln!(
+                "skipping diverged batch at step {}: {detail}",
+                trainer.steps_done()
+            );
+            trainer.skip_step();
+        }
+        if ck_every > 0 && trainer.steps_done().is_multiple_of(ck_every) {
+            io::save_checkpoint_file(&trainer.checkpoint(), &ck_path)
+                .map_err(|e| format!("cannot write checkpoint {ck_path}: {e}"))?;
+        }
+    }
+    let report = trainer.finish();
     println!(
         "trained {epochs} epochs in {:.1}s; losses: {:?}",
         t0.elapsed().as_secs_f32(),
@@ -117,11 +180,12 @@ fn main() {
     );
 
     if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create output dir: {e}"))?;
     }
-    io::save_params_file(&ps, &out).expect("save weights");
+    io::save_params_file(&ps, &out).map_err(|e| format!("cannot save weights to {out}: {e}"))?;
     println!("weights saved to {out}");
     if profile {
         println!("\n{}", rd_tensor::profile::report_text());
     }
+    Ok(())
 }

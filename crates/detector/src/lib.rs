@@ -26,4 +26,7 @@ pub use confirm::{has_consecutive, Confirmer};
 pub use decode::{decode_head, nms, postprocess, Detection};
 pub use model::{TinyYolo, YoloConfig, YoloOutputs};
 pub use track::{Track, TrackState, Tracker, TrackerConfig};
-pub use train::{detect, evaluate, forward_raw, train, EvalMetrics, TrainConfig, TrainReport};
+pub use train::{
+    detect, evaluate, forward_raw, train, DetectorTrainer, EvalMetrics, GradHook, TrainConfig,
+    TrainReport,
+};

@@ -1,4 +1,12 @@
 //! Detector training, evaluation and convenience inference.
+//!
+//! Training is exposed two ways: the classic [`train`] convenience loop,
+//! and the step-wise [`DetectorTrainer`] that can snapshot and restore
+//! its complete state (parameters, Adam moments, RNG stream, shuffle
+//! order, epoch position) as an [`rd_tensor::io::Checkpoint`], enabling
+//! crash-safe resume and divergence rollback. A healthy `train` run and
+//! a `DetectorTrainer` run draw identical RNG streams and produce
+//! bitwise-identical weights.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -6,7 +14,9 @@ use rand::SeedableRng;
 
 use rd_scene::dataset::Sample;
 use rd_scene::GtBox;
-use rd_tensor::{optim::Adam, Graph, ParamSet, Tensor};
+use rd_tensor::io::{Checkpoint, CheckpointError};
+use rd_tensor::optim::{Adam, StepOutcome};
+use rd_tensor::{Graph, ParamSet, Tensor};
 use rd_vision::Image;
 
 use crate::decode::{postprocess, Detection};
@@ -58,65 +68,329 @@ impl TrainReport {
     }
 }
 
+/// A gradient hook: called with the global step index after gradients
+/// are written and clipped, before the finiteness check and optimizer
+/// update. The fault-injection harness uses this to corrupt gradients at
+/// a precise, reproducible point.
+pub type GradHook<'h> = &'h dyn Fn(u64, &mut ParamSet);
+
+/// Step-wise detector training with full-state snapshot/restore.
+///
+/// Drives the exact computation of [`train`] one optimizer step at a
+/// time. All state a resume needs — parameters, Adam moments, the RNG
+/// stream position, the epoch shuffle order and loss accumulators — can
+/// be exported as a [`Checkpoint`] and restored bitwise-identically.
+pub struct DetectorTrainer<'a> {
+    model: &'a TinyYolo,
+    ps: &'a mut ParamSet,
+    data: &'a [Sample],
+    cfg: TrainConfig,
+    rng: StdRng,
+    opt: Adam,
+    order: Vec<usize>,
+    epoch: usize,
+    /// Start index of the next chunk within `order`.
+    pos: usize,
+    epoch_loss: f32,
+    epoch_steps: usize,
+    epoch_losses: Vec<f32>,
+    steps_done: u64,
+}
+
+impl<'a> DetectorTrainer<'a> {
+    /// Prepares a trainer; no RNG is consumed until the first step.
+    pub fn new(
+        model: &'a TinyYolo,
+        ps: &'a mut ParamSet,
+        data: &'a [Sample],
+        cfg: TrainConfig,
+    ) -> Self {
+        assert!(!data.is_empty(), "empty training set");
+        DetectorTrainer {
+            model,
+            ps,
+            data,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            opt: Adam::new(cfg.lr),
+            order: (0..data.len()).collect(),
+            epoch: 0,
+            pos: 0,
+            epoch_loss: 0.0,
+            epoch_steps: 0,
+            epoch_losses: Vec::with_capacity(cfg.epochs),
+            steps_done: 0,
+        }
+    }
+
+    /// Optimizer steps completed (or skipped) so far.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Total optimizer steps a full run takes.
+    pub fn total_steps(&self) -> u64 {
+        (self.cfg.epochs as u64) * (self.data.len().div_ceil(self.cfg.batch_size) as u64)
+    }
+
+    /// Whether every epoch has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.epoch >= self.cfg.epochs
+    }
+
+    /// Scales the optimizer's learning rate relative to the configured
+    /// base rate (backoff policy hook; 1.0 restores the base rate).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.opt.set_lr(self.cfg.lr * scale);
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.opt.lr()
+    }
+
+    fn begin_epoch_if_needed(&mut self) {
+        if self.pos == 0 {
+            self.order.shuffle(&mut self.rng);
+        }
+    }
+
+    fn advance(&mut self) {
+        self.pos += self.cfg.batch_size.min(self.data.len() - self.pos);
+        self.steps_done += 1;
+        if self.pos >= self.data.len() {
+            self.epoch_losses
+                .push(self.epoch_loss / self.epoch_steps.max(1) as f32);
+            self.epoch += 1;
+            self.pos = 0;
+            self.epoch_loss = 0.0;
+            self.epoch_steps = 0;
+        }
+    }
+
+    /// Runs one optimizer step. On a non-finite loss or gradient the
+    /// update is suppressed, the batch position does **not** advance, and
+    /// the returned [`StepOutcome::NonFinite`] carries provenance (the
+    /// offending parameters plus a tape audit). Batch-norm running stats
+    /// still move (they update during the forward pass); a rollback that
+    /// restores the whole [`ParamSet`] undoes that too.
+    pub fn step(&mut self, hook: Option<GradHook<'_>>) -> StepOutcome {
+        assert!(!self.is_done(), "step() called on a finished trainer");
+        self.begin_epoch_if_needed();
+        let input = self.model.config().input;
+        let num_classes = self.model.config().num_classes;
+        let chunk_end = (self.pos + self.cfg.batch_size).min(self.data.len());
+        let chunk = &self.order[self.pos..chunk_end];
+        let images: Vec<Image> = chunk.iter().map(|&i| self.data[i].image.clone()).collect();
+        let boxes: Vec<Vec<GtBox>> = chunk.iter().map(|&i| self.data[i].boxes.clone()).collect();
+        let batch = Image::batch_to_tensor(&images);
+        let targets = build_targets(&boxes, input);
+
+        self.ps.zero_grads();
+        let mut g = Graph::new();
+        let x = g.input(batch);
+        let out = self.model.forward(&mut g, self.ps, x, true);
+        let l1 = yolo_head_loss(
+            &mut g,
+            out.coarse,
+            &targets[0],
+            num_classes,
+            YoloLossWeights::default(),
+        );
+        let l2 = yolo_head_loss(
+            &mut g,
+            out.fine,
+            &targets[1],
+            num_classes,
+            YoloLossWeights::default(),
+        );
+        let loss = g.add(l1, l2);
+        let grads = g.backward(loss);
+        g.write_grads(&grads, self.ps);
+        if self.cfg.clip > 0.0 {
+            self.ps.clip_grad_norm(self.cfg.clip);
+        }
+        if let Some(h) = hook {
+            h(self.steps_done, self.ps);
+        }
+
+        let lval = g.value(loss).data()[0];
+        if let Some(detail) = non_finite_detail(lval, self.ps, &g) {
+            return StepOutcome::NonFinite { detail };
+        }
+
+        self.opt.step(self.ps);
+        self.epoch_loss += lval;
+        self.epoch_steps += 1;
+        if self.cfg.log_every > 0 {
+            let step_in_epoch = self.pos / self.cfg.batch_size;
+            if step_in_epoch.is_multiple_of(self.cfg.log_every) {
+                eprintln!("epoch {} step {step_in_epoch}: loss {lval:.4}", self.epoch);
+            }
+        }
+        self.advance();
+        StepOutcome::Ran { loss: lval }
+    }
+
+    /// Skips the current batch without touching parameters or optimizer
+    /// state — the runner's last resort once LR backoff is exhausted.
+    /// The detector draws no per-step randomness, so skipping costs no
+    /// compute and keeps the RNG trajectory aligned.
+    pub fn skip_step(&mut self) {
+        assert!(!self.is_done(), "skip_step() called on a finished trainer");
+        self.begin_epoch_if_needed();
+        self.advance();
+    }
+
+    /// Exports the complete training state.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new();
+        ck.put_params("params", self.ps);
+        ck.put_adam("adam", &self.opt);
+        ck.put_rng("rng", &self.rng);
+        ck.put_u64s("order", self.order.iter().map(|&i| i as u64).collect());
+        ck.put_u64s(
+            "counters",
+            vec![
+                self.epoch as u64,
+                self.pos as u64,
+                self.epoch_steps as u64,
+                self.steps_done,
+            ],
+        );
+        ck.put_f32s("epoch_loss", vec![self.epoch_loss]);
+        ck.put_f32s("epoch_losses", self.epoch_losses.clone());
+        ck.put_u64s("fingerprint", self.fingerprint());
+        ck
+    }
+
+    fn fingerprint(&self) -> Vec<u64> {
+        vec![
+            self.data.len() as u64,
+            self.cfg.epochs as u64,
+            self.cfg.batch_size as u64,
+            self.cfg.lr.to_bits() as u64,
+            self.cfg.seed,
+        ]
+    }
+
+    /// Restores a state exported by [`checkpoint`](Self::checkpoint),
+    /// after which training continues bitwise-identically to the run
+    /// that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::StateMismatch`] when the checkpoint
+    /// came from a different dataset/config, or a structural error when
+    /// sections are missing or malformed.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        let fp = ck.u64s("fingerprint")?;
+        if fp != self.fingerprint() {
+            return Err(CheckpointError::StateMismatch(format!(
+                "detector checkpoint fingerprint {fp:?} != this run's {:?} \
+                 (dataset size, epochs, batch size, lr bits, seed)",
+                self.fingerprint()
+            )));
+        }
+        ck.load_params_into("params", self.ps)?;
+        let mut opt = Adam::new(self.cfg.lr);
+        opt.load_state(ck.get_adam("adam")?)
+            .map_err(CheckpointError::StateMismatch)?;
+        let order: Vec<usize> = ck.u64s("order")?.iter().map(|&v| v as usize).collect();
+        if order.len() != self.data.len() {
+            return Err(CheckpointError::StateMismatch(format!(
+                "checkpoint shuffle order covers {} sample(s), dataset has {}",
+                order.len(),
+                self.data.len()
+            )));
+        }
+        let counters = ck.u64s("counters")?;
+        let [epoch, pos, epoch_steps, steps_done] = *counters else {
+            return Err(CheckpointError::Malformed(format!(
+                "counters section holds {} value(s), expected 4",
+                counters.len()
+            )));
+        };
+        let epoch_loss = match ck.f32s("epoch_loss")? {
+            [v] => *v,
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "epoch_loss section holds {} value(s), expected 1",
+                    other.len()
+                )))
+            }
+        };
+        self.rng = ck.get_rng("rng")?;
+        self.opt = opt;
+        self.order = order;
+        self.epoch = epoch as usize;
+        self.pos = pos as usize;
+        self.epoch_steps = epoch_steps as usize;
+        self.steps_done = steps_done;
+        self.epoch_loss = epoch_loss;
+        self.epoch_losses = ck.f32s("epoch_losses")?.to_vec();
+        Ok(())
+    }
+
+    /// Consumes the trainer, producing the per-epoch loss report.
+    pub fn finish(self) -> TrainReport {
+        TrainReport {
+            epoch_losses: self.epoch_losses,
+        }
+    }
+}
+
+/// Builds a provenance string when the loss or any gradient is
+/// non-finite; `None` when everything is healthy.
+fn non_finite_detail(loss: f32, ps: &ParamSet, g: &Graph) -> Option<String> {
+    let bad_params: Vec<String> = ps
+        .iter()
+        .filter(|(_, p)| p.grad().data().iter().any(|v| !v.is_finite()))
+        .map(|(_, p)| format!("{}{:?}", p.name(), p.value().shape()))
+        .collect();
+    if loss.is_finite() && bad_params.is_empty() {
+        return None;
+    }
+    let mut detail = if loss.is_finite() {
+        format!("non-finite gradient(s) in [{}]", bad_params.join(", "))
+    } else if bad_params.is_empty() {
+        format!("non-finite loss {loss}")
+    } else {
+        format!(
+            "non-finite loss {loss}; non-finite gradient(s) in [{}]",
+            bad_params.join(", ")
+        )
+    };
+    if let Some(report) = rd_analysis::audit_non_finite(g) {
+        detail.push_str(&format!("\ntape audit: {report}"));
+    }
+    Some(detail)
+}
+
 /// Trains the detector in place.
+///
+/// Convenience wrapper over [`DetectorTrainer`]: runs every step, and on
+/// a non-finite loss/gradient skips the offending batch (leaving
+/// parameters untouched) rather than poisoning the weights. For
+/// checkpointed, resumable training drive [`DetectorTrainer`] directly
+/// or through the workspace's recovery runner.
 pub fn train(
     model: &TinyYolo,
     ps: &mut ParamSet,
     data: &[Sample],
     cfg: &TrainConfig,
 ) -> TrainReport {
-    assert!(!data.is_empty(), "empty training set");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut opt = Adam::new(cfg.lr);
-    let input = model.config().input;
-    let num_classes = model.config().num_classes;
-    let mut order: Vec<usize> = (0..data.len()).collect();
-    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
-        order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f32;
-        let mut steps = 0usize;
-        for (step, chunk) in order.chunks(cfg.batch_size).enumerate() {
-            let images: Vec<Image> = chunk.iter().map(|&i| data[i].image.clone()).collect();
-            let boxes: Vec<Vec<GtBox>> = chunk.iter().map(|&i| data[i].boxes.clone()).collect();
-            let batch = Image::batch_to_tensor(&images);
-            let targets = build_targets(&boxes, input);
-
-            ps.zero_grads();
-            let mut g = Graph::new();
-            let x = g.input(batch);
-            let out = model.forward(&mut g, ps, x, true);
-            let l1 = yolo_head_loss(
-                &mut g,
-                out.coarse,
-                &targets[0],
-                num_classes,
-                YoloLossWeights::default(),
+    let mut trainer = DetectorTrainer::new(model, ps, data, *cfg);
+    while !trainer.is_done() {
+        if let StepOutcome::NonFinite { detail } = trainer.step(None) {
+            eprintln!(
+                "detector train: skipping batch at step {}: {detail}",
+                trainer.steps_done()
             );
-            let l2 = yolo_head_loss(
-                &mut g,
-                out.fine,
-                &targets[1],
-                num_classes,
-                YoloLossWeights::default(),
-            );
-            let loss = g.add(l1, l2);
-            let grads = g.backward(loss);
-            g.write_grads(&grads, ps);
-            if cfg.clip > 0.0 {
-                ps.clip_grad_norm(cfg.clip);
-            }
-            opt.step(ps);
-            let lval = g.value(loss).data()[0];
-            epoch_loss += lval;
-            steps += 1;
-            if cfg.log_every > 0 && step % cfg.log_every == 0 {
-                eprintln!("epoch {epoch} step {step}: loss {lval:.4}");
-            }
+            trainer.skip_step();
         }
-        epoch_losses.push(epoch_loss / steps.max(1) as f32);
     }
-    TrainReport { epoch_losses }
+    trainer.finish()
 }
 
 /// Runs inference on a batch of images (eval-mode batch norm).
@@ -245,6 +519,138 @@ mod tests {
             report.epoch_losses
         );
         assert!(report.final_loss().is_finite());
+    }
+
+    #[test]
+    fn trainer_loop_matches_train_bitwise() {
+        let data = smoke_data(12);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            lr: 5e-4,
+            ..TrainConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps_a = ParamSet::new();
+        let model_a = TinyYolo::new(&mut ps_a, &mut rng, YoloConfig::smoke());
+        let report_a = train(&model_a, &mut ps_a, &data, &cfg);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps_b = ParamSet::new();
+        let model_b = TinyYolo::new(&mut ps_b, &mut rng, YoloConfig::smoke());
+        let mut trainer = DetectorTrainer::new(&model_b, &mut ps_b, &data, cfg);
+        while !trainer.is_done() {
+            match trainer.step(None) {
+                StepOutcome::Ran { .. } => {}
+                StepOutcome::NonFinite { detail } => panic!("unexpected non-finite: {detail}"),
+            }
+        }
+        let report_b = trainer.finish();
+        assert_eq!(report_a, report_b);
+        for ((_, a), (_, b)) in ps_a.iter().zip(ps_b.iter()) {
+            assert_eq!(a.value().data(), b.value().data(), "param {}", a.name());
+        }
+    }
+
+    #[test]
+    fn trainer_checkpoint_resume_is_bitwise() {
+        let data = smoke_data(12);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            lr: 5e-4,
+            ..TrainConfig::default()
+        };
+        // straight run
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps_a = ParamSet::new();
+        let model_a = TinyYolo::new(&mut ps_a, &mut rng, YoloConfig::smoke());
+        let mut t = DetectorTrainer::new(&model_a, &mut ps_a, &data, cfg);
+        while !t.is_done() {
+            t.step(None);
+        }
+        drop(t);
+
+        // interrupted run: 2 steps, checkpoint through the byte codec,
+        // rebuild everything from scratch, restore, finish
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps_b = ParamSet::new();
+        let model_b = TinyYolo::new(&mut ps_b, &mut rng, YoloConfig::smoke());
+        let bytes = {
+            let mut t = DetectorTrainer::new(&model_b, &mut ps_b, &data, cfg);
+            t.step(None);
+            t.step(None);
+            rd_tensor::io::encode_checkpoint(&t.checkpoint())
+        };
+        let mut rng = StdRng::seed_from_u64(99); // different init on purpose
+        let mut ps_c = ParamSet::new();
+        let model_c = TinyYolo::new(&mut ps_c, &mut rng, YoloConfig::smoke());
+        let mut t = DetectorTrainer::new(&model_c, &mut ps_c, &data, cfg);
+        let ck = rd_tensor::io::decode_checkpoint(&bytes).unwrap();
+        t.restore(&ck).unwrap();
+        assert_eq!(t.steps_done(), 2);
+        while !t.is_done() {
+            t.step(None);
+        }
+        drop(t);
+        for ((_, a), (_, c)) in ps_a.iter().zip(ps_c.iter()) {
+            assert_eq!(a.value().data(), c.value().data(), "param {}", a.name());
+        }
+    }
+
+    #[test]
+    fn grad_hook_nan_is_detected_and_params_untouched() {
+        let data = smoke_data(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
+        let before: Vec<Vec<f32>> = ps.iter().map(|(_, p)| p.value().data().to_vec()).collect();
+        let mut t = DetectorTrainer::new(&model, &mut ps, &data, TrainConfig::default());
+        let poison = |_step: u64, ps: &mut ParamSet| {
+            let (_, p) = ps.iter_mut().next().unwrap();
+            p.grad_mut().data_mut()[0] = f32::NAN;
+        };
+        match t.step(Some(&poison)) {
+            StepOutcome::NonFinite { detail } => {
+                assert!(detail.contains("non-finite"), "{detail}");
+            }
+            StepOutcome::Ran { .. } => panic!("poisoned gradient not detected"),
+        }
+        assert_eq!(t.steps_done(), 0, "poisoned step must not advance");
+        drop(t);
+        // BN running stats update during the forward pass itself, so only
+        // optimizer-driven parameters are expected to be untouched.
+        for ((_, p), b) in ps.iter().zip(&before) {
+            if p.name().contains("rmean") || p.name().contains("rvar") {
+                continue;
+            }
+            assert_eq!(p.value().data(), &b[..], "param {} was modified", p.name());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_fingerprint() {
+        let data = smoke_data(8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ps = ParamSet::new();
+        let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
+        let ck = {
+            let t = DetectorTrainer::new(&model, &mut ps, &data, TrainConfig::default());
+            t.checkpoint()
+        };
+        let mut t = DetectorTrainer::new(
+            &model,
+            &mut ps,
+            &data,
+            TrainConfig {
+                lr: 9e-1,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(matches!(
+            t.restore(&ck),
+            Err(rd_tensor::io::CheckpointError::StateMismatch(_))
+        ));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   [`Gradients`]); ops cover conv2d, max-pool, upsample, batch norm,
 //!   activations, losses and sparse [`LinearMap`] warps.
 //! * [`ParamSet`] / [`optim`] — named parameters plus SGD/Adam.
-//! * [`io`] — a tiny binary checkpoint format.
+//! * [`io`] — binary weight blobs plus versioned, CRC-guarded training
+//!   checkpoints with atomic writes for crash-safe resume.
 //! * [`check`] — numerical gradient checking used across the workspace.
 //!
 //! # Examples

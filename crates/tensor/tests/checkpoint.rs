@@ -1,0 +1,200 @@
+//! Property-based tests on the v2 checkpoint codec: arbitrary
+//! `ParamSet`s + Adam state round-trip exactly, and any corruption of
+//! the bytes — truncation, bit-flips, a forged version — is rejected
+//! with a structured error, never a panic and never a silent success.
+
+use proptest::prelude::*;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rd_tensor::io::{
+    decode_checkpoint, encode_checkpoint, Checkpoint, CheckpointError, CHECKPOINT_VERSION,
+};
+use rd_tensor::optim::{Adam, AdamState};
+use rd_tensor::{ParamSet, Tensor};
+
+/// Header layout: magic (4) + version u32 (4) + payload_len u64 (8) +
+/// crc32 u32 (4).
+const HEADER_LEN: usize = 20;
+const VERSION_OFFSET: usize = 4;
+
+/// Derives an arbitrary list of (shape, values) pairs from a seed — the
+/// vendored proptest has no flat-map, so shape-dependent generation is
+/// delegated to a seeded RNG.
+fn arb_params(seed: u64, n_params: usize) -> Vec<(Vec<usize>, Vec<f32>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_params)
+        .map(|_| {
+            let rank = 1 + (rng.next_u64() % 3) as usize;
+            let shape: Vec<usize> = (0..rank)
+                .map(|_| 1 + (rng.next_u64() % 3) as usize)
+                .collect();
+            let n: usize = shape.iter().product();
+            let values: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+            (shape, values)
+        })
+        .collect()
+}
+
+fn build_ps(params: &[(Vec<usize>, Vec<f32>)]) -> ParamSet {
+    let mut ps = ParamSet::new();
+    for (i, (shape, values)) in params.iter().enumerate() {
+        ps.register(format!("p{i}"), Tensor::from_vec(values.clone(), shape));
+    }
+    ps
+}
+
+/// An Adam state whose moments match the ParamSet's shapes, with the
+/// step counter and hyperparameters drawn arbitrarily.
+fn build_adam_state(params: &[(Vec<usize>, Vec<f32>)], t: u64, lr: f32) -> AdamState {
+    let moment = |scale: f32| {
+        params
+            .iter()
+            .map(|(shape, values)| {
+                Tensor::from_vec(values.iter().map(|v| v * scale).collect(), shape)
+            })
+            .collect::<Vec<_>>()
+    };
+    AdamState {
+        lr,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        t,
+        m: moment(0.25),
+        v: moment(0.0625),
+    }
+}
+
+fn build_checkpoint(
+    params: &[(Vec<usize>, Vec<f32>)],
+    t: u64,
+    lr: f32,
+    rng_seed: u64,
+) -> Checkpoint {
+    let ps = build_ps(params);
+    let mut opt = Adam::new(lr);
+    opt.load_state(build_adam_state(params, t, lr))
+        .expect("state matches");
+    let rng = StdRng::seed_from_u64(rng_seed);
+    let mut ck = Checkpoint::new();
+    ck.put_params("params", &ps);
+    ck.put_adam("adam", &opt);
+    ck.put_rng("rng", &rng);
+    ck.put_u64s("counters", vec![t, rng_seed]);
+    ck
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_is_exact(
+        params_seed in any::<u64>(),
+        n_params in 1usize..6,
+        t in 0u64..10_000,
+        lr in 1e-6f32..1.0,
+        rng_seed in any::<u64>(),
+    ) {
+        let params = arb_params(params_seed, n_params);
+        let ck = build_checkpoint(&params, t, lr, rng_seed);
+        let bytes = encode_checkpoint(&ck);
+        let back = decode_checkpoint(&bytes).expect("clean bytes decode");
+
+        // byte-level: decode → re-encode is the identity
+        prop_assert_eq!(&encode_checkpoint(&back), &bytes);
+
+        // value-level: params, Adam state and RNG stream all survive
+        let mut ps2 = build_ps(&params);
+        for (_, p) in ps2.iter_mut() {
+            p.value_mut().data_mut().fill(0.0);
+        }
+        back.load_params_into("params", &mut ps2).expect("params load");
+        let ps = build_ps(&params);
+        for ((_, a), (_, b)) in ps.iter().zip(ps2.iter()) {
+            prop_assert_eq!(a.value().data(), b.value().data());
+        }
+
+        let st = back.get_adam("adam").expect("adam state");
+        prop_assert_eq!(st.t, t);
+        prop_assert_eq!(st.lr, lr);
+        let want = build_adam_state(&params, t, lr);
+        for (a, b) in st.m.iter().zip(&want.m) {
+            prop_assert_eq!(a.data(), b.data());
+        }
+        for (a, b) in st.v.iter().zip(&want.v) {
+            prop_assert_eq!(a.data(), b.data());
+        }
+
+        let mut restored = back.get_rng("rng").expect("rng state");
+        let mut original = StdRng::seed_from_u64(rng_seed);
+        for _ in 0..4 {
+            prop_assert_eq!(restored.next_u64(), original.next_u64());
+        }
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(
+        params_seed in any::<u64>(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let params = arb_params(params_seed, 3);
+        let ck = build_checkpoint(&params, 7, 1e-3, 3);
+        let bytes = encode_checkpoint(&ck);
+        // any strict prefix, from empty to one-byte-short
+        let keep = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        let err = decode_checkpoint(&bytes[..keep])
+            .expect_err("truncated checkpoint must not decode");
+        prop_assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated { .. }
+                    | CheckpointError::BadMagic
+                    | CheckpointError::CrcMismatch { .. }
+            ),
+            "unexpected error class: {}", err
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        params_seed in any::<u64>(),
+        at_seed in any::<u64>(),
+        bit in 0u32..8,
+    ) {
+        let params = arb_params(params_seed, 3);
+        let ck = build_checkpoint(&params, 7, 1e-3, 3);
+        let mut bytes = encode_checkpoint(&ck);
+        let at = (at_seed % bytes.len() as u64) as usize;
+        bytes[at] ^= 1u8 << bit;
+        prop_assert!(
+            decode_checkpoint(&bytes).is_err(),
+            "flipped bit {} of byte {} went undetected", bit, at
+        );
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected_by_number() {
+    let params = arb_params(0, 2);
+    let mut bytes = encode_checkpoint(&build_checkpoint(&params, 1, 1e-3, 0));
+    let forged = CHECKPOINT_VERSION + 1;
+    bytes[VERSION_OFFSET..VERSION_OFFSET + 4].copy_from_slice(&forged.to_le_bytes());
+    match decode_checkpoint(&bytes) {
+        Err(CheckpointError::UnsupportedVersion(v)) => assert_eq!(v, forged),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn payload_crc_mismatch_reports_both_values() {
+    let params = arb_params(1, 2);
+    let mut bytes = encode_checkpoint(&build_checkpoint(&params, 9, 1e-2, 1));
+    bytes[HEADER_LEN] ^= 0xFF; // corrupt the first payload byte
+    match decode_checkpoint(&bytes) {
+        Err(CheckpointError::CrcMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected CrcMismatch, got {other:?}"),
+    }
+}

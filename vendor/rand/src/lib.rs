@@ -169,6 +169,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's raw internal state, for checkpointing a
+        /// training run's exact stream position.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`state`](Self::state) snapshot,
+        /// continuing the stream exactly where the snapshot was taken.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            // all-zero state is a fixed point of xoshiro256++; it can
+            // only reach here through a corrupted checkpoint
+            if s == [0; 4] {
+                return StdRng { s: [1, 0, 0, 0] };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
