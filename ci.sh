@@ -25,12 +25,20 @@ echo "==> resume-determinism smoke (20 steps straight vs 10 + kill + resume)"
 # run finishes bitwise-identical to an uninterrupted one.
 cargo test --release -q --test recovery -- --ignored
 
+echo "==> inference equivalence (compiled plan vs tape, 1 and 4 threads)"
+# The PR 4 contract: the grad-free compiled path is bitwise-identical
+# to forward_frozen on random weights/inputs at any thread count, and
+# batched execution equals per-sample execution.
+cargo test --release -q -p rd-detector --test infer
+
 echo "==> substrate bench smoke (profiler + parallel fan-out + determinism)"
 # Fails loudly if the profiler or worker pool stop compiling/working:
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread
-# equality before writing its report.
-cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json
+# equality before writing its report. The eval section re-checks the
+# tape-vs-compiled bitwise gate on rendered frames.
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json
 test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
+test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval report" >&2; exit 1; }
 
 echo "==> grad audit (every op's backward vs central differences)"
 cargo run --release -q -p rd-analysis --bin grad_audit

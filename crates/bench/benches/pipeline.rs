@@ -14,7 +14,7 @@ use road_decals::scenario::AttackScenario;
 use road_decals::{attack::deploy, decal::Decal};
 
 fn bench_pipeline(c: &mut Criterion) {
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);
     let decal = Decal::mono(&Plane::new(16, 16, 0.1), mask(Shape::Star, 16), Shape::Star);
     let decals = deploy(&decal, &scenario);
@@ -29,7 +29,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(detect(
                 &env.detector,
-                &mut env.params,
+                &env.params,
                 std::slice::from_ref(&frame),
                 0.35,
             ))
@@ -38,7 +38,7 @@ fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("eval_frame_render_plus_detect", |b| {
         b.iter(|| {
             let f = render_attacked_frame(&scenario, &decals, &pose, &cfg, 0.5, &mut rng);
-            std::hint::black_box(detect(&env.detector, &mut env.params, &[f], 0.35));
+            std::hint::black_box(detect(&env.detector, &env.params, &[f], 0.35));
         });
     });
 }

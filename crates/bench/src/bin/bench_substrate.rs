@@ -1,9 +1,10 @@
 //! Training-substrate benchmark: attack steps/sec serial vs parallel,
-//! scratch-arena effectiveness, and peak RSS.
+//! scratch-arena effectiveness, peak RSS, and grad-free eval frames/sec.
 //!
 //! ```text
 //! cargo run --release -p rd-bench --bin bench_substrate -- \
-//!     [--quick] [--steps 12] [--threads 4] [--out BENCH_pr2.json]
+//!     [--quick] [--steps 12] [--threads 4] [--out BENCH_pr2.json] \
+//!     [--eval-out BENCH_pr4.json]
 //! ```
 //!
 //! Runs the *same* smoke-scale decal attack twice — worker pool capped
@@ -13,6 +14,11 @@
 //! that before reporting, so it doubles as a determinism smoke check.
 //! It also exercises the per-op profiler for one serial run so CI fails
 //! loudly if profiling breaks.
+//!
+//! A second section times detector *evaluation* over rendered frames —
+//! the reverse-mode tape `forward_frozen` against the compiled
+//! [`TinyYolo::infer`] plan, serial and parallel — asserts the two are
+//! bitwise-identical, and writes frames/sec to `--eval-out`.
 
 use std::time::Instant;
 
@@ -21,8 +27,10 @@ use rand::SeedableRng;
 
 use rd_bench::{arg, flag};
 use rd_detector::{TinyYolo, YoloConfig};
+use rd_scene::dataset::{generate, DatasetConfig};
 use rd_scene::CameraRig;
-use rd_tensor::ParamSet;
+use rd_tensor::{Graph, ParamSet, Tensor};
+use rd_vision::Image;
 use road_decals::attack::{train_decal_attack, AttackConfig, TrainedDecal};
 use road_decals::scenario::AttackScenario;
 
@@ -59,6 +67,36 @@ fn run_attack(threads: usize, cfg: &AttackConfig, scenario: &AttackScenario) -> 
         steps_per_sec: cfg.steps as f64 / seconds,
         decal,
     }
+}
+
+/// One timed evaluation pass over `batches`: tape `forward_frozen` or
+/// the compiled plan, at a given worker-pool cap. Returns the elapsed
+/// seconds plus every head output for the bitwise gate.
+fn eval_pass(
+    threads: usize,
+    model: &TinyYolo,
+    ps: &ParamSet,
+    batches: &[Tensor],
+    compiled: bool,
+) -> (f64, Vec<(Tensor, Tensor)>) {
+    rd_tensor::parallel::set_max_threads(threads);
+    let t0 = Instant::now();
+    let outs: Vec<(Tensor, Tensor)> = batches
+        .iter()
+        .map(|b| {
+            if compiled {
+                model.infer(ps, b)
+            } else {
+                let mut g = Graph::new();
+                let x = g.input(b.clone());
+                let out = model.forward_frozen(&mut g, ps, x);
+                (g.value(out.coarse).clone(), g.value(out.fine).clone())
+            }
+        })
+        .collect();
+    let seconds = t0.elapsed().as_secs_f64();
+    rd_tensor::parallel::set_max_threads(0);
+    (seconds, outs)
 }
 
 fn main() -> std::process::ExitCode {
@@ -186,5 +224,93 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::write(&out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
+
+    // --- grad-free eval: tape vs compiled, serial vs parallel ---------
+    let eval_out: String = arg("--eval-out", "BENCH_pr4.json".to_owned())?;
+    let n_frames = if quick { 32 } else { 96 };
+    println!("\ntiming detector eval over {n_frames} rendered frames (smoke scale)...");
+    let samples = generate(&DatasetConfig {
+        rig: CameraRig::smoke(),
+        n_images: n_frames,
+        seed: 11,
+        augment: false,
+    });
+    let images: Vec<Image> = samples.iter().map(|s| s.image.clone()).collect();
+    let batches: Vec<Tensor> = images.chunks(16).map(Image::batch_to_tensor).collect();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ps_det = ParamSet::new();
+    let detector = TinyYolo::new(&mut ps_det, &mut rng, YoloConfig::smoke());
+    // warm both paths once (plan compilation, arena buffers) off the clock
+    let _ = eval_pass(1, &detector, &ps_det, &batches[..1], false);
+    let _ = eval_pass(1, &detector, &ps_det, &batches[..1], true);
+
+    let fps = |secs: f64| n_frames as f64 / secs;
+    let (tape_1s, tape_ref) = eval_pass(1, &detector, &ps_det, &batches, false);
+    let (tape_ns, _) = eval_pass(threads, &detector, &ps_det, &batches, false);
+    let (comp_1s, comp_1) = eval_pass(1, &detector, &ps_det, &batches, true);
+    let (comp_ns, comp_n) = eval_pass(threads, &detector, &ps_det, &batches, true);
+
+    // equivalence gate: the compiled path must retrace the tape bitwise
+    // at every thread count
+    for (which, outs) in [
+        ("1-thread", &comp_1),
+        (&format!("{threads}-thread"), &comp_n),
+    ] {
+        for (i, ((tc, tf), (cc, cf))) in tape_ref.iter().zip(outs).enumerate() {
+            if tc.data() != cc.data() || tf.data() != cf.data() {
+                return Err(
+                    format!("compiled {which} eval diverged from the tape on batch {i}").into(),
+                );
+            }
+        }
+    }
+    println!(
+        "equivalence: compiled eval is bitwise-identical to the tape at 1 and {threads} threads"
+    );
+    println!(
+        "tape:     {:.1} frames/sec serial, {:.1} at {threads} threads",
+        fps(tape_1s),
+        fps(tape_ns)
+    );
+    println!(
+        "compiled: {:.1} frames/sec serial, {:.1} at {threads} threads",
+        fps(comp_1s),
+        fps(comp_ns)
+    );
+    println!(
+        "speedup:  {:.2}x serial, {:.2}x at {threads} threads",
+        tape_1s / comp_1s,
+        tape_ns / comp_ns
+    );
+
+    let eval_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr4_compiled_inference\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_logical_cpus\": {cpus},\n",
+            "  \"threads\": {threads},\n",
+            "  \"frames\": {frames},\n",
+            "  \"batch_size\": 16,\n",
+            "  \"tape\": {{ \"fps_serial\": {t1:.1}, \"fps_parallel\": {tn:.1} }},\n",
+            "  \"compiled\": {{ \"fps_serial\": {c1:.1}, \"fps_parallel\": {cn:.1} }},\n",
+            "  \"speedup_serial\": {su1:.3},\n",
+            "  \"speedup_parallel\": {sun:.3},\n",
+            "  \"bitwise_identical_to_tape\": true\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        cpus = host_cpus,
+        threads = threads,
+        frames = n_frames,
+        t1 = fps(tape_1s),
+        tn = fps(tape_ns),
+        c1 = fps(comp_1s),
+        cn = fps(comp_ns),
+        su1 = tape_1s / comp_1s,
+        sun = tape_ns / comp_ns,
+    );
+    std::fs::write(&eval_out, &eval_json).map_err(|e| format!("cannot write {eval_out}: {e}"))?;
+    println!("wrote {eval_out}");
     Ok(())
 }

@@ -55,7 +55,7 @@ fn main() {
                 &scenario,
                 &decals,
                 &env.detector,
-                &mut env.params,
+                &env.params,
                 cfg.target_class,
                 ch,
                 &ecfg,

@@ -916,7 +916,7 @@ fn digital_flip_rate(
     scenario: &AttackScenario,
     decal: &Decal,
     detector: &TinyYolo,
-    ps_det: &mut ParamSet,
+    ps_det: &ParamSet,
     target: ObjectClass,
     poses: &[CameraPose],
 ) -> usize {

@@ -93,7 +93,7 @@ pub fn evaluate_defense(
     scenario: &AttackScenario,
     decals: &Deployment,
     detector: &TinyYolo,
-    ps: &mut ParamSet,
+    ps: &ParamSet,
     target: ObjectClass,
     challenge: Challenge,
     base: &EvalConfig,

@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rd_detector::{detect, has_consecutive, Detection, TinyYolo};
+use rd_detector::{has_consecutive, postprocess_into, DecodeBuffers, Detection, TinyYolo};
 use rd_scene::{
     approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, ObjectClass,
     PhysicalChannel, RotationSetting, Speed,
@@ -234,7 +234,7 @@ pub fn evaluate_challenge(
     scenario: &AttackScenario,
     decals: &Deployment,
     model: &TinyYolo,
-    ps: &mut ParamSet,
+    ps: &ParamSet,
     target: ObjectClass,
     challenge: Challenge,
     cfg: &EvalConfig,
@@ -243,6 +243,9 @@ pub fn evaluate_challenge(
     let mut frames_per_run = 0;
     let mut victim_seen = 0usize;
     let mut total_frames = 0usize;
+    // decode scratch shared across every batch of the whole evaluation
+    let mut decode_bufs = DecodeBuffers::default();
+    let mut dets: Vec<Vec<Detection>> = Vec::new();
     for run in 0..cfg.runs {
         let mut rng =
             StdRng::seed_from_u64(cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
@@ -265,7 +268,17 @@ pub fn evaluate_challenge(
             victims.push(scenario.victim_box(pose));
         }
         for (chunk, vchunk) in frames.chunks(16).zip(victims.chunks(16)) {
-            let dets = detect(model, ps, chunk, cfg.conf_threshold);
+            let batch = Image::batch_to_tensor(chunk);
+            let (coarse, fine) = model.infer(ps, &batch);
+            postprocess_into(
+                &coarse,
+                &fine,
+                model.config().num_classes,
+                cfg.conf_threshold,
+                0.45,
+                &mut decode_bufs,
+                &mut dets,
+            );
             for (dlist, victim) in dets.iter().zip(vchunk) {
                 total_frames += 1;
                 let class = victim.as_ref().and_then(|v| classify_victim(dlist, v));
@@ -293,7 +306,7 @@ pub fn evaluate_challenge(
 pub fn evaluate_clean(
     scenario: &AttackScenario,
     model: &TinyYolo,
-    ps: &mut ParamSet,
+    ps: &ParamSet,
     target: ObjectClass,
     challenge: Challenge,
     cfg: &EvalConfig,

@@ -178,7 +178,7 @@ pub fn run_figures(
     for ecfg in [&digital, &simulated] {
         let pose = CameraPose::at_distance(2.6);
         let mut frame = render_attacked_frame(&scenario4, &decals4, &pose, ecfg, 0.1, &mut rng);
-        let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+        let dets = detect(&env.detector, &env.params, &[frame.clone()], 0.35);
         draw_detections(&mut frame, &dets[0]);
         fig4.push(frame);
     }
@@ -197,7 +197,7 @@ pub fn run_figures(
     for ecfg in [&digital, &real] {
         let pose = CameraPose::at_distance(2.6);
         let mut frame = render_attacked_frame(&scenario6, &decals6, &pose, ecfg, 0.3, &mut rng);
-        let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+        let dets = detect(&env.detector, &env.params, &[frame.clone()], 0.35);
         draw_detections(&mut frame, &dets[0]);
         fig5.push(frame);
     }

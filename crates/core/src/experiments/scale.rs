@@ -323,7 +323,7 @@ pub fn prepare_environment_with(
         seed: seed ^ 0x7e57,
         augment: false,
     });
-    let m = evaluate(&detector, &mut params, &test, 0.35);
+    let m = evaluate(&detector, &params, &test, 0.35);
     Ok(Environment {
         scale,
         detector,

@@ -61,7 +61,7 @@ fn eval_row(
                 scenario,
                 decals,
                 &env.detector,
-                &mut env.params,
+                &env.params,
                 target,
                 c,
                 ecfg,

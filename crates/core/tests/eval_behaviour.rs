@@ -23,23 +23,23 @@ fn black_star_decals(scenario: &AttackScenario) -> Deployment {
 
 #[test]
 fn evaluation_is_deterministic_given_seed() {
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
     let decals = black_star_decals(&scenario);
     let ecfg = EvalConfig::smoke(7);
-    let run = |env: &mut road_decals::experiments::Environment| {
+    let run = |env: &road_decals::experiments::Environment| {
         evaluate_challenge(
             &scenario,
             &decals,
             &env.detector,
-            &mut env.params,
+            &env.params,
             ObjectClass::Bicycle,
             Challenge::Rotation(RotationSetting::Fix),
             &ecfg,
         )
     };
-    let a = run(&mut env);
-    let b = run(&mut env);
+    let a = run(&env);
+    let b = run(&env);
     assert_eq!(a.cell, b.cell);
     assert_eq!(a.victim_detected, b.victim_detected);
 }
@@ -48,7 +48,7 @@ fn evaluation_is_deterministic_given_seed() {
 fn different_seeds_vary_only_stochastic_parts() {
     // under the digital channel with a fixed-rotation challenge, the only
     // seed-dependence is pose jitter (none for Fix) — cells must agree
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
     let decals = black_star_decals(&scenario);
     let mk = |seed| EvalConfig {
@@ -59,7 +59,7 @@ fn different_seeds_vary_only_stochastic_parts() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         ObjectClass::Bicycle,
         Challenge::Rotation(RotationSetting::Fix),
         &mk(1),
@@ -68,7 +68,7 @@ fn different_seeds_vary_only_stochastic_parts() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         ObjectClass::Bicycle,
         Challenge::Rotation(RotationSetting::Fix),
         &mk(2),
@@ -81,16 +81,16 @@ fn different_seeds_vary_only_stochastic_parts() {
 
 #[test]
 fn faster_speeds_produce_fewer_frames() {
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
     let decals = black_star_decals(&scenario);
     let ecfg = EvalConfig::smoke(3);
-    let mut frames = |speed| {
+    let frames = |speed| {
         evaluate_challenge(
             &scenario,
             &decals,
             &env.detector,
-            &mut env.params,
+            &env.params,
             ObjectClass::Bicycle,
             Challenge::Speed(speed),
             &ecfg,
@@ -105,14 +105,14 @@ fn faster_speeds_produce_fewer_frames() {
 
 #[test]
 fn challenge_outcome_fields_are_consistent() {
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 4, 60, 16, 42);
     let decals = black_star_decals(&scenario);
     let out = evaluate_challenge(
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         ObjectClass::Bicycle,
         Challenge::Rotation(RotationSetting::Slight),
         &EvalConfig::smoke(11),

@@ -173,7 +173,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
     }
 
-    let m = evaluate(&model, &mut ps, &test_set, 0.3);
+    let m = evaluate(&model, &ps, &test_set, 0.3);
     println!(
         "test: recall {:.2}  class-accuracy {:.2}  mean-IoU {:.2}  dets/img {:.1}",
         m.recall, m.class_accuracy, m.mean_iou, m.dets_per_image

@@ -66,17 +66,22 @@ fn softmax(logits: &[f32]) -> Vec<f32> {
 }
 
 /// Decodes one head tensor `[N, A*(5+C), S, S]` into per-image raw
-/// detections above `obj_threshold`.
+/// detections above `obj_threshold`, writing into `out`.
+///
+/// `out` is resized to `N` entries and each inner vector is cleared and
+/// refilled, so a caller in a video loop reuses the same allocations
+/// frame after frame.
 ///
 /// # Panics
 ///
 /// Panics if the tensor shape is inconsistent with `num_classes`.
-pub fn decode_head(
+pub fn decode_head_into(
     preds: &Tensor,
     head: usize,
     num_classes: usize,
     obj_threshold: f32,
-) -> Vec<Vec<Detection>> {
+    out: &mut Vec<Vec<Detection>>,
+) {
     assert_eq!(preds.shape().len(), 4);
     let (n, ch, s, s2) = (
         preds.shape()[0],
@@ -88,9 +93,10 @@ pub fn decode_head(
     let cpa = 5 + num_classes;
     assert_eq!(ch, ANCHORS_PER_HEAD * cpa, "channel count mismatch");
     let spec = head_specs()[head];
-    let mut out = Vec::with_capacity(n);
-    for ni in 0..n {
-        let mut dets = Vec::new();
+    out.resize_with(n, Vec::new);
+    out.truncate(n);
+    for (ni, dets) in out.iter_mut().enumerate() {
+        dets.clear();
         for a in 0..ANCHORS_PER_HEAD {
             for cy in 0..s {
                 for cx in 0..s {
@@ -127,28 +133,101 @@ pub fn decode_head(
                 }
             }
         }
-        out.push(dets);
     }
+}
+
+/// Decodes one head tensor into freshly allocated per-image detection
+/// lists. Convenience wrapper over [`decode_head_into`].
+///
+/// # Panics
+///
+/// Panics if the tensor shape is inconsistent with `num_classes`.
+pub fn decode_head(
+    preds: &Tensor,
+    head: usize,
+    num_classes: usize,
+    obj_threshold: f32,
+) -> Vec<Vec<Detection>> {
+    let mut out = Vec::new();
+    decode_head_into(preds, head, num_classes, obj_threshold, &mut out);
     out
 }
 
-/// Class-agnostic non-maximum suppression, keeping the highest-confidence
-/// detection per overlapping group.
-pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+/// In-place class-agnostic non-maximum suppression: sorts `dets` by
+/// descending confidence and removes every detection overlapping a
+/// higher-confidence survivor by more than `iou_threshold`.
+///
+/// `suppressed` is the reusable keep-mask — it is cleared and regrown
+/// each call, so a per-frame caller pays no mask allocation after the
+/// first frame.
+pub fn nms_into(dets: &mut Vec<Detection>, iou_threshold: f32, suppressed: &mut Vec<bool>) {
     dets.sort_by(|a, b| b.confidence().total_cmp(&a.confidence()));
-    let mut keep: Vec<Detection> = Vec::new();
-    'outer: for d in dets {
-        for k in &keep {
-            if d.iou(&k.to_box()) > iou_threshold {
-                continue 'outer;
+    suppressed.clear();
+    suppressed.resize(dets.len(), false);
+    for i in 0..dets.len() {
+        if suppressed[i] {
+            continue;
+        }
+        let kept = dets[i].to_box();
+        for j in i + 1..dets.len() {
+            if !suppressed[j] && dets[j].iou(&kept) > iou_threshold {
+                suppressed[j] = true;
             }
         }
-        keep.push(d);
     }
-    keep
+    let mut idx = 0;
+    dets.retain(|_| {
+        let keep = !suppressed[idx];
+        idx += 1;
+        keep
+    });
+}
+
+/// Class-agnostic non-maximum suppression, keeping the highest-confidence
+/// detection per overlapping group. Convenience wrapper over [`nms_into`].
+pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    let mut mask = Vec::new();
+    nms_into(&mut dets, iou_threshold, &mut mask);
+    dets
+}
+
+/// Reusable scratch for [`postprocess_into`]: per-head decode lists plus
+/// the NMS keep-mask, all recycled across frames.
+#[derive(Debug, Default)]
+pub struct DecodeBuffers {
+    coarse: Vec<Vec<Detection>>,
+    fine: Vec<Vec<Detection>>,
+    suppressed: Vec<bool>,
+}
+
+/// Full post-processing into caller-provided buffers: decode both heads,
+/// merge per image, threshold and NMS. `out` is resized to the batch and
+/// each inner vector cleared and refilled; `bufs` carries the decode
+/// scratch between calls. Results are identical to [`postprocess`].
+pub fn postprocess_into(
+    coarse: &Tensor,
+    fine: &Tensor,
+    num_classes: usize,
+    obj_threshold: f32,
+    iou_threshold: f32,
+    bufs: &mut DecodeBuffers,
+    out: &mut Vec<Vec<Detection>>,
+) {
+    decode_head_into(coarse, 0, num_classes, obj_threshold, &mut bufs.coarse);
+    decode_head_into(fine, 1, num_classes, obj_threshold, &mut bufs.fine);
+    let n = bufs.coarse.len();
+    out.resize_with(n, Vec::new);
+    out.truncate(n);
+    for (i, dets) in out.iter_mut().enumerate() {
+        dets.clear();
+        dets.append(&mut bufs.coarse[i]);
+        dets.append(&mut bufs.fine[i]);
+        nms_into(dets, iou_threshold, &mut bufs.suppressed);
+    }
 }
 
 /// Full post-processing: decode both heads, merge, threshold and NMS.
+/// Convenience wrapper over [`postprocess_into`].
 pub fn postprocess(
     coarse: &Tensor,
     fine: &Tensor,
@@ -156,15 +235,18 @@ pub fn postprocess(
     obj_threshold: f32,
     iou_threshold: f32,
 ) -> Vec<Vec<Detection>> {
-    let a = decode_head(coarse, 0, num_classes, obj_threshold);
-    let b = decode_head(fine, 1, num_classes, obj_threshold);
-    a.into_iter()
-        .zip(b)
-        .map(|(mut x, y)| {
-            x.extend(y);
-            nms(x, iou_threshold)
-        })
-        .collect()
+    let mut bufs = DecodeBuffers::default();
+    let mut out = Vec::new();
+    postprocess_into(
+        coarse,
+        fine,
+        num_classes,
+        obj_threshold,
+        iou_threshold,
+        &mut bufs,
+        &mut out,
+    );
+    out
 }
 
 #[cfg(test)]
@@ -234,6 +316,59 @@ mod tests {
         assert_eq!(kept.len(), 2);
         assert!((kept[0].objectness - 0.9).abs() < 1e-6);
         assert!((kept[1].cx - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_postprocess() {
+        let mk_frame = |seed: f32| {
+            let mut coarse = empty_head(2, 3);
+            let mut fine = empty_head(2, 6);
+            coarse.set4(0, 4, 1, 1, 4.0 + seed);
+            coarse.set4(0, 5, 1, 1, 3.0);
+            coarse.set4(1, 10 + 4, 0, 2, 3.5 - seed);
+            coarse.set4(1, 10 + 7, 0, 2, 2.0);
+            fine.set4(0, 20 + 4, 3, 3, 5.0);
+            fine.set4(0, 20 + 6, 3, 3, 4.0 + seed);
+            (coarse, fine)
+        };
+        let mut bufs = DecodeBuffers::default();
+        let mut out = Vec::new();
+        // two frames through the same buffers, each checked against the
+        // allocating reference path
+        for seed in [0.0, 1.5] {
+            let (coarse, fine) = mk_frame(seed);
+            let fresh = postprocess(&coarse, &fine, 5, 0.3, 0.45);
+            postprocess_into(&coarse, &fine, 5, 0.3, 0.45, &mut bufs, &mut out);
+            assert_eq!(out, fresh, "buffer reuse changed results (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn nms_into_matches_nms() {
+        let mk = |conf: f32, cx: f32| Detection {
+            class: ObjectClass::Car,
+            class_probs: vec![0.0, 0.0, 0.0, 1.0, 0.0],
+            objectness: conf,
+            cx,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+            head: 0,
+            anchor: 0,
+            cell: (0, 0),
+        };
+        let dets = vec![
+            mk(0.6, 0.50),
+            mk(0.9, 0.52),
+            mk(0.8, 0.53),
+            mk(0.7, 0.90),
+            mk(0.5, 0.91),
+        ];
+        let reference = nms(dets.clone(), 0.45);
+        let mut in_place = dets;
+        let mut mask = vec![true; 1]; // stale mask must be rebuilt
+        nms_into(&mut in_place, 0.45, &mut mask);
+        assert_eq!(in_place, reference);
     }
 
     #[test]

@@ -23,7 +23,10 @@ mod track;
 mod train;
 
 pub use confirm::{has_consecutive, Confirmer};
-pub use decode::{decode_head, nms, postprocess, Detection};
+pub use decode::{
+    decode_head, decode_head_into, nms, nms_into, postprocess, postprocess_into, DecodeBuffers,
+    Detection,
+};
 pub use model::{TinyYolo, YoloConfig, YoloOutputs};
 pub use track::{Track, TrackState, Tracker, TrackerConfig};
 pub use train::{

@@ -7,15 +7,29 @@
 //! scaling table). The paper fine-tunes from `darknet53.conv.74`; we train
 //! from Kaiming initialization on the procedural dataset instead.
 
+use std::sync::OnceLock;
+
 use rand::Rng;
 
-use rd_tensor::{init, Graph, ParamId, ParamSet, Tensor, VarId};
+use rd_tensor::{init, BatchStats, Graph, InferPlan, ParamId, ParamSet, Tensor, VarId};
 
 use crate::anchors::ANCHORS_PER_HEAD;
 
 const BN_EPS: f32 = 1e-5;
 const BN_MOMENTUM: f32 = 0.9;
 const LEAKY_SLOPE: f32 = 0.1;
+
+/// Batch statistics collected during a training forward, folded into
+/// the running-stat parameters after the graph is built.
+type PendingStats = Vec<(ParamId, ParamId, BatchStats)>;
+
+/// Batch-norm mode for the single shared block-forward: training mode
+/// uses batch statistics (collecting them for a deferred running-stat
+/// update), eval mode reads the frozen running statistics.
+enum BnMode<'s> {
+    Train(&'s mut PendingStats),
+    Eval,
+}
 
 /// Conv + batch-norm + leaky-ReLU block (darknet's `[convolutional]` with
 /// `batch_normalize=1`).
@@ -56,39 +70,29 @@ impl ConvBlock {
         }
     }
 
-    fn forward(&self, g: &mut Graph, ps: &mut ParamSet, x: VarId, training: bool) -> VarId {
-        if !training {
-            return self.forward_frozen(g, ps, x);
-        }
+    /// The single conv/bn/leaky graph builder both modes share. In
+    /// training mode the momentum update of the running statistics is
+    /// *not* applied here — the batch stats are pushed onto `mode`'s
+    /// pending list and folded in by [`TinyYolo::forward`] once the
+    /// whole graph is built (running stats are never read in training
+    /// mode, so the deferral is bitwise-neutral).
+    fn fwd(&self, g: &mut Graph, ps: &ParamSet, x: VarId, mode: &mut BnMode<'_>) -> VarId {
         let w = g.param(ps, self.w);
         let y = g.conv2d(x, w, None, self.stride, self.pad);
         let gamma = g.param(ps, self.gamma);
         let beta = g.param(ps, self.beta);
-        let (y, stats) = g.batch_norm2d_train(y, gamma, beta, BN_EPS);
-        // update running statistics in the param set (their gradients
-        // are never written, so the optimizer leaves them untouched)
-        let rm = ps.get_mut(self.running_mean).value_mut();
-        for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
-            *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
-        }
-        let rv = ps.get_mut(self.running_var).value_mut();
-        for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
-            *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
-        }
-        g.leaky_relu(y, LEAKY_SLOPE)
-    }
-
-    /// Eval-mode forward through a shared (immutable) parameter set —
-    /// batch norm uses running statistics and nothing in `ps` moves, so
-    /// frame workers can run concurrent forwards over one `&ParamSet`.
-    fn forward_frozen(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
-        let w = g.param(ps, self.w);
-        let y = g.conv2d(x, w, None, self.stride, self.pad);
-        let gamma = g.param(ps, self.gamma);
-        let beta = g.param(ps, self.beta);
-        let rm = ps.get(self.running_mean).value().clone();
-        let rv = ps.get(self.running_var).value().clone();
-        let y = g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS);
+        let y = match mode {
+            BnMode::Train(pending) => {
+                let (y, stats) = g.batch_norm2d_train(y, gamma, beta, BN_EPS);
+                pending.push((self.running_mean, self.running_var, stats));
+                y
+            }
+            BnMode::Eval => {
+                let rm = ps.get(self.running_mean).value().clone();
+                let rv = ps.get(self.running_var).value().clone();
+                g.batch_norm2d_eval(y, gamma, beta, &rm, &rv, BN_EPS)
+            }
+        };
         g.leaky_relu(y, LEAKY_SLOPE)
     }
 
@@ -96,7 +100,7 @@ impl ConvBlock {
     fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
-        let w = g.declare("param", &[], &[], &ws);
+        let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
         let ho = (xs[2] + 2 * self.pad).saturating_sub(ws[2]) / self.stride + 1;
         let wo = (xs[3] + 2 * self.pad).saturating_sub(ws[3]) / self.stride + 1;
         let y = g.declare(
@@ -106,10 +110,34 @@ impl ConvBlock {
             &[xs[0], ws[0], ho, wo],
         );
         let out_shape = g.meta(y).expected_shape.clone();
-        let gamma = g.declare("param", &[], &[], ps.get(self.gamma).value().shape());
-        let beta = g.declare("param", &[], &[], ps.get(self.beta).value().shape());
-        let y = g.declare("batch_norm2d_eval", &[y, gamma, beta], &[], &out_shape);
-        g.declare("leaky_relu", &[y], &[], &out_shape)
+        let gamma = g.declare(
+            "param",
+            &[],
+            &[("pid", self.gamma.index())],
+            ps.get(self.gamma).value().shape(),
+        );
+        let beta = g.declare(
+            "param",
+            &[],
+            &[("pid", self.beta.index())],
+            ps.get(self.beta).value().shape(),
+        );
+        let y = g.declare(
+            "batch_norm2d_eval",
+            &[y, gamma, beta],
+            &[
+                ("rmean_pid", self.running_mean.index()),
+                ("rvar_pid", self.running_var.index()),
+                ("eps_bits", BN_EPS.to_bits() as usize),
+            ],
+            &out_shape,
+        );
+        g.declare(
+            "leaky_relu",
+            &[y],
+            &[("alpha_bits", LEAKY_SLOPE.to_bits() as usize)],
+            &out_shape,
+        )
     }
 }
 
@@ -155,7 +183,7 @@ impl HeadConv {
     fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
-        let w = g.declare("param", &[], &[], &ws);
+        let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
         let ho = xs[2].saturating_sub(ws[2]) + 1;
         let wo = xs[3].saturating_sub(ws[3]) + 1;
         let y = g.declare(
@@ -165,7 +193,12 @@ impl HeadConv {
             &[xs[0], ws[0], ho, wo],
         );
         let out_shape = g.meta(y).expected_shape.clone();
-        let b = g.declare("param", &[], &[], ps.get(self.b).value().shape());
+        let b = g.declare(
+            "param",
+            &[],
+            &[("pid", self.b.index())],
+            ps.get(self.b).value().shape(),
+        );
         g.declare("add_bias_channel", &[y, b], &[], &out_shape)
     }
 }
@@ -254,6 +287,10 @@ pub struct TinyYolo {
     route: ConvBlock,
     head2_pre: ConvBlock,
     head2: HeadConv,
+    /// Lazily compiled grad-free inference plan (architecture-only —
+    /// weights are read fresh from the `ParamSet` on every execution, so
+    /// the cached plan survives weight updates).
+    plan: OnceLock<InferPlan>,
 }
 
 /// Backbone channel widths (the full YOLOv3-tiny uses
@@ -284,12 +321,56 @@ impl TinyYolo {
             route: ConvBlock::new(ps, rng, "route", WIDTHS[6], 32, 1, 1, 0),
             head2_pre: ConvBlock::new(ps, rng, "h2pre", WIDTHS[4] + 32, WIDTHS[5], 3, 1, 1),
             head2: HeadConv::new(ps, rng, "h2", WIDTHS[5], hc, -2.0, cpa),
+            plan: OnceLock::new(),
         }
     }
 
     /// The configuration the model was built with.
     pub fn config(&self) -> YoloConfig {
         self.cfg
+    }
+
+    /// The single source of truth for the network graph: both batch-norm
+    /// modes build exactly this structure, so training and eval can never
+    /// drift apart layer-wise.
+    fn forward_mode(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        x: VarId,
+        mode: &mut BnMode<'_>,
+    ) -> YoloOutputs {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 4, "input must be NCHW");
+        assert_eq!(shape[1], 3, "input must be RGB");
+        assert_eq!(shape[2], self.cfg.input, "input height mismatch");
+        assert_eq!(shape[3], self.cfg.input, "input width mismatch");
+
+        let y = g.scoped("c1", |g| self.c1.fwd(g, ps, x, mode));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c2", |g| self.c2.fwd(g, ps, y, mode));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c3", |g| self.c3.fwd(g, ps, y, mode));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let y = g.scoped("c4", |g| self.c4.fwd(g, ps, y, mode));
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let feat16 = g.scoped("c5", |g| self.c5.fwd(g, ps, y, mode)); // stride 16
+        let y = g.max_pool2d(feat16, 2, 2, 0);
+        let y = g.scoped("c6", |g| self.c6.fwd(g, ps, y, mode));
+        let bottleneck = g.scoped("c7", |g| self.c7.fwd(g, ps, y, mode)); // stride 32
+
+        // coarse head
+        let h1 = g.scoped("h1pre", |g| self.head1_pre.fwd(g, ps, bottleneck, mode));
+        let coarse = g.scoped("h1", |g| self.head1.forward(g, ps, h1));
+
+        // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
+        let r = g.scoped("route", |g| self.route.fwd(g, ps, bottleneck, mode));
+        let r = g.upsample_nearest2x(r);
+        let cat = g.concat_channels(feat16, r);
+        let h2 = g.scoped("h2pre", |g| self.head2_pre.fwd(g, ps, cat, mode));
+        let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
+
+        YoloOutputs { coarse, fine }
     }
 
     /// Runs the network. `training` selects batch-norm mode (and updates
@@ -308,39 +389,21 @@ impl TinyYolo {
         if !training {
             return self.forward_frozen(g, ps, x);
         }
-        let shape = g.value(x).shape().to_vec();
-        assert_eq!(shape.len(), 4, "input must be NCHW");
-        assert_eq!(shape[1], 3, "input must be RGB");
-        assert_eq!(shape[2], self.cfg.input, "input height mismatch");
-        assert_eq!(shape[3], self.cfg.input, "input width mismatch");
-
-        let y = g.scoped("c1", |g| self.c1.forward(g, ps, x, training));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c2", |g| self.c2.forward(g, ps, y, training));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c3", |g| self.c3.forward(g, ps, y, training));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c4", |g| self.c4.forward(g, ps, y, training));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let feat16 = g.scoped("c5", |g| self.c5.forward(g, ps, y, training)); // stride 16
-        let y = g.max_pool2d(feat16, 2, 2, 0);
-        let y = g.scoped("c6", |g| self.c6.forward(g, ps, y, training));
-        let bottleneck = g.scoped("c7", |g| self.c7.forward(g, ps, y, training)); // stride 32
-
-        // coarse head
-        let h1 = g.scoped("h1pre", |g| {
-            self.head1_pre.forward(g, ps, bottleneck, training)
-        });
-        let coarse = g.scoped("h1", |g| self.head1.forward(g, ps, h1));
-
-        // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
-        let r = g.scoped("route", |g| self.route.forward(g, ps, bottleneck, training));
-        let r = g.upsample_nearest2x(r);
-        let cat = g.concat_channels(feat16, r);
-        let h2 = g.scoped("h2pre", |g| self.head2_pre.forward(g, ps, cat, training));
-        let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
-
-        YoloOutputs { coarse, fine }
+        let mut pending = PendingStats::new();
+        let out = self.forward_mode(g, ps, x, &mut BnMode::Train(&mut pending));
+        // fold batch statistics into the running stats (their gradients
+        // are never written, so the optimizer leaves them untouched)
+        for (rmean, rvar, stats) in pending {
+            let rm = ps.get_mut(rmean).value_mut();
+            for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
+                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+            }
+            let rv = ps.get_mut(rvar).value_mut();
+            for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
+                *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
+            }
+        }
+        out
     }
 
     /// Eval-mode forward through a *shared* parameter set.
@@ -350,39 +413,38 @@ impl TinyYolo {
     /// `ps` is mutated, so the attack loop's frame workers can build
     /// independent tapes concurrently against one frozen detector.
     pub fn forward_frozen(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> YoloOutputs {
-        let shape = g.value(x).shape().to_vec();
-        assert_eq!(shape.len(), 4, "input must be NCHW");
-        assert_eq!(shape[1], 3, "input must be RGB");
-        assert_eq!(shape[2], self.cfg.input, "input height mismatch");
-        assert_eq!(shape[3], self.cfg.input, "input width mismatch");
+        self.forward_mode(g, ps, x, &mut BnMode::Eval)
+    }
 
-        let y = g.scoped("c1", |g| self.c1.forward_frozen(g, ps, x));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c2", |g| self.c2.forward_frozen(g, ps, y));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c3", |g| self.c3.forward_frozen(g, ps, y));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let y = g.scoped("c4", |g| self.c4.forward_frozen(g, ps, y));
-        let y = g.max_pool2d(y, 2, 2, 0);
-        let feat16 = g.scoped("c5", |g| self.c5.forward_frozen(g, ps, y)); // stride 16
-        let y = g.max_pool2d(feat16, 2, 2, 0);
-        let y = g.scoped("c6", |g| self.c6.forward_frozen(g, ps, y));
-        let bottleneck = g.scoped("c7", |g| self.c7.forward_frozen(g, ps, y)); // stride 32
+    /// The compiled grad-free inference plan for this architecture,
+    /// built on first use from the shape-only declare lowering.
+    ///
+    /// The plan stores only structure (op list, buffer sizes, parameter
+    /// ids); [`TinyYolo::infer`] reads weights out of the `ParamSet` at
+    /// execution time, so the cached plan stays valid across training
+    /// steps and checkpoint restores.
+    pub fn infer_plan(&self, ps: &ParamSet) -> &InferPlan {
+        self.plan.get_or_init(|| {
+            let mut g = Graph::new();
+            let out = self.declare_forward(&mut g, ps, 1);
+            InferPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo lowering must compile to an inference plan")
+        })
+    }
 
-        // coarse head
-        let h1 = g.scoped("h1pre", |g| {
-            self.head1_pre.forward_frozen(g, ps, bottleneck)
-        });
-        let coarse = g.scoped("h1", |g| self.head1.forward(g, ps, h1));
-
-        // fine head: bottleneck -> 1x1 -> upsample -> concat(feat16)
-        let r = g.scoped("route", |g| self.route.forward_frozen(g, ps, bottleneck));
-        let r = g.upsample_nearest2x(r);
-        let cat = g.concat_channels(feat16, r);
-        let h2 = g.scoped("h2pre", |g| self.head2_pre.forward_frozen(g, ps, cat));
-        let fine = g.scoped("h2", |g| self.head2.forward(g, ps, h2));
-
-        YoloOutputs { coarse, fine }
+    /// Tape-free batched forward: runs the compiled plan on `x`
+    /// (`[N, 3, input, input]`) and returns `(coarse, fine)` head
+    /// tensors, bitwise-identical to [`TinyYolo::forward_frozen`] on the
+    /// same weights at any worker-pool thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[N, 3, input, input]` with `N >= 1`.
+    pub fn infer(&self, ps: &ParamSet, x: &Tensor) -> (Tensor, Tensor) {
+        let mut out = self.infer_plan(ps).execute(ps, x);
+        let fine = out.pop().expect("plan has two roots");
+        let coarse = out.pop().expect("plan has two roots");
+        (coarse, fine)
     }
 
     /// Lowers the architecture onto `g` as *shape-only* declared nodes —

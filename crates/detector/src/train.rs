@@ -393,20 +393,19 @@ pub fn train(
     trainer.finish()
 }
 
-/// Runs inference on a batch of images (eval-mode batch norm).
+/// Runs inference on a batch of images through the compiled grad-free
+/// plan (eval-mode batch norm; bitwise-identical to the tape forward).
 pub fn detect(
     model: &TinyYolo,
-    ps: &mut ParamSet,
+    ps: &ParamSet,
     images: &[Image],
     obj_threshold: f32,
 ) -> Vec<Vec<Detection>> {
     let batch = Image::batch_to_tensor(images);
-    let mut g = Graph::new();
-    let x = g.input(batch);
-    let out = model.forward(&mut g, ps, x, false);
+    let (coarse, fine) = model.infer(ps, &batch);
     postprocess(
-        g.value(out.coarse),
-        g.value(out.fine),
+        &coarse,
+        &fine,
         model.config().num_classes,
         obj_threshold,
         0.45,
@@ -414,13 +413,10 @@ pub fn detect(
 }
 
 /// Raw head outputs for one batch (used by evaluation helpers that need
-/// logits rather than detections).
-pub fn forward_raw(model: &TinyYolo, ps: &mut ParamSet, images: &[Image]) -> (Tensor, Tensor) {
+/// logits rather than detections). Grad-free compiled path.
+pub fn forward_raw(model: &TinyYolo, ps: &ParamSet, images: &[Image]) -> (Tensor, Tensor) {
     let batch = Image::batch_to_tensor(images);
-    let mut g = Graph::new();
-    let x = g.input(batch);
-    let out = model.forward(&mut g, ps, x, false);
-    (g.value(out.coarse).clone(), g.value(out.fine).clone())
+    model.infer(ps, &batch)
 }
 
 /// Detection quality metrics over a labelled set.
@@ -436,10 +432,10 @@ pub struct EvalMetrics {
     pub dets_per_image: f32,
 }
 
-/// Evaluates the detector on a labelled dataset.
+/// Evaluates the detector on a labelled dataset (compiled inference).
 pub fn evaluate(
     model: &TinyYolo,
-    ps: &mut ParamSet,
+    ps: &ParamSet,
     data: &[Sample],
     obj_threshold: f32,
 ) -> EvalMetrics {
@@ -659,7 +655,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut ps = ParamSet::new();
         let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
-        let m = evaluate(&model, &mut ps, &data, 0.3);
+        let m = evaluate(&model, &ps, &data, 0.3);
         // negative objectness bias keeps the fresh model from spamming
         assert!(m.dets_per_image < 12.0, "{m:?}");
     }
@@ -671,7 +667,7 @@ mod tests {
         let mut ps = ParamSet::new();
         let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
         let images: Vec<Image> = data.iter().map(|s| s.image.clone()).collect();
-        let d = detect(&model, &mut ps, &images, 0.3);
+        let d = detect(&model, &ps, &images, 0.3);
         assert_eq!(d.len(), 3);
     }
 }

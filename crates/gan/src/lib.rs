@@ -32,7 +32,9 @@
 
 use rand::Rng;
 
-use rd_tensor::{init, optim::Adam, Graph, ParamId, ParamSet, Tensor, VarId};
+use std::sync::OnceLock;
+
+use rd_tensor::{init, optim::Adam, Graph, InferPlan, ParamId, ParamSet, Tensor, VarId};
 use rd_vision::shapes::{four_shapes_sample, Shape};
 
 /// Architecture hyper-parameters.
@@ -261,6 +263,9 @@ pub struct Discriminator {
     c2_b: ParamId,
     fc_w: ParamId,
     fc_b: ParamId,
+    /// Lazily compiled grad-free inference plan (structure only; weights
+    /// are read from the `ParamSet` at execution time).
+    plan: OnceLock<InferPlan>,
 }
 
 impl Discriminator {
@@ -281,6 +286,7 @@ impl Discriminator {
                 init::xavier_linear(rng, 1, cfg.base * 2 * s * s),
             ),
             fc_b: ps.register("disc.fc.b", Tensor::zeros(&[1])),
+            plan: OnceLock::new(),
         }
     }
 
@@ -325,7 +331,7 @@ impl Discriminator {
             let conv = |g: &mut Graph, x: VarId, w: ParamId, b: ParamId| {
                 let xs = g.meta(x).expected_shape.clone();
                 let ws = ps.get(w).value().shape().to_vec();
-                let w = g.declare("param", &[], &[], &ws);
+                let w = g.declare("param", &[], &[("pid", w.index())], &ws);
                 let ho = (xs[2] + 2).saturating_sub(ws[2]) / 2 + 1;
                 let wo = (xs[3] + 2).saturating_sub(ws[3]) / 2 + 1;
                 let y = g.declare(
@@ -335,19 +341,54 @@ impl Discriminator {
                     &[xs[0], ws[0], ho, wo],
                 );
                 let os = g.meta(y).expected_shape.clone();
-                let bv = g.declare("param", &[], &[], ps.get(b).value().shape());
+                let bv = g.declare(
+                    "param",
+                    &[],
+                    &[("pid", b.index())],
+                    ps.get(b).value().shape(),
+                );
                 let y = g.declare("add_bias_channel", &[y, bv], &[], &os);
-                g.declare("leaky_relu", &[y], &[], &os)
+                g.declare(
+                    "leaky_relu",
+                    &[y],
+                    &[("alpha_bits", 0.2f32.to_bits() as usize)],
+                    &os,
+                )
             };
             let y = conv(g, x, self.c1_w, self.c1_b);
             let y = conv(g, y, self.c2_w, self.c2_b);
             let flat = self.cfg.base * 2 * s * s;
             let y = g.declare("reshape", &[y], &[], &[batch, flat]);
             let ws = ps.get(self.fc_w).value().shape().to_vec();
-            let fw = g.declare("param", &[], &[], &ws);
-            let fb = g.declare("param", &[], &[], ps.get(self.fc_b).value().shape());
+            let fw = g.declare("param", &[], &[("pid", self.fc_w.index())], &ws);
+            let fb = g.declare(
+                "param",
+                &[],
+                &[("pid", self.fc_b.index())],
+                ps.get(self.fc_b).value().shape(),
+            );
             g.declare("linear", &[y, fw, fb], &[], &[batch, ws[0]])
         })
+    }
+
+    /// The compiled grad-free inference plan for the discriminator's eval
+    /// path, built on first use from the shape-only declare lowering.
+    pub fn infer_plan(&self, ps: &ParamSet) -> &InferPlan {
+        self.plan.get_or_init(|| {
+            let mut g = Graph::new();
+            let out = self.declare_forward(&mut g, ps, 1);
+            InferPlan::compile(&g, &[out])
+                .expect("discriminator lowering must compile to an inference plan")
+        })
+    }
+
+    /// Tape-free batched scoring: maps decals `[N, 1, canvas, canvas]` to
+    /// logits `[N, 1]`, bitwise-identical to
+    /// [`Discriminator::forward`] with `frozen = true` on the same
+    /// weights at any worker-pool thread count.
+    pub fn infer(&self, ps: &ParamSet, x: &Tensor) -> Tensor {
+        let mut out = self.infer_plan(ps).execute(ps, x);
+        out.pop().expect("plan has one root")
     }
 
     /// Statically validates the discriminator's wiring against the
@@ -545,6 +586,23 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(msg.contains("gen/reshape"), "must name the layer:\n{msg}");
+    }
+
+    #[test]
+    fn discriminator_infer_matches_tape_bitwise() {
+        let (_, disc, _, ps_d, mut rng) = setup();
+        let x0 = Tensor::rand_uniform(&mut rng, &[5, 1, 16, 16], 0.0, 1.0);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let out = disc.forward(&mut g, &ps_d, x, true);
+        let tape = g.value(out).clone();
+        let compiled = disc.infer(&ps_d, &x0);
+        assert_eq!(tape.shape(), compiled.shape());
+        assert_eq!(
+            tape.data(),
+            compiled.data(),
+            "compiled discriminator must be bitwise-identical to the tape"
+        );
     }
 
     #[test]

@@ -1,0 +1,1120 @@
+//! Grad-free compiled inference: a plan/executor split over the
+//! shape-only `declare` lowering.
+//!
+//! Evaluation paths (tables, figures, defense sweeps, mAP, the
+//! confirm-window video loop) run the detector thousands of times with
+//! no gradient anywhere in sight, yet the tape forward still allocates
+//! per-node values, backward closures and metadata for every frame.
+//! This module removes that overhead without touching the kernels'
+//! arithmetic:
+//!
+//! - [`InferPlan::compile`] walks a metadata-only tape built with
+//!   [`Graph::declare`] and lowers it into a flat, topologically
+//!   ordered list of ops, fusing `conv2d → batch_norm2d_eval →
+//!   leaky_relu` (and `conv2d → add_bias_channel (→ leaky_relu)`)
+//!   chains into single kernels. Parameters are referenced by
+//!   [`ParamId`] (carried on the declare nodes as `pid` attrs), so a
+//!   compiled plan survives weight updates — values are read fresh from
+//!   the [`ParamSet`] at execution time.
+//! - [`InferExec`] owns arena-backed activation buffers (one set per
+//!   worker group) and runs the plan over batched NCHW input, fanning
+//!   samples out across [`crate::parallel`]'s worker pool.
+//!
+//! ## Bitwise equivalence with the tape
+//!
+//! The executor processes each batch sample independently, with the
+//! same inner-loop order as the tape kernels. That is exactly how the
+//! tape's own batch kernels work — `conv2d` runs per-sample
+//! im2col + GEMM, eval batch-norm applies per-channel affine constants
+//! computed once from the running stats, pooling/upsampling fill
+//! per-plane, concat and bias are per-sample/per-channel copies — so a
+//! per-sample compiled execution is bitwise identical to a batched tape
+//! forward. The fused conv+bn(+leaky) kernel preserves the f32 sequence
+//! of the unfused ops (GEMM accumulate into a zeroed buffer, then
+//! `x*scale + shift`, then the branchy leaky), never algebraically
+//! folding the batch-norm into the convolution weights. Group
+//! partitioning only decides *which thread* computes a sample, not the
+//! sample's arithmetic, so results are identical at any thread count —
+//! and `batched(N)` trivially equals `N` batch-1 calls.
+
+use std::sync::Mutex;
+
+use crate::arena;
+use crate::conv::im2col;
+use crate::graph::{Graph, VarId};
+use crate::parallel;
+use crate::params::{ParamId, ParamSet};
+use crate::profile;
+use crate::tensor::{matmul_into, Tensor};
+
+/// Output-row widths up to this use the register-accumulating GEMM.
+const GEMM_ACC_WIDTH: usize = 64;
+
+/// GEMM `out = a × b` specialized for small `n` (deep conv layers have
+/// tiny output grids — 2×2 to 8×8 — where [`matmul_into`]'s
+/// dynamic-length inner loop is pure overhead). Each output row is
+/// accumulated on the stack and stored once.
+///
+/// Bitwise equivalence: per output element this performs the exact f32
+/// sequence of `matmul_into` over a zeroed output — ascending `k`,
+/// skipping `a == 0.0` terms, one `mul` + one `add` per term (Rust
+/// never contracts these to an FMA) — so only store traffic changes,
+/// never a rounding.
+fn gemm_small_n(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(n <= GEMM_ACC_WIDTH);
+    let mut acc = [0.0f32; GEMM_ACC_WIDTH];
+    for i in 0..m {
+        let acc = &mut acc[..n];
+        acc.fill(0.0);
+        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (s, &bv) in acc.iter_mut().zip(&b[kk * n..kk * n + n]) {
+                *s += av * bv;
+            }
+        }
+        out[i * n..(i + 1) * n].copy_from_slice(acc);
+    }
+}
+
+/// [`gemm_small_n`] monomorphized on the row width so the compiler can
+/// unroll and vectorize the `N`-wide accumulator update. Same f32
+/// sequence as the generic version.
+fn gemm_fixed<const N: usize>(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize) {
+    for i in 0..m {
+        let mut acc = [0.0f32; N];
+        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow: &[f32; N] = b[kk * N..kk * N + N].try_into().unwrap();
+            for j in 0..N {
+                acc[j] += av * brow[j];
+            }
+        }
+        out[i * N..(i + 1) * N].copy_from_slice(&acc);
+    }
+}
+
+/// Dispatches between the register-accumulating kernels and
+/// [`matmul_into`]; `out` need not be zeroed (every path fully
+/// overwrites it). The fixed widths are the square head/backbone grids
+/// the detector configs produce (2..8 per side).
+fn conv_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    match n {
+        4 => gemm_fixed::<4>(a, b, out, m, k),
+        9 => gemm_fixed::<9>(a, b, out, m, k),
+        16 => gemm_fixed::<16>(a, b, out, m, k),
+        25 => gemm_fixed::<25>(a, b, out, m, k),
+        36 => gemm_fixed::<36>(a, b, out, m, k),
+        49 => gemm_fixed::<49>(a, b, out, m, k),
+        64 => gemm_fixed::<64>(a, b, out, m, k),
+        _ if n <= GEMM_ACC_WIDTH => gemm_small_n(a, b, out, m, k, n),
+        _ => {
+            out.fill(0.0);
+            matmul_into(a, b, out, m, k, n);
+        }
+    }
+}
+
+/// Batch-norm parameters folded per-channel at execution time:
+/// `scale = gamma / sqrt(rvar + eps)`, `shift = beta - rmean * scale`.
+#[derive(Debug, Clone)]
+struct BnFold {
+    gamma: ParamId,
+    beta: ParamId,
+    rmean: ParamId,
+    rvar: ParamId,
+    eps: f32,
+}
+
+/// One (possibly fused) convolution: conv + optional bias + optional
+/// eval batch-norm + optional leaky activation.
+#[derive(Debug, Clone)]
+struct ConvOp {
+    x: usize,
+    out: usize,
+    w: ParamId,
+    bias: Option<ParamId>,
+    bn: Option<BnFold>,
+    leaky: Option<f32>,
+    stride: usize,
+    pad: usize,
+    cin: usize,
+    hin: usize,
+    win: usize,
+    cout: usize,
+    kh: usize,
+    kw: usize,
+    ho: usize,
+    wo: usize,
+    scope: String,
+}
+
+impl ConvOp {
+    fn fused_name(&self) -> String {
+        let mut name = String::from("conv");
+        if self.bias.is_some() {
+            name.push_str("_bias");
+        }
+        if self.bn.is_some() {
+            name.push_str("_bn");
+        }
+        if self.leaky.is_some() {
+            name.push_str("_leaky");
+        }
+        name
+    }
+}
+
+/// Executable op kinds. Slot indices refer to per-sample activation
+/// buffers in a [`GroupBufs`].
+#[derive(Debug, Clone)]
+enum OpKind {
+    Conv(ConvOp),
+    MaxPool {
+        x: usize,
+        out: usize,
+        k: usize,
+        stride: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        ho: usize,
+        wo: usize,
+    },
+    Upsample2x {
+        x: usize,
+        out: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    },
+    Concat {
+        a: usize,
+        b: usize,
+        out: usize,
+        ca: usize,
+        cb: usize,
+        hw: usize,
+    },
+    Leaky {
+        x: usize,
+        out: usize,
+        alpha: f32,
+        len: usize,
+    },
+    Linear {
+        x: usize,
+        out: usize,
+        w: ParamId,
+        b: ParamId,
+        in_dim: usize,
+        out_dim: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PlanOp {
+    kind: OpKind,
+    /// Profile key (`infer/<scope>/<fused-op>`).
+    path: String,
+}
+
+/// How a tape node maps into the plan while compiling.
+#[derive(Debug, Clone, Copy)]
+enum NodeRef {
+    /// A `param` declare; carries the id resolved from its `pid` attr.
+    Param(ParamId),
+    /// A value-producing node; carries its activation slot.
+    Slot(usize),
+}
+
+/// A compiled, grad-free execution plan: a flat topologically ordered
+/// op list plus per-slot activation shapes, derived from a shape-only
+/// [`Graph::declare`] lowering at batch 1.
+#[derive(Debug)]
+pub struct InferPlan {
+    ops: Vec<PlanOp>,
+    /// Per-sample flat length of each activation slot.
+    slot_lens: Vec<usize>,
+    /// Per-sample shape of each activation slot (batch dim stripped).
+    slot_shapes: Vec<Vec<usize>>,
+    input_slot: usize,
+    /// Per-sample input shape (batch dim stripped).
+    input_shape: Vec<usize>,
+    outputs: Vec<usize>,
+    /// Largest im2col column buffer any conv in the plan needs.
+    max_cols: usize,
+}
+
+impl InferPlan {
+    /// Compiles a declare-lowered tape (built at batch 1) into a plan
+    /// producing the values of `roots`, in order.
+    ///
+    /// Fusion is peephole over the tape order: a `batch_norm2d_eval`,
+    /// `add_bias_channel` or `leaky_relu` node folds into the
+    /// immediately preceding conv when that conv is its input — which
+    /// in a declare lowering implies the intermediate value has no
+    /// other consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending node when the tape
+    /// contains an op the executor does not support, is missing the
+    /// `pid`/`eps_bits`/`alpha_bits` attrs the lowering must carry, or
+    /// was not declared at batch 1.
+    pub fn compile(g: &Graph, roots: &[VarId]) -> Result<InferPlan, String> {
+        let metas = g.metas();
+        let mut refs: Vec<Option<NodeRef>> = vec![None; metas.len()];
+        let mut ops: Vec<PlanOp> = Vec::new();
+        let mut slot_lens: Vec<usize> = Vec::new();
+        let mut slot_shapes: Vec<Vec<usize>> = Vec::new();
+        let mut input: Option<usize> = None;
+        let mut max_cols = 0usize;
+
+        fn new_slot(
+            lens: &mut Vec<usize>,
+            shapes: &mut Vec<Vec<usize>>,
+            shape: &[usize],
+            path: &str,
+        ) -> Result<usize, String> {
+            if shape.first() != Some(&1) {
+                return Err(format!(
+                    "infer compile at {path}: plans must be declared at batch 1, got {shape:?}"
+                ));
+            }
+            let per: Vec<usize> = shape[1..].to_vec();
+            lens.push(per.iter().product());
+            shapes.push(per);
+            Ok(shapes.len() - 1)
+        }
+
+        for (idx, meta) in metas.iter().enumerate() {
+            let fail = |msg: String| Err(format!("infer compile at {}: {msg}", meta.path()));
+            let slot_of = |refs: &[Option<NodeRef>], pi: usize| -> Result<usize, String> {
+                match refs[meta.parents[pi].index()] {
+                    Some(NodeRef::Slot(s)) => Ok(s),
+                    _ => Err(format!(
+                        "infer compile at {}: parent {pi} is not a value node",
+                        meta.path()
+                    )),
+                }
+            };
+            let param_of = |refs: &[Option<NodeRef>], pi: usize| -> Result<ParamId, String> {
+                match refs[meta.parents[pi].index()] {
+                    Some(NodeRef::Param(p)) => Ok(p),
+                    _ => Err(format!(
+                        "infer compile at {}: parent {pi} is not a param node",
+                        meta.path()
+                    )),
+                }
+            };
+            let attr = |name: &str| -> Result<usize, String> {
+                meta.attr(name).ok_or(format!(
+                    "infer compile at {}: missing '{name}' attr",
+                    meta.path()
+                ))
+            };
+
+            match meta.op {
+                "input" => {
+                    if input.is_some() {
+                        return fail("plan supports a single input".into());
+                    }
+                    let s = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    input = Some(s);
+                    refs[idx] = Some(NodeRef::Slot(s));
+                }
+                "param" => {
+                    refs[idx] = Some(NodeRef::Param(ParamId(attr("pid")?)));
+                }
+                "conv2d" => {
+                    let x = slot_of(&refs, 0)?;
+                    let w = param_of(&refs, 1)?;
+                    let ws = &metas[meta.parents[1].index()].expected_shape;
+                    let (cin, hin, win) = {
+                        let xs = &slot_shapes[x];
+                        (xs[0], xs[1], xs[2])
+                    };
+                    let (cout, kh, kw) = (ws[0], ws[2], ws[3]);
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    let (ho, wo) = (slot_shapes[out][1], slot_shapes[out][2]);
+                    max_cols = max_cols.max(cin * kh * kw * ho * wo);
+                    ops.push(PlanOp {
+                        kind: OpKind::Conv(ConvOp {
+                            x,
+                            out,
+                            w,
+                            bias: None,
+                            bn: None,
+                            leaky: None,
+                            stride: attr("stride")?,
+                            pad: attr("pad")?,
+                            cin,
+                            hin,
+                            win,
+                            cout,
+                            kh,
+                            kw,
+                            ho,
+                            wo,
+                            scope: meta.scope.clone(),
+                        }),
+                        path: String::new(),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
+                }
+                "add_bias_channel" => {
+                    let y = slot_of(&refs, 0)?;
+                    let b = param_of(&refs, 1)?;
+                    match ops.last_mut().map(|o| &mut o.kind) {
+                        Some(OpKind::Conv(c))
+                            if c.out == y
+                                && c.bias.is_none()
+                                && c.bn.is_none()
+                                && c.leaky.is_none() =>
+                        {
+                            c.bias = Some(b);
+                            refs[idx] = Some(NodeRef::Slot(y));
+                        }
+                        _ => return fail("add_bias_channel must directly follow its conv".into()),
+                    }
+                }
+                "batch_norm2d_eval" => {
+                    let y = slot_of(&refs, 0)?;
+                    let gamma = param_of(&refs, 1)?;
+                    let beta = param_of(&refs, 2)?;
+                    let fold = BnFold {
+                        gamma,
+                        beta,
+                        rmean: ParamId(attr("rmean_pid")?),
+                        rvar: ParamId(attr("rvar_pid")?),
+                        eps: f32::from_bits(attr("eps_bits")? as u32),
+                    };
+                    match ops.last_mut().map(|o| &mut o.kind) {
+                        Some(OpKind::Conv(c))
+                            if c.out == y
+                                && c.bias.is_none()
+                                && c.bn.is_none()
+                                && c.leaky.is_none() =>
+                        {
+                            c.bn = Some(fold);
+                            refs[idx] = Some(NodeRef::Slot(y));
+                        }
+                        _ => return fail("batch_norm2d_eval must directly follow its conv".into()),
+                    }
+                }
+                "leaky_relu" => {
+                    let x = slot_of(&refs, 0)?;
+                    let alpha = f32::from_bits(attr("alpha_bits")? as u32);
+                    match ops.last_mut().map(|o| &mut o.kind) {
+                        Some(OpKind::Conv(c)) if c.out == x && c.leaky.is_none() => {
+                            c.leaky = Some(alpha);
+                            refs[idx] = Some(NodeRef::Slot(x));
+                        }
+                        _ => {
+                            let out = new_slot(
+                                &mut slot_lens,
+                                &mut slot_shapes,
+                                &meta.expected_shape,
+                                &meta.path(),
+                            )?;
+                            let len = slot_lens[out];
+                            ops.push(PlanOp {
+                                kind: OpKind::Leaky { x, out, alpha, len },
+                                path: format!("infer/{}", meta.path()),
+                            });
+                            refs[idx] = Some(NodeRef::Slot(out));
+                        }
+                    }
+                }
+                "max_pool2d" => {
+                    let x = slot_of(&refs, 0)?;
+                    let xs = slot_shapes[x].clone();
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    ops.push(PlanOp {
+                        kind: OpKind::MaxPool {
+                            x,
+                            out,
+                            k: attr("k")?,
+                            stride: attr("stride")?,
+                            c: xs[0],
+                            h: xs[1],
+                            w: xs[2],
+                            ho: slot_shapes[out][1],
+                            wo: slot_shapes[out][2],
+                        },
+                        path: format!("infer/{}", meta.path()),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
+                }
+                "upsample_nearest2x" => {
+                    let x = slot_of(&refs, 0)?;
+                    let xs = slot_shapes[x].clone();
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    ops.push(PlanOp {
+                        kind: OpKind::Upsample2x {
+                            x,
+                            out,
+                            c: xs[0],
+                            h: xs[1],
+                            w: xs[2],
+                        },
+                        path: format!("infer/{}", meta.path()),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
+                }
+                "concat_channels" => {
+                    let a = slot_of(&refs, 0)?;
+                    let b = slot_of(&refs, 1)?;
+                    let (asl, bsl) = (slot_shapes[a].clone(), slot_shapes[b].clone());
+                    if asl[1..] != bsl[1..] {
+                        return fail(format!("concat spatial mismatch {asl:?} vs {bsl:?}"));
+                    }
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    ops.push(PlanOp {
+                        kind: OpKind::Concat {
+                            a,
+                            b,
+                            out,
+                            ca: asl[0],
+                            cb: bsl[0],
+                            hw: asl[1] * asl[2],
+                        },
+                        path: format!("infer/{}", meta.path()),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
+                }
+                "reshape" => {
+                    // flat per-sample data is unchanged; alias the slot
+                    let x = slot_of(&refs, 0)?;
+                    let len: usize = meta.expected_shape[1..].iter().product();
+                    if len != slot_lens[x] {
+                        return fail(format!(
+                            "reshape changes per-sample length {} -> {len}",
+                            slot_lens[x]
+                        ));
+                    }
+                    refs[idx] = Some(NodeRef::Slot(x));
+                }
+                "linear" => {
+                    let x = slot_of(&refs, 0)?;
+                    let w = param_of(&refs, 1)?;
+                    let b = param_of(&refs, 2)?;
+                    let ws = &metas[meta.parents[1].index()].expected_shape;
+                    let (out_dim, in_dim) = (ws[0], ws[1]);
+                    if slot_lens[x] != in_dim {
+                        return fail(format!(
+                            "linear input length {} != weight columns {in_dim}",
+                            slot_lens[x]
+                        ));
+                    }
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    ops.push(PlanOp {
+                        kind: OpKind::Linear {
+                            x,
+                            out,
+                            w,
+                            b,
+                            in_dim,
+                            out_dim,
+                        },
+                        path: format!("infer/{}", meta.path()),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
+                }
+                other => return fail(format!("unsupported op '{other}'")),
+            }
+        }
+
+        // finalize fused conv profile paths now fusion state is known
+        for op in &mut ops {
+            if let OpKind::Conv(c) = &op.kind {
+                op.path = if c.scope.is_empty() {
+                    format!("infer/{}", c.fused_name())
+                } else {
+                    format!("infer/{}/{}", c.scope, c.fused_name())
+                };
+            }
+        }
+
+        let input_slot = input.ok_or("infer compile: tape has no input node".to_string())?;
+        let mut outputs = Vec::with_capacity(roots.len());
+        for &r in roots {
+            match refs[r.index()] {
+                Some(NodeRef::Slot(s)) => outputs.push(s),
+                _ => return Err(format!("infer compile: root {} is not a value", r.index())),
+            }
+        }
+        Ok(InferPlan {
+            ops,
+            input_shape: slot_shapes[input_slot].clone(),
+            slot_lens,
+            slot_shapes,
+            input_slot,
+            outputs,
+            max_cols,
+        })
+    }
+
+    /// Number of (fused) ops in the plan.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Per-sample input shape (batch dimension stripped).
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// One-shot convenience: build an executor, run it, drop it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is not `[N, ...input_shape]` with `N >= 1`.
+    pub fn execute(&self, ps: &ParamSet, input: &Tensor) -> Vec<Tensor> {
+        InferExec::new(self).run(ps, input)
+    }
+
+    /// Runs one sample already copied into `bufs`' input slot.
+    fn exec_sample(&self, ps: &ParamSet, derived: &[Option<Vec<f32>>], bufs: &mut GroupBufs) {
+        for (oi, op) in self.ops.iter().enumerate() {
+            let t0 = profile::enabled().then(std::time::Instant::now);
+            match &op.kind {
+                OpKind::Conv(c) => {
+                    let mut out = std::mem::take(&mut bufs.slots[c.out]);
+                    let mut cols = std::mem::take(&mut bufs.cols);
+                    let ckk = c.cin * c.kh * c.kw;
+                    let howo = c.ho * c.wo;
+                    im2col(
+                        &bufs.slots[c.x],
+                        c.cin,
+                        c.hin,
+                        c.win,
+                        c.kh,
+                        c.kw,
+                        c.stride,
+                        c.pad,
+                        c.ho,
+                        c.wo,
+                        &mut cols[..ckk * howo],
+                    );
+                    conv_gemm(
+                        ps.get(c.w).value().data(),
+                        &cols[..ckk * howo],
+                        &mut out,
+                        c.cout,
+                        ckk,
+                        howo,
+                    );
+                    if let Some(b) = c.bias {
+                        let bv = ps.get(b).value().data();
+                        for ch in 0..c.cout {
+                            let add = bv[ch];
+                            for v in &mut out[ch * howo..(ch + 1) * howo] {
+                                *v += add;
+                            }
+                        }
+                    }
+                    if let Some(bn) = &c.bn {
+                        let gv = ps.get(bn.gamma).value().data();
+                        let bev = ps.get(bn.beta).value().data();
+                        let rm = ps.get(bn.rmean).value().data();
+                        let rv = ps.get(bn.rvar).value().data();
+                        for ch in 0..c.cout {
+                            // same f32 sequence as the tape's eval bnorm
+                            let ivstd = 1.0 / (rv[ch] + bn.eps).sqrt();
+                            let scale = gv[ch] * ivstd;
+                            let shift = bev[ch] - rm[ch] * scale;
+                            let seg = &mut out[ch * howo..(ch + 1) * howo];
+                            if let Some(alpha) = c.leaky {
+                                for v in seg {
+                                    let t = *v * scale + shift;
+                                    *v = if t > 0.0 { t } else { alpha * t };
+                                }
+                            } else {
+                                for v in seg {
+                                    *v = *v * scale + shift;
+                                }
+                            }
+                        }
+                    } else if let Some(alpha) = c.leaky {
+                        for v in out.iter_mut() {
+                            let t = *v;
+                            *v = if t > 0.0 { t } else { alpha * t };
+                        }
+                    }
+                    bufs.cols = cols;
+                    bufs.slots[c.out] = out;
+                }
+                OpKind::MaxPool {
+                    x,
+                    out,
+                    k,
+                    stride,
+                    c,
+                    h,
+                    w,
+                    ho,
+                    wo,
+                } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    let xs = &bufs.slots[*x];
+                    let (hw, howo) = (h * w, ho * wo);
+                    for ch in 0..*c {
+                        let xoff = ch * hw;
+                        let oplane = &mut o[ch * howo..(ch + 1) * howo];
+                        for oh in 0..*ho {
+                            for ow in 0..*wo {
+                                let mut best = f32::NEG_INFINITY;
+                                for ki in 0..*k {
+                                    let ih = oh * stride + ki;
+                                    if ih >= *h {
+                                        continue;
+                                    }
+                                    for kj in 0..*k {
+                                        let iw = ow * stride + kj;
+                                        if iw >= *w {
+                                            continue;
+                                        }
+                                        let v = xs[xoff + ih * w + iw];
+                                        if v > best {
+                                            best = v;
+                                        }
+                                    }
+                                }
+                                oplane[oh * wo + ow] = best;
+                            }
+                        }
+                    }
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Upsample2x { x, out, c, h, w } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    let xs = &bufs.slots[*x];
+                    let (ho, wo) = (h * 2, w * 2);
+                    let (hw, howo) = (h * w, ho * wo);
+                    for ch in 0..*c {
+                        let oplane = &mut o[ch * howo..(ch + 1) * howo];
+                        for oh in 0..ho {
+                            for ow in 0..wo {
+                                oplane[oh * wo + ow] = xs[ch * hw + (oh / 2) * w + ow / 2];
+                            }
+                        }
+                    }
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Concat {
+                    a,
+                    b,
+                    out,
+                    ca,
+                    cb,
+                    hw,
+                } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    o[..ca * hw].copy_from_slice(&bufs.slots[*a][..ca * hw]);
+                    o[ca * hw..(ca + cb) * hw].copy_from_slice(&bufs.slots[*b][..cb * hw]);
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Leaky { x, out, alpha, len } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    for (ov, &xv) in o.iter_mut().zip(&bufs.slots[*x][..*len]) {
+                        *ov = if xv > 0.0 { xv } else { alpha * xv };
+                    }
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Linear {
+                    x,
+                    out,
+                    w: _,
+                    b,
+                    in_dim,
+                    out_dim,
+                } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    let wt = derived[oi]
+                        .as_ref()
+                        .expect("linear op missing derived transposed weight");
+                    o.fill(0.0);
+                    matmul_into(&bufs.slots[*x][..*in_dim], wt, &mut o, 1, *in_dim, *out_dim);
+                    let bv = ps.get(*b).value().data();
+                    for (ov, &bvv) in o.iter_mut().zip(bv) {
+                        *ov += bvv;
+                    }
+                    bufs.slots[*out] = o;
+                }
+            }
+            if let Some(t0) = t0 {
+                profile::add_sample(&op.path, t0.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+}
+
+/// Per-worker-group activation buffers, all arena-backed.
+struct GroupBufs {
+    /// One buffer per plan slot, sized to the slot's per-sample length.
+    slots: Vec<Vec<f32>>,
+    /// Shared im2col column buffer (sized to the plan's largest conv).
+    cols: Vec<f32>,
+}
+
+impl GroupBufs {
+    fn new(plan: &InferPlan) -> Self {
+        GroupBufs {
+            slots: plan.slot_lens.iter().map(|&l| arena::take(l)).collect(),
+            cols: arena::take(plan.max_cols),
+        }
+    }
+}
+
+/// Executor for an [`InferPlan`]: owns preallocated arena-backed
+/// activation buffers (one [`GroupBufs`] per worker group, grown
+/// lazily, recycled on drop) and runs batched input through the plan.
+pub struct InferExec<'p> {
+    plan: &'p InferPlan,
+    groups: Vec<GroupBufs>,
+}
+
+impl<'p> InferExec<'p> {
+    /// Creates an executor for `plan`. Buffers are taken from the arena
+    /// on first use and recycled when the executor drops.
+    pub fn new(plan: &'p InferPlan) -> Self {
+        InferExec {
+            plan,
+            groups: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, groups: usize) {
+        while self.groups.len() < groups {
+            self.groups.push(GroupBufs::new(self.plan));
+        }
+    }
+
+    /// Runs the plan over a batched input `[N, ...input_shape]` and
+    /// returns one batched output tensor per plan root, in root order.
+    ///
+    /// Samples are partitioned into the same fixed, size-only groups
+    /// the training substrate uses ([`parallel::groups_for`]); each
+    /// group's samples run serially in its own buffer set, so the
+    /// result is bitwise independent of the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the plan's input shape or the
+    /// batch is empty.
+    pub fn run(&mut self, ps: &ParamSet, input: &Tensor) -> Vec<Tensor> {
+        let plan = self.plan;
+        assert!(
+            !input.shape().is_empty() && input.shape()[1..] == plan.input_shape[..],
+            "infer input {:?} does not match plan input [N, {:?}]",
+            input.shape(),
+            plan.input_shape
+        );
+        let n = input.shape()[0];
+        assert!(n > 0, "infer batch must be non-empty");
+        let groups = parallel::groups_for(n);
+        self.ensure(groups);
+        let per = n.div_ceil(groups);
+        let in_len = plan.slot_lens[plan.input_slot];
+
+        // transposed linear weights are shared, read-only per run
+        let derived: Vec<Option<Vec<f32>>> = plan
+            .ops
+            .iter()
+            .map(|op| match &op.kind {
+                OpKind::Linear { w, .. } => Some(ps.get(*w).value().transpose2d().data().to_vec()),
+                _ => None,
+            })
+            .collect();
+
+        let mut outs: Vec<Tensor> = plan
+            .outputs
+            .iter()
+            .map(|&s| {
+                let mut shape = vec![n];
+                shape.extend_from_slice(&plan.slot_shapes[s]);
+                Tensor::zeros(&shape)
+            })
+            .collect();
+        let counts: Vec<usize> = (0..groups)
+            .map(|gi| per.min(n.saturating_sub(gi * per)))
+            .collect();
+
+        // hand each worker group exclusive slices of the output tensors
+        // and its own buffer set through take-once mutex cells
+        let mut out_cells: Vec<Vec<Mutex<Option<&mut [f32]>>>> = Vec::with_capacity(outs.len());
+        for (oi, t) in outs.iter_mut().enumerate() {
+            let olen = plan.slot_lens[plan.outputs[oi]];
+            let mut rest: &mut [f32] = t.data_mut();
+            let mut cells = Vec::with_capacity(groups);
+            for &count in &counts {
+                let (head, tail) = rest.split_at_mut(count * olen);
+                cells.push(Mutex::new(Some(head)));
+                rest = tail;
+            }
+            out_cells.push(cells);
+        }
+        let buf_cells: Vec<Mutex<Option<&mut GroupBufs>>> = self.groups[..groups]
+            .iter_mut()
+            .map(|gb| Mutex::new(Some(gb)))
+            .collect();
+        let xin = input.data();
+
+        parallel::run_indexed(groups, |gi| {
+            let mut guard = buf_cells[gi].lock().expect("infer buffer cell poisoned");
+            let bufs: &mut GroupBufs = guard.take().expect("group buffers taken twice");
+            let mut ochunks: Vec<&mut [f32]> = out_cells
+                .iter()
+                .map(|cells| {
+                    cells[gi]
+                        .lock()
+                        .expect("infer output cell poisoned")
+                        .take()
+                        .expect("output chunk taken twice")
+                })
+                .collect();
+            let start = gi * per;
+            for li in 0..counts[gi] {
+                let ni = start + li;
+                bufs.slots[plan.input_slot].copy_from_slice(&xin[ni * in_len..(ni + 1) * in_len]);
+                plan.exec_sample(ps, &derived, bufs);
+                for (oi, &slot) in plan.outputs.iter().enumerate() {
+                    let olen = plan.slot_lens[slot];
+                    ochunks[oi][li * olen..(li + 1) * olen]
+                        .copy_from_slice(&bufs.slots[slot][..olen]);
+                }
+            }
+        });
+        outs
+    }
+}
+
+impl Drop for InferExec<'_> {
+    fn drop(&mut self) {
+        for gb in self.groups.drain(..) {
+            for b in gb.slots {
+                arena::recycle(b);
+            }
+            arena::recycle(gb.cols);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    /// Declares a conv(3x3, s1, p1) + bn + leaky + maxpool + conv+bias
+    /// net and checks the compiled path matches the tape bitwise.
+    fn tiny_net(
+        ps: &mut ParamSet,
+    ) -> (
+        ParamId,
+        ParamId,
+        ParamId,
+        ParamId,
+        ParamId,
+        ParamId,
+        ParamId,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let w1 = ps.register("w1", crate::init::kaiming_conv(&mut rng, 4, 3, 3, 3));
+        let gamma = ps.register("gamma", Tensor::ones(&[4]));
+        let beta = ps.register("beta", Tensor::randn(&mut rng, &[4], 0.1));
+        let rmean = ps.register("rmean", Tensor::randn(&mut rng, &[4], 0.2));
+        let rvar = ps.register("rvar", Tensor::full(&[4], 0.9));
+        let w2 = ps.register("w2", crate::init::kaiming_conv(&mut rng, 2, 4, 1, 1));
+        let b2 = ps.register("b2", Tensor::randn(&mut rng, &[2], 0.5));
+        (w1, gamma, beta, rmean, rvar, w2, b2)
+    }
+
+    fn declare_tiny(
+        g: &mut Graph,
+        ids: &(
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+        ),
+    ) -> VarId {
+        let (w1, gamma, beta, rmean, rvar, w2, b2) = *ids;
+        let x = g.declare("input", &[], &[], &[1, 3, 8, 8]);
+        let w = g.declare("param", &[], &[("pid", w1.index())], &[4, 3, 3, 3]);
+        let y = g.declare(
+            "conv2d",
+            &[x, w],
+            &[("stride", 1), ("pad", 1)],
+            &[1, 4, 8, 8],
+        );
+        let ga = g.declare("param", &[], &[("pid", gamma.index())], &[4]);
+        let be = g.declare("param", &[], &[("pid", beta.index())], &[4]);
+        let y = g.declare(
+            "batch_norm2d_eval",
+            &[y, ga, be],
+            &[
+                ("rmean_pid", rmean.index()),
+                ("rvar_pid", rvar.index()),
+                ("eps_bits", 1e-5f32.to_bits() as usize),
+            ],
+            &[1, 4, 8, 8],
+        );
+        let y = g.declare(
+            "leaky_relu",
+            &[y],
+            &[("alpha_bits", 0.1f32.to_bits() as usize)],
+            &[1, 4, 8, 8],
+        );
+        let y = g.declare(
+            "max_pool2d",
+            &[y],
+            &[("k", 2), ("stride", 2), ("pad", 0)],
+            &[1, 4, 4, 4],
+        );
+        let w = g.declare("param", &[], &[("pid", w2.index())], &[2, 4, 1, 1]);
+        let y = g.declare(
+            "conv2d",
+            &[y, w],
+            &[("stride", 1), ("pad", 0)],
+            &[1, 2, 4, 4],
+        );
+        let b = g.declare("param", &[], &[("pid", b2.index())], &[2]);
+        g.declare("add_bias_channel", &[y, b], &[], &[1, 2, 4, 4])
+    }
+
+    fn tape_tiny(
+        ps: &ParamSet,
+        ids: &(
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+            ParamId,
+        ),
+        x0: &Tensor,
+    ) -> Tensor {
+        let (w1, gamma, beta, rmean, rvar, w2, b2) = *ids;
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let w = g.param(ps, w1);
+        let y = g.conv2d(x, w, None, 1, 1);
+        let ga = g.param(ps, gamma);
+        let be = g.param(ps, beta);
+        let rm = ps.get(rmean).value().clone();
+        let rv = ps.get(rvar).value().clone();
+        let y = g.batch_norm2d_eval(y, ga, be, &rm, &rv, 1e-5);
+        let y = g.leaky_relu(y, 0.1);
+        let y = g.max_pool2d(y, 2, 2, 0);
+        let w = g.param(ps, w2);
+        let b = g.param(ps, b2);
+        let y = g.conv2d(y, w, Some(b), 1, 0);
+        g.value(y).clone()
+    }
+
+    #[test]
+    fn compiled_tiny_net_matches_tape_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut ps = ParamSet::new();
+        let ids = tiny_net(&mut ps);
+        let mut g = Graph::new();
+        let root = declare_tiny(&mut g, &ids);
+        let plan = InferPlan::compile(&g, &[root]).expect("tiny net compiles");
+        assert_eq!(plan.num_ops(), 3, "conv_bn_leaky + pool + conv_bias");
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&mut rng, &[3, 3, 8, 8], 1.0);
+        let got = plan.execute(&ps, &x);
+        let want = tape_tiny(&ps, &ids, &x);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].shape(), want.shape());
+        assert_eq!(got[0].data(), want.data(), "compiled != tape");
+    }
+
+    #[test]
+    fn batched_equals_per_sample() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut ps = ParamSet::new();
+        let ids = tiny_net(&mut ps);
+        let mut g = Graph::new();
+        let root = declare_tiny(&mut g, &ids);
+        let plan = InferPlan::compile(&g, &[root]).expect("tiny net compiles");
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn(&mut rng, &[5, 3, 8, 8], 1.0);
+        let batched = plan.execute(&ps, &x);
+        let in_len = 3 * 8 * 8;
+        let out_len: usize = batched[0].shape()[1..].iter().product();
+        for ni in 0..5 {
+            let xi = Tensor::from_vec(
+                x.data()[ni * in_len..(ni + 1) * in_len].to_vec(),
+                &[1, 3, 8, 8],
+            );
+            let oi = plan.execute(&ps, &xi);
+            assert_eq!(
+                &batched[0].data()[ni * out_len..(ni + 1) * out_len],
+                oi[0].data(),
+                "sample {ni} differs between batched and batch-1"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unsupported_ops() {
+        let mut g = Graph::new();
+        let x = g.declare("input", &[], &[], &[1, 4]);
+        let _ = g.declare("softmax", &[x], &[], &[1, 4]);
+        let err = InferPlan::compile(&g, &[VarId::from_index(1)]).unwrap_err();
+        assert!(err.contains("unsupported op 'softmax'"), "got: {err}");
+    }
+
+    #[test]
+    fn compile_rejects_batched_declares() {
+        let mut g = Graph::new();
+        let _ = g.declare("input", &[], &[], &[2, 3, 8, 8]);
+        let err = InferPlan::compile(&g, &[VarId::from_index(0)]).unwrap_err();
+        assert!(err.contains("batch 1"), "got: {err}");
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`ParamSet`] / [`optim`] — named parameters plus SGD/Adam.
 //! * [`io`] — binary weight blobs plus versioned, CRC-guarded training
 //!   checkpoints with atomic writes for crash-safe resume.
+//! * [`infer`] — tape-free compiled inference ([`InferPlan`] /
+//!   [`InferExec`]) for grad-free evaluation paths, bitwise-identical
+//!   to the tape forward.
 //! * [`check`] — numerical gradient checking used across the workspace.
 //!
 //! # Examples
@@ -49,6 +52,7 @@ mod bnorm;
 pub mod check;
 mod conv;
 mod graph;
+pub mod infer;
 pub mod init;
 pub mod io;
 mod linmap;
@@ -63,6 +67,7 @@ mod tensor;
 
 pub use bnorm::BatchStats;
 pub use graph::{BackFn, Gradients, Graph, OpMeta, VarId};
+pub use infer::{InferExec, InferPlan};
 pub use linmap::{LinearMap, WarpEntry};
 pub use params::{Param, ParamId, ParamSet};
 pub use smallvec::SmallVec;

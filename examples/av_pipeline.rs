@@ -69,12 +69,7 @@ fn main() {
         .collect();
     for (fi, pose) in poses.iter().enumerate() {
         let frame = render_attacked_frame(&scenario, &printed, pose, &ecfg, motion, &mut rng);
-        let dets = detect(
-            &env.detector,
-            &mut env.params,
-            &[frame],
-            ecfg.conf_threshold,
-        );
+        let dets = detect(&env.detector, &env.params, &[frame], ecfg.conf_threshold);
         let confirmed = tracker.step(&dets[0]);
         for (id, class) in confirmed {
             println!(

@@ -75,7 +75,7 @@ fn main() {
             &scenario,
             &decals,
             &env.detector,
-            &mut env.params,
+            &env.params,
             cfg.target_class,
             challenge,
             &base,

@@ -71,7 +71,7 @@ fn main() {
                 &scenario,
                 &decals,
                 &env.detector,
-                &mut env.params,
+                &env.params,
                 cfg.target_class,
                 c,
                 &ecfg,
@@ -97,7 +97,7 @@ fn main() {
         0.0,
         &mut rng,
     );
-    let dets = detect(&env.detector, &mut env.params, &[frame.clone()], 0.35);
+    let dets = detect(&env.detector, &env.params, &[frame.clone()], 0.35);
     println!("detections at 2.4 m:");
     for d in &dets[0] {
         println!("   {} conf {:.2}", d.class, d.confidence());

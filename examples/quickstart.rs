@@ -70,7 +70,7 @@ fn main() {
         let clean = evaluate_clean(
             &scenario,
             &env.detector,
-            &mut env.params,
+            &env.params,
             cfg.target_class,
             challenge,
             &ecfg,
@@ -79,7 +79,7 @@ fn main() {
             &scenario,
             &decals,
             &env.detector,
-            &mut env.params,
+            &env.params,
             cfg.target_class,
             challenge,
             &ecfg,

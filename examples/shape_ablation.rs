@@ -56,7 +56,7 @@ fn main() {
                 &scenario,
                 &decals,
                 &env.detector,
-                &mut env.params,
+                &env.params,
                 cfg.target_class,
                 c,
                 &ecfg,

@@ -12,7 +12,7 @@ use rd::scenario::AttackScenario;
 
 #[test]
 fn clean_scene_is_never_classified_as_the_target() {
-    let mut env = prepare_environment(Scale::Smoke, 42);
+    let env = prepare_environment(Scale::Smoke, 42);
     let scenario = AttackScenario::parking_lot(Scale::Smoke.rig(), 4, 60, 16, 42);
     let ecfg = EvalConfig::smoke(42);
     for challenge in [
@@ -22,7 +22,7 @@ fn clean_scene_is_never_classified_as_the_target() {
         let out = evaluate_clean(
             &scenario,
             &env.detector,
-            &mut env.params,
+            &env.params,
             ObjectClass::Bicycle,
             challenge,
             &ecfg,
@@ -63,7 +63,7 @@ fn full_attack_pipeline_produces_consistent_artifacts() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         cfg.target_class,
         Challenge::Rotation(RotationSetting::Fix),
         &EvalConfig::smoke(42),
@@ -89,7 +89,7 @@ fn baseline_pipeline_runs_and_is_colored() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         cfg.target_class,
         Challenge::Rotation(RotationSetting::Fix),
         &EvalConfig::smoke(42),
@@ -115,7 +115,7 @@ fn physical_channel_never_helps_the_monochrome_attack_much() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         cfg.target_class,
         challenge,
         &EvalConfig {
@@ -127,7 +127,7 @@ fn physical_channel_never_helps_the_monochrome_attack_much() {
         &scenario,
         &decals,
         &env.detector,
-        &mut env.params,
+        &env.params,
         cfg.target_class,
         challenge,
         &EvalConfig {

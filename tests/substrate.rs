@@ -122,7 +122,7 @@ fn detector_learns_the_procedural_dataset() {
         "training failed to reduce loss: {:?}",
         report.epoch_losses
     );
-    let m = evaluate(&model, &mut ps, &test, 0.3);
+    let m = evaluate(&model, &ps, &test, 0.3);
     assert!(m.recall > 0.3, "recall too low after training: {m:?}");
 }
 
