@@ -36,11 +36,25 @@ echo "==> substrate bench smoke (profiler + parallel fan-out + determinism)"
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread
 # equality before writing its report. The eval section re-checks the
 # tape-vs-compiled bitwise gate on rendered frames.
-cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json
 test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
 test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval report" >&2; exit 1; }
+# The training section enforces this PR's contracts before writing its
+# report: compiled-vs-tape bitwise identity for a full attack run and a
+# detector fine-tune, plus 1-vs-N-thread determinism of the compiled
+# step, all inside one process.
+test -s target/BENCH_pr5_smoke.json || { echo "bench_substrate wrote no training report" >&2; exit 1; }
+
+echo "==> compiled training step equivalence (TrainPlan vs tape, 1 and 4 threads)"
+# The PR 5 contract at test granularity: full training runs through the
+# compiled plan retrace the tape bitwise (losses, gradients, updated
+# parameters including BN running stats) at 1 and 4 threads.
+cargo test --release -q -p rd-detector --test train_compiled
 
 echo "==> grad audit (every op's backward vs central differences)"
 cargo run --release -q -p rd-analysis --bin grad_audit
+
+echo "==> perf trajectory (steps/sec and frames/sec across PR benches)"
+scripts/perf_trajectory.sh || true
 
 echo "ci.sh: all checks passed"

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rd_tensor::check::numeric_grad;
-use rd_tensor::{Graph, LinearMap, Tensor, VarId, WarpEntry};
+use rd_tensor::{Graph, LinearMap, ParamId, ParamSet, Tensor, TrainPlan, VarId, WarpEntry};
 use std::sync::Arc;
 
 /// Result of auditing one op's backward pass with respect to one input.
@@ -71,6 +71,60 @@ fn audit_case(
         x0,
         EPS,
     );
+    let max_err = max_normalized_err(&analytic, &numeric);
+    OpReport {
+        case,
+        max_err,
+        pass: max_err < tol,
+    }
+}
+
+/// Audits one fused backward kernel of a compiled [`TrainPlan`]: runs
+/// the plan's own forward, seeds the backward with the output itself
+/// (i.e. the loss is `sum(out^2)/2`), and compares the resulting input
+/// or parameter gradient against central differences of the plan's
+/// forward pass. `wrt = None` differentiates the input, `Some(pid)` the
+/// named parameter.
+fn audit_plan_case(
+    case: &'static str,
+    ps: &mut ParamSet,
+    plan: &TrainPlan,
+    x0: &Tensor,
+    wrt: Option<ParamId>,
+    tol: f32,
+) -> OpReport {
+    let loss_of = |ps: &ParamSet, x: &Tensor| -> f32 {
+        let step = plan.forward(ps, x, false);
+        step.output(0).data().iter().map(|v| 0.5 * v * v).sum()
+    };
+    ps.zero_grads();
+    let analytic = {
+        let mut step = plan.forward(ps, x0, wrt.is_some());
+        let seed = step.output(0);
+        step.backward(ps, &[&seed], wrt.is_none());
+        match wrt {
+            None => step.input_grad(),
+            Some(pid) => {
+                step.write_param_grads(ps);
+                ps.get(pid).grad().clone()
+            }
+        }
+    };
+    let numeric = match wrt {
+        None => numeric_grad(|t| loss_of(ps, t), x0, EPS),
+        Some(pid) => {
+            let base = ps.get(pid).value().clone();
+            numeric_grad(
+                |t| {
+                    let mut ps2 = ps.clone();
+                    *ps2.get_mut(pid).value_mut() = t.clone();
+                    loss_of(&ps2, x0)
+                },
+                &base,
+                EPS,
+            )
+        }
+    };
     let max_err = max_normalized_err(&analytic, &numeric);
     OpReport {
         case,
@@ -291,6 +345,117 @@ pub fn run_grad_audit(tol: f32) -> Vec<OpReport> {
     case("mse", &vec4, &|g, x| g.mse(x, &mse_target));
     case("warp", &img1c, &|g, x| g.warp(x, &map));
 
+    // ---- compiled-plan fused backward kernels ----
+    // The rows above audit the tape's backward closures; the rows below
+    // audit the fused kernels of the compiled training step instead.
+    // Each net is declared at batch 1 (params carrying their pids),
+    // compiled into a TrainPlan, and differentiated through the plan's
+    // own forward/backward, covering conv+bn(train|eval)+leaky chains,
+    // conv+bias, max-pool scatter, nearest-upsample scatter, channel
+    // concat, and the standalone leaky kernel.
+    {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::randn(&mut rng, &[3, 2, 3, 3], 0.5));
+        let gamma = ps.register("gamma", Tensor::from_vec(vec![1.1, 0.9, 1.05], &[3]));
+        let beta = ps.register("beta", Tensor::from_vec(vec![0.2, -0.1, 0.05], &[3]));
+        let rmean = ps.register("rmean", Tensor::from_vec(vec![0.05, -0.1, 0.0], &[3]));
+        let rvar = ps.register("rvar", Tensor::from_vec(vec![0.8, 1.3, 1.0], &[3]));
+        let declare = |train_bn: bool| -> (Graph, VarId) {
+            let mut g = Graph::new();
+            let x = g.declare("input", &[], &[], &[1, 2, 4, 4]);
+            let wv = g.declare("param", &[], &[("pid", w.index())], &[3, 2, 3, 3]);
+            let y = g.declare(
+                "conv2d",
+                &[x, wv],
+                &[("stride", 1), ("pad", 1)],
+                &[1, 3, 4, 4],
+            );
+            let ga = g.declare("param", &[], &[("pid", gamma.index())], &[3]);
+            let be = g.declare("param", &[], &[("pid", beta.index())], &[3]);
+            let y = g.declare(
+                if train_bn {
+                    "batch_norm2d_train"
+                } else {
+                    "batch_norm2d_eval"
+                },
+                &[y, ga, be],
+                &[
+                    ("rmean_pid", rmean.index()),
+                    ("rvar_pid", rvar.index()),
+                    ("eps_bits", 1e-5f32.to_bits() as usize),
+                ],
+                &[1, 3, 4, 4],
+            );
+            let y = g.declare(
+                "leaky_relu",
+                &[y],
+                &[("alpha_bits", 0.1f32.to_bits() as usize)],
+                &[1, 3, 4, 4],
+            );
+            (g, y)
+        };
+        let (g, root) = declare(true);
+        let plan = TrainPlan::compile(&g, &[root]).expect("fused bn-train chain compiles");
+        for (name, wrt) in [
+            ("plan conv_bn_train_leaky ∂x", None),
+            ("plan conv_bn_train_leaky ∂w", Some(w)),
+            ("plan conv_bn_train_leaky ∂gamma", Some(gamma)),
+            ("plan conv_bn_train_leaky ∂beta", Some(beta)),
+        ] {
+            reports.push(audit_plan_case(name, &mut ps, &plan, &img, wrt, tol));
+        }
+        let (g, root) = declare(false);
+        let plan = TrainPlan::compile(&g, &[root]).expect("fused bn-eval chain compiles");
+        for (name, wrt) in [
+            ("plan conv_bn_eval_leaky ∂x", None),
+            ("plan conv_bn_eval_leaky ∂gamma", Some(gamma)),
+            ("plan conv_bn_eval_leaky ∂beta", Some(beta)),
+        ] {
+            reports.push(audit_plan_case(name, &mut ps, &plan, &img, wrt, tol));
+        }
+    }
+    {
+        let mut ps = ParamSet::new();
+        let w = ps.register("w", Tensor::randn(&mut rng, &[2, 2, 1, 1], 0.6));
+        let b = ps.register("b", Tensor::from_vec(vec![0.3, -0.2], &[2]));
+        let mut g = Graph::new();
+        let x = g.declare("input", &[], &[], &[1, 2, 4, 4]);
+        let wv = g.declare("param", &[], &[("pid", w.index())], &[2, 2, 1, 1]);
+        let y = g.declare(
+            "conv2d",
+            &[x, wv],
+            &[("stride", 1), ("pad", 0)],
+            &[1, 2, 4, 4],
+        );
+        let bv = g.declare("param", &[], &[("pid", b.index())], &[2]);
+        let y = g.declare("add_bias_channel", &[y, bv], &[], &[1, 2, 4, 4]);
+        // branch 1: pool then upsample back to 4x4
+        let p = g.declare(
+            "max_pool2d",
+            &[y],
+            &[("k", 2), ("stride", 2), ("pad", 0)],
+            &[1, 2, 2, 2],
+        );
+        let u = g.declare("upsample_nearest2x", &[p], &[], &[1, 2, 4, 4]);
+        // branch 2: leaky off the same conv output — a second reader,
+        // so it compiles to the standalone (unfused) leaky kernel
+        let l = g.declare(
+            "leaky_relu",
+            &[y],
+            &[("alpha_bits", 0.1f32.to_bits() as usize)],
+            &[1, 2, 4, 4],
+        );
+        let cat = g.declare("concat_channels", &[u, l], &[], &[1, 4, 4, 4]);
+        let plan = TrainPlan::compile(&g, &[cat]).expect("pool/upsample/concat net compiles");
+        for (name, wrt) in [
+            ("plan conv_bias+pool+up+concat ∂x", None),
+            ("plan conv_bias+pool+up+concat ∂w", Some(w)),
+            ("plan conv_bias+pool+up+concat ∂b", Some(b)),
+        ] {
+            reports.push(audit_plan_case(name, &mut ps, &plan, &img, wrt, tol));
+        }
+    }
+
     reports
 }
 
@@ -332,7 +497,16 @@ mod tests {
             "failing cases:\n{}",
             render_table(&reports, 1e-2)
         );
-        // the sweep must cover the full op surface, not a subset
-        assert!(reports.len() >= 35, "only {} cases", reports.len());
+        // the sweep must cover the full op surface, not a subset —
+        // including the compiled-plan fused backward kernels
+        assert!(reports.len() >= 50, "only {} cases", reports.len());
+        assert!(
+            reports
+                .iter()
+                .filter(|r| r.case.starts_with("plan "))
+                .count()
+                >= 10,
+            "missing compiled-plan cases"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p rd-bench --bin bench_substrate -- \
 //!     [--quick] [--steps 12] [--threads 4] [--out BENCH_pr2.json] \
-//!     [--eval-out BENCH_pr4.json]
+//!     [--eval-out BENCH_pr4.json] [--train-out BENCH_pr5.json]
 //! ```
 //!
 //! Runs the *same* smoke-scale decal attack twice — worker pool capped
@@ -19,6 +19,13 @@
 //! the reverse-mode tape `forward_frozen` against the compiled
 //! [`TinyYolo::infer`] plan, serial and parallel — asserts the two are
 //! bitwise-identical, and writes frames/sec to `--eval-out`.
+//!
+//! A third section times *training*: the same attack run on the tape
+//! path (`compiled: false`) against the compiled
+//! [`rd_tensor::TrainPlan`] step, plus a detector fine-tune on both
+//! paths with activation-column cache statistics. Both the
+//! compiled-vs-tape bitwise gate and the 1-vs-N-thread determinism
+//! gate must hold in the same run; results go to `--train-out`.
 
 use std::time::Instant;
 
@@ -26,9 +33,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rd_bench::{arg, flag};
-use rd_detector::{TinyYolo, YoloConfig};
-use rd_scene::dataset::{generate, DatasetConfig};
+use rd_detector::{DetectorTrainer, TinyYolo, TrainConfig, YoloConfig};
+use rd_scene::dataset::{generate, DatasetConfig, Sample};
 use rd_scene::CameraRig;
+use rd_tensor::optim::StepOutcome;
 use rd_tensor::{Graph, ParamSet, Tensor};
 use rd_vision::Image;
 use road_decals::attack::{train_decal_attack, AttackConfig, TrainedDecal};
@@ -97,6 +105,42 @@ fn eval_pass(
     let seconds = t0.elapsed().as_secs_f64();
     rd_tensor::parallel::set_max_threads(0);
     (seconds, outs)
+}
+
+/// Result of one detector fine-tune: elapsed seconds, optimizer
+/// steps, per-step losses, final parameter values and the cumulative
+/// column-cache (hits, misses).
+type TrainPassResult = (f64, u64, Vec<f32>, Vec<Vec<f32>>, (u64, u64));
+
+/// One complete detector fine-tune at a worker-pool cap.
+fn train_pass(threads: usize, data: &[Sample], compiled: bool) -> TrainPassResult {
+    rd_tensor::parallel::set_max_threads(threads);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        lr: 5e-4,
+        compiled,
+        ..TrainConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ps = ParamSet::new();
+    let model = TinyYolo::new(&mut ps, &mut rng, YoloConfig::smoke());
+    let t0 = Instant::now();
+    let mut losses = Vec::new();
+    let mut trainer = DetectorTrainer::new(&model, &mut ps, data, cfg);
+    while !trainer.is_done() {
+        match trainer.step(None) {
+            StepOutcome::Ran { loss } => losses.push(loss),
+            StepOutcome::NonFinite { .. } => trainer.skip_step(),
+        }
+    }
+    let steps = trainer.steps_done();
+    let cache = trainer.col_cache_stats();
+    drop(trainer);
+    let seconds = t0.elapsed().as_secs_f64();
+    rd_tensor::parallel::set_max_threads(0);
+    let params = ps.iter().map(|(_, p)| p.value().data().to_vec()).collect();
+    (seconds, steps, losses, params, cache)
 }
 
 fn main() -> std::process::ExitCode {
@@ -312,5 +356,130 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::write(&eval_out, &eval_json).map_err(|e| format!("cannot write {eval_out}: {e}"))?;
     println!("wrote {eval_out}");
+
+    // --- compiled training step: tape vs TrainPlan ---------------------
+    let train_out: String = arg("--train-out", "BENCH_pr5.json".to_owned())?;
+
+    // attack training: the PR's headline number. The tape baseline
+    // re-runs the identical attack with `compiled: false`.
+    println!(
+        "\ntiming {} attack-training steps, tape vs compiled...",
+        cfg.steps
+    );
+    let tape_cfg = AttackConfig {
+        compiled: false,
+        ..cfg
+    };
+    let atk_tape = run_attack(1, &tape_cfg, &scenario);
+    let atk_comp = run_attack(1, &cfg, &scenario);
+    let atk_comp_n = run_attack(threads, &cfg, &scenario);
+    rd_tensor::parallel::set_max_threads(0);
+
+    // bitwise gate: the compiled step must retrace the tape exactly
+    let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    if bits(&atk_comp.decal.attack_loss) != bits(&atk_tape.decal.attack_loss)
+        || bits(&atk_comp.decal.adv_loss) != bits(&atk_tape.decal.adv_loss)
+        || atk_comp.decal.decal.channel_data() != atk_tape.decal.decal.channel_data()
+    {
+        return Err("compiled attack training diverged from the tape".into());
+    }
+    // determinism gate: the compiled step must be thread-count invariant
+    if bits(&atk_comp_n.decal.attack_loss) != bits(&atk_comp.decal.attack_loss)
+        || atk_comp_n.decal.decal.channel_data() != atk_comp.decal.decal.channel_data()
+    {
+        return Err(
+            format!("compiled attack training diverged between 1 and {threads} threads").into(),
+        );
+    }
+    let atk_speedup = atk_comp.steps_per_sec / atk_tape.steps_per_sec;
+    println!("gates: compiled == tape (bitwise), 1 == {threads} threads (bitwise)");
+    println!(
+        "tape:     {:.2} steps/sec ({:.2}s)",
+        atk_tape.steps_per_sec, atk_tape.seconds
+    );
+    println!(
+        "compiled: {:.2} steps/sec ({:.2}s) — {atk_speedup:.2}x; {:.2} steps/sec at {threads} threads",
+        atk_comp.steps_per_sec, atk_comp.seconds, atk_comp_n.steps_per_sec
+    );
+
+    // detector fine-tune: exercises the activation-column cache (the
+    // attack path never needs parameter gradients, so only this section
+    // reuses forward im2col columns in grad-weight)
+    let n_train = if quick { 24 } else { 48 };
+    println!("\ntiming a detector fine-tune over {n_train} images, tape vs compiled...");
+    let train_data = generate(&DatasetConfig {
+        rig: CameraRig::smoke(),
+        n_images: n_train,
+        seed: 21,
+        augment: false,
+    });
+    let (det_tape_s, det_steps, det_tape_losses, det_tape_params, _) =
+        train_pass(1, &train_data, false);
+    let (det_comp_s, _, det_comp_losses, det_comp_params, (hits, misses)) =
+        train_pass(1, &train_data, true);
+    if bits(&det_comp_losses) != bits(&det_tape_losses) || det_comp_params != det_tape_params {
+        return Err("compiled detector training diverged from the tape".into());
+    }
+    let det_speedup = det_tape_s / det_comp_s;
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    println!("gate: compiled == tape (bitwise losses + final params)");
+    println!(
+        "tape:     {:.2} steps/sec ({det_tape_s:.2}s for {det_steps} steps)",
+        det_steps as f64 / det_tape_s
+    );
+    println!(
+        "compiled: {:.2} steps/sec ({det_comp_s:.2}s) — {det_speedup:.2}x",
+        det_steps as f64 / det_comp_s
+    );
+    println!(
+        "column cache: {hits} hits / {misses} misses ({:.0}% hit rate)",
+        hit_rate * 100.0
+    );
+
+    let train_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr5_compiled_training\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_logical_cpus\": {cpus},\n",
+            "  \"threads\": {threads},\n",
+            "  \"attack\": {{\n",
+            "    \"steps\": {asteps},\n",
+            "    \"tape_steps_per_sec\": {ats:.3},\n",
+            "    \"compiled_steps_per_sec\": {acs:.3},\n",
+            "    \"compiled_steps_per_sec_parallel\": {acn:.3},\n",
+            "    \"speedup\": {asp:.3},\n",
+            "    \"bitwise_identical_to_tape\": true,\n",
+            "    \"thread_deterministic\": true\n",
+            "  }},\n",
+            "  \"detector\": {{\n",
+            "    \"steps\": {dsteps},\n",
+            "    \"tape_steps_per_sec\": {dts:.3},\n",
+            "    \"compiled_steps_per_sec\": {dcs:.3},\n",
+            "    \"speedup\": {dsp:.3},\n",
+            "    \"col_cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hr:.3} }},\n",
+            "    \"bitwise_identical_to_tape\": true\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        cpus = host_cpus,
+        threads = threads,
+        asteps = cfg.steps,
+        ats = atk_tape.steps_per_sec,
+        acs = atk_comp.steps_per_sec,
+        acn = atk_comp_n.steps_per_sec,
+        asp = atk_speedup,
+        dsteps = det_steps,
+        dts = det_steps as f64 / det_tape_s,
+        dcs = det_steps as f64 / det_comp_s,
+        dsp = det_speedup,
+        hits = hits,
+        misses = misses,
+        hr = hit_rate,
+    );
+    std::fs::write(&train_out, &train_json)
+        .map_err(|e| format!("cannot write {train_out}: {e}"))?;
+    println!("wrote {train_out}");
     Ok(())
 }

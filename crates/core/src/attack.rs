@@ -62,6 +62,12 @@ pub struct AttackConfig {
     /// for non-finite values with provenance reports (`--audit` on the
     /// train/repro binaries).
     pub audit: bool,
+    /// Route each frame's frozen-detector forward/backward through the
+    /// compiled [`rd_tensor::TrainPlan`] (parameter-gradient work
+    /// skipped; bitwise-identical to the tape). Audit runs force the
+    /// tape so lint/non-finite provenance still sees the full graph.
+    /// Not part of the checkpoint fingerprint.
+    pub compiled: bool,
 }
 
 impl AttackConfig {
@@ -81,6 +87,7 @@ impl AttackConfig {
             d_every: 2,
             seed: 7,
             audit: false,
+            compiled: true,
         }
     }
 
@@ -238,6 +245,51 @@ struct FrameCtx<'a> {
     num_classes: usize,
 }
 
+/// Builds the frame's targeted attack loss (Eq. 2, cell-count weighted
+/// across the two heads) on `g` from the head-output nodes. Shared by
+/// the tape route (heads live on the frame tape) and the compiled route
+/// (heads are plan outputs re-entered as inputs of a small loss tape),
+/// so the loss subgraph — and its gradients — cannot drift between
+/// them. `None` when no cell is attacked.
+fn frame_loss(
+    g: &mut Graph,
+    ctx: &FrameCtx<'_>,
+    job: &FrameJob,
+    coarse: VarId,
+    fine: VarId,
+) -> Option<VarId> {
+    let total = (job.cc.len() + job.fc.len()).max(1) as f32;
+    let mut lf: Option<VarId> = None;
+    if !job.cc.is_empty() {
+        let l = targeted_class_loss(
+            g,
+            coarse,
+            &job.cc,
+            ctx.num_classes,
+            ctx.cfg.target_class.index(),
+            ctx.cfg.obj_weight,
+        );
+        let l = g.scale(l, job.cc.len() as f32 / total);
+        lf = Some(l);
+    }
+    if !job.fc.is_empty() {
+        let l = targeted_class_loss(
+            g,
+            fine,
+            &job.fc,
+            ctx.num_classes,
+            ctx.cfg.target_class.index(),
+            ctx.cfg.obj_weight,
+        );
+        let l = g.scale(l, job.fc.len() as f32 / total);
+        lf = Some(match lf {
+            Some(prev) => g.add(prev, l),
+            None => l,
+        });
+    }
+    lf
+}
+
 /// Renders, composites, and scores one frame on its own batch-1 tape,
 /// returning the frame loss `l_i` and `dl_i/dpatch`. Returns `None` when
 /// the victim is out of view (no attacked cells, hence no loss).
@@ -277,38 +329,44 @@ fn eval_frame(
     let noise = Tensor::rand_uniform(&mut rng, g.value(node).shape(), -0.03, 0.03);
     node = g.add_const(node, &noise);
     node = g.clamp(node, 0.0, 1.0);
-    let outs = ctx.detector.forward_frozen(&mut g, ctx.ps_det, node);
 
-    let total = (job.cc.len() + job.fc.len()).max(1) as f32;
-    let mut lf: Option<VarId> = None;
-    if !job.cc.is_empty() {
-        let l = targeted_class_loss(
-            &mut g,
-            outs.coarse,
-            &job.cc,
-            ctx.num_classes,
-            ctx.cfg.target_class.index(),
-            ctx.cfg.obj_weight,
-        );
-        let l = g.scale(l, job.cc.len() as f32 / total);
-        lf = Some(l);
-    }
-    if !job.fc.is_empty() {
-        let l = targeted_class_loss(
-            &mut g,
-            outs.fine,
-            &job.fc,
-            ctx.num_classes,
-            ctx.cfg.target_class.index(),
-            ctx.cfg.obj_weight,
-        );
-        let l = g.scale(l, job.fc.len() as f32 / total);
-        lf = Some(match lf {
-            Some(prev) => g.add(prev, l),
-            None => l,
-        });
-    }
-    let lf = lf?;
+    // Frozen-detector forward + targeted loss + backward-to-the-image.
+    // The compiled route runs the detector through the cached eval-mode
+    // TrainPlan with parameter-gradient work skipped and bridges the
+    // image gradient back onto this tape through one custom node; audit
+    // runs force the tape so lint/provenance see the full graph. Both
+    // routes are bitwise-identical (asserted in tests, gated in
+    // bench_substrate).
+    let use_compiled = ctx.cfg.compiled && !ctx.cfg.audit && !lint_tape;
+    let lf = if use_compiled {
+        if job.cc.is_empty() && job.fc.is_empty() {
+            return None;
+        }
+        let plan = ctx.detector.grad_plan(ctx.ps_det);
+        let mut step = plan.forward(ctx.ps_det, g.value(node), false);
+        let mut mg = Graph::new();
+        let coarse = mg.input(step.output(0));
+        let fine = mg.input(step.output(1));
+        let lf_m = frame_loss(&mut mg, ctx, job, coarse, fine).expect("cells checked non-empty");
+        let loss_val = mg.value(lf_m).data()[0];
+        let mgrads = mg.backward(lf_m);
+        step.backward(ctx.ps_det, &[mgrads.get(coarse), mgrads.get(fine)], true);
+        let gx_img = step.input_grad();
+        drop(step);
+        let ni = node.index();
+        g.custom_named(
+            "frozen_detector_loss",
+            &[node],
+            &[("cells", job.cc.len() + job.fc.len())],
+            Tensor::scalar(loss_val),
+            Some(Box::new(move |gout, _vals, grads| {
+                grads[ni].add_scaled_assign(&gx_img, gout.data()[0]);
+            })),
+        )
+    } else {
+        let outs = ctx.detector.forward_frozen(&mut g, ctx.ps_det, node);
+        frame_loss(&mut g, ctx, job, outs.coarse, outs.fine)?
+    };
     let mut audit = Vec::new();
     if lint_tape {
         for issue in rd_analysis::lint(&g) {
@@ -515,10 +573,15 @@ impl<'a> AttackTrainer<'a> {
         if cfg.d_every > 0 && step.is_multiple_of(cfg.d_every) {
             self.ps_d.zero_grads();
             let real = real_shape_batch(&mut self.rng, cfg.shape, 8, self.canvas);
-            // detached fake
-            let fake_t = {
+            // detached fake; no gradient flows into the generator here,
+            // so the compiled plan skips the tape entirely (it is
+            // bitwise-identical to the eval-mode tape forward)
+            let z_t = Tensor::randn(&mut self.rng, &[8, self.gan_cfg.z_dim], 1.0);
+            let fake_t = if cfg.compiled {
+                self.gen.infer(&self.ps_g, &z_t)
+            } else {
                 let mut g = Graph::new();
-                let z = g.input(Tensor::randn(&mut self.rng, &[8, self.gan_cfg.z_dim], 1.0));
+                let z = g.input(z_t);
                 let f = self.gen.forward(&mut g, &mut self.ps_g, z, false);
                 g.into_value(f)
             };
@@ -826,10 +889,15 @@ impl<'a> AttackTrainer<'a> {
             .collect();
         let mut best: Option<(usize, Plane)> = None;
         for z_t in candidates {
-            let mut g = Graph::new();
-            let z = g.input(z_t);
-            let patch = gen.forward(&mut g, &mut ps_g, z, false);
-            let plane = Plane::from_vec(g.into_value(patch).into_vec(), canvas, canvas);
+            let patch_t = if cfg.compiled {
+                gen.infer(&ps_g, &z_t)
+            } else {
+                let mut g = Graph::new();
+                let z = g.input(z_t);
+                let patch = gen.forward(&mut g, &mut ps_g, z, false);
+                g.into_value(patch)
+            };
+            let plane = Plane::from_vec(patch_t.into_vec(), canvas, canvas);
             let decal = Decal::mono(&plane, silhouette.clone(), cfg.shape);
             let flips = digital_flip_rate(
                 scenario,
@@ -1081,6 +1149,54 @@ mod tests {
         // the decal is monochrome by construction
         assert_eq!(out.decal.num_channels(), 1);
         assert_eq!(out.decal.masked_chroma(), 0.0);
+    }
+
+    #[test]
+    fn compiled_attack_matches_tape_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ps_det = ParamSet::new();
+        let detector = TinyYolo::new(&mut ps_det, &mut rng, rd_detector::YoloConfig::smoke());
+        let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 2, 60, 16, 5);
+        let base = AttackConfig {
+            steps: 3,
+            clips_per_batch: 1,
+            ..AttackConfig::smoke()
+        };
+        let tape = train_decal_attack(
+            &scenario,
+            &detector,
+            &mut ps_det,
+            &AttackConfig {
+                compiled: false,
+                ..base
+            },
+        );
+        let compiled = train_decal_attack(
+            &scenario,
+            &detector,
+            &mut ps_det,
+            &AttackConfig {
+                compiled: true,
+                ..base
+            },
+        );
+        // NaN-safe bitwise comparison (a no-victim batch records NaN)
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&compiled.attack_loss),
+            bits(&tape.attack_loss),
+            "attack-loss history diverged"
+        );
+        assert_eq!(
+            bits(&compiled.adv_loss),
+            bits(&tape.adv_loss),
+            "adversarial-loss history diverged"
+        );
+        assert_eq!(
+            compiled.decal.channel_data(),
+            tape.decal.channel_data(),
+            "trained decal diverged"
+        );
     }
 
     #[test]

@@ -306,6 +306,7 @@ pub fn prepare_environment_with(
                 seed,
                 clip: 10.0,
                 log_every: 0,
+                compiled: true,
             },
             &recovery.for_stage(&stage),
         )?;

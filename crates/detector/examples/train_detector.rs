@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p rd-detector --example train_detector -- \
 //!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit] \
-//!     [--threads N] [--profile] \
+//!     [--threads N] [--profile] [--no-compiled] \
 //!     [--checkpoint-every N] [--checkpoint out/detector.rdc] [--resume]
 //! ```
 //!
@@ -14,6 +14,8 @@
 //! scans a post-training forward tape for non-finite values. `--threads`
 //! caps the tensor worker pool (0 = one worker per host core) and
 //! `--profile` prints the per-op wall-clock report after training.
+//! `--no-compiled` runs the reference autograd-tape training step
+//! instead of the compiled `TrainPlan` (bitwise-identical, slower).
 //!
 //! `--checkpoint-every N` atomically writes the full training state
 //! (weights, Adam moments, RNG position, epoch/batch cursors) every N
@@ -117,6 +119,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         seed: 7,
         clip: 10.0,
         log_every: 0,
+        compiled: !flag("--no-compiled"),
     };
     let t0 = Instant::now();
     let mut trainer = DetectorTrainer::new(&model, &mut ps, &train_set, cfg);

@@ -11,7 +11,7 @@ use std::sync::OnceLock;
 
 use rand::Rng;
 
-use rd_tensor::{init, BatchStats, Graph, InferPlan, ParamId, ParamSet, Tensor, VarId};
+use rd_tensor::{init, BatchStats, Graph, InferPlan, ParamId, ParamSet, Tensor, TrainPlan, VarId};
 
 use crate::anchors::ANCHORS_PER_HEAD;
 
@@ -97,7 +97,9 @@ impl ConvBlock {
     }
 
     /// Shape-only lowering of the block (see [`TinyYolo::declare_forward`]).
-    fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
+    /// `train_bn` selects the `batch_norm2d_train` declare form used by
+    /// the compiled training plan; both forms carry the same attrs.
+    fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId, train_bn: bool) -> VarId {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
         let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
@@ -122,8 +124,13 @@ impl ConvBlock {
             &[("pid", self.beta.index())],
             ps.get(self.beta).value().shape(),
         );
+        let bn_op = if train_bn {
+            "batch_norm2d_train"
+        } else {
+            "batch_norm2d_eval"
+        };
         let y = g.declare(
-            "batch_norm2d_eval",
+            bn_op,
             &[y, gamma, beta],
             &[
                 ("rmean_pid", self.running_mean.index()),
@@ -291,6 +298,13 @@ pub struct TinyYolo {
     /// weights are read fresh from the `ParamSet` on every execution, so
     /// the cached plan survives weight updates).
     plan: OnceLock<InferPlan>,
+    /// Lazily compiled training-mode gradient plan (batch-statistics
+    /// batch norm) for the compiled detector training step.
+    train_plan: OnceLock<TrainPlan>,
+    /// Lazily compiled eval-mode gradient plan (frozen running stats)
+    /// for input-gradient work against the frozen detector (the attack
+    /// loop).
+    grad_plan: OnceLock<TrainPlan>,
 }
 
 /// Backbone channel widths (the full YOLOv3-tiny uses
@@ -322,6 +336,8 @@ impl TinyYolo {
             head2_pre: ConvBlock::new(ps, rng, "h2pre", WIDTHS[4] + 32, WIDTHS[5], 3, 1, 1),
             head2: HeadConv::new(ps, rng, "h2", WIDTHS[5], hc, -2.0, cpa),
             plan: OnceLock::new(),
+            train_plan: OnceLock::new(),
+            grad_plan: OnceLock::new(),
         }
     }
 
@@ -393,17 +409,26 @@ impl TinyYolo {
         let out = self.forward_mode(g, ps, x, &mut BnMode::Train(&mut pending));
         // fold batch statistics into the running stats (their gradients
         // are never written, so the optimizer leaves them untouched)
+        Self::fold_running_stats(ps, &pending);
+        out
+    }
+
+    /// Momentum-folds collected batch statistics into the running-stat
+    /// parameters: `r = momentum*r + (1-momentum)*batch`. Shared by the
+    /// tape training forward and the compiled training step (which gets
+    /// its pending list from [`rd_tensor::TrainStep::bn_stats`]), so the
+    /// two paths move the running stats bitwise-identically.
+    pub fn fold_running_stats(ps: &mut ParamSet, pending: &[(ParamId, ParamId, BatchStats)]) {
         for (rmean, rvar, stats) in pending {
-            let rm = ps.get_mut(rmean).value_mut();
+            let rm = ps.get_mut(*rmean).value_mut();
             for (r, &b) in rm.data_mut().iter_mut().zip(stats.mean.data()) {
                 *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
             }
-            let rv = ps.get_mut(rvar).value_mut();
+            let rv = ps.get_mut(*rvar).value_mut();
             for (r, &b) in rv.data_mut().iter_mut().zip(stats.var.data()) {
                 *r = BN_MOMENTUM * *r + (1.0 - BN_MOMENTUM) * b;
             }
         }
-        out
     }
 
     /// Eval-mode forward through a *shared* parameter set.
@@ -432,6 +457,34 @@ impl TinyYolo {
         })
     }
 
+    /// The compiled training-step plan (batch-statistics batch norm),
+    /// built on first use from the training-mode declare lowering.
+    ///
+    /// Like [`TinyYolo::infer_plan`] the plan stores only structure;
+    /// weights and running stats are read from the `ParamSet` per step,
+    /// so the cached plan stays valid across updates and restores.
+    pub fn train_plan(&self, ps: &ParamSet) -> &TrainPlan {
+        self.train_plan.get_or_init(|| {
+            let mut g = Graph::new();
+            let out = self.declare_train(&mut g, ps, 1);
+            TrainPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo train lowering must compile to a training plan")
+        })
+    }
+
+    /// The compiled eval-mode gradient plan (frozen running statistics):
+    /// a [`TrainPlan`] over the same lowering as the inference plan, for
+    /// paths that need gradients *through* the frozen detector — the
+    /// attack loop's input-gradient computation.
+    pub fn grad_plan(&self, ps: &ParamSet) -> &TrainPlan {
+        self.grad_plan.get_or_init(|| {
+            let mut g = Graph::new();
+            let out = self.declare_forward(&mut g, ps, 1);
+            TrainPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo eval lowering must compile to a gradient plan")
+        })
+    }
+
     /// Tape-free batched forward: runs the compiled plan on `x`
     /// (`[N, 3, input, input]`) and returns `(coarse, fine)` head
     /// tensors, bitwise-identical to [`TinyYolo::forward_frozen`] on the
@@ -453,6 +506,23 @@ impl TinyYolo {
     /// node and is what [`TinyYolo::validate`] feeds to
     /// `rd_analysis::validate`.
     pub fn declare_forward(&self, g: &mut Graph, ps: &ParamSet, batch: usize) -> YoloOutputs {
+        self.declare_mode(g, ps, batch, false)
+    }
+
+    /// Training-mode lowering: identical wiring to
+    /// [`TinyYolo::declare_forward`] with `batch_norm2d_train` declares,
+    /// feeding [`TinyYolo::train_plan`].
+    pub fn declare_train(&self, g: &mut Graph, ps: &ParamSet, batch: usize) -> YoloOutputs {
+        self.declare_mode(g, ps, batch, true)
+    }
+
+    fn declare_mode(
+        &self,
+        g: &mut Graph,
+        ps: &ParamSet,
+        batch: usize,
+        train_bn: bool,
+    ) -> YoloOutputs {
         let s = self.cfg.input;
         let x = g.declare("input", &[], &[], &[batch, 3, s, s]);
         let pool = |g: &mut Graph, x: VarId| {
@@ -471,23 +541,25 @@ impl TinyYolo {
             )
         };
 
-        let y = g.scoped("c1", |g| self.c1.declare(g, ps, x));
+        let y = g.scoped("c1", |g| self.c1.declare(g, ps, x, train_bn));
         let y = pool(g, y);
-        let y = g.scoped("c2", |g| self.c2.declare(g, ps, y));
+        let y = g.scoped("c2", |g| self.c2.declare(g, ps, y, train_bn));
         let y = pool(g, y);
-        let y = g.scoped("c3", |g| self.c3.declare(g, ps, y));
+        let y = g.scoped("c3", |g| self.c3.declare(g, ps, y, train_bn));
         let y = pool(g, y);
-        let y = g.scoped("c4", |g| self.c4.declare(g, ps, y));
+        let y = g.scoped("c4", |g| self.c4.declare(g, ps, y, train_bn));
         let y = pool(g, y);
-        let feat16 = g.scoped("c5", |g| self.c5.declare(g, ps, y));
+        let feat16 = g.scoped("c5", |g| self.c5.declare(g, ps, y, train_bn));
         let y = pool(g, feat16);
-        let y = g.scoped("c6", |g| self.c6.declare(g, ps, y));
-        let bottleneck = g.scoped("c7", |g| self.c7.declare(g, ps, y));
+        let y = g.scoped("c6", |g| self.c6.declare(g, ps, y, train_bn));
+        let bottleneck = g.scoped("c7", |g| self.c7.declare(g, ps, y, train_bn));
 
-        let h1 = g.scoped("h1pre", |g| self.head1_pre.declare(g, ps, bottleneck));
+        let h1 = g.scoped("h1pre", |g| {
+            self.head1_pre.declare(g, ps, bottleneck, train_bn)
+        });
         let coarse = g.scoped("h1", |g| self.head1.declare(g, ps, h1));
 
-        let r = g.scoped("route", |g| self.route.declare(g, ps, bottleneck));
+        let r = g.scoped("route", |g| self.route.declare(g, ps, bottleneck, train_bn));
         let rs = g.meta(r).expected_shape.clone();
         let r = g.declare(
             "upsample_nearest2x",
@@ -503,7 +575,7 @@ impl TinyYolo {
             &[],
             &[fs[0], fs[1] + rs[1], fs[2], fs[3]],
         );
-        let h2 = g.scoped("h2pre", |g| self.head2_pre.declare(g, ps, cat));
+        let h2 = g.scoped("h2pre", |g| self.head2_pre.declare(g, ps, cat, train_bn));
         let fine = g.scoped("h2", |g| self.head2.declare(g, ps, h2));
 
         YoloOutputs { coarse, fine }

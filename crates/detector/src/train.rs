@@ -20,7 +20,7 @@ use rd_tensor::{Graph, ParamSet, Tensor};
 use rd_vision::Image;
 
 use crate::decode::{postprocess, Detection};
-use crate::loss::{build_targets, yolo_head_loss, YoloLossWeights};
+use crate::loss::{build_targets, yolo_head_loss, HeadTargets, YoloLossWeights};
 use crate::model::TinyYolo;
 
 /// Training hyper-parameters. Defaults mirror the paper's optimizer choice
@@ -39,6 +39,11 @@ pub struct TrainConfig {
     pub clip: f32,
     /// Print a progress line every this many steps (0 = silent).
     pub log_every: usize,
+    /// Route steps through the compiled [`rd_tensor::TrainPlan`]
+    /// (bitwise-identical to the tape; the tape stays available as the
+    /// reference path). Not part of the checkpoint fingerprint — the two
+    /// paths produce interchangeable checkpoints.
+    pub compiled: bool,
 }
 
 impl Default for TrainConfig {
@@ -50,6 +55,7 @@ impl Default for TrainConfig {
             seed: 0,
             clip: 10.0,
             log_every: 0,
+            compiled: true,
         }
     }
 }
@@ -95,6 +101,9 @@ pub struct DetectorTrainer<'a> {
     epoch_steps: usize,
     epoch_losses: Vec<f32>,
     steps_done: u64,
+    /// Cumulative im2col column-cache (hits, misses) over every compiled
+    /// step this trainer ran; stays (0, 0) on the tape path.
+    col_cache: (u64, u64),
 }
 
 impl<'a> DetectorTrainer<'a> {
@@ -120,12 +129,19 @@ impl<'a> DetectorTrainer<'a> {
             epoch_steps: 0,
             epoch_losses: Vec::with_capacity(cfg.epochs),
             steps_done: 0,
+            col_cache: (0, 0),
         }
     }
 
     /// Optimizer steps completed (or skipped) so far.
     pub fn steps_done(&self) -> u64 {
         self.steps_done
+    }
+
+    /// Cumulative activation-column cache (hits, misses) across every
+    /// compiled step so far — (0, 0) when running on the tape path.
+    pub fn col_cache_stats(&self) -> (u64, u64) {
+        self.col_cache
     }
 
     /// Total optimizer steps a full run takes.
@@ -187,6 +203,44 @@ impl<'a> DetectorTrainer<'a> {
         let targets = build_targets(&boxes, input);
 
         self.ps.zero_grads();
+        let (lval, g) = if self.cfg.compiled {
+            self.forward_backward_compiled(&batch, &targets, num_classes)
+        } else {
+            self.forward_backward_tape(batch, &targets, num_classes)
+        };
+        if self.cfg.clip > 0.0 {
+            self.ps.clip_grad_norm(self.cfg.clip);
+        }
+        if let Some(h) = hook {
+            h(self.steps_done, self.ps);
+        }
+
+        if let Some(detail) = non_finite_detail(lval, self.ps, &g) {
+            return StepOutcome::NonFinite { detail };
+        }
+
+        self.opt.step(self.ps);
+        self.epoch_loss += lval;
+        self.epoch_steps += 1;
+        if self.cfg.log_every > 0 {
+            let step_in_epoch = self.pos / self.cfg.batch_size;
+            if step_in_epoch.is_multiple_of(self.cfg.log_every) {
+                eprintln!("epoch {} step {step_in_epoch}: loss {lval:.4}", self.epoch);
+            }
+        }
+        self.advance();
+        StepOutcome::Ran { loss: lval }
+    }
+
+    /// Reference tape path: full autodiff graph, gradients written into
+    /// the `ParamSet`. Returns the loss value and the tape (kept for
+    /// non-finite provenance audits).
+    fn forward_backward_tape(
+        &mut self,
+        batch: Tensor,
+        targets: &[HeadTargets; 2],
+        num_classes: usize,
+    ) -> (f32, Graph) {
         let mut g = Graph::new();
         let x = g.input(batch);
         let out = self.model.forward(&mut g, self.ps, x, true);
@@ -205,31 +259,57 @@ impl<'a> DetectorTrainer<'a> {
             YoloLossWeights::default(),
         );
         let loss = g.add(l1, l2);
+        let lval = g.value(loss).data()[0];
         let grads = g.backward(loss);
         g.write_grads(&grads, self.ps);
-        if self.cfg.clip > 0.0 {
-            self.ps.clip_grad_norm(self.cfg.clip);
-        }
-        if let Some(h) = hook {
-            h(self.steps_done, self.ps);
-        }
+        (lval, g)
+    }
 
+    /// Compiled path: the cached [`rd_tensor::TrainPlan`] runs the
+    /// network forward and backward; only the loss itself is built as a
+    /// small tape on the head outputs, whose input gradients seed the
+    /// plan backward. Bitwise-identical to
+    /// [`Self::forward_backward_tape`] — loss value, running-stat fold,
+    /// parameter gradients — at any worker-pool thread count. The
+    /// returned graph is the loss tape (what a non-finite audit can
+    /// still inspect on this path).
+    fn forward_backward_compiled(
+        &mut self,
+        batch: &Tensor,
+        targets: &[HeadTargets; 2],
+        num_classes: usize,
+    ) -> (f32, Graph) {
+        let plan = self.model.train_plan(self.ps);
+        let mut step = plan.forward(self.ps, batch, true);
+        // same fold point as the tape path: end of forward, before the
+        // loss and any non-finite gating
+        TinyYolo::fold_running_stats(self.ps, step.bn_stats());
+        let mut g = Graph::new();
+        let coarse = g.input(step.output(0));
+        let fine = g.input(step.output(1));
+        let l1 = yolo_head_loss(
+            &mut g,
+            coarse,
+            &targets[0],
+            num_classes,
+            YoloLossWeights::default(),
+        );
+        let l2 = yolo_head_loss(
+            &mut g,
+            fine,
+            &targets[1],
+            num_classes,
+            YoloLossWeights::default(),
+        );
+        let loss = g.add(l1, l2);
         let lval = g.value(loss).data()[0];
-        if let Some(detail) = non_finite_detail(lval, self.ps, &g) {
-            return StepOutcome::NonFinite { detail };
-        }
-
-        self.opt.step(self.ps);
-        self.epoch_loss += lval;
-        self.epoch_steps += 1;
-        if self.cfg.log_every > 0 {
-            let step_in_epoch = self.pos / self.cfg.batch_size;
-            if step_in_epoch.is_multiple_of(self.cfg.log_every) {
-                eprintln!("epoch {} step {step_in_epoch}: loss {lval:.4}", self.epoch);
-            }
-        }
-        self.advance();
-        StepOutcome::Ran { loss: lval }
+        let grads = g.backward(loss);
+        step.backward(self.ps, &[grads.get(coarse), grads.get(fine)], false);
+        step.write_param_grads(self.ps);
+        let (hits, misses) = step.col_cache_stats();
+        self.col_cache.0 += hits;
+        self.col_cache.1 += misses;
+        (lval, g)
     }
 
     /// Skips the current batch without touching parameters or optimizer

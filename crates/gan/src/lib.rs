@@ -110,10 +110,12 @@ impl GenBlock {
     }
 
     /// Shape-only lowering of the block (see [`Generator::validate`]).
+    /// Parameters carry their `pid` so the lowering also compiles into
+    /// an [`InferPlan`].
     fn declare(&self, g: &mut Graph, ps: &ParamSet, x: VarId) -> VarId {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
-        let w = g.declare("param", &[], &[], &ws);
+        let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
         let ho = (xs[2] + 2).saturating_sub(ws[2]) + 1;
         let wo = (xs[3] + 2).saturating_sub(ws[3]) + 1;
         let y = g.declare(
@@ -123,9 +125,28 @@ impl GenBlock {
             &[xs[0], ws[0], ho, wo],
         );
         let os = g.meta(y).expected_shape.clone();
-        let gamma = g.declare("param", &[], &[], ps.get(self.gamma).value().shape());
-        let beta = g.declare("param", &[], &[], ps.get(self.beta).value().shape());
-        let y = g.declare("batch_norm2d_eval", &[y, gamma, beta], &[], &os);
+        let gamma = g.declare(
+            "param",
+            &[],
+            &[("pid", self.gamma.index())],
+            ps.get(self.gamma).value().shape(),
+        );
+        let beta = g.declare(
+            "param",
+            &[],
+            &[("pid", self.beta.index())],
+            ps.get(self.beta).value().shape(),
+        );
+        let y = g.declare(
+            "batch_norm2d_eval",
+            &[y, gamma, beta],
+            &[
+                ("rmean_pid", self.rmean.index()),
+                ("rvar_pid", self.rvar.index()),
+                ("eps_bits", BN_EPS.to_bits() as usize),
+            ],
+            &os,
+        );
         g.declare("relu", &[y], &[], &os)
     }
 }
@@ -140,6 +161,9 @@ pub struct Generator {
     b2: GenBlock,
     out_w: ParamId,
     out_b: ParamId,
+    /// Lazily compiled grad-free inference plan (structure only; weights
+    /// are read from the `ParamSet` at execution time).
+    plan: OnceLock<InferPlan>,
 }
 
 impl Generator {
@@ -163,6 +187,7 @@ impl Generator {
             b2: GenBlock::new(ps, rng, "gen.b2", cfg.base, cfg.base),
             out_w: ps.register("gen.out.w", init::kaiming_conv(rng, 1, cfg.base, 3, 3)),
             out_b: ps.register("gen.out.b", Tensor::zeros(&[1])),
+            plan: OnceLock::new(),
         }
     }
 
@@ -202,10 +227,20 @@ impl Generator {
         let z = g.declare("input", &[], &[], &[batch, self.cfg.z_dim]);
         let y = g.scoped("gen", |g| {
             let ws = ps.get(self.fc_w).value().shape().to_vec();
-            let w = g.declare("param", &[], &[], &ws);
-            let b = g.declare("param", &[], &[], ps.get(self.fc_b).value().shape());
+            let w = g.declare("param", &[], &[("pid", self.fc_w.index())], &ws);
+            let b = g.declare(
+                "param",
+                &[],
+                &[("pid", self.fc_b.index())],
+                ps.get(self.fc_b).value().shape(),
+            );
             let y = g.declare("linear", &[z, w, b], &[], &[batch, ws[0]]);
-            let y = g.declare("leaky_relu", &[y], &[], &[batch, ws[0]]);
+            let y = g.declare(
+                "leaky_relu",
+                &[y],
+                &[("alpha_bits", 0.1f32.to_bits() as usize)],
+                &[batch, ws[0]],
+            );
             let y = g.declare("reshape", &[y], &[], &[batch, c0, s0, s0]);
             let y = g.declare(
                 "upsample_nearest2x",
@@ -225,7 +260,7 @@ impl Generator {
         });
         let ys = g.meta(y).expected_shape.clone();
         let ws = ps.get(self.out_w).value().shape().to_vec();
-        let ow = g.declare("param", &[], &[], &ws);
+        let ow = g.declare("param", &[], &[("pid", self.out_w.index())], &ws);
         let ho = (ys[2] + 2).saturating_sub(ws[2]) + 1;
         let wo = (ys[3] + 2).saturating_sub(ws[3]) + 1;
         let y = g.declare(
@@ -235,9 +270,34 @@ impl Generator {
             &[ys[0], ws[0], ho, wo],
         );
         let os = g.meta(y).expected_shape.clone();
-        let ob = g.declare("param", &[], &[], ps.get(self.out_b).value().shape());
+        let ob = g.declare(
+            "param",
+            &[],
+            &[("pid", self.out_b.index())],
+            ps.get(self.out_b).value().shape(),
+        );
         let y = g.declare("add_bias_channel", &[y, ob], &[], &os);
         g.declare("sigmoid", &[y], &[], &os)
+    }
+
+    /// The compiled grad-free inference plan for the generator's eval
+    /// path, built on first use from the shape-only declare lowering.
+    pub fn infer_plan(&self, ps: &ParamSet) -> &InferPlan {
+        self.plan.get_or_init(|| {
+            let mut g = Graph::new();
+            let out = self.declare_forward(&mut g, ps, 1);
+            InferPlan::compile(&g, &[out])
+                .expect("generator lowering must compile to an inference plan")
+        })
+    }
+
+    /// Tape-free batched sampling: maps latents `z: [N, z_dim]` to
+    /// decals `[N, 1, canvas, canvas]`, bitwise-identical to
+    /// [`Generator::forward`] with `training = false` on the same
+    /// weights at any worker-pool thread count.
+    pub fn infer(&self, ps: &ParamSet, z: &Tensor) -> Tensor {
+        let mut out = self.infer_plan(ps).execute(ps, z);
+        out.pop().expect("plan has one root")
     }
 
     /// Statically validates the generator's wiring against the parameter
@@ -428,11 +488,11 @@ pub fn gan_step<R: Rng>(
     ps_d.zero_grads();
     let d_loss_val;
     {
-        // fakes are generated eval-mode and detached (re-entered as input)
-        let mut g = Graph::new();
-        let z = g.input(Tensor::randn(rng, &[n, zdim], 1.0));
-        let fake = gen.forward(&mut g, ps_g, z, false);
-        let fake_t = g.value(fake).clone();
+        // fakes are generated eval-mode and detached; the compiled
+        // generator plan skips the tape entirely (no gradient is wanted
+        // here) and is bitwise-identical to the eval-mode forward
+        let z = Tensor::randn(rng, &[n, zdim], 1.0);
+        let fake_t = gen.infer(ps_g, &z);
         let mut g = Graph::new();
         let real_v = g.input(real.clone());
         let fake_v = g.input(fake_t);
@@ -602,6 +662,23 @@ mod tests {
             tape.data(),
             compiled.data(),
             "compiled discriminator must be bitwise-identical to the tape"
+        );
+    }
+
+    #[test]
+    fn generator_infer_matches_tape_bitwise() {
+        let (gen, _, mut ps_g, _, mut rng) = setup();
+        let z0 = Tensor::randn(&mut rng, &[5, 16], 1.0);
+        let mut g = Graph::new();
+        let z = g.input(z0.clone());
+        let out = gen.forward(&mut g, &mut ps_g, z, false);
+        let tape = g.value(out).clone();
+        let compiled = gen.infer(&ps_g, &z0);
+        assert_eq!(tape.shape(), compiled.shape());
+        assert_eq!(
+            tape.data(),
+            compiled.data(),
+            "compiled generator must be bitwise-identical to the tape"
         );
     }
 

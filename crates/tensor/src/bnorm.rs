@@ -1,4 +1,9 @@
 //! Batch normalization over NCHW activations.
+//!
+//! The forward/backward arithmetic lives in free `bn_*` kernel
+//! functions shared between the tape closures here and the compiled
+//! training plan (`crate::train_plan`), so the two paths are bitwise
+//! identical by construction.
 
 use crate::graph::{Graph, VarId};
 use crate::tensor::Tensor;
@@ -11,6 +16,215 @@ pub struct BatchStats {
     pub mean: Tensor,
     /// Per-channel (biased) variance over `N x H x W`.
     pub var: Tensor,
+}
+
+/// Per-channel batch mean/variance over `[n, c, hw]` data; the exact
+/// two-pass sum order of the original tape loop.
+pub(crate) fn bn_batch_stats(
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    mean: &mut [f32],
+    var: &mut [f32],
+) {
+    let m = (n * hw) as f32;
+    for ch in 0..c {
+        let mut s = 0.0f32;
+        for ni in 0..n {
+            let off = (ni * c + ch) * hw;
+            s += xd[off..off + hw].iter().sum::<f32>();
+        }
+        let mu = s / m;
+        let mut v = 0.0f32;
+        for ni in 0..n {
+            let off = (ni * c + ch) * hw;
+            for &xval in &xd[off..off + hw] {
+                let d = xval - mu;
+                v += d * d;
+            }
+        }
+        mean[ch] = mu;
+        var[ch] = v / m;
+    }
+}
+
+/// `ivstd[ch] = 1 / sqrt(var[ch] + eps)`.
+pub(crate) fn bn_ivstd(var: &[f32], eps: f32, ivstd: &mut [f32]) {
+    for (iv, &v) in ivstd.iter_mut().zip(var) {
+        *iv = 1.0 / (v + eps).sqrt();
+    }
+}
+
+/// Training-mode forward: writes both the normalized activations
+/// (`xhat`, needed by the backward pass) and the affine output.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bn_train_forward(
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    mean: &[f32],
+    ivstd: &[f32],
+    gv: &[f32],
+    bv: &[f32],
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            let mu = mean[ch];
+            let iv = ivstd[ch];
+            let ga = gv[ch];
+            let be = bv[ch];
+            for i in 0..hw {
+                let xh = (xd[off + i] - mu) * iv;
+                xhat[off + i] = xh;
+                out[off + i] = ga * xh + be;
+            }
+        }
+    }
+}
+
+/// Training-mode backward reductions: `sum_g[ch] = Σ g` and
+/// `sum_gx[ch] = Σ g·xhat`, accumulated sample-major exactly like the
+/// tape closure. These are also the gamma/beta gradients.
+pub(crate) fn bn_train_backward_sums(
+    gd: &[f32],
+    xhat: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    sum_g: &mut [f32],
+    sum_gx: &mut [f32],
+) {
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            for i in 0..hw {
+                let gv = gd[off + i];
+                sum_g[ch] += gv;
+                sum_gx[ch] += gv * xhat[off + i];
+            }
+        }
+    }
+}
+
+/// Training-mode input gradient,
+/// `gx += gamma*ivstd/m * (m*g - sum_g - xhat*sum_gx)`, accumulated
+/// into `gx` in the tape's element order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bn_train_backward_gx(
+    gd: &[f32],
+    xhat: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    gamma_v: &[f32],
+    ivstd: &[f32],
+    sum_g: &[f32],
+    sum_gx: &[f32],
+    gx: &mut [f32],
+) {
+    let m = (n * hw) as f32;
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            let k = gamma_v[ch] * ivstd[ch] / m;
+            for i in 0..hw {
+                let gv = gd[off + i];
+                gx[off + i] += k * (m * gv - sum_g[ch] - xhat[off + i] * sum_gx[ch]);
+            }
+        }
+    }
+}
+
+/// Eval-mode forward: per-channel affine `x*scale + shift` with
+/// `scale = gamma*ivstd`, `shift = beta - mean*scale`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bn_eval_forward(
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    mean: &[f32],
+    ivstd: &[f32],
+    gv: &[f32],
+    bv: &[f32],
+    out: &mut [f32],
+) {
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            let scale = gv[ch] * ivstd[ch];
+            let shift = bv[ch] - mean[ch] * scale;
+            for i in 0..hw {
+                out[off + i] = xd[off + i] * scale + shift;
+            }
+        }
+    }
+}
+
+/// Eval-mode backward: accumulates all three gradients in the tape's
+/// interleaved `(sample, channel)` order — the per-channel beta/gamma
+/// entries receive one partial sum per sample.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bn_eval_backward(
+    gd: &[f32],
+    xd: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    mean: &[f32],
+    ivstd: &[f32],
+    gamma_v: &[f32],
+    gx: &mut [f32],
+    ggamma: &mut [f32],
+    gbeta: &mut [f32],
+) {
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            let scale = gamma_v[ch] * ivstd[ch];
+            let mut sum_g = 0.0f32;
+            let mut sum_gxh = 0.0f32;
+            for i in 0..hw {
+                let gval = gd[off + i];
+                gx[off + i] += gval * scale;
+                sum_g += gval;
+                let xh = (xd[off + i] - mean[ch]) * ivstd[ch];
+                sum_gxh += gval * xh;
+            }
+            gbeta[ch] += sum_g;
+            ggamma[ch] += sum_gxh;
+        }
+    }
+}
+
+/// Eval-mode input gradient only: `gx += g * gamma*ivstd`. Used by the
+/// compiled plan when parameter gradients are not requested (frozen
+/// detector in the attack loop) — the expression for `gx` is identical
+/// to [`bn_eval_backward`]'s, so skipping the reductions changes no
+/// bit of the input gradient.
+pub(crate) fn bn_eval_backward_gx_only(
+    gd: &[f32],
+    n: usize,
+    c: usize,
+    hw: usize,
+    ivstd: &[f32],
+    gamma_v: &[f32],
+    gx: &mut [f32],
+) {
+    for ni in 0..n {
+        for ch in 0..c {
+            let off = (ni * c + ch) * hw;
+            let scale = gamma_v[ch] * ivstd[ch];
+            for i in 0..hw {
+                gx[off + i] += gd[off + i] * scale;
+            }
+        }
+    }
 }
 
 impl Graph {
@@ -32,52 +246,30 @@ impl Graph {
         let (n, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         assert_eq!(self.value(gamma).len(), c);
         assert_eq!(self.value(beta).len(), c);
-        let m = (n * h * w) as f32;
         let hw = h * w;
 
         let mut mean = Tensor::zeros(&[c]);
         let mut var = Tensor::zeros(&[c]);
-        for ch in 0..c {
-            let mut s = 0.0f32;
-            for ni in 0..n {
-                let off = (ni * c + ch) * hw;
-                s += xv.data()[off..off + hw].iter().sum::<f32>();
-            }
-            let mu = s / m;
-            let mut v = 0.0f32;
-            for ni in 0..n {
-                let off = (ni * c + ch) * hw;
-                for &xval in &xv.data()[off..off + hw] {
-                    let d = xval - mu;
-                    v += d * d;
-                }
-            }
-            mean.data_mut()[ch] = mu;
-            var.data_mut()[ch] = v / m;
-        }
+        bn_batch_stats(xv.data(), n, c, hw, mean.data_mut(), var.data_mut());
 
         let mut xhat = Tensor::zeros(&[n, c, h, w]);
         let mut ivstd = Tensor::zeros(&[c]);
-        for ch in 0..c {
-            ivstd.data_mut()[ch] = 1.0 / (var.data()[ch] + eps).sqrt();
-        }
+        bn_ivstd(var.data(), eps, ivstd.data_mut());
         let gv = self.value(gamma).clone();
         let bv = self.value(beta).clone();
         let mut out = Tensor::zeros(&[n, c, h, w]);
-        for ni in 0..n {
-            for ch in 0..c {
-                let off = (ni * c + ch) * hw;
-                let mu = mean.data()[ch];
-                let iv = ivstd.data()[ch];
-                let ga = gv.data()[ch];
-                let be = bv.data()[ch];
-                for i in 0..hw {
-                    let xh = (self.value(x).data()[off + i] - mu) * iv;
-                    xhat.data_mut()[off + i] = xh;
-                    out.data_mut()[off + i] = ga * xh + be;
-                }
-            }
-        }
+        bn_train_forward(
+            self.value(x).data(),
+            n,
+            c,
+            hw,
+            mean.data(),
+            ivstd.data(),
+            gv.data(),
+            bv.data(),
+            xhat.data_mut(),
+            out.data_mut(),
+        );
         let stats = BatchStats {
             mean,
             var: var.clone(),
@@ -92,16 +284,7 @@ impl Graph {
                 // Per-channel reductions of the incoming gradient.
                 let mut sum_g = vec![0.0f32; c];
                 let mut sum_gx = vec![0.0f32; c]; // sum of g * xhat
-                for ni in 0..n {
-                    for ch in 0..c {
-                        let off = (ni * c + ch) * hw;
-                        for i in 0..hw {
-                            let gv = g.data()[off + i];
-                            sum_g[ch] += gv;
-                            sum_gx[ch] += gv * xhat.data()[off + i];
-                        }
-                    }
-                }
+                bn_train_backward_sums(g.data(), xhat.data(), n, c, hw, &mut sum_g, &mut sum_gx);
                 // gamma / beta gradients
                 for ch in 0..c {
                     grads[gamma.0].data_mut()[ch] += sum_gx[ch];
@@ -109,18 +292,18 @@ impl Graph {
                 }
                 // input gradient:
                 // gx = gamma*ivstd/m * (m*g - sum_g - xhat*sum_gx)
-                let gx = &mut grads[x.0];
-                for ni in 0..n {
-                    for ch in 0..c {
-                        let off = (ni * c + ch) * hw;
-                        let k = gamma_v.data()[ch] * ivstd.data()[ch] / m;
-                        for i in 0..hw {
-                            let gv = g.data()[off + i];
-                            gx.data_mut()[off + i] +=
-                                k * (m * gv - sum_g[ch] - xhat.data()[off + i] * sum_gx[ch]);
-                        }
-                    }
-                }
+                bn_train_backward_gx(
+                    g.data(),
+                    xhat.data(),
+                    n,
+                    c,
+                    hw,
+                    gamma_v.data(),
+                    ivstd.data(),
+                    &sum_g,
+                    &sum_gx,
+                    grads[x.0].data_mut(),
+                );
             })),
         );
         (out_id, stats)
@@ -149,48 +332,48 @@ impl Graph {
         assert_eq!(running_var.len(), c);
         let hw = h * w;
         let mut ivstd = Tensor::zeros(&[c]);
-        for ch in 0..c {
-            ivstd.data_mut()[ch] = 1.0 / (running_var.data()[ch] + eps).sqrt();
-        }
+        bn_ivstd(running_var.data(), eps, ivstd.data_mut());
         let mean = running_mean.clone();
         let gv = self.value(gamma).clone();
         let bv = self.value(beta).clone();
         let mut out = Tensor::zeros(&[n, c, h, w]);
-        for ni in 0..n {
-            for ch in 0..c {
-                let off = (ni * c + ch) * hw;
-                let scale = gv.data()[ch] * ivstd.data()[ch];
-                let shift = bv.data()[ch] - mean.data()[ch] * scale;
-                for i in 0..hw {
-                    out.data_mut()[off + i] = self.value(x).data()[off + i] * scale + shift;
-                }
-            }
-        }
+        bn_eval_forward(
+            self.value(x).data(),
+            n,
+            c,
+            hw,
+            mean.data(),
+            ivstd.data(),
+            gv.data(),
+            bv.data(),
+            out.data_mut(),
+        );
         self.record(
             "batch_norm2d_eval",
             &[x, gamma, beta],
             &[],
             out,
             Some(Box::new(move |g, vals, grads| {
-                let gamma_v = &vals[gamma.0];
-                for ni in 0..n {
-                    for ch in 0..c {
-                        let off = (ni * c + ch) * hw;
-                        let scale = gamma_v.data()[ch] * ivstd.data()[ch];
-                        let mut sum_g = 0.0f32;
-                        let mut sum_gxh = 0.0f32;
-                        for i in 0..hw {
-                            let gval = g.data()[off + i];
-                            grads[x.0].data_mut()[off + i] += gval * scale;
-                            sum_g += gval;
-                            let xh =
-                                (vals[x.0].data()[off + i] - mean.data()[ch]) * ivstd.data()[ch];
-                            sum_gxh += gval * xh;
-                        }
-                        grads[beta.0].data_mut()[ch] += sum_g;
-                        grads[gamma.0].data_mut()[ch] += sum_gxh;
-                    }
-                }
+                let gamma_v = vals[gamma.0].clone();
+                // The kernel needs three disjoint gradient slices at once;
+                // lift the per-channel entries out of the tape for the call.
+                let mut ggamma = std::mem::replace(&mut grads[gamma.0], Tensor::scalar(0.0));
+                let mut gbeta = std::mem::replace(&mut grads[beta.0], Tensor::scalar(0.0));
+                bn_eval_backward(
+                    g.data(),
+                    vals[x.0].data(),
+                    n,
+                    c,
+                    hw,
+                    mean.data(),
+                    ivstd.data(),
+                    gamma_v.data(),
+                    grads[x.0].data_mut(),
+                    ggamma.data_mut(),
+                    gbeta.data_mut(),
+                );
+                grads[gamma.0] = ggamma;
+                grads[beta.0] = gbeta;
             })),
         )
     }
@@ -334,5 +517,39 @@ mod tests {
             &numeric_grad(|t| f(&x0, &g0, t), &b0, 1e-3),
             0.05,
         );
+    }
+
+    #[test]
+    fn gx_only_kernel_matches_full_eval_backward() {
+        // The frozen-path kernel must reproduce the input gradient of the
+        // full eval backward bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(9);
+        let (n, c, hw) = (3, 4, 6);
+        let gd = Tensor::randn(&mut rng, &[n * c * hw], 1.0);
+        let xd = Tensor::randn(&mut rng, &[n * c * hw], 1.0);
+        let mean = Tensor::randn(&mut rng, &[c], 0.5);
+        let var = Tensor::randn(&mut rng, &[c], 0.2).map(|v| v.abs() + 0.5);
+        let gamma = Tensor::randn(&mut rng, &[c], 1.0);
+        let mut ivstd = vec![0.0f32; c];
+        bn_ivstd(var.data(), 1e-5, &mut ivstd);
+        let mut gx_full = vec![0.0f32; n * c * hw];
+        let mut gg = vec![0.0f32; c];
+        let mut gb = vec![0.0f32; c];
+        bn_eval_backward(
+            gd.data(),
+            xd.data(),
+            n,
+            c,
+            hw,
+            mean.data(),
+            &ivstd,
+            gamma.data(),
+            &mut gx_full,
+            &mut gg,
+            &mut gb,
+        );
+        let mut gx_only = vec![0.0f32; n * c * hw];
+        bn_eval_backward_gx_only(gd.data(), n, c, hw, &ivstd, gamma.data(), &mut gx_only);
+        assert_eq!(gx_only, gx_full);
     }
 }

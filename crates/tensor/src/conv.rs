@@ -9,7 +9,91 @@
 use crate::graph::{Graph, VarId};
 use crate::tensor::{matmul_into, Tensor};
 
-/// `out[m,n] = a[m,k] * b[n,k]^T` (dot products of rows).
+/// Output-row widths up to this use the register-accumulating GEMM.
+pub(crate) const GEMM_ACC_WIDTH: usize = 64;
+
+/// GEMM `out = a × b` specialized for small `n` (deep conv layers have
+/// tiny output grids — 2×2 to 8×8 — where [`matmul_into`]'s
+/// dynamic-length inner loop is pure overhead). Each output row is
+/// accumulated on the stack and stored once.
+///
+/// Bitwise equivalence: per output element this performs the exact f32
+/// sequence of `matmul_into` over a zeroed output — ascending `k`,
+/// skipping `a == 0.0` terms, one `mul` + one `add` per term (Rust
+/// never contracts these to an FMA) — so only store traffic changes,
+/// never a rounding.
+pub(crate) fn gemm_small_n(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(n <= GEMM_ACC_WIDTH);
+    let mut acc = [0.0f32; GEMM_ACC_WIDTH];
+    for i in 0..m {
+        let acc = &mut acc[..n];
+        acc.fill(0.0);
+        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for (s, &bv) in acc.iter_mut().zip(&b[kk * n..kk * n + n]) {
+                *s += av * bv;
+            }
+        }
+        out[i * n..(i + 1) * n].copy_from_slice(acc);
+    }
+}
+
+/// [`gemm_small_n`] monomorphized on the row width so the compiler can
+/// unroll and vectorize the `N`-wide accumulator update. Same f32
+/// sequence as the generic version.
+pub(crate) fn gemm_fixed<const N: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+) {
+    for i in 0..m {
+        let mut acc = [0.0f32; N];
+        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow: &[f32; N] = b[kk * N..kk * N + N].try_into().unwrap();
+            for j in 0..N {
+                acc[j] += av * brow[j];
+            }
+        }
+        out[i * N..(i + 1) * N].copy_from_slice(&acc);
+    }
+}
+
+/// Dispatches between the register-accumulating kernels and
+/// [`matmul_into`]; `out` need not be zeroed (every path fully
+/// overwrites it). The fixed widths are the square head/backbone grids
+/// the detector configs produce (2..8 per side).
+pub(crate) fn conv_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    match n {
+        4 => gemm_fixed::<4>(a, b, out, m, k),
+        9 => gemm_fixed::<9>(a, b, out, m, k),
+        16 => gemm_fixed::<16>(a, b, out, m, k),
+        25 => gemm_fixed::<25>(a, b, out, m, k),
+        36 => gemm_fixed::<36>(a, b, out, m, k),
+        49 => gemm_fixed::<49>(a, b, out, m, k),
+        64 => gemm_fixed::<64>(a, b, out, m, k),
+        _ if n <= GEMM_ACC_WIDTH => gemm_small_n(a, b, out, m, k, n),
+        _ => {
+            out.fill(0.0);
+            matmul_into(a, b, out, m, k, n);
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] * b[n,k]^T` (dot products of rows).
+///
+/// Conv backward's grad-weight GEMM: `k` is the output grid `Ho·Wo`,
+/// so the dot length hits the same square sizes the forward's
+/// [`conv_gemm`] dispatches on. Monomorphizing on it lets the compiler
+/// unroll the inner product; every path keeps the identical
+/// k-ascending `mul`+`add` sequence (no zero-skip, matching the
+/// original), so dispatch never changes a rounding.
 pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(
         a.len(),
@@ -32,6 +116,19 @@ pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
         out.len(),
         m * n
     );
+    match k {
+        4 => gemm_nt_fixed::<4>(a, b, out, m, n),
+        9 => gemm_nt_fixed::<9>(a, b, out, m, n),
+        16 => gemm_nt_fixed::<16>(a, b, out, m, n),
+        25 => gemm_nt_fixed::<25>(a, b, out, m, n),
+        36 => gemm_nt_fixed::<36>(a, b, out, m, n),
+        49 => gemm_nt_fixed::<49>(a, b, out, m, n),
+        64 => gemm_nt_fixed::<64>(a, b, out, m, n),
+        _ => gemm_nt_any(a, b, out, m, k, n),
+    }
+}
+
+fn gemm_nt_any(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -45,8 +142,55 @@ pub(crate) fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize,
     }
 }
 
-/// `out[m,n] = a[k,m]^T * b[k,n]` (outer-product accumulation).
+/// [`gemm_nt_any`] monomorphized on the dot length `K`.
+fn gemm_nt_fixed<const K: usize>(a: &[f32], b: &[f32], out: &mut [f32], m: usize, n: usize) {
+    for i in 0..m {
+        let arow: &[f32; K] = a[i * K..(i + 1) * K].try_into().unwrap();
+        for j in 0..n {
+            let brow: &[f32; K] = b[j * K..(j + 1) * K].try_into().unwrap();
+            let mut acc = 0.0f32;
+            for t in 0..K {
+                acc += arow[t] * brow[t];
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// `out[m,n] += a[k,m]^T * b[k,n]` (outer-product accumulation).
+///
+/// Conv backward's grad-input GEMM: `n` is the output grid `Ho·Wo`, so
+/// the row width gets the same monomorphized treatment as
+/// [`conv_gemm`]. The `a == 0.0` outer-product skip of the original is
+/// preserved on every path.
+///
+/// Production callers all use [`gemm_tn_over`] (which skips the
+/// caller-side zeroing pass); this accumulate-mode entry stays as the
+/// reference the overwrite mode is tested against.
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    gemm_tn_asserts(a, b, out, k, m, n);
+    gemm_tn_dispatch::<false>(a, b, out, k, m, n);
+}
+
+/// Overwrite-mode [`gemm_tn`]: `out[m,n] = a[k,m]^T * b[k,n]`, fully
+/// writing the output so callers can drop their zeroing pass. The
+/// `p == 0` slice of the outer-product sum writes (or zero-fills on a
+/// skipped `a == 0.0` term) instead of accumulating; later slices
+/// accumulate exactly as [`gemm_tn`]. Relative to zero-then-accumulate
+/// only the initial `0.0 + x` fold disappears, which can flip the sign
+/// of a zero but never a value — and conv backward's `col2im`
+/// scatter-add re-folds any `-0.0` away before gradients escape.
+pub(crate) fn gemm_tn_over(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    gemm_tn_asserts(a, b, out, k, m, n);
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    gemm_tn_dispatch::<true>(a, b, out, k, m, n);
+}
+
+fn gemm_tn_asserts(a: &[f32], b: &[f32], out: &[f32], k: usize, m: usize, n: usize) {
     debug_assert_eq!(
         a.len(),
         k * m,
@@ -68,16 +212,91 @@ pub(crate) fn gemm_tn(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize,
         out.len(),
         m * n
     );
+}
+
+fn gemm_tn_dispatch<const OVERWRITE: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    match n {
+        4 => gemm_tn_fixed::<4, OVERWRITE>(a, b, out, k, m),
+        9 => gemm_tn_fixed::<9, OVERWRITE>(a, b, out, k, m),
+        16 => gemm_tn_fixed::<16, OVERWRITE>(a, b, out, k, m),
+        25 => gemm_tn_fixed::<25, OVERWRITE>(a, b, out, k, m),
+        36 => gemm_tn_fixed::<36, OVERWRITE>(a, b, out, k, m),
+        49 => gemm_tn_fixed::<49, OVERWRITE>(a, b, out, k, m),
+        64 => gemm_tn_fixed::<64, OVERWRITE>(a, b, out, k, m),
+        _ => gemm_tn_any::<OVERWRITE>(a, b, out, k, m, n),
+    }
+}
+
+fn gemm_tn_any<const OVERWRITE: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+) {
     for p in 0..k {
         let arow = &a[p * m..(p + 1) * m];
         let brow = &b[p * n..(p + 1) * n];
         for (i, &av) in arow.iter().enumerate() {
+            if OVERWRITE && p == 0 {
+                let orow = &mut out[i * n..(i + 1) * n];
+                if av == 0.0 {
+                    orow.fill(0.0);
+                } else {
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o = av * bv;
+                    }
+                }
+                continue;
+            }
             if av == 0.0 {
                 continue;
             }
             let orow = &mut out[i * n..(i + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
+            }
+        }
+    }
+}
+
+/// [`gemm_tn_any`] monomorphized on the row width `N`.
+fn gemm_tn_fixed<const N: usize, const OVERWRITE: bool>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+) {
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow: &[f32; N] = b[p * N..(p + 1) * N].try_into().unwrap();
+        for (i, &av) in arow.iter().enumerate() {
+            if OVERWRITE && p == 0 {
+                let orow: &mut [f32; N] = (&mut out[i * N..(i + 1) * N]).try_into().unwrap();
+                if av == 0.0 {
+                    orow.fill(0.0);
+                } else {
+                    for j in 0..N {
+                        orow[j] = av * brow[j];
+                    }
+                }
+                continue;
+            }
+            if av == 0.0 {
+                continue;
+            }
+            let orow: &mut [f32; N] = (&mut out[i * N..(i + 1) * N]).try_into().unwrap();
+            for j in 0..N {
+                orow[j] += av * brow[j];
             }
         }
     }
@@ -239,7 +458,7 @@ impl Graph {
                         wo,
                         &mut cols,
                     );
-                    matmul_into(wd_flat, &cols, oslice, o, ckk, howo);
+                    conv_gemm(wd_flat, &cols, oslice, o, ckk, howo);
                 }
             });
         }
@@ -258,13 +477,27 @@ impl Graph {
                 // reduced in group order on the calling thread, which
                 // makes the accumulation bitwise thread-count-invariant.
                 let per = n.div_ceil(crate::parallel::groups_for(n));
-                let mut gx = Tensor::zeros(&[n, c, h, wd]);
-                let gx_slots: Vec<std::sync::Mutex<Option<&mut [f32]>>> = gx
-                    .data_mut()
-                    .chunks_mut(per * c * h * wd)
-                    .map(|chunk| std::sync::Mutex::new(Some(chunk)))
-                    .collect();
-                let gw_partials: Vec<Vec<f32>> =
+                // When this conv is (so far) the sole contributor to its
+                // input's gradient — the entry is still all-zero — the
+                // groups scatter straight into `grads[x.0]`, skipping the
+                // gx temporary and the add pass. Starting from the same
+                // zeros, col2im performs the identical accumulation
+                // sequence either way, so both routes are bitwise equal.
+                let sole = grads[x.0].data().iter().all(|&v| v == 0.0);
+                let mut gx_tmp = if sole {
+                    None
+                } else {
+                    Some(Tensor::zeros(&[n, c, h, wd]))
+                };
+                let gw_partials: Vec<Vec<f32>> = {
+                    let gx_data: &mut [f32] = match gx_tmp.as_mut() {
+                        Some(t) => t.data_mut(),
+                        None => grads[x.0].data_mut(),
+                    };
+                    let gx_slots: Vec<std::sync::Mutex<Option<&mut [f32]>>> = gx_data
+                        .chunks_mut(per * c * h * wd)
+                        .map(|chunk| std::sync::Mutex::new(Some(chunk)))
+                        .collect();
                     crate::parallel::run_indexed(gx_slots.len(), |gi| {
                         let gx_chunk = gx_slots[gi]
                             .lock()
@@ -292,15 +525,19 @@ impl Graph {
                             );
                             // gw += g_n [o,howo] * cols^T [howo,ckk]
                             gemm_nt(gslice, &cols, &mut gw, o, howo, ckk);
-                            // gcols = w^T [ckk,o] * g_n [o,howo]
-                            gcols.iter_mut().for_each(|v| *v = 0.0);
-                            gemm_tn(wd_flat, gslice, &mut gcols, o, ckk, howo);
+                            // gcols = w^T [ckk,o] * g_n [o,howo]; overwrite
+                            // mode fully writes the buffer, so no zeroing
+                            // pass between samples.
+                            gemm_tn_over(wd_flat, gslice, &mut gcols, o, ckk, howo);
                             col2im(&gcols, c, h, wd, kh, kw, stride, pad, ho, wo, gx_slice);
                         }
                         gw
-                    });
-                grads[x.0].add_scaled_assign(&gx, 1.0);
-                crate::arena::recycle(gx.into_vec());
+                    })
+                };
+                if let Some(gx) = gx_tmp {
+                    grads[x.0].add_scaled_assign(&gx, 1.0);
+                    crate::arena::recycle(gx.into_vec());
+                }
                 let gwt = grads[w.0].data_mut();
                 for part in gw_partials {
                     for (dst, &src) in gwt.iter_mut().zip(part.iter()) {
@@ -448,5 +685,95 @@ mod tests {
         for (x, y) in out2.iter().zip(want2.data()) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn gemm_tn_over_matches_zero_then_accumulate() {
+        // Overwrite mode on a poisoned buffer must equal zero-then-gemm_tn,
+        // across both the fixed-width widths and the generic fallback, and
+        // with zeros sprinkled into A to exercise the skip path.
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(k, m, n) in &[(4, 6, 4), (3, 5, 16), (8, 7, 64), (2, 3, 70), (5, 4, 9)] {
+            let mut a = Tensor::randn(&mut rng, &[k, m], 1.0);
+            for v in a.data_mut().iter_mut().step_by(3) {
+                *v = 0.0;
+            }
+            let b = Tensor::randn(&mut rng, &[k, n], 1.0);
+            let mut want = vec![0.0f32; m * n];
+            gemm_tn(a.data(), b.data(), &mut want, k, m, n);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_tn_over(a.data(), b.data(), &mut got, k, m, n);
+            assert_eq!(got, want, "k={k} m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn gemm_dispatch_widths_agree_with_generic() {
+        // The monomorphized gemm_nt/gemm_tn widths must be bitwise equal to
+        // the dynamic-loop kernels they replace.
+        let mut rng = StdRng::seed_from_u64(22);
+        for &s in &[4usize, 9, 16, 25, 36, 49, 64, 50] {
+            let (m, n) = (5, 7);
+            let a = Tensor::randn(&mut rng, &[m, s], 1.0);
+            let b = Tensor::randn(&mut rng, &[n, s], 1.0);
+            let mut want = vec![0.1f32; m * n];
+            gemm_nt_any(a.data(), b.data(), &mut want, m, s, n);
+            let mut got = vec![0.1f32; m * n];
+            gemm_nt(a.data(), b.data(), &mut got, m, s, n);
+            assert_eq!(got, want, "gemm_nt k={s}");
+
+            let (k, m2) = (6, 3);
+            let c = Tensor::randn(&mut rng, &[k, m2], 1.0);
+            let d = Tensor::randn(&mut rng, &[k, s], 1.0);
+            let mut want2 = vec![0.2f32; m2 * s];
+            gemm_tn_any::<false>(c.data(), d.data(), &mut want2, k, m2, s);
+            let mut got2 = vec![0.2f32; m2 * s];
+            gemm_tn(c.data(), d.data(), &mut got2, k, m2, s);
+            assert_eq!(got2, want2, "gemm_tn n={s}");
+        }
+    }
+
+    #[test]
+    fn conv_backward_direct_and_temp_paths_agree() {
+        // The sole-contributor fast path (scatter straight into grads[x])
+        // must compute the same per-sample gradient as the temp+add path,
+        // which is forced by giving x a second consumer whose backward runs
+        // first. The shared-x gradient must then equal the two
+        // sole-contributor gradients accumulated in backward order.
+        let mut rng = StdRng::seed_from_u64(23);
+        let x0 = Tensor::randn(&mut rng, &[2, 2, 5, 5], 1.0);
+        let w0 = Tensor::randn(&mut rng, &[3, 2, 3, 3], 0.5);
+        let gx_conv = {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let w = g.input(w0.clone());
+            let y = g.conv2d(x, w, None, 1, 1);
+            let l = g.sum_all(y);
+            let grads = g.backward(l);
+            grads.get(x).clone()
+        };
+        let gx_leaky = {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let z = g.leaky_relu(x, 0.3);
+            let l = g.sum_all(z);
+            let grads = g.backward(l);
+            grads.get(x).clone()
+        };
+        let gx_both = {
+            let mut g = Graph::new();
+            let x = g.input(x0.clone());
+            let w = g.input(w0.clone());
+            let y = g.conv2d(x, w, None, 1, 1);
+            let z = g.leaky_relu(x, 0.3);
+            let l1 = g.sum_all(y);
+            let l2 = g.sum_all(z);
+            let l = g.add(l1, l2);
+            let grads = g.backward(l);
+            grads.get(x).clone()
+        };
+        let mut want = gx_leaky;
+        want.add_scaled_assign(&gx_conv, 1.0);
+        assert_eq!(gx_both.data(), want.data());
     }
 }

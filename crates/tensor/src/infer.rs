@@ -11,8 +11,8 @@
 //! - [`InferPlan::compile`] walks a metadata-only tape built with
 //!   [`Graph::declare`] and lowers it into a flat, topologically
 //!   ordered list of ops, fusing `conv2d → batch_norm2d_eval →
-//!   leaky_relu` (and `conv2d → add_bias_channel (→ leaky_relu)`)
-//!   chains into single kernels. Parameters are referenced by
+//!   leaky_relu | relu` (and `conv2d → add_bias_channel (→
+//!   leaky_relu)`) chains into single kernels. Parameters are referenced by
 //!   [`ParamId`] (carried on the declare nodes as `pid` attrs), so a
 //!   compiled plan survives weight updates — values are read fresh from
 //!   the [`ParamSet`] at execution time.
@@ -40,83 +40,12 @@
 use std::sync::Mutex;
 
 use crate::arena;
-use crate::conv::im2col;
+use crate::conv::{conv_gemm, im2col};
 use crate::graph::{Graph, VarId};
 use crate::parallel;
 use crate::params::{ParamId, ParamSet};
 use crate::profile;
 use crate::tensor::{matmul_into, Tensor};
-
-/// Output-row widths up to this use the register-accumulating GEMM.
-const GEMM_ACC_WIDTH: usize = 64;
-
-/// GEMM `out = a × b` specialized for small `n` (deep conv layers have
-/// tiny output grids — 2×2 to 8×8 — where [`matmul_into`]'s
-/// dynamic-length inner loop is pure overhead). Each output row is
-/// accumulated on the stack and stored once.
-///
-/// Bitwise equivalence: per output element this performs the exact f32
-/// sequence of `matmul_into` over a zeroed output — ascending `k`,
-/// skipping `a == 0.0` terms, one `mul` + one `add` per term (Rust
-/// never contracts these to an FMA) — so only store traffic changes,
-/// never a rounding.
-fn gemm_small_n(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert!(n <= GEMM_ACC_WIDTH);
-    let mut acc = [0.0f32; GEMM_ACC_WIDTH];
-    for i in 0..m {
-        let acc = &mut acc[..n];
-        acc.fill(0.0);
-        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            for (s, &bv) in acc.iter_mut().zip(&b[kk * n..kk * n + n]) {
-                *s += av * bv;
-            }
-        }
-        out[i * n..(i + 1) * n].copy_from_slice(acc);
-    }
-}
-
-/// [`gemm_small_n`] monomorphized on the row width so the compiler can
-/// unroll and vectorize the `N`-wide accumulator update. Same f32
-/// sequence as the generic version.
-fn gemm_fixed<const N: usize>(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize) {
-    for i in 0..m {
-        let mut acc = [0.0f32; N];
-        for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow: &[f32; N] = b[kk * N..kk * N + N].try_into().unwrap();
-            for j in 0..N {
-                acc[j] += av * brow[j];
-            }
-        }
-        out[i * N..(i + 1) * N].copy_from_slice(&acc);
-    }
-}
-
-/// Dispatches between the register-accumulating kernels and
-/// [`matmul_into`]; `out` need not be zeroed (every path fully
-/// overwrites it). The fixed widths are the square head/backbone grids
-/// the detector configs produce (2..8 per side).
-fn conv_gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    match n {
-        4 => gemm_fixed::<4>(a, b, out, m, k),
-        9 => gemm_fixed::<9>(a, b, out, m, k),
-        16 => gemm_fixed::<16>(a, b, out, m, k),
-        25 => gemm_fixed::<25>(a, b, out, m, k),
-        36 => gemm_fixed::<36>(a, b, out, m, k),
-        49 => gemm_fixed::<49>(a, b, out, m, k),
-        64 => gemm_fixed::<64>(a, b, out, m, k),
-        _ if n <= GEMM_ACC_WIDTH => gemm_small_n(a, b, out, m, k, n),
-        _ => {
-            out.fill(0.0);
-            matmul_into(a, b, out, m, k, n);
-        }
-    }
-}
 
 /// Batch-norm parameters folded per-channel at execution time:
 /// `scale = gamma / sqrt(rvar + eps)`, `shift = beta - rmean * scale`.
@@ -139,6 +68,7 @@ struct ConvOp {
     bias: Option<ParamId>,
     bn: Option<BnFold>,
     leaky: Option<f32>,
+    relu: bool,
     stride: usize,
     pad: usize,
     cin: usize,
@@ -163,6 +93,9 @@ impl ConvOp {
         }
         if self.leaky.is_some() {
             name.push_str("_leaky");
+        }
+        if self.relu {
+            name.push_str("_relu");
         }
         name
     }
@@ -203,6 +136,16 @@ enum OpKind {
         x: usize,
         out: usize,
         alpha: f32,
+        len: usize,
+    },
+    Relu {
+        x: usize,
+        out: usize,
+        len: usize,
+    },
+    Sigmoid {
+        x: usize,
+        out: usize,
         len: usize,
     },
     Linear {
@@ -360,6 +303,7 @@ impl InferPlan {
                             bias: None,
                             bn: None,
                             leaky: None,
+                            relu: false,
                             stride: attr("stride")?,
                             pad: attr("pad")?,
                             cin,
@@ -384,7 +328,8 @@ impl InferPlan {
                             if c.out == y
                                 && c.bias.is_none()
                                 && c.bn.is_none()
-                                && c.leaky.is_none() =>
+                                && c.leaky.is_none()
+                                && !c.relu =>
                         {
                             c.bias = Some(b);
                             refs[idx] = Some(NodeRef::Slot(y));
@@ -408,7 +353,8 @@ impl InferPlan {
                             if c.out == y
                                 && c.bias.is_none()
                                 && c.bn.is_none()
-                                && c.leaky.is_none() =>
+                                && c.leaky.is_none()
+                                && !c.relu =>
                         {
                             c.bn = Some(fold);
                             refs[idx] = Some(NodeRef::Slot(y));
@@ -420,7 +366,7 @@ impl InferPlan {
                     let x = slot_of(&refs, 0)?;
                     let alpha = f32::from_bits(attr("alpha_bits")? as u32);
                     match ops.last_mut().map(|o| &mut o.kind) {
-                        Some(OpKind::Conv(c)) if c.out == x && c.leaky.is_none() => {
+                        Some(OpKind::Conv(c)) if c.out == x && c.leaky.is_none() && !c.relu => {
                             c.leaky = Some(alpha);
                             refs[idx] = Some(NodeRef::Slot(x));
                         }
@@ -439,6 +385,44 @@ impl InferPlan {
                             refs[idx] = Some(NodeRef::Slot(out));
                         }
                     }
+                }
+                "relu" => {
+                    let x = slot_of(&refs, 0)?;
+                    match ops.last_mut().map(|o| &mut o.kind) {
+                        Some(OpKind::Conv(c)) if c.out == x && c.leaky.is_none() && !c.relu => {
+                            c.relu = true;
+                            refs[idx] = Some(NodeRef::Slot(x));
+                        }
+                        _ => {
+                            let out = new_slot(
+                                &mut slot_lens,
+                                &mut slot_shapes,
+                                &meta.expected_shape,
+                                &meta.path(),
+                            )?;
+                            let len = slot_lens[out];
+                            ops.push(PlanOp {
+                                kind: OpKind::Relu { x, out, len },
+                                path: format!("infer/{}", meta.path()),
+                            });
+                            refs[idx] = Some(NodeRef::Slot(out));
+                        }
+                    }
+                }
+                "sigmoid" => {
+                    let x = slot_of(&refs, 0)?;
+                    let out = new_slot(
+                        &mut slot_lens,
+                        &mut slot_shapes,
+                        &meta.expected_shape,
+                        &meta.path(),
+                    )?;
+                    let len = slot_lens[out];
+                    ops.push(PlanOp {
+                        kind: OpKind::Sigmoid { x, out, len },
+                        path: format!("infer/{}", meta.path()),
+                    });
+                    refs[idx] = Some(NodeRef::Slot(out));
                 }
                 "max_pool2d" => {
                     let x = slot_of(&refs, 0)?;
@@ -513,8 +497,17 @@ impl InferPlan {
                     refs[idx] = Some(NodeRef::Slot(out));
                 }
                 "reshape" => {
-                    // flat per-sample data is unchanged; alias the slot
+                    // flat per-sample data is unchanged; alias the slot,
+                    // re-labelling it with the post-reshape dims so
+                    // shape-sensitive consumers (conv, upsample, pool)
+                    // see the reshaped geometry
                     let x = slot_of(&refs, 0)?;
+                    if meta.expected_shape.first() != Some(&1) {
+                        return fail(format!(
+                            "plans must be declared at batch 1, got {:?}",
+                            meta.expected_shape
+                        ));
+                    }
                     let len: usize = meta.expected_shape[1..].iter().product();
                     if len != slot_lens[x] {
                         return fail(format!(
@@ -522,6 +515,7 @@ impl InferPlan {
                             slot_lens[x]
                         ));
                     }
+                    slot_shapes[x] = meta.expected_shape[1..].to_vec();
                     refs[idx] = Some(NodeRef::Slot(x));
                 }
                 "linear" => {
@@ -664,6 +658,11 @@ impl InferPlan {
                                     let t = *v * scale + shift;
                                     *v = if t > 0.0 { t } else { alpha * t };
                                 }
+                            } else if c.relu {
+                                // same f32 sequence as the tape's relu map
+                                for v in seg {
+                                    *v = (*v * scale + shift).max(0.0);
+                                }
                             } else {
                                 for v in seg {
                                     *v = *v * scale + shift;
@@ -674,6 +673,10 @@ impl InferPlan {
                         for v in out.iter_mut() {
                             let t = *v;
                             *v = if t > 0.0 { t } else { alpha * t };
+                        }
+                    } else if c.relu {
+                        for v in out.iter_mut() {
+                            *v = v.max(0.0);
                         }
                     }
                     bufs.cols = cols;
@@ -753,6 +756,20 @@ impl InferPlan {
                     let mut o = std::mem::take(&mut bufs.slots[*out]);
                     for (ov, &xv) in o.iter_mut().zip(&bufs.slots[*x][..*len]) {
                         *ov = if xv > 0.0 { xv } else { alpha * xv };
+                    }
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Relu { x, out, len } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    for (ov, &xv) in o.iter_mut().zip(&bufs.slots[*x][..*len]) {
+                        *ov = xv.max(0.0);
+                    }
+                    bufs.slots[*out] = o;
+                }
+                OpKind::Sigmoid { x, out, len } => {
+                    let mut o = std::mem::take(&mut bufs.slots[*out]);
+                    for (ov, &xv) in o.iter_mut().zip(&bufs.slots[*x][..*len]) {
+                        *ov = 1.0 / (1.0 + (-xv).exp());
                     }
                     bufs.slots[*out] = o;
                 }

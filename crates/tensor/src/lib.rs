@@ -19,6 +19,9 @@
 //! * [`infer`] — tape-free compiled inference ([`InferPlan`] /
 //!   [`InferExec`]) for grad-free evaluation paths, bitwise-identical
 //!   to the tape forward.
+//! * [`train_plan`] — the compiled training step ([`TrainPlan`] /
+//!   [`TrainStep`]): fused forward+backward op lists with activation
+//!   column caching, bitwise-identical to a tape forward+backward.
 //! * [`check`] — numerical gradient checking used across the workspace.
 //!
 //! # Examples
@@ -64,6 +67,7 @@ mod pool;
 pub mod profile;
 mod smallvec;
 mod tensor;
+pub mod train_plan;
 
 pub use bnorm::BatchStats;
 pub use graph::{BackFn, Gradients, Graph, OpMeta, VarId};
@@ -72,3 +76,4 @@ pub use linmap::{LinearMap, WarpEntry};
 pub use params::{Param, ParamId, ParamSet};
 pub use smallvec::SmallVec;
 pub use tensor::Tensor;
+pub use train_plan::{TrainPlan, TrainStep};

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Prints the performance trajectory recorded by the per-PR substrate
+# benches: every BENCH_*.json in the repo root (and any extra paths
+# passed as arguments), one line per headline number.
+#
+#   scripts/perf_trajectory.sh [more/BENCH_*.json ...]
+#
+# Requires jq. Unknown bench ids are listed but not summarized, so new
+# PR benches show up here without editing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "perf_trajectory: jq not found" >&2; exit 1; }
+
+shopt -s nullglob
+files=(BENCH_*.json "$@")
+if [ ${#files[@]} -eq 0 ]; then
+    echo "perf_trajectory: no BENCH_*.json found" >&2
+    exit 1
+fi
+
+printf '%-16s %-24s %s\n' "file" "bench" "headline"
+printf '%s\n' "--------------------------------------------------------------------------"
+for f in "${files[@]}"; do
+    id=$(jq -r '.bench // "?"' "$f")
+    case "$id" in
+    pr2_parallel_substrate)
+        line=$(jq -r '"attack \(.serial.steps_per_sec) -> \(.parallel.steps_per_sec) steps/s at \(.threads) threads (\(.speedup)x)"' "$f")
+        ;;
+    pr4_compiled_inference)
+        line=$(jq -r '"eval tape \(.tape.fps_serial) -> compiled \(.compiled.fps_serial) frames/s (\(.speedup_serial)x serial)"' "$f")
+        ;;
+    pr5_compiled_training)
+        line=$(jq -r '"attack tape \(.attack.tape_steps_per_sec) -> compiled \(.attack.compiled_steps_per_sec) steps/s (\(.attack.speedup)x); detector \(.detector.speedup)x, col-cache \(.detector.col_cache.hit_rate * 100 | round)% hits"' "$f")
+        ;;
+    *)
+        line="(no summary for bench id '$id')"
+        ;;
+    esac
+    printf '%-16s %-24s %s\n' "$f" "$id" "$line"
+done

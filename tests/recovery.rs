@@ -180,6 +180,7 @@ fn detector_cfg() -> TrainConfig {
         seed: 17,
         clip: 10.0,
         log_every: 0,
+        compiled: true,
     }
 }
 

@@ -115,6 +115,7 @@ fn detector_learns_the_procedural_dataset() {
             seed: 3,
             clip: 10.0,
             log_every: 0,
+            compiled: true,
         },
     );
     assert!(
