@@ -54,7 +54,21 @@ cargo test --release -q -p rd-detector --test train_compiled
 echo "==> grad audit (every op's backward vs central differences)"
 cargo run --release -q -p rd-analysis --bin grad_audit
 
-echo "==> perf trajectory (steps/sec and frames/sec across PR benches)"
-scripts/perf_trajectory.sh || true
+echo "==> plan audit (static analyzer over every compiled plan + ulp-bound certificates)"
+# Hard gate: the dataflow-IR lints (liveness, alias, fan-out race,
+# fusion legality, param coverage, col-budget) must be clean on every
+# plan TinyYolo/Generator/Discriminator compile, and every inference
+# plan must certify a finite f32x8/FMA logit bound. The mutation tests
+# prove each lint fires at the exact op path of a deliberately
+# corrupted plan, and the bounds soundness tests check observed
+# divergence (scalar and simulated-f32x8/FMA) against the certificates.
+cargo test --release -q -p rd-analysis --test plan_analyzer
+cargo run --release -q -p rd-bench --bin plan_audit -- --out target/PLAN_AUDIT.json
+test -s target/PLAN_AUDIT.json || { echo "plan_audit wrote no report" >&2; exit 1; }
+
+echo "==> perf trajectory (steps/sec, frames/sec and plan-IR coverage across PR benches)"
+# Strict on purpose: a malformed BENCH_*.json or a missing headline
+# means a bench regressed silently, and that must fail the gate.
+scripts/perf_trajectory.sh
 
 echo "ci.sh: all checks passed"

@@ -24,6 +24,31 @@
 //! * [`grad_audit`] — a harness sweeping every op's backward pass
 //!   against central differences, emitting a pass/fail table.
 //!
+//! Since PR 4/5 the hot paths no longer execute tapes — they execute
+//! *compiled plans* ([`rd_tensor::InferPlan`] / [`rd_tensor::TrainPlan`]),
+//! and those have their own analyzer, working off the
+//! [`rd_tensor::PlanMeta`] introspection each plan exports:
+//!
+//! * [`ir`] — the dataflow IR ([`PlanIr`]: per-slot def/use chains)
+//!   plus fusion-legality, parameter-coverage/orphan and column-budget
+//!   lints; [`audit_plan`] runs everything, and
+//!   [`audit_plan_or_panic`] is the compile-site hook the model crates
+//!   call on every freshly cached plan (debug builds, or release with
+//!   `RD_PLAN_AUDIT=1`).
+//! * [`liveness`] — buffers proven written-before-read, roots defined,
+//!   dead buffers flagged; plus live-range/peak-footprint statistics.
+//! * [`alias`] — single-producer/no-in-place/input-read-only proofs
+//!   and re-derivation of the train convs' `gx_direct` routing.
+//! * [`race`] — a static data-race check for the worker-group fan-out:
+//!   the sample partition is exhaustively verified and every conv's
+//!   chunk strides are proven consistent with the slot table.
+//! * [`bounds`] — interval + ulp-error propagation certifying a
+//!   [`bounds::LogitBound`] for a candidate GEMM kernel substitution
+//!   (the `f32x8`/FMA tier): a static max-abs-divergence bound on the
+//!   logits, checked against observed divergence by the test suite.
+//! * [`plan_mutate`] — targeted plan corruptions for mutation-testing
+//!   the lints themselves.
+//!
 //! # Examples
 //!
 //! Validate a shape-only model description before running it:
@@ -46,12 +71,24 @@
 //! # let _ = y;
 //! ```
 
+pub mod alias;
+pub mod bounds;
 pub mod grad_audit;
+pub mod ir;
 mod lints;
+pub mod liveness;
 mod nan;
+pub mod plan_mutate;
+pub mod race;
 mod shape;
 
+pub use bounds::{certify_logit_bounds, KernelModel, LogitBound};
 pub use grad_audit::{render_table, run_grad_audit, OpReport};
+pub use ir::{
+    audit_plan, audit_plan_or_panic, check_col_budget, check_fusion, check_params, orphan_params,
+    plan_audit_enabled, PlanIr, PlanIssue, PlanLintKind,
+};
 pub use lints::{lint, lint_with_params, LintIssue, LintKind};
 pub use nan::{audit_non_finite, NanReport, ValueRange};
+pub use plan_mutate::Corruption;
 pub use shape::{validate, validate_with_root, ShapeIssue};

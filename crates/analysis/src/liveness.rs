@@ -1,0 +1,129 @@
+//! Buffer-lifetime analysis over the plan IR.
+//!
+//! Compiled plans hand every op raw slot indices into a flat buffer
+//! table ([`rd_tensor::arena`]-backed at execution time); nothing at
+//! runtime checks that a slot was produced before it is consumed. This
+//! module proves it statically:
+//!
+//! * **written-before-read** — walking ops in plan order, every read
+//!   must be dominated by a write (the plan input slot counts as
+//!   written: the executor copies the batch in before op 0). A
+//!   violation means the executor would publish whatever the arena
+//!   handed out — zeros today, but the contract is the write, not the
+//!   arena's fill value.
+//! * **roots are defined** — every plan output slot must be written by
+//!   some op (or be the input slot).
+//! * **dead buffers** — a slot that no op reads and that is not a plan
+//!   root is allocated and computed for nothing; in these lowerings it
+//!   only appears when a plan was corrupted or a fusion went wrong.
+//!
+//! [`live_ranges`] and [`peak_live_elems`] expose the def/last-use
+//! interval per slot and the worst-case live footprint, which the
+//! `plan_audit` binary reports as per-plan buffer statistics.
+
+use crate::ir::{op_issue, PlanIr, PlanIssue, PlanLintKind};
+
+/// Written-before-read, root-definedness and dead-buffer lints.
+pub fn check(ir: &PlanIr) -> Vec<PlanIssue> {
+    let meta = ir.meta;
+    let nslots = meta.slots.len();
+    let mut issues = Vec::new();
+
+    let mut defined = vec![false; nslots];
+    if meta.input_slot < nslots {
+        defined[meta.input_slot] = true;
+    }
+    for (oi, op) in meta.ops.iter().enumerate() {
+        for &r in &op.reads {
+            if !defined[r] {
+                let def = ir.defs[r].iter().find(|&&d| d > oi);
+                let when = match def {
+                    Some(&d) => format!("first written later by op #{d}"),
+                    None => "never written".into(),
+                };
+                issues.push(op_issue(
+                    meta,
+                    PlanLintKind::UseBeforeDef,
+                    oi,
+                    format!("reads slot {r} before it is written ({when})"),
+                ));
+            }
+        }
+        for &w in &op.writes {
+            defined[w] = true;
+        }
+    }
+
+    for (ri, &s) in meta.outputs.iter().enumerate() {
+        if !defined[s] {
+            issues.push(PlanIssue {
+                kind: PlanLintKind::UseBeforeDef,
+                op: None,
+                path: "plan".into(),
+                message: format!("root {ri} slot {s} is never written by any op"),
+            });
+        }
+    }
+
+    for (s, slot_uses) in ir.uses.iter().enumerate() {
+        if slot_uses.is_empty() && !meta.outputs.contains(&s) {
+            if s == meta.input_slot {
+                issues.push(PlanIssue {
+                    kind: PlanLintKind::DeadBuffer,
+                    op: None,
+                    path: "plan".into(),
+                    message: "plan input slot is read by no op and is not a root".into(),
+                });
+            } else if let Some(&d) = ir.defs[s].first() {
+                issues.push(op_issue(
+                    meta,
+                    PlanLintKind::DeadBuffer,
+                    d,
+                    format!("writes slot {s}, which no op reads and no root returns"),
+                ));
+            }
+            // a slot neither written nor read is unreachable garbage in
+            // the table; harmless, and the plans never produce one
+        }
+    }
+    issues
+}
+
+/// Per-slot live interval `(def_op, last_use_op)` in op indices. The
+/// input slot's def is `None` (the executor writes it before op 0);
+/// slots a root returns stay live to the end (`last = num_ops`).
+pub fn live_ranges(ir: &PlanIr) -> Vec<(Option<usize>, Option<usize>)> {
+    let meta = ir.meta;
+    (0..meta.slots.len())
+        .map(|s| {
+            let def = ir.defs[s].first().copied();
+            let mut last = ir.uses[s].last().copied();
+            if meta.outputs.contains(&s) {
+                last = Some(meta.ops.len());
+            }
+            (def, last)
+        })
+        .collect()
+}
+
+/// Worst-case per-sample live activation footprint, in `f32` elements:
+/// the maximum over program points of the summed lengths of all slots
+/// whose live range covers that point.
+pub fn peak_live_elems(ir: &PlanIr) -> usize {
+    let meta = ir.meta;
+    let ranges = live_ranges(ir);
+    let mut peak = 0usize;
+    for point in 0..=meta.ops.len() {
+        let live: usize = ranges
+            .iter()
+            .enumerate()
+            .filter(|(s, (def, last))| {
+                let born = def.map_or(*s == meta.input_slot, |d| d <= point);
+                born && last.is_some_and(|l| l >= point)
+            })
+            .map(|(s, _)| meta.slots[s].len)
+            .sum();
+        peak = peak.max(live);
+    }
+    peak
+}

@@ -1,0 +1,123 @@
+//! Plan corruption helpers for analyzer mutation tests.
+//!
+//! Each [`Corruption`] is a minimal, targeted break of one invariant a
+//! specific lint is supposed to guard. The analyzer test suite applies
+//! each one to a freshly lifted [`PlanMeta`] and asserts that the
+//! intended [`PlanLintKind`](crate::PlanLintKind) fires **at the exact
+//! op path** — proving the lints detect, not merely describe.
+
+use rd_tensor::PlanMeta;
+
+/// A single targeted plan corruption.
+#[derive(Debug, Clone, Copy)]
+pub enum Corruption {
+    /// Swap op `op`'s first read with its first write, making it
+    /// consume its own (unwritten) output. Target: `use-before-def`.
+    SwapBufferIndices {
+        /// Op index to corrupt.
+        op: usize,
+    },
+    /// Redirect op `op`'s first read to slot `to` (e.g. an op's output
+    /// that already has a producer, orphaning the real input). Targets:
+    /// `dead-buffer` / `race` depending on geometry.
+    RedirectRead {
+        /// Op index to corrupt.
+        op: usize,
+        /// New slot for the op's first read.
+        to: usize,
+    },
+    /// Make op `op` write the same slot as op `victim`, creating a
+    /// second producer. Target: `alias` (and the train fan-out race).
+    DuplicateWrite {
+        /// Op index to corrupt.
+        op: usize,
+        /// Op whose output slot gets a second producer.
+        victim: usize,
+    },
+    /// Drop op `op`'s first parameter reference (e.g. the conv weight).
+    /// Target: `fusion-order` / `param-coverage`.
+    DropParam {
+        /// Op index to corrupt.
+        op: usize,
+    },
+    /// Reverse op `op`'s fused chain, e.g. `conv→bn→leaky` into
+    /// `leaky→bn→conv`. Target: `fusion-order`.
+    ReorderFusedChain {
+        /// Op index to corrupt.
+        op: usize,
+    },
+    /// Flip op `op`'s stored `gx_direct` routing flag. Target:
+    /// `gx-routing`.
+    FlipGxDirect {
+        /// Op index to corrupt.
+        op: usize,
+    },
+    /// Corrupt op `op`'s conv output height so the group chunk strides
+    /// disagree with the slot table. Target: `race`.
+    CorruptConvGeom {
+        /// Op index to corrupt.
+        op: usize,
+    },
+    /// Shrink the train plan's column-cache budget below the smallest
+    /// conv's single-sample column matrix. Target: `col-budget`.
+    ShrinkColBudget,
+}
+
+/// Apply `c` to `meta` in place.
+///
+/// # Panics
+///
+/// Panics when the corruption does not fit the plan (op index out of
+/// range, flipping `gx_direct` on a non-conv, ...) — mutation tests
+/// should corrupt something real.
+pub fn apply(meta: &mut PlanMeta, c: Corruption) {
+    match c {
+        Corruption::SwapBufferIndices { op } => {
+            let o = &mut meta.ops[op];
+            assert!(
+                !o.reads.is_empty() && !o.writes.is_empty(),
+                "op {op} has no read/write pair to swap"
+            );
+            std::mem::swap(&mut o.reads[0], &mut o.writes[0]);
+        }
+        Corruption::RedirectRead { op, to } => {
+            assert!(to < meta.slots.len(), "slot {to} out of range");
+            *meta.ops[op].reads.first_mut().expect("op has no reads") = to;
+        }
+        Corruption::DuplicateWrite { op, victim } => {
+            let slot = *meta.ops[victim]
+                .writes
+                .first()
+                .expect("victim writes nothing");
+            *meta.ops[op].writes.first_mut().expect("op writes nothing") = slot;
+        }
+        Corruption::DropParam { op } => {
+            assert!(!meta.ops[op].params.is_empty(), "op {op} has no params");
+            meta.ops[op].params.remove(0);
+        }
+        Corruption::ReorderFusedChain { op } => {
+            assert!(meta.ops[op].fused.len() > 1, "op {op} fuses a single stage");
+            meta.ops[op].fused.reverse();
+        }
+        Corruption::FlipGxDirect { op } => {
+            let g = meta.ops[op]
+                .gx_direct
+                .as_mut()
+                .expect("op carries no gx_direct flag");
+            *g = !*g;
+        }
+        Corruption::CorruptConvGeom { op } => {
+            let c = meta.ops[op].conv.as_mut().expect("op is not a conv");
+            c.ho += 1;
+        }
+        Corruption::ShrinkColBudget => {
+            let smallest = meta
+                .ops
+                .iter()
+                .filter_map(|o| o.conv.as_ref().map(|c| c.cols_len()))
+                .min()
+                .expect("plan has no convs");
+            meta.col_budget = Some((smallest * std::mem::size_of::<f32>()).saturating_sub(1));
+        }
+    }
+}

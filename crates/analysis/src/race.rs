@@ -1,0 +1,143 @@
+//! Static data-race checks for the worker-group fan-out.
+//!
+//! The compiled engines parallelise with
+//! [`rd_tensor::parallel::groups_for`]: inference gives each group a
+//! private slot table and a disjoint chunk of the output copy, while
+//! training shares full-batch buffers and fans only the conv kernels
+//! out over per-group *sample* chunks (`per = n.div_ceil(groups)`,
+//! group `g` owning samples `[g*per, min((g+1)*per, n))`). Freedom from
+//! data races therefore rests on two static facts:
+//!
+//! 1. the partition arithmetic covers every sample exactly once for
+//!    every batch size and group count, and
+//! 2. each conv's per-sample strides are consistent — the slot lengths
+//!    match the op geometry and the output dims match the conv formula
+//!    — so chunk `g` of the output is written from chunk `g` of the
+//!    input and nothing else.
+//!
+//! Both are decidable from the IR alone; [`check`] proves them and
+//! reports violations as [`PlanLintKind::Race`]. Together with the
+//! single-producer lint in [`crate::alias`] (two writers for one slot
+//!    would be a cross-group write-write race in the train fan-out)
+//! this is a static data-race detector for the plan executors.
+
+use crate::ir::{op_issue, PlanIr, PlanIssue, PlanLintKind};
+use rd_tensor::parallel::groups_for;
+
+/// Largest batch size the partition arithmetic is exhaustively checked
+/// for. `groups_for` clamps to 8 groups, so behaviour is periodic well
+/// below this bound.
+const MAX_CHECKED_BATCH: usize = 256;
+
+/// Partition-coverage and chunk-tiling race lints.
+pub fn check(ir: &PlanIr) -> Vec<PlanIssue> {
+    let meta = ir.meta;
+    let mut issues = Vec::new();
+
+    // 1. Exhaustively prove the sample partition is exact: every batch
+    //    size up to the bound splits into disjoint chunks that sum back
+    //    to n. A gap double-assigns or drops samples — a race or silent
+    //    wrong answer depending on scheduling.
+    for n in 1..=MAX_CHECKED_BATCH {
+        let groups = groups_for(n);
+        if groups == 0 || groups > n.max(1) {
+            issues.push(PlanIssue {
+                kind: PlanLintKind::Race,
+                op: None,
+                path: "parallel::groups_for".into(),
+                message: format!("groups_for({n}) = {groups}, outside [1, {n}]"),
+            });
+            continue;
+        }
+        let per = n.div_ceil(groups);
+        let covered: usize = (0..groups)
+            .map(|g| per.min(n.saturating_sub(g * per)))
+            .sum();
+        if covered != n {
+            issues.push(PlanIssue {
+                kind: PlanLintKind::Race,
+                op: None,
+                path: "parallel::groups_for".into(),
+                message: format!(
+                    "sample partition for n={n} (groups={groups}, per={per}) covers {covered} samples"
+                ),
+            });
+        }
+    }
+
+    // 2. Per-conv stride consistency: group g's output chunk starts at
+    //    g*per*cout*ho*wo and its input chunk at g*per*cin*hin*win, so
+    //    the per-sample strides must equal the slot lengths and the
+    //    output dims must follow from the geometry. Any mismatch makes
+    //    adjacent groups' chunks overlap or leave gaps.
+    for (oi, op) in meta.ops.iter().enumerate() {
+        let Some(c) = &op.conv else { continue };
+        let (Some(&x), Some(&out)) = (op.reads.first(), op.writes.first()) else {
+            continue; // lift() already reported malformed def/use lists
+        };
+        let in_len = c.cin * c.hin * c.win;
+        if meta.slots[x].len != in_len {
+            issues.push(op_issue(
+                meta,
+                PlanLintKind::Race,
+                oi,
+                format!(
+                    "input slot {x} holds {} elems per sample but the conv geometry \
+                     strides by cin*hin*win = {in_len}; group chunks would misalign",
+                    meta.slots[x].len
+                ),
+            ));
+        }
+        let out_len = c.cout * c.ho * c.wo;
+        if meta.slots[out].len != out_len {
+            issues.push(op_issue(
+                meta,
+                PlanLintKind::Race,
+                oi,
+                format!(
+                    "output slot {out} holds {} elems per sample but the conv geometry \
+                     strides by cout*ho*wo = {out_len}; group chunks would overlap or gap",
+                    meta.slots[out].len
+                ),
+            ));
+        }
+        if c.stride == 0 {
+            issues.push(op_issue(
+                meta,
+                PlanLintKind::Race,
+                oi,
+                "conv stride is 0; output geometry is undefined".into(),
+            ));
+            continue;
+        }
+        let padded_h = c.hin + 2 * c.pad;
+        let padded_w = c.win + 2 * c.pad;
+        if c.kh == 0 || c.kw == 0 || c.kh > padded_h || c.kw > padded_w {
+            issues.push(op_issue(
+                meta,
+                PlanLintKind::Race,
+                oi,
+                format!(
+                    "kernel {}x{} does not fit the padded {padded_h}x{padded_w} input",
+                    c.kh, c.kw
+                ),
+            ));
+            continue;
+        }
+        let ho = (padded_h - c.kh) / c.stride + 1;
+        let wo = (padded_w - c.kw) / c.stride + 1;
+        if (c.ho, c.wo) != (ho, wo) {
+            issues.push(op_issue(
+                meta,
+                PlanLintKind::Race,
+                oi,
+                format!(
+                    "stored output dims {}x{} disagree with the conv formula {ho}x{wo}; \
+                     per-group chunk offsets would be computed from the wrong strides",
+                    c.ho, c.wo
+                ),
+            ));
+        }
+    }
+    issues
+}

@@ -452,8 +452,10 @@ impl TinyYolo {
         self.plan.get_or_init(|| {
             let mut g = Graph::new();
             let out = self.declare_forward(&mut g, ps, 1);
-            InferPlan::compile(&g, &[out.coarse, out.fine])
-                .expect("TinyYolo lowering must compile to an inference plan")
+            let plan = InferPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo lowering must compile to an inference plan");
+            rd_analysis::audit_plan_or_panic("detector/infer", &plan.meta(), ps);
+            plan
         })
     }
 
@@ -467,8 +469,10 @@ impl TinyYolo {
         self.train_plan.get_or_init(|| {
             let mut g = Graph::new();
             let out = self.declare_train(&mut g, ps, 1);
-            TrainPlan::compile(&g, &[out.coarse, out.fine])
-                .expect("TinyYolo train lowering must compile to a training plan")
+            let plan = TrainPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo train lowering must compile to a training plan");
+            rd_analysis::audit_plan_or_panic("detector/train", &plan.meta(), ps);
+            plan
         })
     }
 
@@ -480,8 +484,10 @@ impl TinyYolo {
         self.grad_plan.get_or_init(|| {
             let mut g = Graph::new();
             let out = self.declare_forward(&mut g, ps, 1);
-            TrainPlan::compile(&g, &[out.coarse, out.fine])
-                .expect("TinyYolo eval lowering must compile to a gradient plan")
+            let plan = TrainPlan::compile(&g, &[out.coarse, out.fine])
+                .expect("TinyYolo eval lowering must compile to a gradient plan");
+            rd_analysis::audit_plan_or_panic("detector/grad", &plan.meta(), ps);
+            plan
         })
     }
 

@@ -286,8 +286,10 @@ impl Generator {
         self.plan.get_or_init(|| {
             let mut g = Graph::new();
             let out = self.declare_forward(&mut g, ps, 1);
-            InferPlan::compile(&g, &[out])
-                .expect("generator lowering must compile to an inference plan")
+            let plan = InferPlan::compile(&g, &[out])
+                .expect("generator lowering must compile to an inference plan");
+            rd_analysis::audit_plan_or_panic("gan/generator", &plan.meta(), ps);
+            plan
         })
     }
 
@@ -437,8 +439,10 @@ impl Discriminator {
         self.plan.get_or_init(|| {
             let mut g = Graph::new();
             let out = self.declare_forward(&mut g, ps, 1);
-            InferPlan::compile(&g, &[out])
-                .expect("discriminator lowering must compile to an inference plan")
+            let plan = InferPlan::compile(&g, &[out])
+                .expect("discriminator lowering must compile to an inference plan");
+            rd_analysis::audit_plan_or_panic("gan/discriminator", &plan.meta(), ps);
+            plan
         })
     }
 

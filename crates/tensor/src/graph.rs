@@ -199,8 +199,16 @@ impl Graph {
         self.scope_path = self.scope_stack.join("/");
     }
 
-    /// Runs `f` inside a named scope (exception-unsafe convenience; the
-    /// tape is single-use and not unwound across panics anyway).
+    /// Runs `f` inside a named scope.
+    ///
+    /// SAFETY-adjacent note (this is *not* an `unsafe` block — the
+    /// PR-6 audit found none in the workspace, and
+    /// `unsafe_code = "deny"` in the workspace lints keeps it that
+    /// way): this helper is merely *panic*-unsafe in that a panicking
+    /// `f` skips the `pop_scope`, leaving the scope stack deeper than
+    /// the caller entered with. That is harmless by construction —
+    /// every `Graph` is single-use and is dropped when a panic unwinds
+    /// past its owner, so no later op can observe the stale scope path.
     pub fn scoped<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
         self.push_scope(name);
         let r = f(self);

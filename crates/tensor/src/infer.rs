@@ -44,6 +44,9 @@ use crate::conv::{conv_gemm, im2col};
 use crate::graph::{Graph, VarId};
 use crate::parallel;
 use crate::params::{ParamId, ParamSet};
+use crate::plan_meta::{
+    simple_op, ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta,
+};
 use crate::profile;
 use crate::tensor::{matmul_into, Tensor};
 
@@ -591,6 +594,131 @@ impl InferPlan {
     /// Per-sample input shape (batch dimension stripped).
     pub fn input_shape(&self) -> &[usize] {
         &self.input_shape
+    }
+
+    /// Lifts the plan into a plain-data [`PlanMeta`] description (op
+    /// list with slot defs/uses, parameter references, fusion
+    /// composition, conv geometry) for static analysis. Nothing is
+    /// executed; the returned value owns all its data.
+    pub fn meta(&self) -> PlanMeta {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match &op.kind {
+                OpKind::Conv(c) => {
+                    let mut params = vec![ParamRef {
+                        role: ParamRole::ConvWeight,
+                        index: c.w.index(),
+                    }];
+                    let mut fused = vec!["conv2d".to_string()];
+                    if let Some(b) = c.bias {
+                        params.push(ParamRef {
+                            role: ParamRole::ConvBias,
+                            index: b.index(),
+                        });
+                        fused.push("add_bias_channel".to_string());
+                    }
+                    let mut bn_eps = None;
+                    if let Some(bn) = &c.bn {
+                        for (role, pid) in [
+                            (ParamRole::BnGamma, bn.gamma),
+                            (ParamRole::BnBeta, bn.beta),
+                            (ParamRole::BnRunningMean, bn.rmean),
+                            (ParamRole::BnRunningVar, bn.rvar),
+                        ] {
+                            params.push(ParamRef {
+                                role,
+                                index: pid.index(),
+                            });
+                        }
+                        fused.push("batch_norm2d_eval".to_string());
+                        bn_eps = Some(bn.eps);
+                    }
+                    if c.leaky.is_some() {
+                        fused.push("leaky_relu".to_string());
+                    }
+                    if c.relu {
+                        fused.push("relu".to_string());
+                    }
+                    PlanOpMeta {
+                        name: c.fused_name(),
+                        path: op.path.clone(),
+                        reads: vec![c.x],
+                        writes: vec![c.out],
+                        params,
+                        fused,
+                        conv: Some(ConvGeom {
+                            stride: c.stride,
+                            pad: c.pad,
+                            cin: c.cin,
+                            hin: c.hin,
+                            win: c.win,
+                            cout: c.cout,
+                            kh: c.kh,
+                            kw: c.kw,
+                            ho: c.ho,
+                            wo: c.wo,
+                        }),
+                        linear: None,
+                        alpha: c.leaky,
+                        bn_train: c.bn.as_ref().map(|_| false),
+                        bn_eps,
+                        gx_direct: None,
+                    }
+                }
+                OpKind::MaxPool { x, out, .. } => simple_op("max_pool2d", &op.path, *x, *out),
+                OpKind::Upsample2x { x, out, .. } => {
+                    simple_op("upsample_nearest2x", &op.path, *x, *out)
+                }
+                OpKind::Concat { a, b, out, .. } => PlanOpMeta {
+                    reads: vec![*a, *b],
+                    ..simple_op("concat_channels", &op.path, *a, *out)
+                },
+                OpKind::Leaky { x, out, alpha, .. } => PlanOpMeta {
+                    alpha: Some(*alpha),
+                    ..simple_op("leaky_relu", &op.path, *x, *out)
+                },
+                OpKind::Relu { x, out, .. } => simple_op("relu", &op.path, *x, *out),
+                OpKind::Sigmoid { x, out, .. } => simple_op("sigmoid", &op.path, *x, *out),
+                OpKind::Linear {
+                    x,
+                    out,
+                    w,
+                    b,
+                    in_dim,
+                    out_dim,
+                } => PlanOpMeta {
+                    params: vec![
+                        ParamRef {
+                            role: ParamRole::LinearWeight,
+                            index: w.index(),
+                        },
+                        ParamRef {
+                            role: ParamRole::LinearBias,
+                            index: b.index(),
+                        },
+                    ],
+                    linear: Some((*in_dim, *out_dim)),
+                    ..simple_op("linear", &op.path, *x, *out)
+                },
+            })
+            .collect();
+        PlanMeta {
+            kind: PlanKind::Infer,
+            ops,
+            slots: self
+                .slot_lens
+                .iter()
+                .zip(&self.slot_shapes)
+                .map(|(&len, shape)| SlotMeta {
+                    len,
+                    shape: shape.clone(),
+                })
+                .collect(),
+            input_slot: self.input_slot,
+            outputs: self.outputs.clone(),
+            col_budget: None,
+        }
     }
 
     /// One-shot convenience: build an executor, run it, drop it.

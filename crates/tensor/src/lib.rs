@@ -63,6 +63,7 @@ pub mod loss;
 pub mod optim;
 pub mod parallel;
 mod params;
+pub mod plan_meta;
 mod pool;
 pub mod profile;
 mod smallvec;
@@ -74,6 +75,7 @@ pub use graph::{BackFn, Gradients, Graph, OpMeta, VarId};
 pub use infer::{InferExec, InferPlan};
 pub use linmap::{LinearMap, WarpEntry};
 pub use params::{Param, ParamId, ParamSet};
+pub use plan_meta::{ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta};
 pub use smallvec::SmallVec;
 pub use tensor::Tensor;
 pub use train_plan::{TrainPlan, TrainStep};

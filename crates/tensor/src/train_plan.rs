@@ -52,6 +52,9 @@ use crate::bnorm::{
 use crate::conv::{col2im, conv_gemm, gemm_nt, gemm_tn_over, im2col};
 use crate::graph::{Graph, VarId};
 use crate::params::{ParamId, ParamSet};
+use crate::plan_meta::{
+    simple_op, ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta,
+};
 use crate::pool::{max_pool_backward, max_pool_forward, upsample2x_backward, upsample2x_forward};
 use crate::profile;
 use crate::tensor::Tensor;
@@ -557,6 +560,113 @@ impl TrainPlan {
     /// Number of plan roots.
     pub fn num_outputs(&self) -> usize {
         self.outputs.len()
+    }
+
+    /// Lifts the plan into a plain-data [`PlanMeta`] description (op
+    /// list with slot defs/uses, parameter references, fusion
+    /// composition, conv geometry and `gx_direct` routing) for static
+    /// analysis. Nothing is executed; the returned value owns all its
+    /// data.
+    pub fn meta(&self) -> PlanMeta {
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| match &op.kind {
+                TOp::Conv(c) => {
+                    let mut params = vec![ParamRef {
+                        role: ParamRole::ConvWeight,
+                        index: c.w.index(),
+                    }];
+                    let mut fused = vec!["conv2d".to_string()];
+                    if let Some(b) = c.bias {
+                        params.push(ParamRef {
+                            role: ParamRole::ConvBias,
+                            index: b.index(),
+                        });
+                        fused.push("add_bias_channel".to_string());
+                    }
+                    let mut bn_eps = None;
+                    if let Some(bn) = &c.bn {
+                        for (role, pid) in [
+                            (ParamRole::BnGamma, bn.gamma),
+                            (ParamRole::BnBeta, bn.beta),
+                            (ParamRole::BnRunningMean, bn.rmean),
+                            (ParamRole::BnRunningVar, bn.rvar),
+                        ] {
+                            params.push(ParamRef {
+                                role,
+                                index: pid.index(),
+                            });
+                        }
+                        fused.push(
+                            if bn.train {
+                                "batch_norm2d_train"
+                            } else {
+                                "batch_norm2d_eval"
+                            }
+                            .to_string(),
+                        );
+                        bn_eps = Some(bn.eps);
+                    }
+                    if c.leaky.is_some() {
+                        fused.push("leaky_relu".to_string());
+                    }
+                    PlanOpMeta {
+                        name: c.fused_name(),
+                        path: op.path.clone(),
+                        reads: vec![c.x],
+                        writes: vec![c.out],
+                        params,
+                        fused,
+                        conv: Some(ConvGeom {
+                            stride: c.stride,
+                            pad: c.pad,
+                            cin: c.cin,
+                            hin: c.hin,
+                            win: c.win,
+                            cout: c.cout,
+                            kh: c.kh,
+                            kw: c.kw,
+                            ho: c.ho,
+                            wo: c.wo,
+                        }),
+                        linear: None,
+                        alpha: c.leaky,
+                        bn_train: c.bn.as_ref().map(|bn| bn.train),
+                        bn_eps,
+                        gx_direct: Some(c.gx_direct),
+                    }
+                }
+                TOp::MaxPool { x, out, .. } => simple_op("max_pool2d", &op.path, *x, *out),
+                TOp::Upsample2x { x, out, .. } => {
+                    simple_op("upsample_nearest2x", &op.path, *x, *out)
+                }
+                TOp::Concat { a, b, out, .. } => PlanOpMeta {
+                    reads: vec![*a, *b],
+                    ..simple_op("concat_channels", &op.path, *a, *out)
+                },
+                TOp::Leaky { x, out, alpha, .. } => PlanOpMeta {
+                    alpha: Some(*alpha),
+                    ..simple_op("leaky_relu", &op.path, *x, *out)
+                },
+            })
+            .collect();
+        PlanMeta {
+            kind: PlanKind::Train,
+            ops,
+            slots: self
+                .slot_lens
+                .iter()
+                .zip(&self.slot_shapes)
+                .map(|(&len, shape)| SlotMeta {
+                    len,
+                    shape: shape.clone(),
+                })
+                .collect(),
+            input_slot: self.input_slot,
+            outputs: self.outputs.clone(),
+            col_budget: Some(self.col_budget),
+        }
     }
 
     /// Sets the im2col column-cache budget in bytes. Convs are cached

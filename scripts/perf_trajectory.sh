@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Prints the performance trajectory recorded by the per-PR substrate
 # benches: every BENCH_*.json in the repo root (and any extra paths
-# passed as arguments), one line per headline number.
+# passed as arguments), one line per headline number. When a plan-audit
+# report exists (target/PLAN_AUDIT.json, written by
+# `cargo run -p rd-bench --bin plan_audit`), also prints the static
+# analyzer's per-plan op/buffer counts so plan-IR coverage is visible
+# per PR.
 #
 #   scripts/perf_trajectory.sh [more/BENCH_*.json ...]
 #
 # Requires jq. Unknown bench ids are listed but not summarized, so new
-# PR benches show up here without editing this script.
+# PR benches show up here without editing this script. Malformed JSON,
+# a missing bench id, or a headline with missing fields exits nonzero:
+# this script is a CI gate, not a best-effort report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,10 +25,21 @@ if [ ${#files[@]} -eq 0 ]; then
     exit 1
 fi
 
-printf '%-16s %-24s %s\n' "file" "bench" "headline"
+status=0
+printf '%-24s %-24s %s\n' "file" "bench" "headline"
 printf '%s\n' "--------------------------------------------------------------------------"
 for f in "${files[@]}"; do
-    id=$(jq -r '.bench // "?"' "$f")
+    if ! jq empty "$f" >/dev/null 2>&1; then
+        printf '%-24s %s\n' "$f" "MALFORMED JSON"
+        status=1
+        continue
+    fi
+    id=$(jq -r '.bench // empty' "$f")
+    if [ -z "$id" ]; then
+        printf '%-24s %s\n' "$f" "MISSING bench id"
+        status=1
+        continue
+    fi
     case "$id" in
     pr2_parallel_substrate)
         line=$(jq -r '"attack \(.serial.steps_per_sec) -> \(.parallel.steps_per_sec) steps/s at \(.threads) threads (\(.speedup)x)"' "$f")
@@ -37,5 +54,37 @@ for f in "${files[@]}"; do
         line="(no summary for bench id '$id')"
         ;;
     esac
-    printf '%-16s %-24s %s\n' "$f" "$id" "$line"
+    case "$line" in
+    *null*)
+        printf '%-24s %-24s %s\n' "$f" "$id" "MISSING headline fields: $line"
+        status=1
+        continue
+        ;;
+    esac
+    printf '%-24s %-24s %s\n' "$f" "$id" "$line"
 done
+
+# Plan-IR coverage from the static analyzer, when a report is present.
+audit=target/PLAN_AUDIT.json
+if [ -f "$audit" ]; then
+    if ! jq empty "$audit" >/dev/null 2>&1; then
+        echo "perf_trajectory: $audit is malformed JSON" >&2
+        exit 1
+    fi
+    echo
+    printf '%-24s %-6s %5s %6s %6s %14s %16s\n' \
+        "plan (static audit)" "kind" "ops" "convs" "slots" "peak-live-f32" "f32x8-bound-ulps"
+    printf '%s\n' "--------------------------------------------------------------------------"
+    jq -r '.plans[] | [.tag, .kind, .ops, .convs, .slots, .peak_live_f32, (.bound_ulps // "-")] | @tsv' "$audit" |
+        while IFS=$'\t' read -r tag kind ops convs slots peak bound; do
+            printf '%-24s %-6s %5s %6s %6s %14s %16s\n' \
+                "$tag" "$kind" "$ops" "$convs" "$slots" "$peak" "$bound"
+        done
+    clean=$(jq -r '.clean' "$audit")
+    if [ "$clean" != "true" ]; then
+        echo "perf_trajectory: plan audit reported issues (clean=$clean)" >&2
+        status=1
+    fi
+fi
+
+exit "$status"
