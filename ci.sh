@@ -31,12 +31,24 @@ echo "==> inference equivalence (compiled plan vs tape, 1 and 4 threads)"
 # batched execution equals per-sample execution.
 cargo test --release -q -p rd-detector --test infer
 
-echo "==> substrate bench smoke (profiler + parallel fan-out + determinism)"
+echo "==> tier equivalence (f32x8 fast tier vs scalar reference, certificate gate)"
+# The PR 7 contract at test granularity: per-kernel proptests hold the
+# SIMD kernels within the certified ulp bound of the scalar oracle, the
+# runtime dispatcher falls back cleanly without AVX2/FMA, and the
+# end-to-end detector test checks observed logit divergence against the
+# static rd-analysis certificate with zero decoded-detection drift.
+cargo test --release -q -p rd-tensor simd
+cargo test --release -q -p rd-detector --test tier
+# Same end-to-end gate with the portable (scalar-unrolled) backend
+# forced, so the non-AVX2 path stays correct on hosts that have AVX2.
+RD_NO_SIMD=1 cargo test --release -q -p rd-detector --test tier
+
+echo "==> substrate bench smoke (profiler + parallel fan-out + determinism + tiers)"
 # Fails loudly if the profiler or worker pool stop compiling/working:
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread
 # equality before writing its report. The eval section re-checks the
 # tape-vs-compiled bitwise gate on rendered frames.
-cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json --tier-out target/BENCH_pr7_smoke.json
 test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
 test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval report" >&2; exit 1; }
 # The training section enforces this PR's contracts before writing its
@@ -44,6 +56,11 @@ test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval rep
 # detector fine-tune, plus 1-vs-N-thread determinism of the compiled
 # step, all inside one process.
 test -s target/BENCH_pr5_smoke.json || { echo "bench_substrate wrote no training report" >&2; exit 1; }
+# The tier section gates the fast tier's observed divergence against
+# the static certificate and requires zero mAP/PWC/CWC drift vs the
+# scalar reference (the 1.5x speedup floor applies to full runs only —
+# quick runs are too short to hard-gate wall clock).
+test -s target/BENCH_pr7_smoke.json || { echo "bench_substrate wrote no tier report" >&2; exit 1; }
 
 echo "==> compiled training step equivalence (TrainPlan vs tape, 1 and 4 threads)"
 # The PR 5 contract at test granularity: full training runs through the

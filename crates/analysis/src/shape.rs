@@ -350,6 +350,21 @@ pub fn validate_with_root(g: &Graph, root: VarId) -> Result<(), Vec<ShapeIssue>>
         // shape — downstream ops consumed the actual tensor, so later
         // genuine mismatches still surface without cascade noise.
         let claimed = meta.expected_shape.clone();
+        // Degenerate-shape rule (applies to leaves too): a zero-sized
+        // dimension is never a meaningful tensor here and is the
+        // signature of underflowed output-shape arithmetic.
+        if claimed.contains(&0) {
+            issues.push(issue(
+                i,
+                meta,
+                format!(
+                    "{} declares shape {} with a zero-sized dimension \
+                     (underflowed output-shape arithmetic?)",
+                    meta.op,
+                    fmt_shape(&claimed)
+                ),
+            ));
+        }
         if is_leaf(meta.op) {
             derived.push(claimed);
             continue;

@@ -47,6 +47,42 @@ fn validation_names_the_offending_layer_in_a_declared_net() {
 }
 
 #[test]
+fn zero_sized_dimension_is_flagged_as_underflow() {
+    // The silent-shape-underflow class: a conv whose kernel exceeds the
+    // padded input used to be declared with a saturated (bogus) output
+    // dim. The validator must flag both the impossible conv and any
+    // node that declares a zero-sized dimension outright.
+    let mut g = Graph::new();
+    let x = g.declare("input", &[], &[], &[1, 3, 2, 2]);
+    g.scoped("stem/conv1", |g| {
+        let w = g.declare("param", &[], &[], &[4, 3, 5, 5]);
+        g.declare(
+            "conv2d",
+            &[x, w],
+            &[("stride", 1), ("pad", 1)],
+            &[1, 4, 1, 1],
+        )
+    });
+    let issues = validate(&g).unwrap_err();
+    let msg = issues[0].to_string();
+    assert!(
+        msg.contains("larger than padded input"),
+        "conv underflow not named: {msg}"
+    );
+
+    let mut g = Graph::new();
+    let x = g.declare("input", &[], &[], &[1, 3, 0, 8]);
+    g.declare("relu", &[x], &[], &[1, 3, 0, 8]);
+    let issues = validate(&g).unwrap_err();
+    assert!(
+        issues
+            .iter()
+            .any(|i| i.to_string().contains("zero-sized dimension")),
+        "zero-dim rule did not fire: {issues:?}"
+    );
+}
+
+#[test]
 fn unused_param_lint_names_the_parameter() {
     let mut ps = ParamSet::new();
     let used = ps.register("used.w", Tensor::from_vec(vec![1.0, 2.0], &[2]));

@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p rd-bench --bin bench_substrate -- \
 //!     [--quick] [--steps 12] [--threads 4] [--out BENCH_pr2.json] \
-//!     [--eval-out BENCH_pr4.json] [--train-out BENCH_pr5.json]
+//!     [--eval-out BENCH_pr4.json] [--train-out BENCH_pr5.json] \
+//!     [--tier fast] [--tier-out BENCH_pr7.json]
 //! ```
 //!
 //! Runs the *same* smoke-scale decal attack twice — worker pool capped
@@ -26,20 +27,30 @@
 //! paths with activation-column cache statistics. Both the
 //! compiled-vs-tape bitwise gate and the 1-vs-N-thread determinism
 //! gate must hold in the same run; results go to `--train-out`.
+//!
+//! A fourth section times the `--tier` execution tier (default `fast`,
+//! the f32x8 microkernels) against the scalar reference on the same
+//! compiled eval, gates the observed per-head divergence against the
+//! static `rd_analysis::bounds` certificate, and gates decoded
+//! detections, mAP and the attack's PWC/CWC for zero drift between
+//! tiers; results go to `--tier-out`.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use rd_analysis::{certify_logit_bounds, KernelModel};
 use rd_bench::{arg, flag};
-use rd_detector::{DetectorTrainer, TinyYolo, TrainConfig, YoloConfig};
+use rd_detector::map::mean_average_precision;
+use rd_detector::{postprocess, Detection, DetectorTrainer, TinyYolo, TrainConfig, YoloConfig};
 use rd_scene::dataset::{generate, DatasetConfig, Sample};
-use rd_scene::CameraRig;
+use rd_scene::{CameraRig, GtBox, ObjectClass, RotationSetting};
 use rd_tensor::optim::StepOutcome;
-use rd_tensor::{Graph, ParamSet, Tensor};
+use rd_tensor::{tier, Graph, ParamSet, Tensor, Tier};
 use rd_vision::Image;
-use road_decals::attack::{train_decal_attack, AttackConfig, TrainedDecal};
+use road_decals::attack::{deploy, train_decal_attack, AttackConfig, TrainedDecal};
+use road_decals::eval::{evaluate_challenge, Challenge, EvalConfig};
 use road_decals::scenario::AttackScenario;
 
 /// Peak resident-set size of this process in kB (Linux `VmHWM`; 0 where
@@ -195,6 +206,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     let serial = run_attack(1, &cfg, &scenario);
     let parallel = run_attack(threads, &cfg, &scenario);
+    // the pool clamps oversubscribed requests to the host; report both
+    let threads_requested = rd_tensor::parallel::requested_max_threads();
+    let threads_effective = rd_tensor::parallel::max_threads();
     rd_tensor::parallel::set_max_threads(0);
 
     // determinism gate: the parallel run must retrace the serial run
@@ -227,9 +241,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let note = if host_cpus < threads {
         format!(
-            "host exposes only {host_cpus} logical cpu(s); the {threads}-thread run is \
-             time-sliced, so wall-clock speedup is hardware-limited and the numbers \
-             below measure overhead + determinism, not scaling"
+            "host exposes only {host_cpus} logical cpu(s); the requested {threads}-thread \
+             run is clamped to {threads_effective} effective worker(s), so the parallel \
+             numbers measure pool overhead + determinism, not scaling"
         )
     } else {
         String::new()
@@ -240,7 +254,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "  \"bench\": \"pr2_parallel_substrate\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"host_logical_cpus\": {cpus},\n",
-            "  \"threads\": {threads},\n",
+            "  \"threads_requested\": {treq},\n",
+            "  \"threads_effective\": {teff},\n",
             "  \"attack_steps\": {steps},\n",
             "  \"serial\": {{ \"seconds\": {ss:.3}, \"steps_per_sec\": {sp:.3} }},\n",
             "  \"parallel\": {{ \"seconds\": {ps:.3}, \"steps_per_sec\": {pp:.3} }},\n",
@@ -253,7 +268,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         ),
         mode = if quick { "quick" } else { "full" },
         cpus = host_cpus,
-        threads = threads,
+        treq = threads_requested,
+        teff = threads_effective,
         steps = cfg.steps,
         ss = serial.seconds,
         sp = serial.steps_per_sec,
@@ -481,5 +497,224 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&train_out, &train_json)
         .map_err(|e| format!("cannot write {train_out}: {e}"))?;
     println!("wrote {train_out}");
+
+    // --- execution tiers: f32x8 fast tier vs scalar reference ----------
+    let tier_out: String = arg("--tier-out", "BENCH_pr7.json".to_owned())?;
+    let cand: Tier = arg("--tier", Tier::Fast)?;
+    let backend = rd_tensor::simd::backend();
+    println!(
+        "\ntiming compiled eval at the '{}' tier vs the scalar reference (backend: {})...",
+        cand.label(),
+        backend.label()
+    );
+
+    // static certificate for the candidate tier's kernel model, over the
+    // rendered-frame input box [0, 1]
+    let meta = detector.infer_plan(&ps_det).meta();
+    let cert = certify_logit_bounds(&meta, &ps_det, 0.0, 1.0, &KernelModel::for_tier(cand))?;
+    if cert.len() != 2 {
+        return Err(format!("expected one bound per detector head, got {}", cert.len()).into());
+    }
+
+    let timed_tier = |t: Tier, n_threads: usize| {
+        tier::set_tier(t);
+        let r = eval_pass(n_threads, &detector, &ps_det, &batches, true);
+        tier::set_tier(Tier::Reference);
+        r
+    };
+    // warm the candidate tier off the clock (backend detection, buffers)
+    let _ = timed_tier(cand, 1);
+    let (ref_1s, ref_outs) = timed_tier(Tier::Reference, 1);
+    let (ref_ns, _) = timed_tier(Tier::Reference, threads);
+    let (cand_1s, cand_outs) = timed_tier(cand, 1);
+    let (cand_ns, cand_outs_n) = timed_tier(cand, threads);
+
+    // determinism gate: the candidate tier must be thread-count invariant
+    for (i, ((ac, af), (bc, bf))) in cand_outs.iter().zip(&cand_outs_n).enumerate() {
+        if ac.data() != bc.data() || af.data() != bf.data() {
+            return Err(format!(
+                "'{}'-tier eval diverged between 1 and {threads} threads on batch {i}",
+                cand.label()
+            )
+            .into());
+        }
+    }
+
+    // divergence gate: per-head observed max-abs error vs the certificate
+    let mut observed = [0.0f64; 2];
+    for ((rc, rf), (cc, cfine)) in ref_outs.iter().zip(&cand_outs) {
+        for (h, (a, b)) in [(rc, cc), (rf, cfine)].into_iter().enumerate() {
+            for (&x, &y) in a.data().iter().zip(b.data()) {
+                observed[h] = observed[h].max((x as f64 - y as f64).abs());
+            }
+        }
+    }
+    let mut obs_ulps = [0.0f64; 2];
+    for (h, b) in cert.iter().enumerate() {
+        let scale = b.lo.abs().max(b.hi.abs());
+        obs_ulps[h] = observed[h] / rd_analysis::bounds::ulp32(scale);
+        println!(
+            "head {h}: observed {:.3e} abs ({:.2e} ulp) vs certified {:.3e} abs ({:.1} ulp)",
+            observed[h], obs_ulps[h], b.max_abs_err, b.ulps_at_scale
+        );
+        if observed[h] > b.max_abs_err {
+            return Err(format!(
+                "head {h}: '{}'-tier divergence {:.3e} exceeds the static certificate {:.3e}",
+                cand.label(),
+                observed[h],
+                b.max_abs_err
+            )
+            .into());
+        }
+    }
+
+    // end-to-end drift gates: decoded detections and mAP must not move
+    let nc = detector.config().num_classes;
+    let decode = |outs: &[(Tensor, Tensor)]| -> Vec<Vec<Detection>> {
+        outs.iter()
+            .flat_map(|(c, f)| postprocess(c, f, nc, 0.05, 0.45))
+            .collect()
+    };
+    let dets_ref = decode(&ref_outs);
+    let dets_cand = decode(&cand_outs);
+    for (i, (a, b)) in dets_ref.iter().zip(&dets_cand).enumerate() {
+        if a.len() != b.len()
+            || a.iter()
+                .zip(b)
+                .any(|(x, y)| x.class != y.class || x.head != y.head)
+        {
+            return Err(format!(
+                "decoded detections drifted between tiers on frame {i} \
+                 ({} vs {} detections)",
+                a.len(),
+                b.len()
+            )
+            .into());
+        }
+    }
+    let frames_of = |dets: Vec<Vec<Detection>>| -> Vec<(Vec<Detection>, Vec<GtBox>)> {
+        dets.into_iter()
+            .zip(&samples)
+            .map(|(d, s)| (d, s.boxes.clone()))
+            .collect()
+    };
+    let map_ref = mean_average_precision(&frames_of(dets_ref), 0.5);
+    let map_cand = mean_average_precision(&frames_of(dets_cand), 0.5);
+    if map_ref.to_bits() != map_cand.to_bits() {
+        return Err(format!("mAP drifted between tiers: {map_ref} vs {map_cand}").into());
+    }
+
+    // attack-metric drift gate: PWC/CWC of the trained decal must agree
+    let deployment = deploy(&serial.decal.decal, &scenario);
+    let ecfg = EvalConfig {
+        conf_threshold: 0.05,
+        ..EvalConfig::smoke(13)
+    };
+    let challenge_at = |t: Tier| {
+        tier::set_tier(t);
+        let o = evaluate_challenge(
+            &scenario,
+            &deployment,
+            &detector,
+            &ps_det,
+            ObjectClass::Bicycle,
+            Challenge::Rotation(RotationSetting::Fix),
+            &ecfg,
+        );
+        tier::set_tier(Tier::Reference);
+        o
+    };
+    let cell_ref = challenge_at(Tier::Reference);
+    let cell_cand = challenge_at(cand);
+    if cell_ref.cell != cell_cand.cell || cell_ref.victim_detected != cell_cand.victim_detected {
+        return Err(format!(
+            "challenge cell drifted between tiers: PWC {} vs {}, CWC {} vs {}",
+            cell_ref.cell.pwc, cell_cand.cell.pwc, cell_ref.cell.cwc, cell_cand.cell.cwc
+        )
+        .into());
+    }
+    println!(
+        "gates: thread-invariant, within certificate, zero mAP/PWC/CWC drift \
+         (mAP {map_ref:.3}, PWC {:.2}, CWC {})",
+        cell_ref.cell.pwc, cell_ref.cell.cwc
+    );
+
+    let tier_speedup = ref_1s / cand_1s;
+    let tier_speedup_n = ref_ns / cand_ns;
+    println!(
+        "reference: {:.1} frames/sec serial, {:.1} at {threads} threads",
+        fps(ref_1s),
+        fps(ref_ns)
+    );
+    println!(
+        "{}:      {:.1} frames/sec serial, {:.1} at {threads} threads — {tier_speedup:.2}x serial",
+        cand.label(),
+        fps(cand_1s),
+        fps(cand_ns)
+    );
+    // the 1.5x floor is the PR's acceptance bar; quick CI runs are too
+    // short/noisy to hard-gate a wall-clock ratio on
+    if !quick && cand == Tier::Fast && tier_speedup < 1.5 {
+        return Err(format!(
+            "fast tier is only {tier_speedup:.2}x the scalar reference (need >= 1.5x)"
+        )
+        .into());
+    }
+
+    let tier_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr7_fast_tier\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"host_logical_cpus\": {cpus},\n",
+            "  \"threads_requested\": {treq},\n",
+            "  \"threads_effective\": {teff},\n",
+            "  \"tier\": \"{tier}\",\n",
+            "  \"backend\": \"{backend}\",\n",
+            "  \"frames\": {frames},\n",
+            "  \"reference\": {{ \"fps_serial\": {r1:.1}, \"fps_parallel\": {rn:.1} }},\n",
+            "  \"candidate\": {{ \"fps_serial\": {c1:.1}, \"fps_parallel\": {cn:.1} }},\n",
+            "  \"speedup_serial\": {su1:.3},\n",
+            "  \"speedup_parallel\": {sun:.3},\n",
+            "  \"certificate\": [\n",
+            "    {{ \"head\": 0, \"bound_abs\": {b0:.3e}, \"bound_ulps\": {bu0:.1}, ",
+            "\"observed_abs\": {o0:.3e}, \"observed_ulps\": {ou0:.3e} }},\n",
+            "    {{ \"head\": 1, \"bound_abs\": {b1:.3e}, \"bound_ulps\": {bu1:.1}, ",
+            "\"observed_abs\": {o1:.3e}, \"observed_ulps\": {ou1:.3e} }}\n",
+            "  ],\n",
+            "  \"within_certificate\": true,\n",
+            "  \"thread_deterministic\": true,\n",
+            "  \"map\": {map:.4},\n",
+            "  \"challenge\": {{ \"pwc\": {pwc:.4}, \"cwc\": {cwc} }},\n",
+            "  \"zero_metric_drift\": true\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        cpus = host_cpus,
+        treq = threads_requested,
+        teff = threads_effective,
+        tier = cand.label(),
+        backend = backend.label(),
+        frames = n_frames,
+        r1 = fps(ref_1s),
+        rn = fps(ref_ns),
+        c1 = fps(cand_1s),
+        cn = fps(cand_ns),
+        su1 = tier_speedup,
+        sun = tier_speedup_n,
+        b0 = cert[0].max_abs_err,
+        bu0 = cert[0].ulps_at_scale,
+        o0 = observed[0],
+        ou0 = obs_ulps[0],
+        b1 = cert[1].max_abs_err,
+        bu1 = cert[1].ulps_at_scale,
+        o1 = observed[1],
+        ou1 = obs_ulps[1],
+        map = map_ref,
+        pwc = cell_ref.cell.pwc,
+        cwc = cell_ref.cell.cwc,
+    );
+    std::fs::write(&tier_out, &tier_json).map_err(|e| format!("cannot write {tier_out}: {e}"))?;
+    println!("wrote {tier_out}");
     Ok(())
 }

@@ -52,6 +52,20 @@ struct Report {
     bound_ulps: Option<f64>,
 }
 
+impl Report {
+    /// The highest execution tier this plan certifies under: inference
+    /// plans with a finite f32x8-fma bound may run the fast tier;
+    /// training/gradient plans (and plans whose bound failed to
+    /// certify) stay on the scalar reference, which is the oracle
+    /// itself and needs no certificate.
+    fn certified_tier(&self) -> &'static str {
+        match self.bound_ulps {
+            Some(u) if u.is_finite() => "fast",
+            _ => "reference",
+        }
+    }
+}
+
 /// Audits one plan: lints + liveness statistics + (for inference
 /// plans over `[input_lo, input_hi]` inputs) the candidate-kernel
 /// ulp-bound certificate.
@@ -191,15 +205,22 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- render ------------------------------------------------------
     println!(
-        "{:<24} {:<6} {:>5} {:>6} {:>6} {:>14} {:>16}",
-        "plan", "kind", "ops", "convs", "slots", "peak-live f32", "f32x8 bound ulps"
+        "{:<24} {:<6} {:>5} {:>6} {:>6} {:>14} {:>16} {:>10}",
+        "plan", "kind", "ops", "convs", "slots", "peak-live f32", "f32x8 bound ulps", "tier"
     );
     let mut failed = false;
     for r in &reports {
         let bound = r.bound_ulps.map_or("-".to_string(), |u| format!("{u:.3}"));
         println!(
-            "{:<24} {:<6} {:>5} {:>6} {:>6} {:>14} {:>16}",
-            r.tag, r.kind, r.ops, r.convs, r.slots, r.peak_live_f32, bound
+            "{:<24} {:<6} {:>5} {:>6} {:>6} {:>14} {:>16} {:>10}",
+            r.tag,
+            r.kind,
+            r.ops,
+            r.convs,
+            r.slots,
+            r.peak_live_f32,
+            bound,
+            r.certified_tier()
         );
         for i in &r.issues {
             failed = true;
@@ -217,7 +238,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| {
             format!(
                 "    {{\"tag\": \"{}\", \"kind\": \"{}\", \"ops\": {}, \"convs\": {}, \
-                 \"slots\": {}, \"peak_live_f32\": {}, \"issues\": {}, \"bound_ulps\": {}}}",
+                 \"slots\": {}, \"peak_live_f32\": {}, \"issues\": {}, \"bound_ulps\": {}, \
+                 \"certified_tier\": \"{}\"}}",
                 r.tag,
                 r.kind,
                 r.ops,
@@ -227,6 +249,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 r.issues.len(),
                 r.bound_ulps
                     .map_or("null".to_string(), |u| format!("{u:.6}")),
+                r.certified_tier(),
             )
         })
         .collect();

@@ -11,7 +11,10 @@ use std::sync::OnceLock;
 
 use rand::Rng;
 
-use rd_tensor::{init, BatchStats, Graph, InferPlan, ParamId, ParamSet, Tensor, TrainPlan, VarId};
+use rd_tensor::{
+    init, shape::conv_out_dim, BatchStats, Graph, InferPlan, ParamId, ParamSet, Tensor, TrainPlan,
+    VarId,
+};
 
 use crate::anchors::ANCHORS_PER_HEAD;
 
@@ -103,8 +106,8 @@ impl ConvBlock {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
         let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
-        let ho = (xs[2] + 2 * self.pad).saturating_sub(ws[2]) / self.stride + 1;
-        let wo = (xs[3] + 2 * self.pad).saturating_sub(ws[3]) / self.stride + 1;
+        let ho = conv_out_dim("h", xs[2], ws[2], self.pad, self.stride);
+        let wo = conv_out_dim("w", xs[3], ws[3], self.pad, self.stride);
         let y = g.declare(
             "conv2d",
             &[x, w],
@@ -191,8 +194,8 @@ impl HeadConv {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
         let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
-        let ho = xs[2].saturating_sub(ws[2]) + 1;
-        let wo = xs[3].saturating_sub(ws[3]) + 1;
+        let ho = conv_out_dim("h", xs[2], ws[2], 0, 1);
+        let wo = conv_out_dim("w", xs[3], ws[3], 0, 1);
         let y = g.declare(
             "conv2d",
             &[x, w],
@@ -541,8 +544,8 @@ impl TinyYolo {
                 &[
                     xs[0],
                     xs[1],
-                    xs[2].saturating_sub(2) / 2 + 1,
-                    xs[3].saturating_sub(2) / 2 + 1,
+                    conv_out_dim("h", xs[2], 2, 0, 2),
+                    conv_out_dim("w", xs[3], 2, 0, 2),
                 ],
             )
         };

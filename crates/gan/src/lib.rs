@@ -34,7 +34,9 @@ use rand::Rng;
 
 use std::sync::OnceLock;
 
-use rd_tensor::{init, optim::Adam, Graph, InferPlan, ParamId, ParamSet, Tensor, VarId};
+use rd_tensor::{
+    init, optim::Adam, shape::conv_out_dim, Graph, InferPlan, ParamId, ParamSet, Tensor, VarId,
+};
 use rd_vision::shapes::{four_shapes_sample, Shape};
 
 /// Architecture hyper-parameters.
@@ -116,8 +118,8 @@ impl GenBlock {
         let xs = g.meta(x).expected_shape.clone();
         let ws = ps.get(self.w).value().shape().to_vec();
         let w = g.declare("param", &[], &[("pid", self.w.index())], &ws);
-        let ho = (xs[2] + 2).saturating_sub(ws[2]) + 1;
-        let wo = (xs[3] + 2).saturating_sub(ws[3]) + 1;
+        let ho = conv_out_dim("h", xs[2], ws[2], 1, 1);
+        let wo = conv_out_dim("w", xs[3], ws[3], 1, 1);
         let y = g.declare(
             "conv2d",
             &[x, w],
@@ -261,8 +263,8 @@ impl Generator {
         let ys = g.meta(y).expected_shape.clone();
         let ws = ps.get(self.out_w).value().shape().to_vec();
         let ow = g.declare("param", &[], &[("pid", self.out_w.index())], &ws);
-        let ho = (ys[2] + 2).saturating_sub(ws[2]) + 1;
-        let wo = (ys[3] + 2).saturating_sub(ws[3]) + 1;
+        let ho = conv_out_dim("h", ys[2], ws[2], 1, 1);
+        let wo = conv_out_dim("w", ys[3], ws[3], 1, 1);
         let y = g.declare(
             "conv2d",
             &[y, ow],
@@ -394,8 +396,8 @@ impl Discriminator {
                 let xs = g.meta(x).expected_shape.clone();
                 let ws = ps.get(w).value().shape().to_vec();
                 let w = g.declare("param", &[], &[("pid", w.index())], &ws);
-                let ho = (xs[2] + 2).saturating_sub(ws[2]) / 2 + 1;
-                let wo = (xs[3] + 2).saturating_sub(ws[3]) / 2 + 1;
+                let ho = conv_out_dim("h", xs[2], ws[2], 1, 2);
+                let wo = conv_out_dim("w", xs[3], ws[3], 1, 2);
                 let y = g.declare(
                     "conv2d",
                     &[x, w],

@@ -332,6 +332,10 @@ pub(crate) fn im2col(
             for kj in 0..kw {
                 let row = (ch * kh + ki) * kw + kj;
                 let dst = &mut cols[row * howo..(row + 1) * howo];
+                // stride-1: the in-bounds span of each output row is one
+                // contiguous input run — pure data movement, identical
+                // values to the per-element loop below
+                let copy_rows = stride == 1;
                 for oh in 0..ho {
                     let ih = (oh * stride + ki) as isize - pad as isize;
                     if ih < 0 || ih >= h as isize {
@@ -341,6 +345,17 @@ pub(crate) fn im2col(
                         continue;
                     }
                     let ih = ih as usize;
+                    if copy_rows {
+                        // iw = ow + kj - pad must land in [0, w)
+                        let lo = pad.saturating_sub(kj).min(wo);
+                        let hi = (w + pad).saturating_sub(kj).min(wo).max(lo);
+                        let drow = &mut dst[oh * wo..(oh + 1) * wo];
+                        drow[..lo].fill(0.0);
+                        drow[hi..].fill(0.0);
+                        let src = ih * w + lo + kj - pad;
+                        drow[lo..hi].copy_from_slice(&xch[src..src + (hi - lo)]);
+                        continue;
+                    }
                     for ow in 0..wo {
                         let iw = (ow * stride + kj) as isize - pad as isize;
                         dst[oh * wo + ow] = if iw < 0 || iw >= w as isize {

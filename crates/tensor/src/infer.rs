@@ -36,6 +36,17 @@
 //! partitioning only decides *which thread* computes a sample, not the
 //! sample's arithmetic, so results are identical at any thread count —
 //! and `batched(N)` trivially equals `N` batch-1 calls.
+//!
+//! ## Execution tiers
+//!
+//! The bitwise contract above describes [`Tier::Reference`], the
+//! default. When [`crate::tier::set_tier`] selects [`Tier::Fast`], the
+//! executor routes conv GEMMs and fused epilogues through the
+//! [`crate::simd`] f32x8 kernels instead; outputs may then diverge
+//! from the tape, but only within the static per-head ulp certificate
+//! computed by `rd_analysis::bounds` for the `f32x8-fma` kernel model.
+//! The tier is latched once per [`InferExec::run`] call, so a single
+//! batch never mixes kernels.
 
 use std::sync::Mutex;
 
@@ -48,7 +59,9 @@ use crate::plan_meta::{
     simple_op, ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta,
 };
 use crate::profile;
+use crate::simd;
 use crate::tensor::{matmul_into, Tensor};
+use crate::tier::{self, Tier};
 
 /// Batch-norm parameters folded per-channel at execution time:
 /// `scale = gamma / sqrt(rvar + eps)`, `shift = beta - rmean * scale`.
@@ -59,6 +72,17 @@ struct BnFold {
     rmean: ParamId,
     rvar: ParamId,
     eps: f32,
+}
+
+/// The fused activation a conv op carries, as a fast-tier epilogue tag.
+fn conv_act(c: &ConvOp) -> simd::Act {
+    if let Some(alpha) = c.leaky {
+        simd::Act::Leaky(alpha)
+    } else if c.relu {
+        simd::Act::Relu
+    } else {
+        simd::Act::None
+    }
 }
 
 /// One (possibly fused) convolution: conv + optional bias + optional
@@ -730,8 +754,16 @@ impl InferPlan {
         InferExec::new(self).run(ps, input)
     }
 
-    /// Runs one sample already copied into `bufs`' input slot.
-    fn exec_sample(&self, ps: &ParamSet, derived: &[Option<Vec<f32>>], bufs: &mut GroupBufs) {
+    /// Runs one sample already copied into `bufs`' input slot. `fast`
+    /// routes conv GEMMs and epilogues through the [`crate::simd`]
+    /// kernels (the caller latches the tier once per run).
+    fn exec_sample(
+        &self,
+        ps: &ParamSet,
+        derived: &[Option<Vec<f32>>],
+        bufs: &mut GroupBufs,
+        fast: bool,
+    ) {
         for (oi, op) in self.ops.iter().enumerate() {
             let t0 = profile::enabled().then(std::time::Instant::now);
             match &op.kind {
@@ -753,14 +785,25 @@ impl InferPlan {
                         c.wo,
                         &mut cols[..ckk * howo],
                     );
-                    conv_gemm(
-                        ps.get(c.w).value().data(),
-                        &cols[..ckk * howo],
-                        &mut out,
-                        c.cout,
-                        ckk,
-                        howo,
-                    );
+                    if fast {
+                        simd::gemm(
+                            ps.get(c.w).value().data(),
+                            &cols[..ckk * howo],
+                            &mut out,
+                            c.cout,
+                            ckk,
+                            howo,
+                        );
+                    } else {
+                        conv_gemm(
+                            ps.get(c.w).value().data(),
+                            &cols[..ckk * howo],
+                            &mut out,
+                            c.cout,
+                            ckk,
+                            howo,
+                        );
+                    }
                     if let Some(b) = c.bias {
                         let bv = ps.get(b).value().data();
                         for ch in 0..c.cout {
@@ -781,7 +824,9 @@ impl InferPlan {
                             let scale = gv[ch] * ivstd;
                             let shift = bev[ch] - rm[ch] * scale;
                             let seg = &mut out[ch * howo..(ch + 1) * howo];
-                            if let Some(alpha) = c.leaky {
+                            if fast {
+                                simd::affine_act(seg, scale, shift, conv_act(c));
+                            } else if let Some(alpha) = c.leaky {
                                 for v in seg {
                                     let t = *v * scale + shift;
                                     *v = if t > 0.0 { t } else { alpha * t };
@@ -797,6 +842,8 @@ impl InferPlan {
                                 }
                             }
                         }
+                    } else if fast {
+                        simd::act_inplace(&mut out, conv_act(c));
                     } else if let Some(alpha) = c.leaky {
                         for v in out.iter_mut() {
                             let t = *v;
@@ -824,29 +871,36 @@ impl InferPlan {
                     let mut o = std::mem::take(&mut bufs.slots[*out]);
                     let xs = &bufs.slots[*x];
                     let (hw, howo) = (h * w, ho * wo);
-                    for ch in 0..*c {
-                        let xoff = ch * hw;
-                        let oplane = &mut o[ch * howo..(ch + 1) * howo];
-                        for oh in 0..*ho {
-                            for ow in 0..*wo {
-                                let mut best = f32::NEG_INFINITY;
-                                for ki in 0..*k {
-                                    let ih = oh * stride + ki;
-                                    if ih >= *h {
-                                        continue;
-                                    }
-                                    for kj in 0..*k {
-                                        let iw = ow * stride + kj;
-                                        if iw >= *w {
+                    if fast && *k == 2 && *stride == 2 && h.is_multiple_of(2) && w.is_multiple_of(2)
+                    {
+                        // max performs no rounding: bitwise-identical
+                        // to the loop below on non-NaN data
+                        simd::max_pool2x2(xs, &mut o, *c, *h, *w);
+                    } else {
+                        for ch in 0..*c {
+                            let xoff = ch * hw;
+                            let oplane = &mut o[ch * howo..(ch + 1) * howo];
+                            for oh in 0..*ho {
+                                for ow in 0..*wo {
+                                    let mut best = f32::NEG_INFINITY;
+                                    for ki in 0..*k {
+                                        let ih = oh * stride + ki;
+                                        if ih >= *h {
                                             continue;
                                         }
-                                        let v = xs[xoff + ih * w + iw];
-                                        if v > best {
-                                            best = v;
+                                        for kj in 0..*k {
+                                            let iw = ow * stride + kj;
+                                            if iw >= *w {
+                                                continue;
+                                            }
+                                            let v = xs[xoff + ih * w + iw];
+                                            if v > best {
+                                                best = v;
+                                            }
                                         }
                                     }
+                                    oplane[oh * wo + ow] = best;
                                 }
-                                oplane[oh * wo + ow] = best;
                             }
                         }
                     }
@@ -992,6 +1046,8 @@ impl<'p> InferExec<'p> {
         );
         let n = input.shape()[0];
         assert!(n > 0, "infer batch must be non-empty");
+        // latched once: a batch never mixes kernel tiers
+        let fast = tier::current() == Tier::Fast;
         let groups = parallel::groups_for(n);
         self.ensure(groups);
         let per = n.div_ceil(groups);
@@ -1057,7 +1113,7 @@ impl<'p> InferExec<'p> {
             for li in 0..counts[gi] {
                 let ni = start + li;
                 bufs.slots[plan.input_slot].copy_from_slice(&xin[ni * in_len..(ni + 1) * in_len]);
-                plan.exec_sample(ps, &derived, bufs);
+                plan.exec_sample(ps, &derived, bufs, fast);
                 for (oi, &slot) in plan.outputs.iter().enumerate() {
                     let olen = plan.slot_lens[slot];
                     ochunks[oi][li * olen..(li + 1) * olen]

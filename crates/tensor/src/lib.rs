@@ -66,8 +66,11 @@ mod params;
 pub mod plan_meta;
 mod pool;
 pub mod profile;
+pub mod shape;
+pub mod simd;
 mod smallvec;
 mod tensor;
+pub mod tier;
 pub mod train_plan;
 
 pub use bnorm::BatchStats;
@@ -78,4 +81,5 @@ pub use params::{Param, ParamId, ParamSet};
 pub use plan_meta::{ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta};
 pub use smallvec::SmallVec;
 pub use tensor::Tensor;
+pub use tier::Tier;
 pub use train_plan::{TrainPlan, TrainStep};

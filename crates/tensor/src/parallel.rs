@@ -27,25 +27,45 @@ pub const MAX_GROUPS: usize = 8;
 /// Global thread budget; 0 means "auto" (use `available_parallelism`).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// The host's logical CPU count (floor of 1).
+pub fn host_logical_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Sets the worker-thread budget for all subsequent parallel loops.
 ///
 /// `0` restores the default (the host's available parallelism). `1`
 /// forces fully serial execution. The setting is global and applies to
 /// conv/pool/warp kernels as well as the attack-loop frame fan-out.
+///
+/// Requests above [`host_logical_cpus`] are stored as-is (see
+/// [`requested_max_threads`]) but [`max_threads`] clamps the effective
+/// budget to the host: oversubscribing a smaller machine only adds
+/// scheduler thrash — the partitioning (and therefore the numerics) is
+/// group-based and unaffected either way.
 pub fn set_max_threads(n: usize) {
     MAX_THREADS.store(n, Ordering::SeqCst);
 }
 
-/// Returns the current worker-thread budget (resolving "auto" to the
-/// host's available parallelism, with a floor of 1).
+/// Returns the raw budget passed to [`set_max_threads`] (0 = auto),
+/// before the host clamp. Benches report this next to the effective
+/// [`max_threads`] so oversubscribed configs are visible.
+pub fn requested_max_threads() -> usize {
+    MAX_THREADS.load(Ordering::SeqCst)
+}
+
+/// Returns the current *effective* worker-thread budget: the requested
+/// budget clamped to [`host_logical_cpus`], with "auto" (0) resolving
+/// to the host's available parallelism and a floor of 1.
 pub fn max_threads() -> usize {
+    let host = host_logical_cpus();
     let n = MAX_THREADS.load(Ordering::SeqCst);
     if n == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+        host
     } else {
-        n
+        n.min(host).max(1)
     }
 }
 
@@ -195,13 +215,18 @@ mod tests {
     }
 
     #[test]
-    fn workers_never_exceed_groups() {
+    fn workers_never_exceed_groups_or_host() {
+        let host = host_logical_cpus();
         set_max_threads(16);
-        assert_eq!(workers_for(3), 3);
+        assert_eq!(requested_max_threads(), 16);
+        assert_eq!(max_threads(), 16.min(host));
+        assert_eq!(workers_for(3), 16.min(host).min(3));
         assert_eq!(workers_for(0), 1);
         set_max_threads(2);
-        assert_eq!(workers_for(8), 2);
+        assert_eq!(workers_for(8), 2.min(host));
         set_max_threads(0);
+        assert_eq!(requested_max_threads(), 0);
+        assert_eq!(max_threads(), host);
     }
 
     #[test]
@@ -230,8 +255,11 @@ mod tests {
     #[test]
     fn nested_calls_run_inline() {
         set_max_threads(4);
+        // With the host clamp, a 1-CPU machine legitimately runs the
+        // outer loop inline on the calling thread.
+        let spawns = workers_for(4) > 1;
         let out = run_indexed(4, |i| {
-            assert!(in_worker());
+            assert_eq!(in_worker(), spawns);
             let inner = run_indexed(3, move |j| i * 10 + j);
             inner.iter().sum::<usize>()
         });

@@ -1,0 +1,1260 @@
+//! f32x8 fast-tier microkernels for the compiled engines.
+//!
+//! This is the one module in the workspace allowed to contain `unsafe`
+//! (the workspace-wide lint is `unsafe_code = "deny"`): the AVX2+FMA
+//! kernels below use `std::arch` intrinsics behind a runtime feature
+//! check. Every other crate keeps the deny.
+//!
+//! # Contract
+//!
+//! These kernels implement [`Tier::Fast`](crate::tier::Tier): they may
+//! contract `mul`+`add` into FMA and (for the dot-product kernel)
+//! re-associate the reduction into eight lanes, so their results are
+//! **not** bitwise-identical to the scalar reference in
+//! [`crate::conv`]. They are instead covered by the static
+//! `f32x8-fma` ulp certificate from `rd_analysis::bounds`: per output
+//! element the divergence stays within `2·γ(k)·Σ|aᵢ·bᵢ|` of the
+//! reference, the forward-error model the certifier propagates to the
+//! logits. The equivalence proptests at the bottom of this module
+//! check exactly that bound per kernel.
+//!
+//! # Backends
+//!
+//! [`backend`] picks once per process:
+//!
+//! * [`Backend::Avx2Fma`] — `std::arch` 8-lane kernels, selected when
+//!   the host reports AVX2 *and* FMA (checked at runtime, not compile
+//!   time) and `RD_NO_SIMD` is unset.
+//! * [`Backend::Portable`] — safe scalar-unrolled kernels processing
+//!   the same 8/64-wide tiles. The forward GEMM keeps the reference's
+//!   exact k-ascending `mul`+`add` sequence (bitwise-identical on
+//!   finite data); the reductions mimic the 8-lane partial-sum shape
+//!   without FMA, so one certificate covers both backends.
+//!
+//! # Cache blocking
+//!
+//! The forward GEMM tiles the im2col output grid into 64-column
+//! panels (eight f32x8 accumulators) and blocks the reduction into
+//! 256-row slabs of the column matrix, so the active B panel stays
+//! cache-resident across the weight rows. Spilling accumulators to the
+//! output between k-blocks stores/reloads exact `f32` values, so the
+//! blocking never changes a rounding — per element the sequence is
+//! still one k-ascending FMA chain.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Output-column tile width: eight f32x8 accumulators.
+const NR: usize = 64;
+/// Reduction block: B-panel rows kept cache-resident per tile.
+const KC: usize = 256;
+
+/// Fused epilogue activation applied after `x·scale + shift`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Act {
+    /// Affine only.
+    None,
+    /// `t > 0 ? t : α·t`.
+    Leaky(f32),
+    /// `max(t, 0)`.
+    Relu,
+}
+
+/// Which kernel implementation the fast tier runs on this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// `std::arch` AVX2+FMA 8-lane kernels.
+    Avx2Fma,
+    /// Safe scalar-unrolled fallback with the same tile structure.
+    Portable,
+}
+
+impl Backend {
+    /// Stable label for reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Avx2Fma => "avx2+fma",
+            Backend::Portable => "portable-unrolled",
+        }
+    }
+
+    /// Runtime dispatch rule, split out so tests can drive both
+    /// outcomes: AVX2+FMA only when the host reports both features and
+    /// SIMD is not disabled (`simd_disabled` mirrors the `RD_NO_SIMD`
+    /// environment switch). On non-x86_64 hosts this is always
+    /// [`Backend::Portable`].
+    pub fn select(simd_disabled: bool) -> Backend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !simd_disabled && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            {
+                return Backend::Avx2Fma;
+            }
+        }
+        let _ = simd_disabled;
+        Backend::Portable
+    }
+}
+
+/// The backend the fast tier uses in this process, detected once.
+/// Set `RD_NO_SIMD=1` to force the portable fallback on any host.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(|| Backend::select(std::env::var_os("RD_NO_SIMD").is_some()))
+}
+
+/// GEMM `out = a[m,k] × b[k,n]`, overwrite mode (no zeroing needed).
+///
+/// Fast-tier counterpart of [`crate::conv`]'s `conv_gemm`.
+pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out[..m * n].fill(0.0);
+        return;
+    }
+    match backend() {
+        // SAFETY: `backend()` returned Avx2Fma only after runtime
+        // detection of both `avx2` and `fma` on this CPU.
+        Backend::Avx2Fma => unsafe { avx2::gemm(a, b, out, m, k, n) },
+        Backend::Portable => portable::gemm(a, b, out, m, k, n),
+    }
+}
+
+/// `out[m,n] += a[m,k] × b[n,k]ᵀ` (row–row dot products).
+///
+/// Fast-tier counterpart of [`crate::conv`]'s `gemm_nt` (conv
+/// backward's grad-weight GEMM). The reduction over `k` runs as eight
+/// partial lanes folded in a fixed order, so it re-associates relative
+/// to the reference — covered by the `f32x8-fma` model.
+pub fn gemm_nt_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && out.len() >= m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`.
+        Backend::Avx2Fma => unsafe { avx2::gemm_nt_acc(a, b, out, m, k, n) },
+        Backend::Portable => portable::gemm_nt_acc(a, b, out, m, k, n),
+    }
+}
+
+/// `out[m,n] = a[k,m]ᵀ × b[k,n]`, overwrite mode.
+///
+/// Fast-tier counterpart of [`crate::conv`]'s `gemm_tn_over` (conv
+/// backward's grad-input GEMM). Per output element the sum stays
+/// p-ascending; only FMA contraction (and the sign of exact zeros)
+/// differs from the reference.
+pub fn gemm_tn_over(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+    debug_assert!(a.len() >= k * m && b.len() >= k * n && out.len() >= m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out[..m * n].fill(0.0);
+        return;
+    }
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`.
+        Backend::Avx2Fma => unsafe { avx2::gemm_tn_over(a, b, out, k, m, n) },
+        Backend::Portable => portable::gemm_tn_over(a, b, out, k, m, n),
+    }
+}
+
+/// Fused conv epilogue: `v = act(v·scale + shift)` over a channel
+/// segment. The reference computes the same chain with separate
+/// `mul`+`add`; the AVX2 path contracts it to one FMA per element.
+pub fn affine_act(seg: &mut [f32], scale: f32, shift: f32, act: Act) {
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`.
+        Backend::Avx2Fma => unsafe { avx2::affine_act(seg, scale, shift, act) },
+        Backend::Portable => portable::affine_act(seg, scale, shift, act),
+    }
+}
+
+/// 2×2 stride-2 max-pool over a CHW tensor with even `h`, `w`.
+///
+/// `max` performs no rounding, so this is **bitwise identical** to the
+/// reference pooling loop on non-NaN data regardless of backend — it
+/// is still only dispatched on the fast tier to keep the reference
+/// tier's instruction sequence byte-for-byte scalar.
+///
+/// # Panics
+///
+/// Debug-asserts the 2×2/stride-2 shape contract.
+pub fn max_pool2x2(xs: &[f32], out: &mut [f32], c: usize, h: usize, w: usize) {
+    debug_assert!(
+        h.is_multiple_of(2) && w.is_multiple_of(2),
+        "max_pool2x2 needs even dims"
+    );
+    debug_assert!(xs.len() >= c * h * w && out.len() >= c * (h / 2) * (w / 2));
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`.
+        Backend::Avx2Fma => unsafe { avx2::max_pool2x2(xs, out, c, h, w) },
+        Backend::Portable => portable::max_pool2x2(xs, out, c, h, w),
+    }
+}
+
+/// Standalone activation over a buffer (conv epilogue without a fused
+/// batch norm). Value-identical to the reference branches.
+pub fn act_inplace(seg: &mut [f32], act: Act) {
+    match act {
+        Act::None => {}
+        _ => match backend() {
+            // SAFETY: AVX2+FMA presence established by `backend()`.
+            Backend::Avx2Fma => unsafe { avx2::act_inplace(seg, act) },
+            Backend::Portable => portable::act_inplace(seg, act),
+        },
+    }
+}
+
+/// Safe scalar-unrolled fallback kernels (also the only backend on
+/// non-x86_64 hosts). Public so the dispatch tests can pin this path
+/// regardless of the host CPU.
+pub mod portable {
+    use super::{Act, NR};
+
+    /// Portable [`super::gemm`]: 64-column tiles, per element the exact
+    /// k-ascending `mul`+`add` (zero-skipping) sequence of the scalar
+    /// reference — bitwise-identical to it on finite data.
+    pub fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let mut jb = 0;
+        while jb < n {
+            let jw = NR.min(n - jb);
+            for i in 0..m {
+                let mut acc = [0.0f32; NR];
+                let acc = &mut acc[..jw];
+                for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n + jb..kk * n + jb + jw];
+                    for (s, &bv) in acc.iter_mut().zip(brow) {
+                        *s += av * bv;
+                    }
+                }
+                out[i * n + jb..i * n + jb + jw].copy_from_slice(acc);
+            }
+            jb += jw;
+        }
+    }
+
+    /// Portable [`super::gemm_nt_acc`]: eight k-strided partial sums
+    /// folded pairwise — the 8-lane reduction shape without FMA.
+    pub fn gemm_nt_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let kv = k / 8 * 8;
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = [0.0f32; 8];
+                let mut kk = 0;
+                while kk < kv {
+                    for (t, s) in acc.iter_mut().enumerate() {
+                        *s += arow[kk + t] * brow[kk + t];
+                    }
+                    kk += 8;
+                }
+                let mut tail = 0.0f32;
+                for t in kv..k {
+                    tail += arow[t] * brow[t];
+                }
+                let s = ((acc[0] + acc[1]) + (acc[2] + acc[3]))
+                    + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+                    + tail;
+                out[i * n + j] += s;
+            }
+        }
+    }
+
+    /// Portable [`super::gemm_tn_over`]: 64-column tiles accumulated
+    /// p-ascending with the reference's zero-skip; only the sign of
+    /// exact zeros can differ from the reference's overwrite mode.
+    pub fn gemm_tn_over(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize) {
+        let mut jb = 0;
+        while jb < n {
+            let jw = NR.min(n - jb);
+            for i in 0..m {
+                let mut acc = [0.0f32; NR];
+                let acc = &mut acc[..jw];
+                for p in 0..k {
+                    let av = a[p * m + i];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n + jb..p * n + jb + jw];
+                    for (s, &bv) in acc.iter_mut().zip(brow) {
+                        *s += av * bv;
+                    }
+                }
+                out[i * n + jb..i * n + jb + jw].copy_from_slice(acc);
+            }
+            jb += jw;
+        }
+    }
+
+    /// Portable [`super::affine_act`]: the reference epilogue verbatim.
+    pub fn affine_act(seg: &mut [f32], scale: f32, shift: f32, act: Act) {
+        match act {
+            Act::None => {
+                for v in seg {
+                    *v = *v * scale + shift;
+                }
+            }
+            Act::Leaky(alpha) => {
+                for v in seg {
+                    let t = *v * scale + shift;
+                    *v = if t > 0.0 { t } else { alpha * t };
+                }
+            }
+            Act::Relu => {
+                for v in seg {
+                    *v = (*v * scale + shift).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// Portable [`super::max_pool2x2`]: branch-free row-pair maxima.
+    pub fn max_pool2x2(xs: &[f32], out: &mut [f32], c: usize, h: usize, w: usize) {
+        let (ho, wo) = (h / 2, w / 2);
+        let (hw, howo) = (h * w, ho * wo);
+        for ch in 0..c {
+            let plane = &xs[ch * hw..(ch + 1) * hw];
+            let oplane = &mut out[ch * howo..(ch + 1) * howo];
+            for oh in 0..ho {
+                let r0 = &plane[2 * oh * w..2 * oh * w + w];
+                let r1 = &plane[(2 * oh + 1) * w..(2 * oh + 1) * w + w];
+                for (ow, o) in oplane[oh * wo..(oh + 1) * wo].iter_mut().enumerate() {
+                    let j = 2 * ow;
+                    *o = r0[j].max(r0[j + 1]).max(r1[j].max(r1[j + 1]));
+                }
+            }
+        }
+    }
+
+    /// Portable [`super::act_inplace`]: the reference branches verbatim.
+    pub fn act_inplace(seg: &mut [f32], act: Act) {
+        match act {
+            Act::None => {}
+            Act::Leaky(alpha) => {
+                for v in seg {
+                    let t = *v;
+                    *v = if t > 0.0 { t } else { alpha * t };
+                }
+            }
+            Act::Relu => {
+                for v in seg {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! `std::arch` AVX2+FMA kernels. Every function here is
+    //! `unsafe fn` + `#[target_feature]`: callers must have verified
+    //! AVX2 and FMA at runtime (see [`super::backend`]).
+
+    use super::{Act, KC, NR};
+    use std::arch::x86_64::*;
+
+    /// Horizontal sum of one f32x8 vector in a fixed lane order.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let q = _mm_add_ps(lo, hi);
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(d, _mm_shuffle_ps::<1>(d, d));
+        _mm_cvtss_f32(s)
+    }
+
+    /// One (row, 8·NV-column, k-block) GEMM tile: `NV` accumulators,
+    /// k-ascending FMA chain, spilled exactly between k-blocks.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 8·NV]` in bounds, and
+    /// `b[kk·n + jb + 8·NV − 1]` in bounds for every `kk` in the block.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gemm_tile<const NV: usize>(
+        arow: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        jb: usize,
+        n: usize,
+        kb: usize,
+        kw: usize,
+        first: bool,
+    ) {
+        let mut acc = [_mm256_setzero_ps(); NV];
+        let op = orow.as_mut_ptr().add(jb);
+        if !first {
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm256_loadu_ps(op.add(t * 8));
+            }
+        }
+        for kk in kb..kb + kw {
+            let av = _mm256_set1_ps(arow[kk]);
+            let bp = b.as_ptr().add(kk * n + jb);
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(t * 8)), *s);
+            }
+        }
+        for (t, s) in acc.iter().enumerate() {
+            _mm256_storeu_ps(op.add(t * 8), *s);
+        }
+    }
+
+    /// One (row, 16-column, k-block) tile: two f32x8 accumulators per
+    /// column pair, each split into two k-strided partial chains. A
+    /// 16-wide tile has too few independent 8-lane accumulators to
+    /// cover the FMA latency, so the k-split buys the missing ILP; the
+    /// reassociation is covered by the `f32x8-fma` certificate.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 16]` in bounds, and
+    /// `b[kk·n + jb + 15]` in bounds for every `kk` in the block.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gemm_tile16(
+        arow: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        jb: usize,
+        n: usize,
+        kb: usize,
+        kw: usize,
+        first: bool,
+    ) {
+        let bp = b.as_ptr();
+        let (mut a0, mut a1) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+        let (mut c0, mut c1) = (_mm256_setzero_ps(), _mm256_setzero_ps());
+        let kend = kb + kw;
+        let mut kk = kb;
+        while kk + 2 <= kend {
+            let av0 = _mm256_set1_ps(arow[kk]);
+            let av1 = _mm256_set1_ps(arow[kk + 1]);
+            let r0 = bp.add(kk * n + jb);
+            let r1 = bp.add((kk + 1) * n + jb);
+            a0 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(r0), a0);
+            c0 = _mm256_fmadd_ps(av0, _mm256_loadu_ps(r0.add(8)), c0);
+            a1 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(r1), a1);
+            c1 = _mm256_fmadd_ps(av1, _mm256_loadu_ps(r1.add(8)), c1);
+            kk += 2;
+        }
+        if kk < kend {
+            let av = _mm256_set1_ps(arow[kk]);
+            let r = bp.add(kk * n + jb);
+            a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(r), a0);
+            c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(r.add(8)), c0);
+        }
+        let mut va = _mm256_add_ps(a0, a1);
+        let mut vc = _mm256_add_ps(c0, c1);
+        let op = orow.as_mut_ptr().add(jb);
+        if !first {
+            va = _mm256_add_ps(va, _mm256_loadu_ps(op));
+            vc = _mm256_add_ps(vc, _mm256_loadu_ps(op.add(8)));
+        }
+        _mm256_storeu_ps(op, va);
+        _mm256_storeu_ps(op.add(8), vc);
+    }
+
+    /// One (row, 8-column, k-block) tile: a single f32x8 accumulator
+    /// split into four k-strided partial chains for ILP (same
+    /// reassociated shape as [`gemm_tile16`]).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 8]` in bounds, and
+    /// `b[kk·n + jb + 7]` in bounds for every `kk` in the block.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gemm_tile8(
+        arow: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        jb: usize,
+        n: usize,
+        kb: usize,
+        kw: usize,
+        first: bool,
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = [_mm256_setzero_ps(); 4];
+        let kend = kb + kw;
+        let mut kk = kb;
+        while kk + 4 <= kend {
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm256_fmadd_ps(
+                    _mm256_set1_ps(arow[kk + t]),
+                    _mm256_loadu_ps(bp.add((kk + t) * n + jb)),
+                    *s,
+                );
+            }
+            kk += 4;
+        }
+        while kk < kend {
+            acc[0] = _mm256_fmadd_ps(
+                _mm256_set1_ps(arow[kk]),
+                _mm256_loadu_ps(bp.add(kk * n + jb)),
+                acc[0],
+            );
+            kk += 1;
+        }
+        let mut v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+        let op = orow.as_mut_ptr().add(jb);
+        if !first {
+            v = _mm256_add_ps(v, _mm256_loadu_ps(op));
+        }
+        _mm256_storeu_ps(op, v);
+    }
+
+    /// One (row, 4-column, k-block) tile for narrow j-tails: 128-bit
+    /// lanes with four k-strided partial chains folded pairwise. The
+    /// extra chains buy ILP on latency-bound tiny grids (a 2×2 head
+    /// grid is one of these tiles); the reassociation is covered by
+    /// the `f32x8-fma` certificate like the 8-lane reductions.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 4]` in bounds, and
+    /// `b[kk·n + jb + 3]` in bounds for every `kk` in the block.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gemm_tile4(
+        arow: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        jb: usize,
+        n: usize,
+        kb: usize,
+        kw: usize,
+        first: bool,
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = [_mm_setzero_ps(); 4];
+        let kend = kb + kw;
+        let mut kk = kb;
+        while kk + 4 <= kend {
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm_fmadd_ps(
+                    _mm_set1_ps(arow[kk + t]),
+                    _mm_loadu_ps(bp.add((kk + t) * n + jb)),
+                    *s,
+                );
+            }
+            kk += 4;
+        }
+        while kk < kend {
+            acc[0] = _mm_fmadd_ps(
+                _mm_set1_ps(arow[kk]),
+                _mm_loadu_ps(bp.add(kk * n + jb)),
+                acc[0],
+            );
+            kk += 1;
+        }
+        let mut v = _mm_add_ps(_mm_add_ps(acc[0], acc[1]), _mm_add_ps(acc[2], acc[3]));
+        let op = orow.as_mut_ptr().add(jb);
+        if !first {
+            v = _mm_add_ps(v, _mm_loadu_ps(op));
+        }
+        _mm_storeu_ps(op, v);
+    }
+
+    /// One leftover output column (< 4 remaining): scalar FMA over four
+    /// k-strided partial chains, folded pairwise.
+    ///
+    /// # Safety
+    ///
+    /// Requires FMA (for `mul_add` to lower to `vfmadd`); all indexing
+    /// is bounds-checked slice access.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn gemm_col(
+        arow: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        j: usize,
+        n: usize,
+        kb: usize,
+        kw: usize,
+        first: bool,
+    ) {
+        let mut s = [0.0f32; 4];
+        let kend = kb + kw;
+        let mut kk = kb;
+        while kk + 4 <= kend {
+            for (t, st) in s.iter_mut().enumerate() {
+                *st = arow[kk + t].mul_add(b[(kk + t) * n + j], *st);
+            }
+            kk += 4;
+        }
+        while kk < kend {
+            s[0] = arow[kk].mul_add(b[kk * n + j], s[0]);
+            kk += 1;
+        }
+        let mut v = (s[0] + s[1]) + (s[2] + s[3]);
+        if !first {
+            v += orow[j];
+        }
+        orow[j] = v;
+    }
+
+    /// AVX2 [`super::gemm`]: j-tiled (NR columns), k-blocked (KC rows).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and the slice extents asserted by the caller.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        let mut jb = 0;
+        while jb < n {
+            let jw = NR.min(n - jb);
+            let nv = jw / 8;
+            let jtail = jb + nv * 8;
+            let mut kb = 0;
+            while kb < k {
+                let kw = KC.min(k - kb);
+                let first = kb == 0;
+                for i in 0..m {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    match nv {
+                        8 => gemm_tile::<8>(arow, b, orow, jb, n, kb, kw, first),
+                        7 => gemm_tile::<7>(arow, b, orow, jb, n, kb, kw, first),
+                        6 => gemm_tile::<6>(arow, b, orow, jb, n, kb, kw, first),
+                        5 => gemm_tile::<5>(arow, b, orow, jb, n, kb, kw, first),
+                        4 => gemm_tile::<4>(arow, b, orow, jb, n, kb, kw, first),
+                        3 => gemm_tile::<3>(arow, b, orow, jb, n, kb, kw, first),
+                        // narrow tiles: k-split chains for ILP
+                        2 => gemm_tile16(arow, b, orow, jb, n, kb, kw, first),
+                        1 => gemm_tile8(arow, b, orow, jb, n, kb, kw, first),
+                        _ => {}
+                    }
+                    let mut j = jtail;
+                    while j + 4 <= jb + jw {
+                        gemm_tile4(arow, b, orow, j, n, kb, kw, first);
+                        j += 4;
+                    }
+                    while j < jb + jw {
+                        gemm_col(arow, b, orow, j, n, kb, kw, first);
+                        j += 1;
+                    }
+                }
+                kb += kw;
+            }
+            jb += jw;
+        }
+    }
+
+    /// AVX2 [`super::gemm_nt_acc`]: four f32x8 lanes over `k`, folded
+    /// `((l0+l1)+(l2+l3))` then horizontally, scalar-FMA tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and the slice extents asserted by the caller.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_nt_acc(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let ap = arow.as_ptr();
+                let bp = brow.as_ptr();
+                let mut acc = [_mm256_setzero_ps(); 4];
+                let mut kk = 0;
+                while kk + 32 <= k {
+                    for (t, s) in acc.iter_mut().enumerate() {
+                        *s = _mm256_fmadd_ps(
+                            _mm256_loadu_ps(ap.add(kk + t * 8)),
+                            _mm256_loadu_ps(bp.add(kk + t * 8)),
+                            *s,
+                        );
+                    }
+                    kk += 32;
+                }
+                while kk + 8 <= k {
+                    acc[0] = _mm256_fmadd_ps(
+                        _mm256_loadu_ps(ap.add(kk)),
+                        _mm256_loadu_ps(bp.add(kk)),
+                        acc[0],
+                    );
+                    kk += 8;
+                }
+                let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+                let mut s = hsum(v);
+                while kk < k {
+                    s = arow[kk].mul_add(brow[kk], s);
+                    kk += 1;
+                }
+                out[i * n + j] += s;
+            }
+        }
+    }
+
+    /// One (row, 8·NV-column) grad-input tile: accumulators over the
+    /// full p range, p-ascending FMA chain.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 8·NV]` in bounds, and
+    /// `b[p·n + jb + 8·NV − 1]` in bounds for every `p < k`.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tn_tile<const NV: usize>(
+        a: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        i: usize,
+        jb: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let bp0 = b.as_ptr().add(jb);
+        let av0 = _mm256_set1_ps(a[i]);
+        let mut acc = [_mm256_setzero_ps(); NV];
+        for (t, s) in acc.iter_mut().enumerate() {
+            *s = _mm256_mul_ps(av0, _mm256_loadu_ps(bp0.add(t * 8)));
+        }
+        for p in 1..k {
+            let av = _mm256_set1_ps(a[p * m + i]);
+            let bp = b.as_ptr().add(p * n + jb);
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(t * 8)), *s);
+            }
+        }
+        let op = orow.as_mut_ptr().add(jb);
+        for (t, s) in acc.iter().enumerate() {
+            _mm256_storeu_ps(op.add(t * 8), *s);
+        }
+    }
+
+    /// Narrow grad-input tile: four output columns, 128-bit lanes with
+    /// four p-strided partial chains folded pairwise (same reassociated
+    /// shape as [`gemm_tile4`], same certificate).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, `orow[jb..jb + 4]` in bounds, and
+    /// `b[p·n + jb + 3]` in bounds for every `p < k`.
+    #[target_feature(enable = "avx2,fma")]
+    #[inline]
+    unsafe fn tn_tile4(
+        a: &[f32],
+        b: &[f32],
+        orow: &mut [f32],
+        i: usize,
+        jb: usize,
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let bp = b.as_ptr();
+        let mut acc = [_mm_setzero_ps(); 4];
+        let mut p = 0;
+        while p + 4 <= k {
+            for (t, s) in acc.iter_mut().enumerate() {
+                *s = _mm_fmadd_ps(
+                    _mm_set1_ps(a[(p + t) * m + i]),
+                    _mm_loadu_ps(bp.add((p + t) * n + jb)),
+                    *s,
+                );
+            }
+            p += 4;
+        }
+        while p < k {
+            acc[0] = _mm_fmadd_ps(
+                _mm_set1_ps(a[p * m + i]),
+                _mm_loadu_ps(bp.add(p * n + jb)),
+                acc[0],
+            );
+            p += 1;
+        }
+        let v = _mm_add_ps(_mm_add_ps(acc[0], acc[1]), _mm_add_ps(acc[2], acc[3]));
+        _mm_storeu_ps(orow.as_mut_ptr().add(jb), v);
+    }
+
+    /// AVX2 [`super::gemm_tn_over`]: j-tiled, p-ascending FMA chains.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and the slice extents asserted by the caller.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_tn_over(
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        k: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let mut jb = 0;
+        while jb < n {
+            let jw = NR.min(n - jb);
+            let nv = jw / 8;
+            let jtail = jb + nv * 8;
+            for i in 0..m {
+                let orow = &mut out[i * n..(i + 1) * n];
+                match nv {
+                    8 => tn_tile::<8>(a, b, orow, i, jb, k, m, n),
+                    7 => tn_tile::<7>(a, b, orow, i, jb, k, m, n),
+                    6 => tn_tile::<6>(a, b, orow, i, jb, k, m, n),
+                    5 => tn_tile::<5>(a, b, orow, i, jb, k, m, n),
+                    4 => tn_tile::<4>(a, b, orow, i, jb, k, m, n),
+                    3 => tn_tile::<3>(a, b, orow, i, jb, k, m, n),
+                    2 => tn_tile::<2>(a, b, orow, i, jb, k, m, n),
+                    1 => tn_tile::<1>(a, b, orow, i, jb, k, m, n),
+                    _ => {}
+                }
+                let mut j = jtail;
+                while j + 4 <= jb + jw {
+                    tn_tile4(a, b, orow, i, j, k, m, n);
+                    j += 4;
+                }
+                while j < jb + jw {
+                    // scalar leftover: four p-strided FMA chains folded
+                    let mut s = [0.0f32; 4];
+                    let mut p = 0;
+                    while p + 4 <= k {
+                        for (t, st) in s.iter_mut().enumerate() {
+                            *st = a[(p + t) * m + i].mul_add(b[(p + t) * n + j], *st);
+                        }
+                        p += 4;
+                    }
+                    while p < k {
+                        s[0] = a[p * m + i].mul_add(b[p * n + j], s[0]);
+                        p += 1;
+                    }
+                    orow[j] = (s[0] + s[1]) + (s[2] + s[3]);
+                    j += 1;
+                }
+            }
+            jb += jw;
+        }
+    }
+
+    /// AVX2 [`super::affine_act`]: one FMA per element plus a
+    /// branchless activation select.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn affine_act(seg: &mut [f32], scale: f32, shift: f32, act: Act) {
+        let vs = _mm256_set1_ps(scale);
+        let vh = _mm256_set1_ps(shift);
+        let zero = _mm256_setzero_ps();
+        let len = seg.len();
+        let lv = len / 8 * 8;
+        let p = seg.as_mut_ptr();
+        match act {
+            Act::None => {
+                let mut idx = 0;
+                while idx < lv {
+                    let t = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(idx)), vs, vh);
+                    _mm256_storeu_ps(p.add(idx), t);
+                    idx += 8;
+                }
+                for v in &mut seg[lv..] {
+                    *v = v.mul_add(scale, shift);
+                }
+            }
+            Act::Leaky(alpha) => {
+                let va = _mm256_set1_ps(alpha);
+                let mut idx = 0;
+                while idx < lv {
+                    let t = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(idx)), vs, vh);
+                    let pos = _mm256_cmp_ps::<_CMP_GT_OQ>(t, zero);
+                    let r = _mm256_blendv_ps(_mm256_mul_ps(t, va), t, pos);
+                    _mm256_storeu_ps(p.add(idx), r);
+                    idx += 8;
+                }
+                for v in &mut seg[lv..] {
+                    let t = v.mul_add(scale, shift);
+                    *v = if t > 0.0 { t } else { alpha * t };
+                }
+            }
+            Act::Relu => {
+                let mut idx = 0;
+                while idx < lv {
+                    let t = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(idx)), vs, vh);
+                    _mm256_storeu_ps(p.add(idx), _mm256_max_ps(t, zero));
+                    idx += 8;
+                }
+                for v in &mut seg[lv..] {
+                    *v = v.mul_add(scale, shift).max(0.0);
+                }
+            }
+        }
+    }
+
+    /// AVX2 [`super::max_pool2x2`]: vertical 8-lane maxima of the two
+    /// input rows, then an in-register pairwise horizontal max — eight
+    /// outputs per iteration. `max` is exact, so the result is bitwise
+    /// identical to the scalar loop on non-NaN data.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and the shape contract of the safe wrapper
+    /// (`xs` holds `c·h·w` elements, `out` holds `c·(h/2)·(w/2)`, even
+    /// `h` and `w`).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn max_pool2x2(xs: &[f32], out: &mut [f32], c: usize, h: usize, w: usize) {
+        let (ho, wo) = (h / 2, w / 2);
+        let (hw, howo) = (h * w, ho * wo);
+        // lane order after the shuffle pair: [p0 p1 q0 q1 | p2 p3 q2 q3]
+        let fix = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+        for ch in 0..c {
+            let plane = &xs[ch * hw..(ch + 1) * hw];
+            let oplane = &mut out[ch * howo..(ch + 1) * howo];
+            for oh in 0..ho {
+                let r0 = plane.as_ptr().add(2 * oh * w);
+                let r1 = plane.as_ptr().add((2 * oh + 1) * w);
+                let orow = oplane.as_mut_ptr().add(oh * wo);
+                let mut ow = 0;
+                while ow + 8 <= wo {
+                    let j = 2 * ow;
+                    let v0 = _mm256_max_ps(_mm256_loadu_ps(r0.add(j)), _mm256_loadu_ps(r1.add(j)));
+                    let v1 = _mm256_max_ps(
+                        _mm256_loadu_ps(r0.add(j + 8)),
+                        _mm256_loadu_ps(r1.add(j + 8)),
+                    );
+                    let even = _mm256_shuffle_ps::<0b10_00_10_00>(v0, v1);
+                    let odd = _mm256_shuffle_ps::<0b11_01_11_01>(v0, v1);
+                    let m = _mm256_max_ps(even, odd);
+                    _mm256_storeu_ps(orow.add(ow), _mm256_permutevar8x32_ps(m, fix));
+                    ow += 8;
+                }
+                while ow < wo {
+                    let j = 2 * ow;
+                    let a = (*r0.add(j)).max(*r0.add(j + 1));
+                    let b = (*r1.add(j)).max(*r1.add(j + 1));
+                    *orow.add(ow) = a.max(b);
+                    ow += 1;
+                }
+            }
+        }
+    }
+
+    /// AVX2 [`super::act_inplace`].
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn act_inplace(seg: &mut [f32], act: Act) {
+        let zero = _mm256_setzero_ps();
+        let len = seg.len();
+        let lv = len / 8 * 8;
+        let p = seg.as_mut_ptr();
+        match act {
+            Act::None => {}
+            Act::Leaky(alpha) => {
+                let va = _mm256_set1_ps(alpha);
+                let mut idx = 0;
+                while idx < lv {
+                    let t = _mm256_loadu_ps(p.add(idx));
+                    let pos = _mm256_cmp_ps::<_CMP_GT_OQ>(t, zero);
+                    let r = _mm256_blendv_ps(_mm256_mul_ps(t, va), t, pos);
+                    _mm256_storeu_ps(p.add(idx), r);
+                    idx += 8;
+                }
+                for v in &mut seg[lv..] {
+                    let t = *v;
+                    *v = if t > 0.0 { t } else { alpha * t };
+                }
+            }
+            Act::Relu => {
+                let mut idx = 0;
+                while idx < lv {
+                    let t = _mm256_loadu_ps(p.add(idx));
+                    _mm256_storeu_ps(p.add(idx), _mm256_max_ps(t, zero));
+                    idx += 8;
+                }
+                for v in &mut seg[lv..] {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `γ(k) = k·u/(1−k·u)` with `u = 2⁻²⁴` — the reduction model the
+    /// certifier uses; the per-element divergence bound for one GEMM
+    /// under the `f32x8-fma` model is `2·γ(k)·Σ|aᵢ·bᵢ|`.
+    fn gamma(k: usize) -> f64 {
+        let ku = k as f64 * 5.960_464_477_539_063e-8;
+        ku / (1.0 - ku)
+    }
+
+    fn randv(rng: &mut StdRng, n: usize, zeros: bool) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                if zeros && i % 7 == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-2.0f32..2.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Asserts `got` within the certified per-element bound of `want`
+    /// for a k-term reduction over rows of `a` and columns of `b`.
+    fn assert_within_cert(
+        got: &[f32],
+        want: &[f32],
+        bound_l1: impl Fn(usize) -> f64,
+        k: usize,
+        tag: &str,
+    ) {
+        let g = gamma(k + 2);
+        for (e, (&x, &y)) in got.iter().zip(want).enumerate() {
+            let bound = 2.0 * g * bound_l1(e) + 1e-30;
+            let diff = (x as f64 - y as f64).abs();
+            assert!(
+                diff <= bound,
+                "{tag}: element {e} diverged {diff:.3e} > certified {bound:.3e}"
+            );
+        }
+    }
+
+    /// Throughput probe at the smoke-detector conv shapes; ignored in
+    /// normal runs. `cargo test --release -p rd-tensor simd::tests::micro
+    /// -- --ignored --nocapture`
+    #[test]
+    #[ignore]
+    fn micro() {
+        use std::time::Instant;
+        let shapes = [
+            (8usize, 27usize, 4096usize),
+            (16, 72, 1024),
+            (32, 144, 256),
+            (64, 288, 64),
+            (96, 576, 16),
+            (128, 864, 16),
+            (64, 1152, 16),
+            (30, 64, 16),
+            (30, 64, 4),
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in shapes {
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut o1 = vec![0.0f32; m * n];
+            let mut o2 = vec![0.0f32; m * n];
+            let reps = (200_000_000 / (m * k * n)).max(8);
+            conv::conv_gemm(&a, &b, &mut o1, m, k, n);
+            gemm(&a, &b, &mut o2, m, k, n);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                conv::conv_gemm(&a, &b, &mut o1, m, k, n);
+            }
+            let ts = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                gemm(&a, &b, &mut o2, m, k, n);
+            }
+            let tf = t0.elapsed().as_secs_f64();
+            let gf = |t: f64| 2.0 * (m * k * n * reps) as f64 / t / 1e9;
+            println!(
+                "m={m:4} k={k:5} n={n:5}: ref {:7.2} GF/s  simd {:7.2} GF/s  ({:.2}x)",
+                gf(ts),
+                gf(tf),
+                ts / tf
+            );
+            std::hint::black_box((&o1, &o2));
+        }
+    }
+
+    #[test]
+    fn dispatch_prefers_avx2_only_when_host_has_it() {
+        // Simulated "feature absent" (RD_NO_SIMD) must always fall back.
+        assert_eq!(Backend::select(true), Backend::Portable);
+        // With SIMD allowed, the choice must agree with the host CPU.
+        #[cfg(target_arch = "x86_64")]
+        {
+            let host = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
+            let want = if host {
+                Backend::Avx2Fma
+            } else {
+                Backend::Portable
+            };
+            assert_eq!(Backend::select(false), want);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(Backend::select(false), Backend::Portable);
+    }
+
+    #[test]
+    fn portable_gemm_is_bitwise_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for &(m, k, n) in &[
+            (3, 9, 4),
+            (5, 27, 64),
+            (4, 18, 70),
+            (2, 64, 130),
+            (7, 5, 36),
+        ] {
+            let a = randv(&mut rng, m * k, true);
+            let b = randv(&mut rng, k * n, false);
+            let mut want = vec![f32::NAN; m * n];
+            conv::conv_gemm(&a, &b, &mut want, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            portable::gemm(&a, &b, &mut got, m, k, n);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn portable_epilogues_are_bitwise_identical_to_reference() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = randv(&mut rng, 37, false);
+        for act in [Act::None, Act::Leaky(0.1), Act::Relu] {
+            let mut want = x.clone();
+            for v in &mut want {
+                let t = *v * 1.3 + -0.2;
+                *v = match act {
+                    Act::None => t,
+                    Act::Leaky(a) => {
+                        if t > 0.0 {
+                            t
+                        } else {
+                            a * t
+                        }
+                    }
+                    Act::Relu => t.max(0.0),
+                };
+            }
+            let mut got = x.clone();
+            portable::affine_act(&mut got, 1.3, -0.2, act);
+            assert_eq!(got, want, "{act:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Dispatched `gemm` (whatever backend this host selects) stays
+        /// within the certified per-element bound of the scalar
+        /// reference across random shapes.
+        #[test]
+        fn gemm_within_certified_bound(
+            m in 1usize..9,
+            k in 1usize..130,
+            n in 1usize..150,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = randv(&mut rng, m * k, true);
+            let b = randv(&mut rng, k * n, false);
+            let mut want = vec![f32::NAN; m * n];
+            conv::conv_gemm(&a, &b, &mut want, m, k, n);
+            let mut got = vec![f32::NAN; m * n];
+            gemm(&a, &b, &mut got, m, k, n);
+            assert_within_cert(&got, &want, |e| {
+                let (i, j) = (e / n, e % n);
+                (0..k).map(|t| (a[i * k + t] as f64 * b[t * n + j] as f64).abs()).sum()
+            }, k, "gemm");
+        }
+
+        /// Dispatched `gemm_nt_acc` within the certified bound of the
+        /// reference `gemm_nt` (both accumulate onto the same base).
+        #[test]
+        fn gemm_nt_within_certified_bound(
+            m in 1usize..7,
+            k in 1usize..200,
+            n in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = randv(&mut rng, m * k, false);
+            let b = randv(&mut rng, n * k, false);
+            let base = randv(&mut rng, m * n, false);
+            let mut want = base.clone();
+            conv::gemm_nt(&a, &b, &mut want, m, k, n);
+            let mut got = base;
+            gemm_nt_acc(&a, &b, &mut got, m, k, n);
+            assert_within_cert(&got, &want, |e| {
+                let (i, j) = (e / n, e % n);
+                1.0 + (0..k).map(|t| (a[i * k + t] as f64 * b[j * k + t] as f64).abs()).sum::<f64>()
+            }, k, "gemm_nt_acc");
+        }
+
+        /// Dispatched `gemm_tn_over` within the certified bound of the
+        /// reference overwrite-mode kernel.
+        #[test]
+        fn gemm_tn_within_certified_bound(
+            k in 1usize..60,
+            m in 1usize..9,
+            n in 1usize..150,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = randv(&mut rng, k * m, true);
+            let b = randv(&mut rng, k * n, false);
+            let mut want = vec![f32::NAN; m * n];
+            conv::gemm_tn_over(&a, &b, &mut want, k, m, n);
+            let mut got = vec![f32::NAN; m * n];
+            gemm_tn_over(&a, &b, &mut got, k, m, n);
+            assert_within_cert(&got, &want, |e| {
+                let (i, j) = (e / n, e % n);
+                (0..k).map(|p| (a[p * m + i] as f64 * b[p * n + j] as f64).abs()).sum()
+            }, k, "gemm_tn_over");
+        }
+
+        /// Fused epilogue within a few ulps of the reference chain
+        /// (the certifier widens bn stages by 8u for this fold).
+        #[test]
+        fn affine_act_within_epilogue_slack(
+            len in 1usize..80,
+            scale in -3.0f32..3.0,
+            shift in -3.0f32..3.0,
+            which in 0u8..3,
+            seed in 0u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = randv(&mut rng, len, false);
+            let act = match which { 0 => Act::None, 1 => Act::Leaky(0.1), _ => Act::Relu };
+            let mut want = x.clone();
+            portable::affine_act(&mut want, scale, shift, act);
+            let mut got = x.clone();
+            affine_act(&mut got, scale, shift, act);
+            for (e, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                // FMA-vs-separate divergence scales with the operand
+                // magnitude |x·scale| + |shift| (the pre-activation
+                // interval), exactly how the certifier widens fused
+                // bn stages — not with the possibly-cancelled result.
+                let mag = (x[e] as f64 * scale as f64).abs() + shift.abs() as f64;
+                let slack = 8.0 * 5.960_464_477_539_063e-8 * mag + 1e-40;
+                prop_assert!(
+                    ((g as f64) - (w as f64)).abs() <= slack,
+                    "element {e}: {g} vs {w}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Execution-tier selection for the compiled engines.
+//!
+//! The workspace runs its compiled plans ([`crate::InferPlan`] /
+//! [`crate::TrainPlan`]) under one of two numeric contracts:
+//!
+//! * [`Tier::Reference`] — the scalar kernels whose f32 instruction
+//!   sequence retraces the autodiff tape exactly. Compiled results are
+//!   **bitwise identical** to the tape at any thread count. This is the
+//!   default and the oracle every other tier is measured against.
+//! * [`Tier::Fast`] — the [`crate::simd`] f32x8 microkernels (AVX2+FMA
+//!   where the host supports it, a portable unrolled fallback
+//!   otherwise). Results may diverge from the reference tier, but only
+//!   within the static per-head ulp certificate emitted by
+//!   `rd_analysis::bounds` for the `f32x8-fma` kernel model; the bench
+//!   and CI gates enforce the observed divergence against that
+//!   certificate.
+//!
+//! The tier is a process-global switch read **once per executor run**
+//! (plan compilation is tier-independent), so toggling it mid-run never
+//! mixes kernels within one forward/backward pass. The autodiff tape
+//! itself always runs the reference kernels — it is the oracle.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family the compiled engines execute with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Scalar kernels, bitwise-identical to the tape (the default).
+    Reference,
+    /// f32x8 microkernels under the certified-ulp contract.
+    Fast,
+}
+
+impl Tier {
+    /// Stable label used in reports and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Reference => "reference",
+            Tier::Fast => "fast",
+        }
+    }
+}
+
+impl std::str::FromStr for Tier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "reference" | "ref" | "scalar" => Ok(Tier::Reference),
+            "fast" | "f32x8" | "simd" => Ok(Tier::Fast),
+            other => Err(format!(
+                "unknown tier '{other}' (expected 'reference' or 'fast')"
+            )),
+        }
+    }
+}
+
+/// 0 = Reference, 1 = Fast.
+static TIER: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the execution tier for subsequently *started* compiled runs.
+///
+/// The setting is global, like [`crate::parallel::set_max_threads`].
+/// Executors latch it when a run begins, so an in-flight forward or
+/// backward pass never mixes tiers.
+pub fn set_tier(t: Tier) {
+    TIER.store(matches!(t, Tier::Fast) as u8, Ordering::SeqCst);
+}
+
+/// The currently selected execution tier.
+pub fn current() -> Tier {
+    if TIER.load(Ordering::SeqCst) == 0 {
+        Tier::Reference
+    } else {
+        Tier::Fast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_parses_and_labels_roundtrip() {
+        assert_eq!("reference".parse::<Tier>().unwrap(), Tier::Reference);
+        assert_eq!("fast".parse::<Tier>().unwrap(), Tier::Fast);
+        assert_eq!("f32x8".parse::<Tier>().unwrap(), Tier::Fast);
+        assert!("warp9".parse::<Tier>().is_err());
+        assert_eq!(Tier::Reference.label(), "reference");
+        assert_eq!(Tier::Fast.label(), "fast");
+    }
+}

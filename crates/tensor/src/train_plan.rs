@@ -41,6 +41,16 @@
 //! downstream scatter-adds re-fold before any gradient escapes — so
 //! compiled-vs-tape identity and 1-vs-N-thread determinism both hold
 //! bit for bit (asserted in tests and gated in `bench_substrate`).
+//!
+//! ## Execution tiers
+//!
+//! The bitwise contract above is [`crate::tier::Tier::Reference`], the
+//! default. Under [`crate::tier::Tier::Fast`] the three conv GEMMs
+//! (forward, grad-weight, grad-input) and the standalone leaky
+//! epilogue route through the [`crate::simd`] f32x8 kernels instead,
+//! trading bitwise tape identity for the certified-ulp contract. The
+//! tier is latched once in [`TrainPlan::forward`] and carried on the
+//! [`TrainStep`], so one step's forward and backward always agree.
 
 use std::sync::Mutex;
 
@@ -57,7 +67,9 @@ use crate::plan_meta::{
 };
 use crate::pool::{max_pool_backward, max_pool_forward, upsample2x_backward, upsample2x_forward};
 use crate::profile;
+use crate::simd;
 use crate::tensor::Tensor;
+use crate::tier::{self, Tier};
 
 /// Default im2col column-cache budget: 256 MiB of activation memory.
 pub const DEFAULT_COL_BUDGET: usize = 256 << 20;
@@ -704,6 +716,9 @@ impl TrainPlan {
         );
         let n = input.shape()[0];
         assert!(n > 0, "train batch must be non-empty");
+        // latched once and carried on the step: forward and backward of
+        // one step always run the same kernel tier
+        let fast = tier::current() == Tier::Fast;
 
         let mut vals: Vec<Vec<f32>> = self.slot_lens.iter().map(|&l| arena::take(n * l)).collect();
         vals[self.input_slot].copy_from_slice(input.data());
@@ -803,7 +818,11 @@ impl TrainPlan {
                                     c.wo,
                                     cols,
                                 );
-                                conv_gemm(wd_flat, cols, oslice, o, ckk, howo);
+                                if fast {
+                                    simd::gemm(wd_flat, cols, oslice, o, ckk, howo);
+                                } else {
+                                    conv_gemm(wd_flat, cols, oslice, o, ckk, howo);
+                                }
                             }
                         });
                     }
@@ -857,9 +876,13 @@ impl TrainPlan {
                         }
                     }
                     if let Some(alpha) = c.leaky {
-                        for v in out.iter_mut() {
-                            let t = *v;
-                            *v = if t > 0.0 { t } else { alpha * t };
+                        if fast {
+                            simd::act_inplace(&mut out, simd::Act::Leaky(alpha));
+                        } else {
+                            for v in out.iter_mut() {
+                                let t = *v;
+                                *v = if t > 0.0 { t } else { alpha * t };
+                            }
                         }
                     }
                     vals[c.out] = out;
@@ -931,6 +954,7 @@ impl TrainPlan {
         TrainStep {
             plan: self,
             n,
+            fast,
             need_param_grads,
             vals,
             grads: Vec::new(),
@@ -967,6 +991,8 @@ struct OpAux {
 pub struct TrainStep<'p> {
     plan: &'p TrainPlan,
     n: usize,
+    /// Kernel tier latched at forward time; backward reuses it.
+    fast: bool,
     need_param_grads: bool,
     vals: Vec<Vec<f32>>,
     grads: Vec<Vec<f32>>,
@@ -1217,6 +1243,7 @@ impl TrainStep<'_> {
             let xd = &self.vals[c.x];
             let cache: Option<&[f32]> = self.cols_cache[oi].as_deref();
             let need_pg = self.need_param_grads;
+            let fast = self.fast;
             let mut gx_tmp: Option<Vec<f32>> =
                 (compute_gx && !c.gx_direct).then(|| arena::take(n * in_len));
             let gw_partials: Vec<Option<Vec<f32>>> = {
@@ -1276,11 +1303,19 @@ impl TrainStep<'_> {
                                     &sc[..]
                                 }
                             };
-                            gemm_nt(gslice, cols, gw, o, howo, ckk);
+                            if fast {
+                                simd::gemm_nt_acc(gslice, cols, gw, o, howo, ckk);
+                            } else {
+                                gemm_nt(gslice, cols, gw, o, howo, ckk);
+                            }
                         }
                         if let Some(gx_chunk) = gx_chunk.as_deref_mut() {
                             let gc = gcols.as_mut().expect("gcols gated above");
-                            gemm_tn_over(wd_flat, gslice, &mut gc[..], o, ckk, howo);
+                            if fast {
+                                simd::gemm_tn_over(wd_flat, gslice, &mut gc[..], o, ckk, howo);
+                            } else {
+                                gemm_tn_over(wd_flat, gslice, &mut gc[..], o, ckk, howo);
+                            }
                             col2im(
                                 &gc[..],
                                 c.cin,

@@ -42,13 +42,16 @@ for f in "${files[@]}"; do
     fi
     case "$id" in
     pr2_parallel_substrate)
-        line=$(jq -r '"attack \(.serial.steps_per_sec) -> \(.parallel.steps_per_sec) steps/s at \(.threads) threads (\(.speedup)x)"' "$f")
+        line=$(jq -r '"attack \(.serial.steps_per_sec) -> \(.parallel.steps_per_sec) steps/s at \(.threads_effective // .threads) effective of \(.threads_requested // .threads) requested threads (\(.speedup)x)"' "$f")
         ;;
     pr4_compiled_inference)
         line=$(jq -r '"eval tape \(.tape.fps_serial) -> compiled \(.compiled.fps_serial) frames/s (\(.speedup_serial)x serial)"' "$f")
         ;;
     pr5_compiled_training)
         line=$(jq -r '"attack tape \(.attack.tape_steps_per_sec) -> compiled \(.attack.compiled_steps_per_sec) steps/s (\(.attack.speedup)x); detector \(.detector.speedup)x, col-cache \(.detector.col_cache.hit_rate * 100 | round)% hits"' "$f")
+        ;;
+    pr7_fast_tier)
+        line=$(jq -r '"eval reference \(.reference.fps_serial) -> \(.tier) \(.candidate.fps_serial) frames/s (\(.speedup_serial)x, backend \(.backend)); observed <= \(.certificate | map(.observed_ulps) | max) ulp vs certified \(.certificate | map(.bound_ulps) | max) ulp"' "$f")
         ;;
     *)
         line="(no summary for bench id '$id')"
@@ -72,13 +75,13 @@ if [ -f "$audit" ]; then
         exit 1
     fi
     echo
-    printf '%-24s %-6s %5s %6s %6s %14s %16s\n' \
-        "plan (static audit)" "kind" "ops" "convs" "slots" "peak-live-f32" "f32x8-bound-ulps"
+    printf '%-24s %-6s %5s %6s %6s %14s %16s %10s\n' \
+        "plan (static audit)" "kind" "ops" "convs" "slots" "peak-live-f32" "f32x8-bound-ulps" "tier"
     printf '%s\n' "--------------------------------------------------------------------------"
-    jq -r '.plans[] | [.tag, .kind, .ops, .convs, .slots, .peak_live_f32, (.bound_ulps // "-")] | @tsv' "$audit" |
-        while IFS=$'\t' read -r tag kind ops convs slots peak bound; do
-            printf '%-24s %-6s %5s %6s %6s %14s %16s\n' \
-                "$tag" "$kind" "$ops" "$convs" "$slots" "$peak" "$bound"
+    jq -r '.plans[] | [.tag, .kind, .ops, .convs, .slots, .peak_live_f32, (.bound_ulps // "-"), (.certified_tier // "-")] | @tsv' "$audit" |
+        while IFS=$'\t' read -r tag kind ops convs slots peak bound ctier; do
+            printf '%-24s %-6s %5s %6s %6s %14s %16s %10s\n' \
+                "$tag" "$kind" "$ops" "$convs" "$slots" "$peak" "$bound" "$ctier"
         done
     clean=$(jq -r '.clean' "$audit")
     if [ "$clean" != "true" ]; then
