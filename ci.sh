@@ -25,6 +25,25 @@ echo "==> resume-determinism smoke (20 steps straight vs 10 + kill + resume)"
 # run finishes bitwise-identical to an uninterrupted one.
 cargo test --release -q --test recovery -- --ignored
 
+echo "==> supervisor fault matrix (panic / stall / NaN / corrupt checkpoint / tier drift)"
+# The PR 8 containment contract: 4 concurrent supervised jobs on
+# per-job Runtimes, one sabotaged per fault kind — the sabotaged job is
+# classified (retried+recovered, deadline-exceeded, or demoted to the
+# reference tier) and its three siblings finish bitwise-identical to
+# their solo runs.
+cargo test --release -q --test supervisor
+
+echo "==> runtime singleton gate (no process-global mutable state outside runtime.rs)"
+# The instance-scoped Runtime is the only place rd-tensor may keep
+# process-global mutable statics (the default-runtime shim). Anything
+# else reintroduces cross-job coupling and breaks quarantine isolation.
+leaks=$(grep -rnE '^(pub )?static ' crates/tensor/src | grep -v 'runtime.rs' || true)
+if [ -n "$leaks" ]; then
+    echo "process-global static outside crates/tensor/src/runtime.rs:" >&2
+    echo "$leaks" >&2
+    exit 1
+fi
+
 echo "==> inference equivalence (compiled plan vs tape, 1 and 4 threads)"
 # The PR 4 contract: the grad-free compiled path is bitwise-identical
 # to forward_frozen on random weights/inputs at any thread count, and

@@ -165,6 +165,11 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::run_supervised("bench_substrate", || run_body().map_err(|e| e.to_string()))?;
+    Ok(())
+}
+
+fn run_body() -> Result<(), Box<dyn std::error::Error>> {
     let quick = flag("--quick");
     let steps: usize = arg("--steps", if quick { 4 } else { 12 })?;
     let threads: usize = arg("--threads", 4)?;
@@ -172,6 +177,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let host_cpus = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    // the runtime shape every section runs (and is recorded) under
+    rd_tensor::parallel::set_max_threads(threads);
+    let runtime_json = rd_bench::runtime_config_json()?;
+    rd_tensor::parallel::set_max_threads(0);
 
     let scenario = AttackScenario::parking_lot(CameraRig::smoke(), 2, 60, 16, 5);
     let cfg = AttackConfig {
@@ -253,6 +262,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "{{\n",
             "  \"bench\": \"pr2_parallel_substrate\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "  \"runtime\": {rt},\n",
             "  \"host_logical_cpus\": {cpus},\n",
             "  \"threads_requested\": {treq},\n",
             "  \"threads_effective\": {teff},\n",
@@ -267,6 +277,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "}}\n"
         ),
         mode = if quick { "quick" } else { "full" },
+        rt = runtime_json,
         cpus = host_cpus,
         treq = threads_requested,
         teff = threads_effective,
@@ -348,6 +359,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "{{\n",
             "  \"bench\": \"pr4_compiled_inference\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "  \"runtime\": {rt},\n",
             "  \"host_logical_cpus\": {cpus},\n",
             "  \"threads\": {threads},\n",
             "  \"frames\": {frames},\n",
@@ -360,6 +372,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "}}\n"
         ),
         mode = if quick { "quick" } else { "full" },
+        rt = runtime_json,
         cpus = host_cpus,
         threads = threads,
         frames = n_frames,
@@ -457,6 +470,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "{{\n",
             "  \"bench\": \"pr5_compiled_training\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "  \"runtime\": {rt},\n",
             "  \"host_logical_cpus\": {cpus},\n",
             "  \"threads\": {threads},\n",
             "  \"attack\": {{\n",
@@ -479,6 +493,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "}}\n"
         ),
         mode = if quick { "quick" } else { "full" },
+        rt = runtime_json,
         cpus = host_cpus,
         threads = threads,
         asteps = cfg.steps,
@@ -515,6 +530,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if cert.len() != 2 {
         return Err(format!("expected one bound per detector head, got {}", cert.len()).into());
     }
+
+    // the pr7 fragment records the *candidate* tier it measured
+    tier::set_tier(cand);
+    rd_tensor::parallel::set_max_threads(threads);
+    let tier_runtime_json = rd_bench::runtime_config_json()?;
+    rd_tensor::parallel::set_max_threads(0);
+    tier::set_tier(Tier::Reference);
 
     let timed_tier = |t: Tier, n_threads: usize| {
         tier::set_tier(t);
@@ -666,6 +688,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "{{\n",
             "  \"bench\": \"pr7_fast_tier\",\n",
             "  \"mode\": \"{mode}\",\n",
+            "  \"runtime\": {rt},\n",
             "  \"host_logical_cpus\": {cpus},\n",
             "  \"threads_requested\": {treq},\n",
             "  \"threads_effective\": {teff},\n",
@@ -690,6 +713,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "}}\n"
         ),
         mode = if quick { "quick" } else { "full" },
+        rt = tier_runtime_json,
         cpus = host_cpus,
         treq = threads_requested,
         teff = threads_effective,

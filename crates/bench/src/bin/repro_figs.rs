@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p rd-bench --bin repro_figs -- [--scale paper|smoke] [--seed 42] [--audit] [--threads N] [--profile] \
-//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume]
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume] [--deadline-secs N] [--max-retries N]
 //! ```
 
 use rd_bench::{arg, flag};
@@ -20,6 +20,11 @@ fn main() -> std::process::ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    rd_bench::run_supervised("figures", || run_body().map_err(|e| e.to_string()))?;
+    Ok(())
+}
+
+fn run_body() -> Result<(), Box<dyn std::error::Error>> {
     rd_bench::setup_substrate()?;
     let scale: Scale = arg("--scale", "paper".to_owned())?.parse()?;
     let seed: u64 = arg("--seed", 42)?;

@@ -448,6 +448,32 @@ pub fn recovery_from_args() -> Result<road_decals::experiments::ExperimentRecove
     })
 }
 
+/// Runs a repro binary's body under the job supervisor when the
+/// supervision switches are present: `--deadline-secs N` bounds the
+/// whole run's wall clock (enforced cooperatively at step and frame
+/// boundaries) and `--max-retries N` re-runs the body after a crash,
+/// each attempt on a fresh quarantine-isolated
+/// [`rd_tensor::Runtime`]. Without either switch the body runs
+/// directly on the caller's runtime, exactly as before.
+///
+/// The body should parse its own flags and call [`setup_substrate`] /
+/// [`report_substrate`] itself, so thread caps and profiling apply to
+/// the runtime the supervised attempt actually executes on.
+///
+/// # Errors
+///
+/// Returns the body's error, a deadline-exceeded message, or the last
+/// failure after the retry budget is exhausted.
+pub fn run_supervised<F>(name: &str, body: F) -> Result<(), String>
+where
+    F: FnMut() -> Result<(), String>,
+{
+    let deadline_secs: u64 = arg("--deadline-secs", 0)?;
+    let max_retries: u32 = arg("--max-retries", 0)?;
+    let threads: usize = arg("--threads", 0)?;
+    road_decals::supervise_main(name, deadline_secs, max_retries, threads, body)
+}
+
 /// Applies the substrate switches every repro binary accepts:
 /// `--threads N` caps the tensor worker pool (`0` = one worker per
 /// host core) and `--profile` turns on the per-op wall-clock profiler.
@@ -463,6 +489,29 @@ pub fn setup_substrate() -> Result<(), String> {
         rd_tensor::profile::set_enabled(true);
     }
     Ok(())
+}
+
+/// Renders the current runtime configuration as a JSON object fragment
+/// — worker threads requested and effective (after the host clamp), the
+/// execution tier, and the supervision knobs (`--deadline-secs`,
+/// `--max-retries`) — so every benchmark section records the exact
+/// runtime shape it measured under.
+///
+/// # Errors
+///
+/// Returns a message for malformed supervision flag values.
+pub fn runtime_config_json() -> Result<String, String> {
+    let deadline_secs: u64 = arg("--deadline-secs", 0)?;
+    let max_retries: u32 = arg("--max-retries", 0)?;
+    Ok(format!(
+        "{{ \"threads_requested\": {}, \"threads_effective\": {}, \"tier\": \"{}\", \
+         \"deadline_secs\": {}, \"max_retries\": {} }}",
+        rd_tensor::parallel::requested_max_threads(),
+        rd_tensor::parallel::max_threads(),
+        rd_tensor::tier::current().label(),
+        deadline_secs,
+        max_retries,
+    ))
 }
 
 /// Prints the per-op profiler report when `--profile` is on; with

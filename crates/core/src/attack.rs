@@ -20,7 +20,7 @@ use rd_gan::{real_shape_batch, Discriminator, GanConfig, Generator};
 use rd_scene::{AngleSetting, CameraPose, ObjectClass, Speed};
 use rd_tensor::io::{Checkpoint, CheckpointError};
 use rd_tensor::optim::{Adam, StepOutcome};
-use rd_tensor::{Graph, LinearMap, ParamSet, Tensor, VarId};
+use rd_tensor::{Graph, LinearMap, ParamSet, Runtime, Tensor, VarId};
 use rd_vision::compose::paste_patch;
 use rd_vision::shapes::{mask, Shape};
 use rd_vision::Plane;
@@ -400,6 +400,9 @@ pub struct AttackTrainer<'a> {
     scenario: &'a AttackScenario,
     detector: &'a TinyYolo,
     ps_det: &'a mut ParamSet,
+    /// Runtime every step/checkpoint/restore re-enters, so one job's
+    /// kernels, arena traffic and tier never leak across jobs.
+    rt: Runtime,
     cfg: AttackConfig,
     rng: StdRng,
     gan_cfg: GanConfig,
@@ -486,6 +489,7 @@ impl<'a> AttackTrainer<'a> {
             scenario,
             detector,
             ps_det,
+            rt: rd_tensor::runtime::current(),
             cfg: *cfg,
             rng,
             gan_cfg,
@@ -522,6 +526,19 @@ impl<'a> AttackTrainer<'a> {
         }
     }
 
+    /// Rebinds the trainer to an explicit [`Runtime`]; subsequent steps
+    /// and checkpoint work run under it (builder style, for supervised
+    /// jobs that pin each attempt to a fresh runtime).
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.rt = rt;
+        self
+    }
+
+    /// The runtime this trainer's steps execute under.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
     /// Optimizer steps completed (or skipped) so far.
     pub fn steps_done(&self) -> u64 {
         self.step as u64
@@ -554,7 +571,8 @@ impl<'a> AttackTrainer<'a> {
     /// does **not** advance, and the returned [`StepOutcome::NonFinite`]
     /// carries provenance (offending params plus a tape audit).
     pub fn step(&mut self, hook: Option<GradHook<'_>>) -> StepOutcome {
-        self.run_step(hook, true)
+        let rt = self.rt.clone();
+        rt.enter(|| self.run_step(hook, true))
     }
 
     /// Runs the current step's full sampling and compute but suppresses
@@ -562,7 +580,8 @@ impl<'a> AttackTrainer<'a> {
     /// is exhausted. The RNG consumes exactly the draws a real step
     /// would, so the rest of the trajectory stays deterministic.
     pub fn skip_step(&mut self) {
-        self.run_step(None, false);
+        let rt = self.rt.clone();
+        rt.enter(|| self.run_step(None, false));
     }
 
     fn run_step(&mut self, hook: Option<GradHook<'_>>, apply: bool) -> StepOutcome {
@@ -864,6 +883,11 @@ impl<'a> AttackTrainer<'a> {
     /// protocol verifies digital-world success before printing — and the
     /// best one becomes the final [`TrainedDecal`].
     pub fn finish(self) -> TrainedDecal {
+        let rt = self.rt.clone();
+        rt.enter(move || self.finish_inner())
+    }
+
+    fn finish_inner(self) -> TrainedDecal {
         let AttackTrainer {
             scenario,
             detector,

@@ -9,7 +9,7 @@ use rd_scene::{
     approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, ObjectClass,
     PhysicalChannel, RotationSetting, Speed,
 };
-use rd_tensor::ParamSet;
+use rd_tensor::{runtime, ParamSet, Runtime};
 use rd_vision::compose::{paste_plane_map, paste_rgb_map};
 use rd_vision::{Image, Plane};
 
@@ -230,6 +230,13 @@ fn classify_victim(dets: &[Detection], victim: &rd_scene::GtBox) -> Option<Objec
 
 /// Evaluates a decal set under one challenge. `decals` may be empty (the
 /// "w/o attack" row).
+///
+/// Runs on the caller's current runtime and honors its cancellation
+/// state: at every frame-rendering and inference-batch boundary the
+/// deadline/cancel flag is checked, and a tripped runtime aborts the
+/// evaluation by unwinding with an [`rd_tensor::runtime::CancelUnwind`]
+/// payload (which a supervisor catches and reports as a deadline, not a
+/// crash). Outside supervised jobs the check never fires.
 pub fn evaluate_challenge(
     scenario: &AttackScenario,
     decals: &Deployment,
@@ -262,12 +269,14 @@ pub fn evaluate_challenge(
         let mut frames = Vec::with_capacity(poses.len());
         let mut victims = Vec::with_capacity(poses.len());
         for pose in &poses {
+            runtime::check_cancelled_or_unwind();
             frames.push(render_attacked_frame(
                 scenario, &printed, pose, cfg, motion, &mut rng,
             ));
             victims.push(scenario.victim_box(pose));
         }
         for (chunk, vchunk) in frames.chunks(16).zip(victims.chunks(16)) {
+            runtime::check_cancelled_or_unwind();
             let batch = Image::batch_to_tensor(chunk);
             let (coarse, fine) = model.infer(ps, &batch);
             postprocess_into(
@@ -299,6 +308,23 @@ pub fn evaluate_challenge(
         frames_per_run,
         victim_detected: victim_seen as f32 / total_frames.max(1) as f32,
     }
+}
+
+/// [`evaluate_challenge`] pinned to an explicit [`Runtime`]: the whole
+/// evaluation (kernels, arena traffic, cancellation checks) runs under
+/// `rt` regardless of the caller's current runtime.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_challenge_in(
+    rt: &Runtime,
+    scenario: &AttackScenario,
+    decals: &Deployment,
+    model: &TinyYolo,
+    ps: &ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    cfg: &EvalConfig,
+) -> ChallengeOutcome {
+    rt.enter(|| evaluate_challenge(scenario, decals, model, ps, target, challenge, cfg))
 }
 
 /// Evaluates the clean scene ("w/o attack" rows): same pipeline, no

@@ -13,7 +13,10 @@
 //! * [`baseline`] — the colored EOT patch of Sava et al. [34];
 //! * [`eval`] — challenge videos (rotation / speed / angle) scored with
 //!   the paper's PWC and CWC metrics ([`metrics`]);
-//! * [`experiments`] — one entry point per paper table and figure.
+//! * [`experiments`] — one entry point per paper table and figure;
+//! * [`supervisor`] — isolated concurrent jobs on per-job
+//!   [`rd_tensor::Runtime`]s: panic quarantine, deadlines,
+//!   retry/backoff and fast-tier demotion around [`runner`].
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@ pub mod fault;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod supervisor;
 
 pub use attack::{
     deploy, train_decal_attack, AttackConfig, AttackTrainer, Deployment, TrainedDecal,
@@ -56,10 +60,13 @@ pub use baseline::{train_baseline_patch, BaselineConfig, BaselinePatch};
 pub use decal::Decal;
 pub use defense::{evaluate_defense, Defense, DefenseOutcome};
 pub use eval::{evaluate_challenge, evaluate_clean, Challenge, ChallengeOutcome, EvalConfig};
-pub use fault::{CorruptMode, FaultPlan};
+pub use fault::{CorruptMode, FaultPlan, TierDriftInfo};
 pub use metrics::{Cell, Table};
 pub use runner::{
     train_decal_attack_recoverable, train_detector_recoverable, RecoveryOptions, RunnerError,
     RunnerReport, TrainRunner, Trainable,
 };
 pub use scenario::AttackScenario;
+pub use supervisor::{
+    run_fleet, run_job, supervise_main, JobCtx, JobOutcome, JobReport, JobSpec, TierDemotion,
+};

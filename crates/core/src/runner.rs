@@ -21,22 +21,33 @@
 //!   the offending batch, consuming its RNG draws so the remaining
 //!   trajectory stays deterministic.
 //!
-//! The [`crate::fault`] harness plugs in here to script NaNs, kills and
-//! checkpoint corruption for the integration tests.
+//! The runner also carries a [`Runtime`] binding: cooperative
+//! cancellation/deadline state is checked at every step boundary
+//! ([`RunnerError::Cancelled`]), and on the fast tier a guard — fed by
+//! an optional live probe ([`TrainRunner::with_tier_probe`]) or by the
+//! fault plan's injected drift — stops the run with
+//! [`RunnerError::TierDrift`] so the [`crate::supervisor`] can demote
+//! the job to the reference tier and resume it from the last
+//! checkpoint.
+//!
+//! The [`crate::fault`] harness plugs in here to script NaNs, kills,
+//! panics, stalls, tier drift and checkpoint corruption for the
+//! integration tests.
 
 use std::error::Error;
 use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use rd_detector::{DetectorTrainer, GradHook};
 use rd_tensor::io::{
     encode_checkpoint, load_checkpoint_file, save_checkpoint_bytes, Checkpoint, CheckpointError,
 };
 use rd_tensor::optim::StepOutcome;
-use rd_tensor::ParamSet;
+use rd_tensor::{runtime, Cancelled, ParamSet, Runtime, Tier};
 
 use crate::attack::{AttackConfig, AttackTrainer, TrainedDecal};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, TierDriftInfo};
 use crate::scenario::AttackScenario;
 
 /// Anything the recovery runner can drive: a step-wise trainer whose
@@ -165,6 +176,9 @@ pub struct RunnerReport {
     pub nonfinite_events: Vec<(u64, String)>,
     /// Checkpoints written to disk.
     pub checkpoints_written: u32,
+    /// Label of the execution tier the run executed under (empty on
+    /// reports built before PR 8).
+    pub tier: String,
 }
 
 /// Why a recovered run stopped without finishing.
@@ -178,6 +192,24 @@ pub enum RunnerError {
         /// Step the kill fired at.
         step: u64,
     },
+    /// The runner's runtime was cancelled or ran past its deadline; the
+    /// run stopped gracefully at a step boundary.
+    Cancelled {
+        /// Step the cancellation was observed at.
+        step: u64,
+        /// Why the runtime tripped (explicit cancel vs deadline).
+        cause: Cancelled,
+    },
+    /// A fast-tier run drifted outside its static ulp certificate
+    /// (observed by a tier probe or injected by the fault plan). The
+    /// supervisor demotes the job to the reference tier and resumes it
+    /// from the last checkpoint.
+    TierDrift {
+        /// Step the drift was detected at.
+        step: u64,
+        /// Offending head plus observed/bound ulps.
+        drift: TierDriftInfo,
+    },
 }
 
 impl fmt::Display for RunnerError {
@@ -187,6 +219,15 @@ impl fmt::Display for RunnerError {
             RunnerError::SimulatedKill { step } => {
                 write!(f, "simulated kill at step {step}")
             }
+            RunnerError::Cancelled { step, cause } => {
+                write!(f, "run cancelled at step {step}: {cause}")
+            }
+            RunnerError::TierDrift { step, drift } => write!(
+                f,
+                "fast tier drifted outside its certificate at step {step}: \
+                 {} observed {} ulp > bound {} ulp",
+                drift.head, drift.observed_ulp, drift.bound_ulp
+            ),
         }
     }
 }
@@ -195,7 +236,7 @@ impl Error for RunnerError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             RunnerError::Checkpoint(e) => Some(e),
-            RunnerError::SimulatedKill { .. } => None,
+            _ => None,
         }
     }
 }
@@ -206,10 +247,21 @@ impl From<CheckpointError> for RunnerError {
     }
 }
 
+/// A periodic fast-tier divergence probe: called every
+/// [`TrainRunner::with_tier_probe`] cadence steps while the runner's
+/// runtime is on [`Tier::Fast`], returning drift info when the observed
+/// fast-vs-reference divergence exceeds the static ulp certificate.
+pub type TierProbe<'p> = &'p dyn Fn(u64) -> Option<TierDriftInfo>;
+
 /// Drives a [`Trainable`] to completion under a recovery policy.
 pub struct TrainRunner<'p> {
     opts: RecoveryOptions,
     fault: Option<&'p FaultPlan>,
+    /// Runtime whose cancellation state and tier the run loop honors
+    /// (the caller's current runtime unless overridden).
+    rt: Runtime,
+    /// `(cadence, probe)`: live fast-tier drift detection.
+    tier_probe: Option<(u64, TierProbe<'p>)>,
 }
 
 /// Writes checkpoint bytes, creating the parent directory on first use.
@@ -223,15 +275,85 @@ fn write_checkpoint(bytes: &[u8], path: &std::path::Path) -> Result<(), Checkpoi
 }
 
 impl<'p> TrainRunner<'p> {
-    /// A runner with the given policy and no fault injection.
+    /// A runner with the given policy and no fault injection, honoring
+    /// the cancellation state and tier of the caller's current runtime.
     pub fn new(opts: RecoveryOptions) -> Self {
-        TrainRunner { opts, fault: None }
+        TrainRunner {
+            opts,
+            fault: None,
+            rt: runtime::current(),
+            tier_probe: None,
+        }
     }
 
     /// Scripts a fault plan into the run (tests only).
     pub fn with_fault_plan(mut self, plan: &'p FaultPlan) -> Self {
         self.fault = Some(plan);
         self
+    }
+
+    /// Binds the runner to an explicit [`Runtime`]: its cancellation
+    /// state is checked at every step boundary and its tier is what the
+    /// tier guard inspects. The trainers themselves carry their own
+    /// runtime binding (`with_runtime`); pass the same handle to both.
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.rt = rt;
+        self
+    }
+
+    /// Installs a fast-tier divergence probe, called every `cadence`
+    /// completed steps while the runner's runtime is on [`Tier::Fast`].
+    /// When the probe reports drift the run stops with
+    /// [`RunnerError::TierDrift`] so a supervisor can demote the job.
+    pub fn with_tier_probe(mut self, cadence: u64, probe: TierProbe<'p>) -> Self {
+        self.tier_probe = Some((cadence.max(1), probe));
+        self
+    }
+
+    /// Cooperative stall: sleeps `dur` in short slices, ending early if
+    /// the runtime is cancelled mid-stall.
+    fn stall(&self, dur: Duration) {
+        let until = std::time::Instant::now() + dur;
+        while std::time::Instant::now() < until {
+            if self.rt.cancel_state().is_some() {
+                return;
+            }
+            let left = until - std::time::Instant::now();
+            std::thread::sleep(left.min(Duration::from_millis(10)));
+        }
+    }
+
+    /// The scripted-fault and tier-guard gate run before every step.
+    fn preflight(&self, step: u64) -> Result<(), RunnerError> {
+        if let Some(cause) = self.rt.cancel_state() {
+            return Err(RunnerError::Cancelled { step, cause });
+        }
+        if let Some(plan) = self.fault {
+            if plan.should_kill(step) {
+                return Err(RunnerError::SimulatedKill { step });
+            }
+            if plan.should_panic(step) {
+                panic!("[fault] injected panic at step {step}");
+            }
+            if let Some(dur) = plan.stall_for(step) {
+                eprintln!("[fault] stalling {dur:?} at step {step}");
+                self.stall(dur);
+                if let Some(cause) = self.rt.cancel_state() {
+                    return Err(RunnerError::Cancelled { step, cause });
+                }
+            }
+        }
+        if self.rt.tier() == Tier::Fast {
+            let injected = self.fault.and_then(|p| p.tier_drift(step));
+            let probed = match self.tier_probe {
+                Some((cadence, probe)) if step > 0 && step.is_multiple_of(cadence) => probe(step),
+                _ => None,
+            };
+            if let Some(drift) = injected.or(probed) {
+                return Err(RunnerError::TierDrift { step, drift });
+            }
+        }
+        Ok(())
     }
 
     /// Runs the trainer to completion, checkpointing, rolling back and
@@ -243,7 +365,10 @@ impl<'p> TrainRunner<'p> {
     /// cannot be loaded or written, and [`RunnerError::SimulatedKill`]
     /// when the fault plan's kill fires.
     pub fn run<T: Trainable>(&self, trainer: &mut T) -> Result<RunnerReport, RunnerError> {
-        let mut report = RunnerReport::default();
+        let mut report = RunnerReport {
+            tier: self.rt.tier().label().to_string(),
+            ..RunnerReport::default()
+        };
         if self.opts.resume {
             if let Some(path) = &self.opts.checkpoint_path {
                 if path.exists() {
@@ -273,11 +398,7 @@ impl<'p> TrainRunner<'p> {
 
         while !trainer.is_done() {
             let step = trainer.steps_done();
-            if let Some(plan) = self.fault {
-                if plan.should_kill(step) {
-                    return Err(RunnerError::SimulatedKill { step });
-                }
-            }
+            self.preflight(step)?;
             if condemned == Some(step) {
                 trainer.skip_step();
                 report.skipped_steps.push(step);

@@ -7,7 +7,8 @@
 //! cargo run --release -p rd-detector --example train_detector -- \
 //!     [--images 600] [--epochs 6] [--out out/detector.rdw] [--audit] \
 //!     [--threads N] [--profile] [--no-compiled] \
-//!     [--checkpoint-every N] [--checkpoint out/detector.rdc] [--resume]
+//!     [--checkpoint-every N] [--checkpoint out/detector.rdc] [--resume] \
+//!     [--deadline-secs N] [--max-retries N]
 //! ```
 //!
 //! `--audit` statically validates the model's wiring before training and
@@ -16,6 +17,11 @@
 //! `--profile` prints the per-op wall-clock report after training.
 //! `--no-compiled` runs the reference autograd-tape training step
 //! instead of the compiled `TrainPlan` (bitwise-identical, slower).
+//!
+//! `--deadline-secs N` bounds the whole run's wall clock (checked at
+//! step boundaries) and `--max-retries N` re-runs it after a crash on a
+//! fresh quarantine-isolated runtime; combine with `--checkpoint-every`
+//! and `--resume` so retries pick up at the last checkpoint.
 //!
 //! `--checkpoint-every N` atomically writes the full training state
 //! (weights, Adam moments, RNG position, epoch/batch cursors) every N
@@ -68,6 +74,17 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), Box<dyn Error>> {
+    road_decals::supervise_main(
+        "train_detector",
+        arg("--deadline-secs", 0)?,
+        arg("--max-retries", 0)?,
+        arg("--threads", 0)?,
+        || run_body().map_err(|e| e.to_string()),
+    )?;
+    Ok(())
+}
+
+fn run_body() -> Result<(), Box<dyn Error>> {
     let n_images: usize = arg("--images", 600)?;
     let epochs: usize = arg("--epochs", 6)?;
     let out: String = arg("--out", "out/detector.rdw".to_owned())?;
@@ -142,6 +159,9 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
     }
     while !trainer.is_done() {
+        // cooperative deadline/cancel check at the step boundary
+        rd_tensor::runtime::check_cancelled()
+            .map_err(|c| format!("stopped at step {}: {c}", trainer.steps_done()))?;
         if let StepOutcome::NonFinite { detail } = trainer.step(None) {
             eprintln!(
                 "skipping diverged batch at step {}: {detail}",

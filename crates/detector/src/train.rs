@@ -16,7 +16,7 @@ use rd_scene::dataset::Sample;
 use rd_scene::GtBox;
 use rd_tensor::io::{Checkpoint, CheckpointError};
 use rd_tensor::optim::{Adam, StepOutcome};
-use rd_tensor::{Graph, ParamSet, Tensor};
+use rd_tensor::{Graph, ParamSet, Runtime, Tensor};
 use rd_vision::Image;
 
 use crate::decode::{postprocess, Detection};
@@ -90,6 +90,9 @@ pub struct DetectorTrainer<'a> {
     model: &'a TinyYolo,
     ps: &'a mut ParamSet,
     data: &'a [Sample],
+    /// Runtime every step re-enters, so concurrent trainers keep their
+    /// arena traffic, thread budgets and tiers apart.
+    rt: Runtime,
     cfg: TrainConfig,
     rng: StdRng,
     opt: Adam,
@@ -119,6 +122,7 @@ impl<'a> DetectorTrainer<'a> {
             model,
             ps,
             data,
+            rt: rd_tensor::runtime::current(),
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
             opt: Adam::new(cfg.lr),
@@ -131,6 +135,19 @@ impl<'a> DetectorTrainer<'a> {
             steps_done: 0,
             col_cache: (0, 0),
         }
+    }
+
+    /// Rebinds the trainer to an explicit [`Runtime`]; subsequent steps
+    /// run under it (builder style, for supervised jobs that pin each
+    /// attempt to a fresh runtime).
+    pub fn with_runtime(mut self, rt: Runtime) -> Self {
+        self.rt = rt;
+        self
+    }
+
+    /// The runtime this trainer's steps execute under.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
     }
 
     /// Optimizer steps completed (or skipped) so far.
@@ -191,6 +208,11 @@ impl<'a> DetectorTrainer<'a> {
     /// still move (they update during the forward pass); a rollback that
     /// restores the whole [`ParamSet`] undoes that too.
     pub fn step(&mut self, hook: Option<GradHook<'_>>) -> StepOutcome {
+        let rt = self.rt.clone();
+        rt.enter(|| self.step_inner(hook))
+    }
+
+    fn step_inner(&mut self, hook: Option<GradHook<'_>>) -> StepOutcome {
         assert!(!self.is_done(), "step() called on a finished trainer");
         self.begin_epoch_if_needed();
         let input = self.model.config().input;

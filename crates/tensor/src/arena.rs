@@ -1,4 +1,4 @@
-//! Scratch arena: a global pool of reusable `Vec<f32>` buffers.
+//! Scratch arena: a per-runtime pool of reusable `Vec<f32>` buffers.
 //!
 //! The attack loop builds and drops one tape per step; without reuse,
 //! every im2col column block, activation tensor, and gradient buffer is
@@ -16,14 +16,27 @@
 //!   this — `recycle` consumes the `Vec`).
 //! - [`ScratchBuf`] is the RAII convenience: it recycles on drop.
 //!
-//! The pool is a `Mutex`-guarded free list, safe to use from the worker
-//! pool in [`crate::parallel`]. Tiny buffers are not pooled (the
-//! allocator is already fast for those), and the pool is capped both in
-//! buffer count and total capacity so it cannot grow without bound.
+//! The pool lives on the [`crate::runtime::Runtime`] that is current at
+//! the call site (see the runtime module for the ownership model); the
+//! free functions here are the default-runtime shim. Each pool is a
+//! `Mutex`-guarded free list, safe to use from the worker pool in
+//! [`crate::parallel`]. Tiny buffers are not pooled (the allocator is
+//! already fast for those), and each pool is capped both in buffer
+//! count and total capacity so it cannot grow without bound.
+//!
+//! Poison containment: a thread that panics while touching one
+//! runtime's pool poisons only that runtime's `Mutex`. The next
+//! accessor clears the poison and discards the pooled buffers (counted
+//! by [`crate::runtime::Runtime::arena_poison_discards`]) — correctness
+//! is unaffected because every `take` overwrites its whole buffer, and
+//! other runtimes' pools are untouched. A quarantined runtime's pool
+//! stops pooling entirely: `take` allocates fresh, `recycle` drops.
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::runtime;
 
 /// Buffers smaller than this are allocated/dropped normally.
 const MIN_LEN: usize = 1024;
@@ -32,13 +45,124 @@ const MAX_POOLED: usize = 96;
 /// Maximum total pooled capacity, in `f32` elements (~256 MiB).
 const MAX_POOLED_ELEMS: usize = 64 << 20;
 
-static POOL: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
-static POOLED_ELEMS: AtomicUsize = AtomicUsize::new(0);
-static HITS: AtomicUsize = AtomicUsize::new(0);
-static MISSES: AtomicUsize = AtomicUsize::new(0);
+/// One runtime's pool state: free list + counters.
+pub(crate) struct ArenaState {
+    pool: Mutex<Vec<Vec<f32>>>,
+    pooled_elems: AtomicUsize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    poison_discards: AtomicUsize,
+    quarantined: AtomicBool,
+}
 
-/// Takes a buffer of exactly `len` zeros from the arena (reusing pooled
-/// capacity when possible, allocating otherwise).
+impl ArenaState {
+    pub(crate) fn new() -> Self {
+        ArenaState {
+            pool: Mutex::new(Vec::new()),
+            pooled_elems: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            poison_discards: AtomicUsize::new(0),
+            quarantined: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn set_quarantined(&self) {
+        self.quarantined.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn poison_discards(&self) -> usize {
+        self.poison_discards.load(Ordering::Relaxed)
+    }
+
+    /// Locks the free list, recovering from poison by discarding the
+    /// pooled buffers of **this runtime only** (a panicking holder may
+    /// have left the list half-updated; dropping it is always sound
+    /// because buffers are fully overwritten on take anyway, and the
+    /// counters are resynced here).
+    fn pool_guard(&self) -> MutexGuard<'_, Vec<Vec<f32>>> {
+        match self.pool.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.pool.clear_poison();
+                let mut g = poisoned.into_inner();
+                g.clear();
+                self.pooled_elems.store(0, Ordering::Relaxed);
+                self.poison_discards.fetch_add(1, Ordering::Relaxed);
+                g
+            }
+        }
+    }
+
+    fn take_filled(&self, len: usize, value: f32) -> Vec<f32> {
+        if len >= MIN_LEN && !self.quarantined.load(Ordering::SeqCst) {
+            let reused = {
+                let mut pool = self.pool_guard();
+                // Best effort: first buffer with enough capacity. The
+                // pool is small (<= MAX_POOLED) so a linear scan is fine.
+                pool.iter()
+                    .position(|b| b.capacity() >= len)
+                    .map(|i| pool.swap_remove(i))
+            };
+            if let Some(mut buf) = reused {
+                self.pooled_elems
+                    .fetch_sub(buf.capacity(), Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, value);
+                return buf;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        vec![value; len]
+    }
+
+    fn recycle(&self, buf: Vec<f32>) {
+        if buf.capacity() < MIN_LEN || self.quarantined.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut pool = self.pool_guard();
+        if pool.len() >= MAX_POOLED
+            || self.pooled_elems.load(Ordering::Relaxed) + buf.capacity() > MAX_POOLED_ELEMS
+        {
+            return;
+        }
+        self.pooled_elems
+            .fetch_add(buf.capacity(), Ordering::Relaxed);
+        pool.push(buf);
+    }
+
+    fn stats(&self) -> (usize, usize, usize) {
+        let pooled = self.pool_guard().len();
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            pooled,
+        )
+    }
+
+    fn reset(&self) {
+        let mut pool = self.pool_guard();
+        pool.clear();
+        self.pooled_elems.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Test hook: panic while holding the pool lock, poisoning it the
+    /// way a worker dying mid-`recycle` would.
+    #[cfg(test)]
+    fn poison_for_test(&self) {
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.pool.lock().expect("not yet poisoned");
+            panic!("scripted poison");
+        }));
+        assert!(res.is_err());
+    }
+}
+
+/// Takes a buffer of exactly `len` zeros from the current runtime's
+/// arena (reusing pooled capacity when possible, allocating otherwise).
 pub fn take(len: usize) -> Vec<f32> {
     take_filled(len, 0.0)
 }
@@ -48,62 +172,25 @@ pub fn take(len: usize) -> Vec<f32> {
 /// The whole buffer is overwritten regardless of where its capacity
 /// came from, which is what guarantees no stale data survives reuse.
 pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
-    if len >= MIN_LEN {
-        let reused = {
-            let mut pool = POOL.lock().expect("arena pool poisoned");
-            // Best effort: first buffer with enough capacity. The pool
-            // is small (<= MAX_POOLED) so a linear scan is fine.
-            pool.iter()
-                .position(|b| b.capacity() >= len)
-                .map(|i| pool.swap_remove(i))
-        };
-        if let Some(mut buf) = reused {
-            POOLED_ELEMS.fetch_sub(buf.capacity(), Ordering::Relaxed);
-            HITS.fetch_add(1, Ordering::Relaxed);
-            buf.clear();
-            buf.resize(len, value);
-            return buf;
-        }
-        MISSES.fetch_add(1, Ordering::Relaxed);
-    }
-    vec![value; len]
+    runtime::current().inner_arena(|a| a.take_filled(len, value))
 }
 
-/// Returns a buffer's capacity to the arena for reuse.
-///
-/// Small buffers and overflow beyond the pool caps are simply dropped.
+/// Returns a buffer's capacity to the current runtime's arena for
+/// reuse. Small buffers and overflow beyond the pool caps are dropped.
 pub fn recycle(buf: Vec<f32>) {
-    if buf.capacity() < MIN_LEN {
-        return;
-    }
-    let mut pool = POOL.lock().expect("arena pool poisoned");
-    if pool.len() >= MAX_POOLED
-        || POOLED_ELEMS.load(Ordering::Relaxed) + buf.capacity() > MAX_POOLED_ELEMS
-    {
-        return;
-    }
-    POOLED_ELEMS.fetch_add(buf.capacity(), Ordering::Relaxed);
-    pool.push(buf);
+    runtime::current().inner_arena(|a| a.recycle(buf));
 }
 
-/// (reuse hits, allocation misses, buffers currently pooled).
+/// (reuse hits, allocation misses, buffers currently pooled) for the
+/// current runtime's arena.
 pub fn stats() -> (usize, usize, usize) {
-    let pooled = POOL.lock().expect("arena pool poisoned").len();
-    (
-        HITS.load(Ordering::Relaxed),
-        MISSES.load(Ordering::Relaxed),
-        pooled,
-    )
+    runtime::current().inner_arena(|a| a.stats())
 }
 
-/// Drops all pooled buffers and zeroes the hit/miss counters. Intended
-/// for tests and benchmark setup.
+/// Drops the current runtime's pooled buffers and zeroes its hit/miss
+/// counters. Intended for tests and benchmark setup.
 pub fn reset() {
-    let mut pool = POOL.lock().expect("arena pool poisoned");
-    pool.clear();
-    POOLED_ELEMS.store(0, Ordering::Relaxed);
-    HITS.store(0, Ordering::Relaxed);
-    MISSES.store(0, Ordering::Relaxed);
+    runtime::current().inner_arena(|a| a.reset());
 }
 
 /// RAII scratch buffer: behaves as a `[f32]` slice and recycles its
@@ -152,52 +239,137 @@ impl Drop for ScratchBuf {
 
 #[cfg(test)]
 mod tests {
-    // NOTE: the pool is a process-wide global and `cargo test` runs
-    // threads concurrently, so these tests only assert properties that
-    // hold regardless of interleaving (no exact hit/pool counts — the
-    // determinism proptest at the workspace root covers staleness).
+    // Each test enters its own Runtime, so the pool under test is
+    // private to the test — exact hit/pool counts are assertable and
+    // concurrent `cargo test` threads cannot interfere.
     use super::*;
+    use crate::runtime::{Runtime, RuntimeConfig};
+
+    fn in_fresh_runtime(f: impl FnOnce(&Runtime)) {
+        let rt = Runtime::new(RuntimeConfig::default());
+        rt.clone().enter(|| f(&rt));
+    }
 
     #[test]
     fn reused_buffers_come_back_zeroed() {
-        let mut a = take(4096);
-        for v in a.iter_mut() {
-            *v = f32::NAN;
-        }
-        recycle(a);
-        for _ in 0..4 {
-            let b = take(2048);
-            assert_eq!(b.len(), 2048);
-            assert!(b.iter().all(|&v| v == 0.0));
-            recycle(b);
-        }
+        in_fresh_runtime(|_| {
+            let mut a = take(4096);
+            for v in a.iter_mut() {
+                *v = f32::NAN;
+            }
+            recycle(a);
+            for _ in 0..4 {
+                let b = take(2048);
+                assert_eq!(b.len(), 2048);
+                assert!(b.iter().all(|&v| v == 0.0));
+                recycle(b);
+            }
+        });
     }
 
     #[test]
     fn take_filled_overwrites_whole_length() {
-        recycle(vec![9.0; 4096]);
-        let v = take_filled(4096, 0.5);
-        assert!(v.iter().all(|&x| x == 0.5));
-        recycle(v);
+        in_fresh_runtime(|_| {
+            recycle(vec![9.0; 4096]);
+            let v = take_filled(4096, 0.5);
+            assert!(v.iter().all(|&x| x == 0.5));
+            recycle(v);
+        });
     }
 
     #[test]
     fn small_buffer_recycle_is_a_no_op() {
-        // Must not panic or pool; nothing observable to assert beyond
-        // the call being accepted.
-        recycle(vec![1.0; 8]);
-        let small = take(8);
-        assert_eq!(small.len(), 8);
-        assert!(small.iter().all(|&v| v == 0.0));
+        in_fresh_runtime(|_| {
+            recycle(vec![1.0; 8]);
+            let small = take(8);
+            assert_eq!(small.len(), 8);
+            assert!(small.iter().all(|&v| v == 0.0));
+            let (hits, _, pooled) = stats();
+            assert_eq!((hits, pooled), (0, 0), "small buffers are never pooled");
+        });
     }
 
     #[test]
     fn scratch_buf_derefs_and_releases() {
-        let mut s = ScratchBuf::zeroed(4096);
-        assert!(s.iter().all(|&v| v == 0.0));
-        s[7] = 3.0;
-        let v = s.into_vec();
-        assert_eq!(v[7], 3.0);
-        recycle(v);
+        in_fresh_runtime(|_| {
+            let mut s = ScratchBuf::zeroed(4096);
+            assert!(s.iter().all(|&v| v == 0.0));
+            s[7] = 3.0;
+            let v = s.into_vec();
+            assert_eq!(v[7], 3.0);
+            recycle(v);
+        });
+    }
+
+    #[test]
+    fn pools_are_isolated_per_runtime() {
+        let a = Runtime::new(RuntimeConfig::default());
+        let b = Runtime::new(RuntimeConfig::default());
+        a.enter(|| {
+            recycle(vec![1.0; 4096]);
+            assert_eq!(stats().2, 1);
+        });
+        b.enter(|| {
+            assert_eq!(stats().2, 0, "runtime B must not see A's buffers");
+            let v = take(4096);
+            recycle(v);
+            // B allocated fresh: a miss, no hit
+            let (hits, misses, pooled) = stats();
+            assert_eq!((hits, misses, pooled), (0, 1, 1));
+        });
+        a.enter(|| {
+            assert_eq!(stats().2, 1, "A's pool is intact");
+        });
+    }
+
+    /// Regression test for the old process-wide failure mode: a worker
+    /// panicking while holding the pool lock used to poison the free
+    /// list for every job in the process. Now the poison is recovered
+    /// per-runtime (pool discarded, counters resynced) and a sibling
+    /// runtime's pool is untouched.
+    #[test]
+    fn poisoned_pool_recovers_by_discarding_and_stays_contained() {
+        let victim = Runtime::new(RuntimeConfig::default());
+        let sibling = Runtime::new(RuntimeConfig::default());
+        sibling.enter(|| recycle(vec![2.0; 4096]));
+
+        victim.enter(|| {
+            recycle(vec![1.0; 4096]);
+            assert_eq!(stats().2, 1);
+        });
+        victim.clone().enter(|| {
+            runtime::current().inner_arena(|a| a.poison_for_test());
+            // next access recovers: pool discarded, allocation works
+            let v = take(4096);
+            assert_eq!(v.len(), 4096);
+            assert!(v.iter().all(|&x| x == 0.0));
+            recycle(v);
+        });
+        assert_eq!(victim.arena_poison_discards(), 1);
+
+        sibling.clone().enter(|| {
+            assert_eq!(stats().2, 1, "sibling runtime's pool is untouched");
+        });
+        assert_eq!(sibling.arena_poison_discards(), 0);
+    }
+
+    #[test]
+    fn quarantined_arena_never_pools() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        rt.clone().enter(|| {
+            recycle(vec![1.0; 4096]);
+            assert_eq!(stats().2, 1);
+        });
+        rt.quarantine();
+        rt.enter(|| {
+            // takes bypass the pool entirely...
+            let v = take(4096);
+            recycle(v);
+            let (hits, _, pooled) = stats();
+            assert_eq!(hits, 0, "quarantined pool must not hand out buffers");
+            // ...and recycles are dropped (the pre-quarantine buffer may
+            // remain in the list but is unreachable through take)
+            assert!(pooled <= 1);
+        });
     }
 }

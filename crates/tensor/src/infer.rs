@@ -59,6 +59,7 @@ use crate::plan_meta::{
     simple_op, ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta,
 };
 use crate::profile;
+use crate::runtime::{self, Runtime};
 use crate::simd;
 use crate::tensor::{matmul_into, Tensor};
 use crate::tier::{self, Tier};
@@ -1003,19 +1004,39 @@ impl GroupBufs {
 /// Executor for an [`InferPlan`]: owns preallocated arena-backed
 /// activation buffers (one [`GroupBufs`] per worker group, grown
 /// lazily, recycled on drop) and runs batched input through the plan.
+///
+/// The executor is bound to the [`Runtime`] current at construction
+/// (or the one passed to [`InferExec::with_runtime`]): every run and
+/// the final drop re-enter that runtime, so its buffers are taken from
+/// and recycled into the same arena, its thread budget and tier come
+/// from the same runtime, regardless of which runtime happens to be
+/// current at the call site later.
 pub struct InferExec<'p> {
     plan: &'p InferPlan,
     groups: Vec<GroupBufs>,
+    rt: Runtime,
 }
 
 impl<'p> InferExec<'p> {
-    /// Creates an executor for `plan`. Buffers are taken from the arena
-    /// on first use and recycled when the executor drops.
+    /// Creates an executor for `plan`, bound to the current runtime.
+    /// Buffers are taken from that runtime's arena on first use and
+    /// recycled into it when the executor drops.
     pub fn new(plan: &'p InferPlan) -> Self {
+        Self::with_runtime(plan, runtime::current())
+    }
+
+    /// Creates an executor for `plan` bound to an explicit runtime.
+    pub fn with_runtime(plan: &'p InferPlan, rt: Runtime) -> Self {
         InferExec {
             plan,
             groups: Vec::new(),
+            rt,
         }
+    }
+
+    /// The runtime this executor allocates from and runs under.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
     }
 
     fn ensure(&mut self, groups: usize) {
@@ -1037,6 +1058,11 @@ impl<'p> InferExec<'p> {
     /// Panics if `input` does not match the plan's input shape or the
     /// batch is empty.
     pub fn run(&mut self, ps: &ParamSet, input: &Tensor) -> Vec<Tensor> {
+        let rt = self.rt.clone();
+        rt.enter(|| self.run_inner(ps, input))
+    }
+
+    fn run_inner(&mut self, ps: &ParamSet, input: &Tensor) -> Vec<Tensor> {
         let plan = self.plan;
         assert!(
             !input.shape().is_empty() && input.shape()[1..] == plan.input_shape[..],
@@ -1127,12 +1153,18 @@ impl<'p> InferExec<'p> {
 
 impl Drop for InferExec<'_> {
     fn drop(&mut self) {
-        for gb in self.groups.drain(..) {
-            for b in gb.slots {
-                arena::recycle(b);
+        // Recycle into the bound runtime's arena even if a different
+        // runtime is current when the executor is dropped (e.g. a
+        // supervisor tearing down a finished job from its own context).
+        let rt = self.rt.clone();
+        rt.enter(|| {
+            for gb in self.groups.drain(..) {
+                for b in gb.slots {
+                    arena::recycle(b);
+                }
+                arena::recycle(gb.cols);
             }
-            arena::recycle(gb.cols);
-        }
+        });
     }
 }
 

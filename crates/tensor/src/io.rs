@@ -79,7 +79,7 @@ const fn crc32_table() -> [u32; 256] {
     table
 }
 
-static CRC32_TABLE: [u32; 256] = crc32_table();
+const CRC32_TABLE: [u32; 256] = crc32_table();
 
 /// CRC32 (IEEE) of a byte slice — the checksum guarding v2 checkpoints.
 pub fn crc32(bytes: &[u8]) -> u32 {

@@ -23,6 +23,14 @@
 //!   [`TrainStep`]): fused forward+backward op lists with activation
 //!   column caching, bitwise-identical to a tape forward+backward.
 //! * [`check`] — numerical gradient checking used across the workspace.
+//! * [`runtime`] — instance-scoped execution contexts ([`Runtime`]):
+//!   each bundles a worker-thread budget, scratch arena, profiler
+//!   registry, execution tier and cancellation state. The free
+//!   functions in [`parallel`] / [`arena`] / [`profile`] / [`tier`]
+//!   operate on the runtime current at the call site (a lazily created
+//!   process default outside any [`Runtime::enter`] scope), so existing
+//!   single-job code is unchanged while supervisors can run isolated
+//!   concurrent jobs.
 //!
 //! # Examples
 //!
@@ -66,6 +74,7 @@ mod params;
 pub mod plan_meta;
 mod pool;
 pub mod profile;
+pub mod runtime;
 pub mod shape;
 pub mod simd;
 mod smallvec;
@@ -79,6 +88,7 @@ pub use infer::{InferExec, InferPlan};
 pub use linmap::{LinearMap, WarpEntry};
 pub use params::{Param, ParamId, ParamSet};
 pub use plan_meta::{ConvGeom, ParamRef, ParamRole, PlanKind, PlanMeta, PlanOpMeta, SlotMeta};
+pub use runtime::{Cancelled, Runtime, RuntimeConfig};
 pub use smallvec::SmallVec;
 pub use tensor::Tensor;
 pub use tier::Tier;

@@ -8,6 +8,13 @@
 //! happens on the calling thread in group order, results are bitwise
 //! identical whatever the thread count — including fully serial runs.
 //!
+//! The thread budget lives on the [`crate::runtime::Runtime`] current
+//! at the call site ([`set_max_threads`] is the default-runtime shim),
+//! so two runtimes can run different budgets concurrently in one
+//! process. Worker threads spawned here **inherit the spawner's
+//! runtime**: everything a worker allocates, profiles or dispatches
+//! stays charged to the runtime that launched the loop.
+//!
 //! Nested parallelism is suppressed: a `run_*` call made from inside a
 //! worker runs inline on that worker. The partitioning is unchanged, so
 //! numerics are unchanged; only the thread fan-out is.
@@ -15,6 +22,8 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use crate::runtime;
 
 /// Upper bound on the number of work groups any loop is split into.
 ///
@@ -24,9 +33,6 @@ use std::sync::Mutex;
 /// per-group reduction cheap.
 pub const MAX_GROUPS: usize = 8;
 
-/// Global thread budget; 0 means "auto" (use `available_parallelism`).
-static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
-
 /// The host's logical CPU count (floor of 1).
 pub fn host_logical_cpus() -> usize {
     std::thread::available_parallelism()
@@ -34,11 +40,15 @@ pub fn host_logical_cpus() -> usize {
         .unwrap_or(1)
 }
 
-/// Sets the worker-thread budget for all subsequent parallel loops.
+/// Sets the worker-thread budget of the **current runtime** (the
+/// process-wide default runtime outside any
+/// [`crate::runtime::Runtime::enter`] scope, which preserves the old
+/// global behavior for single-job binaries).
 ///
 /// `0` restores the default (the host's available parallelism). `1`
-/// forces fully serial execution. The setting is global and applies to
-/// conv/pool/warp kernels as well as the attack-loop frame fan-out.
+/// forces fully serial execution. The setting applies to conv/pool/warp
+/// kernels as well as the attack-loop frame fan-out run under that
+/// runtime.
 ///
 /// Requests above [`host_logical_cpus`] are stored as-is (see
 /// [`requested_max_threads`]) but [`max_threads`] clamps the effective
@@ -46,22 +56,23 @@ pub fn host_logical_cpus() -> usize {
 /// scheduler thrash — the partitioning (and therefore the numerics) is
 /// group-based and unaffected either way.
 pub fn set_max_threads(n: usize) {
-    MAX_THREADS.store(n, Ordering::SeqCst);
+    runtime::current().set_threads(n);
 }
 
-/// Returns the raw budget passed to [`set_max_threads`] (0 = auto),
-/// before the host clamp. Benches report this next to the effective
-/// [`max_threads`] so oversubscribed configs are visible.
+/// Returns the current runtime's raw budget (0 = auto), before the host
+/// clamp. Benches report this next to the effective [`max_threads`] so
+/// oversubscribed configs are visible.
 pub fn requested_max_threads() -> usize {
-    MAX_THREADS.load(Ordering::SeqCst)
+    runtime::current().threads_requested()
 }
 
-/// Returns the current *effective* worker-thread budget: the requested
-/// budget clamped to [`host_logical_cpus`], with "auto" (0) resolving
-/// to the host's available parallelism and a floor of 1.
+/// Returns the current *effective* worker-thread budget: the current
+/// runtime's requested budget clamped to [`host_logical_cpus`], with
+/// "auto" (0) resolving to the host's available parallelism and a floor
+/// of 1.
 pub fn max_threads() -> usize {
     let host = host_logical_cpus();
-    let n = MAX_THREADS.load(Ordering::SeqCst);
+    let n = runtime::current().threads_requested();
     if n == 0 {
         host
     } else {
@@ -113,21 +124,26 @@ where
     if workers <= 1 || n == 1 {
         return (0..n).map(f).collect();
     }
+    // Workers run under the spawner's runtime: arena takes/recycles,
+    // profiler samples and nested budget reads all resolve to it.
+    let rt = runtime::current();
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| {
-                IN_WORKER.with(|fl| fl.set(true));
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                rt.enter(|| {
+                    IN_WORKER.with(|fl| fl.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let v = f(i);
+                        *slots[i].lock().expect("parallel slot poisoned") = Some(v);
                     }
-                    let v = f(i);
-                    *slots[i].lock().expect("parallel slot poisoned") = Some(v);
-                }
-                IN_WORKER.with(|fl| fl.set(false));
+                    IN_WORKER.with(|fl| fl.set(false));
+                });
             });
         }
     });
@@ -204,7 +220,19 @@ where
 
 #[cfg(test)]
 mod tests {
+    // Every test that tunes the thread budget enters its own Runtime,
+    // so concurrent `cargo test` threads can no longer race on a shared
+    // MAX_THREADS global (the pre-Runtime failure mode).
     use super::*;
+    use crate::runtime::{Runtime, RuntimeConfig};
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        Runtime::new(RuntimeConfig {
+            threads: n,
+            ..RuntimeConfig::default()
+        })
+        .enter(f)
+    }
 
     #[test]
     fn groups_are_machine_independent() {
@@ -217,53 +245,99 @@ mod tests {
     #[test]
     fn workers_never_exceed_groups_or_host() {
         let host = host_logical_cpus();
-        set_max_threads(16);
-        assert_eq!(requested_max_threads(), 16);
-        assert_eq!(max_threads(), 16.min(host));
-        assert_eq!(workers_for(3), 16.min(host).min(3));
-        assert_eq!(workers_for(0), 1);
-        set_max_threads(2);
-        assert_eq!(workers_for(8), 2.min(host));
-        set_max_threads(0);
-        assert_eq!(requested_max_threads(), 0);
-        assert_eq!(max_threads(), host);
+        with_threads(16, || {
+            assert_eq!(requested_max_threads(), 16);
+            assert_eq!(max_threads(), 16.min(host));
+            assert_eq!(workers_for(3), 16.min(host).min(3));
+            assert_eq!(workers_for(0), 1);
+        });
+        with_threads(2, || assert_eq!(workers_for(8), 2.min(host)));
+        with_threads(0, || {
+            assert_eq!(requested_max_threads(), 0);
+            assert_eq!(max_threads(), host);
+        });
     }
 
     #[test]
     fn run_indexed_matches_serial_order() {
-        set_max_threads(4);
-        let par = run_indexed(37, |i| i * i);
-        set_max_threads(1);
-        let ser = run_indexed(37, |i| i * i);
-        set_max_threads(0);
+        let par = with_threads(4, || run_indexed(37, |i| i * i));
+        let ser = with_threads(1, || run_indexed(37, |i| i * i));
         assert_eq!(par, ser);
     }
 
     #[test]
     fn chunked_writes_cover_all_elements() {
-        set_max_threads(4);
-        let mut v = vec![0usize; 103];
-        for_each_chunk_mut(&mut v, 10, |g, c| {
-            for (j, x) in c.iter_mut().enumerate() {
-                *x = g * 10 + j;
-            }
+        with_threads(4, || {
+            let mut v = vec![0usize; 103];
+            for_each_chunk_mut(&mut v, 10, |g, c| {
+                for (j, x) in c.iter_mut().enumerate() {
+                    *x = g * 10 + j;
+                }
+            });
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i));
         });
-        set_max_threads(0);
-        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
     }
 
     #[test]
     fn nested_calls_run_inline() {
-        set_max_threads(4);
-        // With the host clamp, a 1-CPU machine legitimately runs the
-        // outer loop inline on the calling thread.
-        let spawns = workers_for(4) > 1;
-        let out = run_indexed(4, |i| {
-            assert_eq!(in_worker(), spawns);
-            let inner = run_indexed(3, move |j| i * 10 + j);
-            inner.iter().sum::<usize>()
+        with_threads(4, || {
+            // With the host clamp, a 1-CPU machine legitimately runs the
+            // outer loop inline on the calling thread.
+            let spawns = workers_for(4) > 1;
+            let out = run_indexed(4, |i| {
+                assert_eq!(in_worker(), spawns);
+                let inner = run_indexed(3, move |j| i * 10 + j);
+                inner.iter().sum::<usize>()
+            });
+            assert_eq!(out, vec![3, 33, 63, 93]);
         });
-        set_max_threads(0);
-        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn workers_inherit_the_spawning_runtime() {
+        let rt = Runtime::new(RuntimeConfig {
+            threads: 4,
+            ..RuntimeConfig::default()
+        });
+        let ids = rt
+            .clone()
+            .enter(|| run_indexed(8, |_| runtime::current().id()));
+        assert!(ids.iter().all(|&id| id == rt.id()));
+    }
+
+    /// The satellite regression for the old `set_max_threads` test
+    /// race: two runtimes with different thread budgets coexist on
+    /// concurrent threads, neither sees the other's budget, and the
+    /// parallel results are bitwise-deterministic either way.
+    #[test]
+    fn two_runtimes_with_different_budgets_coexist() {
+        let work = |seed: usize| run_indexed(23, move |i| ((seed * 31 + i) as f32).sin().to_bits());
+        let expected = with_threads(1, || (work(1), work(2)));
+        let a = Runtime::new(RuntimeConfig {
+            threads: 1,
+            ..RuntimeConfig::default()
+        });
+        let b = Runtime::new(RuntimeConfig {
+            threads: 4,
+            ..RuntimeConfig::default()
+        });
+        std::thread::scope(|s| {
+            let ja = s.spawn(|| {
+                a.enter(|| {
+                    assert_eq!(requested_max_threads(), 1);
+                    work(1)
+                })
+            });
+            let jb = s.spawn(|| {
+                b.enter(|| {
+                    assert_eq!(requested_max_threads(), 4);
+                    work(2)
+                })
+            });
+            let ra = ja.join().expect("runtime A thread");
+            let rb = jb.join().expect("runtime B thread");
+            assert_eq!(ra, expected.0, "serial runtime diverged");
+            assert_eq!(rb, expected.1, "parallel runtime diverged");
+        });
     }
 }

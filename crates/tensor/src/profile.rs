@@ -12,21 +12,24 @@
 //! to a tensor op. Backward timing is exact: `Graph::backward` brackets
 //! each back-closure call and records it under `<path>/bwd`.
 //!
-//! Profiling is off by default and costs one relaxed atomic load per
-//! recorded op when disabled. Worker threads record into the same
-//! global registry through a mutex; with profiling on, contention is an
-//! accepted observer cost.
+//! The enable flag and the sample registry live on the
+//! [`crate::runtime::Runtime`] current at the call site; the free
+//! functions here are the default-runtime shim, so two concurrent jobs
+//! profile into disjoint registries. Profiling is off by default and
+//! costs one relaxed atomic load per recorded op when disabled. Worker
+//! threads record into their runtime's registry through a mutex; with
+//! profiling on, contention is an accepted observer cost. The forward
+//! gap mark is thread-local (a worker's gaps are its own).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 use std::cell::Cell;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
-static REGISTRY: Mutex<Option<HashMap<String, OpStat>>> = Mutex::new(None);
+use crate::runtime;
 
 thread_local! {
     static LAST_MARK: Cell<Option<Instant>> = const { Cell::new(None) };
@@ -71,18 +74,79 @@ impl OpStat {
     }
 }
 
-/// Turns the profiler on or off. Turning it on clears the forward mark
-/// so the first charged interval starts from the next recorded op.
+/// One runtime's profiler: enable flag + sample registry.
+pub(crate) struct ProfilerState {
+    enabled: AtomicBool,
+    registry: Mutex<Option<HashMap<String, OpStat>>>,
+}
+
+impl ProfilerState {
+    pub(crate) fn new(enabled: bool) -> Self {
+        ProfilerState {
+            enabled: AtomicBool::new(enabled),
+            registry: Mutex::new(None),
+        }
+    }
+
+    /// Locks the registry, recovering from poison by discarding the
+    /// recorded samples of this runtime only — timing data is pure
+    /// observability, so dropping a half-updated map is always sound.
+    fn registry_guard(&self) -> MutexGuard<'_, Option<HashMap<String, OpStat>>> {
+        match self.registry.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                self.registry.clear_poison();
+                let mut g = poisoned.into_inner();
+                *g = None;
+                g
+            }
+        }
+    }
+
+    fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::SeqCst);
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn add_sample(&self, key: &str, ns: u64) {
+        let mut guard = self.registry_guard();
+        let map = guard.get_or_insert_with(HashMap::new);
+        map.entry(key.to_string())
+            .or_insert_with(OpStat::new)
+            .add(ns);
+    }
+
+    fn reset(&self) {
+        *self.registry_guard() = None;
+    }
+
+    fn snapshot(&self) -> Vec<(String, OpStat)> {
+        let guard = self.registry_guard();
+        let mut rows: Vec<(String, OpStat)> = guard
+            .as_ref()
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            .unwrap_or_default();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+/// Turns the current runtime's profiler on or off. Turning it on clears
+/// the forward mark so the first charged interval starts from the next
+/// recorded op.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+    runtime::current().inner_profiler(|p| p.set_enabled(on));
     if on {
         LAST_MARK.with(|m| m.set(None));
     }
 }
 
-/// Whether profiling is currently enabled.
+/// Whether profiling is enabled on the current runtime.
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    runtime::current().inner_profiler(|p| p.enabled())
 }
 
 /// Resets the forward gap-attribution mark **without** charging the
@@ -104,31 +168,22 @@ pub fn note_forward(path: &str) {
     });
 }
 
-/// Records one exact sample of `ns` nanoseconds under `key`.
+/// Records one exact sample of `ns` nanoseconds under `key` in the
+/// current runtime's registry.
 pub fn add_sample(key: &str, ns: u64) {
-    let mut guard = REGISTRY.lock().expect("profiler registry poisoned");
-    let map = guard.get_or_insert_with(HashMap::new);
-    map.entry(key.to_string())
-        .or_insert_with(OpStat::new)
-        .add(ns);
+    runtime::current().inner_profiler(|p| p.add_sample(key, ns));
 }
 
-/// Clears all recorded samples and the forward mark.
+/// Clears the current runtime's recorded samples and the forward mark.
 pub fn reset() {
-    let mut guard = REGISTRY.lock().expect("profiler registry poisoned");
-    *guard = None;
+    runtime::current().inner_profiler(|p| p.reset());
     LAST_MARK.with(|m| m.set(None));
 }
 
-/// Snapshot of all op stats, sorted by total time descending.
+/// Snapshot of the current runtime's op stats, sorted by total time
+/// descending.
 pub fn snapshot() -> Vec<(String, OpStat)> {
-    let guard = REGISTRY.lock().expect("profiler registry poisoned");
-    let mut rows: Vec<(String, OpStat)> = guard
-        .as_ref()
-        .map(|m| m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
-        .unwrap_or_default();
-    rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
-    rows
+    runtime::current().inner_profiler(|p| p.snapshot())
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -219,24 +274,28 @@ pub fn report_json() -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::{Runtime, RuntimeConfig};
 
     #[test]
     fn samples_aggregate_per_key() {
-        // The registry is global and tests run concurrently, so only
-        // assert on keys this test owns.
-        add_sample("test-agg/conv2d", 1_000);
-        add_sample("test-agg/conv2d", 3_000);
-        let rows = snapshot();
-        let stat = &rows.iter().find(|(k, _)| k == "test-agg/conv2d").unwrap().1;
-        assert_eq!(stat.count, 2);
-        assert_eq!(stat.total_ns, 4_000);
-        assert_eq!(stat.min_ns, 1_000);
-        assert_eq!(stat.max_ns, 3_000);
-        let text = report_text();
-        assert!(text.contains("test-agg/conv2d"));
-        let json = report_json();
-        assert!(json.contains("\"test-agg/conv2d\""));
-        assert!(json.contains("\"total_ns\": 4000"));
+        // A private runtime keeps the registry under test isolated from
+        // concurrently running tests.
+        Runtime::new(RuntimeConfig::default()).enter(|| {
+            add_sample("test-agg/conv2d", 1_000);
+            add_sample("test-agg/conv2d", 3_000);
+            let rows = snapshot();
+            assert_eq!(rows.len(), 1, "private registry holds only this key");
+            let stat = &rows.iter().find(|(k, _)| k == "test-agg/conv2d").unwrap().1;
+            assert_eq!(stat.count, 2);
+            assert_eq!(stat.total_ns, 4_000);
+            assert_eq!(stat.min_ns, 1_000);
+            assert_eq!(stat.max_ns, 3_000);
+            let text = report_text();
+            assert!(text.contains("test-agg/conv2d"));
+            let json = report_json();
+            assert!(json.contains("\"test-agg/conv2d\""));
+            assert!(json.contains("\"total_ns\": 4000"));
+        });
     }
 
     #[test]
@@ -251,13 +310,31 @@ mod tests {
 
     #[test]
     fn forward_marks_gate_attribution() {
-        // The mark is thread-local, so this is race-free even though
-        // the registry is shared.
-        LAST_MARK.with(|m| m.set(None));
-        note_forward("test-mark/op"); // no prior mark on this thread: not charged
-        note_forward("test-mark/op"); // now marked: charged once
-        let rows = snapshot();
-        let stat = &rows.iter().find(|(k, _)| k == "test-mark/op").unwrap().1;
-        assert_eq!(stat.count, 1);
+        Runtime::new(RuntimeConfig::default()).enter(|| {
+            LAST_MARK.with(|m| m.set(None));
+            note_forward("test-mark/op"); // no prior mark on this thread: not charged
+            note_forward("test-mark/op"); // now marked: charged once
+            let rows = snapshot();
+            let stat = &rows.iter().find(|(k, _)| k == "test-mark/op").unwrap().1;
+            assert_eq!(stat.count, 1);
+        });
+    }
+
+    #[test]
+    fn registries_are_isolated_per_runtime() {
+        let a = Runtime::new(RuntimeConfig {
+            profiling: true,
+            ..RuntimeConfig::default()
+        });
+        let b = Runtime::new(RuntimeConfig::default());
+        a.enter(|| {
+            assert!(enabled());
+            add_sample("iso/a", 10);
+        });
+        b.enter(|| {
+            assert!(!enabled(), "profiling flag is per-runtime");
+            assert!(snapshot().is_empty(), "B must not see A's samples");
+        });
+        a.enter(|| assert_eq!(snapshot().len(), 1));
     }
 }

@@ -15,12 +15,15 @@
 //!   and CI gates enforce the observed divergence against that
 //!   certificate.
 //!
-//! The tier is a process-global switch read **once per executor run**
-//! (plan compilation is tier-independent), so toggling it mid-run never
-//! mixes kernels within one forward/backward pass. The autodiff tape
-//! itself always runs the reference kernels — it is the oracle.
+//! The tier lives on the [`crate::runtime::Runtime`] current at the
+//! call site (the free functions here are the default-runtime shim) and
+//! is read **once per executor run** (plan compilation is
+//! tier-independent), so toggling it mid-run never mixes kernels within
+//! one forward/backward pass, and two concurrent runtimes can run
+//! different tiers in one process. The autodiff tape itself always runs
+//! the reference kernels — it is the oracle.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::runtime;
 
 /// Which kernel family the compiled engines execute with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,25 +58,18 @@ impl std::str::FromStr for Tier {
     }
 }
 
-/// 0 = Reference, 1 = Fast.
-static TIER: AtomicU8 = AtomicU8::new(0);
-
-/// Selects the execution tier for subsequently *started* compiled runs.
-///
-/// The setting is global, like [`crate::parallel::set_max_threads`].
-/// Executors latch it when a run begins, so an in-flight forward or
-/// backward pass never mixes tiers.
+/// Selects the execution tier for subsequently *started* compiled runs
+/// on the **current runtime** (the default runtime outside any
+/// [`crate::runtime::Runtime::enter`] scope, matching the old global
+/// behavior). Executors latch it when a run begins, so an in-flight
+/// forward or backward pass never mixes tiers.
 pub fn set_tier(t: Tier) {
-    TIER.store(matches!(t, Tier::Fast) as u8, Ordering::SeqCst);
+    runtime::current().set_tier(t);
 }
 
-/// The currently selected execution tier.
+/// The current runtime's selected execution tier.
 pub fn current() -> Tier {
-    if TIER.load(Ordering::SeqCst) == 0 {
-        Tier::Reference
-    } else {
-        Tier::Fast
-    }
+    runtime::current().tier()
 }
 
 #[cfg(test)]

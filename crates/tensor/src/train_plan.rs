@@ -67,6 +67,7 @@ use crate::plan_meta::{
 };
 use crate::pool::{max_pool_backward, max_pool_forward, upsample2x_backward, upsample2x_forward};
 use crate::profile;
+use crate::runtime::{self, Runtime};
 use crate::simd;
 use crate::tensor::Tensor;
 use crate::tier::{self, Tier};
@@ -953,6 +954,7 @@ impl TrainPlan {
 
         TrainStep {
             plan: self,
+            rt: runtime::current(),
             n,
             fast,
             need_param_grads,
@@ -990,6 +992,9 @@ struct OpAux {
 /// [`TrainStep::backward`]. All buffers are arena-recycled on drop.
 pub struct TrainStep<'p> {
     plan: &'p TrainPlan,
+    /// Runtime current at forward time; backward and drop re-enter it
+    /// so the step's buffers stay within one runtime's arena.
+    rt: Runtime,
     n: usize,
     /// Kernel tier latched at forward time; backward reuses it.
     fast: bool,
@@ -1052,6 +1057,11 @@ impl TrainStep<'_> {
     ///
     /// Panics on seed count/shape mismatches or if called twice.
     pub fn backward(&mut self, ps: &ParamSet, seeds: &[&Tensor], need_input_grad: bool) {
+        let rt = self.rt.clone();
+        rt.enter(|| self.backward_inner(ps, seeds, need_input_grad));
+    }
+
+    fn backward_inner(&mut self, ps: &ParamSet, seeds: &[&Tensor], need_input_grad: bool) {
         assert!(!self.ran_backward, "TrainStep::backward called twice");
         self.ran_backward = true;
         let plan = self.plan;
@@ -1389,22 +1399,28 @@ impl TrainStep<'_> {
 
 impl Drop for TrainStep<'_> {
     fn drop(&mut self) {
-        for b in self.vals.drain(..) {
-            arena::recycle(b);
-        }
-        for b in self.grads.drain(..) {
-            arena::recycle(b);
-        }
-        for a in self.aux.drain(..) {
-            arena::recycle(a.xhat);
-            arena::recycle(a.raw);
-        }
-        for b in self.cols_cache.drain(..).flatten() {
-            arena::recycle(b);
-        }
-        for (_, b) in self.param_grads.drain(..) {
-            arena::recycle(b);
-        }
+        // Recycle into the runtime the step was created under, even
+        // when the drop happens from another runtime's scope (e.g. a
+        // supervisor unwinding a panicked job).
+        let rt = self.rt.clone();
+        rt.enter(|| {
+            for b in self.vals.drain(..) {
+                arena::recycle(b);
+            }
+            for b in self.grads.drain(..) {
+                arena::recycle(b);
+            }
+            for a in self.aux.drain(..) {
+                arena::recycle(a.xhat);
+                arena::recycle(a.raw);
+            }
+            for b in self.cols_cache.drain(..).flatten() {
+                arena::recycle(b);
+            }
+            for (_, b) in self.param_grads.drain(..) {
+                arena::recycle(b);
+            }
+        });
     }
 }
 

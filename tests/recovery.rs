@@ -8,7 +8,6 @@
 //! was never interrupted, at any worker-thread count.
 
 use std::path::PathBuf;
-use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,11 +20,19 @@ use road_decals_repro::attack::{
 use road_decals_repro::detector::{TinyYolo, TrainConfig, YoloConfig};
 use road_decals_repro::scene::dataset::{generate, DatasetConfig};
 use road_decals_repro::scene::CameraRig;
-use road_decals_repro::tensor::io::CheckpointError;
-use road_decals_repro::tensor::{parallel, ParamSet};
+use road_decals_repro::tensor::io::{encode_checkpoint, load_checkpoint_file, CheckpointError};
+use road_decals_repro::tensor::{ParamSet, Runtime, RuntimeConfig, Tier};
 
-/// The worker-pool cap is process-global; tests that flip it serialize.
-static THREAD_LOCK: Mutex<()> = Mutex::new(());
+/// Runs `f` inside a private [`Runtime`] capped at `n` worker threads.
+/// Thread budgets are per-runtime now, so tests at different counts run
+/// concurrently without a process-global lock.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let rt = Runtime::new(RuntimeConfig {
+        threads: n,
+        ..RuntimeConfig::default()
+    });
+    rt.enter(f)
+}
 
 fn tmp_ck(name: &str) -> PathBuf {
     let path = std::env::temp_dir().join(format!("rd_recovery_{name}.rdc"));
@@ -129,18 +136,12 @@ fn assert_kill_resume_bitwise(steps: usize, checkpoint_every: u64, kill_at: u64,
 
 #[test]
 fn attack_kill_and_resume_is_bitwise_serial() {
-    let _guard = THREAD_LOCK.lock().unwrap();
-    parallel::set_max_threads(1);
-    assert_kill_resume_bitwise(6, 2, 4, "attack_serial");
-    parallel::set_max_threads(0);
+    with_threads(1, || assert_kill_resume_bitwise(6, 2, 4, "attack_serial"));
 }
 
 #[test]
 fn attack_kill_and_resume_is_bitwise_4_threads() {
-    let _guard = THREAD_LOCK.lock().unwrap();
-    parallel::set_max_threads(4);
-    assert_kill_resume_bitwise(6, 2, 3, "attack_mt");
-    parallel::set_max_threads(0);
+    with_threads(4, || assert_kill_resume_bitwise(6, 2, 3, "attack_mt"));
 }
 
 /// The ci.sh resume-determinism smoke: 20 steps straight vs 10 + kill +
@@ -148,9 +149,98 @@ fn attack_kill_and_resume_is_bitwise_4_threads() {
 #[test]
 #[ignore = "ci smoke: run with --ignored in release builds"]
 fn attack_resume_determinism_smoke_20_steps() {
-    let _guard = THREAD_LOCK.lock().unwrap();
-    parallel::set_max_threads(0);
-    assert_kill_resume_bitwise(20, 5, 10, "attack_ci20");
+    with_threads(0, || assert_kill_resume_bitwise(20, 5, 10, "attack_ci20"));
+}
+
+// ------------------------------------------------------ tier degradation
+
+/// Satellite of the supervisor work: a fast-tier run killed mid-job
+/// resumes on the *reference* tier. The checkpoint restore is bitwise
+/// (the encoded state round-trips exactly across the tier change), the
+/// finishing run reports the tier it actually executed on, and the
+/// cross-tier resume is deterministic.
+#[test]
+fn fast_tier_kill_resumes_on_reference_tier() {
+    let path = tmp_ck("tier_resume");
+    let opts = RecoveryOptions {
+        checkpoint_every: 2,
+        checkpoint_path: Some(path.clone()),
+        ..RecoveryOptions::default()
+    };
+    let fast = Runtime::new(RuntimeConfig {
+        tier: Tier::Fast,
+        ..RuntimeConfig::default()
+    });
+
+    // leg 1: fast tier, killed at step 4 (last checkpoint = step-4 state)
+    fast.enter(|| {
+        let (scenario, detector, mut ps, cfg) = smoke_attack(6);
+        let plan = FaultPlan::new(0).kill_at(4);
+        let mut trainer = AttackTrainer::new(&scenario, &detector, &mut ps, &cfg);
+        let err = TrainRunner::new(opts.clone())
+            .with_fault_plan(&plan)
+            .run(&mut trainer)
+            .expect_err("scripted kill fires");
+        assert!(matches!(err, RunnerError::SimulatedKill { step: 4 }));
+    });
+
+    // a runner on the fast tier labels its report accordingly
+    fast.enter(|| {
+        let (scenario, detector, mut ps, cfg) = smoke_attack(1);
+        let (_, report) = train_decal_attack_recoverable(
+            &scenario,
+            &detector,
+            &mut ps,
+            &cfg,
+            &Default::default(),
+        )
+        .expect("tiny fast run");
+        assert_eq!(report.tier, "fast");
+    });
+
+    // the restore is bitwise across the tier change: a fresh trainer on
+    // the reference tier re-encodes the fast run's bytes exactly
+    let bytes = std::fs::read(&path).expect("checkpoint file");
+    let ck = load_checkpoint_file(&path).expect("checkpoint readable");
+    with_threads(0, || {
+        let (scenario, detector, mut ps, cfg) = smoke_attack(6);
+        let mut trainer = AttackTrainer::new(&scenario, &detector, &mut ps, &cfg);
+        trainer.restore(&ck).expect("cross-tier restore");
+        assert_eq!(trainer.steps_done(), 4);
+        assert_eq!(
+            encode_checkpoint(&trainer.checkpoint()),
+            bytes,
+            "checkpoint restore is not bitwise"
+        );
+    });
+
+    // leg 2: resume on the reference tier — twice, bitwise-identically
+    let resume_opts = RecoveryOptions {
+        resume: true,
+        ..opts
+    };
+    let run_resume = || {
+        with_threads(0, || {
+            let (scenario, detector, mut ps, cfg) = smoke_attack(6);
+            train_decal_attack_recoverable(&scenario, &detector, &mut ps, &cfg, &resume_opts)
+                .expect("cross-tier resume")
+        })
+    };
+    let (decal_a, report_a) = run_resume();
+    assert_eq!(report_a.resumed_from, Some(4));
+    assert_eq!(report_a.tier, "reference", "the tier change is reported");
+    // rewind the checkpoint file and replay the resume
+    std::fs::write(&path, &bytes).expect("rewind checkpoint");
+    let (decal_b, report_b) = run_resume();
+    assert_eq!(report_b.resumed_from, Some(4));
+    assert_eq!(
+        decal_a.decal.channel_data(),
+        decal_b.decal.channel_data(),
+        "cross-tier resume is not deterministic"
+    );
+    let key = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(key(&decal_a.attack_loss), key(&decal_b.attack_loss));
+    let _ = std::fs::remove_file(&path);
 }
 
 // -------------------------------------------------------------- detector
