@@ -67,7 +67,7 @@ echo "==> substrate bench smoke (profiler + parallel fan-out + determinism + tie
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread
 # equality before writing its report. The eval section re-checks the
 # tape-vs-compiled bitwise gate on rendered frames.
-cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json --tier-out target/BENCH_pr7_smoke.json
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json --tier-out target/BENCH_pr7_smoke.json --stream-out target/BENCH_pr9_smoke.json
 test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
 test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval report" >&2; exit 1; }
 # The training section enforces this PR's contracts before writing its
@@ -80,6 +80,13 @@ test -s target/BENCH_pr5_smoke.json || { echo "bench_substrate wrote no training
 # scalar reference (the 1.5x speedup floor applies to full runs only —
 # quick runs are too short to hard-gate wall clock).
 test -s target/BENCH_pr7_smoke.json || { echo "bench_substrate wrote no tier report" >&2; exit 1; }
+# The streaming section is itself a hard gate: it errors out (and so
+# fails this script) unless the streamed evaluator is bitwise-identical
+# to the buffered oracle (per-frame detections, 1 and N threads, both
+# tiers), peak live frames stay within one chunk pair, the arena
+# high-water mark is invariant in drive length (bounded-memory smoke),
+# and the fleet driver accounts for every drive.
+test -s target/BENCH_pr9_smoke.json || { echo "bench_substrate wrote no streaming report" >&2; exit 1; }
 
 echo "==> compiled training step equivalence (TrainPlan vs tape, 1 and 4 threads)"
 # The PR 5 contract at test granularity: full training runs through the

@@ -34,6 +34,14 @@
 //! static `rd_analysis::bounds` certificate, and gates decoded
 //! detections, mAP and the attack's PWC/CWC for zero drift between
 //! tiers; results go to `--tier-out`.
+//!
+//! A fifth section times the *streaming* evaluation pipeline against
+//! the buffered reference oracle on the same challenge videos: gates
+//! the two bitwise (per-frame detections, at 1 and `--threads` threads,
+//! on both tiers), asserts the streamed peak-live-frame bound and the
+//! drive-length invariance of the arena high-water mark, runs a
+//! `--fleet-drives` drive fleet through supervised per-job runtimes,
+//! and writes videos/sec for all of it to `--stream-out`.
 
 use std::time::Instant;
 
@@ -47,11 +55,14 @@ use rd_detector::{postprocess, Detection, DetectorTrainer, TinyYolo, TrainConfig
 use rd_scene::dataset::{generate, DatasetConfig, Sample};
 use rd_scene::{CameraRig, GtBox, ObjectClass, RotationSetting};
 use rd_tensor::optim::StepOutcome;
-use rd_tensor::{tier, Graph, ParamSet, Tensor, Tier};
+use rd_tensor::{tier, Graph, ParamSet, Runtime, RuntimeConfig, Tensor, Tier};
 use rd_vision::Image;
 use road_decals::attack::{deploy, train_decal_attack, AttackConfig, TrainedDecal};
-use road_decals::eval::{evaluate_challenge, Challenge, EvalConfig};
+use road_decals::eval::{
+    evaluate_challenge, evaluate_challenge_traced, Challenge, EvalConfig, EvalMode,
+};
 use road_decals::scenario::AttackScenario;
+use road_decals::stream::{eval_fleet, evaluate_streamed, FleetConfig, BATCH_FRAMES};
 
 /// Peak resident-set size of this process in kB (Linux `VmHWM`; 0 where
 /// /proc is unavailable).
@@ -740,5 +751,258 @@ fn run_body() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::write(&tier_out, &tier_json).map_err(|e| format!("cannot write {tier_out}: {e}"))?;
     println!("wrote {tier_out}");
+
+    // --- streaming evaluation: render/infer overlap vs buffered --------
+    let stream_out: String = arg("--stream-out", "BENCH_pr9.json".to_owned())?;
+    let fleet_drives: usize = arg("--fleet-drives", if quick { 48 } else { 10_000 })?;
+    // a drive long enough that the buffered path materializes several
+    // chunks while the streamed path stays at one chunk pair
+    let stream_cfg = EvalConfig {
+        rotation_frames: 4 * BATCH_FRAMES,
+        runs: 3,
+        conf_threshold: 0.05,
+        ..EvalConfig::smoke(13)
+    };
+    let stream_challenge = Challenge::Rotation(RotationSetting::Slight);
+    println!(
+        "\ntiming streamed vs buffered evaluation ({} frames x {} runs per video)...",
+        stream_cfg.rotation_frames, stream_cfg.runs
+    );
+
+    // bitwise gate first: per-frame detections must agree at 1 and
+    // {threads} threads, on both tiers
+    for gate_tier in [Tier::Reference, Tier::Fast] {
+        for n_threads in [1usize, threads] {
+            let rt = Runtime::new(RuntimeConfig {
+                threads: n_threads,
+                tier: gate_tier,
+                profiling: false,
+            });
+            let traced = |mode| {
+                rt.enter(|| {
+                    evaluate_challenge_traced(
+                        &scenario,
+                        &deployment,
+                        &detector,
+                        &ps_det,
+                        ObjectClass::Bicycle,
+                        stream_challenge,
+                        &stream_cfg,
+                        mode,
+                    )
+                })
+            };
+            let (s_out, s_trace) = traced(EvalMode::Streamed);
+            let (b_out, b_trace) = traced(EvalMode::Buffered);
+            if s_out.cell.pwc.to_bits() != b_out.cell.pwc.to_bits()
+                || s_out.cell.cwc != b_out.cell.cwc
+                || s_out.victim_detected.to_bits() != b_out.victim_detected.to_bits()
+                || s_trace != b_trace
+            {
+                return Err(format!(
+                    "streamed evaluation diverged from the buffered oracle \
+                     ('{}' tier, {n_threads} threads)",
+                    gate_tier.label()
+                )
+                .into());
+            }
+        }
+    }
+    println!(
+        "gate: streamed == buffered bitwise (per-frame detections, 1 and {threads} threads, \
+         both tiers)"
+    );
+
+    // throughput: same videos through both paths, on one runtime shape
+    let reps = if quick { 2 } else { 6 };
+    let timed_mode = |mode: EvalMode| -> (f64, usize, usize) {
+        let rt = Runtime::new(RuntimeConfig {
+            threads,
+            ..RuntimeConfig::default()
+        });
+        let cfg = EvalConfig { mode, ..stream_cfg };
+        rt.enter(|| {
+            let mut peak_live = 0usize;
+            // warm-up off the clock (plan compile, arena buffers)
+            let _ = evaluate_challenge(
+                &scenario,
+                &deployment,
+                &detector,
+                &ps_det,
+                ObjectClass::Bicycle,
+                stream_challenge,
+                &cfg,
+            );
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                if mode == EvalMode::Streamed {
+                    let eval = evaluate_streamed(
+                        &scenario,
+                        &deployment,
+                        &detector,
+                        &ps_det,
+                        ObjectClass::Bicycle,
+                        stream_challenge,
+                        &cfg,
+                    );
+                    peak_live = peak_live.max(eval.stats.peak_live_frames);
+                } else {
+                    let out = evaluate_challenge(
+                        &scenario,
+                        &deployment,
+                        &detector,
+                        &ps_det,
+                        ObjectClass::Bicycle,
+                        stream_challenge,
+                        &cfg,
+                    );
+                    // the buffered oracle materializes the whole run
+                    peak_live = peak_live.max(out.frames_per_run);
+                }
+            }
+            (t0.elapsed().as_secs_f64(), peak_live, rt.arena_high_water())
+        })
+    };
+    let videos = (reps * stream_cfg.runs) as f64;
+    let (buf_s, buf_peak, buf_hw) = timed_mode(EvalMode::Buffered);
+    let (str_s, str_peak, str_hw) = timed_mode(EvalMode::Streamed);
+    let overlap_speedup = buf_s / str_s;
+    if str_peak > 2 * BATCH_FRAMES {
+        return Err(format!(
+            "streamed peak live frames {str_peak} exceeds the chunk-pair bound {}",
+            2 * BATCH_FRAMES
+        )
+        .into());
+    }
+    println!(
+        "buffered: {:.2} videos/sec (peak {} live frames)",
+        videos / buf_s,
+        buf_peak
+    );
+    println!(
+        "streamed: {:.2} videos/sec (peak {} live frames, bound {}) — {overlap_speedup:.2}x",
+        videos / str_s,
+        str_peak,
+        2 * BATCH_FRAMES
+    );
+
+    // bounded-memory gate: a 4x longer streamed drive must not deepen
+    // the arena high-water mark
+    let hw_at = |rotation_frames: usize| {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let cfg = EvalConfig {
+            rotation_frames,
+            runs: 1,
+            ..stream_cfg
+        };
+        rt.enter(|| {
+            let _ = evaluate_streamed(
+                &scenario,
+                &deployment,
+                &detector,
+                &ps_det,
+                ObjectClass::Bicycle,
+                stream_challenge,
+                &cfg,
+            );
+        });
+        rt.arena_high_water()
+    };
+    let hw_short = hw_at(BATCH_FRAMES);
+    let hw_long = hw_at(4 * BATCH_FRAMES);
+    if hw_long > hw_short + hw_short / 8 {
+        return Err(format!(
+            "streamed arena high-water scales with drive length: \
+             {hw_short} elems for 1 chunk vs {hw_long} for 4"
+        )
+        .into());
+    }
+    println!(
+        "arena high-water: {str_hw} elems streamed vs {buf_hw} buffered \
+         (length-invariant: {hw_short} @ 1 chunk, {hw_long} @ 4 chunks)"
+    );
+
+    // fleet: the drives partitioned over per-job supervised runtimes
+    let fleet_jobs = threads.max(2);
+    println!("running a {fleet_drives}-drive fleet over {fleet_jobs} supervised jobs...");
+    let fleet_cfg = EvalConfig {
+        runs: 1,
+        ..EvalConfig::smoke(13)
+    };
+    let fleet = FleetConfig::new(fleet_drives, fleet_jobs);
+    let t0 = Instant::now();
+    let fleet_report = eval_fleet(
+        &scenario,
+        &deployment,
+        &detector,
+        &ps_det,
+        ObjectClass::Bicycle,
+        stream_challenge,
+        &fleet_cfg,
+        &fleet,
+    );
+    let fleet_s = t0.elapsed().as_secs_f64();
+    if !fleet_report.finished() || fleet_report.drives_finished != fleet_drives {
+        return Err(format!(
+            "fleet lost drives: {}/{} finished",
+            fleet_report.drives_finished, fleet_drives
+        )
+        .into());
+    }
+    let fleet_vps = fleet_drives as f64 / fleet_s;
+    println!(
+        "fleet: {fleet_drives} drives ({} frames) in {fleet_s:.2}s — {fleet_vps:.1} videos/sec",
+        fleet_report.frames
+    );
+
+    let stream_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"pr9_streaming_eval\",\n",
+            "  \"mode\": \"{mode}\",\n",
+            "  \"runtime\": {rt},\n",
+            "  \"host_logical_cpus\": {cpus},\n",
+            "  \"threads\": {threads},\n",
+            "  \"video\": {{ \"frames\": {vframes}, \"runs\": {vruns} }},\n",
+            "  \"buffered\": {{ \"seconds\": {bs:.3}, \"videos_per_sec\": {bv:.3} }},\n",
+            "  \"streamed\": {{ \"seconds\": {ss:.3}, \"videos_per_sec\": {sv:.3} }},\n",
+            "  \"overlap_speedup\": {osp:.3},\n",
+            "  \"bitwise_identical\": true,\n",
+            "  \"peak_live_frames\": {{ \"streamed\": {pls}, \"buffered\": {plb}, ",
+            "\"bound\": {plbound} }},\n",
+            "  \"arena_high_water_elems\": {{ \"streamed\": {hws}, \"buffered\": {hwb}, ",
+            "\"one_chunk_drive\": {hw1}, \"four_chunk_drive\": {hw4}, ",
+            "\"length_invariant\": true }},\n",
+            "  \"fleet\": {{ \"drives\": {fd}, \"jobs\": {fj}, \"frames\": {ff}, ",
+            "\"seconds\": {fs:.2}, \"videos_per_sec\": {fv:.2}, \"finished\": true }}\n",
+            "}}\n"
+        ),
+        mode = if quick { "quick" } else { "full" },
+        rt = runtime_json,
+        cpus = host_cpus,
+        threads = threads,
+        vframes = stream_cfg.rotation_frames,
+        vruns = stream_cfg.runs,
+        bs = buf_s,
+        bv = videos / buf_s,
+        ss = str_s,
+        sv = videos / str_s,
+        osp = overlap_speedup,
+        pls = str_peak,
+        plb = buf_peak,
+        plbound = 2 * BATCH_FRAMES,
+        hws = str_hw,
+        hwb = buf_hw,
+        hw1 = hw_short,
+        hw4 = hw_long,
+        fd = fleet_drives,
+        fj = fleet_jobs,
+        ff = fleet_report.frames,
+        fs = fleet_s,
+        fv = fleet_vps,
+    );
+    std::fs::write(&stream_out, &stream_json)
+        .map_err(|e| format!("cannot write {stream_out}: {e}"))?;
+    println!("wrote {stream_out}");
     Ok(())
 }

@@ -10,7 +10,11 @@
 //!   threshold;
 //! * [`Defense::LongerConfirmation`] — requiring more consecutive frames
 //!   before the AV acts (strengthening the very mechanism the paper's
-//!   attack is built to defeat).
+//!   attack is built to defeat);
+//! * [`Defense::OverlapGate`] — requiring more spatial overlap between a
+//!   detection and the tracked object before the detection is attributed
+//!   to it (road decals sit *near* the victim, not on it, so their
+//!   boxes overlap the victim only marginally).
 //!
 //! Each has a *utility cost*: smoothing and gating also degrade true
 //! detections. [`evaluate_defense`] therefore reports both the attack's
@@ -34,6 +38,10 @@ pub enum Defense {
     ConfidenceGate(f32),
     /// Consecutive-frame window the AV requires before acting.
     LongerConfirmation(usize),
+    /// Minimum IoU with the tracked object's box before a detection is
+    /// attributed to it (default deployment uses
+    /// [`EvalConfig::victim_iou`] = 0.1).
+    OverlapGate(f32),
 }
 
 impl Defense {
@@ -43,6 +51,7 @@ impl Defense {
             Defense::Smoothing(r) => format!("smoothing(+{r:.0}px)"),
             Defense::ConfidenceGate(t) => format!("gate(thr={t:.2})"),
             Defense::LongerConfirmation(m) => format!("confirm(M={m})"),
+            Defense::OverlapGate(iou) => format!("overlap(iou={iou:.2})"),
         }
     }
 
@@ -64,6 +73,10 @@ impl Defense {
             // the confirmation window is consumed by the CWC scorer, not
             // the rendering pipeline; PWC is unaffected by construction
             Defense::LongerConfirmation(_) => *base,
+            Defense::OverlapGate(iou) => EvalConfig {
+                victim_iou: iou,
+                ..*base
+            },
         }
     }
 
@@ -133,6 +146,16 @@ mod tests {
         assert_eq!(Defense::Smoothing(2.0).label(), "smoothing(+2px)");
         assert_eq!(Defense::ConfidenceGate(0.5).label(), "gate(thr=0.50)");
         assert_eq!(Defense::LongerConfirmation(5).label(), "confirm(M=5)");
+        assert_eq!(Defense::OverlapGate(0.3).label(), "overlap(iou=0.30)");
+    }
+
+    #[test]
+    fn overlap_gate_overrides_victim_iou_only() {
+        let base = EvalConfig::smoke(1);
+        let cfg = Defense::OverlapGate(0.3).apply(&base);
+        assert_eq!(cfg.victim_iou, 0.3);
+        assert_eq!(cfg.conf_threshold, base.conf_threshold);
+        assert_eq!(cfg.channel, base.channel);
     }
 
     #[test]

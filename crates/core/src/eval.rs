@@ -1,5 +1,15 @@
 //! Challenge evaluation: drive (or shake) the camera, film the decals,
 //! run the detector per frame, and score PWC / CWC.
+//!
+//! Since PR 9 the default execution path is the bounded-memory streaming
+//! pipeline in [`crate::stream`]: frames are rendered, inferred and
+//! scored in fixed 16-frame chunks with render/inference overlap, so
+//! peak live frames are O(chunk) instead of O(drive length). The
+//! original materialize-then-batch path survives here as the *reference
+//! oracle* behind [`EvalMode::Buffered`]; both paths draw the per-run
+//! RNG in the same order and batch the same 16-frame groups, so their
+//! results are bitwise-identical at any thread count and on either
+//! execution tier (enforced by tests and `bench_substrate`).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,8 +25,9 @@ use rd_vision::{Image, Plane};
 
 use crate::attack::Deployment;
 use crate::decal::Decal;
-use crate::metrics::Cell;
+use crate::metrics::{Cell, OutcomeAccumulator};
 use crate::scenario::AttackScenario;
+use crate::stream;
 
 /// Number of consecutive frames an AV needs before acting (the paper's
 /// CWC window).
@@ -71,7 +82,7 @@ impl Challenge {
     }
 
     /// The camera motion per frame in m (drives motion blur).
-    fn motion_m_per_frame(&self, fps: f32) -> f32 {
+    pub(crate) fn motion_m_per_frame(&self, fps: f32) -> f32 {
         match self {
             Challenge::Rotation(_) => 0.0,
             Challenge::Speed(s) => s.m_per_frame(fps),
@@ -109,6 +120,19 @@ impl Challenge {
     }
 }
 
+/// Which execution path scores a challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// The bounded-memory pipeline: render, infer and score in
+    /// overlapping 16-frame chunks ([`crate::stream`]). The default.
+    #[default]
+    Streamed,
+    /// The reference oracle: materialize every frame of a run, then
+    /// batch. Kept for the bitwise streamed-vs-buffered gate; its peak
+    /// live memory grows with the drive length.
+    Buffered,
+}
+
 /// Evaluation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalConfig {
@@ -126,6 +150,13 @@ pub struct EvalConfig {
     pub channel: PhysicalChannel,
     /// Detector objectness threshold.
     pub conf_threshold: f32,
+    /// NMS IoU threshold used when decoding detections.
+    pub nms_threshold: f32,
+    /// Minimum IoU with the victim's ground-truth box for a detection
+    /// to count as a classification of the victim.
+    pub victim_iou: f32,
+    /// Streaming pipeline or the buffered reference oracle.
+    pub mode: EvalMode,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -141,6 +172,9 @@ impl EvalConfig {
             runs: 3,
             channel: PhysicalChannel::real_world(),
             conf_threshold: 0.35,
+            nms_threshold: 0.45,
+            victim_iou: 0.1,
+            mode: EvalMode::Streamed,
             seed,
         }
     }
@@ -171,6 +205,9 @@ impl EvalConfig {
             runs: 1,
             channel: PhysicalChannel::digital(),
             conf_threshold: 0.35,
+            nms_threshold: 0.45,
+            victim_iou: 0.1,
+            mode: EvalMode::Streamed,
             seed,
         }
     }
@@ -220,16 +257,40 @@ where
 }
 
 /// Per-frame classification of the victim: the highest-confidence
-/// detection overlapping the victim's true box.
-fn classify_victim(dets: &[Detection], victim: &rd_scene::GtBox) -> Option<ObjectClass> {
+/// detection overlapping the victim's true box by more than `min_iou`
+/// ([`EvalConfig::victim_iou`]).
+pub(crate) fn classify_victim(
+    dets: &[Detection],
+    victim: &rd_scene::GtBox,
+    min_iou: f32,
+) -> Option<ObjectClass> {
     dets.iter()
-        .filter(|d| d.iou(victim) > 0.1)
+        .filter(|d| d.iou(victim) > min_iou)
         .max_by(|a, b| a.confidence().total_cmp(&b.confidence()))
         .map(|d| d.class)
 }
 
+/// The per-run RNG: one sequential stream per run covering decal
+/// printing, pose generation and per-frame capture noise, in that
+/// order. Both execution paths draw from it identically — this shared
+/// constructor is what pins the bitwise contract down.
+pub(crate) fn run_rng(cfg: &EvalConfig, run: usize) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Per-frame probe used by the bitwise streamed-vs-buffered gate:
+/// called once per scored frame, in frame order, with the run index,
+/// the frame index within the run, the frame's post-NMS detections and
+/// the victim classification derived from them.
+pub(crate) type FrameObserver<'a> = dyn FnMut(usize, usize, &[Detection], Option<ObjectClass>) + 'a;
+
 /// Evaluates a decal set under one challenge. `decals` may be empty (the
 /// "w/o attack" row).
+///
+/// Dispatches on [`EvalConfig::mode`]: the streaming pipeline by
+/// default, the buffered reference oracle behind
+/// [`EvalMode::Buffered`]. The two are bitwise-identical (same 16-frame
+/// batch groups, same per-run RNG draw order).
 ///
 /// Runs on the caller's current runtime and honors its cancellation
 /// state: at every frame-rendering and inference-batch boundary the
@@ -246,23 +307,119 @@ pub fn evaluate_challenge(
     challenge: Challenge,
     cfg: &EvalConfig,
 ) -> ChallengeOutcome {
-    let mut cells = Vec::with_capacity(cfg.runs);
-    let mut frames_per_run = 0;
-    let mut victim_seen = 0usize;
-    let mut total_frames = 0usize;
+    let mut ignore = |_: usize, _: usize, _: &[Detection], _: Option<ObjectClass>| {};
+    match cfg.mode {
+        EvalMode::Streamed => {
+            stream::evaluate_streamed(scenario, decals, model, ps, target, challenge, cfg).outcome
+        }
+        EvalMode::Buffered => evaluate_buffered(
+            scenario,
+            decals,
+            model,
+            ps,
+            target,
+            challenge,
+            cfg,
+            &mut ignore,
+        ),
+    }
+}
+
+/// One decoded frame of a traced evaluation — the unit the bitwise
+/// streamed-vs-buffered gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameTrace {
+    /// Run the frame belongs to.
+    pub run: usize,
+    /// Frame index within the run.
+    pub frame: usize,
+    /// Victim classification for the frame.
+    pub class: Option<ObjectClass>,
+    /// Every post-NMS detection on the frame.
+    pub detections: Vec<Detection>,
+}
+
+/// [`evaluate_challenge`] with a full per-frame trace: every post-NMS
+/// detection and victim classification, in scoring order. This is the
+/// probe the bitwise streamed-vs-buffered gate is built on — comparing
+/// two traces compares *per-frame detections*, not just the folded
+/// PWC/CWC. `mode` overrides [`EvalConfig::mode`].
+pub fn evaluate_challenge_traced(
+    scenario: &AttackScenario,
+    decals: &Deployment,
+    model: &TinyYolo,
+    ps: &ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    cfg: &EvalConfig,
+    mode: EvalMode,
+) -> (ChallengeOutcome, Vec<FrameTrace>) {
+    let mut trace = Vec::new();
+    let mut record = |run: usize, frame: usize, dets: &[Detection], class: Option<ObjectClass>| {
+        trace.push(FrameTrace {
+            run,
+            frame,
+            class,
+            detections: dets.to_vec(),
+        });
+    };
+    let cfg = EvalConfig { mode, ..*cfg };
+    let outcome = match mode {
+        EvalMode::Streamed => {
+            stream::evaluate_streamed_observed(
+                scenario,
+                decals,
+                model,
+                ps,
+                target,
+                challenge,
+                &cfg,
+                &mut record,
+            )
+            .outcome
+        }
+        EvalMode::Buffered => evaluate_buffered(
+            scenario,
+            decals,
+            model,
+            ps,
+            target,
+            challenge,
+            &cfg,
+            &mut record,
+        ),
+    };
+    (outcome, trace)
+}
+
+/// The materialize-then-batch reference oracle: renders every frame of a
+/// run into a `Vec<Image>`, then infers in 16-frame batches and scores
+/// the buffered history with [`has_consecutive`]. Peak live memory is
+/// O(drive length); kept (behind [`EvalMode::Buffered`]) purely as the
+/// ground truth the streaming pipeline is gated against.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_buffered(
+    scenario: &AttackScenario,
+    decals: &Deployment,
+    model: &TinyYolo,
+    ps: &ParamSet,
+    target: ObjectClass,
+    challenge: Challenge,
+    cfg: &EvalConfig,
+    observer: &mut FrameObserver<'_>,
+) -> ChallengeOutcome {
+    let mut acc = OutcomeAccumulator::new();
     // decode scratch shared across every batch of the whole evaluation
     let mut decode_bufs = DecodeBuffers::default();
     let mut dets: Vec<Vec<Detection>> = Vec::new();
     for run in 0..cfg.runs {
-        let mut rng =
-            StdRng::seed_from_u64(cfg.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng = run_rng(cfg, run);
         // each run prints fresh physical decals (per-print variation)
         let printed: Vec<Decal> = decals
             .iter()
             .map(|d| d.print(&cfg.channel.print, &mut rng))
             .collect();
         let poses = challenge.poses(cfg, &mut rng);
-        frames_per_run = poses.len();
         let motion = challenge.motion_m_per_frame(cfg.fps);
         let mut history: Vec<Option<ObjectClass>> = Vec::with_capacity(poses.len());
         // render all frames, then run the detector in batches
@@ -275,7 +432,10 @@ pub fn evaluate_challenge(
             ));
             victims.push(scenario.victim_box(pose));
         }
-        for (chunk, vchunk) in frames.chunks(16).zip(victims.chunks(16)) {
+        for (chunk, vchunk) in frames
+            .chunks(stream::BATCH_FRAMES)
+            .zip(victims.chunks(stream::BATCH_FRAMES))
+        {
             runtime::check_cancelled_or_unwind();
             let batch = Image::batch_to_tensor(chunk);
             let (coarse, fine) = model.infer(ps, &batch);
@@ -284,29 +444,35 @@ pub fn evaluate_challenge(
                 &fine,
                 model.config().num_classes,
                 cfg.conf_threshold,
-                0.45,
+                cfg.nms_threshold,
                 &mut decode_bufs,
                 &mut dets,
             );
+            // hand the batch and head buffers back to the arena so the
+            // next chunk reuses them instead of allocating fresh
+            rd_tensor::arena::recycle(batch.into_vec());
+            rd_tensor::arena::recycle(coarse.into_vec());
+            rd_tensor::arena::recycle(fine.into_vec());
             for (dlist, victim) in dets.iter().zip(vchunk) {
-                total_frames += 1;
-                let class = victim.as_ref().and_then(|v| classify_victim(dlist, v));
-                if class.is_some() {
-                    victim_seen += 1;
-                }
+                let class = victim
+                    .as_ref()
+                    .and_then(|v| classify_victim(dlist, v, cfg.victim_iou));
+                observer(run, history.len(), dlist, class);
+                acc.push_frame(class.is_some());
                 history.push(class);
             }
         }
         let hits = history.iter().filter(|&&c| c == Some(target)).count();
-        cells.push(Cell {
+        let cell = Cell {
             pwc: hits as f32 / history.len().max(1) as f32,
             cwc: has_consecutive(&history, target, CONFIRM_WINDOW),
-        });
+        };
+        acc.finish_run(cell, history.len());
     }
     ChallengeOutcome {
-        cell: Cell::average(&cells),
-        frames_per_run,
-        victim_detected: victim_seen as f32 / total_frames.max(1) as f32,
+        cell: acc.cell(),
+        frames_per_run: acc.frames_per_run(),
+        victim_detected: acc.victim_rate(),
     }
 }
 

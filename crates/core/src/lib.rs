@@ -51,6 +51,7 @@ pub mod fault;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
+pub mod stream;
 pub mod supervisor;
 
 pub use attack::{
@@ -59,7 +60,10 @@ pub use attack::{
 pub use baseline::{train_baseline_patch, BaselineConfig, BaselinePatch};
 pub use decal::Decal;
 pub use defense::{evaluate_defense, Defense, DefenseOutcome};
-pub use eval::{evaluate_challenge, evaluate_clean, Challenge, ChallengeOutcome, EvalConfig};
+pub use eval::{
+    evaluate_challenge, evaluate_challenge_traced, evaluate_clean, Challenge, ChallengeOutcome,
+    EvalConfig, EvalMode, FrameTrace,
+};
 pub use fault::{CorruptMode, FaultPlan, TierDriftInfo};
 pub use metrics::{Cell, Table};
 pub use runner::{
@@ -67,6 +71,10 @@ pub use runner::{
     RunnerReport, TrainRunner, Trainable,
 };
 pub use scenario::AttackScenario;
+pub use stream::{
+    eval_fleet, evaluate_streamed, FleetConfig, FleetReport, StreamStats, StreamedEval,
+    BATCH_FRAMES,
+};
 pub use supervisor::{
     run_fleet, run_job, supervise_main, JobCtx, JobOutcome, JobReport, JobSpec, TierDemotion,
 };

@@ -1,6 +1,17 @@
 //! PWC / CWC metrics and paper-style table rendering.
+//!
+//! Besides the buffered [`Cell`] math, this module holds the *online*
+//! scoring state the streaming evaluation pipeline folds per frame:
+//! [`CellAccumulator`] (one run's PWC/CWC with no history vector) and
+//! [`OutcomeAccumulator`] (cross-run averaging plus victim-visibility
+//! counting). Both are exact streaming replacements for the buffered
+//! computations — same divisions, same majority rule — so a streamed
+//! evaluation scores bitwise-identically to the buffered reference path.
 
 use std::fmt;
+
+use rd_detector::ConfirmState;
+use rd_scene::ObjectClass;
 
 /// One table cell: Percentage of Wrong-Class plus the Continuous
 /// detection with Wrong-Class flag (Eq. 3 and the ✓/✗ marks of the
@@ -34,6 +45,131 @@ impl Cell {
             pwc,
             cwc: yes * 2 > cells.len(),
         }
+    }
+}
+
+/// Online scorer for one evaluation run: folds per-frame victim
+/// classifications into PWC and CWC with O(1) state, no history vector.
+///
+/// Equivalent to the buffered path's
+/// `hits / history.len()` + [`rd_detector::has_consecutive`] — the same
+/// integer counts feed the same `f32` division, so [`finish`] is
+/// bitwise-identical to scoring the buffered history.
+///
+/// [`finish`]: CellAccumulator::finish
+#[derive(Debug, Clone)]
+pub struct CellAccumulator {
+    target: ObjectClass,
+    confirm: ConfirmState,
+    frames: usize,
+    hits: usize,
+}
+
+impl CellAccumulator {
+    /// Creates a scorer for `target` with the given CWC window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(target: ObjectClass, window: usize) -> Self {
+        CellAccumulator {
+            target,
+            confirm: ConfirmState::new(target, window),
+            frames: 0,
+            hits: 0,
+        }
+    }
+
+    /// Folds one frame's victim classification.
+    pub fn push(&mut self, class: Option<ObjectClass>) {
+        self.frames += 1;
+        if class == Some(self.target) {
+            self.hits += 1;
+        }
+        self.confirm.push(class);
+    }
+
+    /// Frames folded so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The run's cell: PWC over every pushed frame, latched CWC.
+    pub fn finish(&self) -> Cell {
+        Cell {
+            pwc: self.hits as f32 / self.frames.max(1) as f32,
+            cwc: self.confirm.confirmed(),
+        }
+    }
+}
+
+/// Online cross-run state behind a `ChallengeOutcome`: per-run cells for
+/// the mean-PWC/majority-CWC average, the victim-visibility counters,
+/// and the per-run frame count (asserted invariant across runs — pose
+/// counts depend only on the challenge configuration, never on the
+/// per-run RNG, and a drift here would silently skew every averaged
+/// metric).
+#[derive(Debug, Clone, Default)]
+pub struct OutcomeAccumulator {
+    cells: Vec<Cell>,
+    victim_seen: usize,
+    total_frames: usize,
+    frames_per_run: Option<usize>,
+}
+
+impl OutcomeAccumulator {
+    /// Creates empty cross-run state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one frame: whether the victim was detected at all.
+    pub fn push_frame(&mut self, victim_seen: bool) {
+        self.total_frames += 1;
+        if victim_seen {
+            self.victim_seen += 1;
+        }
+    }
+
+    /// Closes one run with its scored cell and frame count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` differs from an earlier run's count — frame
+    /// counts are a function of the challenge configuration alone, and
+    /// the old "last run wins" reporting hid any violation.
+    pub fn finish_run(&mut self, cell: Cell, frames: usize) {
+        if let Some(expected) = self.frames_per_run {
+            assert_eq!(
+                frames,
+                expected,
+                "frames per run drifted across runs of one challenge \
+                 (run {} saw {frames} frames, earlier runs saw {expected})",
+                self.cells.len(),
+            );
+        }
+        self.frames_per_run = Some(frames);
+        self.cells.push(cell);
+    }
+
+    /// Runs closed so far.
+    pub fn runs(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The invariant per-run frame count (0 before any run closes).
+    pub fn frames_per_run(&self) -> usize {
+        self.frames_per_run.unwrap_or(0)
+    }
+
+    /// Mean-PWC / majority-CWC across the closed runs.
+    pub fn cell(&self) -> Cell {
+        Cell::average(&self.cells)
+    }
+
+    /// Fraction of frames where the victim was detected at all.
+    pub fn victim_rate(&self) -> f32 {
+        self.victim_seen as f32 / self.total_frames.max(1) as f32
     }
 }
 
@@ -252,5 +388,74 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.push_row("r", vec![Cell::zero()]);
+    }
+
+    #[test]
+    fn cell_accumulator_matches_buffered_math() {
+        use rd_detector::has_consecutive;
+        let target = ObjectClass::Car;
+        let hist = [
+            Some(ObjectClass::Car),
+            None,
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Word),
+        ];
+        let mut acc = CellAccumulator::new(target, 3);
+        for &h in &hist {
+            acc.push(h);
+        }
+        let streamed = acc.finish();
+        let hits = hist.iter().filter(|&&c| c == Some(target)).count();
+        let buffered = Cell {
+            pwc: hits as f32 / hist.len().max(1) as f32,
+            cwc: has_consecutive(&hist, target, 3),
+        };
+        assert_eq!(streamed.pwc.to_bits(), buffered.pwc.to_bits());
+        assert_eq!(streamed.cwc, buffered.cwc);
+        assert_eq!(acc.frames(), hist.len());
+    }
+
+    #[test]
+    fn empty_cell_accumulator_scores_zero() {
+        let acc = CellAccumulator::new(ObjectClass::Car, 3);
+        assert_eq!(acc.finish(), Cell::zero());
+    }
+
+    #[test]
+    fn outcome_accumulator_averages_and_counts() {
+        let mut acc = OutcomeAccumulator::new();
+        for seen in [true, false, true, true] {
+            acc.push_frame(seen);
+        }
+        acc.finish_run(
+            Cell {
+                pwc: 0.5,
+                cwc: true,
+            },
+            2,
+        );
+        acc.finish_run(
+            Cell {
+                pwc: 0.25,
+                cwc: true,
+            },
+            2,
+        );
+        assert_eq!(acc.runs(), 2);
+        assert_eq!(acc.frames_per_run(), 2);
+        assert!((acc.victim_rate() - 0.75).abs() < 1e-6);
+        let cell = acc.cell();
+        assert!((cell.pwc - 0.375).abs() < 1e-6);
+        assert!(cell.cwc);
+    }
+
+    #[test]
+    #[should_panic(expected = "frames per run drifted")]
+    fn outcome_accumulator_rejects_frame_count_drift() {
+        let mut acc = OutcomeAccumulator::new();
+        acc.finish_run(Cell::zero(), 10);
+        acc.finish_run(Cell::zero(), 11);
     }
 }

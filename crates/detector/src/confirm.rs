@@ -89,6 +89,87 @@ impl Confirmer {
     }
 }
 
+/// Streaming CWC state for one *target* class: the O(1)-per-frame
+/// replacement for buffering a whole classification history and scanning
+/// it with [`has_consecutive`] afterwards.
+///
+/// Feeding every frame of a history through [`ConfirmState::push`] and
+/// reading [`ConfirmState::confirmed`] gives exactly
+/// `has_consecutive(&history, class, window)` — the streaming evaluation
+/// pipeline relies on that equivalence (it is property-tested), because
+/// its CWC must be bitwise-identical to the buffered reference path's.
+///
+/// Unlike [`Confirmer`], which tracks whichever class is currently
+/// persisting, `ConfirmState` watches a single class fixed at
+/// construction and latches once the window is reached.
+///
+/// # Examples
+///
+/// ```
+/// use rd_detector::ConfirmState;
+/// use rd_scene::ObjectClass;
+///
+/// let mut s = ConfirmState::new(ObjectClass::Car, 3);
+/// for _ in 0..3 {
+///     s.push(Some(ObjectClass::Car));
+/// }
+/// assert!(s.confirmed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfirmState {
+    class: ObjectClass,
+    window: usize,
+    run: usize,
+    confirmed: bool,
+}
+
+impl ConfirmState {
+    /// Creates streaming confirmation state for `class` with the given
+    /// consecutive-frame `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(class: ObjectClass, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        ConfirmState {
+            class,
+            window,
+            run: 0,
+            confirmed: false,
+        }
+    }
+
+    /// The class being watched.
+    pub fn class(&self) -> ObjectClass {
+        self.class
+    }
+
+    /// The confirmation window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Feeds one frame's classification. Any observation other than the
+    /// watched class (including `None`) resets the run, exactly like the
+    /// run-length scan in [`has_consecutive`].
+    pub fn push(&mut self, observation: Option<ObjectClass>) {
+        if observation == Some(self.class) {
+            self.run += 1;
+            if self.run >= self.window {
+                self.confirmed = true;
+            }
+        } else {
+            self.run = 0;
+        }
+    }
+
+    /// Whether the watched class has ever persisted for a full window.
+    pub fn confirmed(&self) -> bool {
+        self.confirmed
+    }
+}
+
 /// Offline helper: does `history` contain `window` consecutive frames of
 /// `class`? This is exactly the paper's CWC criterion.
 pub fn has_consecutive(history: &[Option<ObjectClass>], class: ObjectClass, window: usize) -> bool {
@@ -166,5 +247,49 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_rejected() {
         let _ = Confirmer::new(0);
+    }
+
+    #[test]
+    fn confirm_state_matches_offline_scan() {
+        let hist = vec![
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+            None,
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Word),
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+            Some(ObjectClass::Car),
+        ];
+        for window in 1..=4 {
+            for class in [ObjectClass::Car, ObjectClass::Word, ObjectClass::Mark] {
+                let mut s = ConfirmState::new(class, window);
+                for &h in &hist {
+                    s.push(h);
+                }
+                assert_eq!(
+                    s.confirmed(),
+                    has_consecutive(&hist, class, window),
+                    "class {class:?} window {window}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn confirm_state_latches() {
+        let mut s = ConfirmState::new(ObjectClass::Car, 2);
+        s.push(Some(ObjectClass::Car));
+        s.push(Some(ObjectClass::Car));
+        assert!(s.confirmed());
+        s.push(None);
+        assert!(s.confirmed(), "confirmation is permanent for CWC");
+        assert_eq!((s.class(), s.window()), (ObjectClass::Car, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn confirm_state_zero_window_rejected() {
+        let _ = ConfirmState::new(ObjectClass::Car, 0);
     }
 }

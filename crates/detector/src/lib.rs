@@ -22,7 +22,7 @@ mod model;
 mod track;
 mod train;
 
-pub use confirm::{has_consecutive, Confirmer};
+pub use confirm::{has_consecutive, ConfirmState, Confirmer};
 pub use decode::{
     decode_head, decode_head_into, nms, nms_into, postprocess, postprocess_into, DecodeBuffers,
     Detection,

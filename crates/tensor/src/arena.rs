@@ -53,6 +53,12 @@ pub(crate) struct ArenaState {
     misses: AtomicUsize,
     poison_discards: AtomicUsize,
     quarantined: AtomicBool,
+    /// `f32` elements currently loaned out (taken, not yet recycled).
+    /// Only arena-sized buffers (`len >= MIN_LEN`) are counted.
+    loaned_elems: AtomicUsize,
+    /// Highest `loaned_elems` ever observed — the arena's live-memory
+    /// high-water mark, used by the bounded-memory streaming gate.
+    high_water_elems: AtomicUsize,
 }
 
 impl ArenaState {
@@ -64,6 +70,8 @@ impl ArenaState {
             misses: AtomicUsize::new(0),
             poison_discards: AtomicUsize::new(0),
             quarantined: AtomicBool::new(false),
+            loaned_elems: AtomicUsize::new(0),
+            high_water_elems: AtomicUsize::new(0),
         }
     }
 
@@ -94,14 +102,38 @@ impl ArenaState {
         }
     }
 
+    /// Records `cap` more loaned-out elements and pushes the high-water
+    /// mark. Called on every take of an arena-sized buffer.
+    fn note_loan(&self, cap: usize) {
+        let now = self.loaned_elems.fetch_add(cap, Ordering::Relaxed) + cap;
+        self.high_water_elems.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records `cap` elements returned. Saturating: a caller may
+    /// recycle a buffer the arena never handed out (fresh `Vec`s are
+    /// accepted too), so the loan counter must not underflow.
+    fn note_return(&self, cap: usize) {
+        let _ = self
+            .loaned_elems
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(cap))
+            });
+    }
+
     fn take_filled(&self, len: usize, value: f32) -> Vec<f32> {
         if len >= MIN_LEN && !self.quarantined.load(Ordering::SeqCst) {
             let reused = {
                 let mut pool = self.pool_guard();
-                // Best effort: first buffer with enough capacity. The
-                // pool is small (<= MAX_POOLED) so a linear scan is fine.
+                // Best fit: the smallest buffer with enough capacity.
+                // First-fit would let a small request walk off with a
+                // huge buffer, inflating live capacity (and the
+                // high-water mark) far beyond the working set. The pool
+                // is small (<= MAX_POOLED) so a linear scan is fine.
                 pool.iter()
-                    .position(|b| b.capacity() >= len)
+                    .enumerate()
+                    .filter(|(_, b)| b.capacity() >= len)
+                    .min_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i)
                     .map(|i| pool.swap_remove(i))
             };
             if let Some(mut buf) = reused {
@@ -110,14 +142,22 @@ impl ArenaState {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 buf.clear();
                 buf.resize(len, value);
+                self.note_loan(buf.capacity());
                 return buf;
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        vec![value; len]
+        let buf = vec![value; len];
+        if len >= MIN_LEN {
+            self.note_loan(buf.capacity());
+        }
+        buf
     }
 
     fn recycle(&self, buf: Vec<f32>) {
+        if buf.capacity() >= MIN_LEN {
+            self.note_return(buf.capacity());
+        }
         if buf.capacity() < MIN_LEN || self.quarantined.load(Ordering::SeqCst) {
             return;
         }
@@ -147,6 +187,19 @@ impl ArenaState {
         self.pooled_elems.store(0, Ordering::Relaxed);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.high_water_elems
+            .store(self.loaned_elems.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water_elems.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the high-water mark from the current loan level (the
+    /// mark can never sit below what is still checked out).
+    pub(crate) fn reset_high_water(&self) {
+        self.high_water_elems
+            .store(self.loaned_elems.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Test hook: panic while holding the pool lock, poisoning it the
@@ -191,6 +244,21 @@ pub fn stats() -> (usize, usize, usize) {
 /// counters. Intended for tests and benchmark setup.
 pub fn reset() {
     runtime::current().inner_arena(|a| a.reset());
+}
+
+/// The current runtime's arena high-water mark: the maximum number of
+/// `f32` elements simultaneously checked out of the arena since the
+/// runtime was created (or [`reset_high_water`]). Only arena-sized
+/// buffers (`len >= MIN_LEN`) count; this is the live-scratch-memory
+/// figure the streaming evaluation's bounded-memory gate asserts on.
+pub fn high_water() -> usize {
+    runtime::current().inner_arena(|a| a.high_water())
+}
+
+/// Restarts the current runtime's arena high-water mark from its
+/// current loan level, so a measurement window can begin mid-process.
+pub fn reset_high_water() {
+    runtime::current().inner_arena(|a| a.reset_high_water());
 }
 
 /// RAII scratch buffer: behaves as a `[f32]` slice and recycles its
@@ -351,6 +419,46 @@ mod tests {
             assert_eq!(stats().2, 1, "sibling runtime's pool is untouched");
         });
         assert_eq!(sibling.arena_poison_discards(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_loans_not_traffic() {
+        in_fresh_runtime(|rt| {
+            assert_eq!(high_water(), 0);
+            let a = take(4096);
+            let b = take(2048);
+            assert_eq!(high_water(), 4096 + 2048);
+            recycle(a);
+            recycle(b);
+            // sequential reuse of the same capacity must not raise the
+            // mark: the pipeline's whole point is bounded *simultaneous*
+            // footprint, however many buffers stream through
+            for _ in 0..16 {
+                let c = take(4096);
+                recycle(c);
+            }
+            assert_eq!(high_water(), 4096 + 2048);
+            assert_eq!(rt.arena_high_water(), 4096 + 2048);
+            // small buffers are invisible, same as the pool itself
+            let tiny = take(8);
+            assert_eq!(high_water(), 4096 + 2048);
+            recycle(tiny);
+            reset_high_water();
+            assert_eq!(high_water(), 0);
+        });
+    }
+
+    #[test]
+    fn high_water_never_underflows_on_foreign_buffers() {
+        in_fresh_runtime(|_| {
+            // recycling a Vec the arena never handed out must not wrap
+            // the loan counter below zero
+            recycle(vec![1.0; 4096]);
+            recycle(vec![1.0; 4096]);
+            let v = take(2048);
+            assert_eq!(high_water(), v.capacity());
+            recycle(v);
+        });
     }
 
     #[test]

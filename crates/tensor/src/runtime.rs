@@ -294,6 +294,13 @@ impl Runtime {
         self.inner.arena.poison_discards()
     }
 
+    /// This runtime's arena high-water mark: the most `f32` elements
+    /// ever simultaneously checked out of its arena (see
+    /// [`crate::arena::high_water`]).
+    pub fn arena_high_water(&self) -> usize {
+        self.inner.arena.high_water()
+    }
+
     // ------------------------------------------------------ cancellation
 
     /// Requests cooperative cancellation: every subsequent

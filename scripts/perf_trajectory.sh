@@ -53,6 +53,9 @@ for f in "${files[@]}"; do
     pr7_fast_tier)
         line=$(jq -r '"eval reference \(.reference.fps_serial) -> \(.tier) \(.candidate.fps_serial) frames/s (\(.speedup_serial)x, backend \(.backend)); observed <= \(.certificate | map(.observed_ulps) | max) ulp vs certified \(.certificate | map(.bound_ulps) | max) ulp"' "$f")
         ;;
+    pr9_streaming_eval)
+        line=$(jq -r '"stream buffered \(.buffered.videos_per_sec) -> streamed \(.streamed.videos_per_sec) videos/s (\(.overlap_speedup)x, peak \(.peak_live_frames.streamed)/\(.peak_live_frames.bound) live frames); fleet \(.fleet.drives) drives at \(.fleet.videos_per_sec) videos/s over \(.fleet.jobs) jobs"' "$f")
+        ;;
     *)
         line="(no summary for bench id '$id')"
         ;;

@@ -135,6 +135,63 @@ proptest! {
 
     // ---- confirmation logic ----
 
+    // the O(1)-per-frame confirmation state used by the streaming
+    // evaluator must agree with the offline full-history scan on any
+    // classification history
+    #[test]
+    fn confirm_state_matches_offline_scan(
+        seq in proptest::collection::vec(proptest::option::of(0usize..5), 0..40),
+        window in 1usize..5,
+    ) {
+        use road_decals_repro::detector::ConfirmState;
+        let history: Vec<Option<ObjectClass>> = seq
+            .iter()
+            .map(|o| o.map(ObjectClass::from_index))
+            .collect();
+        for class in ObjectClass::ALL {
+            let mut state = ConfirmState::new(class, window);
+            for &h in &history {
+                state.push(h);
+            }
+            prop_assert_eq!(
+                state.confirmed(),
+                has_consecutive(&history, class, window),
+                "window {} class {:?}", window, class
+            );
+        }
+    }
+
+    // the streaming per-run accumulator must produce the same Cell —
+    // bitwise, since these numbers feed the streamed==buffered gate —
+    // as the buffered computation over the materialised history
+    #[test]
+    fn cell_accumulator_matches_buffered_cell(
+        seq in proptest::collection::vec(proptest::option::of(0usize..5), 0..40),
+        window in 1usize..5,
+    ) {
+        use road_decals_repro::attack::metrics::{Cell, CellAccumulator};
+        let history: Vec<Option<ObjectClass>> = seq
+            .iter()
+            .map(|o| o.map(ObjectClass::from_index))
+            .collect();
+        for target in ObjectClass::ALL {
+            let mut acc = CellAccumulator::new(target, window);
+            for &h in &history {
+                acc.push(h);
+            }
+            let streamed = acc.finish();
+            let hits = history.iter().filter(|&&h| h == Some(target)).count();
+            let buffered = Cell {
+                pwc: hits as f32 / history.len().max(1) as f32,
+                cwc: has_consecutive(&history, target, window),
+            };
+            prop_assert_eq!(acc.frames(), history.len());
+            prop_assert_eq!(streamed.pwc.to_bits(), buffered.pwc.to_bits(),
+                "pwc {} vs {}", streamed.pwc, buffered.pwc);
+            prop_assert_eq!(streamed.cwc, buffered.cwc);
+        }
+    }
+
     #[test]
     fn streaming_confirmer_matches_offline_scan(
         seq in proptest::collection::vec(proptest::option::of(0usize..5), 0..40),
