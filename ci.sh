@@ -62,12 +62,21 @@ cargo test --release -q -p rd-detector --test tier
 # forced, so the non-AVX2 path stays correct on hosts that have AVX2.
 RD_NO_SIMD=1 cargo test --release -q -p rd-detector --test tier
 
+echo "==> render fast-path equivalence (cached FrameRenderer vs fresh path, both backends)"
+# The PR 10 contract at test granularity: property-tested bitwise
+# identity (frames and RNG draw counts) between the pose-keyed cached
+# renderer and the fresh per-frame path over arbitrary poses, decal
+# counts, channels and mono/RGB decals — on the SIMD gather backend and
+# with the portable backend forced.
+cargo test --release -q -p road-decals --test render_fastpath
+RD_NO_SIMD=1 cargo test --release -q -p road-decals --test render_fastpath
+
 echo "==> substrate bench smoke (profiler + parallel fan-out + determinism + tiers)"
 # Fails loudly if the profiler or worker pool stop compiling/working:
 # the binary asserts profiler coverage and bitwise 1-vs-4-thread
 # equality before writing its report. The eval section re-checks the
 # tape-vs-compiled bitwise gate on rendered frames.
-cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json --tier-out target/BENCH_pr7_smoke.json --stream-out target/BENCH_pr9_smoke.json
+cargo run --release -q -p rd-bench --bin bench_substrate -- --quick --out target/BENCH_pr2_smoke.json --eval-out target/BENCH_pr4_smoke.json --train-out target/BENCH_pr5_smoke.json --tier-out target/BENCH_pr7_smoke.json --stream-out target/BENCH_pr9_smoke.json --render-out target/BENCH_pr10_smoke.json
 test -s target/BENCH_pr2_smoke.json || { echo "bench_substrate wrote no report" >&2; exit 1; }
 test -s target/BENCH_pr4_smoke.json || { echo "bench_substrate wrote no eval report" >&2; exit 1; }
 # The training section enforces this PR's contracts before writing its
@@ -87,6 +96,13 @@ test -s target/BENCH_pr7_smoke.json || { echo "bench_substrate wrote no tier rep
 # high-water mark is invariant in drive length (bounded-memory smoke),
 # and the fleet driver accounts for every drive.
 test -s target/BENCH_pr9_smoke.json || { echo "bench_substrate wrote no streaming report" >&2; exit 1; }
+# The render section gates the fast path three ways bitwise (frozen
+# seed renderer == fresh per-frame path == cached FrameRenderer, cold
+# and warm), checks the render/{world,decals,capture} profile paths,
+# and re-runs the streamed-vs-buffered gate on a noise-bearing capture
+# channel (the pr9 gate uses the noiseless digital channel). The 2x
+# serial render speedup floor applies to full runs only.
+test -s target/BENCH_pr10_smoke.json || { echo "bench_substrate wrote no render report" >&2; exit 1; }
 
 echo "==> compiled training step equivalence (TrainPlan vs tape, 1 and 4 threads)"
 # The PR 5 contract at test granularity: full training runs through the

@@ -16,16 +16,17 @@ use rand::{Rng, SeedableRng};
 
 use rd_detector::{has_consecutive, postprocess_into, DecodeBuffers, Detection, TinyYolo};
 use rd_scene::{
-    approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, ObjectClass,
-    PhysicalChannel, RotationSetting, Speed,
+    approach_poses, rotation_poses, AngleSetting, ApproachConfig, CameraPose, CaptureDraws,
+    ObjectClass, PhysicalChannel, RotationSetting, Speed,
 };
 use rd_tensor::{runtime, ParamSet, Runtime};
-use rd_vision::compose::{paste_plane_map, paste_rgb_map};
-use rd_vision::{Image, Plane};
+use rd_vision::compose::{mask_on_image, paste_plane_alpha, paste_rgb_map};
+use rd_vision::Image;
 
 use crate::attack::Deployment;
 use crate::decal::Decal;
 use crate::metrics::{Cell, OutcomeAccumulator};
+use crate::render::FrameRenderer;
 use crate::scenario::AttackScenario;
 use crate::stream;
 
@@ -246,8 +247,11 @@ where
         let map = scenario.decal_map(i, pose, None);
         match d.num_channels() {
             1 => {
-                let plane = Plane::from_vec(d.channel_data().to_vec(), d.canvas(), d.canvas());
-                paste_plane_map(&mut frame, &plane, d.mask(), &map);
+                // Composite straight from the decal's channel buffer —
+                // no per-frame Plane clone of the canvas.
+                let alpha = mask_on_image(&map, d.mask());
+                let rows = (0, frame.height());
+                paste_plane_alpha(&mut frame, d.channel_data(), &map, &alpha, rows);
             }
             _ => paste_rgb_map(&mut frame, d.channel_data(), d.mask(), &map),
         }
@@ -396,7 +400,10 @@ pub fn evaluate_challenge_traced(
 /// run into a `Vec<Image>`, then infers in 16-frame batches and scores
 /// the buffered history with [`has_consecutive`]. Peak live memory is
 /// O(drive length); kept (behind [`EvalMode::Buffered`]) purely as the
-/// ground truth the streaming pipeline is gated against.
+/// ground truth the streaming pipeline is gated against. Rendering goes
+/// through the pose-keyed [`FrameRenderer`] fast path with capture
+/// randomness pre-sampled in frame order — bitwise-identical to calling
+/// [`render_attacked_frame`] per frame (see [`crate::render`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_buffered(
     scenario: &AttackScenario,
@@ -409,6 +416,7 @@ pub(crate) fn evaluate_buffered(
     observer: &mut FrameObserver<'_>,
 ) -> ChallengeOutcome {
     let mut acc = OutcomeAccumulator::new();
+    let renderer = FrameRenderer::new(scenario);
     // decode scratch shared across every batch of the whole evaluation
     let mut decode_bufs = DecodeBuffers::default();
     let mut dets: Vec<Vec<Detection>> = Vec::new();
@@ -421,16 +429,27 @@ pub(crate) fn evaluate_buffered(
             .collect();
         let poses = challenge.poses(cfg, &mut rng);
         let motion = challenge.motion_m_per_frame(cfg.fps);
+        // pre-sample capture randomness in frame order: same RNG stream
+        // as drawing inside each render call
+        let draws: Vec<CaptureDraws> = poses
+            .iter()
+            .map(|_| {
+                cfg.channel
+                    .capture
+                    .sample_draws(scenario.rig.image_hw, &mut rng)
+            })
+            .collect();
         let mut history: Vec<Option<ObjectClass>> = Vec::with_capacity(poses.len());
         // render all frames, then run the detector in batches
         let mut frames = Vec::with_capacity(poses.len());
         let mut victims = Vec::with_capacity(poses.len());
-        for pose in &poses {
+        for (pose, frame_draws) in poses.iter().zip(&draws) {
             runtime::check_cancelled_or_unwind();
-            frames.push(render_attacked_frame(
-                scenario, &printed, pose, cfg, motion, &mut rng,
-            ));
+            frames.push(renderer.render(scenario, &printed, pose, cfg, motion, frame_draws));
             victims.push(scenario.victim_box(pose));
+        }
+        for d in draws {
+            d.recycle();
         }
         for (chunk, vchunk) in frames
             .chunks(stream::BATCH_FRAMES)
@@ -461,6 +480,11 @@ pub(crate) fn evaluate_buffered(
                 acc.push_frame(class.is_some());
                 history.push(class);
             }
+        }
+        // frame buffers come from the arena (FrameRenderer); hand them
+        // back so the next run re-renders into the same memory
+        for f in frames {
+            rd_tensor::arena::recycle(f.into_vec());
         }
         let hits = history.iter().filter(|&&c| c == Some(target)).count();
         let cell = Cell {

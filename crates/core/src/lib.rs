@@ -49,6 +49,7 @@ pub mod eval;
 pub mod experiments;
 pub mod fault;
 pub mod metrics;
+pub mod render;
 pub mod runner;
 pub mod scenario;
 pub mod stream;
@@ -66,6 +67,7 @@ pub use eval::{
 };
 pub use fault::{CorruptMode, FaultPlan, TierDriftInfo};
 pub use metrics::{Cell, Table};
+pub use render::{FrameRenderer, RenderCacheStats};
 pub use runner::{
     train_decal_attack_recoverable, train_detector_recoverable, RecoveryOptions, RunnerError,
     RunnerReport, TrainRunner, Trainable,

@@ -8,7 +8,7 @@ use rd_scene::{CameraPose, CameraRig, GtBox, ObjectClass, Rect, WorldScene};
 use rd_tensor::LinearMap;
 use rd_vision::compose::PatchPlacement;
 use rd_vision::geometry::Mat3;
-use rd_vision::warp::homography;
+use rd_vision::warp::homography_bounded;
 
 /// Reference attack distance (m) used to convert the paper's `k`
 /// (patch pixels at 416x416 input) into physical decal sizes.
@@ -148,7 +148,10 @@ impl AttackScenario {
         placement_override: Option<PatchPlacement>,
     ) -> LinearMap {
         let h = self.decal_to_image(i, pose, placement_override);
-        homography(
+        // Bounded scan: a decal covers a few percent of the frame, so
+        // restricting the destination loop to its projected bounding box
+        // (identical entry list) is a large win on this hot path.
+        homography_bounded(
             (self.patch_canvas, self.patch_canvas),
             self.rig.image_hw,
             &h,

@@ -8,21 +8,28 @@
 //! [`BATCH_FRAMES`] frames:
 //!
 //! ```text
-//! pose generation ─► frame render + decal print ─► chunk assembly
-//!        (producer thread, sequential per-run RNG)      │
+//! pose generation ─► noise pre-sampling ─► parallel chunk render
+//!    (producer thread, sequential per-run RNG)   (runtime pool)
+//!                                                       │
 //!                                                rendezvous channel
 //!                                                       ▼
 //!            online accumulate ◄─ decode ◄─ batched inference
 //!                      (consumer = calling thread)
 //! ```
 //!
-//! The producer renders on a dedicated thread entered into the caller's
-//! [`Runtime`](rd_tensor::Runtime); the consumer runs inference on the
-//! same runtime's worker pool. A zero-capacity rendezvous channel
-//! double-buffers the two stages: while the consumer infers chunk *k*,
-//! the producer renders chunk *k+1*, and peak live frames are bounded by
-//! one chunk pair (2 × [`BATCH_FRAMES`]) regardless of drive length —
-//! the buffered reference path materializes the whole drive instead.
+//! The producer owns the per-run RNG on a dedicated thread entered into
+//! the caller's [`Runtime`](rd_tensor::Runtime): per chunk it samples
+//! the capture randomness sequentially in frame order
+//! ([`rd_scene::CaptureModel::sample_draws`]), then renders the chunk's
+//! frames in parallel on the runtime's worker pool through a shared
+//! pose-keyed [`FrameRenderer`] — index-ordered fan-out, so the frames
+//! are bit-identical to serial rendering at any thread count. The
+//! consumer runs inference on the same pool. A zero-capacity rendezvous
+//! channel double-buffers the two stages: while the consumer infers
+//! chunk *k*, the producer renders chunk *k+1*, and peak live frames are
+//! bounded by one chunk pair (2 × [`BATCH_FRAMES`]) regardless of drive
+//! length — the buffered reference path materializes the whole drive
+//! instead.
 //!
 //! # Bitwise contract
 //!
@@ -34,7 +41,9 @@
 //!    size ([`BATCH_FRAMES`]), so the model sees identical batches.
 //! 2. **Same draws**: one sequential per-run RNG covers decal printing,
 //!    pose generation and per-frame capture noise in frame order; the
-//!    producer owns it end to end, so the draw order cannot interleave.
+//!    producer owns it end to end and pre-samples each chunk's capture
+//!    draws *before* fanning the renders out, so parallelism cannot
+//!    reorder the stream.
 //! 3. **Same folds**: the online scorers
 //!    ([`CellAccumulator`](crate::metrics::CellAccumulator),
 //!    [`OutcomeAccumulator`](crate::metrics::OutcomeAccumulator)) run
@@ -55,17 +64,18 @@ use std::sync::mpsc;
 use std::time::Duration;
 
 use rd_detector::{postprocess_into, DecodeBuffers, Detection, TinyYolo};
-use rd_scene::{GtBox, ObjectClass};
-use rd_tensor::{runtime, ParamSet, Tier};
+use rd_scene::{CaptureDraws, GtBox, ObjectClass};
+use rd_tensor::{parallel, runtime, ParamSet, Tier};
 use rd_vision::Image;
 
 use crate::attack::Deployment;
 use crate::decal::Decal;
 use crate::eval::{
-    classify_victim, render_attacked_frame, run_rng, Challenge, ChallengeOutcome, EvalConfig,
-    FrameObserver, CONFIRM_WINDOW,
+    classify_victim, run_rng, Challenge, ChallengeOutcome, EvalConfig, FrameObserver,
+    CONFIRM_WINDOW,
 };
 use crate::metrics::{CellAccumulator, OutcomeAccumulator};
+use crate::render::FrameRenderer;
 use crate::runner::{RunnerError, RunnerReport};
 use crate::scenario::AttackScenario;
 use crate::supervisor::{run_fleet, JobReport, JobSpec};
@@ -146,6 +156,9 @@ pub(crate) fn evaluate_streamed_observed(
     let live = AtomicUsize::new(0);
     let peak = AtomicUsize::new(0);
     let rt = runtime::current();
+    // one pose-keyed geometry cache for the whole evaluation, shared by
+    // the chunk-render workers of every run
+    let renderer = FrameRenderer::new(scenario);
 
     for run in 0..cfg.runs {
         runtime::check_cancelled_or_unwind();
@@ -169,42 +182,54 @@ pub(crate) fn evaluate_streamed_observed(
                 let rt = rt.clone();
                 let poses = &poses;
                 let printed = &printed;
+                let renderer = &renderer;
                 let (live, peak) = (&live, &peak);
                 move || {
                     // worker threads inherit the spawner's runtime only
                     // through enter(): charge rendering to the caller's
                     // runtime, not the default shim
                     rt.enter(|| {
-                        let mut frames: Vec<Image> = Vec::with_capacity(BATCH_FRAMES);
-                        let mut victims: Vec<Option<GtBox>> = Vec::with_capacity(BATCH_FRAMES);
-                        for pose in poses {
+                        for chunk_poses in poses.chunks(BATCH_FRAMES) {
                             runtime::check_cancelled_or_unwind();
-                            frames.push(render_attacked_frame(
-                                scenario, printed, pose, cfg, motion, &mut rng,
-                            ));
-                            victims.push(scenario.victim_box(pose));
-                            let now = live.fetch_add(1, Ordering::Relaxed) + 1;
-                            peak.fetch_max(now, Ordering::Relaxed);
-                            if frames.len() == BATCH_FRAMES {
-                                let chunk = (
-                                    std::mem::replace(
-                                        &mut frames,
-                                        Vec::with_capacity(BATCH_FRAMES),
-                                    ),
-                                    std::mem::replace(
-                                        &mut victims,
-                                        Vec::with_capacity(BATCH_FRAMES),
-                                    ),
+                            // capture randomness stays one sequential
+                            // producer stream: sample the chunk's draws
+                            // in frame order...
+                            let draws: Vec<CaptureDraws> = chunk_poses
+                                .iter()
+                                .map(|_| {
+                                    cfg.channel
+                                        .capture
+                                        .sample_draws(scenario.rig.image_hw, &mut rng)
+                                })
+                                .collect();
+                            // ...then fan the renders out on the
+                            // runtime's pool. Index-ordered collection:
+                            // bit-identical to serial at any thread
+                            // count.
+                            let frames = parallel::run_indexed(chunk_poses.len(), |i| {
+                                runtime::check_cancelled_or_unwind();
+                                let f = renderer.render(
+                                    scenario,
+                                    printed,
+                                    &chunk_poses[i],
+                                    cfg,
+                                    motion,
+                                    &draws[i],
                                 );
-                                if tx.send(chunk).is_err() {
-                                    // consumer gone (its own cancel
-                                    // check tripped): stop rendering
-                                    return;
-                                }
+                                let now = live.fetch_add(1, Ordering::Relaxed) + 1;
+                                peak.fetch_max(now, Ordering::Relaxed);
+                                f
+                            });
+                            for d in draws {
+                                d.recycle();
                             }
-                        }
-                        if !frames.is_empty() {
-                            let _ = tx.send((frames, victims));
+                            let victims: Vec<Option<GtBox>> =
+                                chunk_poses.iter().map(|p| scenario.victim_box(p)).collect();
+                            if tx.send((frames, victims)).is_err() {
+                                // consumer gone (its own cancel check
+                                // tripped): stop rendering
+                                return;
+                            }
                         }
                     });
                 }
@@ -215,6 +240,12 @@ pub(crate) fn evaluate_streamed_observed(
             while let Ok((frames, victims)) = rx.recv() {
                 runtime::check_cancelled_or_unwind();
                 let batch = Image::batch_to_tensor(&frames);
+                let n_frames = frames.len();
+                // frame buffers are arena-backed (FrameRenderer): hand
+                // them back as soon as they're batched
+                for f in frames {
+                    rd_tensor::arena::recycle(f.into_vec());
+                }
                 let (coarse, fine) = model.infer(ps, &batch);
                 postprocess_into(
                     &coarse,
@@ -239,8 +270,8 @@ pub(crate) fn evaluate_streamed_observed(
                     cell_acc.push(class);
                 }
                 stats.chunks += 1;
-                stats.frames += frames.len();
-                live.fetch_sub(frames.len(), Ordering::Relaxed);
+                stats.frames += n_frames;
+                live.fetch_sub(n_frames, Ordering::Relaxed);
             }
 
             // the channel closed: either the producer finished the run

@@ -1,0 +1,101 @@
+//! Property gate for the render fast path (PR 10): the pose-keyed,
+//! arena-backed [`FrameRenderer`] must produce frames **bitwise
+//! identical** to the fresh per-frame path
+//! ([`render_attacked_frame`]) for arbitrary poses, decal counts,
+//! channel configurations and mono/RGB decals — on cache misses and on
+//! cache hits alike. CI runs this file on both SIMD backends
+//! (`RD_NO_SIMD=1` re-run).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use rd_scene::{CameraPose, CameraRig, PhysicalChannel};
+use rd_tensor::Tensor;
+use rd_vision::shapes::{mask, Shape};
+use rd_vision::Plane;
+
+use road_decals::eval::{render_attacked_frame, EvalConfig};
+use road_decals::render::FrameRenderer;
+use road_decals::scenario::AttackScenario;
+use road_decals::Decal;
+
+fn channel(idx: u8) -> PhysicalChannel {
+    match idx % 3 {
+        0 => PhysicalChannel::digital(),
+        1 => PhysicalChannel::simulated(),
+        _ => PhysicalChannel::real_world(),
+    }
+}
+
+fn decal(rgb: bool, level: f32) -> Decal {
+    let m = mask(Shape::Star, 16);
+    if rgb {
+        let data: Vec<f32> = (0..3 * 16 * 16)
+            .map(|i| (level + i as f32 * 0.003) % 1.0)
+            .collect();
+        Decal::rgb(&Tensor::from_vec(data, &[3, 16, 16]), m, Shape::Star)
+    } else {
+        Decal::mono(&Plane::new(16, 16, level), m, Shape::Star)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cached/pooled rendering is bit-identical to the fresh path: same
+    /// frame bits and the same number of RNG draws, twice per pose so
+    /// the second render exercises every cache-hit path.
+    #[test]
+    fn fast_path_matches_fresh_path_bitwise(
+        z_near in 1.0f32..8.0,
+        lateral_m in -1.0f32..1.0,
+        yaw in -0.3f32..0.3,
+        roll in -0.2f32..0.2,
+        n_decals in 0usize..4,
+        rgb in any::<bool>(),
+        chan_idx in 0u8..3,
+        level in 0.0f32..1.0,
+        motion in 0.0f32..0.2,
+        seed in any::<u64>(),
+    ) {
+        let rig = CameraRig::smoke();
+        let scenario = AttackScenario::parking_lot(rig, 4, 60, 16, 11);
+        let cfg = EvalConfig {
+            channel: channel(chan_idx),
+            ..EvalConfig::smoke(1)
+        };
+        let printed: Vec<Decal> = (0..n_decals)
+            .map(|i| decal(rgb, (level + i as f32 * 0.1) % 1.0))
+            .collect();
+        let pose = CameraPose { z_near, lateral_m, yaw, roll };
+        let renderer = FrameRenderer::new(&scenario);
+        for round in 0..2 {
+            let mut fresh_rng = StdRng::seed_from_u64(seed);
+            let fresh =
+                render_attacked_frame(&scenario, &printed, &pose, &cfg, motion, &mut fresh_rng);
+            let mut fast_rng = StdRng::seed_from_u64(seed);
+            let draws = cfg.channel.capture.sample_draws(rig.image_hw, &mut fast_rng);
+            let fast = renderer.render(&scenario, &printed, &pose, &cfg, motion, &draws);
+            draws.recycle();
+            prop_assert_eq!(fresh.data().len(), fast.data().len());
+            for (i, (a, b)) in fresh.data().iter().zip(fast.data()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "pixel {} drifted on round {} ({} vs {})",
+                    i,
+                    round,
+                    a,
+                    b
+                );
+            }
+            // draw-count parity: both paths must leave the RNG at the
+            // same stream position, or run-level sequencing would drift
+            prop_assert_eq!(fresh_rng.next_u64(), fast_rng.next_u64());
+            rd_tensor::arena::recycle(fast.into_vec());
+        }
+        let stats = renderer.cache_stats();
+        prop_assert!(stats.cam_hits >= 1, "second render must hit the pose cache");
+    }
+}

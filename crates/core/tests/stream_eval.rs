@@ -178,10 +178,13 @@ fn arena_high_water_does_not_scale_with_drive_length() {
         });
         rt.arena_high_water()
     };
-    let short = high_water(BATCH_FRAMES);
+    // frame buffers are arena-backed (FrameRenderer), so the pipeline's
+    // steady state — one chunk rendering while another is inferred —
+    // first appears at two chunks; measure from there
+    let short = high_water(2 * BATCH_FRAMES);
     let long = high_water(6 * BATCH_FRAMES);
-    // inference scratch is recycled chunk to chunk: a 6x longer drive
-    // may not demand a meaningfully deeper arena
+    // frame and inference scratch is recycled chunk to chunk: a 3x
+    // longer drive may not demand a meaningfully deeper arena
     assert!(
         long <= short + short / 8,
         "arena high water scaled with drive length: {short} -> {long}"

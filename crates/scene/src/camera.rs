@@ -8,10 +8,11 @@
 
 use rand::Rng;
 
+use rd_tensor::arena::ScratchBuf;
 use rd_tensor::LinearMap;
 use rd_vision::geometry::Mat3;
-use rd_vision::warp::homography;
-use rd_vision::{Image, Plane, Rgb};
+use rd_vision::warp::homography_bounded;
+use rd_vision::{Image, Rgb};
 
 use crate::classes::{GtBox, ObjectClass};
 use crate::render::Rect;
@@ -114,8 +115,18 @@ impl CameraRig {
     ///
     /// Panics if the pose is degenerate (never happens for `z_near > 0`).
     pub fn warp_map(&self, pose: &CameraPose) -> LinearMap {
-        homography(self.canvas_hw, self.image_hw, &self.world_to_image(pose))
+        // The bounded scan produces the identical entry list (it only
+        // skips destination pixels that cannot sample the canvas).
+        homography_bounded(self.canvas_hw, self.image_hw, &self.world_to_image(pose))
             .expect("camera homography must be invertible")
+    }
+
+    /// The coverage plane of a warp map: how much world-canvas mass each
+    /// image pixel receives. Hoisted out of [`CameraRig::render_frame`]
+    /// so pose-keyed caches can store it next to the map.
+    pub fn coverage(&self, map: &LinearMap) -> Vec<f32> {
+        let ones = vec![1.0f32; self.canvas_hw.0 * self.canvas_hw.1];
+        map.apply_plane(&ones)
     }
 
     /// The background (sky + distant road) a frame is composited over.
@@ -141,21 +152,46 @@ impl CameraRig {
     }
 
     /// Renders one camera frame of the world canvas (non-differentiable
-    /// evaluation path).
+    /// evaluation path). Rebuilds the warp map, coverage plane and
+    /// background from scratch — the fresh reference for the cached
+    /// [`CameraRig::render_frame_with`] fast path.
     pub fn render_frame(&self, world: &Image, pose: &CameraPose) -> Image {
+        let map = self.warp_map(pose);
+        let cov = self.coverage(&map);
+        let mut out = self.background();
+        self.render_frame_with(world, &map, &cov, &mut out);
+        out
+    }
+
+    /// Renders one frame given a precomputed warp map and coverage plane
+    /// into `out`, which must already hold the background (callers keep
+    /// a background image and `copy_from_slice` it into a reused frame
+    /// buffer). Bitwise-identical to [`CameraRig::render_frame`]: the
+    /// blend arithmetic is unchanged and the warped planes come from
+    /// the same apply kernel, just written into arena scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canvas, map grids or output size disagree with the
+    /// rig's geometry.
+    pub fn render_frame_with(&self, world: &Image, map: &LinearMap, cov: &[f32], out: &mut Image) {
         assert_eq!(
             (world.height(), world.width()),
             self.canvas_hw,
             "world canvas size mismatch"
         );
-        let map = self.warp_map(pose);
-        let ones = Plane::new(self.canvas_hw.0, self.canvas_hw.1, 1.0);
-        let cov = map.apply_plane(ones.data());
-        let hw_world = self.canvas_hw.0 * self.canvas_hw.1;
-        let mut out = self.background();
+        assert_eq!(map.in_hw(), self.canvas_hw, "map input grid mismatch");
+        assert_eq!(map.out_hw(), self.image_hw, "map output grid mismatch");
         let (h, w) = self.image_hw;
+        assert_eq!((out.height(), out.width()), (h, w), "frame size mismatch");
+        assert_eq!(cov.len(), h * w, "coverage plane size mismatch");
+        let hw_world = self.canvas_hw.0 * self.canvas_hw.1;
+        let mut plane = ScratchBuf::zeroed(h * w);
         for ch in 0..3 {
-            let plane = map.apply_plane(&world.data()[ch * hw_world..(ch + 1) * hw_world]);
+            map.apply_plane_into(
+                &world.data()[ch * hw_world..(ch + 1) * hw_world],
+                &mut plane,
+            );
             for y in 0..h {
                 if (y as f32) < self.horizon_v - 1.0 {
                     continue; // keep the sky
@@ -176,7 +212,6 @@ impl CameraRig {
                 }
             }
         }
-        out
     }
 
     /// Projects a world-canvas rectangle to a normalized image box.

@@ -40,6 +40,6 @@ pub use camera::{
     RotationSetting, Speed,
 };
 pub use classes::{GtBox, ObjectClass};
-pub use physical::{CaptureModel, PhysicalChannel, PrintModel};
+pub use physical::{CaptureDraws, CaptureModel, PhysicalChannel, PrintModel};
 pub use render::Rect;
 pub use world::{WorldObject, WorldScene};

@@ -157,21 +157,79 @@ impl CaptureModel {
     }
 
     /// Degrades a frame in place. `motion_m_per_frame` scales motion blur.
+    ///
+    /// Literally [`CaptureModel::sample_draws`] followed by
+    /// [`CaptureModel::apply_draws`], so interleaved and pre-sampled
+    /// randomness are bitwise-identical by construction.
     pub fn apply<R: Rng>(&self, img: &mut Image, motion_m_per_frame: f32, rng: &mut R) {
-        // exposure + gamma
+        let draws = self.sample_draws((img.height(), img.width()), rng);
+        self.apply_draws(img, motion_m_per_frame, &draws);
+        draws.recycle();
+    }
+
+    /// Samples every random draw one frame of [`CaptureModel::apply`]
+    /// consumes, in the exact order the interleaved path draws them:
+    /// exposure, gamma, the shadow gate and its parameters, then the
+    /// per-pixel noise values (raw `[-2, 2)` draws; `noise_std` is
+    /// applied later).
+    ///
+    /// Pre-sampling pins the per-run RNG to a single sequential stream
+    /// ordered by frame, which frees the deterministic
+    /// [`CaptureModel::apply_draws`] stage to run on any thread — the
+    /// same fan-out trick the attack step uses for its EOT batch.
+    pub fn sample_draws<R: Rng>(&self, image_hw: (usize, usize), rng: &mut R) -> CaptureDraws {
+        let (h, w) = image_hw;
         let exposure = (rng.gen_range(-1.0f32..1.0) * self.exposure_std).exp();
         let gamma = (rng.gen_range(-1.0f32..1.0) * self.gamma_std).exp();
+        let shadow = if self.shadow_prob > 0.0 && rng.gen_range(0.0..1.0) < self.shadow_prob {
+            Some(ShadowDraw {
+                y0: rng.gen_range(0..h),
+                band: rng.gen_range(h / 10..h / 3),
+                strength: rng.gen_range(0.55f32..0.8),
+                skew: rng.gen_range(-(w as i64) / 4..w as i64 / 4),
+            })
+        } else {
+            None
+        };
+        let noise = if self.noise_std > 0.0 {
+            let mut n = rd_tensor::arena::take(3 * h * w);
+            for v in n.iter_mut() {
+                *v = rng.gen_range(-2.0f32..2.0);
+            }
+            n
+        } else {
+            Vec::new()
+        };
+        CaptureDraws {
+            exposure,
+            gamma,
+            shadow,
+            noise,
+        }
+    }
+
+    /// The deterministic half of [`CaptureModel::apply`]: degrades a
+    /// frame using pre-sampled randomness. Consumes no RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise buffer was sampled for a different frame size.
+    pub fn apply_draws(&self, img: &mut Image, motion_m_per_frame: f32, draws: &CaptureDraws) {
+        // exposure + gamma
+        let (exposure, gamma) = (draws.exposure, draws.gamma);
         for v in img.data_mut() {
             *v = (v.max(0.0) * exposure).powf(gamma).clamp(0.0, 1.0);
         }
         // cast shadow: a darkened band across the road
-        if self.shadow_prob > 0.0 && rng.gen_range(0.0..1.0) < self.shadow_prob {
+        if let Some(s) = draws.shadow {
             let h = img.height();
             let w = img.width();
-            let y0 = rng.gen_range(0..h);
-            let band = rng.gen_range(h / 10..h / 3);
-            let strength = rng.gen_range(0.55f32..0.8);
-            let skew = rng.gen_range(-(w as i64) / 4..w as i64 / 4);
+            let ShadowDraw {
+                y0,
+                band,
+                strength,
+                skew,
+            } = s;
             for y in y0..(y0 + band).min(h) {
                 let shift = skew * (y as i64 - y0 as i64) / band.max(1) as i64;
                 for x in 0..w {
@@ -190,33 +248,62 @@ impl CaptureModel {
         }
         // sensor noise
         if self.noise_std > 0.0 {
-            for v in img.data_mut() {
-                *v = (*v + rng.gen_range(-2.0f32..2.0) * self.noise_std).clamp(0.0, 1.0);
-            }
+            assert_eq!(
+                draws.noise.len(),
+                img.data().len(),
+                "noise draws sampled for a different frame size"
+            );
+            rd_tensor::simd::add_scaled_clamp(img.data_mut(), &draws.noise, self.noise_std);
         }
     }
 }
 
-/// Separable vertical box blur of the given radius.
+/// Pre-sampled randomness for one frame of [`CaptureModel::apply`]; see
+/// [`CaptureModel::sample_draws`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureDraws {
+    exposure: f32,
+    gamma: f32,
+    shadow: Option<ShadowDraw>,
+    noise: Vec<f32>,
+}
+
+impl CaptureDraws {
+    /// Hands the noise buffer back to the current runtime's arena.
+    pub fn recycle(self) {
+        rd_tensor::arena::recycle(self.noise);
+    }
+}
+
+/// The shadow band's sampled parameters (drawn only when the per-frame
+/// shadow gate fires).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ShadowDraw {
+    y0: usize,
+    band: usize,
+    strength: f32,
+    skew: i64,
+}
+
+/// Separable vertical box blur of the given radius (SIMD-dispatched,
+/// bitwise-identical on both backends).
 fn vertical_box_blur(img: &mut Image, radius: usize) {
     let h = img.height();
     let w = img.width();
     let hw = h * w;
-    let src = img.data().to_vec();
+    let mut src = rd_tensor::arena::take(3 * hw);
+    src.copy_from_slice(img.data());
     let dst = img.data_mut();
     for ch in 0..3 {
-        for x in 0..w {
-            for y in 0..h {
-                let y0 = y.saturating_sub(radius);
-                let y1 = (y + radius + 1).min(h);
-                let mut acc = 0.0;
-                for yy in y0..y1 {
-                    acc += src[ch * hw + yy * w + x];
-                }
-                dst[ch * hw + y * w + x] = acc / (y1 - y0) as f32;
-            }
-        }
+        rd_tensor::simd::box_blur_vertical(
+            &src[ch * hw..(ch + 1) * hw],
+            &mut dst[ch * hw..(ch + 1) * hw],
+            h,
+            w,
+            radius,
+        );
     }
+    rd_tensor::arena::recycle(src);
 }
 
 /// The full digital→physical→digital pipeline toggle.

@@ -52,10 +52,27 @@ pub struct LinearMap {
     in_hw: (usize, usize),
     out_hw: (usize, usize),
     entries: Vec<WarpEntry>,
+    /// CSR row index over `srcs`/`weights` (length `out_n + 1`), built in
+    /// [`LinearMap::new`] when the entries are dst-non-decreasing — true
+    /// for every map produced by a destination-major scan (camera warps,
+    /// decal homographies, blur maps). Empty when the entries are
+    /// unordered, in which case applies fall back to the entry scatter.
+    offsets: Vec<u32>,
+    srcs: Vec<u32>,
+    weights: Vec<f32>,
+    /// `(min, max)` destination index over all entries; `None` when empty.
+    dst_bounds: Option<(u32, u32)>,
 }
 
 impl LinearMap {
     /// Builds a map from raw entries.
+    ///
+    /// When the entries arrive sorted by destination (the natural order
+    /// for maps built by scanning the output grid row-major), a CSR index
+    /// is built alongside so [`LinearMap::apply_plane_into`] can run as a
+    /// row gather — same multiplies, same add order, bitwise-identical
+    /// results, but SIMD-friendly and free of the scatter's
+    /// read-modify-write dependence.
     ///
     /// # Panics
     ///
@@ -63,14 +80,43 @@ impl LinearMap {
     pub fn new(in_hw: (usize, usize), out_hw: (usize, usize), entries: Vec<WarpEntry>) -> Self {
         let in_n = (in_hw.0 * in_hw.1) as u32;
         let out_n = (out_hw.0 * out_hw.1) as u32;
+        let mut sorted = true;
+        let mut prev = 0u32;
+        let mut dst_bounds: Option<(u32, u32)> = None;
         for e in &entries {
             assert!(e.src < in_n, "src {} out of range {in_n}", e.src);
             assert!(e.dst < out_n, "dst {} out of range {out_n}", e.dst);
+            sorted &= e.dst >= prev;
+            prev = e.dst;
+            dst_bounds = Some(match dst_bounds {
+                None => (e.dst, e.dst),
+                Some((lo, hi)) => (lo.min(e.dst), hi.max(e.dst)),
+            });
+        }
+        let (mut offsets, mut srcs, mut weights) = (Vec::new(), Vec::new(), Vec::new());
+        if sorted {
+            offsets = Vec::with_capacity(out_n as usize + 1);
+            srcs = Vec::with_capacity(entries.len());
+            weights = Vec::with_capacity(entries.len());
+            let mut i = 0usize;
+            for dst in 0..out_n {
+                offsets.push(i as u32);
+                while i < entries.len() && entries[i].dst == dst {
+                    srcs.push(entries[i].src);
+                    weights.push(entries[i].weight);
+                    i += 1;
+                }
+            }
+            offsets.push(i as u32);
         }
         LinearMap {
             in_hw,
             out_hw,
             entries,
+            offsets,
+            srcs,
+            weights,
+            dst_bounds,
         }
     }
 
@@ -122,6 +168,27 @@ impl LinearMap {
         LinearMap::new(self.in_hw, next.out_hw, entries)
     }
 
+    /// Whether a CSR row index was built (entries were dst-sorted).
+    pub fn is_indexed(&self) -> bool {
+        !self.offsets.is_empty()
+    }
+
+    /// The half-open row span `[lo, hi)` of the output grid that this map
+    /// can write to; `(0, 0)` for a map with no entries.
+    ///
+    /// Bounded maps (see `homography_bounded` in `rd-vision`) touch only a
+    /// few rows of the destination; callers compositing through such a map
+    /// can restrict their pixel loops to this span.
+    pub fn dst_row_span(&self) -> (usize, usize) {
+        match self.dst_bounds {
+            None => (0, 0),
+            Some((lo, hi)) => {
+                let w = self.out_hw.1.max(1);
+                (lo as usize / w, hi as usize / w + 1)
+            }
+        }
+    }
+
     /// Applies the map to a plain single-channel buffer (used for warping
     /// alpha masks, which are not differentiated through).
     ///
@@ -129,12 +196,44 @@ impl LinearMap {
     ///
     /// Panics if `src.len()` differs from the input grid size.
     pub fn apply_plane(&self, src: &[f32]) -> Vec<f32> {
-        assert_eq!(src.len(), self.in_hw.0 * self.in_hw.1);
         let mut out = vec![0.0f32; self.out_hw.0 * self.out_hw.1];
-        for e in &self.entries {
-            out[e.dst as usize] += e.weight * src[e.src as usize];
-        }
+        self.apply_plane_into(src, &mut out);
         out
+    }
+
+    /// Like [`LinearMap::apply_plane`] but writes into a caller-provided
+    /// buffer (typically runtime-arena scratch), overwriting its contents.
+    ///
+    /// Bitwise-identical to `apply_plane`: the CSR gather accumulates each
+    /// row from `0.0` in entry order, which is the same add sequence the
+    /// zero-fill + scatter performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `out` do not match the grid sizes.
+    pub fn apply_plane_into(&self, src: &[f32], out: &mut [f32]) {
+        assert_eq!(src.len(), self.in_hw.0 * self.in_hw.1);
+        assert_eq!(out.len(), self.out_hw.0 * self.out_hw.1);
+        if self.is_indexed() {
+            crate::simd::sparse_gather(&self.offsets, &self.srcs, &self.weights, src, out);
+        } else {
+            out.fill(0.0);
+            for e in &self.entries {
+                out[e.dst as usize] += e.weight * src[e.src as usize];
+            }
+        }
+    }
+
+    /// Accumulating apply into a pre-zeroed plane (used by [`Graph::warp`],
+    /// whose output tensor is already zero-filled).
+    fn gather_into_zeroed(&self, src: &[f32], out: &mut [f32]) {
+        if self.is_indexed() {
+            crate::simd::sparse_gather(&self.offsets, &self.srcs, &self.weights, src, out);
+        } else {
+            for e in &self.entries {
+                out[e.dst as usize] += e.weight * src[e.src as usize];
+            }
+        }
     }
 }
 
@@ -161,12 +260,9 @@ impl Graph {
         {
             let xd = xv.data();
             let od = out.data_mut();
-            let entries = &map.entries;
             let gather = |nc: usize, dst: &mut [f32]| {
                 let src = &xd[nc * in_n..(nc + 1) * in_n];
-                for e in entries {
-                    dst[e.dst as usize] += e.weight * src[e.src as usize];
-                }
+                map.gather_into_zeroed(src, dst);
             };
             if big {
                 let per = planes.div_ceil(crate::parallel::groups_for(planes));
@@ -311,6 +407,72 @@ mod tests {
         let x = g.input(Tensor::from_vec(src, &[1, 1, 4, 4]));
         let y = g.warp(x, &map);
         assert_eq!(g.value(y).data(), &plane[..]);
+    }
+
+    #[test]
+    fn csr_gather_bitwise_matches_entry_scatter() {
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..20 {
+            let map = random_map(&mut rng, (7, 5), (6, 9));
+            assert!(map.is_indexed(), "dst-ascending entries must index");
+            let src: Vec<f32> = (0..35).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut reference = vec![0.0f32; 54];
+            for e in map.entries() {
+                reference[e.dst as usize] += e.weight * src[e.src as usize];
+            }
+            let via_apply = map.apply_plane(&src);
+            // Dirty output buffer: apply_plane_into must overwrite fully.
+            let mut via_into = vec![f32::NAN; 54];
+            map.apply_plane_into(&src, &mut via_into);
+            for i in 0..54 {
+                assert_eq!(reference[i].to_bits(), via_apply[i].to_bits());
+                assert_eq!(reference[i].to_bits(), via_into[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_entries_fall_back_to_scatter() {
+        let entries = vec![
+            WarpEntry {
+                dst: 3,
+                src: 0,
+                weight: 0.5,
+            },
+            WarpEntry {
+                dst: 1,
+                src: 1,
+                weight: -1.5,
+            },
+        ];
+        let map = LinearMap::new((1, 2), (2, 2), entries);
+        assert!(!map.is_indexed());
+        assert_eq!(map.dst_row_span(), (0, 2));
+        let out = map.apply_plane(&[2.0, 4.0]);
+        assert_eq!(out, vec![0.0, -6.0, 0.0, 1.0]);
+        let mut dirty = vec![9.0f32; 4];
+        map.apply_plane_into(&[2.0, 4.0], &mut dirty);
+        assert_eq!(dirty, vec![0.0, -6.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn dst_row_span_covers_touched_rows_only() {
+        let entries = vec![
+            WarpEntry {
+                dst: 4, // row 1 of a 3x4 grid
+                src: 0,
+                weight: 1.0,
+            },
+            WarpEntry {
+                dst: 7, // still row 1
+                src: 0,
+                weight: 1.0,
+            },
+        ];
+        let map = LinearMap::new((1, 1), (3, 4), entries);
+        assert_eq!(map.dst_row_span(), (1, 2));
+        let empty = LinearMap::new((1, 1), (3, 4), Vec::new());
+        assert_eq!(empty.dst_row_span(), (0, 0));
     }
 
     #[test]

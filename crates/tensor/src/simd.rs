@@ -210,6 +210,83 @@ pub fn act_inplace(seg: &mut [f32], act: Act) {
     }
 }
 
+/// Sparse CSR row gather: `out[r] = Σᵢ weights[i]·src[srcs[i]]` over
+/// `offsets[r]..offsets[r + 1]`, overwrite mode.
+///
+/// The apply kernel behind [`crate::LinearMap`]'s bilinear warps. Each
+/// row accumulates from `0.0` in entry order with separate `mul`+`add`
+/// (never FMA), so the result is **bitwise identical** to the scalar
+/// entry scatter on both backends — like [`max_pool2x2`] this needs no
+/// ulp certificate, and because the render path is tier-independent it
+/// is dispatched on the backend alone. The AVX2 path vectorises the
+/// dominant shapes of a bilinear map: runs of eight 4-entry rows
+/// (interior pixels) and runs of eight empty rows (outside the warp
+/// footprint).
+///
+/// # Panics
+///
+/// Asserts the CSR shape contract (`offsets` monotone over
+/// `srcs`/`weights`, one row per output element). Source indices are
+/// validated by `LinearMap::new`; they are debug-asserted here.
+pub fn sparse_gather(offsets: &[u32], srcs: &[u32], weights: &[f32], src: &[f32], out: &mut [f32]) {
+    assert_eq!(offsets.len(), out.len() + 1, "CSR needs out_n + 1 offsets");
+    assert_eq!(srcs.len(), weights.len());
+    assert_eq!(
+        *offsets.last().expect("offsets non-empty") as usize,
+        srcs.len()
+    );
+    debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(srcs.iter().all(|&s| (s as usize) < src.len()));
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`; the
+        // asserts above pin the CSR shape and `LinearMap::new` bounds
+        // every source index.
+        Backend::Avx2Fma => unsafe { avx2::sparse_gather(offsets, srcs, weights, src, out) },
+        Backend::Portable => portable::sparse_gather(offsets, srcs, weights, src, out),
+    }
+}
+
+/// Capture-channel noise blend: `seg[i] = (seg[i] + noise[i]·scale)
+/// .clamp(0.0, 1.0)`.
+///
+/// Separate `mul`+`add` (no FMA) and a compare+select clamp that keeps
+/// `-0.0` and NaN behaviour identical to `f32::clamp`, so both
+/// backends are **bitwise identical** to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn add_scaled_clamp(seg: &mut [f32], noise: &[f32], scale: f32) {
+    assert_eq!(seg.len(), noise.len());
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`.
+        Backend::Avx2Fma => unsafe { avx2::add_scaled_clamp(seg, noise, scale) },
+        Backend::Portable => portable::add_scaled_clamp(seg, noise, scale),
+    }
+}
+
+/// Vertical box blur of one `h × w` plane with a clamped window of
+/// `radius` rows each side: `dst[y·w + x] = mean(src[y0..y1, x])`.
+///
+/// The motion-blur kernel of the capture channel. Per output element
+/// the window sum runs y-ascending from `0.0` and one IEEE division —
+/// the exact scalar sequence — so both backends are **bitwise
+/// identical**; the AVX2 path just walks eight columns per iteration.
+///
+/// # Panics
+///
+/// Panics if `src`/`dst` do not hold `h·w` elements.
+pub fn box_blur_vertical(src: &[f32], dst: &mut [f32], h: usize, w: usize, radius: usize) {
+    assert_eq!(src.len(), h * w);
+    assert_eq!(dst.len(), h * w);
+    match backend() {
+        // SAFETY: AVX2+FMA presence established by `backend()`; the
+        // asserts above pin the plane shape.
+        Backend::Avx2Fma => unsafe { avx2::box_blur_vertical(src, dst, h, w, radius) },
+        Backend::Portable => portable::box_blur_vertical(src, dst, h, w, radius),
+    }
+}
+
 /// Safe scalar-unrolled fallback kernels (also the only backend on
 /// non-x86_64 hosts). Public so the dispatch tests can pin this path
 /// regardless of the host CPU.
@@ -349,6 +426,49 @@ pub mod portable {
                 for v in seg {
                     *v = v.max(0.0);
                 }
+            }
+        }
+    }
+
+    /// Portable [`super::sparse_gather`]: the per-row accumulation loop,
+    /// entry order, from `0.0` — the scalar scatter's exact add chain.
+    pub fn sparse_gather(
+        offsets: &[u32],
+        srcs: &[u32],
+        weights: &[f32],
+        src: &[f32],
+        out: &mut [f32],
+    ) {
+        for (r, o) in out.iter_mut().enumerate() {
+            let (lo, hi) = (offsets[r] as usize, offsets[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for i in lo..hi {
+                acc += weights[i] * src[srcs[i] as usize];
+            }
+            *o = acc;
+        }
+    }
+
+    /// Portable [`super::add_scaled_clamp`]: the scalar loop verbatim.
+    pub fn add_scaled_clamp(seg: &mut [f32], noise: &[f32], scale: f32) {
+        for (v, &n) in seg.iter_mut().zip(noise) {
+            *v = (*v + n * scale).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Portable [`super::box_blur_vertical`]: per-column clamped window
+    /// sums, y-ascending, one division per output.
+    pub fn box_blur_vertical(src: &[f32], dst: &mut [f32], h: usize, w: usize, radius: usize) {
+        for y in 0..h {
+            let y0 = y.saturating_sub(radius);
+            let y1 = (y + radius + 1).min(h);
+            let inv = (y1 - y0) as f32;
+            for x in 0..w {
+                let mut acc = 0.0f32;
+                for yy in y0..y1 {
+                    acc += src[yy * w + x];
+                }
+                dst[y * w + x] = acc / inv;
             }
         }
     }
@@ -988,6 +1108,156 @@ mod avx2 {
             }
         }
     }
+
+    /// AVX2 [`super::sparse_gather`]: eight rows per iteration when the
+    /// run is uniform — eight 4-entry rows (the bilinear interior, one
+    /// strided gather per entry slot, `add(mul)` never FMA) or eight
+    /// empty rows (one zero store). Anything irregular falls to the
+    /// scalar row loop, so every row's add chain matches the portable
+    /// kernel exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and the CSR contract of the safe wrapper:
+    /// `offsets` monotone with `out.len() + 1` elements ending at
+    /// `srcs.len() == weights.len()`, and every `srcs[i]` in bounds of
+    /// `src`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sparse_gather(
+        offsets: &[u32],
+        srcs: &[u32],
+        weights: &[f32],
+        src: &[f32],
+        out: &mut [f32],
+    ) {
+        let n = out.len();
+        let op = out.as_mut_ptr();
+        let sp = src.as_ptr();
+        let wp = weights.as_ptr();
+        let ip = srcs.as_ptr() as *const i32;
+        // Entry i of row r + k sits at offsets[r] + 4k + j for slot j
+        // when the run is uniform; one element-stride gather per slot.
+        let stride4 = _mm256_setr_epi32(0, 4, 8, 12, 16, 20, 24, 28);
+        let mut r = 0usize;
+        while r < n {
+            let base = *offsets.get_unchecked(r) as usize;
+            if r + 8 <= n {
+                let end = *offsets.get_unchecked(r + 8) as usize;
+                if end == base {
+                    // Eight rows outside the warp footprint: exact +0.0,
+                    // same as the scalar empty accumulation.
+                    _mm256_storeu_ps(op.add(r), _mm256_setzero_ps());
+                    r += 8;
+                    continue;
+                }
+                let uniform4 = end - base == 32
+                    && (1..8).all(|t| *offsets.get_unchecked(r + t) as usize == base + 4 * t);
+                if uniform4 {
+                    let mut acc = _mm256_setzero_ps();
+                    for j in 0..4 {
+                        let w = _mm256_i32gather_ps::<4>(wp.add(base + j), stride4);
+                        let idx = _mm256_i32gather_epi32::<4>(ip.add(base + j), stride4);
+                        let s = _mm256_i32gather_ps::<4>(sp, idx);
+                        // First slot lands as 0.0 + w·s, mirroring the
+                        // scalar chain's first add (−0.0 weights stay
+                        // bit-exact).
+                        acc = _mm256_add_ps(acc, _mm256_mul_ps(w, s));
+                    }
+                    _mm256_storeu_ps(op.add(r), acc);
+                    r += 8;
+                    continue;
+                }
+            }
+            let hi = *offsets.get_unchecked(r + 1) as usize;
+            let mut acc = 0.0f32;
+            for i in base..hi {
+                acc += *wp.add(i) * *sp.add(*ip.add(i) as u32 as usize);
+            }
+            *op.add(r) = acc;
+            r += 1;
+        }
+    }
+
+    /// AVX2 [`super::add_scaled_clamp`]: `add(mul)` (no FMA) and a
+    /// compare+select clamp — `x < 0 → 0`, `x > 1 → 1`, else `x` — the
+    /// branch structure of `f32::clamp`, keeping `-0.0` and NaN results
+    /// bit-exact with the scalar loop.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and `seg.len() == noise.len()` (asserted by the
+    /// safe wrapper).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn add_scaled_clamp(seg: &mut [f32], noise: &[f32], scale: f32) {
+        let len = seg.len();
+        let lv = len / 8 * 8;
+        let p = seg.as_mut_ptr();
+        let q = noise.as_ptr();
+        let vs = _mm256_set1_ps(scale);
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let mut idx = 0;
+        while idx < lv {
+            let x = _mm256_add_ps(
+                _mm256_loadu_ps(p.add(idx)),
+                _mm256_mul_ps(_mm256_loadu_ps(q.add(idx)), vs),
+            );
+            let lt = _mm256_cmp_ps::<_CMP_LT_OQ>(x, zero);
+            let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(x, one);
+            let r = _mm256_blendv_ps(_mm256_blendv_ps(x, zero, lt), one, gt);
+            _mm256_storeu_ps(p.add(idx), r);
+            idx += 8;
+        }
+        for i in lv..len {
+            let v = p.add(i);
+            *v = (*v + *q.add(i) * scale).clamp(0.0, 1.0);
+        }
+    }
+
+    /// AVX2 [`super::box_blur_vertical`]: eight columns per iteration;
+    /// per lane the window adds stay y-ascending from `0.0` and the
+    /// division is IEEE-exact, so each output matches the scalar column
+    /// walk bit for bit.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA and `src.len() == dst.len() == h·w` (asserted
+    /// by the safe wrapper).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn box_blur_vertical(
+        src: &[f32],
+        dst: &mut [f32],
+        h: usize,
+        w: usize,
+        radius: usize,
+    ) {
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let wv = w / 8 * 8;
+        for y in 0..h {
+            let y0 = y.saturating_sub(radius);
+            let y1 = (y + radius + 1).min(h);
+            let inv = (y1 - y0) as f32;
+            let vinv = _mm256_set1_ps(inv);
+            let mut x = 0;
+            while x < wv {
+                let mut acc = _mm256_setzero_ps();
+                for yy in y0..y1 {
+                    acc = _mm256_add_ps(acc, _mm256_loadu_ps(sp.add(yy * w + x)));
+                }
+                _mm256_storeu_ps(dp.add(y * w + x), _mm256_div_ps(acc, vinv));
+                x += 8;
+            }
+            while x < w {
+                let mut acc = 0.0f32;
+                for yy in y0..y1 {
+                    acc += *sp.add(yy * w + x);
+                }
+                *dp.add(y * w + x) = acc / inv;
+                x += 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1152,6 +1422,139 @@ mod tests {
             let mut got = x.clone();
             portable::affine_act(&mut got, 1.3, -0.2, act);
             assert_eq!(got, want, "{act:?}");
+        }
+    }
+
+    /// Random CSR shaped like real bilinear maps: runs of 4-entry rows,
+    /// runs of empty rows, and irregular rows that force the scalar
+    /// fallback inside the AVX2 kernel.
+    fn random_csr(rng: &mut StdRng, out_n: usize, in_n: usize) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+        let mut offsets = Vec::with_capacity(out_n + 1);
+        let (mut srcs, mut weights) = (Vec::new(), Vec::new());
+        let mut r = 0usize;
+        while r < out_n {
+            let run = rng.gen_range(1usize..=12).min(out_n - r);
+            let per_row = match rng.gen_range(0..10) {
+                0..=3 => 4usize,
+                4..=6 => 0,
+                other => other - 5, // 2, 3 or 4 entries
+            };
+            for _ in 0..run {
+                offsets.push(srcs.len() as u32);
+                for _ in 0..per_row {
+                    srcs.push(rng.gen_range(0..in_n as u32));
+                    // Mix in exact and negative zeros so the first-add
+                    // sign behaviour is exercised.
+                    weights.push(match rng.gen_range(0..12) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        _ => rng.gen_range(-1.5f32..1.5),
+                    });
+                }
+            }
+            r += run;
+        }
+        offsets.push(srcs.len() as u32);
+        (offsets, srcs, weights)
+    }
+
+    #[test]
+    fn sparse_gather_bitwise_matches_scatter_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(91);
+        for _ in 0..40 {
+            let out_n = rng.gen_range(1..200);
+            let in_n = rng.gen_range(1..150);
+            let (offsets, srcs, weights) = random_csr(&mut rng, out_n, in_n);
+            let src = randv(&mut rng, in_n, false);
+            let mut want = vec![0.0f32; out_n];
+            for r in 0..out_n {
+                for i in offsets[r] as usize..offsets[r + 1] as usize {
+                    want[r] += weights[i] * src[srcs[i] as usize];
+                }
+            }
+            for dispatched in [false, true] {
+                let mut got = vec![f32::NAN; out_n];
+                if dispatched {
+                    sparse_gather(&offsets, &srcs, &weights, &src, &mut got);
+                } else {
+                    portable::sparse_gather(&offsets, &srcs, &weights, &src, &mut got);
+                }
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "out_n={out_n} dispatched={dispatched} ({})",
+                    backend().label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_clamp_bitwise_matches_scalar_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(92);
+        for len in [0usize, 1, 7, 8, 9, 33, 1000] {
+            let x: Vec<f32> = (0..len).map(|_| rng.gen_range(-0.5f32..1.5)).collect();
+            let noise: Vec<f32> = (0..len)
+                .map(|_| match rng.gen_range(0..10) {
+                    0 => -0.0,
+                    1 => 0.0,
+                    _ => rng.gen_range(-2.0f32..2.0),
+                })
+                .collect();
+            for scale in [0.07f32, -0.3, 0.0] {
+                let mut want = x.clone();
+                for (v, &nz) in want.iter_mut().zip(&noise) {
+                    *v = (*v + nz * scale).clamp(0.0, 1.0);
+                }
+                for dispatched in [false, true] {
+                    let mut got = x.clone();
+                    if dispatched {
+                        add_scaled_clamp(&mut got, &noise, scale);
+                    } else {
+                        portable::add_scaled_clamp(&mut got, &noise, scale);
+                    }
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "len={len} scale={scale} dispatched={dispatched}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_blur_vertical_bitwise_matches_scalar_on_both_backends() {
+        let mut rng = StdRng::seed_from_u64(93);
+        for (h, w) in [(1usize, 1usize), (5, 3), (8, 8), (13, 17), (64, 64)] {
+            let src = randv(&mut rng, h * w, false);
+            for radius in [0usize, 1, 2, 7] {
+                let mut want = vec![f32::NAN; h * w];
+                for x in 0..w {
+                    for y in 0..h {
+                        let y0 = y.saturating_sub(radius);
+                        let y1 = (y + radius + 1).min(h);
+                        let mut acc = 0.0f32;
+                        for yy in y0..y1 {
+                            acc += src[yy * w + x];
+                        }
+                        want[y * w + x] = acc / (y1 - y0) as f32;
+                    }
+                }
+                for dispatched in [false, true] {
+                    let mut got = vec![f32::NAN; h * w];
+                    if dispatched {
+                        box_blur_vertical(&src, &mut got, h, w, radius);
+                    } else {
+                        portable::box_blur_vertical(&src, &mut got, h, w, radius);
+                    }
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "h={h} w={w} radius={radius} dispatched={dispatched}"
+                    );
+                }
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use rd_tensor::arena::ScratchBuf;
 use rd_tensor::{Graph, LinearMap, Tensor, VarId};
 
 use crate::geometry::Mat3;
@@ -186,12 +187,34 @@ pub fn paste_patch_rgb(
 pub fn paste_plane_map(img: &mut Image, patch: &Plane, mask: &Plane, map: &LinearMap) {
     assert_eq!((patch.height(), patch.width()), map.in_hw());
     assert_eq!((mask.height(), mask.width()), map.in_hw());
-    assert_eq!((img.height(), img.width()), map.out_hw());
-    let warped = map.apply_plane(patch.data());
     let alpha = mask_on_image(map, mask);
+    paste_plane_alpha(img, patch.data(), map, &alpha, (0, img.height()));
+}
+
+/// [`paste_plane_map`] with a precomputed image-grid alpha plane, a raw
+/// patch buffer and a destination row span — the cached render fast
+/// path. Bitwise-identical to the fresh call: pixels outside `rows`
+/// have zero alpha by construction (the map writes nothing there) and
+/// are skipped by the `a > 0.0` guard either way.
+///
+/// # Panics
+///
+/// Panics on grid-size mismatches.
+pub fn paste_plane_alpha(
+    img: &mut Image,
+    patch: &[f32],
+    map: &LinearMap,
+    alpha: &Plane,
+    rows: (usize, usize),
+) {
+    assert_eq!(patch.len(), map.in_hw().0 * map.in_hw().1);
+    assert_eq!((img.height(), img.width()), map.out_hw());
+    assert_eq!((alpha.height(), alpha.width()), map.out_hw());
+    let mut warped = ScratchBuf::zeroed(img.height() * img.width());
+    map.apply_plane_into(patch, &mut warped);
     // exactly the differentiable path's arithmetic:
     // out = img * (1 - m) + warp(patch) * m  (premultiplied convention)
-    for y in 0..img.height() {
+    for y in rows.0..rows.1.min(img.height()) {
         for x in 0..img.width() {
             let a = alpha.get(y, x);
             if a > 0.0 {
@@ -211,14 +234,37 @@ pub fn paste_plane_map(img: &mut Image, patch: &Plane, mask: &Plane, map: &Linea
 ///
 /// Panics if the buffer length is not `3 * in_h * in_w`.
 pub fn paste_rgb_map(img: &mut Image, patch_rgb: &[f32], mask: &Plane, map: &LinearMap) {
+    let alpha = mask_on_image(map, mask);
+    paste_rgb_alpha(img, patch_rgb, map, &alpha, (0, img.height()));
+}
+
+/// [`paste_rgb_map`] with a precomputed alpha plane and row span (see
+/// [`paste_plane_alpha`] for the bitwise argument).
+///
+/// # Panics
+///
+/// Panics on grid-size mismatches.
+pub fn paste_rgb_alpha(
+    img: &mut Image,
+    patch_rgb: &[f32],
+    map: &LinearMap,
+    alpha: &Plane,
+    rows: (usize, usize),
+) {
     let (ph, pw) = map.in_hw();
     assert_eq!(patch_rgb.len(), 3 * ph * pw, "patch buffer size mismatch");
-    let alpha = mask_on_image(map, mask);
-    let planes: Vec<Vec<f32>> = (0..3)
-        .map(|c| map.apply_plane(&patch_rgb[c * ph * pw..(c + 1) * ph * pw]))
-        .collect();
+    assert_eq!((img.height(), img.width()), map.out_hw());
+    assert_eq!((alpha.height(), alpha.width()), map.out_hw());
+    let hw = img.height() * img.width();
+    let mut planes = ScratchBuf::zeroed(3 * hw);
+    for c in 0..3 {
+        map.apply_plane_into(
+            &patch_rgb[c * ph * pw..(c + 1) * ph * pw],
+            &mut planes[c * hw..(c + 1) * hw],
+        );
+    }
     // premultiplied convention, matching the differentiable path exactly
-    for y in 0..img.height() {
+    for y in rows.0..rows.1.min(img.height()) {
         for x in 0..img.width() {
             let a = alpha.get(y, x);
             if a > 0.0 {
@@ -227,7 +273,7 @@ pub fn paste_rgb_map(img: &mut Image, patch_rgb: &[f32], mask: &Plane, map: &Lin
                 img.blend(
                     y,
                     x,
-                    Rgb(cl(planes[0][i]), cl(planes[1][i]), cl(planes[2][i])),
+                    Rgb(cl(planes[i]), cl(planes[hw + i]), cl(planes[2 * hw + i])),
                     a,
                 );
             }

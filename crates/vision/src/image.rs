@@ -134,6 +134,23 @@ impl Image {
         Image { h, w, data }
     }
 
+    /// Wraps an existing CHW buffer (typically runtime-arena scratch) as
+    /// an image without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != 3 * h * w`.
+    pub fn from_vec(data: Vec<f32>, h: usize, w: usize) -> Self {
+        assert_eq!(data.len(), 3 * h * w, "CHW buffer size mismatch");
+        Image { h, w, data }
+    }
+
+    /// Consumes the image, handing back the CHW buffer (so frame buffers
+    /// can be recycled into the runtime arena).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Height in pixels.
     pub fn height(&self) -> usize {
         self.h

@@ -14,11 +14,27 @@ pub fn map_from_inverse(
     out_hw: (usize, usize),
     inv: impl Fn(f32, f32) -> (f32, f32),
 ) -> LinearMap {
-    let (ih, iw) = in_hw;
     let (oh, ow) = out_hw;
-    let mut entries = Vec::with_capacity(oh * ow * 4);
-    for oy in 0..oh {
-        for ox in 0..ow {
+    map_from_inverse_ranged(in_hw, out_hw, (0, oh), (0, ow), inv)
+}
+
+/// [`map_from_inverse`] restricted to a destination window: only pixels
+/// with `oy` in `ys` and `ox` in `xs` are scanned. The per-pixel entry
+/// arithmetic is shared with the full scan, so restricting the window to
+/// a superset of the pixels that sample inside the source grid yields
+/// the identical entry list.
+fn map_from_inverse_ranged(
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    ys: (usize, usize),
+    xs: (usize, usize),
+    inv: impl Fn(f32, f32) -> (f32, f32),
+) -> LinearMap {
+    let (ih, iw) = in_hw;
+    let (_, ow) = out_hw;
+    let mut entries = Vec::with_capacity(ys.1.saturating_sub(ys.0) * xs.1.saturating_sub(xs.0) * 4);
+    for oy in ys.0..ys.1 {
+        for ox in xs.0..xs.1 {
             let (sx, sy) = inv(ox as f32 + 0.5, oy as f32 + 0.5);
             let u = sx - 0.5;
             let v = sy - 0.5;
@@ -104,6 +120,66 @@ pub fn vertical_box_blur_map(hw: (usize, usize), radius: usize) -> LinearMap {
 pub fn homography(in_hw: (usize, usize), out_hw: (usize, usize), h: &Mat3) -> Option<LinearMap> {
     let hi = h.inverse()?;
     Some(map_from_inverse(in_hw, out_hw, move |x, y| hi.apply(x, y)))
+}
+
+/// [`homography`] that scans only the destination bounding box of the
+/// projected source canvas instead of the full output grid — the render
+/// fast path for decals and camera warps, where the source covers a
+/// small fraction of the frame.
+///
+/// Produces the *identical* entry list (and therefore bitwise-identical
+/// applies): only destination pixels whose inverse sample lands strictly
+/// inside the padded source rect can emit entries, the forward image of
+/// that rect is the convex hull of its projected corners (the projective
+/// denominator is affine in the source plane, so a positive value at all
+/// four corners holds over the whole rect), and the box is padded by a
+/// pixel on each side to absorb the inverse/forward round trip error.
+/// When any corner projects to a non-positive denominator the hull
+/// argument fails and this falls back to the full scan.
+///
+/// Returns `None` when `h` is singular.
+pub fn homography_bounded(
+    in_hw: (usize, usize),
+    out_hw: (usize, usize),
+    h: &Mat3,
+) -> Option<LinearMap> {
+    let hi = h.inverse()?;
+    let (oh, ow) = out_hw;
+    // Source rect padded one pixel beyond the bilinear sampling window
+    // (entries need the sample within 0.5px of the grid).
+    let (ihf, iwf) = (in_hw.0 as f32, in_hw.1 as f32);
+    let corners = [
+        (-1.0f32, -1.0f32),
+        (iwf + 1.0, -1.0),
+        (iwf + 1.0, ihf + 1.0),
+        (-1.0, ihf + 1.0),
+    ];
+    let (mut x0, mut y0) = (f32::INFINITY, f32::INFINITY);
+    let (mut x1, mut y1) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for (cx, cy) in corners {
+        let den = h.m[6] * cx + h.m[7] * cy + h.m[8];
+        if den <= 1e-6 {
+            return Some(map_from_inverse(in_hw, out_hw, move |x, y| hi.apply(x, y)));
+        }
+        let (u, v) = h.apply(cx, cy);
+        x0 = x0.min(u);
+        y0 = y0.min(v);
+        x1 = x1.max(u);
+        y1 = y1.max(v);
+    }
+    // One more pixel of slack each side; float-to-usize casts saturate,
+    // so a fully off-grid box collapses to an empty window.
+    let bx0 = ((x0 - 1.0).floor() as usize).min(ow);
+    let by0 = ((y0 - 1.0).floor() as usize).min(oh);
+    let bx1 = (((x1 + 2.0).ceil()) as usize).min(ow).max(bx0);
+    let by1 = (((y1 + 2.0).ceil()) as usize).min(oh).max(by0);
+    Some(map_from_inverse_ranged(
+        in_hw,
+        out_hw,
+        (by0, by1),
+        (bx0, bx1),
+        move |x, y| hi.apply(x, y),
+    ))
 }
 
 #[cfg(test)]
@@ -219,5 +295,39 @@ mod tests {
         let h = Mat3::translation(10.0, 10.0); // everything shifts out
         let out = apply(homography((4, 4), (4, 4), &h).unwrap(), &t);
         assert_eq!(out.sum(), 0.0);
+    }
+
+    #[test]
+    fn bounded_homography_entries_match_full_scan_exactly() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..60 {
+            // Placement-style chains: scale + rotate + perspective +
+            // translate, covering on-grid, partly off-grid and fully
+            // off-grid footprints.
+            let s = rng.gen_range(0.1f32..2.5);
+            let h = Mat3::translation(rng.gen_range(-30.0..90.0), rng.gen_range(-30.0..90.0))
+                .mul(&Mat3::perspective(
+                    rng.gen_range(-0.01..0.01),
+                    rng.gen_range(-0.01..0.01),
+                ))
+                .mul(&Mat3::rotation(rng.gen_range(-1.0..1.0)))
+                .mul(&Mat3::scaling(s, s * rng.gen_range(0.5..1.5)));
+            let full = homography((16, 16), (64, 64), &h).unwrap();
+            let bounded = homography_bounded((16, 16), (64, 64), &h).unwrap();
+            assert_eq!(
+                full.entries(),
+                bounded.entries(),
+                "case {case}: bounded scan changed the entry list"
+            );
+            assert_eq!(full, bounded, "case {case}");
+        }
+        // Degenerate denominator: must fall back to the full scan.
+        let tilted = Mat3::perspective(-0.5, -0.5);
+        let full = homography((8, 8), (8, 8), &tilted).unwrap();
+        let bounded = homography_bounded((8, 8), (8, 8), &tilted).unwrap();
+        assert_eq!(full, bounded);
+        assert!(homography_bounded((8, 8), (8, 8), &Mat3 { m: [0.0; 9] }).is_none());
     }
 }

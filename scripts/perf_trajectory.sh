@@ -56,6 +56,9 @@ for f in "${files[@]}"; do
     pr9_streaming_eval)
         line=$(jq -r '"stream buffered \(.buffered.videos_per_sec) -> streamed \(.streamed.videos_per_sec) videos/s (\(.overlap_speedup)x, peak \(.peak_live_frames.streamed)/\(.peak_live_frames.bound) live frames); fleet \(.fleet.drives) drives at \(.fleet.videos_per_sec) videos/s over \(.fleet.jobs) jobs"' "$f")
         ;;
+    pr10_render_fast_path)
+        line=$(jq -r '"render seed \(.repeated_pose.seed_fps_serial) -> fast \(.repeated_pose.fast_fps_serial) frames/s serial (\(.repeated_pose.speedup_serial)x repeated-pose, \(.unique_pose.speedup_serial)x unique-pose, backend \(.backend)); streamed \(.streamed_end_to_end.videos_per_sec) videos/s end-to-end"' "$f")
+        ;;
     *)
         line="(no summary for bench id '$id')"
         ;;
